@@ -1,0 +1,72 @@
+//! `repro` — regenerate every table and figure of the DYNO paper.
+//!
+//! ```text
+//! repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8] [--divisor N]
+//! ```
+//!
+//! The divisor controls the physical scale (logical rows per physical
+//! record); the default of 50 000 runs every experiment in a few minutes
+//! on a laptop while keeping the simulated world at full TPC-H scale.
+
+use std::env;
+
+use dyno_bench::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, ExpScale};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut which = "all".to_owned();
+    let mut divisor = 50_000u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--divisor" => {
+                divisor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--divisor needs a positive integer"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [all|table1|fig2|...|fig8|ablations] [--divisor N]"
+                );
+                return;
+            }
+            other => which = other.to_owned(),
+        }
+    }
+    let scale = ExpScale { divisor };
+    // Figure 6 sweeps selectivities down to 0.01 %, which needs enough
+    // physical dimension rows to be realized; use a finer grain there.
+    let fine = ExpScale {
+        divisor: (divisor / 10).max(1),
+    };
+
+    let run = |name: &str| match name {
+        "table1" => println!("{}", table1(scale)),
+        "fig2" => println!("{}", fig2(scale)),
+        "fig3" => println!("{}", fig3(scale)),
+        "fig4" => println!("{}", fig4(scale)),
+        "fig5" => println!("{}", fig5(scale)),
+        "fig6" => println!("{}", fig6(fine)),
+        "fig7" => println!("{}", fig7(scale)),
+        "fig8" => println!("{}", fig8(scale)),
+        "ablations" => println!("{}", ablations(scale)),
+        other => die(&format!("unknown experiment {other:?}")),
+    };
+
+    if which == "all" {
+        for name in [
+            "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations",
+        ] {
+            run(name);
+            println!();
+        }
+    } else {
+        run(&which);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

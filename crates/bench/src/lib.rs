@@ -1,0 +1,17 @@
+//! # dyno-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (§6), each regenerating the corresponding result as a text
+//! table over the simulated cluster. The `repro` binary drives them from
+//! the command line; the Criterion benches run reduced-scale versions.
+//!
+//! Absolute numbers are simulated seconds on the modeled 14-worker
+//! cluster, not the authors' testbed — what must (and does) match is the
+//! *shape*: who wins, by roughly what factor, and where the crossovers
+//! fall. EXPERIMENTS.md records paper-vs-measured for every experiment.
+
+pub mod experiments;
+pub mod render;
+
+pub use experiments::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, ExpScale};
+pub use render::render_table;

@@ -1,0 +1,160 @@
+//! Cluster hardware/runtime configuration.
+//!
+//! Defaults reproduce the paper's testbed (§6.1): 14 worker nodes with
+//! 10 map + 6 reduce slots each (140 / 84 total), 2 GB per slot, 128 MB
+//! HDFS blocks, and 15–20 s MapReduce job startup (§4.2).
+
+/// Which engine's runtime quirks to simulate.
+///
+/// The paper ports DYNO's plans to Hive (§6.6) and observes a larger win
+/// there for broadcast-join-heavy queries because Hive 0.12 loads the
+/// broadcast build side through the MapReduce *DistributedCache* — once per
+/// node — while Jaql's runtime rebuilds the hash table in every map task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeProfile {
+    /// Jaql runtime: broadcast build side is loaded by every map task.
+    #[default]
+    Jaql,
+    /// Hive 0.12 runtime: broadcast build side is loaded once per node via
+    /// the DistributedCache and shared by that node's map tasks.
+    Hive,
+}
+
+/// Task-scheduling policy across concurrently running jobs.
+///
+/// The paper runs Hadoop's default FIFO scheduler and leaves "different
+/// schedulers, such as the fair and capacity schedulers" as future work
+/// (§5.3/§6.3); both are implemented here — the `scheduler_ablation`
+/// experiment compares them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Hadoop classic: earlier-submitted jobs take every free slot first.
+    #[default]
+    Fifo,
+    /// Fair sharing: free slots go to the running job with the fewest
+    /// tasks currently executing.
+    Fair,
+}
+
+/// Simulated cluster parameters. All rates are in bytes per simulated
+/// second; all durations in simulated seconds.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Map slots per node.
+    pub map_slots_per_node: usize,
+    /// Reduce slots per node.
+    pub reduce_slots_per_node: usize,
+    /// Memory available to one task slot, in bytes (broadcast-fit budget).
+    pub slot_memory_bytes: u64,
+    /// Fraction of slot memory usable for a broadcast hash table (the rest
+    /// is framework overhead); Jaql has no spilling, so exceeding this at
+    /// runtime kills the job.
+    pub broadcast_memory_fraction: f64,
+    /// Latency between job submission and its first task launching.
+    pub job_startup_secs: f64,
+    /// Per-task sequential disk throughput (HDFS read/write).
+    pub disk_bytes_per_sec: f64,
+    /// Per-task network throughput during shuffle.
+    pub shuffle_bytes_per_sec: f64,
+    /// CPU cost to process one record through a map or reduce function.
+    pub cpu_secs_per_record: f64,
+    /// Extra CPU per record per log2(records) during the sort phase of a
+    /// repartition join.
+    pub sort_secs_per_record_log: f64,
+    /// Fixed per-task overhead (JVM reuse, task setup/commit).
+    pub task_overhead_secs: f64,
+    /// Shuffle bytes handled per reduce task — determines the reducer
+    /// count per job, "the same values Hive uses by default" (§6.1).
+    pub bytes_per_reducer: f64,
+    /// Deterministic task-duration jitter amplitude (fraction of duration);
+    /// models stragglers so waves don't end in lockstep.
+    pub task_jitter: f64,
+    /// Runtime quirks profile (Jaql vs Hive).
+    pub profile: RuntimeProfile,
+    /// Cross-job task scheduling policy.
+    pub scheduler: SchedulerPolicy,
+    /// Failure injection: every Nth map task fails once and is re-executed
+    /// from scratch (Hadoop semantics). `None` disables injection.
+    pub task_failure_every: Option<u32>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 14,
+            map_slots_per_node: 10,
+            reduce_slots_per_node: 6,
+            slot_memory_bytes: 2 * 1024 * 1024 * 1024,
+            broadcast_memory_fraction: 0.7,
+            job_startup_secs: 15.0,
+            disk_bytes_per_sec: 100.0 * 1024.0 * 1024.0,
+            shuffle_bytes_per_sec: 50.0 * 1024.0 * 1024.0,
+            cpu_secs_per_record: 0.5e-6,
+            sort_secs_per_record_log: 0.05e-6,
+            task_overhead_secs: 1.0,
+            bytes_per_reducer: 1024.0 * 1024.0 * 1024.0,
+            task_jitter: 0.08,
+            profile: RuntimeProfile::Jaql,
+            scheduler: SchedulerPolicy::Fifo,
+            task_failure_every: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's testbed configuration (the default).
+    pub fn paper() -> Self {
+        ClusterConfig::default()
+    }
+
+    /// Same cluster, Hive runtime profile.
+    pub fn paper_hive() -> Self {
+        ClusterConfig {
+            profile: RuntimeProfile::Hive,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Total map slots in the cluster (`m` in Algorithm 1).
+    pub fn map_slots(&self) -> usize {
+        self.nodes * self.map_slots_per_node
+    }
+
+    /// Total reduce slots in the cluster.
+    pub fn reduce_slots(&self) -> usize {
+        self.nodes * self.reduce_slots_per_node
+    }
+
+    /// Memory budget for a broadcast join build side.
+    pub fn broadcast_budget_bytes(&self) -> u64 {
+        (self.slot_memory_bytes as f64 * self.broadcast_memory_fraction) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_testbed() {
+        let c = ClusterConfig::paper();
+        assert_eq!(c.map_slots(), 140);
+        assert_eq!(c.reduce_slots(), 84);
+        assert_eq!(c.slot_memory_bytes, 2 << 30);
+        assert_eq!(c.profile, RuntimeProfile::Jaql);
+    }
+
+    #[test]
+    fn broadcast_budget_below_slot_memory() {
+        let c = ClusterConfig::paper();
+        assert!(c.broadcast_budget_bytes() < c.slot_memory_bytes);
+        assert!(c.broadcast_budget_bytes() > 0);
+    }
+
+    #[test]
+    fn hive_profile() {
+        assert_eq!(ClusterConfig::paper_hive().profile, RuntimeProfile::Hive);
+    }
+}

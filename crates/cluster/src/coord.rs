@@ -1,0 +1,121 @@
+//! In-process coordination service — the ZooKeeper stand-in.
+//!
+//! The paper uses ZooKeeper for two things:
+//!
+//! 1. a **global output counter** shared by the map tasks of a pilot run,
+//!    so the job can be interrupted once `k` records have been produced
+//!    (§4.2), and
+//! 2. a **blackboard** where finished tasks publish the URLs of their
+//!    partial-statistics files for the client to collect (§5.4).
+//!
+//! Both are tiny shared-state primitives; [`Coord`] provides them with the
+//! same semantics (atomic increments, idempotent publication, listing).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+#[derive(Debug, Default)]
+struct CoordInner {
+    counters: BTreeMap<String, u64>,
+    registry: BTreeMap<String, Vec<String>>,
+}
+
+/// Shared coordination handle. Cloning connects to the same "ensemble".
+#[derive(Debug, Clone, Default)]
+pub struct Coord {
+    inner: Arc<Mutex<CoordInner>>,
+}
+
+impl Coord {
+    /// A fresh coordination service.
+    pub fn new() -> Self {
+        Coord::default()
+    }
+
+    /// Atomically add `delta` to the named counter and return the new value.
+    pub fn incr(&self, counter: &str, delta: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        let slot = inner.counters.entry(counter.to_owned()).or_insert(0);
+        *slot += delta;
+        *slot
+    }
+
+    /// Current value of the named counter (0 if never incremented).
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.inner.lock().counters.get(counter).copied().unwrap_or(0)
+    }
+
+    /// Reset a counter to zero (done between pilot runs).
+    pub fn reset_counter(&self, counter: &str) {
+        self.inner.lock().counters.remove(counter);
+    }
+
+    /// Publish an entry under a key (a task announcing its stats file).
+    pub fn publish(&self, key: &str, entry: impl Into<String>) {
+        self.inner
+            .lock()
+            .registry
+            .entry(key.to_owned())
+            .or_default()
+            .push(entry.into());
+    }
+
+    /// All entries published under `key`, in publication order.
+    pub fn entries(&self, key: &str) -> Vec<String> {
+        self.inner.lock().registry.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Remove all entries under `key` (cleanup after the client collected).
+    pub fn clear_entries(&self, key: &str) {
+        self.inner.lock().registry.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_increments() {
+        let c = Coord::new();
+        assert_eq!(c.counter("k"), 0);
+        assert_eq!(c.incr("k", 5), 5);
+        assert_eq!(c.incr("k", 2), 7);
+        assert_eq!(c.counter("k"), 7);
+        c.reset_counter("k");
+        assert_eq!(c.counter("k"), 0);
+    }
+
+    #[test]
+    fn registry_publish_list() {
+        let c = Coord::new();
+        c.publish("stats/job1", "task-0");
+        c.publish("stats/job1", "task-1");
+        assert_eq!(c.entries("stats/job1"), vec!["task-0", "task-1"]);
+        assert!(c.entries("stats/job2").is_empty());
+        c.clear_entries("stats/job1");
+        assert!(c.entries("stats/job1").is_empty());
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let c = Coord::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr("n", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.counter("n"), 8000);
+    }
+}

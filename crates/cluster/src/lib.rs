@@ -1,0 +1,26 @@
+//! # dyno-cluster
+//!
+//! A deterministic discrete-event simulator of a Hadoop-era MapReduce
+//! cluster — the substrate the DYNO paper runs on (15 nodes, 140 map and
+//! 84 reduce slots, 2 GB per slot, FIFO scheduler, ~15 s job startup,
+//! HDFS-materialized job outputs).
+//!
+//! The simulator models *time*; the actual record processing is done by
+//! `dyno-exec`, which profiles each job (bytes in/out per task, CPU cost,
+//! shuffle volume) and submits [`JobProfile`]s here. The event loop then
+//! plays the tasks through slot waves exactly like Hadoop's FIFO scheduler:
+//! job startup latency, map waves, shuffle, reduce waves, and concurrent
+//! jobs competing for the same slots (the paper's §5.3 execution
+//! strategies depend on all of these effects).
+//!
+//! The crate also provides [`coord::Coord`], an in-process stand-in for the
+//! ZooKeeper ensemble the paper uses for the pilot runs' global output
+//! counter and for publishing per-task statistics files.
+
+pub mod config;
+pub mod coord;
+pub mod sim;
+
+pub use config::{ClusterConfig, RuntimeProfile, SchedulerPolicy};
+pub use coord::Coord;
+pub use sim::{Cluster, JobProfile, JobTiming, SimTime, TaskProfile};

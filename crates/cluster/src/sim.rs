@@ -1,0 +1,752 @@
+//! The discrete-event MapReduce simulator.
+//!
+//! `dyno-exec` performs the real record processing, then summarizes each
+//! MapReduce job as a [`JobProfile`] (per-task byte and record volumes at
+//! the *simulated* scale). [`Cluster::run_jobs`] plays those profiles
+//! through a FIFO slot scheduler with a virtual clock, reproducing the
+//! timing phenomena the paper's experiments hinge on:
+//!
+//! * **job startup latency** (~15 s, §4.2) — why PILR_MT submits all pilot
+//!   jobs at once while PILR_ST pays startup once per relation;
+//! * **map/reduce waves** — tasks queue for the cluster's 140/84 slots;
+//! * **concurrent jobs** — bushy-plan leaf jobs share slots under FIFO
+//!   (§5.3), so parallel submission helps utilization but is not free;
+//! * **shuffle cost** — repartition joins move both inputs over the
+//!   network; broadcast joins don't (§2.2.1).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use crate::config::{ClusterConfig, SchedulerPolicy};
+
+/// Simulated time in seconds since cluster creation.
+pub type SimTime = f64;
+
+/// Resource profile of one task at simulated scale.
+#[derive(Debug, Clone, Default)]
+pub struct TaskProfile {
+    /// Bytes read from the DFS (map) or from merged shuffle output (reduce).
+    pub input_bytes: u64,
+    /// Bytes written (map: intermediate; reduce/map-only: to the DFS).
+    pub output_bytes: u64,
+    /// Records processed by the task's user function.
+    pub records_in: u64,
+    /// Extra CPU seconds (UDF evaluation, hash probes, …).
+    pub extra_cpu_secs: f64,
+    /// Records sorted in this task (repartition-join map side).
+    pub sort_records: u64,
+    /// Bytes of broadcast build side this task must load before processing
+    /// (per-task under Jaql; per-node amortization is applied by `dyno-exec`
+    /// when simulating Hive's DistributedCache).
+    pub setup_bytes: u64,
+    /// Failure injection: the task fails this many times before succeeding;
+    /// each attempt costs full duration (Hadoop re-executes from scratch).
+    pub retries: u32,
+}
+
+/// One MapReduce job, profiled and ready for time simulation.
+#[derive(Debug, Clone, Default)]
+pub struct JobProfile {
+    /// Human-readable job name (shows up in timings and tests).
+    pub name: String,
+    /// Map task profiles, one per input split.
+    pub map_tasks: Vec<TaskProfile>,
+    /// Reduce task profiles; empty for a map-only job.
+    pub reduce_tasks: Vec<TaskProfile>,
+    /// Total bytes shuffled from mappers to reducers.
+    pub shuffle_bytes: u64,
+}
+
+/// Timing of one simulated job.
+#[derive(Debug, Clone)]
+pub struct JobTiming {
+    /// Job name, copied from the profile.
+    pub name: String,
+    /// When the job was submitted.
+    pub submitted: SimTime,
+    /// When the job finished (all tasks done).
+    pub finished: SimTime,
+    /// Wall-clock duration including startup.
+    pub elapsed: f64,
+    /// Total map-slot busy seconds consumed.
+    pub map_slot_secs: f64,
+    /// Total reduce-slot busy seconds consumed.
+    pub reduce_slot_secs: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    JobReady(usize),
+    MapDone(usize),
+    ReduceDone(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+    /// Duration of the completed task (for retry re-queuing).
+    task_duration: f64,
+    /// Remaining retries of the completed task.
+    retries_left: u32,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: the BinaryHeap is a max-heap, we want min-time.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Pick the next job to receive a free slot among those satisfying
+/// `eligible`, per the scheduling policy: FIFO takes the earliest
+/// submission, Fair the job with the fewest tasks currently running.
+fn next_job(
+    states: &[JobState],
+    policy: SchedulerPolicy,
+    eligible: impl Fn(&JobState) -> bool,
+) -> Option<usize> {
+    let candidates = states
+        .iter()
+        .enumerate()
+        .filter(|(_, st)| !st.is_done() && eligible(st));
+    match policy {
+        SchedulerPolicy::Fifo => candidates.map(|(j, _)| j).next(),
+        SchedulerPolicy::Fair => candidates
+            .min_by_key(|(j, st)| (st.maps_outstanding + st.reduces_outstanding, *j))
+            .map(|(j, _)| j),
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    pending_maps: VecDeque<(f64, u32)>, // (duration, retries)
+    pending_reduces: VecDeque<(f64, u32)>,
+    maps_ready: bool,
+    maps_outstanding: usize,
+    reduces_outstanding: usize,
+    finished_at: Option<SimTime>,
+    map_slot_secs: f64,
+    reduce_slot_secs: f64,
+}
+
+impl JobState {
+    fn is_done(&self) -> bool {
+        self.finished_at.is_some()
+    }
+}
+
+/// The simulated cluster: configuration + virtual clock.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    clock: SimTime,
+    jitter_seed: u64,
+}
+
+impl Cluster {
+    /// A cluster at time zero.
+    pub fn new(config: ClusterConfig) -> Self {
+        Cluster {
+            config,
+            clock: 0.0,
+            jitter_seed: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advance the clock without running anything (client-side work such as
+    /// optimizer calls, whose duration DYNO accounts explicitly in §6.2).
+    pub fn advance(&mut self, secs: f64) {
+        assert!(secs >= 0.0, "cannot rewind the simulated clock");
+        self.clock += secs;
+    }
+
+    /// Duration of one task attempt under this cluster's rates.
+    pub fn task_duration(&self, t: &TaskProfile) -> f64 {
+        let c = &self.config;
+        let io = (t.input_bytes + t.output_bytes + t.setup_bytes) as f64 / c.disk_bytes_per_sec;
+        let cpu = t.records_in as f64 * c.cpu_secs_per_record + t.extra_cpu_secs;
+        let sort = if t.sort_records > 1 {
+            t.sort_records as f64 * (t.sort_records as f64).log2() * c.sort_secs_per_record_log
+        } else {
+            0.0
+        };
+        c.task_overhead_secs + io + cpu + sort
+    }
+
+    /// Deterministic per-task jitter multiplier in `[1-j, 1+j]`.
+    fn jitter(&self, job: usize, kind: u64, idx: usize) -> f64 {
+        let mut z = self
+            .jitter_seed
+            .wrapping_add((job as u64) << 32)
+            .wrapping_add(kind << 20)
+            .wrapping_add(idx as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        1.0 + self.config.task_jitter * (2.0 * unit - 1.0)
+    }
+
+    /// Run a single job to completion; returns its timing.
+    pub fn run_job(&mut self, job: JobProfile) -> JobTiming {
+        self.run_jobs(vec![job]).pop().expect("one job in, one out")
+    }
+
+    /// Submit all `jobs` at the current time and simulate until every job
+    /// completes, FIFO-scheduling tasks onto the cluster's slots.
+    /// The clock advances to the completion of the last job.
+    pub fn run_jobs(&mut self, jobs: Vec<JobProfile>) -> Vec<JobTiming> {
+        let submit_time = self.clock;
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        let mut states: Vec<JobState> = Vec::with_capacity(n);
+        let mut events = BinaryHeap::new();
+        let mut seq = 0u64;
+
+        for (j, job) in jobs.iter().enumerate() {
+            let pending_maps = job
+                .map_tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (self.task_duration(t) * self.jitter(j, 1, i), t.retries))
+                .collect();
+            let shuffle_per_reduce = if job.reduce_tasks.is_empty() {
+                0.0
+            } else {
+                job.shuffle_bytes as f64
+                    / job.reduce_tasks.len() as f64
+                    / self.config.shuffle_bytes_per_sec
+            };
+            let pending_reduces = job
+                .reduce_tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    (
+                        (self.task_duration(t) + shuffle_per_reduce) * self.jitter(j, 2, i),
+                        t.retries,
+                    )
+                })
+                .collect();
+            states.push(JobState {
+                pending_maps,
+                pending_reduces,
+                maps_ready: false,
+                maps_outstanding: 0,
+                reduces_outstanding: 0,
+                finished_at: None,
+                map_slot_secs: 0.0,
+                reduce_slot_secs: 0.0,
+            });
+            events.push(Event {
+                time: submit_time + self.config.job_startup_secs,
+                seq: {
+                    seq += 1;
+                    seq
+                },
+                kind: EventKind::JobReady(j),
+                task_duration: 0.0,
+                retries_left: 0,
+            });
+        }
+
+        let mut free_map = self.config.map_slots();
+        let mut free_reduce = self.config.reduce_slots();
+        let mut now;
+
+        let mut remaining = n;
+        while remaining > 0 {
+            let ev = events.pop().expect("jobs outstanding but no events");
+            now = ev.time;
+            match ev.kind {
+                EventKind::JobReady(j) => {
+                    states[j].maps_ready = true;
+                    // A job with no map tasks at all proceeds straight to
+                    // its reduces (does not occur in MapReduce proper, but
+                    // keeps the simulator total); with no tasks of any kind
+                    // it completes at startup.
+                    if states[j].pending_maps.is_empty()
+                        && states[j].maps_outstanding == 0
+                        && states[j].pending_reduces.is_empty()
+                    {
+                        states[j].finished_at = Some(now);
+                        remaining -= 1;
+                    }
+                }
+                EventKind::MapDone(j) => {
+                    if ev.retries_left > 0 {
+                        // Failed attempt: Hadoop reruns the task from scratch.
+                        states[j]
+                            .pending_maps
+                            .push_back((ev.task_duration, ev.retries_left - 1));
+                        states[j].map_slot_secs += ev.task_duration;
+                    }
+                    free_map += 1;
+                    states[j].maps_outstanding -= 1;
+                    if ev.retries_left == 0
+                        && states[j].maps_outstanding == 0
+                        && states[j].pending_maps.is_empty()
+                    {
+                        // Map phase complete.
+                        if states[j].pending_reduces.is_empty()
+                            && states[j].reduces_outstanding == 0
+                        {
+                            states[j].finished_at = Some(now);
+                            remaining -= 1;
+                        }
+                        // Reduces (already in pending_reduces) become
+                        // schedulable now; MapReduce gates reduces on the
+                        // map phase.
+                    }
+                }
+                EventKind::ReduceDone(j) => {
+                    if ev.retries_left > 0 {
+                        states[j]
+                            .pending_reduces
+                            .push_back((ev.task_duration, ev.retries_left - 1));
+                        states[j].reduce_slot_secs += ev.task_duration;
+                    }
+                    free_reduce += 1;
+                    states[j].reduces_outstanding -= 1;
+                    if ev.retries_left == 0
+                        && states[j].reduces_outstanding == 0
+                        && states[j].pending_reduces.is_empty()
+                        && states[j].maps_outstanding == 0
+                        && states[j].pending_maps.is_empty()
+                    {
+                        states[j].finished_at = Some(now);
+                        remaining -= 1;
+                    }
+                }
+            }
+            // Schedule maps, then reduces (reduces only once a job's map
+            // phase has fully completed — the MapReduce barrier). The
+            // policy decides which job gets each free slot.
+            let policy = self.config.scheduler;
+            while free_map > 0 {
+                let pick = next_job(&states, policy, |st| {
+                    st.maps_ready && !st.pending_maps.is_empty()
+                });
+                let Some(j) = pick else { break };
+                let (dur, retries) = states[j]
+                    .pending_maps
+                    .pop_front()
+                    .expect("picked job has pending maps");
+                free_map -= 1;
+                states[j].maps_outstanding += 1;
+                states[j].map_slot_secs += dur;
+                seq += 1;
+                events.push(Event {
+                    time: now + dur,
+                    seq,
+                    kind: EventKind::MapDone(j),
+                    task_duration: dur,
+                    retries_left: retries,
+                });
+            }
+            while free_reduce > 0 {
+                let pick = next_job(&states, policy, |st| {
+                    st.maps_ready
+                        && st.pending_maps.is_empty()
+                        && st.maps_outstanding == 0
+                        && !st.pending_reduces.is_empty()
+                });
+                let Some(j) = pick else { break };
+                let (dur, retries) = states[j]
+                    .pending_reduces
+                    .pop_front()
+                    .expect("picked job has pending reduces");
+                free_reduce -= 1;
+                states[j].reduces_outstanding += 1;
+                states[j].reduce_slot_secs += dur;
+                seq += 1;
+                events.push(Event {
+                    time: now + dur,
+                    seq,
+                    kind: EventKind::ReduceDone(j),
+                    task_duration: dur,
+                    retries_left: retries,
+                });
+            }
+        }
+
+        self.clock = states
+            .iter()
+            .map(|s| s.finished_at.expect("all jobs finished"))
+            .fold(self.clock, f64::max);
+
+        jobs.into_iter()
+            .zip(states)
+            .map(|(job, st)| {
+                let finished = st.finished_at.expect("finished");
+                JobTiming {
+                    name: job.name,
+                    submitted: submit_time,
+                    finished,
+                    elapsed: finished - submit_time,
+                    map_slot_secs: st.map_slot_secs,
+                    reduce_slot_secs: st.reduce_slot_secs,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig {
+            task_jitter: 0.0,
+            ..ClusterConfig::paper()
+        }
+    }
+
+    fn map_task(mb: u64) -> TaskProfile {
+        TaskProfile {
+            input_bytes: mb * 1024 * 1024,
+            ..TaskProfile::default()
+        }
+    }
+
+    #[test]
+    fn empty_job_finishes_at_startup() {
+        let mut cl = Cluster::new(cfg());
+        let t = cl.run_job(JobProfile {
+            name: "empty".into(),
+            ..JobProfile::default()
+        });
+        assert!((t.elapsed - 15.0).abs() < 1e-9);
+        assert_eq!(cl.now(), t.finished);
+    }
+
+    #[test]
+    fn map_only_job_single_wave() {
+        let mut cl = Cluster::new(cfg());
+        // 140 slots, 140 tasks of 128 MB → one wave.
+        let job = JobProfile {
+            name: "m".into(),
+            map_tasks: (0..140).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        };
+        let t = cl.run_job(job);
+        // startup + overhead + 128MB/100MBps = 15 + 1 + 1.28 = 17.28
+        assert!((t.elapsed - 17.28).abs() < 0.01, "elapsed={}", t.elapsed);
+    }
+
+    #[test]
+    fn two_waves_take_twice_the_task_time() {
+        let mut cl = Cluster::new(cfg());
+        let one = cl
+            .run_job(JobProfile {
+                name: "a".into(),
+                map_tasks: (0..140).map(|_| map_task(128)).collect(),
+                ..JobProfile::default()
+            })
+            .elapsed;
+        let two = cl
+            .run_job(JobProfile {
+                name: "b".into(),
+                map_tasks: (0..280).map(|_| map_task(128)).collect(),
+                ..JobProfile::default()
+            })
+            .elapsed;
+        let per_wave = one - 15.0;
+        assert!((two - (15.0 + 2.0 * per_wave)).abs() < 0.01);
+    }
+
+    #[test]
+    fn reduces_wait_for_maps() {
+        let mut cl = Cluster::new(cfg());
+        let job = JobProfile {
+            name: "mr".into(),
+            map_tasks: vec![map_task(128)],
+            reduce_tasks: vec![map_task(64)],
+            shuffle_bytes: 50 * 1024 * 1024,
+        };
+        let t = cl.run_job(job);
+        // startup 15 + map (1 + 1.28) + reduce (1 + 0.64 + shuffle 1.0)
+        assert!((t.elapsed - (15.0 + 2.28 + 2.64)).abs() < 0.01, "{}", t.elapsed);
+    }
+
+    #[test]
+    fn parallel_jobs_pay_startup_once_each_but_share_slots() {
+        // Two identical one-wave jobs submitted together should finish in
+        // about two waves of map work after a single startup window —
+        // the PILR_MT effect.
+        let base = JobProfile {
+            name: "j".into(),
+            map_tasks: (0..140).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        };
+        let mut cl = Cluster::new(cfg());
+        let serial: f64 = {
+            let a = cl.run_job(base.clone()).elapsed;
+            let b = cl.run_job(base.clone()).elapsed;
+            a + b
+        };
+        let mut cl2 = Cluster::new(cfg());
+        let timings = cl2.run_jobs(vec![base.clone(), base.clone()]);
+        let parallel = timings.iter().map(|t| t.finished).fold(0.0, f64::max);
+        // parallel = 15 + 2 waves ≈ 19.56; serial = 2*(15+1 wave) ≈ 34.56
+        assert!(parallel < serial - 10.0, "parallel={parallel} serial={serial}");
+    }
+
+    #[test]
+    fn fifo_priority_favours_first_job() {
+        let mut cl = Cluster::new(cfg());
+        let big = JobProfile {
+            name: "big".into(),
+            map_tasks: (0..280).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        };
+        let small = JobProfile {
+            name: "small".into(),
+            map_tasks: vec![map_task(128)],
+            ..JobProfile::default()
+        };
+        let t = cl.run_jobs(vec![big, small]);
+        // Strict FIFO: the small job's single task waits behind both of the
+        // big job's waves, so it finishes after the big job despite being
+        // tiny (this is why §5.3's co-scheduling choices matter).
+        assert!(t[1].finished > t[0].submitted + 15.0 + 2.0);
+        assert!(t[1].finished > t[0].finished);
+    }
+
+    #[test]
+    fn retries_cost_extra_time() {
+        let mut cl = Cluster::new(cfg());
+        let clean = cl
+            .run_job(JobProfile {
+                name: "c".into(),
+                map_tasks: vec![map_task(128)],
+                ..JobProfile::default()
+            })
+            .elapsed;
+        let mut flaky_task = map_task(128);
+        flaky_task.retries = 2;
+        let flaky = cl
+            .run_job(JobProfile {
+                name: "f".into(),
+                map_tasks: vec![flaky_task],
+                ..JobProfile::default()
+            })
+            .elapsed;
+        let per_attempt = clean - 15.0;
+        assert!((flaky - (15.0 + 3.0 * per_attempt)).abs() < 0.01);
+    }
+
+    #[test]
+    fn slot_seconds_accounted() {
+        let mut cl = Cluster::new(cfg());
+        let t = cl.run_job(JobProfile {
+            name: "acct".into(),
+            map_tasks: (0..10).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        });
+        assert!((t.map_slot_secs - 10.0 * 2.28).abs() < 0.01);
+        assert_eq!(t.reduce_slot_secs, 0.0);
+    }
+
+    #[test]
+    fn jitter_changes_durations_but_not_much() {
+        let mut cl = Cluster::new(ClusterConfig::paper()); // jitter on
+        let t = cl.run_job(JobProfile {
+            name: "j".into(),
+            map_tasks: (0..140).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        });
+        let nominal = 15.0 + 2.28;
+        assert!((t.elapsed - nominal).abs() < nominal * 0.1);
+    }
+
+    #[test]
+    fn clock_is_monotone_across_runs() {
+        let mut cl = Cluster::new(cfg());
+        let t1 = cl.run_job(JobProfile {
+            name: "a".into(),
+            map_tasks: vec![map_task(1)],
+            ..JobProfile::default()
+        });
+        let t2 = cl.run_job(JobProfile {
+            name: "b".into(),
+            map_tasks: vec![map_task(1)],
+            ..JobProfile::default()
+        });
+        assert!(t2.submitted >= t1.finished);
+        cl.advance(100.0);
+        assert!(cl.now() >= t2.finished + 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn negative_advance_panics() {
+        Cluster::new(cfg()).advance(-1.0);
+    }
+}
+
+#[cfg(test)]
+mod scheduler_tests {
+    use super::*;
+    use crate::config::SchedulerPolicy;
+
+    fn cfg(policy: SchedulerPolicy) -> ClusterConfig {
+        ClusterConfig {
+            task_jitter: 0.0,
+            scheduler: policy,
+            ..ClusterConfig::paper()
+        }
+    }
+
+    fn map_task(mb: u64) -> TaskProfile {
+        TaskProfile {
+            input_bytes: mb * 1024 * 1024,
+            ..TaskProfile::default()
+        }
+    }
+
+    /// Under fair sharing a tiny job is not starved behind a big one —
+    /// the inversion the FIFO test demonstrates disappears.
+    #[test]
+    fn fair_scheduler_unstarves_small_jobs() {
+        let big = JobProfile {
+            name: "big".into(),
+            map_tasks: (0..560).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        };
+        let small = JobProfile {
+            name: "small".into(),
+            map_tasks: vec![map_task(128)],
+            ..JobProfile::default()
+        };
+        let mut fifo = Cluster::new(cfg(SchedulerPolicy::Fifo));
+        let t_fifo = fifo.run_jobs(vec![big.clone(), small.clone()]);
+        let mut fair = Cluster::new(cfg(SchedulerPolicy::Fair));
+        let t_fair = fair.run_jobs(vec![big, small]);
+        // FIFO: small waits behind all four waves of the big job.
+        assert!(t_fifo[1].finished > t_fifo[0].finished - 3.0);
+        // Fair: small finishes right after the first wave.
+        assert!(
+            t_fair[1].finished < t_fair[0].finished - 3.0,
+            "fair: small at {:.1} vs big at {:.1}",
+            t_fair[1].finished,
+            t_fair[0].finished
+        );
+        // Total makespan is (almost) unchanged — fairness reshuffles, it
+        // does not create capacity.
+        let makespan_fifo = t_fifo.iter().map(|t| t.finished).fold(0.0, f64::max);
+        let makespan_fair = t_fair.iter().map(|t| t.finished).fold(0.0, f64::max);
+        assert!((makespan_fifo - makespan_fair).abs() < makespan_fifo * 0.05);
+    }
+
+    /// Both policies finish the same work with the same slot-seconds.
+    #[test]
+    fn policies_conserve_work() {
+        let jobs = || {
+            vec![
+                JobProfile {
+                    name: "a".into(),
+                    map_tasks: (0..200).map(|_| map_task(64)).collect(),
+                    ..JobProfile::default()
+                },
+                JobProfile {
+                    name: "b".into(),
+                    map_tasks: (0..77).map(|_| map_task(256)).collect(),
+                    ..JobProfile::default()
+                },
+            ]
+        };
+        let mut fifo = Cluster::new(cfg(SchedulerPolicy::Fifo));
+        let f = fifo.run_jobs(jobs());
+        let mut fair = Cluster::new(cfg(SchedulerPolicy::Fair));
+        let r = fair.run_jobs(jobs());
+        let work = |t: &[JobTiming]| -> f64 { t.iter().map(|x| x.map_slot_secs).sum() };
+        assert!((work(&f) - work(&r)).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod sim_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Co-scheduling never beats the sum of serial runs in total work
+        /// and never loses to it in wall-clock; completion times are
+        /// monotone and positive.
+        #[test]
+        fn parallel_never_slower_than_serial_wallclock(
+            sizes in proptest::collection::vec(1u64..300, 1..5)
+        ) {
+            let mk = |n: u64| JobProfile {
+                name: format!("j{n}"),
+                map_tasks: (0..n).map(|_| TaskProfile { input_bytes: 64 << 20, ..TaskProfile::default() }).collect(),
+                ..JobProfile::default()
+            };
+            let cfg = ClusterConfig { task_jitter: 0.0, ..ClusterConfig::paper() };
+            let mut serial = Cluster::new(cfg.clone());
+            for &n in &sizes { serial.run_job(mk(n)); }
+            let t_serial = serial.now();
+            let mut par = Cluster::new(cfg);
+            let timings = par.run_jobs(sizes.iter().map(|&n| mk(n)).collect());
+            let t_par = par.now();
+            prop_assert!(t_par <= t_serial + 1e-6, "parallel {t_par} > serial {t_serial}");
+            for t in &timings {
+                prop_assert!(t.finished >= t.submitted + 15.0 - 1e-9);
+                prop_assert!(t.map_slot_secs > 0.0);
+            }
+        }
+
+        /// Slot-seconds are conserved across scheduling policies and
+        /// submission patterns.
+        #[test]
+        fn work_is_conserved(sizes in proptest::collection::vec(1u64..200, 1..4)) {
+            let mk = |n: u64| JobProfile {
+                name: "j".into(),
+                map_tasks: (0..n).map(|_| TaskProfile { input_bytes: 32 << 20, ..TaskProfile::default() }).collect(),
+                ..JobProfile::default()
+            };
+            let cfg = ClusterConfig { task_jitter: 0.0, ..ClusterConfig::paper() };
+            let mut a = Cluster::new(cfg.clone());
+            let ta = a.run_jobs(sizes.iter().map(|&n| mk(n)).collect());
+            let mut b = Cluster::new(ClusterConfig { scheduler: SchedulerPolicy::Fair, ..cfg });
+            let tb = b.run_jobs(sizes.iter().map(|&n| mk(n)).collect());
+            let wa: f64 = ta.iter().map(|t| t.map_slot_secs).sum();
+            let wb: f64 = tb.iter().map(|t| t.map_slot_secs).sum();
+            prop_assert!((wa - wb).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! The DYNOPT algorithm (paper §5, Algorithm 2) and the execution
+//! strategies of §5.3.
+//!
+//! Each iteration: optimize the current join block with the freshest
+//! statistics → compile the best plan to a MapReduce DAG → execute the
+//! leaf job(s) the strategy selects → fold the executed subtrees back
+//! into the block as materialized leaves (their output statistics were
+//! collected during execution) → repeat until one job remains, which runs
+//! without statistics collection (§5.4).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dyno_cluster::Cluster;
+use dyno_exec::{Executor, Input, JobDag, JobKind, JobNode, JobOutput};
+use dyno_optimizer::Optimizer;
+use dyno_query::{JoinBlock, JoinMethod, PhysNode};
+use dyno_stats::TableStats;
+
+use crate::dyno::DynoError;
+
+/// Simulated seconds per physical expression the optimizer costs — the
+/// client-side (re-)optimization time DYNO measures in Figure 4 (where
+/// the initial 8-relation call on Q8′ is ~90 % of total re-opt time and
+/// subsequent calls over shrunken blocks are nearly free).
+pub const OPT_SECS_PER_EXPRESSION: f64 = 2.5e-3;
+
+/// Execution strategy (§5.3): how many leaf jobs run at once and which.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// DYNOPT-SIMPLE, one job at a time.
+    SimpleSo,
+    /// DYNOPT-SIMPLE, all runnable jobs co-scheduled.
+    SimpleMo,
+    /// Most-uncertain-first (uncertainty = joins in the job \[27\]),
+    /// running `n` jobs at a time (`UNC-1`, `UNC-2`).
+    Unc(usize),
+    /// Cheapest-first, reaching re-optimization points soonest, `n` jobs
+    /// at a time (`CHEAP-1`, `CHEAP-2`).
+    Cheap(usize),
+}
+
+impl Strategy {
+    /// Paper-style display name.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::SimpleSo => "SIMPLE_SO".to_owned(),
+            Strategy::SimpleMo => "SIMPLE_MO".to_owned(),
+            Strategy::Unc(n) => format!("UNC-{n}"),
+            Strategy::Cheap(n) => format!("CHEAP-{n}"),
+        }
+    }
+
+    /// Whether simultaneously-runnable jobs are co-scheduled.
+    pub fn parallel(&self) -> bool {
+        match self {
+            Strategy::SimpleSo => false,
+            Strategy::SimpleMo => true,
+            Strategy::Unc(n) | Strategy::Cheap(n) => *n > 1,
+        }
+    }
+
+    fn batch_size(&self) -> usize {
+        match self {
+            Strategy::SimpleSo | Strategy::SimpleMo => usize::MAX,
+            Strategy::Unc(n) | Strategy::Cheap(n) => (*n).max(1),
+        }
+    }
+}
+
+/// Result of driving a join block to completion.
+#[derive(Debug)]
+pub struct DynoptOutcome {
+    /// DFS file with the join block's final output.
+    pub final_file: String,
+    /// Physical rows in the final output.
+    pub rows: u64,
+    /// Rendered plan at each (re-)optimization point (Figure 2's
+    /// `plan1..plan4`), one-line form.
+    pub plans: Vec<String>,
+    /// The same plans as multi-line operator trees.
+    pub plan_trees: Vec<String>,
+    /// Total simulated optimizer time (§6.2).
+    pub optimize_secs: f64,
+    /// Number of re-optimization points hit (optimizer calls minus one).
+    pub reopts: usize,
+    /// MapReduce jobs executed.
+    pub jobs_run: usize,
+}
+
+/// Look up every leaf's statistics by expression signature.
+fn leaf_stats(exec: &Executor, block: &JoinBlock) -> Result<Vec<TableStats>, DynoError> {
+    block
+        .leaves
+        .iter()
+        .map(|l| {
+            exec.metastore
+                .get(&l.signature())
+                .ok_or_else(|| DynoError::MissingLeafStats(l.signature()))
+        })
+        .collect()
+}
+
+/// Rebuild the physical subtree of a *leaf* job (all inputs are block
+/// leaves) for per-job costing. `None` for non-leaf jobs.
+fn job_subtree(job: &JobNode) -> Option<PhysNode> {
+    let leaf = |inp: &Input| match inp {
+        Input::Leaf(i) => Some(PhysNode::Leaf(*i)),
+        Input::Job(_) => None,
+    };
+    match &job.kind {
+        JobKind::Scan { input } => leaf(input),
+        JobKind::Repartition { left, right, .. } => Some(PhysNode::join(
+            JoinMethod::Repartition,
+            leaf(left)?,
+            leaf(right)?,
+        )),
+        JobKind::BroadcastChain { probe, builds } => {
+            let mut node = leaf(probe)?;
+            for (i, (b, _)) in builds.iter().enumerate() {
+                node = PhysNode::Join {
+                    method: JoinMethod::Broadcast,
+                    left: Box::new(node),
+                    right: Box::new(leaf(b)?),
+                    chained: i > 0,
+                };
+            }
+            Some(node)
+        }
+    }
+}
+
+/// Run Algorithm 2: execute `block` to completion.
+///
+/// * `reoptimize = false` — DYNOPT-SIMPLE: the first plan executes
+///   wholesale, with no statistics collection.
+/// * `reoptimize = true, reopt_threshold = None` — DYNOPT as evaluated in
+///   the paper: re-optimize after every executed job batch.
+/// * `reoptimize = true, reopt_threshold = Some(t)` — the conditional
+///   variant the paper sketches in §5.1: keep executing the current plan
+///   while every executed job's observed output cardinality stays within
+///   a factor `t` of its estimate, and pay for re-optimization only when
+///   an estimate was wrong (which is when a new plan can differ).
+pub fn run_dynopt(
+    exec: &Executor,
+    cluster: &mut Cluster,
+    block: &mut JoinBlock,
+    optimizer: &Optimizer,
+    strategy: Strategy,
+    reoptimize: bool,
+    reopt_threshold: Option<f64>,
+) -> Result<DynoptOutcome, DynoError> {
+    // Local copy: broadcast-OOM recovery tightens its memory budget.
+    let mut optimizer = optimizer.clone();
+    let mut plans = Vec::new();
+    let mut plan_trees = Vec::new();
+    let mut optimize_secs = 0.0;
+    let mut reopts = 0usize;
+    let mut jobs_run = 0usize;
+    let mut oom_retries = 0usize;
+
+    'replan: loop {
+        // Already reduced to a single materialized leaf? Done.
+        if block.is_fully_executed() {
+            let file = match &block.leaves[0].source {
+                dyno_query::LeafSource::Materialized { file } => file.clone(),
+                _ => unreachable!("fully executed means materialized"),
+            };
+            let rows = exec.dfs.file(&file)?.actual_records();
+            return Ok(DynoptOutcome {
+                final_file: file,
+                rows,
+                plans,
+                plan_trees,
+                optimize_secs,
+                reopts: reopts.saturating_sub(1),
+                jobs_run,
+            });
+        }
+
+        // Optimize the remaining block (§5.1: local predicates are not
+        // re-estimated; the leaf statistics already reflect them).
+        let stats = leaf_stats(exec, block)?;
+        let opt = optimizer.optimize(block, &stats)?;
+        let opt_secs = opt.expressions as f64 * OPT_SECS_PER_EXPRESSION;
+        cluster.advance(opt_secs);
+        optimize_secs += opt_secs;
+        reopts += 1;
+        plans.push(opt.plan.render_inline(block));
+        plan_trees.push(opt.plan.render_tree(block));
+
+        let dag = JobDag::compile(block, &opt.plan);
+        let mut outputs: BTreeMap<usize, JobOutput> = BTreeMap::new();
+        let mut done: BTreeSet<usize> = BTreeSet::new();
+
+        // Merge every finished job of this DAG back into the block, in
+        // dependency (id) order so later merges subsume earlier ones,
+        // then go re-plan what remains.
+        macro_rules! fold_done_and_replan {
+            () => {{
+                for (_, out) in &outputs {
+                    block.merge_leaves_by_aliases(
+                        &out.aliases,
+                        &out.file,
+                        &out.applied_preds,
+                    );
+                }
+                continue 'replan;
+            }};
+        }
+
+        // Execute this DAG until it completes or a re-plan is warranted.
+        loop {
+            let mut runnable = dag.runnable(&done);
+            assert!(!runnable.is_empty(), "incomplete DAG has runnable jobs");
+            rank_jobs(&mut runnable, &dag, strategy, |id| {
+                job_subtree(&dag.jobs[id])
+                    .map(|sub| optimizer.cost_plan(block, &stats, &sub))
+                    .unwrap_or(f64::INFINITY)
+            });
+            runnable.truncate(strategy.batch_size());
+            let finishes_dag = done.len() + runnable.len() == dag.jobs.len();
+            // §5.4: no statistics on the last job / when not re-optimizing.
+            let collect = reoptimize && !finishes_dag;
+
+            match exec.execute_jobs(
+                cluster,
+                block,
+                &dag,
+                &runnable,
+                &outputs,
+                strategy.parallel() && runnable.len() > 1,
+                collect,
+            ) {
+                Ok(outs) => {
+                    jobs_run += outs.len();
+                    let mut replan = false;
+                    for out in outs {
+                        if reoptimize && !out.leaves_estimate_held(&optimizer, block, &stats, &dag, reopt_threshold) {
+                            replan = true;
+                        }
+                        done.insert(out.job_id);
+                        outputs.insert(out.job_id, out);
+                    }
+                    if done.len() == dag.jobs.len() {
+                        fold_done_and_replan!();
+                    }
+                    if reoptimize && replan {
+                        fold_done_and_replan!();
+                    }
+                }
+                Err(dyno_exec::ExecError::Oom(o)) => {
+                    oom_recover(cluster, &mut optimizer, &mut oom_retries, o)?;
+                    fold_done_and_replan!();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// Rank runnable jobs per the execution strategy (§5.3).
+fn rank_jobs(
+    candidates: &mut [usize],
+    dag: &JobDag,
+    strategy: Strategy,
+    cost_of: impl Fn(usize) -> f64,
+) {
+    match strategy {
+        Strategy::Cheap(_) | Strategy::SimpleSo | Strategy::SimpleMo => {
+            candidates.sort_by(|&a, &b| cost_of(a).total_cmp(&cost_of(b)).then(a.cmp(&b)));
+        }
+        Strategy::Unc(_) => {
+            // most uncertain first; cheapest among equally uncertain
+            candidates.sort_by(|&a, &b| {
+                dag.jobs[b]
+                    .join_count
+                    .cmp(&dag.jobs[a].join_count)
+                    .then(cost_of(a).total_cmp(&cost_of(b)))
+                    .then(a.cmp(&b))
+            });
+        }
+    }
+}
+
+trait EstimateCheck {
+    fn leaves_estimate_held(
+        &self,
+        optimizer: &Optimizer,
+        block: &JoinBlock,
+        stats: &[TableStats],
+        dag: &JobDag,
+        threshold: Option<f64>,
+    ) -> bool;
+}
+
+impl EstimateCheck for JobOutput {
+    /// Did this job's observed output cardinality stay within `threshold`
+    /// (relative factor) of the optimizer's estimate? With no threshold,
+    /// estimates never "hold" — the paper's always-re-optimize default.
+    fn leaves_estimate_held(
+        &self,
+        optimizer: &Optimizer,
+        block: &JoinBlock,
+        stats: &[TableStats],
+        dag: &JobDag,
+        threshold: Option<f64>,
+    ) -> bool {
+        let Some(t) = threshold else { return false };
+        let leaves = &dag.jobs[self.job_id].leaves;
+        let est = optimizer.estimate_rows(block, stats, leaves).max(1.0);
+        let obs = self.stats.rows.max(1.0);
+        let ratio = (obs / est).max(est / obs);
+        ratio <= 1.0 + t
+    }
+}
+
+/// Broadcast OOM recovery. The platform has no spilling, so a build side
+/// that outgrows its estimate kills the job (§2.2.1: "the query fails due
+/// to an out of memory error"). The failed attempt costs real cluster
+/// time (startup + the doomed build load); the plan is then re-derived
+/// under a halved optimizer memory budget — what an operator re-submitting
+/// the query does. With pilot-run statistics this path is rarely taken;
+/// with UDF-blind static estimates it is exactly the §6.4 hazard.
+pub(crate) fn oom_recover(
+    cluster: &mut Cluster,
+    optimizer: &mut Optimizer,
+    retries: &mut usize,
+    oom: dyno_exec::jobs::BroadcastOom,
+) -> Result<(), DynoError> {
+    let cfg = cluster.config();
+    let penalty = cfg.job_startup_secs + oom.build_bytes as f64 / cfg.disk_bytes_per_sec;
+    cluster.advance(penalty);
+    *retries += 1;
+    if *retries >= 5 {
+        // Estimates are so wrong (e.g. a zero-byte estimate for a
+        // multi-GB build) that tightening the budget cannot help:
+        // disable broadcast joins outright — the all-repartition plan
+        // cannot OOM.
+        optimizer.cost_model.memory_budget = 0.0;
+    } else {
+        optimizer.cost_model.memory_budget /= 2.0;
+    }
+    if *retries > 10 {
+        return Err(DynoError::Exec(dyno_exec::ExecError::Oom(oom)));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pilot::{run_pilots, PilotConfig};
+    use dyno_cluster::{ClusterConfig, Coord};
+    use dyno_storage::SimScale;
+    use dyno_tpch::queries::{self, QueryId};
+    use dyno_tpch::{catalog_for, TpchGenerator};
+
+    fn setup(q: QueryId) -> (Executor, Cluster, JoinBlock) {
+        // SF100: the big tables exceed the 1.4 GB broadcast budget, so
+        // plans need several jobs and re-optimization points exist.
+        let env = TpchGenerator::new(100, SimScale::divisor(50_000)).generate();
+        let p = queries::prepare(q);
+        let block = dyno_query::JoinBlock::compile(&p.spec, &catalog_for(&p.spec)).unwrap();
+        let exec = Executor::new(env.dfs, Coord::new(), p.udfs);
+        let cluster = Cluster::new(ClusterConfig {
+            task_jitter: 0.0,
+            ..ClusterConfig::paper()
+        });
+        (exec, cluster, block)
+    }
+
+    fn run(q: QueryId, strategy: Strategy, reopt: bool) -> (DynoptOutcome, u64) {
+        let (exec, mut cluster, mut block) = setup(q);
+        run_pilots(&exec, &mut cluster, &block, &PilotConfig::default()).unwrap();
+        let opt = Optimizer::new();
+        let out = run_dynopt(&exec, &mut cluster, &mut block, &opt, strategy, reopt, None).unwrap();
+        (out, 0)
+    }
+
+    #[test]
+    fn dynopt_executes_q10_to_completion() {
+        let (out, _) = run(QueryId::Q10, Strategy::Unc(1), true);
+        assert!(out.rows > 0);
+        assert!(!out.plans.is_empty());
+        assert!(out.jobs_run >= 2, "jobs: {}", out.jobs_run);
+    }
+
+    #[test]
+    fn dynopt_and_simple_agree_on_results() {
+        let (dynopt, _) = run(QueryId::Q10, Strategy::Unc(1), true);
+        let (simple, _) = run(QueryId::Q10, Strategy::SimpleMo, false);
+        assert_eq!(dynopt.rows, simple.rows, "re-optimization must not change answers");
+        assert_eq!(simple.plans.len(), 1, "SIMPLE optimizes exactly once");
+        assert!(dynopt.plans.len() >= simple.plans.len());
+    }
+
+    #[test]
+    fn strategies_agree_on_results() {
+        let mut rows = Vec::new();
+        for s in [
+            Strategy::Unc(1),
+            Strategy::Unc(2),
+            Strategy::Cheap(1),
+            Strategy::Cheap(2),
+        ] {
+            rows.push(run(QueryId::Q7, s, true).0.rows);
+        }
+        assert!(rows.windows(2).all(|w| w[0] == w[1]), "rows: {rows:?}");
+    }
+
+    #[test]
+    fn q8_reoptimizes_multiple_times() {
+        let (out, _) = run(QueryId::Q8Prime, Strategy::Unc(1), true);
+        // 8 relations cannot be joined in fewer than 2 jobs here, so at
+        // least one real re-optimization point must occur.
+        assert!(out.reopts >= 1, "re-opts: {}", out.reopts);
+        assert!(out.optimize_secs > 0.0);
+        assert!(out.plans.len() >= 2);
+    }
+
+    #[test]
+    fn conditional_reoptimization_skips_accurate_steps() {
+        // With a generous threshold, DYNOPT re-plans only when an
+        // estimate was wrong — so it calls the optimizer at most as often
+        // as the unconditional variant, while producing the same answer.
+        let run_with = |threshold: Option<f64>| {
+            let (exec, mut cluster, mut block) = setup(QueryId::Q8Prime);
+            run_pilots(&exec, &mut cluster, &block, &PilotConfig::default()).unwrap();
+            let opt = Optimizer::new();
+            run_dynopt(
+                &exec,
+                &mut cluster,
+                &mut block,
+                &opt,
+                Strategy::Unc(1),
+                true,
+                threshold,
+            )
+            .unwrap()
+        };
+        let always = run_with(None);
+        let conditional = run_with(Some(0.5));
+        assert_eq!(always.rows, conditional.rows);
+        assert!(
+            conditional.plans.len() <= always.plans.len(),
+            "conditional {} > unconditional {}",
+            conditional.plans.len(),
+            always.plans.len()
+        );
+        assert!(conditional.optimize_secs <= always.optimize_secs + 1e-9);
+    }
+
+    #[test]
+    fn missing_stats_is_reported() {
+        let (exec, mut cluster, mut block) = setup(QueryId::Q10);
+        let err = run_dynopt(
+            &exec,
+            &mut cluster,
+            &mut block,
+            &Optimizer::new(),
+            Strategy::Unc(1),
+            true,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DynoError::MissingLeafStats(_)));
+    }
+}

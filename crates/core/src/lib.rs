@@ -1,0 +1,32 @@
+//! # dyno-core
+//!
+//! The DYNO system (paper §3–§5): pilot runs, the DYNOPT dynamic
+//! re-optimization loop, execution strategies, and the experiment
+//! baselines — wired over the substrates in the sibling crates.
+//!
+//! Entry point: [`Dyno`], which owns a generated environment (DFS +
+//! cluster + metastore) and runs a [`dyno_tpch::PreparedQuery`] under any
+//! [`Mode`]:
+//!
+//! * [`Mode::Dynopt`] — pilot runs → cost-based plan → execute leaf jobs
+//!   chosen by an execution strategy → collect statistics → re-optimize →
+//!   repeat (Algorithm 2);
+//! * [`Mode::DynoptSimple`] — pilot runs → one optimizer call → execute;
+//! * [`Mode::RelOpt`] — the DBMS-X stand-in: exact base-table statistics,
+//!   per-predicate selectivities under the independence assumption, UDF
+//!   selectivity = 1, bushy search, no runtime adaptation;
+//! * [`Mode::BestStaticJaql`] — stock Jaql's left-deep FROM-order plans,
+//!   over the best FROM permutation (picked with true cardinalities from
+//!   the [`oracle`]);
+//! * [`Mode::JaqlAsWritten`] — stock Jaql on the user's FROM order.
+
+pub mod baseline;
+pub mod dyno;
+pub mod dynopt;
+pub mod oracle;
+pub mod pilot;
+
+pub use dyno::{Dyno, DynoError, DynoOptions, Mode, QueryReport};
+pub use dynopt::Strategy;
+pub use oracle::Oracle;
+pub use pilot::{PilotConfig, PilotOutcome, PilrMode};

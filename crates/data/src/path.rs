@@ -1,0 +1,211 @@
+//! Path navigation over nested values: `addr[0].zip`, `order.lines[2].qty`.
+//!
+//! Predicates in the paper's queries reference nested attributes (§4.1:
+//! `rs.addr[0].zip = 94301`). A [`Path`] is the compiled form of such a
+//! reference: a sequence of field and index steps applied to a root value.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// One navigation step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Step {
+    /// Descend into a record field by name.
+    Field(Arc<str>),
+    /// Descend into an array element by position.
+    Index(usize),
+}
+
+/// A compiled navigation path. The empty path refers to the root value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Path {
+    steps: Vec<Step>,
+}
+
+/// Error produced when parsing a textual path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+impl Path {
+    /// The root path (no steps).
+    pub fn root() -> Self {
+        Path::default()
+    }
+
+    /// A single-field path.
+    pub fn field(name: impl AsRef<str>) -> Self {
+        Path {
+            steps: vec![Step::Field(Arc::from(name.as_ref()))],
+        }
+    }
+
+    /// Builder: append a field step.
+    pub fn then_field(mut self, name: impl AsRef<str>) -> Self {
+        self.steps.push(Step::Field(Arc::from(name.as_ref())));
+        self
+    }
+
+    /// Builder: append an index step.
+    pub fn then_index(mut self, idx: usize) -> Self {
+        self.steps.push(Step::Index(idx));
+        self
+    }
+
+    /// The steps of this path.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The leading field name, if the first step is a field. Used by the
+    /// compiler to map a path to a top-level attribute for statistics.
+    pub fn head_field(&self) -> Option<&str> {
+        match self.steps.first() {
+            Some(Step::Field(f)) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Navigate `root` along this path. Any missing field, out-of-range
+    /// index, or type mismatch yields `Value::Null` (Jaql's null-propagation
+    /// semantics) rather than an error.
+    pub fn eval<'a>(&self, root: &'a Value) -> &'a Value {
+        static NULL: Value = Value::Null;
+        let mut cur = root;
+        for step in &self.steps {
+            cur = match (step, cur) {
+                (Step::Field(name), Value::Record(r)) => r.get(name).unwrap_or(&NULL),
+                (Step::Index(i), Value::Array(items)) => items.get(*i).unwrap_or(&NULL),
+                _ => &NULL,
+            };
+        }
+        cur
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                Step::Field(name) => {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    write!(f, "{name}")?;
+                }
+                Step::Index(idx) => write!(f, "[{idx}]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Path {
+    type Err = ParsePathError;
+
+    /// Parse `a.b[3].c` style paths.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut steps = Vec::new();
+        let mut rest = s;
+        let err = |m: &str| ParsePathError {
+            message: format!("{m} in {s:?}"),
+        };
+        while !rest.is_empty() {
+            if let Some(after) = rest.strip_prefix('[') {
+                let close = after.find(']').ok_or_else(|| err("unterminated index"))?;
+                let idx: usize = after[..close]
+                    .parse()
+                    .map_err(|_| err("non-numeric index"))?;
+                steps.push(Step::Index(idx));
+                rest = &after[close + 1..];
+            } else {
+                let rest2 = rest.strip_prefix('.').unwrap_or(rest);
+                if rest2.is_empty() {
+                    return Err(err("dangling separator"));
+                }
+                let end = rest2
+                    .find(['.', '['])
+                    .unwrap_or(rest2.len());
+                if end == 0 {
+                    return Err(err("empty field name"));
+                }
+                steps.push(Step::Field(Arc::from(&rest2[..end])));
+                rest = &rest2[end..];
+            }
+        }
+        if steps.is_empty() {
+            return Err(err("empty path"));
+        }
+        Ok(Path { steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Record;
+
+    fn restaurant() -> Value {
+        Value::Record(
+            Record::new().with("name", "chez dyno").with(
+                "addr",
+                Value::Array(vec![
+                    Value::Record(Record::new().with("zip", 94301i64).with("state", "CA")),
+                    Value::Record(Record::new().with("zip", 10001i64).with("state", "NY")),
+                ]),
+            ),
+        )
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["name", "addr[0].zip", "a.b.c", "a[1][2].b"] {
+            let p: Path = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", ".", "a.", "a[", "a[x]", "a..b"] {
+            assert!(s.parse::<Path>().is_err(), "expected error for {s:?}");
+        }
+    }
+
+    #[test]
+    fn eval_nested() {
+        let v = restaurant();
+        let p: Path = "addr[0].zip".parse().unwrap();
+        assert_eq!(p.eval(&v), &Value::Long(94301));
+        let p: Path = "addr[1].state".parse().unwrap();
+        assert_eq!(p.eval(&v), &Value::str("NY"));
+    }
+
+    #[test]
+    fn eval_missing_yields_null() {
+        let v = restaurant();
+        for s in ["addr[9].zip", "nope", "name.x", "addr.zip"] {
+            let p: Path = s.parse().unwrap();
+            assert!(p.eval(&v).is_null(), "{s} should be null");
+        }
+    }
+
+    #[test]
+    fn head_field() {
+        let p: Path = "addr[0].zip".parse().unwrap();
+        assert_eq!(p.head_field(), Some("addr"));
+    }
+}

@@ -1,0 +1,441 @@
+//! JSON-like values with total ordering and hashing.
+//!
+//! Join keys and group-by keys must be hashable and totally ordered even when
+//! they are doubles, so [`Value`] implements `Eq`/`Ord`/`Hash` with
+//! IEEE-754 total ordering for [`Value::Double`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A semi-structured value: the unit of data flowing through every DYNO
+/// operator, split, shuffle and statistic.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absent / unknown. Sorts before everything else; joins never match on it.
+    Null,
+    /// Boolean scalar.
+    Bool(bool),
+    /// 64-bit signed integer (Jaql `long`).
+    Long(i64),
+    /// 64-bit IEEE float (Jaql `double`).
+    Double(f64),
+    /// Immutable UTF-8 string; `Arc` so copies during shuffles are cheap.
+    Str(Arc<str>),
+    /// Ordered array of values (Jaql array).
+    Array(Vec<Value>),
+    /// Record with named fields (Jaql/JSON object, Hive struct).
+    Record(Record),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret the value as a boolean predicate result.
+    ///
+    /// Follows Jaql semantics: only `true` is truthy; `null`, `false` and
+    /// non-boolean values are falsy (a predicate evaluating to a non-boolean
+    /// simply filters the record out rather than erroring).
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// The value as `i64`, if it is numeric with an integral representation.
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Value::Long(v) => Some(*v),
+            Value::Double(v) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Long(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a record, if it is one.
+    pub fn as_record(&self) -> Option<&Record> {
+        match self {
+            Value::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Rank used to order values of different types (Null < Bool < numbers <
+    /// Str < Array < Record), mirroring the ordering Jaql uses for sorting
+    /// heterogeneous data.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Long(_) | Value::Double(_) => 2,
+            Value::Str(_) => 3,
+            Value::Array(_) => 4,
+            Value::Record(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Long(a), Long(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Long(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Long(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Array(a), Array(b)) => a.cmp(b),
+            (Record(a), Record(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Longs and integral doubles must hash identically because they
+            // compare equal (join keys may arrive as either).
+            Value::Long(v) => {
+                state.write_u8(2);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Double(v) => {
+                state.write_u8(2);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Array(a) => {
+                state.write_u8(4);
+                a.hash(state);
+            }
+            Value::Record(r) => {
+                state.write_u8(5);
+                r.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Long(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+/// A record: an ordered list of `(name, value)` fields.
+///
+/// Field order is preserved (it matters for display and encoding), but
+/// equality, ordering and hashing are *insensitive* to it — two records with
+/// the same fields in different order are the same record, as in Jaql.
+#[derive(Debug, Clone, Default)]
+pub struct Record {
+    fields: Vec<(Arc<str>, Value)>,
+}
+
+impl Record {
+    /// Create an empty record.
+    pub fn new() -> Self {
+        Record { fields: Vec::new() }
+    }
+
+    /// Create a record with pre-allocated capacity for `n` fields.
+    pub fn with_capacity(n: usize) -> Self {
+        Record {
+            fields: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builder-style field append.
+    pub fn with(mut self, name: impl AsRef<str>, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Set a field, replacing any existing field of the same name.
+    pub fn set(&mut self, name: impl AsRef<str>, value: impl Into<Value>) {
+        let name = name.as_ref();
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(n, _)| &**n == name) {
+            slot.1 = value;
+        } else {
+            self.fields.push((Arc::from(name), value));
+        }
+    }
+
+    /// Look up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .find(|(n, _)| &**n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Remove a field by name, returning its value if present.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        let idx = self.fields.iter().position(|(n, _)| &**n == name)?;
+        Some(self.fields.remove(idx).1)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(n, v)| (&**n, v))
+    }
+
+    /// Merge all fields of `other` into `self` (used when joining two
+    /// records); `other`'s fields win on name collisions, matching the
+    /// behaviour of Jaql's record union in join outputs.
+    pub fn merge(&mut self, other: &Record) {
+        for (n, v) in other.iter() {
+            self.set(n, v.clone());
+        }
+    }
+
+    /// Fields sorted by name — the canonical form used for Eq/Ord/Hash.
+    fn sorted(&self) -> Vec<(&str, &Value)> {
+        let mut v: Vec<_> = self.iter().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+}
+
+impl PartialEq for Record {
+    fn eq(&self, other: &Self) -> bool {
+        self.sorted() == other.sorted()
+    }
+}
+impl Eq for Record {}
+
+impl PartialOrd for Record {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Record {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sorted().cmp(&other.sorted())
+    }
+}
+
+impl Hash for Record {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for (n, v) in self.sorted() {
+            n.hash(state);
+            v.hash(state);
+        }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}:{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, Value)> for Record {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut r = Record::new();
+        for (n, v) in iter {
+            r.set(n, v);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn long_and_integral_double_are_equal_and_hash_equal() {
+        let a = Value::Long(42);
+        let b = Value::Double(42.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn nan_is_totally_ordered() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Double(1.0) < nan);
+    }
+
+    #[test]
+    fn type_rank_ordering() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Long(0));
+        assert!(Value::Long(i64::MAX) < Value::str(""));
+        assert!(Value::str("zzz") < Value::Array(vec![]));
+        assert!(Value::Array(vec![Value::Long(1)]) < Value::Record(Record::new()));
+    }
+
+    #[test]
+    fn record_field_order_is_irrelevant_for_eq_and_hash() {
+        let a = Record::new().with("x", 1i64).with("y", 2i64);
+        let b = Record::new().with("y", 2i64).with("x", 1i64);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn record_set_replaces() {
+        let mut r = Record::new().with("x", 1i64);
+        r.set("x", 9i64);
+        assert_eq!(r.get("x"), Some(&Value::Long(9)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn record_merge_overwrites() {
+        let mut a = Record::new().with("x", 1i64).with("y", 2i64);
+        let b = Record::new().with("y", 7i64).with("z", 8i64);
+        a.merge(&b);
+        assert_eq!(a.get("y"), Some(&Value::Long(7)));
+        assert_eq!(a.get("z"), Some(&Value::Long(8)));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn truthiness_follows_jaql() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Long(1).is_truthy());
+    }
+
+    #[test]
+    fn display_is_jsonish() {
+        let r = Record::new()
+            .with("name", "ok")
+            .with("tags", Value::Array(vec![Value::Long(1), Value::Null]));
+        assert_eq!(r.to_string(), "{name:\"ok\",tags:[1,null]}");
+    }
+}

@@ -1,0 +1,369 @@
+//! Compiling a physical join plan into a DAG of MapReduce jobs.
+//!
+//! One repartition join → one map+reduce job. A maximal run of chained
+//! broadcast joins → one map-only job with several build sides. The DAG's
+//! dependency edges are the materialization points; its *leaf jobs* (jobs
+//! whose inputs are all relations, not other jobs) are what DYNOPT's
+//! execution strategies pick from (§5.3).
+
+use std::collections::BTreeSet;
+
+use dyno_query::{JoinBlock, JoinMethod, PhysNode};
+
+/// A job input: either a join-block leaf (base scan / materialized
+/// intermediate) or the output of another job in the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Input {
+    /// Index into [`JoinBlock::leaves`].
+    Leaf(usize),
+    /// Output of another job (by job id).
+    Job(usize),
+}
+
+/// One join applied inside a job: its equi-conditions (probe-side
+/// attribute first) and the post-join predicates it must apply.
+#[derive(Debug, Clone)]
+pub struct JoinStep {
+    /// `(left/probe attr, right/build attr)` equality pairs.
+    pub conds: Vec<(String, String)>,
+    /// Indices into `JoinBlock::post_preds` newly applicable here.
+    pub post_preds: Vec<usize>,
+}
+
+/// What a job computes.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Map-only materialization of a single leaf (single-relation plans).
+    Scan {
+        /// The leaf to scan and filter.
+        input: Input,
+    },
+    /// A repartition join: full MapReduce job.
+    Repartition {
+        /// One shuffled input.
+        left: Input,
+        /// The other shuffled input.
+        right: Input,
+        /// Conditions + post-join predicates.
+        step: JoinStep,
+    },
+    /// One map-only job evaluating one or more broadcast joins (a chain).
+    BroadcastChain {
+        /// The probe (large) input streamed through the mappers.
+        probe: Input,
+        /// Build sides in probe order: the probe record passes through
+        /// each hash table in turn.
+        builds: Vec<(Input, JoinStep)>,
+    },
+}
+
+/// A node of the job DAG.
+#[derive(Debug, Clone)]
+pub struct JobNode {
+    /// Job id == index in [`JobDag::jobs`].
+    pub id: usize,
+    /// Jobs whose outputs this job reads.
+    pub deps: Vec<usize>,
+    /// The work.
+    pub kind: JobKind,
+    /// Leaves of the join block covered by this job's output.
+    pub leaves: BTreeSet<usize>,
+    /// Joins evaluated by this job and all its dependencies — the paper's
+    /// *uncertainty* metric (§5.3: estimation error grows with the number
+    /// of joins \[27\]).
+    pub join_count: usize,
+}
+
+impl JobNode {
+    /// Joins evaluated in this job alone.
+    pub fn local_join_count(&self) -> usize {
+        match &self.kind {
+            JobKind::Scan { .. } => 0,
+            JobKind::Repartition { .. } => 1,
+            JobKind::BroadcastChain { builds, .. } => builds.len(),
+        }
+    }
+}
+
+/// The compiled job DAG.
+#[derive(Debug, Clone, Default)]
+pub struct JobDag {
+    /// Jobs in dependency order (a job's deps always precede it).
+    pub jobs: Vec<JobNode>,
+}
+
+impl JobDag {
+    /// Compile `plan` (over `block`) into jobs.
+    pub fn compile(block: &JoinBlock, plan: &PhysNode) -> JobDag {
+        let mut dag = JobDag::default();
+        let root = dag.compile_node(block, plan);
+        // A bare leaf plan still needs one job to materialize its filters.
+        if let Input::Leaf(i) = root {
+            let leaves = BTreeSet::from([i]);
+            dag.jobs.push(JobNode {
+                id: 0,
+                deps: Vec::new(),
+                kind: JobKind::Scan {
+                    input: Input::Leaf(i),
+                },
+                leaves,
+                join_count: 0,
+            });
+        }
+        dag
+    }
+
+    /// Jobs with no dependency on any *unexecuted* job — given the set of
+    /// already-finished job ids, the currently runnable jobs.
+    pub fn runnable(&self, done: &BTreeSet<usize>) -> Vec<usize> {
+        self.jobs
+            .iter()
+            .filter(|j| !done.contains(&j.id) && j.deps.iter().all(|d| done.contains(d)))
+            .map(|j| j.id)
+            .collect()
+    }
+
+    /// Leaf jobs: all inputs are join-block leaves.
+    pub fn leaf_jobs(&self) -> Vec<usize> {
+        self.runnable(&BTreeSet::new())
+    }
+
+    /// The final job (the DAG root). The compiler emits jobs bottom-up, so
+    /// the last job is the root.
+    pub fn root(&self) -> usize {
+        self.jobs.len() - 1
+    }
+
+    fn compile_node(&mut self, block: &JoinBlock, node: &PhysNode) -> Input {
+        match node {
+            PhysNode::Leaf(i) => Input::Leaf(*i),
+            PhysNode::Join {
+                method: JoinMethod::Repartition,
+                left,
+                right,
+                ..
+            } => {
+                let li = self.compile_node(block, left);
+                let ri = self.compile_node(block, right);
+                let step = self.join_step(block, left, right);
+                let leaves = node.leaf_set();
+                let deps = [li, ri]
+                    .iter()
+                    .filter_map(|inp| match inp {
+                        Input::Job(j) => Some(*j),
+                        Input::Leaf(_) => None,
+                    })
+                    .collect::<Vec<_>>();
+                let join_count = 1 + deps
+                    .iter()
+                    .map(|&d| self.jobs[d].join_count)
+                    .sum::<usize>();
+                let id = self.jobs.len();
+                self.jobs.push(JobNode {
+                    id,
+                    deps,
+                    kind: JobKind::Repartition {
+                        left: li,
+                        right: ri,
+                        step,
+                    },
+                    leaves,
+                    join_count,
+                });
+                Input::Job(id)
+            }
+            PhysNode::Join {
+                method: JoinMethod::Broadcast,
+                ..
+            } => {
+                // Collect the maximal chain ending at this node: descend
+                // through `chained` joins on the probe side.
+                let mut builds_rev: Vec<(&PhysNode, &PhysNode, &PhysNode)> = Vec::new();
+                let mut cur = node;
+                let probe_node = loop {
+                    match cur {
+                        PhysNode::Join {
+                            method: JoinMethod::Broadcast,
+                            left,
+                            right,
+                            chained,
+                        } => {
+                            builds_rev.push((cur, left, right));
+                            if *chained {
+                                cur = left;
+                            } else {
+                                break left.as_ref();
+                            }
+                        }
+                        _ => unreachable!("chain descent stays on broadcast joins"),
+                    }
+                };
+                let probe_input = self.compile_node(block, probe_node);
+                let mut deps: Vec<usize> = Vec::new();
+                if let Input::Job(j) = probe_input {
+                    deps.push(j);
+                }
+                let mut builds = Vec::new();
+                for (join_node, left, right) in builds_rev.into_iter().rev() {
+                    let bi = self.compile_node(block, right);
+                    if let Input::Job(j) = bi {
+                        deps.push(j);
+                    }
+                    let step = self.join_step(block, left, right);
+                    let _ = join_node;
+                    builds.push((bi, step));
+                }
+                let leaves = node.leaf_set();
+                let join_count = builds.len()
+                    + deps
+                        .iter()
+                        .map(|&d| self.jobs[d].join_count)
+                        .sum::<usize>();
+                let id = self.jobs.len();
+                self.jobs.push(JobNode {
+                    id,
+                    deps,
+                    kind: JobKind::BroadcastChain {
+                        probe: probe_input,
+                        builds,
+                    },
+                    leaves,
+                    join_count,
+                });
+                Input::Job(id)
+            }
+        }
+    }
+
+    fn join_step(&self, block: &JoinBlock, left: &PhysNode, right: &PhysNode) -> JoinStep {
+        let lset = left.leaf_set();
+        let rset = right.leaf_set();
+        let conds = block.conditions_between(&lset, &rset);
+        let la = block.aliases_of(&lset);
+        let ra = block.aliases_of(&rset);
+        let out: BTreeSet<String> = la.union(&ra).cloned().collect();
+        let post_preds = block.newly_applicable_preds(&out, &la, &ra);
+        JoinStep { conds, post_preds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_query::{JoinMethod, Predicate, QuerySpec, ScanDef, SchemaCatalog};
+
+    fn block4() -> JoinBlock {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("a"), &["a_k"]);
+        cat.add_scan(&ScanDef::table("b"), &["b_ak", "b_k"]);
+        cat.add_scan(&ScanDef::table("c"), &["c_bk", "c_k"]);
+        cat.add_scan(&ScanDef::table("d"), &["d_ck"]);
+        let spec = QuerySpec::new(
+            "q",
+            vec![
+                ScanDef::table("a"),
+                ScanDef::table("b"),
+                ScanDef::table("c"),
+                ScanDef::table("d"),
+            ],
+        )
+        .filter(Predicate::attr_eq("a_k", "b_ak"))
+        .filter(Predicate::attr_eq("b_k", "c_bk"))
+        .filter(Predicate::attr_eq("c_k", "d_ck"))
+        .filter(Predicate::udf("crosscheck", &["a_k", "c_k"]));
+        JoinBlock::compile(&spec, &cat).unwrap()
+    }
+
+    #[test]
+    fn repartition_tree_one_job_per_join() {
+        let block = block4();
+        // ((a ⋈r b) ⋈r c) ⋈r d
+        let plan = PhysNode::join(
+            JoinMethod::Repartition,
+            PhysNode::join(
+                JoinMethod::Repartition,
+                PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1)),
+                PhysNode::Leaf(2),
+            ),
+            PhysNode::Leaf(3),
+        );
+        let dag = JobDag::compile(&block, &plan);
+        assert_eq!(dag.jobs.len(), 3);
+        assert_eq!(dag.leaf_jobs(), vec![0]);
+        assert_eq!(dag.root(), 2);
+        assert_eq!(dag.jobs[2].join_count, 3);
+        // the a⋈b⋈c job carries the crosscheck UDF (first covers {a,c})
+        match &dag.jobs[1].kind {
+            JobKind::Repartition { step, .. } => assert_eq!(step.post_preds, vec![0]),
+            k => panic!("unexpected kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_broadcasts_fuse_into_one_job() {
+        let block = block4();
+        // ((a ⋈b b) ⋈b· c) ⋈r d   (second broadcast chained)
+        let inner = PhysNode::join(JoinMethod::Broadcast, PhysNode::Leaf(0), PhysNode::Leaf(1));
+        let chained = PhysNode::Join {
+            method: JoinMethod::Broadcast,
+            left: Box::new(inner),
+            right: Box::new(PhysNode::Leaf(2)),
+            chained: true,
+        };
+        let plan = PhysNode::join(JoinMethod::Repartition, chained, PhysNode::Leaf(3));
+        let dag = JobDag::compile(&block, &plan);
+        assert_eq!(dag.jobs.len(), 2, "chain fuses into a single map-only job");
+        match &dag.jobs[0].kind {
+            JobKind::BroadcastChain { probe, builds } => {
+                assert_eq!(*probe, Input::Leaf(0));
+                assert_eq!(builds.len(), 2);
+                assert_eq!(builds[0].0, Input::Leaf(1));
+                assert_eq!(builds[1].0, Input::Leaf(2));
+                // conditions oriented probe-side-first
+                assert_eq!(builds[0].1.conds, vec![("a_k".into(), "b_ak".into())]);
+                assert_eq!(builds[1].1.conds, vec![("b_k".into(), "c_bk".into())]);
+            }
+            k => panic!("unexpected kind {k:?}"),
+        }
+        assert_eq!(dag.jobs[0].local_join_count(), 2);
+        assert_eq!(dag.jobs[1].join_count, 3);
+    }
+
+    #[test]
+    fn unchained_broadcasts_stay_separate_jobs() {
+        let block = block4();
+        let inner = PhysNode::join(JoinMethod::Broadcast, PhysNode::Leaf(0), PhysNode::Leaf(1));
+        let outer = PhysNode::join(JoinMethod::Broadcast, inner, PhysNode::Leaf(2));
+        let dag = JobDag::compile(&block, &outer);
+        assert_eq!(dag.jobs.len(), 2);
+        assert_eq!(dag.jobs[1].deps, vec![0]);
+    }
+
+    #[test]
+    fn bushy_plan_has_two_leaf_jobs() {
+        let block = block4();
+        let left = PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1));
+        let right = PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(2), PhysNode::Leaf(3));
+        let plan = PhysNode::join(JoinMethod::Repartition, left, right);
+        let dag = JobDag::compile(&block, &plan);
+        assert_eq!(dag.jobs.len(), 3);
+        assert_eq!(dag.leaf_jobs(), vec![0, 1]);
+        let mut done = BTreeSet::new();
+        done.insert(0usize);
+        assert_eq!(dag.runnable(&done), vec![1]);
+        done.insert(1);
+        assert_eq!(dag.runnable(&done), vec![2]);
+    }
+
+    #[test]
+    fn single_leaf_plan_gets_a_scan_job() {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("solo"), &["x"]);
+        let spec =
+            QuerySpec::new("q1", vec![ScanDef::table("solo")]).filter(Predicate::eq("x", 1i64));
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let dag = JobDag::compile(&block, &PhysNode::Leaf(0));
+        assert_eq!(dag.jobs.len(), 1);
+        assert!(matches!(dag.jobs[0].kind, JobKind::Scan { .. }));
+    }
+}

@@ -1,0 +1,487 @@
+//! The execution engine: resolves job inputs, runs jobs (serially or
+//! co-scheduled), materializes outputs to the DFS, records statistics in
+//! the metastore, and evaluates the post-join-block group-by/order-by
+//! operators the Jaql compiler appends (§5.1 "Executing the whole query").
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dyno_cluster::{Cluster, Coord, JobProfile, JobTiming, TaskProfile};
+use dyno_data::{encoded_len, Record, Value};
+use dyno_query::{
+    AggFn, GroupBySpec, JoinBlock, OrderBySpec, Predicate, UdfRegistry,
+};
+use dyno_stats::{AttrSpec, Metastore, TableStats};
+use dyno_storage::{Dfs, DfsError};
+
+use crate::dag::{Input, JobDag, JobKind};
+use crate::jobs::{self, BroadcastOom, InputData};
+use crate::leaf::leaf_file;
+
+/// Execution errors.
+#[derive(Debug)]
+pub enum ExecError {
+    /// DFS file problems (missing table, etc.).
+    Dfs(DfsError),
+    /// A broadcast build side did not fit in task memory at runtime.
+    Oom(BroadcastOom),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Dfs(e) => write!(f, "{e}"),
+            ExecError::Oom(o) => write!(
+                f,
+                "broadcast OOM in job {}: build side {} bytes exceeds budget {}",
+                o.job, o.build_bytes, o.budget
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<DfsError> for ExecError {
+    fn from(e: DfsError) -> Self {
+        ExecError::Dfs(e)
+    }
+}
+
+impl From<BroadcastOom> for ExecError {
+    fn from(e: BroadcastOom) -> Self {
+        ExecError::Oom(e)
+    }
+}
+
+/// Result of one executed job.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// Id within the DAG it was compiled from.
+    pub job_id: usize,
+    /// DFS file the output was materialized to.
+    pub file: String,
+    /// Physical output row count.
+    pub rows: u64,
+    /// Output statistics at simulated scale (rows, bytes, join columns).
+    pub stats: TableStats,
+    /// FROM-clause aliases the output covers.
+    pub aliases: BTreeSet<String>,
+    /// `JoinBlock::post_preds` indices this job applied.
+    pub applied_preds: Vec<usize>,
+    /// Timing from the cluster simulator.
+    pub timing: JobTiming,
+}
+
+/// The execution engine. Owns handles to the DFS, coordination service,
+/// UDF registry, statistics metastore and the scale model; the cluster is
+/// passed into each call because callers interleave their own simulated
+/// time (optimizer calls, §6.2).
+pub struct Executor {
+    /// Simulated filesystem.
+    pub dfs: Dfs,
+    /// Coordination service (stats publication, pilot-run counters).
+    pub coord: Coord,
+    /// UDFs available to queries.
+    pub udfs: UdfRegistry,
+    /// Statistics metastore; job outputs are registered here under their
+    /// `file(...)` signature for re-optimization and reuse.
+    pub metastore: Metastore,
+    temp_counter: AtomicUsize,
+}
+
+impl Executor {
+    /// A new engine over the given substrate handles. Scales are carried
+    /// by the DFS files themselves (see `dyno-storage`).
+    pub fn new(dfs: Dfs, coord: Coord, udfs: UdfRegistry) -> Self {
+        Executor {
+            dfs,
+            coord,
+            udfs,
+            metastore: Metastore::new(),
+            temp_counter: AtomicUsize::new(0),
+        }
+    }
+
+    fn temp_name(&self, query: &str, job_id: usize) -> String {
+        let n = self.temp_counter.fetch_add(1, Ordering::Relaxed);
+        format!("tmp/{query}_{job_id}_{n}")
+    }
+
+    fn resolve(
+        &self,
+        block: &JoinBlock,
+        input: Input,
+        outputs: &BTreeMap<usize, JobOutput>,
+    ) -> Result<InputData, ExecError> {
+        match input {
+            Input::Leaf(i) => Ok(InputData {
+                file: self.dfs.file(leaf_file(&block.leaves[i]))?,
+                leaf: Some(i),
+            }),
+            Input::Job(j) => {
+                let out = outputs
+                    .get(&j)
+                    .unwrap_or_else(|| panic!("job {j} executed out of order"));
+                Ok(InputData {
+                    file: self.dfs.file(&out.file)?,
+                    leaf: None,
+                })
+            }
+        }
+    }
+
+    fn preds_of<'a>(&self, block: &'a JoinBlock, idx: &[usize]) -> Vec<&'a Predicate> {
+        idx.iter().map(|&i| &block.post_preds[i].pred).collect()
+    }
+
+    /// Execute the given (runnable) jobs of `dag`. With `parallel`, all
+    /// jobs are submitted to the cluster together and share slots under
+    /// FIFO (§5.3's MO/`-2` strategies); otherwise they run one after
+    /// another. `collect_stats` controls output statistics collection
+    /// (§5.4 skips it when no re-optimization will follow).
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_jobs(
+        &self,
+        cluster: &mut Cluster,
+        block: &JoinBlock,
+        dag: &JobDag,
+        ids: &[usize],
+        outputs: &BTreeMap<usize, JobOutput>,
+        parallel: bool,
+        collect_stats: bool,
+    ) -> Result<Vec<JobOutput>, ExecError> {
+        let mut computed = Vec::new();
+        for &id in ids {
+            let node = &dag.jobs[id];
+            let aliases = block.aliases_of(&node.leaves);
+            let stat_attrs: Vec<AttrSpec> = if collect_stats {
+                block
+                    .attrs_needed_later(&aliases)
+                    .into_iter()
+                    .map(AttrSpec::field)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let name = format!("{}#{id}", block.query_name);
+            let (data, applied) = match &node.kind {
+                JobKind::Scan { input } => {
+                    let inp = self.resolve(block, *input, outputs)?;
+                    (
+                        jobs::run_scan(&name, block, &inp, &self.udfs, &stat_attrs, &self.coord),
+                        Vec::new(),
+                    )
+                }
+                JobKind::Repartition { left, right, step } => {
+                    let l = self.resolve(block, *left, outputs)?;
+                    let r = self.resolve(block, *right, outputs)?;
+                    let post = self.preds_of(block, &step.post_preds);
+                    (
+                        jobs::run_repartition(
+                            &name,
+                            block,
+                            &l,
+                            &r,
+                            step,
+                            &post,
+                            &self.udfs,
+                            cluster.config(),
+                            &stat_attrs,
+                            &self.coord,
+                        ),
+                        step.post_preds.clone(),
+                    )
+                }
+                JobKind::BroadcastChain { probe, builds } => {
+                    let p = self.resolve(block, *probe, outputs)?;
+                    let mut resolved = Vec::new();
+                    let mut post_for_step = Vec::new();
+                    let mut applied = Vec::new();
+                    for (inp, step) in builds {
+                        resolved.push((self.resolve(block, *inp, outputs)?, step.clone()));
+                        post_for_step.push(self.preds_of(block, &step.post_preds));
+                        applied.extend(step.post_preds.iter().copied());
+                    }
+                    (
+                        jobs::run_broadcast_chain(
+                            &name,
+                            block,
+                            &p,
+                            &resolved,
+                            &post_for_step,
+                            &self.udfs,
+                            cluster.config(),
+                            &stat_attrs,
+                            &self.coord,
+                        )?,
+                        applied,
+                    )
+                }
+            };
+            computed.push((id, aliases, applied, data));
+        }
+
+        // Materialize outputs and register statistics.
+        let mut results: Vec<JobOutput> = Vec::with_capacity(computed.len());
+        let mut profiles: Vec<JobProfile> = Vec::with_capacity(computed.len());
+        for (id, aliases, applied, data) in computed {
+            let file = self.temp_name(&block.query_name, id);
+            let rows = data.output.len() as u64;
+            let out_scale = data.out_scale;
+            self.dfs.overwrite_file(&file, data.output, out_scale);
+            let stats = data.stats.finish(Some(out_scale.up(rows) as f64));
+            self.metastore.put(format!("file({file})"), stats.clone());
+            profiles.push(data.profile);
+            results.push(JobOutput {
+                job_id: id,
+                file,
+                rows,
+                stats,
+                aliases,
+                applied_preds: applied,
+                timing: JobTiming {
+                    name: String::new(),
+                    submitted: 0.0,
+                    finished: 0.0,
+                    elapsed: 0.0,
+                    map_slot_secs: 0.0,
+                    reduce_slot_secs: 0.0,
+                },
+            });
+        }
+
+        // Charge the cluster for the time.
+        if parallel {
+            let timings = cluster.run_jobs(profiles);
+            for (r, t) in results.iter_mut().zip(timings) {
+                r.timing = t;
+            }
+        } else {
+            for (r, p) in results.iter_mut().zip(profiles) {
+                r.timing = cluster.run_job(p);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Execute an entire job DAG (static execution: DYNOPT-SIMPLE,
+    /// RELOPT, BESTSTATICJAQL). With `parallel`, each wave of runnable
+    /// jobs is co-scheduled (`DYNOPT-SIMPLE_MO`); otherwise jobs run one
+    /// at a time in dependency order (`_SO`). Returns the root job's
+    /// output.
+    pub fn run_dag(
+        &self,
+        cluster: &mut Cluster,
+        block: &JoinBlock,
+        dag: &JobDag,
+        parallel: bool,
+        collect_stats: bool,
+    ) -> Result<JobOutput, ExecError> {
+        let mut outputs: BTreeMap<usize, JobOutput> = BTreeMap::new();
+        let mut done: BTreeSet<usize> = BTreeSet::new();
+        while done.len() < dag.jobs.len() {
+            let wave = dag.runnable(&done);
+            assert!(!wave.is_empty(), "DAG has a cycle or dangling dep");
+            let batch = self.execute_jobs(
+                cluster,
+                block,
+                dag,
+                &wave,
+                &outputs,
+                parallel,
+                collect_stats,
+            )?;
+            for out in batch {
+                done.insert(out.job_id);
+                outputs.insert(out.job_id, out);
+            }
+        }
+        Ok(outputs
+            .remove(&dag.root())
+            .expect("root executed last"))
+    }
+
+    /// Read back a materialized result.
+    pub fn read_result(&self, file: &str) -> Result<Vec<Value>, ExecError> {
+        Ok(self.dfs.file(file)?.records().to_vec())
+    }
+
+    /// Run the GROUP BY job the compiler appends after a join block.
+    /// Returns the aggregated records (also materialized to the DFS as
+    /// `<input>.grouped`) and the job timing.
+    pub fn run_group_by(
+        &self,
+        cluster: &mut Cluster,
+        input_file: &str,
+        spec: &GroupBySpec,
+    ) -> Result<(Vec<Value>, JobTiming), ExecError> {
+        let file = self.dfs.file(input_file)?;
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        for rec in file.records() {
+            let key: Vec<Value> = spec.keys.iter().map(|p| p.eval(rec).clone()).collect();
+            let states = groups.entry(key).or_insert_with(|| {
+                spec.aggs
+                    .iter()
+                    .map(|(_, f, _)| AggState::new(*f))
+                    .collect()
+            });
+            for (state, (_, _, path)) in states.iter_mut().zip(&spec.aggs) {
+                state.observe(path.eval(rec));
+            }
+        }
+        let mut result: Vec<Value> = groups
+            .into_iter()
+            .map(|(key, states)| {
+                let mut out = Record::new();
+                for (p, v) in spec.keys.iter().zip(key) {
+                    out.set(p.to_string(), v);
+                }
+                for (state, (name, _, _)) in states.into_iter().zip(&spec.aggs) {
+                    out.set(name, state.finish());
+                }
+                Value::Record(out)
+            })
+            .collect();
+        result.sort(); // deterministic output order
+
+        let profile = self.aggregate_profile("group_by", &file, &result, cluster);
+        let timing = cluster.run_job(profile);
+        let out_name = format!("{input_file}.grouped");
+        self.dfs.overwrite_file(&out_name, result.clone(), file.scale());
+        Ok((result, timing))
+    }
+
+    /// Run the ORDER BY (+LIMIT) job: a single-reducer total sort.
+    pub fn run_order_by(
+        &self,
+        cluster: &mut Cluster,
+        input_file: &str,
+        spec: &OrderBySpec,
+    ) -> Result<(Vec<Value>, JobTiming), ExecError> {
+        let file = self.dfs.file(input_file)?;
+        let mut records = file.records().to_vec();
+        records.sort_by(|a, b| {
+            for (path, desc) in &spec.keys {
+                let ord = path.eval(a).cmp(path.eval(b));
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        if let Some(limit) = spec.limit {
+            records.truncate(limit);
+        }
+        let profile = self.aggregate_profile("order_by", &file, &records, cluster);
+        let timing = cluster.run_job(profile);
+        let out_name = format!("{input_file}.ordered");
+        self.dfs.overwrite_file(&out_name, records.clone(), file.scale());
+        Ok((records, timing))
+    }
+
+    fn aggregate_profile(
+        &self,
+        op: &str,
+        input: &Arc<dyno_storage::DfsFile>,
+        output: &[Value],
+        cluster: &Cluster,
+    ) -> JobProfile {
+        let scale = input.scale();
+        let map_tasks: Vec<TaskProfile> = input
+            .splits()
+            .iter()
+            .map(|s| TaskProfile {
+                input_bytes: s.sim_bytes,
+                output_bytes: s.sim_bytes, // map emits (key, record) pairs
+                records_in: scale.up(s.record_count() as u64),
+                sort_records: scale.up(s.record_count() as u64),
+                ..TaskProfile::default()
+            })
+            .collect();
+        let out_bytes: u64 =
+            scale.up(output.iter().map(|v| encoded_len(v) as u64).sum::<u64>());
+        let shuffle = input.sim_bytes();
+        let reducers = if op == "order_by" {
+            1 // total order through a single reducer
+        } else {
+            ((shuffle as f64 / cluster.config().bytes_per_reducer).ceil() as usize)
+                .clamp(1, cluster.config().reduce_slots())
+        };
+        let reduce_tasks: Vec<TaskProfile> = (0..reducers)
+            .map(|_| TaskProfile {
+                input_bytes: shuffle / reducers as u64,
+                output_bytes: out_bytes / reducers as u64,
+                records_in: input.sim_records() / reducers as u64,
+                ..TaskProfile::default()
+            })
+            .collect();
+        JobProfile {
+            name: format!("{op}({})", input.name()),
+            map_tasks,
+            reduce_tasks,
+            shuffle_bytes: shuffle,
+        }
+    }
+}
+
+enum AggState {
+    Count(u64),
+    Sum(f64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg(f64, u64),
+}
+
+impl AggState {
+    fn new(f: AggFn) -> AggState {
+        match f {
+            AggFn::Count => AggState::Count(0),
+            AggFn::Sum => AggState::Sum(0.0),
+            AggFn::Min => AggState::Min(None),
+            AggFn::Max => AggState::Max(None),
+            AggFn::Avg => AggState::Avg(0.0, 0),
+        }
+    }
+
+    fn observe(&mut self, v: &Value) {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(s) => *s += v.as_double().unwrap_or(0.0),
+            AggState::Min(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            AggState::Max(m) => {
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            AggState::Avg(s, n) => {
+                if let Some(x) = v.as_double() {
+                    *s += x;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Long(n as i64),
+            AggState::Sum(s) => Value::Double(s),
+            AggState::Min(m) | AggState::Max(m) => m.unwrap_or(Value::Null),
+            AggState::Avg(s, n) => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(s / n as f64)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # dyno-exec
+//!
+//! Physical execution: turns a physical join plan into a DAG of MapReduce
+//! jobs, really executes those jobs over the records in the simulated DFS,
+//! profiles every task's byte/record volumes, and charges the
+//! discrete-event cluster for the time.
+//!
+//! The execution model follows the paper's platform exactly (§2.2):
+//!
+//! * a **repartition join** is one map+reduce job — both inputs scanned,
+//!   tagged, sorted and shuffled on the join key, joined in the reducers;
+//! * a **broadcast join** is a map-only job — build side(s) loaded into
+//!   per-task hash tables (per-node under the Hive/DistributedCache
+//!   profile), probe side streamed through; *no spilling*: a build side
+//!   that exceeds task memory aborts the job (`ExecError::BroadcastOom`),
+//!   the disaster scenario pilot runs exist to prevent;
+//! * **chained** broadcast joins share one map-only job (§2.2.2);
+//! * every job materializes its output to the DFS — the natural
+//!   re-optimization points DYNO exploits (§1);
+//! * finished tasks publish partial statistics through the coordination
+//!   service; the client merges them (§5.4).
+
+pub mod dag;
+pub mod engine;
+pub mod jobs;
+pub mod leaf;
+
+pub use dag::{Input, JobDag, JobKind, JobNode, JoinStep};
+pub use engine::{ExecError, Executor, JobOutput};

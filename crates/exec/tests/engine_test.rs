@@ -1,0 +1,289 @@
+//! Engine-level integration tests: DAG execution, aggregate jobs, OOM
+//! behaviour, statistics registration — over generated TPC-H data.
+
+use std::collections::BTreeMap;
+
+use dyno_cluster::{Cluster, ClusterConfig, Coord};
+use dyno_data::Value;
+use dyno_exec::{ExecError, Executor, JobDag};
+use dyno_query::{
+    AggFn, GroupBySpec, JoinBlock, JoinMethod, OrderBySpec, PhysNode, Predicate, QuerySpec,
+    ScanDef, UdfRegistry,
+};
+use dyno_storage::SimScale;
+use dyno_tpch::{catalog_for, TpchGenerator};
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        task_jitter: 0.0,
+        ..ClusterConfig::paper()
+    })
+}
+
+fn co_setup(divisor: u64) -> (Executor, JoinBlock) {
+    let env = TpchGenerator::new(1, SimScale::divisor(divisor)).generate();
+    let spec = QuerySpec::new(
+        "co",
+        vec![ScanDef::table("customer"), ScanDef::table("orders")],
+    )
+    .filter(Predicate::attr_eq("c_custkey", "o_custkey"));
+    let block = JoinBlock::compile(&spec, &catalog_for(&spec)).unwrap();
+    let exec = Executor::new(env.dfs, Coord::new(), UdfRegistry::new());
+    (exec, block)
+}
+
+#[test]
+fn repartition_and_broadcast_agree() {
+    let (exec, block) = co_setup(1000);
+    let mut cl = cluster();
+    let rep = PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1));
+    let bc = PhysNode::join(JoinMethod::Broadcast, PhysNode::Leaf(1), PhysNode::Leaf(0));
+    let r1 = exec
+        .run_dag(&mut cl, &block, &JobDag::compile(&block, &rep), false, false)
+        .unwrap();
+    let r2 = exec
+        .run_dag(&mut cl, &block, &JobDag::compile(&block, &bc), false, false)
+        .unwrap();
+    assert_eq!(r1.rows, r2.rows);
+    assert!(r1.rows > 0);
+    // both results materialized and readable
+    let a = exec.read_result(&r1.file).unwrap();
+    let b = exec.read_result(&r2.file).unwrap();
+    assert_eq!(a.len(), b.len());
+}
+
+#[test]
+fn broadcast_oom_is_detected_at_runtime() {
+    // At SF1/divisor=100 the customer table is tiny physically but its
+    // simulated size is what matters — shrink the memory budget instead.
+    let (exec, block) = co_setup(1000);
+    let mut cl = Cluster::new(ClusterConfig {
+        slot_memory_bytes: 1024, // nothing fits
+        task_jitter: 0.0,
+        ..ClusterConfig::paper()
+    });
+    let bc = PhysNode::join(JoinMethod::Broadcast, PhysNode::Leaf(1), PhysNode::Leaf(0));
+    let err = exec
+        .run_dag(&mut cl, &block, &JobDag::compile(&block, &bc), false, false)
+        .unwrap_err();
+    match err {
+        ExecError::Oom(o) => {
+            assert!(o.build_bytes > o.budget);
+        }
+        other => panic!("expected OOM, got {other}"),
+    }
+}
+
+#[test]
+fn job_output_statistics_are_registered() {
+    let (exec, block) = co_setup(1000);
+    let mut cl = cluster();
+    let plan = PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1));
+    let dag = JobDag::compile(&block, &plan);
+    let out = exec
+        .execute_jobs(&mut cl, &block, &dag, &[0], &BTreeMap::new(), false, true)
+        .unwrap()
+        .remove(0);
+    // stats registered under the file signature at simulated scale
+    let sig = format!("file({})", out.file);
+    let stats = exec.metastore.get(&sig).expect("stats registered");
+    assert_eq!(stats.rows, (out.rows * 1000) as f64);
+    // join columns for the *rest* of the block would be tracked; a
+    // two-relation block has nothing left, so no columns demanded
+    assert!(out.stats.rows >= 1.0);
+}
+
+#[test]
+fn group_by_and_order_by_jobs() {
+    let (exec, block) = co_setup(1000);
+    let mut cl = cluster();
+    let plan = PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1));
+    let out = exec
+        .run_dag(&mut cl, &block, &JobDag::compile(&block, &plan), false, false)
+        .unwrap();
+
+    let before = cl.now();
+    let (groups, timing) = exec
+        .run_group_by(
+            &mut cl,
+            &out.file,
+            &GroupBySpec {
+                keys: vec!["c_nationkey".parse().unwrap()],
+                aggs: vec![
+                    ("n".into(), AggFn::Count, "o_orderkey".parse().unwrap()),
+                    ("total".into(), AggFn::Sum, "o_totalprice".parse().unwrap()),
+                    ("maxp".into(), AggFn::Max, "o_totalprice".parse().unwrap()),
+                ],
+            },
+        )
+        .unwrap();
+    assert!(timing.finished > before, "group-by costs simulated time");
+    assert!(!groups.is_empty() && groups.len() <= 25);
+    // counts add back up to the join cardinality
+    let total: i64 = groups
+        .iter()
+        .map(|g| {
+            g.as_record()
+                .unwrap()
+                .get("n")
+                .unwrap()
+                .as_long()
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(total as u64, out.rows);
+
+    let (ordered, _) = exec
+        .run_order_by(
+            &mut cl,
+            &format!("{}.grouped", out.file),
+            &OrderBySpec {
+                keys: vec![("total".parse().unwrap(), true)],
+                limit: Some(5),
+            },
+        )
+        .unwrap();
+    assert!(ordered.len() <= 5);
+    let totals: Vec<f64> = ordered
+        .iter()
+        .map(|g| {
+            g.as_record()
+                .unwrap()
+                .get("total")
+                .unwrap()
+                .as_double()
+                .unwrap()
+        })
+        .collect();
+    assert!(totals.windows(2).all(|w| w[0] >= w[1]), "descending order");
+}
+
+#[test]
+fn post_join_udf_applied_exactly_once() {
+    let env = TpchGenerator::new(1, SimScale::divisor(1000)).generate();
+    let spec = QuerySpec::new(
+        "co_udf",
+        vec![ScanDef::table("customer"), ScanDef::table("orders")],
+    )
+    .filter(Predicate::attr_eq("c_custkey", "o_custkey"))
+    .filter(Predicate::udf("both", &["c_custkey", "o_orderkey"]));
+    let block = JoinBlock::compile(&spec, &catalog_for(&spec)).unwrap();
+    let mut udfs = UdfRegistry::new();
+    udfs.register("both", |args| {
+        Value::Bool(
+            args[0].as_long().unwrap_or(0) % 2 == 0 && args[1].as_long().unwrap_or(0) % 2 == 0,
+        )
+    });
+    let exec = Executor::new(env.dfs.clone(), Coord::new(), udfs);
+    let mut cl = cluster();
+    let plan = PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1));
+    let out = exec
+        .run_dag(&mut cl, &block, &JobDag::compile(&block, &plan), false, false)
+        .unwrap();
+    assert_eq!(out.applied_preds, vec![0]);
+    // every surviving record satisfies the UDF
+    for rec in exec.read_result(&out.file).unwrap() {
+        let r = rec.as_record().unwrap();
+        assert_eq!(r.get("c_custkey").unwrap().as_long().unwrap() % 2, 0);
+        assert_eq!(r.get("o_orderkey").unwrap().as_long().unwrap() % 2, 0);
+    }
+}
+
+#[test]
+fn missing_table_is_a_clean_error() {
+    let dfs = dyno_storage::Dfs::new();
+    let spec = QuerySpec::new("ghost", vec![ScanDef::table("nowhere")]);
+    let mut cat = dyno_query::SchemaCatalog::new();
+    cat.add_scan(&ScanDef::table("nowhere"), &["x"]);
+    let block = JoinBlock::compile(&spec, &cat).unwrap();
+    let exec = Executor::new(dfs, Coord::new(), UdfRegistry::new());
+    let mut cl = cluster();
+    let dag = JobDag::compile(&block, &PhysNode::Leaf(0));
+    assert!(matches!(
+        exec.run_dag(&mut cl, &block, &dag, false, false),
+        Err(ExecError::Dfs(_))
+    ));
+}
+
+#[test]
+fn chained_broadcast_equals_two_single_jobs() {
+    let env = TpchGenerator::new(1, SimScale::divisor(1000)).generate();
+    let spec = QuerySpec::new(
+        "con",
+        vec![
+            ScanDef::table("orders"),
+            ScanDef::table("customer"),
+            ScanDef::table("nation"),
+        ],
+    )
+    .filter(Predicate::attr_eq("o_custkey", "c_custkey"))
+    .filter(Predicate::attr_eq("c_nationkey", "n_nationkey"));
+    let block = JoinBlock::compile(&spec, &catalog_for(&spec)).unwrap();
+    let exec = Executor::new(env.dfs, Coord::new(), UdfRegistry::new());
+    let mut cl = cluster();
+
+    let unchained = PhysNode::join(
+        JoinMethod::Broadcast,
+        PhysNode::join(JoinMethod::Broadcast, PhysNode::Leaf(0), PhysNode::Leaf(1)),
+        PhysNode::Leaf(2),
+    );
+    let chained = PhysNode::Join {
+        method: JoinMethod::Broadcast,
+        left: Box::new(PhysNode::join(
+            JoinMethod::Broadcast,
+            PhysNode::Leaf(0),
+            PhysNode::Leaf(1),
+        )),
+        right: Box::new(PhysNode::Leaf(2)),
+        chained: true,
+    };
+    let dag_u = JobDag::compile(&block, &unchained);
+    let dag_c = JobDag::compile(&block, &chained);
+    assert_eq!(dag_u.jobs.len(), 2);
+    assert_eq!(dag_c.jobs.len(), 1);
+
+    let t0 = cl.now();
+    let out_u = exec.run_dag(&mut cl, &block, &dag_u, false, false).unwrap();
+    let t_unchained = cl.now() - t0;
+    let t1 = cl.now();
+    let out_c = exec.run_dag(&mut cl, &block, &dag_c, false, false).unwrap();
+    let t_chained = cl.now() - t1;
+
+    assert_eq!(out_u.rows, out_c.rows, "chaining must not change results");
+    assert!(
+        t_chained < t_unchained,
+        "chained {t_chained}s !< unchained {t_unchained}s (saves a job startup + materialization)"
+    );
+}
+
+#[test]
+fn failure_injection_costs_time_not_correctness() {
+    let env = TpchGenerator::new(1, SimScale::divisor(200)).generate();
+    let spec = QuerySpec::new(
+        "co_flaky",
+        vec![ScanDef::table("customer"), ScanDef::table("orders")],
+    )
+    .filter(Predicate::attr_eq("c_custkey", "o_custkey"));
+    let block = JoinBlock::compile(&spec, &catalog_for(&spec)).unwrap();
+    let exec = Executor::new(env.dfs, Coord::new(), UdfRegistry::new());
+    let plan = PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1));
+    let dag = JobDag::compile(&block, &plan);
+
+    let mut healthy = cluster();
+    let out_ok = exec.run_dag(&mut healthy, &block, &dag, false, false).unwrap();
+    let t_ok = healthy.now();
+
+    let mut flaky = Cluster::new(ClusterConfig {
+        task_jitter: 0.0,
+        task_failure_every: Some(2), // every other map task fails once
+        ..ClusterConfig::paper()
+    });
+    let out_flaky = exec.run_dag(&mut flaky, &block, &dag, false, false).unwrap();
+    let t_flaky = flaky.now();
+
+    assert_eq!(out_ok.rows, out_flaky.rows, "failures must not change answers");
+    assert!(
+        t_flaky > t_ok,
+        "re-executed tasks must cost time: {t_flaky} !> {t_ok}"
+    );
+}

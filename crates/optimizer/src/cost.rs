@@ -1,0 +1,136 @@
+//! The cost model (paper §5.2).
+//!
+//! Costs are abstract units linear in *bytes* processed — the paper's
+//! `|R|` — with constants ordered `c_rep ≫ c_probe > c_build > c_out`.
+//! The formulas deliberately ignore cluster characteristics ("although the
+//! formulas rely only on the size of the relations and not on the
+//! characteristics of the cluster …, they serve the basic purpose of
+//! favouring broadcast joins over repartition joins").
+
+/// Cost-model constants plus the broadcast memory budget.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Per-byte cost of shuffling an input through a repartition join.
+    pub c_rep: f64,
+    /// Per-byte cost of probing the big side of a broadcast join.
+    pub c_probe: f64,
+    /// Per-byte cost of building the broadcast hash table.
+    pub c_build: f64,
+    /// Per-byte cost of emitting join output.
+    pub c_out: f64,
+    /// Maximum bytes a broadcast build side may occupy (`M_max`).
+    pub memory_budget: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            c_rep: 10.0,
+            c_probe: 1.5,
+            c_build: 1.0,
+            c_out: 0.5,
+            memory_budget: 1.4e9, // ≈ the paper's 2 GB slots × usable fraction
+        }
+    }
+}
+
+impl CostModel {
+    /// Validate the constant ordering the paper requires.
+    pub fn is_well_formed(&self) -> bool {
+        self.c_rep > self.c_probe
+            && self.c_probe > self.c_build
+            && self.c_build > self.c_out
+            && self.c_out > 0.0
+            && self.memory_budget > 0.0
+    }
+
+    /// `C(R ⋈r S) = c_rep(|R|+|S|) + c_out|R ⋈ S|` (sizes in bytes).
+    pub fn repartition_join(&self, left_bytes: f64, right_bytes: f64, out_bytes: f64) -> f64 {
+        self.c_rep * (left_bytes + right_bytes) + self.c_out * out_bytes
+    }
+
+    /// `C(R ⋈b S) = c_probe|R| + c_build|S| + c_out|R ⋈ S|`; `None` when
+    /// the build side does not fit in memory (no spilling on this
+    /// platform — §2.2.1 — so an oversized build is not merely slow, it is
+    /// inapplicable).
+    pub fn broadcast_join(
+        &self,
+        probe_bytes: f64,
+        build_bytes: f64,
+        out_bytes: f64,
+    ) -> Option<f64> {
+        // A non-positive budget disables broadcast joins entirely — the
+        // safe-plan fallback after repeated runtime OOMs (a zero-byte
+        // *estimate* would otherwise fit any budget forever).
+        if self.memory_budget <= 0.0 || build_bytes > self.memory_budget {
+            return None;
+        }
+        Some(self.c_probe * probe_bytes + self.c_build * build_bytes + self.c_out * out_bytes)
+    }
+
+    /// Chain formula (§5.2): `C((R ⋈b S₁) ⋈b … ⋈b S_k) = c_probe|R| +
+    /// c_build(Σ|Sᵢ|) + c_out|R ⋈ S₁ ⋈ … ⋈ S_k|` — the k−1 intermediate
+    /// materializations vanish. Returns `None` when the combined build
+    /// sides exceed the memory budget.
+    pub fn chained_broadcast(
+        &self,
+        probe_bytes: f64,
+        build_bytes: &[f64],
+        out_bytes: f64,
+    ) -> Option<f64> {
+        let total_build: f64 = build_bytes.iter().sum();
+        if self.memory_budget <= 0.0 || total_build > self.memory_budget {
+            return None;
+        }
+        Some(self.c_probe * probe_bytes + self.c_build * total_build + self.c_out * out_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_well_formed() {
+        assert!(CostModel::default().is_well_formed());
+    }
+
+    #[test]
+    fn broadcast_beats_repartition_when_build_fits() {
+        let m = CostModel::default();
+        let (big, small, out) = (1e9, 1e6, 1e8);
+        let b = m.broadcast_join(big, small, out).unwrap();
+        let r = m.repartition_join(big, small, out);
+        assert!(b < r, "broadcast {b} should beat repartition {r}");
+    }
+
+    #[test]
+    fn oversized_build_is_inapplicable() {
+        let m = CostModel::default();
+        assert!(m.broadcast_join(1e9, m.memory_budget * 1.01, 1e8).is_none());
+        assert!(m.broadcast_join(1e9, m.memory_budget, 1e8).is_some());
+    }
+
+    #[test]
+    fn chained_cost_below_sum_of_parts() {
+        let m = CostModel::default();
+        let probe = 1e9;
+        let builds = [1e6, 2e6];
+        let out = 5e8;
+        let chained = m.chained_broadcast(probe, &builds, out).unwrap();
+        // Unchained: first join writes+reads an intermediate ≈ probe-sized.
+        let first = m.broadcast_join(probe, builds[0], probe).unwrap();
+        let second = m.broadcast_join(probe, builds[1], out).unwrap();
+        assert!(chained < first + second);
+    }
+
+    #[test]
+    fn chain_respects_combined_budget() {
+        let m = CostModel {
+            memory_budget: 100.0,
+            ..CostModel::default()
+        };
+        assert!(m.chained_broadcast(1e6, &[60.0, 60.0], 1e6).is_none());
+        assert!(m.chained_broadcast(1e6, &[60.0, 30.0], 1e6).is_some());
+    }
+}

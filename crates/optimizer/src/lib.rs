@@ -1,0 +1,31 @@
+//! # dyno-optimizer
+//!
+//! The cost-based join optimizer of DYNO (paper §5.2), built in the style
+//! of the Columbia/Cascades framework the authors extended: a top-down,
+//! memoizing search over join orders with transformation rules (join
+//! commutativity/associativity, realized as connected-partition
+//! enumeration per memo group) and implementation rules mapping the
+//! logical join onto the platform's two physical joins:
+//!
+//! * repartition join: `C(R ⋈r S) = c_rep(|R|+|S|) + c_out|R ⋈ S|`
+//! * broadcast join: `C(R ⋈b S) = c_probe|R| + c_build|S| + c_out|R ⋈ S|`,
+//!   applicable only while the build side fits in task memory,
+//!
+//! with `c_rep ≫ c_probe > c_build > c_out`. Selectivities follow the
+//! textbook Selinger formulas over per-attribute distinct-value counts —
+//! but, crucially, over the *observed* input statistics that pilot runs
+//! and prior execution steps provide, which is what makes the textbook
+//! formulas work in this system.
+//!
+//! The optimizer produces bushy plans when they are cheapest (§2.2.3 /
+//! §6.5 show why that matters on MapReduce) and has a left-deep-only mode
+//! for the baselines. After plan selection, the broadcast-chain rule marks
+//! consecutive broadcast joins that execute in a single map-only job.
+
+pub mod cost;
+pub mod props;
+pub mod search;
+
+pub use cost::CostModel;
+pub use props::GroupProps;
+pub use search::{OptError, OptResult, Optimizer};

@@ -1,0 +1,169 @@
+//! Logical properties of memo groups: cardinality, record width, and
+//! per-attribute distinct counts, derived bottom-up with the textbook
+//! (Selinger) estimation formulas \[35\].
+
+use std::collections::BTreeMap;
+
+use dyno_stats::TableStats;
+
+/// Derived logical properties of one memo group (one leaf set).
+#[derive(Debug, Clone)]
+pub struct GroupProps {
+    /// Estimated output cardinality (simulated scale).
+    pub rows: f64,
+    /// Estimated average output record size in bytes.
+    pub avg_record_size: f64,
+    /// Distinct-value estimates for attributes that later joins need.
+    pub dv: BTreeMap<String, f64>,
+}
+
+impl GroupProps {
+    /// Properties of a leaf group, straight from its (pilot-run or
+    /// job-output) statistics. Only `join_attrs` distinct counts are kept.
+    pub fn from_stats(stats: &TableStats, join_attrs: &[String]) -> GroupProps {
+        let dv = join_attrs
+            .iter()
+            .map(|a| (a.clone(), stats.distinct_or_rows(a)))
+            .collect();
+        GroupProps {
+            rows: stats.rows,
+            avg_record_size: stats.avg_record_size,
+            dv,
+        }
+    }
+
+    /// Estimated total bytes of the group's output.
+    pub fn bytes(&self) -> f64 {
+        self.rows * self.avg_record_size
+    }
+
+    /// Distinct count for an attribute, defaulting to the group's
+    /// cardinality (key-like) when unknown.
+    pub fn dv_or_rows(&self, attr: &str) -> f64 {
+        self.dv
+            .get(attr)
+            .copied()
+            .unwrap_or(self.rows)
+            .max(1.0)
+            .min(self.rows.max(1.0))
+    }
+
+    /// Derive the properties of `left ⋈ right` under the equi-conditions
+    /// `conds` (pairs of `(left_attr, right_attr)`).
+    ///
+    /// Selectivity per condition is `1 / max(DV_l, DV_r)`; conditions
+    /// multiply (independence). An empty condition list is a cartesian
+    /// product. Distinct counts propagate as `min(DV_in, rows_out)`.
+    pub fn join(left: &GroupProps, right: &GroupProps, conds: &[(String, String)]) -> GroupProps {
+        let mut sel = 1.0f64;
+        for (la, ra) in conds {
+            let dv = left.dv_or_rows(la).max(right.dv_or_rows(ra));
+            sel /= dv.max(1.0);
+        }
+        let rows = (left.rows * right.rows * sel).max(0.0);
+        let avg_record_size = left.avg_record_size + right.avg_record_size;
+        let mut dv = BTreeMap::new();
+        for (a, &d) in left.dv.iter().chain(right.dv.iter()) {
+            dv.insert(a.clone(), d.min(rows.max(1.0)));
+        }
+        GroupProps {
+            rows,
+            avg_record_size,
+            dv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_stats::ColumnStats;
+
+    fn stats(rows: f64, size: f64, dvs: &[(&str, f64)]) -> TableStats {
+        let mut t = TableStats::empty();
+        t.rows = rows;
+        t.avg_record_size = size;
+        for (a, d) in dvs {
+            t.columns.insert(
+                a.to_string(),
+                ColumnStats {
+                    distinct: *d,
+                    ..ColumnStats::default()
+                },
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn leaf_props_pick_requested_attrs() {
+        let s = stats(1000.0, 50.0, &[("k", 100.0), ("x", 9.0)]);
+        let p = GroupProps::from_stats(&s, &["k".to_owned()]);
+        assert_eq!(p.rows, 1000.0);
+        assert_eq!(p.bytes(), 50_000.0);
+        assert_eq!(p.dv.len(), 1);
+        assert_eq!(p.dv_or_rows("k"), 100.0);
+        assert_eq!(p.dv_or_rows("unknown"), 1000.0);
+    }
+
+    #[test]
+    fn pk_fk_join_keeps_fk_side_cardinality() {
+        // orders(1500) ⋈ customer(150), o_custkey DV=150, c_custkey DV=150:
+        // sel = 1/150 → rows = 1500*150/150 = 1500.
+        let o = GroupProps::from_stats(
+            &stats(1500.0, 100.0, &[("o_custkey", 150.0)]),
+            &["o_custkey".to_owned()],
+        );
+        let c = GroupProps::from_stats(
+            &stats(150.0, 80.0, &[("c_custkey", 150.0)]),
+            &["c_custkey".to_owned()],
+        );
+        let out = GroupProps::join(&o, &c, &[("o_custkey".to_owned(), "c_custkey".to_owned())]);
+        assert!((out.rows - 1500.0).abs() < 1e-6);
+        assert_eq!(out.avg_record_size, 180.0);
+    }
+
+    #[test]
+    fn multiple_conditions_multiply_selectivities() {
+        let a = GroupProps::from_stats(
+            &stats(100.0, 10.0, &[("x", 10.0), ("y", 10.0)]),
+            &["x".to_owned(), "y".to_owned()],
+        );
+        let b = GroupProps::from_stats(
+            &stats(100.0, 10.0, &[("u", 10.0), ("v", 10.0)]),
+            &["u".to_owned(), "v".to_owned()],
+        );
+        let out = GroupProps::join(
+            &a,
+            &b,
+            &[
+                ("x".to_owned(), "u".to_owned()),
+                ("y".to_owned(), "v".to_owned()),
+            ],
+        );
+        assert!((out.rows - 100.0).abs() < 1e-6); // 100*100 / (10*10)
+    }
+
+    #[test]
+    fn cartesian_product_multiplies_rows() {
+        let a = GroupProps::from_stats(&stats(20.0, 10.0, &[]), &[]);
+        let b = GroupProps::from_stats(&stats(30.0, 10.0, &[]), &[]);
+        let out = GroupProps::join(&a, &b, &[]);
+        assert_eq!(out.rows, 600.0);
+    }
+
+    #[test]
+    fn dv_clamped_by_output_rows() {
+        let a = GroupProps::from_stats(
+            &stats(1000.0, 10.0, &[("k", 1000.0), ("z", 500.0)]),
+            &["k".to_owned(), "z".to_owned()],
+        );
+        let b = GroupProps::from_stats(
+            &stats(10.0, 10.0, &[("k2", 1000.0)]),
+            &["k2".to_owned()],
+        );
+        let out = GroupProps::join(&a, &b, &[("k".to_owned(), "k2".to_owned())]);
+        assert!(out.rows <= 10.0 + 1e-9);
+        assert!(out.dv["z"] <= out.rows.max(1.0));
+    }
+}

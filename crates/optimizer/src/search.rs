@@ -1,0 +1,746 @@
+//! Top-down memoizing join enumeration (the Columbia-style search).
+//!
+//! One memo **group** exists per subset of the join block's leaves (all
+//! logically-equivalent join orders over the same leaves share a group —
+//! the only logical operator is the binary join, so group identity *is*
+//! the leaf set). Optimizing a group enumerates its connected
+//! `(left, right)` partitions — the closure of join commutativity and
+//! associativity — and applies the two implementation rules (repartition,
+//! broadcast) to each, recursing top-down with memoization and
+//! branch-and-bound pruning inside the partition loop.
+//!
+//! Cartesian products are admitted only when a group's join subgraph is
+//! disconnected (the paper's optimizer simply never needs them on the
+//! benchmark queries).
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::fmt;
+
+use dyno_query::{JoinBlock, JoinMethod, PhysNode};
+use dyno_stats::TableStats;
+
+use crate::cost::CostModel;
+use crate::props::GroupProps;
+
+/// Optimizer façade. `left_deep_only` restricts the search to Jaql-shaped
+/// plans (used by baselines and ablations).
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    /// Cost constants and the broadcast memory budget.
+    pub cost_model: CostModel,
+    /// Restrict to left-deep plans (right child always a single leaf).
+    pub left_deep_only: bool,
+    /// Skip the broadcast-chain rule (ablation switch: every broadcast
+    /// join then runs as its own map-only job).
+    pub disable_chaining: bool,
+}
+
+/// Errors from optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// Statistics were not provided for every leaf.
+    MissingStats {
+        /// Leaves in the block.
+        leaves: usize,
+        /// Statistics provided.
+        stats: usize,
+    },
+    /// More leaves than the bitmask representation supports.
+    TooManyLeaves(usize),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::MissingStats { leaves, stats } => {
+                write!(f, "{leaves} leaves but {stats} leaf statistics")
+            }
+            OptError::TooManyLeaves(n) => write!(f, "{n} leaves exceed the 63-leaf limit"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// The chosen plan plus search diagnostics.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// Minimum-cost physical plan, with broadcast chains marked.
+    pub plan: PhysNode,
+    /// Estimated cost (chain-aware).
+    pub cost: f64,
+    /// Estimated output cardinality.
+    pub est_rows: f64,
+    /// Estimated output bytes.
+    pub est_bytes: f64,
+    /// Memo groups materialized during the search.
+    pub groups: usize,
+    /// Physical join alternatives costed.
+    pub expressions: usize,
+}
+
+struct Search<'a> {
+    block: &'a JoinBlock,
+    model: &'a CostModel,
+    left_deep_only: bool,
+    props: HashMap<u64, GroupProps>,
+    best: HashMap<u64, Option<(f64, PhysNode)>>,
+    leaf_stats: &'a [TableStats],
+    expressions: usize,
+}
+
+impl Optimizer {
+    /// Optimizer with the default cost model producing bushy plans.
+    pub fn new() -> Self {
+        Optimizer::default()
+    }
+
+    /// Left-deep-only variant.
+    pub fn left_deep(mut self) -> Self {
+        self.left_deep_only = true;
+        self
+    }
+
+    /// Variant with the broadcast-chain rule disabled (ablation).
+    pub fn without_chaining(mut self) -> Self {
+        self.disable_chaining = true;
+        self
+    }
+
+    /// Find the minimum-cost join plan for `block`, where `leaf_stats[i]`
+    /// describes leaf `i` *after* its local predicates (pilot-run output
+    /// or materialized-job statistics — the optimizer never estimates
+    /// local selectivities itself; that is the paper's division of labor).
+    pub fn optimize(
+        &self,
+        block: &JoinBlock,
+        leaf_stats: &[TableStats],
+    ) -> Result<OptResult, OptError> {
+        let n = block.num_leaves();
+        if leaf_stats.len() != n {
+            return Err(OptError::MissingStats {
+                leaves: n,
+                stats: leaf_stats.len(),
+            });
+        }
+        if n > 63 {
+            return Err(OptError::TooManyLeaves(n));
+        }
+
+        let mut search = Search {
+            block,
+            model: &self.cost_model,
+            left_deep_only: self.left_deep_only,
+            props: HashMap::new(),
+            best: HashMap::new(),
+            leaf_stats,
+            expressions: 0,
+        };
+        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let (_, mut plan) = search
+            .optimize_group(full)
+            .expect("a plan always exists (cartesian fallback)");
+        let est = search.props(full).clone();
+        if !self.disable_chaining {
+            mark_chains(&mut plan, &mut search);
+        }
+        let cost = chained_cost(&plan, &mut search);
+        Ok(OptResult {
+            plan,
+            cost,
+            est_rows: est.rows,
+            est_bytes: est.bytes(),
+            groups: search.best.len(),
+            expressions: search.expressions,
+        })
+    }
+
+    /// Estimated output cardinality of joining a subset of the block's
+    /// leaves — what DYNOPT compares against observed job outputs when
+    /// deciding whether re-optimization is worthwhile (§5.1: "the decision
+    /// to re-optimize could be conditional on a threshold difference
+    /// between the estimated result size and the observed one").
+    pub fn estimate_rows(
+        &self,
+        block: &JoinBlock,
+        leaf_stats: &[TableStats],
+        leaves: &BTreeSet<usize>,
+    ) -> f64 {
+        let mut search = Search {
+            block,
+            model: &self.cost_model,
+            left_deep_only: false,
+            props: HashMap::new(),
+            best: HashMap::new(),
+            leaf_stats,
+            expressions: 0,
+        };
+        let mask = leaves.iter().fold(0u64, |m, &i| m | (1 << i));
+        search.props(mask).rows
+    }
+
+    /// Cost an externally-supplied plan under this optimizer's model and
+    /// the same statistics (used to compare hand-written plans in tests
+    /// and ablations). Chains are honored as marked in the plan.
+    pub fn cost_plan(
+        &self,
+        block: &JoinBlock,
+        leaf_stats: &[TableStats],
+        plan: &PhysNode,
+    ) -> f64 {
+        let mut search = Search {
+            block,
+            model: &self.cost_model,
+            left_deep_only: false,
+            props: HashMap::new(),
+            best: HashMap::new(),
+            leaf_stats,
+            expressions: 0,
+        };
+        chained_cost(plan, &mut search)
+    }
+}
+
+impl<'a> Search<'a> {
+    fn leaf_join_attrs(&self, leaf: usize) -> Vec<String> {
+        let aliases = &self.block.leaves[leaf].aliases;
+        let mut out = BTreeSet::new();
+        for c in &self.block.conditions {
+            if aliases.contains(&c.left.0) {
+                out.insert(c.left.1.clone());
+            }
+            if aliases.contains(&c.right.0) {
+                out.insert(c.right.1.clone());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    fn mask_leaves(mask: u64) -> BTreeSet<usize> {
+        (0..64).filter(|i| mask & (1 << i) != 0).collect()
+    }
+
+    /// Canonical logical properties of a leaf set: peel off the highest
+    /// leaf so every order-dependent estimate is computed the same way.
+    fn props(&mut self, mask: u64) -> &GroupProps {
+        if !self.props.contains_key(&mask) {
+            let computed = if mask.count_ones() == 1 {
+                let leaf = mask.trailing_zeros() as usize;
+                let attrs = self.leaf_join_attrs(leaf);
+                GroupProps::from_stats(&self.leaf_stats[leaf], &attrs)
+            } else {
+                let hi = 63 - mask.leading_zeros() as u64;
+                let rest = mask & !(1 << hi);
+                let conds = self.block.conditions_between(
+                    &Self::mask_leaves(rest),
+                    &Self::mask_leaves(1 << hi),
+                );
+                let left = self.props(rest).clone();
+                let right = self.props(1 << hi).clone();
+                GroupProps::join(&left, &right, &conds)
+            };
+            self.props.insert(mask, computed);
+        }
+        &self.props[&mask]
+    }
+
+    /// Optimize one memo group; returns the best `(cost, plan)`.
+    fn optimize_group(&mut self, mask: u64) -> Option<(f64, PhysNode)> {
+        if let Some(cached) = self.best.get(&mask) {
+            return cached.clone();
+        }
+        // Insert a placeholder to make accidental reentrancy loud.
+        self.best.insert(mask, None);
+
+        let result = if mask.count_ones() == 1 {
+            Some((0.0, PhysNode::Leaf(mask.trailing_zeros() as usize)))
+        } else {
+            self.enumerate_partitions(mask)
+        };
+        self.best.insert(mask, result.clone());
+        result
+    }
+
+    fn enumerate_partitions(&mut self, mask: u64) -> Option<(f64, PhysNode)> {
+        // First pass: which ordered partitions avoid a cartesian product?
+        type Split = (u64, u64, Vec<(String, String)>);
+        let mut splits: Vec<Split> = Vec::new();
+        let mut sub = (mask - 1) & mask;
+        while sub != 0 {
+            let left = sub;
+            let right = mask ^ sub;
+            if !self.left_deep_only || right.count_ones() == 1 {
+                let conds = self
+                    .block
+                    .conditions_between(&Self::mask_leaves(left), &Self::mask_leaves(right));
+                splits.push((left, right, conds));
+            }
+            sub = (sub - 1) & mask;
+        }
+        let any_connected = splits.iter().any(|(_, _, c)| !c.is_empty());
+        let mut best: Option<(f64, PhysNode)> = None;
+
+        for (left, right, conds) in splits {
+            if any_connected && conds.is_empty() {
+                continue; // never choose a cartesian product over a join
+            }
+            let (lcost, lplan) = match self.optimize_group(left) {
+                Some(v) => v,
+                None => continue,
+            };
+            // Branch-and-bound: children alone already too expensive.
+            if let Some((bound, _)) = &best {
+                if lcost >= *bound {
+                    continue;
+                }
+            }
+            let (rcost, rplan) = match self.optimize_group(right) {
+                Some(v) => v,
+                None => continue,
+            };
+            let child_cost = lcost + rcost;
+            if let Some((bound, _)) = &best {
+                if child_cost >= *bound {
+                    continue;
+                }
+            }
+            let out_bytes = {
+                let p = self.props(mask);
+                p.bytes()
+            };
+            let lbytes = self.props(left).bytes();
+            let rbytes = self.props(right).bytes();
+
+            // Implementation rule: repartition join.
+            self.expressions += 1;
+            let rep = child_cost + self.model.repartition_join(lbytes, rbytes, out_bytes);
+            let candidate = (
+                rep,
+                PhysNode::join(JoinMethod::Repartition, lplan.clone(), rplan.clone()),
+            );
+            if best.as_ref().is_none_or(|(b, _)| candidate.0 < *b) {
+                best = Some(candidate);
+            }
+
+            // Implementation rule: broadcast join (right side builds).
+            self.expressions += 1;
+            if let Some(bc) = self.model.broadcast_join(lbytes, rbytes, out_bytes) {
+                let total = child_cost + bc;
+                if best.as_ref().is_none_or(|(b, _)| total < *b) {
+                    best = Some((
+                        total,
+                        PhysNode::join(JoinMethod::Broadcast, lplan, rplan),
+                    ));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Mark chained broadcast joins: a broadcast join whose probe (left) child
+/// is itself a broadcast join chains with it while the *estimated* build
+/// sides fit in memory together (§5.2's rule — unlike Jaql's file-size
+/// heuristic, this sees post-predicate sizes).
+fn mark_chains(plan: &mut PhysNode, search: &mut Search<'_>) {
+    fn walk(node: &mut PhysNode, search: &mut Search<'_>) -> f64 {
+        match node {
+            PhysNode::Leaf(_) => 0.0,
+            PhysNode::Join {
+                method,
+                left,
+                right,
+                chained,
+            } => {
+                let right_mask = mask_of(right);
+                walk(right, search);
+                let left_chain = walk(left, search);
+                if *method != JoinMethod::Broadcast {
+                    *chained = false;
+                    return 0.0;
+                }
+                let build = search.props(right_mask).bytes();
+                if left_chain > 0.0 && left_chain + build <= search.model.memory_budget {
+                    *chained = true;
+                    left_chain + build
+                } else {
+                    *chained = false;
+                    build
+                }
+            }
+        }
+    }
+    walk(plan, search);
+}
+
+fn mask_of(node: &PhysNode) -> u64 {
+    node.leaf_set().iter().fold(0u64, |m, &i| m | (1 << i))
+}
+
+/// Chain-aware plan cost: a chained join contributes only its build and
+/// output terms and refunds the child's never-materialized output (summing
+/// to the paper's chain formula across the whole chain).
+fn chained_cost(plan: &PhysNode, search: &mut Search<'_>) -> f64 {
+    fn walk(node: &PhysNode, search: &mut Search<'_>) -> (f64, f64) {
+        match node {
+            PhysNode::Leaf(_) => {
+                let bytes = search.props(mask_of(node)).bytes();
+                (0.0, bytes)
+            }
+            PhysNode::Join {
+                method,
+                left,
+                right,
+                chained,
+            } => {
+                let (lcost, lbytes) = walk(left, search);
+                let (rcost, rbytes) = walk(right, search);
+                let out_bytes = search.props(mask_of(node)).bytes();
+                let m = search.model;
+                let local = match method {
+                    JoinMethod::Repartition => m.repartition_join(lbytes, rbytes, out_bytes),
+                    JoinMethod::Broadcast => {
+                        let base = m.c_probe * lbytes + m.c_build * rbytes + m.c_out * out_bytes;
+                        if *chained {
+                            // probe flows through: refund the child's
+                            // output write and our probe read of it
+                            base - m.c_out * lbytes - m.c_probe * lbytes
+                        } else {
+                            base
+                        }
+                    }
+                };
+                (lcost + rcost + local, out_bytes)
+            }
+        }
+    }
+    walk(plan, search).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_query::{Predicate, QuerySpec, ScanDef, SchemaCatalog};
+    use dyno_stats::ColumnStats;
+
+    fn stats(rows: f64, size: f64, dvs: &[(&str, f64)]) -> TableStats {
+        let mut t = TableStats::empty();
+        t.rows = rows;
+        t.avg_record_size = size;
+        for (a, d) in dvs {
+            t.columns.insert(
+                a.to_string(),
+                ColumnStats {
+                    distinct: *d,
+                    ..ColumnStats::default()
+                },
+            );
+        }
+        t
+    }
+
+    /// fact—dim1, fact—dim2 star schema.
+    fn star_block() -> JoinBlock {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("fact"), &["f_id", "f_d1", "f_d2"]);
+        cat.add_scan(&ScanDef::table("dim1"), &["d1_id"]);
+        cat.add_scan(&ScanDef::table("dim2"), &["d2_id"]);
+        let spec = QuerySpec::new(
+            "star",
+            vec![
+                ScanDef::table("fact"),
+                ScanDef::table("dim1"),
+                ScanDef::table("dim2"),
+            ],
+        )
+        .filter(Predicate::attr_eq("f_d1", "d1_id"))
+        .filter(Predicate::attr_eq("f_d2", "d2_id"));
+        JoinBlock::compile(&spec, &cat).unwrap()
+    }
+
+    fn star_stats(dim_rows: f64) -> Vec<TableStats> {
+        vec![
+            stats(
+                1e6,
+                100.0,
+                &[("f_d1", dim_rows), ("f_d2", dim_rows), ("f_id", 1e6)],
+            ),
+            stats(dim_rows, 50.0, &[("d1_id", dim_rows)]),
+            stats(dim_rows, 50.0, &[("d2_id", dim_rows)]),
+        ]
+    }
+
+    #[test]
+    fn small_dims_yield_chained_broadcasts() {
+        let block = star_block();
+        let opt = Optimizer::new();
+        let r = opt.optimize(&block, &star_stats(100.0)).unwrap();
+        let rendered = r.plan.render_inline(&block);
+        assert!(
+            rendered.contains("⋈b") && !rendered.contains("⋈r"),
+            "expected all-broadcast plan, got {rendered}"
+        );
+        assert!(rendered.contains("⋈b·"), "expected a chain, got {rendered}");
+        assert!(r.est_rows > 0.0);
+    }
+
+    #[test]
+    fn huge_dims_force_repartition() {
+        let block = star_block();
+        let opt = Optimizer::new();
+        // Everything exceeds the 1.4 GB broadcast budget — including the
+        // fact table, which would otherwise sneak in as a build side.
+        let s = vec![
+            stats(1e8, 100.0, &[("f_d1", 1e8), ("f_d2", 1e8), ("f_id", 1e8)]),
+            stats(1e8, 50.0, &[("d1_id", 1e8)]),
+            stats(1e8, 50.0, &[("d2_id", 1e8)]),
+        ];
+        let r = opt.optimize(&block, &s).unwrap();
+        let rendered = r.plan.render_inline(&block);
+        assert!(
+            !rendered.contains("⋈b"),
+            "expected repartition-only plan, got {rendered}"
+        );
+    }
+
+    #[test]
+    fn small_fact_becomes_build_side_against_huge_dims() {
+        // The mirror case: dims too big to broadcast but the (filtered)
+        // fact side fits — the optimizer flips the build side rather than
+        // falling back to repartition joins.
+        let block = star_block();
+        let s = star_stats(1e8); // fact 100 MB, dims 5 GB
+        let r = Optimizer::new().optimize(&block, &s).unwrap();
+        assert!(
+            r.plan.render_inline(&block).contains("⋈b"),
+            "got {}",
+            r.plan.render_inline(&block)
+        );
+    }
+
+    #[test]
+    fn left_deep_mode_restricts_shape() {
+        let block = star_block();
+        let opt = Optimizer::new().left_deep();
+        let r = opt.optimize(&block, &star_stats(100.0)).unwrap();
+        assert!(r.plan.is_left_deep());
+        let bushy = Optimizer::new().optimize(&block, &star_stats(100.0)).unwrap();
+        assert!(bushy.cost <= r.cost + 1e-9, "bushy search subsumes left-deep");
+    }
+
+    /// chain join graph a—b—c—d where a bushy (ab)⋈(cd) plan wins.
+    fn path_block() -> JoinBlock {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("a"), &["a_k"]);
+        cat.add_scan(&ScanDef::table("b"), &["b_ak", "b_k"]);
+        cat.add_scan(&ScanDef::table("c"), &["c_bk", "c_k"]);
+        cat.add_scan(&ScanDef::table("d"), &["d_ck"]);
+        let spec = QuerySpec::new(
+            "path",
+            vec![
+                ScanDef::table("a"),
+                ScanDef::table("b"),
+                ScanDef::table("c"),
+                ScanDef::table("d"),
+            ],
+        )
+        .filter(Predicate::attr_eq("a_k", "b_ak"))
+        .filter(Predicate::attr_eq("b_k", "c_bk"))
+        .filter(Predicate::attr_eq("c_k", "d_ck"));
+        JoinBlock::compile(&spec, &cat).unwrap()
+    }
+
+    #[test]
+    fn bushy_plan_chosen_when_it_minimizes_intermediates() {
+        let block = path_block();
+        // Every table exceeds the broadcast budget (2 GB files), so all
+        // joins repartition. a⋈b and c⋈d stay small, but b⋈c blows up
+        // (DV 10 on the middle keys): a left-deep order must shuffle the
+        // blown-up a⋈b⋈c intermediate into d, while the bushy
+        // ((a b) ⋈ (c d)) shape never materializes it — the paper's
+        // §2.2.3 argument for bushy plans on MapReduce.
+        let s = vec![
+            stats(1e6, 2000.0, &[("a_k", 1e6)]),
+            stats(1e6, 2000.0, &[("b_ak", 1e6), ("b_k", 10.0)]),
+            stats(1e6, 2000.0, &[("c_bk", 10.0), ("c_k", 1e6)]),
+            stats(1e6, 2000.0, &[("d_ck", 1e6)]),
+        ];
+        let r = Optimizer::new().optimize(&block, &s).unwrap();
+        assert!(!r.plan.is_left_deep(), "expected bushy: {}", r.plan.render_inline(&block));
+        let ld = Optimizer::new().left_deep().optimize(&block, &s).unwrap();
+        assert!(r.cost < ld.cost, "bushy {} !< left-deep {}", r.cost, ld.cost);
+    }
+
+    #[test]
+    fn cartesian_only_when_disconnected() {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("x"), &["x_k"]);
+        cat.add_scan(&ScanDef::table("y"), &["y_k"]);
+        let spec = QuerySpec::new("cross", vec![ScanDef::table("x"), ScanDef::table("y")]);
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let s = vec![stats(10.0, 10.0, &[]), stats(20.0, 10.0, &[])];
+        let r = Optimizer::new().optimize(&block, &s).unwrap();
+        assert_eq!(r.est_rows, 200.0);
+    }
+
+    #[test]
+    fn cyclic_join_graphs_supported() {
+        // triangle: a—b, b—c, a—c (what Columbia-the-original couldn't do
+        // for Q5; ours handles cycles fine)
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("a"), &["a_1", "a_2"]);
+        cat.add_scan(&ScanDef::table("b"), &["b_1", "b_2"]);
+        cat.add_scan(&ScanDef::table("c"), &["c_1", "c_2"]);
+        let spec = QuerySpec::new(
+            "tri",
+            vec![ScanDef::table("a"), ScanDef::table("b"), ScanDef::table("c")],
+        )
+        .filter(Predicate::attr_eq("a_1", "b_1"))
+        .filter(Predicate::attr_eq("b_2", "c_1"))
+        .filter(Predicate::attr_eq("c_2", "a_2"));
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let s = vec![
+            stats(1000.0, 10.0, &[("a_1", 1000.0), ("a_2", 1000.0)]),
+            stats(1000.0, 10.0, &[("b_1", 1000.0), ("b_2", 1000.0)]),
+            stats(1000.0, 10.0, &[("c_1", 1000.0), ("c_2", 1000.0)]),
+        ];
+        let r = Optimizer::new().optimize(&block, &s).unwrap();
+        assert_eq!(r.plan.leaf_set().len(), 3);
+    }
+
+    #[test]
+    fn missing_stats_is_an_error() {
+        let block = star_block();
+        let err = Optimizer::new().optimize(&block, &[]).unwrap_err();
+        assert!(matches!(err, OptError::MissingStats { leaves: 3, stats: 0 }));
+    }
+
+    #[test]
+    fn search_diagnostics_reported() {
+        let block = star_block();
+        let r = Optimizer::new().optimize(&block, &star_stats(100.0)).unwrap();
+        // 3 leaves → 7 non-empty subsets = 7 groups
+        assert_eq!(r.groups, 7);
+        assert!(r.expressions >= 6);
+    }
+
+    #[test]
+    fn cost_plan_agrees_with_search_winner() {
+        let block = star_block();
+        let s = star_stats(100.0);
+        let opt = Optimizer::new();
+        let r = opt.optimize(&block, &s).unwrap();
+        let recost = opt.cost_plan(&block, &s, &r.plan);
+        assert!((recost - r.cost).abs() < 1e-6 * r.cost.max(1.0));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use dyno_query::{Predicate, QuerySpec, ScanDef, SchemaCatalog};
+    use dyno_stats::ColumnStats;
+
+    fn stats(rows: f64, size: f64, dvs: &[(&str, f64)]) -> TableStats {
+        let mut t = TableStats::empty();
+        t.rows = rows;
+        t.avg_record_size = size;
+        for (a, d) in dvs {
+            t.columns.insert(
+                a.to_string(),
+                ColumnStats {
+                    distinct: *d,
+                    ..ColumnStats::default()
+                },
+            );
+        }
+        t
+    }
+
+    fn two_block() -> JoinBlock {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("a"), &["a_k"]);
+        cat.add_scan(&ScanDef::table("b"), &["b_k"]);
+        let spec = QuerySpec::new("two", vec![ScanDef::table("a"), ScanDef::table("b")])
+            .filter(Predicate::attr_eq("a_k", "b_k"));
+        JoinBlock::compile(&spec, &cat).unwrap()
+    }
+
+    #[test]
+    fn estimate_rows_matches_props() {
+        let block = two_block();
+        let s = vec![
+            stats(1000.0, 10.0, &[("a_k", 100.0)]),
+            stats(500.0, 10.0, &[("b_k", 100.0)]),
+        ];
+        let opt = Optimizer::new();
+        // singleton estimates echo the inputs
+        assert_eq!(
+            opt.estimate_rows(&block, &s, &BTreeSet::from([0])),
+            1000.0
+        );
+        // pair: 1000 × 500 / max(100,100) = 5000
+        let est = opt.estimate_rows(&block, &s, &BTreeSet::from([0, 1]));
+        assert!((est - 5000.0).abs() < 1e-6);
+        // and the search reports the same top-level estimate
+        let r = opt.optimize(&block, &s).unwrap();
+        assert!((r.est_rows - est).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shrinking_memory_budget_flips_broadcast_to_repartition() {
+        let block = two_block();
+        let s = vec![
+            stats(1e6, 100.0, &[("a_k", 1e6)]),
+            stats(1000.0, 100.0, &[("b_k", 1000.0)]), // 100 KB build
+        ];
+        let mut opt = Optimizer::new();
+        let r = opt.optimize(&block, &s).unwrap();
+        assert!(r.plan.render_inline(&block).contains("⋈b"));
+        opt.cost_model.memory_budget = 50_000.0; // below the 100 KB build
+        let r2 = opt.optimize(&block, &s).unwrap();
+        assert!(
+            !r2.plan.render_inline(&block).contains("⋈b"),
+            "tightened budget must disable the broadcast: {}",
+            r2.plan.render_inline(&block)
+        );
+        assert!(r2.cost > r.cost, "the fallback plan costs more");
+    }
+
+    #[test]
+    fn disable_chaining_removes_chain_marks() {
+        // star: fact joins two small dims that would normally chain
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("f"), &["f_a", "f_b"]);
+        cat.add_scan(&ScanDef::table("d1"), &["d1_k"]);
+        cat.add_scan(&ScanDef::table("d2"), &["d2_k"]);
+        let spec = QuerySpec::new(
+            "star",
+            vec![ScanDef::table("f"), ScanDef::table("d1"), ScanDef::table("d2")],
+        )
+        .filter(Predicate::attr_eq("f_a", "d1_k"))
+        .filter(Predicate::attr_eq("f_b", "d2_k"));
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let s = vec![
+            stats(1e6, 100.0, &[("f_a", 100.0), ("f_b", 100.0)]),
+            stats(100.0, 50.0, &[("d1_k", 100.0)]),
+            stats(100.0, 50.0, &[("d2_k", 100.0)]),
+        ];
+        let chained = Optimizer::new().optimize(&block, &s).unwrap();
+        assert!(chained.plan.render_inline(&block).contains('·'));
+        let plain = Optimizer::new().without_chaining().optimize(&block, &s).unwrap();
+        assert!(!plain.plan.render_inline(&block).contains('·'));
+        // chaining only removes materialization cost, so it must be cheaper
+        assert!(chained.cost <= plain.cost);
+    }
+
+    #[test]
+    fn zero_row_input_produces_zero_estimates() {
+        let block = two_block();
+        let s = vec![stats(0.0, 0.0, &[]), stats(100.0, 10.0, &[])];
+        let r = Optimizer::new().optimize(&block, &s).unwrap();
+        assert_eq!(r.est_rows, 0.0);
+        assert!(r.cost.is_finite());
+    }
+}

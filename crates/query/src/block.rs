@@ -1,0 +1,590 @@
+//! Join blocks: the unit DYNO optimizes and executes (paper §3).
+//!
+//! After the Jaql compiler's heuristic rewrites, a query becomes join
+//! blocks — "expressions containing n-way joins, filters and scan
+//! operators". Compilation here performs the **filter push-down** step and
+//! classifies every WHERE conjunct as:
+//!
+//! * a **local predicate** of one relation → folded into that relation's
+//!   *leaf expression* (`lexp_R`, the thing pilot runs execute);
+//! * an equi-join **condition** between two relations → an edge of the
+//!   join graph;
+//! * a **non-local predicate** (e.g. Q8''s `UDF(o, c)` over a join result)
+//!   → attached to the block, applied by the first join that covers all
+//!   the aliases it references. These are invisible to pilot runs and the
+//!   reason re-optimization pays off (§4.4, §6.5).
+//!
+//! As DYNOPT executes jobs, executed subtrees are *replaced* by
+//! materialized leaves ([`JoinBlock::merge_leaves`]), so re-optimization
+//! always sees a smaller block whose leaf statistics are known exactly.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::predicate::Predicate;
+use crate::spec::{QuerySpec, ScanDef, SchemaCatalog};
+
+/// Where a leaf's records come from.
+#[derive(Debug, Clone)]
+pub enum LeafSource {
+    /// A base table scan (with renames), filtered by the leaf's local
+    /// predicates at read time.
+    Table {
+        /// DFS file / table name.
+        table: String,
+        /// Attribute renames applied at scan time.
+        renames: Vec<(String, String)>,
+    },
+    /// A materialized intermediate result (output of an executed job, or a
+    /// reused pilot-run output for fully-consumed selective predicates).
+    Materialized {
+        /// DFS file holding the records.
+        file: String,
+    },
+}
+
+/// A leaf expression: scan + pushed-down local predicates (`lexp_R`).
+#[derive(Debug, Clone)]
+pub struct LeafExpr {
+    /// Display name: the alias for base scans, `t1`, `t2`, … for
+    /// materialized intermediates (matching Figure 2's rendering).
+    pub name: String,
+    /// The original FROM-clause aliases this leaf covers (one for a base
+    /// scan; several after subtrees are merged).
+    pub aliases: BTreeSet<String>,
+    /// Record source.
+    pub source: LeafSource,
+    /// Local predicates/UDFs applied right above the scan. Empty for
+    /// materialized leaves (their predicates were applied when the file
+    /// was produced).
+    pub local_preds: Vec<Predicate>,
+}
+
+impl LeafExpr {
+    /// The canonical expression signature used as the statistics-metastore
+    /// key (§4.1 "Reusability of statistics"): equal signatures mean the
+    /// statistics are interchangeable.
+    pub fn signature(&self) -> String {
+        match &self.source {
+            LeafSource::Table { table, renames } => {
+                let mut preds: Vec<String> =
+                    self.local_preds.iter().map(|p| p.to_string()).collect();
+                preds.sort();
+                let mut ren: Vec<String> = renames
+                    .iter()
+                    .map(|(f, t)| format!("{f}->{t}"))
+                    .collect();
+                ren.sort();
+                format!(
+                    "scan({table})[{}]|{}",
+                    ren.join(","),
+                    preds.join(" AND ")
+                )
+            }
+            LeafSource::Materialized { file } => format!("file({file})"),
+        }
+    }
+
+    /// True iff the leaf has local predicates or UDFs to apply.
+    pub fn has_local_preds(&self) -> bool {
+        !self.local_preds.is_empty()
+    }
+}
+
+impl fmt::Display for LeafExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// An equi-join condition between two relations: an edge of the join graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCondition {
+    /// `(alias, attribute)` of one side.
+    pub left: (String, String),
+    /// `(alias, attribute)` of the other side.
+    pub right: (String, String),
+}
+
+impl JoinCondition {
+    /// Given a set of aliases, return `(inside_attr, outside_attr)` if the
+    /// condition bridges the set boundary, `None` if both sides are on the
+    /// same side of it.
+    pub fn bridge(&self, aliases: &BTreeSet<String>) -> Option<(&str, &str)> {
+        let l_in = aliases.contains(&self.left.0);
+        let r_in = aliases.contains(&self.right.0);
+        match (l_in, r_in) {
+            (true, false) => Some((&self.left.1, &self.right.1)),
+            (false, true) => Some((&self.right.1, &self.left.1)),
+            _ => None,
+        }
+    }
+
+    /// True iff both sides fall within the alias set (already joined).
+    pub fn internal_to(&self, aliases: &BTreeSet<String>) -> bool {
+        aliases.contains(&self.left.0) && aliases.contains(&self.right.0)
+    }
+}
+
+impl fmt::Display for JoinCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.left.1, self.right.1)
+    }
+}
+
+/// A predicate that could not be pushed to a single leaf.
+#[derive(Debug, Clone)]
+pub struct PostJoinPred {
+    /// The predicate itself.
+    pub pred: Predicate,
+    /// Aliases it references; applicable once a join covers all of them.
+    pub aliases: BTreeSet<String>,
+    /// Set once a job has applied it (it must be applied exactly once).
+    pub applied: bool,
+}
+
+/// Errors from join-block compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A predicate references an attribute no relation produces.
+    UnknownAttribute {
+        /// The offending attribute.
+        attr: String,
+        /// Rendered predicate.
+        predicate: String,
+    },
+    /// The FROM clause is empty.
+    NoRelations,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownAttribute { attr, predicate } => {
+                write!(f, "unknown attribute {attr:?} in predicate {predicate}")
+            }
+            CompileError::NoRelations => write!(f, "query has no relations"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An n-way join block: leaves, join-graph edges, non-local predicates.
+#[derive(Debug, Clone)]
+pub struct JoinBlock {
+    /// Name of the originating query.
+    pub query_name: String,
+    /// Current leaves (base scans, progressively replaced by materialized
+    /// intermediates as DYNOPT executes jobs).
+    pub leaves: Vec<LeafExpr>,
+    /// Equi-join conditions.
+    pub conditions: Vec<JoinCondition>,
+    /// Non-local predicates.
+    pub post_preds: Vec<PostJoinPred>,
+    /// FROM-clause alias order (drives the Jaql heuristic baseline).
+    pub from_order: Vec<String>,
+    /// Counter for naming materialized intermediates (`t1`, `t2`, …).
+    next_temp: usize,
+}
+
+impl JoinBlock {
+    /// Compile a query spec into a join block, performing filter push-down
+    /// and predicate classification.
+    pub fn compile(spec: &QuerySpec, catalog: &SchemaCatalog) -> Result<JoinBlock, CompileError> {
+        if spec.relations.is_empty() {
+            return Err(CompileError::NoRelations);
+        }
+        let mut leaves: Vec<LeafExpr> = spec
+            .relations
+            .iter()
+            .map(|scan: &ScanDef| LeafExpr {
+                name: scan.alias.clone(),
+                aliases: BTreeSet::from([scan.alias.clone()]),
+                source: LeafSource::Table {
+                    table: scan.table.clone(),
+                    renames: scan.renames.clone(),
+                },
+                local_preds: Vec::new(),
+            })
+            .collect();
+        let mut conditions = Vec::new();
+        let mut post_preds = Vec::new();
+
+        for pred in &spec.predicates {
+            let attrs = pred.referenced_attrs();
+            let (owners, unknown) = catalog.owners_of(attrs);
+            if let Some(attr) = unknown.into_iter().next() {
+                return Err(CompileError::UnknownAttribute {
+                    attr,
+                    predicate: pred.to_string(),
+                });
+            }
+            if owners.len() <= 1 {
+                // Local: push down to the owning leaf (predicates with no
+                // attributes at all — constant folds — also land here, on
+                // the first leaf, which is harmless).
+                let alias = owners.into_iter().next();
+                let leaf = match alias {
+                    Some(a) => leaves
+                        .iter_mut()
+                        .find(|l| l.aliases.contains(&a))
+                        .expect("owner alias must be a FROM relation"),
+                    None => &mut leaves[0],
+                };
+                leaf.local_preds.push(pred.clone());
+            } else if let Some((lp, rp)) = pred.as_attr_equality() {
+                let la = lp.head_field().expect("attr path").to_owned();
+                let ra = rp.head_field().expect("attr path").to_owned();
+                let lo = catalog.owner(&la).expect("checked above").to_owned();
+                let ro = catalog.owner(&ra).expect("checked above").to_owned();
+                if lo == ro {
+                    // Same-relation equality is local after all.
+                    leaves
+                        .iter_mut()
+                        .find(|l| l.aliases.contains(&lo))
+                        .expect("owner alias")
+                        .local_preds
+                        .push(pred.clone());
+                } else {
+                    conditions.push(JoinCondition {
+                        left: (lo, la),
+                        right: (ro, ra),
+                    });
+                }
+            } else {
+                post_preds.push(PostJoinPred {
+                    pred: pred.clone(),
+                    aliases: owners,
+                    applied: false,
+                });
+            }
+        }
+
+        Ok(JoinBlock {
+            query_name: spec.name.clone(),
+            leaves,
+            conditions,
+            post_preds,
+            from_order: spec.relations.iter().map(|r| r.alias.clone()).collect(),
+            next_temp: 0,
+        })
+    }
+
+    /// Number of leaves still to be joined.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Index of the leaf covering `alias`.
+    pub fn leaf_of_alias(&self, alias: &str) -> Option<usize> {
+        self.leaves
+            .iter()
+            .position(|l| l.aliases.contains(alias))
+    }
+
+    /// The union of aliases covered by a set of leaves.
+    pub fn aliases_of(&self, leaf_ids: &BTreeSet<usize>) -> BTreeSet<String> {
+        leaf_ids
+            .iter()
+            .flat_map(|&i| self.leaves[i].aliases.iter().cloned())
+            .collect()
+    }
+
+    /// Join conditions connecting the leaf sets `left` and `right`
+    /// (as `(left_attr, right_attr)` pairs ready for key extraction).
+    pub fn conditions_between(
+        &self,
+        left: &BTreeSet<usize>,
+        right: &BTreeSet<usize>,
+    ) -> Vec<(String, String)> {
+        let la = self.aliases_of(left);
+        let ra = self.aliases_of(right);
+        self.conditions
+            .iter()
+            .filter_map(|c| {
+                let l_in = la.contains(&c.left.0);
+                let r_in = ra.contains(&c.right.0);
+                if l_in && r_in {
+                    return Some((c.left.1.clone(), c.right.1.clone()));
+                }
+                let l_in_r = ra.contains(&c.left.0);
+                let r_in_l = la.contains(&c.right.0);
+                if l_in_r && r_in_l {
+                    return Some((c.right.1.clone(), c.left.1.clone()));
+                }
+                None
+            })
+            .collect()
+    }
+
+    /// True iff joining these two leaf sets avoids a cartesian product.
+    pub fn connected(&self, left: &BTreeSet<usize>, right: &BTreeSet<usize>) -> bool {
+        !self.conditions_between(left, right).is_empty()
+    }
+
+    /// Non-local predicates that become applicable exactly when a join's
+    /// output covers `aliases` (i.e. were not applicable to either input).
+    /// Returns indices into `post_preds`.
+    pub fn newly_applicable_preds(
+        &self,
+        output_aliases: &BTreeSet<String>,
+        left_aliases: &BTreeSet<String>,
+        right_aliases: &BTreeSet<String>,
+    ) -> Vec<usize> {
+        self.post_preds
+            .iter()
+            .enumerate()
+            .filter(|(_, pp)| {
+                !pp.applied
+                    && pp.aliases.is_subset(output_aliases)
+                    && !pp.aliases.is_subset(left_aliases)
+                    && !pp.aliases.is_subset(right_aliases)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Join-key attributes that jobs producing partial results must still
+    /// collect statistics for: attributes of conditions *not yet internal*
+    /// to a single leaf (§5.4: "only for the needed attributes for
+    /// re-optimization, i.e., the ones that participate in join conditions
+    /// of the still unexecuted part of the join block").
+    pub fn attrs_needed_later(&self, covered: &BTreeSet<String>) -> Vec<String> {
+        let mut out = BTreeSet::new();
+        for c in &self.conditions {
+            if c.bridge(covered).is_some() || !c.internal_to(covered) {
+                if covered.contains(&c.left.0) {
+                    out.insert(c.left.1.clone());
+                }
+                if covered.contains(&c.right.0) {
+                    out.insert(c.right.1.clone());
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Replace the leaves in `leaf_ids` with one materialized leaf reading
+    /// `file` — the DYNOPT plan-update step (Algorithm 2 line 8). Marks the
+    /// post-join predicates that the executed job applied. Returns the new
+    /// leaf's index.
+    pub fn merge_leaves(
+        &mut self,
+        leaf_ids: &BTreeSet<usize>,
+        file: &str,
+        applied_preds: &[usize],
+    ) -> usize {
+        assert!(!leaf_ids.is_empty(), "cannot merge zero leaves");
+        let aliases = self.aliases_of(leaf_ids);
+        for &i in applied_preds {
+            self.post_preds[i].applied = true;
+        }
+        self.next_temp += 1;
+        let name = format!("t{}", self.next_temp);
+        let merged = LeafExpr {
+            name,
+            aliases,
+            source: LeafSource::Materialized {
+                file: file.to_owned(),
+            },
+            local_preds: Vec::new(),
+        };
+        // Remove old leaves (descending order keeps indices valid).
+        let mut ids: Vec<usize> = leaf_ids.iter().copied().collect();
+        ids.sort_unstable_by(|a, b| b.cmp(a));
+        for i in ids {
+            self.leaves.remove(i);
+        }
+        self.leaves.push(merged);
+        self.leaves.len() - 1
+    }
+
+    /// Join-condition attributes produced by one leaf — the attributes
+    /// pilot runs collect statistics for (§4.3: "we only collect
+    /// statistics for the attributes that participate in join predicates").
+    pub fn leaf_join_attrs(&self, leaf: usize) -> Vec<String> {
+        let aliases = &self.leaves[leaf].aliases;
+        let mut out = BTreeSet::new();
+        for c in &self.conditions {
+            if aliases.contains(&c.left.0) {
+                out.insert(c.left.1.clone());
+            }
+            if aliases.contains(&c.right.0) {
+                out.insert(c.right.1.clone());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// [`Self::merge_leaves`] addressed by alias set instead of leaf
+    /// indices — indices shift as leaves merge, alias coverage doesn't, so
+    /// DYNOPT records executed subtrees by alias (Algorithm 2 line 8).
+    ///
+    /// # Panics
+    /// Panics if `aliases` does not exactly cover a set of current leaves.
+    pub fn merge_leaves_by_aliases(
+        &mut self,
+        aliases: &BTreeSet<String>,
+        file: &str,
+        applied_preds: &[usize],
+    ) -> usize {
+        let ids: BTreeSet<usize> = self
+            .leaves
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.aliases.is_subset(aliases))
+            .map(|(i, _)| i)
+            .collect();
+        let covered = self.aliases_of(&ids);
+        assert_eq!(
+            &covered, aliases,
+            "alias set does not align with current leaf boundaries"
+        );
+        self.merge_leaves(&ids, file, applied_preds)
+    }
+
+    /// True when the block has been reduced to a single leaf (fully
+    /// executed).
+    pub fn is_fully_executed(&self) -> bool {
+        self.leaves.len() == 1
+            && matches!(self.leaves[0].source, LeafSource::Materialized { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate};
+    use crate::spec::{QuerySpec, ScanDef};
+
+    fn catalog3() -> SchemaCatalog {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("r"), &["r_id", "r_x"]);
+        cat.add_scan(&ScanDef::table("s"), &["s_id", "s_rid", "s_y"]);
+        cat.add_scan(&ScanDef::table("t"), &["t_id", "t_sid"]);
+        cat
+    }
+
+    fn spec3() -> QuerySpec {
+        QuerySpec::new(
+            "q3",
+            vec![ScanDef::table("r"), ScanDef::table("s"), ScanDef::table("t")],
+        )
+        .filter(Predicate::eq("r_x", 5i64))
+        .filter(Predicate::attr_eq("r_id", "s_rid"))
+        .filter(Predicate::attr_eq("s_id", "t_sid"))
+        .filter(Predicate::udf("check", &["r_x", "s_y"]))
+    }
+
+    #[test]
+    fn pushdown_classifies_conjuncts() {
+        let block = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        assert_eq!(block.num_leaves(), 3);
+        // local predicate landed on r
+        let r = &block.leaves[block.leaf_of_alias("r").unwrap()];
+        assert_eq!(r.local_preds.len(), 1);
+        // two join conditions
+        assert_eq!(block.conditions.len(), 2);
+        // one non-local UDF over r and s
+        assert_eq!(block.post_preds.len(), 1);
+        assert!(block.post_preds[0].aliases.contains("r"));
+        assert!(block.post_preds[0].aliases.contains("s"));
+    }
+
+    #[test]
+    fn unknown_attr_is_an_error() {
+        let spec = QuerySpec::new("bad", vec![ScanDef::table("r")])
+            .filter(Predicate::eq("ghost", 1i64));
+        match JoinBlock::compile(&spec, &catalog3()) {
+            Err(CompileError::UnknownAttribute { attr, .. }) => assert_eq!(attr, "ghost"),
+            other => panic!("expected UnknownAttribute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_from_is_an_error() {
+        let spec = QuerySpec::new("empty", vec![]);
+        assert!(matches!(
+            JoinBlock::compile(&spec, &catalog3()),
+            Err(CompileError::NoRelations)
+        ));
+    }
+
+    #[test]
+    fn conditions_between_finds_bridges() {
+        let block = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        let r = BTreeSet::from([block.leaf_of_alias("r").unwrap()]);
+        let s = BTreeSet::from([block.leaf_of_alias("s").unwrap()]);
+        let t = BTreeSet::from([block.leaf_of_alias("t").unwrap()]);
+        let conds = block.conditions_between(&r, &s);
+        assert_eq!(conds, vec![("r_id".to_owned(), "s_rid".to_owned())]);
+        // orientation flips with argument order
+        let conds = block.conditions_between(&s, &r);
+        assert_eq!(conds, vec![("s_rid".to_owned(), "r_id".to_owned())]);
+        assert!(block.connected(&s, &t));
+        assert!(!block.connected(&r, &t), "r–t would be a cartesian product");
+    }
+
+    #[test]
+    fn merge_leaves_rewrites_block() {
+        let mut block = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        let r = block.leaf_of_alias("r").unwrap();
+        let s = block.leaf_of_alias("s").unwrap();
+        let merged = block.merge_leaves(&BTreeSet::from([r, s]), "tmp/q3_1", &[0]);
+        assert_eq!(block.num_leaves(), 2);
+        let leaf = &block.leaves[merged];
+        assert_eq!(leaf.name, "t1");
+        assert!(leaf.aliases.contains("r") && leaf.aliases.contains("s"));
+        assert!(block.post_preds[0].applied);
+        // the r–s condition is now internal; only s–t remains a bridge
+        let t = block.leaf_of_alias("t").unwrap();
+        let conds = block.conditions_between(&BTreeSet::from([merged]), &BTreeSet::from([t]));
+        assert_eq!(conds, vec![("s_id".to_owned(), "t_sid".to_owned())]);
+        assert!(!block.is_fully_executed());
+        let all: BTreeSet<usize> = (0..block.num_leaves()).collect();
+        block.merge_leaves(&all, "tmp/q3_2", &[]);
+        assert!(block.is_fully_executed());
+    }
+
+    #[test]
+    fn newly_applicable_preds_trigger_once() {
+        let block = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        let rs: BTreeSet<String> = ["r", "s"].iter().map(|s| s.to_string()).collect();
+        let r: BTreeSet<String> = ["r"].iter().map(|s| s.to_string()).collect();
+        let s: BTreeSet<String> = ["s"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(block.newly_applicable_preds(&rs, &r, &s), vec![0]);
+        // joining (r,s) with t: pred already applicable to the left input
+        let rst: BTreeSet<String> = ["r", "s", "t"].iter().map(|x| x.to_string()).collect();
+        let t: BTreeSet<String> = ["t"].iter().map(|x| x.to_string()).collect();
+        assert!(block.newly_applicable_preds(&rst, &rs, &t).is_empty());
+    }
+
+    #[test]
+    fn attrs_needed_later() {
+        let block = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        let rs: BTreeSet<String> = ["r", "s"].iter().map(|s| s.to_string()).collect();
+        // after joining r and s, only s_id feeds the remaining join with t
+        assert_eq!(block.attrs_needed_later(&rs), vec!["s_id".to_owned()]);
+    }
+
+    #[test]
+    fn signatures_are_canonical() {
+        let block = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        let r = &block.leaves[block.leaf_of_alias("r").unwrap()];
+        let sig = r.signature();
+        assert!(sig.contains("scan(r)"));
+        assert!(sig.contains("r_x=5"));
+        // identical leaf built differently yields the same signature
+        let r2 = LeafExpr {
+            name: "other".into(),
+            aliases: BTreeSet::from(["r".to_owned()]),
+            source: LeafSource::Table {
+                table: "r".into(),
+                renames: vec![],
+            },
+            local_preds: vec![Predicate::cmp("r_x", CmpOp::Eq, 5i64)],
+        };
+        assert_eq!(sig, r2.signature());
+    }
+}

@@ -1,0 +1,300 @@
+//! Jaql's native join planning (§2.2.2) — the baseline DYNO improves upon.
+//!
+//! The stock Jaql compiler:
+//!
+//! * produces **only left-deep plans**, taking relations in FROM-clause
+//!   order, deviating only to avoid cartesian products;
+//! * defaults every join to a **repartition join**;
+//! * rewrites a join to a **broadcast join** only when the *file size on
+//!   disk* of a base relation fits in memory — it has no selectivity
+//!   estimation, so filters and UDFs are ignored (the limitation pilot
+//!   runs remove);
+//! * **chains** consecutive broadcast joins when the build-side files fit
+//!   in memory simultaneously.
+//!
+//! `BESTSTATICJAQL` in the experiments is this compiler applied to the
+//! best FROM-clause permutation.
+
+use std::collections::BTreeSet;
+
+use crate::block::{JoinBlock, LeafSource};
+use crate::plan::{JoinMethod, PhysNode};
+
+/// File-size oracle: simulated bytes of each leaf's *underlying file*
+/// (base table file for scans, materialized file for intermediates).
+/// This is all the stock Jaql rewrite gets to look at.
+pub trait FileSizes {
+    /// Simulated on-disk size of leaf `i`'s input file.
+    fn file_bytes(&self, leaf: usize) -> u64;
+}
+
+impl FileSizes for Vec<u64> {
+    fn file_bytes(&self, leaf: usize) -> u64 {
+        self[leaf]
+    }
+}
+
+/// Compile a join block the way stock Jaql would (§2.2.2).
+///
+/// `memory_budget` is the per-task memory available for a broadcast build
+/// side; `sizes` reports raw file sizes (Jaql's only statistic).
+///
+/// # Panics
+/// Panics if the block has no leaves.
+pub fn jaql_heuristic_plan(
+    block: &JoinBlock,
+    sizes: &dyn FileSizes,
+    memory_budget: u64,
+) -> PhysNode {
+    let n = block.num_leaves();
+    assert!(n > 0, "join block must have at least one leaf");
+
+    // Choose the left-deep order: FROM-clause order, avoiding cartesian
+    // products when possible.
+    let from_rank = |leaf: usize| -> usize {
+        // A leaf's rank is the earliest FROM position among its aliases.
+        block.leaves[leaf]
+            .aliases
+            .iter()
+            .filter_map(|a| block.from_order.iter().position(|f| f == a))
+            .min()
+            .unwrap_or(usize::MAX)
+    };
+    let mut remaining: Vec<usize> = (0..n).collect();
+    remaining.sort_by_key(|&l| from_rank(l));
+
+    let mut order: Vec<usize> = vec![remaining.remove(0)];
+    let mut joined: BTreeSet<usize> = order.iter().copied().collect();
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|&cand| block.connected(&joined, &BTreeSet::from([cand])))
+            .unwrap_or(0); // disconnected graph: fall back to FROM order
+        let leaf = remaining.remove(pick);
+        joined.insert(leaf);
+        order.push(leaf);
+    }
+
+    // Build the left-deep plan, applying the small-file broadcast rewrite.
+    let mut plan = PhysNode::Leaf(order[0]);
+    for &leaf in &order[1..] {
+        let method = if sizes.file_bytes(leaf) <= memory_budget {
+            JoinMethod::Broadcast
+        } else {
+            JoinMethod::Repartition
+        };
+        plan = PhysNode::join(method, plan, PhysNode::Leaf(leaf));
+    }
+
+    mark_broadcast_chains(&mut plan, sizes, memory_budget);
+    plan
+}
+
+/// Mark consecutive broadcast joins as chained while their build-side
+/// files *simultaneously* fit in the memory budget (§2.2.2: "when there
+/// are more than one consecutive broadcast joins, and the relations that
+/// appear in the build side of these joins simultaneously fit in memory").
+///
+/// Works on arbitrary (bushy) plans: a chain extends through the probe
+/// (left) child. Public so the cost-based optimizer can reuse it after
+/// its own join-method selection (§5.2's chain rule).
+pub fn mark_broadcast_chains(plan: &mut PhysNode, sizes: &dyn FileSizes, memory_budget: u64) {
+    chain_walk(plan, sizes, memory_budget);
+}
+
+/// Returns the cumulative build-side bytes of the broadcast chain ending
+/// at `node` (0 when `node` is not a broadcast join).
+fn chain_walk(node: &mut PhysNode, sizes: &dyn FileSizes, budget: u64) -> u64 {
+    match node {
+        PhysNode::Leaf(_) => 0,
+        PhysNode::Join {
+            method,
+            left,
+            right,
+            chained,
+        } => {
+            // Right (build) side first: chains inside it are independent.
+            chain_walk(right, sizes, budget);
+            let left_chain = chain_walk(left, sizes, budget);
+            if *method != JoinMethod::Broadcast {
+                *chained = false;
+                return 0;
+            }
+            let build_bytes = subtree_input_bytes(right, sizes);
+            if left_chain > 0 && left_chain + build_bytes <= budget {
+                *chained = true;
+                left_chain + build_bytes
+            } else {
+                *chained = false;
+                build_bytes
+            }
+        }
+    }
+}
+
+/// Raw file bytes under a node (what Jaql would look at for a build side
+/// that is itself a leaf; a join build side is estimated by its inputs).
+fn subtree_input_bytes(node: &PhysNode, sizes: &dyn FileSizes) -> u64 {
+    match node {
+        PhysNode::Leaf(i) => sizes.file_bytes(*i),
+        PhysNode::Join { left, right, .. } => {
+            subtree_input_bytes(left, sizes) + subtree_input_bytes(right, sizes)
+        }
+    }
+}
+
+/// Convenience: gather leaf file sizes from a lookup of table name → size.
+/// Materialized leaves resolve through the same lookup by file name.
+pub fn leaf_sizes_from<F>(block: &JoinBlock, lookup: F) -> Vec<u64>
+where
+    F: Fn(&str) -> u64,
+{
+    block
+        .leaves
+        .iter()
+        .map(|leaf| match &leaf.source {
+            LeafSource::Table { table, .. } => lookup(table),
+            LeafSource::Materialized { file } => lookup(file),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::spec::{QuerySpec, ScanDef, SchemaCatalog};
+
+    /// a—b—c—d path join graph, FROM order a,b,c,d.
+    fn chain_block() -> JoinBlock {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("a"), &["a_id"]);
+        cat.add_scan(&ScanDef::table("b"), &["b_aid", "b_id"]);
+        cat.add_scan(&ScanDef::table("c"), &["c_bid", "c_id"]);
+        cat.add_scan(&ScanDef::table("d"), &["d_cid"]);
+        let spec = QuerySpec::new(
+            "q",
+            vec![
+                ScanDef::table("a"),
+                ScanDef::table("b"),
+                ScanDef::table("c"),
+                ScanDef::table("d"),
+            ],
+        )
+        .filter(Predicate::attr_eq("a_id", "b_aid"))
+        .filter(Predicate::attr_eq("b_id", "c_bid"))
+        .filter(Predicate::attr_eq("c_id", "d_cid"));
+        JoinBlock::compile(&spec, &cat).unwrap()
+    }
+
+    #[test]
+    fn follows_from_order_when_connected() {
+        let block = chain_block();
+        let sizes = vec![u64::MAX / 8; 4]; // nothing fits in memory
+        let plan = jaql_heuristic_plan(&block, &sizes, 1024);
+        assert!(plan.is_left_deep());
+        assert_eq!(plan.render_inline(&block), "(((a ⋈r b) ⋈r c) ⋈r d)");
+    }
+
+    #[test]
+    fn avoids_cartesian_products() {
+        // FROM order a, c, b, d — `c` is not connected to `a`, so Jaql
+        // must pick `b` first.
+        let block = {
+            let mut b = chain_block();
+            b.from_order = vec!["a".into(), "c".into(), "b".into(), "d".into()];
+            b
+        };
+        let sizes = vec![u64::MAX / 8; 4];
+        let plan = jaql_heuristic_plan(&block, &sizes, 1024);
+        assert_eq!(plan.render_inline(&block), "(((a ⋈r b) ⋈r c) ⋈r d)");
+    }
+
+    #[test]
+    fn small_files_become_broadcast_builds() {
+        let block = chain_block();
+        // b and c tiny, d huge
+        let sizes = vec![1 << 40, 100, 100, 1 << 40];
+        let plan = jaql_heuristic_plan(&block, &sizes, 1024);
+        // `chained` marks a join that runs in the same job as the join
+        // below its probe side, so the first ⋈b starts the job and the
+        // second carries the chain marker.
+        assert_eq!(plan.render_inline(&block), "(((a ⋈b b) ⋈b· c) ⋈r d)");
+    }
+
+    #[test]
+    fn chaining_respects_combined_budget() {
+        let block = chain_block();
+        // b and c both fit alone (600 ≤ 1024) but not together (1200 > 1024)
+        let sizes = vec![1 << 40, 600, 600, 1 << 40];
+        let plan = jaql_heuristic_plan(&block, &sizes, 1024);
+        // both joins broadcast but NOT chained
+        assert_eq!(plan.render_inline(&block), "(((a ⋈b b) ⋈b c) ⋈r d)");
+    }
+
+    #[test]
+    fn single_relation_plan_is_a_leaf() {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("solo"), &["x"]);
+        let spec = QuerySpec::new("q1", vec![ScanDef::table("solo")]);
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let plan = jaql_heuristic_plan(&block, &vec![10u64], 1024);
+        assert_eq!(plan, PhysNode::Leaf(0));
+    }
+}
+
+#[cfg(test)]
+mod more_jaql_tests {
+    use super::*;
+    use crate::block::LeafSource;
+    use crate::predicate::Predicate;
+    use crate::spec::{QuerySpec, ScanDef, SchemaCatalog};
+
+    #[test]
+    fn leaf_sizes_resolve_tables_and_materialized_files() {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("a"), &["a_id"]);
+        cat.add_scan(&ScanDef::table("b"), &["b_aid"]);
+        let spec = QuerySpec::new("q", vec![ScanDef::table("a"), ScanDef::table("b")])
+            .filter(Predicate::attr_eq("a_id", "b_aid"));
+        let mut block = JoinBlock::compile(&spec, &cat).unwrap();
+        block.leaves[1].source = LeafSource::Materialized {
+            file: "tmp/x".into(),
+        };
+        let sizes = leaf_sizes_from(&block, |name| match name {
+            "a" => 111,
+            "tmp/x" => 222,
+            _ => panic!("unexpected lookup {name}"),
+        });
+        assert_eq!(sizes, vec![111, 222]);
+    }
+
+    #[test]
+    fn materialized_leaf_participates_in_ordering() {
+        // A merged (materialized) leaf covering two aliases ranks at the
+        // earliest FROM position of its aliases.
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("a"), &["a_id"]);
+        cat.add_scan(&ScanDef::table("b"), &["b_aid", "b_id"]);
+        cat.add_scan(&ScanDef::table("c"), &["c_bid"]);
+        let spec = QuerySpec::new(
+            "q",
+            vec![ScanDef::table("a"), ScanDef::table("b"), ScanDef::table("c")],
+        )
+        .filter(Predicate::attr_eq("a_id", "b_aid"))
+        .filter(Predicate::attr_eq("b_id", "c_bid"));
+        let mut block = JoinBlock::compile(&spec, &cat).unwrap();
+        let merged = block.merge_leaves_by_aliases(
+            &["a".to_owned(), "b".to_owned()].into_iter().collect(),
+            "tmp/ab",
+            &[],
+        );
+        let sizes = vec![u64::MAX / 8; block.num_leaves()];
+        let plan = jaql_heuristic_plan(&block, &sizes, 1024);
+        // t1 (covering a,b) comes first, then c
+        assert_eq!(
+            plan.render_inline(&block),
+            format!("({} ⋈r c)", block.leaves[merged].name)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # dyno-query
+//!
+//! The query intermediate representation and Jaql-style compiler front end.
+//!
+//! A query (§3 of the paper) arrives as a declarative [`QuerySpec`]
+//! (FROM-clause relations + WHERE conjuncts + optional group-by/order-by).
+//! The compiler applies the heuristic rewrites the Jaql compiler applies
+//! before DYNO takes over — most importantly **filter push-down** — and
+//! produces a [`JoinBlock`]: scans consolidated with their local
+//! predicates/UDFs ("leaf expressions", `lexp_R` in Algorithm 1), the
+//! equi-join graph, and the non-local predicates that must wait for join
+//! results.
+//!
+//! The crate also hosts:
+//!
+//! * [`udf`] — the user-defined-function registry (UDFs are opaque to
+//!   static optimizers; their selectivity is exactly what pilot runs
+//!   measure);
+//! * [`plan`] — the *physical* join-plan tree shared by the cost-based
+//!   optimizer, the Jaql heuristic compiler and the executor;
+//! * [`jaql`] — Jaql's native join planning (§2.2.2): FROM-order left-deep
+//!   plans, the small-file broadcast rewrite, and broadcast chaining —
+//!   the baseline DYNO is measured against.
+
+pub mod block;
+pub mod jaql;
+pub mod plan;
+pub mod predicate;
+pub mod spec;
+pub mod sql;
+pub mod udf;
+
+pub use block::{JoinBlock, JoinCondition, LeafExpr, LeafSource};
+pub use plan::{JoinMethod, PhysNode};
+pub use predicate::{CmpOp, Operand, Predicate};
+pub use spec::{AggFn, GroupBySpec, OrderBySpec, QuerySpec, ScanDef, SchemaCatalog};
+pub use sql::parse_sql;
+pub use udf::{UdfDef, UdfRegistry};

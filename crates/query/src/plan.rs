@@ -1,0 +1,242 @@
+//! Physical join plans — the tree the optimizer emits, the Jaql heuristic
+//! compiler emits, and the executor consumes.
+//!
+//! Only two join methods exist on the platform (§2.2.1): the **repartition
+//! join** (one full MapReduce job: both inputs shuffled by key) and the
+//! **broadcast join** (map-only: the small side is loaded into a hash table
+//! by every map task of the probe side). Consecutive broadcast joins whose
+//! build sides fit in memory together can be *chained* into a single
+//! map-only job (§2.2.2, §5.2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::block::JoinBlock;
+
+/// Join algorithm (§2.2.1). For [`JoinMethod::Broadcast`] the **right**
+/// child is the build (small, broadcast) side and the left child is the
+/// probe side — matching the paper's `R ⋈b S` with `S` small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMethod {
+    /// Map+reduce job; both sides shuffled on the join key.
+    Repartition,
+    /// Map-only job; right side broadcast and hashed.
+    Broadcast,
+}
+
+impl fmt::Display for JoinMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinMethod::Repartition => write!(f, "⋈r"),
+            JoinMethod::Broadcast => write!(f, "⋈b"),
+        }
+    }
+}
+
+/// A physical plan node over a [`JoinBlock`]'s leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysNode {
+    /// A leaf expression, by index into [`JoinBlock::leaves`].
+    Leaf(usize),
+    /// A binary join.
+    Join {
+        /// Algorithm.
+        method: JoinMethod,
+        /// Probe / big side.
+        left: Box<PhysNode>,
+        /// Build side for broadcast; either side for repartition.
+        right: Box<PhysNode>,
+        /// True iff this broadcast join executes in the *same map-only job*
+        /// as the join producing its left input (broadcast chaining): the
+        /// intermediate result is never materialized.
+        chained: bool,
+    },
+}
+
+impl PhysNode {
+    /// A join node builder.
+    pub fn join(method: JoinMethod, left: PhysNode, right: PhysNode) -> PhysNode {
+        PhysNode::Join {
+            method,
+            left: Box::new(left),
+            right: Box::new(right),
+            chained: false,
+        }
+    }
+
+    /// The set of leaf indices under this node.
+    pub fn leaf_set(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            PhysNode::Leaf(i) => {
+                out.insert(*i);
+            }
+            PhysNode::Join { left, right, .. } => {
+                left.collect_leaves(out);
+                right.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of join operators in the subtree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            PhysNode::Leaf(_) => 0,
+            PhysNode::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+
+    /// True iff the plan is left-deep (every right child is a leaf).
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            PhysNode::Leaf(_) => true,
+            PhysNode::Join { left, right, .. } => {
+                matches!(**right, PhysNode::Leaf(_)) && left.is_left_deep()
+            }
+        }
+    }
+
+    /// Compact one-line rendering, e.g. `((l ⋈r p) ⋈b s)`.
+    pub fn render_inline(&self, block: &JoinBlock) -> String {
+        match self {
+            PhysNode::Leaf(i) => block.leaves[*i].name.clone(),
+            PhysNode::Join {
+                method,
+                left,
+                right,
+                chained,
+            } => {
+                let chain = if *chained { "·" } else { "" };
+                format!(
+                    "({} {method}{chain} {})",
+                    left.render_inline(block),
+                    right.render_inline(block)
+                )
+            }
+        }
+    }
+
+    /// Multi-line tree rendering in the style of the paper's Figures 2–3.
+    pub fn render_tree(&self, block: &JoinBlock) -> String {
+        let mut out = String::new();
+        self.render_tree_inner(block, "", "", &mut out);
+        out
+    }
+
+    fn render_tree_inner(
+        &self,
+        block: &JoinBlock,
+        connector: &str,
+        child_prefix: &str,
+        out: &mut String,
+    ) {
+        match self {
+            PhysNode::Leaf(i) => {
+                let leaf = &block.leaves[*i];
+                let preds = if leaf.has_local_preds() {
+                    let ps: Vec<String> =
+                        leaf.local_preds.iter().map(|p| p.to_string()).collect();
+                    format!(" σ[{}]", ps.join(" AND "))
+                } else {
+                    String::new()
+                };
+                out.push_str(&format!("{connector}{}{preds}\n", leaf.name));
+            }
+            PhysNode::Join {
+                method,
+                left,
+                right,
+                chained,
+            } => {
+                let chain = if *chained { " (chained)" } else { "" };
+                out.push_str(&format!("{connector}{method}{chain}\n"));
+                left.render_tree_inner(
+                    block,
+                    &format!("{child_prefix}├─ "),
+                    &format!("{child_prefix}│  "),
+                    out,
+                );
+                right.render_tree_inner(
+                    block,
+                    &format!("{child_prefix}└─ "),
+                    &format!("{child_prefix}   "),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::spec::{QuerySpec, ScanDef, SchemaCatalog};
+
+    fn block() -> JoinBlock {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("a"), &["a_id"]);
+        cat.add_scan(&ScanDef::table("b"), &["b_id", "b_aid"]);
+        cat.add_scan(&ScanDef::table("c"), &["c_bid"]);
+        let spec = QuerySpec::new(
+            "q",
+            vec![ScanDef::table("a"), ScanDef::table("b"), ScanDef::table("c")],
+        )
+        .filter(Predicate::attr_eq("a_id", "b_aid"))
+        .filter(Predicate::attr_eq("b_id", "c_bid"))
+        .filter(Predicate::eq("a_id", 7i64));
+        JoinBlock::compile(&spec, &cat).unwrap()
+    }
+
+    #[test]
+    fn leaf_set_and_join_count() {
+        let p = PhysNode::join(
+            JoinMethod::Repartition,
+            PhysNode::join(JoinMethod::Broadcast, PhysNode::Leaf(0), PhysNode::Leaf(1)),
+            PhysNode::Leaf(2),
+        );
+        assert_eq!(p.leaf_set(), BTreeSet::from([0, 1, 2]));
+        assert_eq!(p.join_count(), 2);
+    }
+
+    #[test]
+    fn left_deep_detection() {
+        let ld = PhysNode::join(
+            JoinMethod::Repartition,
+            PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1)),
+            PhysNode::Leaf(2),
+        );
+        assert!(ld.is_left_deep());
+        let bushy = PhysNode::join(
+            JoinMethod::Repartition,
+            PhysNode::Leaf(0),
+            PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(1), PhysNode::Leaf(2)),
+        );
+        assert!(!bushy.is_left_deep());
+    }
+
+    #[test]
+    fn inline_render() {
+        let b = block();
+        let p = PhysNode::join(
+            JoinMethod::Broadcast,
+            PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1)),
+            PhysNode::Leaf(2),
+        );
+        assert_eq!(p.render_inline(&b), "((a ⋈r b) ⋈b c)");
+    }
+
+    #[test]
+    fn tree_render_shows_predicates() {
+        let b = block();
+        let p = PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1));
+        let s = p.render_tree(&b);
+        assert!(s.contains("⋈r"));
+        assert!(s.contains("σ[a_id=7]"), "got: {s}");
+    }
+}

@@ -1,0 +1,388 @@
+//! Predicates: comparisons, string patterns, UDF invocations, boolean
+//! combinations — evaluated over single (possibly joined/merged) records.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use dyno_data::{Path, Value};
+
+use crate::udf::UdfRegistry;
+
+/// Comparison operators, including the string patterns TPC-H needs
+/// (`p_type LIKE '%BRASS'` → [`CmpOp::EndsWith`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// String prefix match (`LIKE 'x%'`).
+    StartsWith,
+    /// String suffix match (`LIKE '%x'`).
+    EndsWith,
+    /// String containment (`LIKE '%x%'`).
+    Contains,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::StartsWith => "starts_with",
+            CmpOp::EndsWith => "ends_with",
+            CmpOp::Contains => "contains",
+        };
+        f.write_str(s)
+    }
+}
+
+impl CmpOp {
+    /// Apply the operator to two values. Comparisons involving `null`
+    /// are false (SQL-ish three-valued logic collapsed to two).
+    pub fn apply(&self, left: &Value, right: &Value) -> bool {
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => left == right,
+            CmpOp::Ne => left != right,
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+            CmpOp::StartsWith | CmpOp::EndsWith | CmpOp::Contains => {
+                match (left.as_str(), right.as_str()) {
+                    (Some(l), Some(r)) => match self {
+                        CmpOp::StartsWith => l.starts_with(r),
+                        CmpOp::EndsWith => l.ends_with(r),
+                        _ => l.contains(r),
+                    },
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+/// The right-hand side of a comparison: a literal or another attribute.
+/// Attribute-vs-attribute equality across relations is a join condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A constant.
+    Literal(Value),
+    /// Another attribute of the (merged) record.
+    Attr(Path),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Literal(v) => write!(f, "{v}"),
+            Operand::Attr(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A boolean predicate over one record.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// `path op operand`.
+    Compare {
+        /// Left-hand attribute.
+        left: Path,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand side.
+        right: Operand,
+    },
+    /// A (filtering) UDF call: `udf(args...) = true`.
+    Udf {
+        /// Registry name.
+        name: Arc<str>,
+        /// Argument attribute paths, resolved against the record.
+        args: Vec<Path>,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `path op literal` convenience constructor.
+    pub fn cmp(path: impl AsRef<str>, op: CmpOp, literal: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            left: path.as_ref().parse().expect("valid path literal"),
+            op,
+            right: Operand::Literal(literal.into()),
+        }
+    }
+
+    /// `path = literal` convenience constructor.
+    pub fn eq(path: impl AsRef<str>, literal: impl Into<Value>) -> Self {
+        Predicate::cmp(path, CmpOp::Eq, literal)
+    }
+
+    /// Attribute-vs-attribute equality (`a.x = b.y`) — a join condition
+    /// when the attributes come from different relations.
+    pub fn attr_eq(left: impl AsRef<str>, right: impl AsRef<str>) -> Self {
+        Predicate::Compare {
+            left: left.as_ref().parse().expect("valid path literal"),
+            op: CmpOp::Eq,
+            right: Operand::Attr(right.as_ref().parse().expect("valid path literal")),
+        }
+    }
+
+    /// UDF predicate constructor.
+    pub fn udf(name: &str, args: &[&str]) -> Self {
+        Predicate::Udf {
+            name: Arc::from(name),
+            args: args
+                .iter()
+                .map(|a| a.parse().expect("valid path literal"))
+                .collect(),
+        }
+    }
+
+    /// Evaluate against a record.
+    pub fn eval(&self, record: &Value, udfs: &UdfRegistry) -> bool {
+        match self {
+            Predicate::Compare { left, op, right } => {
+                let lv = left.eval(record);
+                match right {
+                    Operand::Literal(v) => op.apply(lv, v),
+                    Operand::Attr(p) => op.apply(lv, p.eval(record)),
+                }
+            }
+            Predicate::Udf { name, args } => {
+                let resolved: Vec<&Value> = args.iter().map(|p| p.eval(record)).collect();
+                udfs.call(name, &resolved).is_truthy()
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(record, udfs)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(record, udfs)),
+            Predicate::Not(p) => !p.eval(record, udfs),
+        }
+    }
+
+    /// Simulated CPU cost of evaluating this predicate once (UDF costs sum;
+    /// plain comparisons are free relative to the per-record baseline).
+    pub fn cpu_cost(&self, udfs: &UdfRegistry) -> f64 {
+        match self {
+            Predicate::Compare { .. } => 0.0,
+            Predicate::Udf { name, .. } => udfs.cost(name),
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().map(|p| p.cpu_cost(udfs)).sum()
+            }
+            Predicate::Not(p) => p.cpu_cost(udfs),
+        }
+    }
+
+    /// Top-level attribute names this predicate reads — the basis of
+    /// push-down: a predicate is *local* to a relation iff every referenced
+    /// attribute belongs to that relation (§1, footnote 1).
+    pub fn referenced_attrs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Predicate::Compare { left, right, .. } => {
+                if let Some(h) = left.head_field() {
+                    out.insert(h.to_owned());
+                }
+                if let Operand::Attr(p) = right {
+                    if let Some(h) = p.head_field() {
+                        out.insert(h.to_owned());
+                    }
+                }
+            }
+            Predicate::Udf { args, .. } => {
+                for p in args {
+                    if let Some(h) = p.head_field() {
+                        out.insert(h.to_owned());
+                    }
+                }
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_attrs(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_attrs(out),
+        }
+    }
+
+    /// True iff this is an equi-comparison between two attributes —
+    /// the shape of a join condition.
+    pub fn as_attr_equality(&self) -> Option<(&Path, &Path)> {
+        match self {
+            Predicate::Compare {
+                left,
+                op: CmpOp::Eq,
+                right: Operand::Attr(r),
+            } => Some((left, r)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Compare { left, op, right } => match op {
+                CmpOp::StartsWith | CmpOp::EndsWith | CmpOp::Contains => {
+                    write!(f, "{op}({left},{right})")
+                }
+                _ => write!(f, "{left}{op}{right}"),
+            },
+            Predicate::Udf { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::Not(p) => write!(f, "NOT {p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_data::Record;
+
+    fn rec() -> Value {
+        Value::Record(
+            Record::new()
+                .with("a", 10i64)
+                .with("b", "brassy BRASS")
+                .with("c", Value::Null)
+                .with(
+                    "addr",
+                    Value::Array(vec![Value::Record(Record::new().with("zip", 94301i64))]),
+                ),
+        )
+    }
+
+    #[test]
+    fn comparisons() {
+        let udfs = UdfRegistry::new();
+        assert!(Predicate::eq("a", 10i64).eval(&rec(), &udfs));
+        assert!(Predicate::cmp("a", CmpOp::Lt, 11i64).eval(&rec(), &udfs));
+        assert!(!Predicate::cmp("a", CmpOp::Gt, 11i64).eval(&rec(), &udfs));
+        assert!(Predicate::cmp("b", CmpOp::EndsWith, "BRASS").eval(&rec(), &udfs));
+        assert!(Predicate::cmp("b", CmpOp::StartsWith, "brass").eval(&rec(), &udfs));
+        assert!(Predicate::cmp("b", CmpOp::Contains, "ssy").eval(&rec(), &udfs));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let udfs = UdfRegistry::new();
+        assert!(!Predicate::eq("c", 1i64).eval(&rec(), &udfs));
+        assert!(!Predicate::cmp("c", CmpOp::Ne, 1i64).eval(&rec(), &udfs));
+        assert!(!Predicate::eq("missing", 1i64).eval(&rec(), &udfs));
+    }
+
+    #[test]
+    fn nested_path_predicate() {
+        let udfs = UdfRegistry::new();
+        assert!(Predicate::eq("addr[0].zip", 94301i64).eval(&rec(), &udfs));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let udfs = UdfRegistry::new();
+        let t = Predicate::eq("a", 10i64);
+        let f = Predicate::eq("a", 11i64);
+        assert!(Predicate::And(vec![t.clone(), t.clone()]).eval(&rec(), &udfs));
+        assert!(!Predicate::And(vec![t.clone(), f.clone()]).eval(&rec(), &udfs));
+        assert!(Predicate::Or(vec![f.clone(), t.clone()]).eval(&rec(), &udfs));
+        assert!(Predicate::Not(Box::new(f)).eval(&rec(), &udfs));
+    }
+
+    #[test]
+    fn udf_predicate_and_cost() {
+        let mut udfs = UdfRegistry::new();
+        udfs.register_costed("big", 0.001, |args| {
+            Value::Bool(args[0].as_long().is_some_and(|v| v > 5))
+        });
+        let p = Predicate::udf("big", &["a"]);
+        assert!(p.eval(&rec(), &udfs));
+        assert_eq!(p.cpu_cost(&udfs), 0.001);
+        let and = Predicate::And(vec![p.clone(), p]);
+        assert_eq!(and.cpu_cost(&udfs), 0.002);
+    }
+
+    #[test]
+    fn referenced_attrs_cover_all_shapes() {
+        let p = Predicate::And(vec![
+            Predicate::eq("addr[0].zip", 94301i64),
+            Predicate::udf("f", &["x", "y.z"]),
+            Predicate::attr_eq("k1", "k2"),
+        ]);
+        let attrs = p.referenced_attrs();
+        let expect: BTreeSet<String> = ["addr", "x", "y", "k1", "k2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(attrs, expect);
+    }
+
+    #[test]
+    fn join_condition_shape_detection() {
+        assert!(Predicate::attr_eq("a", "b").as_attr_equality().is_some());
+        assert!(Predicate::eq("a", 1i64).as_attr_equality().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Predicate::eq("a", 1i64).to_string(), "a=1");
+        assert_eq!(
+            Predicate::cmp("b", CmpOp::EndsWith, "X").to_string(),
+            "ends_with(b,\"X\")"
+        );
+        assert_eq!(Predicate::udf("f", &["x"]).to_string(), "f(x)");
+    }
+}

@@ -1,0 +1,348 @@
+//! Declarative query specifications — the SELECT-FROM-WHERE surface.
+//!
+//! A [`QuerySpec`] is what a user (or the TPC-H catalog in `dyno-tpch`)
+//! writes: relations with aliases and optional attribute renames, a flat
+//! list of WHERE conjuncts, and optional grouping/ordering applied after
+//! the join block (the paper's compiler separates join blocks at
+//! aggregation boundaries, §3).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dyno_data::Path;
+
+use crate::predicate::Predicate;
+
+/// One FROM-clause entry: a base table scanned under an alias, with
+/// optional attribute renames (self-joins like `nation n1, nation n2`
+/// rename `n_name` → `n1_name` / `n2_name` so attribute names stay unique
+/// across the whole query — the invariant the merged-record join model
+/// relies on).
+#[derive(Debug, Clone)]
+pub struct ScanDef {
+    /// Base table name in the DFS.
+    pub table: String,
+    /// Alias within the query (defaults to the table name).
+    pub alias: String,
+    /// `(original, renamed)` attribute pairs applied at scan time.
+    pub renames: Vec<(String, String)>,
+}
+
+impl ScanDef {
+    /// Scan a table under its own name.
+    pub fn table(name: impl AsRef<str>) -> Self {
+        ScanDef {
+            table: name.as_ref().to_owned(),
+            alias: name.as_ref().to_owned(),
+            renames: Vec::new(),
+        }
+    }
+
+    /// Scan a table under an alias.
+    pub fn aliased(table: impl AsRef<str>, alias: impl AsRef<str>) -> Self {
+        ScanDef {
+            table: table.as_ref().to_owned(),
+            alias: alias.as_ref().to_owned(),
+            renames: Vec::new(),
+        }
+    }
+
+    /// Builder: add an attribute rename.
+    pub fn rename(mut self, from: impl AsRef<str>, to: impl AsRef<str>) -> Self {
+        self.renames
+            .push((from.as_ref().to_owned(), to.as_ref().to_owned()));
+        self
+    }
+
+    /// The output attribute name for `attr` after renames.
+    pub fn output_attr(&self, attr: &str) -> String {
+        self.renames
+            .iter()
+            .find(|(from, _)| from == attr)
+            .map(|(_, to)| to.clone())
+            .unwrap_or_else(|| attr.to_owned())
+    }
+}
+
+/// Aggregate functions supported after a join block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Row count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Arithmetic mean.
+    Avg,
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFn::Count => "count",
+            AggFn::Sum => "sum",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Avg => "avg",
+        };
+        f.write_str(s)
+    }
+}
+
+/// GROUP BY specification: grouping keys plus aggregates.
+#[derive(Debug, Clone)]
+pub struct GroupBySpec {
+    /// Grouping key attributes.
+    pub keys: Vec<Path>,
+    /// `(output name, function, input attribute)` triples. For
+    /// [`AggFn::Count`] the input path is ignored.
+    pub aggs: Vec<(String, AggFn, Path)>,
+}
+
+/// ORDER BY specification (with optional LIMIT).
+#[derive(Debug, Clone)]
+pub struct OrderBySpec {
+    /// Sort keys; `true` = descending.
+    pub keys: Vec<(Path, bool)>,
+    /// Optional row limit.
+    pub limit: Option<usize>,
+}
+
+/// A full declarative query.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Query name (e.g. `Q8'`), used for display and DFS temp-file naming.
+    pub name: String,
+    /// FROM clause, in user-written order (Jaql's join order heuristic is
+    /// sensitive to this order — §2.2.2).
+    pub relations: Vec<ScanDef>,
+    /// WHERE conjuncts: local predicates, join conditions and non-local
+    /// UDFs all mixed together; the compiler sorts them out.
+    pub predicates: Vec<Predicate>,
+    /// Optional aggregation applied to the join-block output.
+    pub group_by: Option<GroupBySpec>,
+    /// Optional ordering applied last.
+    pub order_by: Option<OrderBySpec>,
+}
+
+impl QuerySpec {
+    /// A query with the given name and FROM clause, no predicates yet.
+    pub fn new(name: impl AsRef<str>, relations: Vec<ScanDef>) -> Self {
+        QuerySpec {
+            name: name.as_ref().to_owned(),
+            relations,
+            predicates: Vec::new(),
+            group_by: None,
+            order_by: None,
+        }
+    }
+
+    /// Builder: add a WHERE conjunct.
+    pub fn filter(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Builder: set grouping.
+    pub fn group(mut self, g: GroupBySpec) -> Self {
+        self.group_by = Some(g);
+        self
+    }
+
+    /// Builder: set ordering.
+    pub fn order(mut self, o: OrderBySpec) -> Self {
+        self.order_by = Some(o);
+        self
+    }
+
+    /// Reorder the FROM clause to the given alias order (used by the
+    /// BESTSTATICJAQL baseline, which tries all FROM permutations).
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of the query's aliases.
+    pub fn with_from_order(&self, order: &[&str]) -> QuerySpec {
+        assert_eq!(order.len(), self.relations.len(), "not a permutation");
+        let relations = order
+            .iter()
+            .map(|alias| {
+                self.relations
+                    .iter()
+                    .find(|r| r.alias == *alias)
+                    .unwrap_or_else(|| panic!("alias {alias:?} not in query"))
+                    .clone()
+            })
+            .collect();
+        QuerySpec {
+            relations,
+            ..self.clone()
+        }
+    }
+}
+
+/// Maps every query-wide attribute name to the alias that produces it.
+///
+/// Built from the tables' schemas plus the scan renames; this is what
+/// filter push-down uses to decide whether a predicate is local (§1,
+/// footnote 1: "an operation is local to a table if it only refers to
+/// attributes from that table").
+#[derive(Debug, Clone, Default)]
+pub struct SchemaCatalog {
+    attr_owner: BTreeMap<String, String>,
+    alias_attrs: BTreeMap<String, Vec<String>>,
+}
+
+impl SchemaCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        SchemaCatalog::default()
+    }
+
+    /// Register the output attributes of one scan.
+    ///
+    /// # Panics
+    /// Panics if an attribute name is already owned by another alias —
+    /// the unique-names invariant would be broken.
+    pub fn add_scan(&mut self, scan: &ScanDef, table_attrs: &[&str]) {
+        for attr in table_attrs {
+            let out = scan.output_attr(attr);
+            if let Some(prev) = self.attr_owner.insert(out.clone(), scan.alias.clone()) {
+                panic!(
+                    "attribute {out:?} produced by both {prev:?} and {:?}; add renames",
+                    scan.alias
+                );
+            }
+            self.alias_attrs
+                .entry(scan.alias.clone())
+                .or_default()
+                .push(out);
+        }
+    }
+
+    /// The alias owning an attribute, if known.
+    pub fn owner(&self, attr: &str) -> Option<&str> {
+        self.attr_owner.get(attr).map(|s| s.as_str())
+    }
+
+    /// All output attributes of an alias.
+    pub fn attrs_of(&self, alias: &str) -> &[String] {
+        self.alias_attrs
+            .get(alias)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The set of distinct aliases owning the given attributes; attributes
+    /// with unknown owners are reported separately.
+    pub fn owners_of(
+        &self,
+        attrs: impl IntoIterator<Item = String>,
+    ) -> (std::collections::BTreeSet<String>, Vec<String>) {
+        let mut owners = std::collections::BTreeSet::new();
+        let mut unknown = Vec::new();
+        for attr in attrs {
+            match self.owner(&attr) {
+                Some(a) => {
+                    owners.insert(a.to_owned());
+                }
+                None => unknown.push(attr),
+            }
+        }
+        (owners, unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+
+    #[test]
+    fn scan_renames() {
+        let s = ScanDef::aliased("nation", "n1").rename("n_name", "n1_name");
+        assert_eq!(s.output_attr("n_name"), "n1_name");
+        assert_eq!(s.output_attr("n_nationkey"), "n_nationkey");
+    }
+
+    #[test]
+    fn catalog_ownership() {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("orders"), &["o_orderkey", "o_custkey"]);
+        cat.add_scan(
+            &ScanDef::aliased("nation", "n1").rename("n_nationkey", "n1_nationkey"),
+            &["n_nationkey"],
+        );
+        assert_eq!(cat.owner("o_custkey"), Some("orders"));
+        assert_eq!(cat.owner("n1_nationkey"), Some("n1"));
+        assert_eq!(cat.owner("ghost"), None);
+        assert_eq!(cat.attrs_of("orders").len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "produced by both")]
+    fn catalog_rejects_duplicate_attrs() {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::aliased("nation", "n1"), &["n_name"]);
+        cat.add_scan(&ScanDef::aliased("nation", "n2"), &["n_name"]);
+    }
+
+    #[test]
+    fn owners_of_splits_known_and_unknown() {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("t"), &["a", "b"]);
+        let (owners, unknown) =
+            cat.owners_of(["a".to_owned(), "b".to_owned(), "x".to_owned()]);
+        assert_eq!(owners.len(), 1);
+        assert!(owners.contains("t"));
+        assert_eq!(unknown, vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn from_order_permutes() {
+        let q = QuerySpec::new(
+            "q",
+            vec![ScanDef::table("a"), ScanDef::table("b"), ScanDef::table("c")],
+        )
+        .filter(Predicate::eq("x", 1i64));
+        let q2 = q.with_from_order(&["c", "a", "b"]);
+        let aliases: Vec<_> = q2.relations.iter().map(|r| r.alias.as_str()).collect();
+        assert_eq!(aliases, vec!["c", "a", "b"]);
+        assert_eq!(q2.predicates.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_from_order_panics() {
+        QuerySpec::new("q", vec![ScanDef::table("a")]).with_from_order(&[]);
+    }
+}
+
+#[cfg(test)]
+mod more_spec_tests {
+    use super::*;
+
+    #[test]
+    fn agg_display_names() {
+        assert_eq!(AggFn::Count.to_string(), "count");
+        assert_eq!(AggFn::Avg.to_string(), "avg");
+    }
+
+    #[test]
+    fn builder_chain_collects_everything() {
+        let q = QuerySpec::new("q", vec![ScanDef::table("t")])
+            .filter(crate::predicate::Predicate::eq("x", 1i64))
+            .group(GroupBySpec {
+                keys: vec!["x".parse().unwrap()],
+                aggs: vec![("n".into(), AggFn::Count, "x".parse().unwrap())],
+            })
+            .order(OrderBySpec {
+                keys: vec![("n".parse().unwrap(), true)],
+                limit: Some(10),
+            });
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.group_by.as_ref().unwrap().aggs.len(), 1);
+        assert_eq!(q.order_by.as_ref().unwrap().limit, Some(10));
+    }
+}

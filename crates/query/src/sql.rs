@@ -1,0 +1,579 @@
+//! A SQL front end for the query IR.
+//!
+//! Jaql "supports a SQL dialect close to SQL-92; SQL queries submitted to
+//! Jaql are translated to a Jaql script by the compiler" (§2.1) — the
+//! paper's §4.1 example query is written in exactly this dialect. This
+//! module parses that surface into a [`QuerySpec`]:
+//!
+//! ```
+//! use dyno_query::sql::parse_sql;
+//! let q = parse_sql(
+//!     "SELECT rs.name FROM restaurant rs, review rv, tweet t \
+//!      WHERE rs_id = rv_rsid AND rv_tid = t_id \
+//!        AND addr[0].zip = 94301 AND addr[0].state = 'CA' \
+//!        AND sentanalysis(rv_text) AND checkid(rv_uid, t_uid)",
+//! ).unwrap();
+//! assert_eq!(q.relations.len(), 3);
+//! assert_eq!(q.predicates.len(), 6);
+//! ```
+//!
+//! Supported: `SELECT`-list with optional aggregates (`SUM(x) AS y`,
+//! `COUNT(*)`), comma FROM clause with aliases, conjunctive `WHERE` with
+//! comparisons / `LIKE` patterns / UDF calls, `GROUP BY`, `ORDER BY …
+//! [DESC]`, `LIMIT`. Attribute references use the globally-unique
+//! attribute names of the merged-record model (TPC-H's `o_orderkey`
+//! style); a leading `alias.` qualifier is accepted and ignored. The
+//! projection list, as in DYNO itself, does not prune columns — the
+//! optimizer and executor operate on whole records.
+
+use std::fmt;
+
+use dyno_data::{Path, Value};
+
+use crate::predicate::{CmpOp, Operand, Predicate};
+use crate::spec::{AggFn, GroupBySpec, OrderBySpec, QuerySpec, ScanDef};
+
+/// SQL parsing error with position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Symbol(char),
+    Le,
+    Ge,
+    Ne,
+}
+
+fn err(message: impl Into<String>) -> SqlError {
+    SqlError {
+        message: message.into(),
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(err("unterminated string literal")),
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Number(
+                    s.parse().map_err(|_| err(format!("bad number {s:?}")))?,
+                ));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    // identifiers may embed path syntax: a.b, a[0].b
+                    if d.is_alphanumeric() || matches!(d, '_' | '.' | '[' | ']') {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // trailing dot belongs to the grammar, not the ident
+                while s.ends_with('.') {
+                    s.pop();
+                }
+                out.push(Tok::Ident(s));
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        out.push(Tok::Le);
+                    }
+                    Some('>') => {
+                        chars.next();
+                        out.push(Tok::Ne);
+                    }
+                    _ => out.push(Tok::Symbol('<')),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Tok::Ge);
+                } else {
+                    out.push(Tok::Symbol('>'));
+                }
+            }
+            '=' | ',' | '(' | ')' | '*' => {
+                chars.next();
+                out.push(Tok::Symbol(c));
+            }
+            other => return Err(err(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(err(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Tok::Symbol(s)) if s == c => Ok(()),
+            other => Err(err(format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Strip an optional `alias.` qualifier: attribute names are already
+    /// globally unique in the merged-record model.
+    fn path_of(name: &str) -> Result<Path, SqlError> {
+        let bare = match name.split_once('.') {
+            // a qualifier is a plain prefix with no path syntax of its own
+            Some((q, rest))
+                if !q.contains('[') && rest.chars().next().is_some_and(|c| c.is_alphabetic()) =>
+            {
+                rest
+            }
+            _ => name,
+        };
+        bare.parse()
+            .map_err(|e| err(format!("bad attribute {name:?}: {e}")))
+    }
+}
+
+const KEYWORDS: [&str; 9] = [
+    "from", "where", "group", "order", "limit", "and", "as", "by", "select",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Parse a SQL SELECT into a [`QuerySpec`].
+pub fn parse_sql(input: &str) -> Result<QuerySpec, SqlError> {
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
+    p.expect_kw("SELECT")?;
+
+    // SELECT list: idents, `*`, or agg(ident) [AS name]
+    let mut aggs: Vec<(String, AggFn, Path)> = Vec::new();
+    loop {
+        match p.peek().cloned() {
+            Some(Tok::Symbol('*')) => {
+                p.next();
+            }
+            Some(Tok::Ident(name)) if !is_keyword(&name) => {
+                p.next();
+                let agg = match name.to_ascii_lowercase().as_str() {
+                    "sum" => Some(AggFn::Sum),
+                    "count" => Some(AggFn::Count),
+                    "min" => Some(AggFn::Min),
+                    "max" => Some(AggFn::Max),
+                    "avg" => Some(AggFn::Avg),
+                    _ => None,
+                };
+                if agg.is_some() && matches!(p.peek(), Some(Tok::Symbol('('))) {
+                    p.next();
+                    let arg = match p.next() {
+                        Some(Tok::Ident(a)) => Parser::path_of(&a)?,
+                        Some(Tok::Symbol('*')) => Path::field("*"),
+                        other => return Err(err(format!("bad aggregate arg {other:?}"))),
+                    };
+                    p.expect_symbol(')')?;
+                    let out_name = if p.eat_kw("AS") {
+                        p.ident()?
+                    } else {
+                        format!("{}_{}", name.to_ascii_lowercase(), aggs.len())
+                    };
+                    aggs.push((out_name, agg.expect("checked above"), arg));
+                }
+                // plain projection columns are accepted and ignored
+            }
+            _ => return Err(err(format!("bad SELECT list at {:?}", p.peek()))),
+        }
+        if matches!(p.peek(), Some(Tok::Symbol(','))) {
+            p.next();
+        } else {
+            break;
+        }
+    }
+
+    // FROM
+    p.expect_kw("FROM")?;
+    let mut relations = Vec::new();
+    loop {
+        let table = p.ident()?;
+        if is_keyword(&table) {
+            return Err(err("expected table name in FROM"));
+        }
+        let mut scan = ScanDef::table(&table);
+        // optional [AS] alias
+        if p.eat_kw("AS") {
+            scan = ScanDef::aliased(&table, p.ident()?);
+        } else if let Some(Tok::Ident(alias)) = p.peek() {
+            if !is_keyword(alias) {
+                let alias = alias.clone();
+                p.next();
+                scan = ScanDef::aliased(&table, alias);
+            }
+        }
+        relations.push(scan);
+        if matches!(p.peek(), Some(Tok::Symbol(','))) {
+            p.next();
+        } else {
+            break;
+        }
+    }
+    let mut spec = QuerySpec::new("sql", relations);
+
+    // WHERE: conjunction of atoms
+    if p.eat_kw("WHERE") {
+        loop {
+            let pred = parse_atom(&mut p)?;
+            spec.predicates.push(pred);
+            if !p.eat_kw("AND") {
+                break;
+            }
+        }
+    }
+
+    // GROUP BY
+    if p.peek_kw("GROUP") {
+        p.next();
+        p.expect_kw("BY")?;
+        let mut keys = Vec::new();
+        loop {
+            keys.push(Parser::path_of(&p.ident()?)?);
+            if matches!(p.peek(), Some(Tok::Symbol(','))) {
+                p.next();
+            } else {
+                break;
+            }
+        }
+        spec.group_by = Some(GroupBySpec { keys, aggs });
+    } else if !aggs.is_empty() {
+        return Err(err("aggregates in SELECT require GROUP BY"));
+    }
+
+    // ORDER BY
+    if p.peek_kw("ORDER") {
+        p.next();
+        p.expect_kw("BY")?;
+        let mut keys = Vec::new();
+        loop {
+            let path = Parser::path_of(&p.ident()?)?;
+            let desc = p.eat_kw("DESC") || {
+                p.eat_kw("ASC");
+                false
+            };
+            keys.push((path, desc));
+            if matches!(p.peek(), Some(Tok::Symbol(','))) {
+                p.next();
+            } else {
+                break;
+            }
+        }
+        spec.order_by = Some(OrderBySpec { keys, limit: None });
+    }
+
+    // LIMIT
+    if p.eat_kw("LIMIT") {
+        let n = match p.next() {
+            Some(Tok::Number(n)) if n >= 0.0 => n as usize,
+            other => return Err(err(format!("bad LIMIT {other:?}"))),
+        };
+        match &mut spec.order_by {
+            Some(o) => o.limit = Some(n),
+            None => {
+                spec.order_by = Some(OrderBySpec {
+                    keys: Vec::new(),
+                    limit: Some(n),
+                })
+            }
+        }
+    }
+
+    if p.peek().is_some() {
+        return Err(err(format!("trailing tokens at {:?}", p.peek())));
+    }
+    Ok(spec)
+}
+
+/// One WHERE atom: comparison, LIKE pattern, or UDF call.
+fn parse_atom(p: &mut Parser) -> Result<Predicate, SqlError> {
+    let name = p.ident()?;
+    if is_keyword(&name) {
+        return Err(err(format!("unexpected keyword {name:?} in WHERE")));
+    }
+    // UDF call?
+    if matches!(p.peek(), Some(Tok::Symbol('('))) {
+        p.next();
+        let mut args = Vec::new();
+        if !matches!(p.peek(), Some(Tok::Symbol(')'))) {
+            loop {
+                args.push(Parser::path_of(&p.ident()?)?);
+                if matches!(p.peek(), Some(Tok::Symbol(','))) {
+                    p.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        p.expect_symbol(')')?;
+        return Ok(Predicate::Udf {
+            name: name.into(),
+            args,
+        });
+    }
+    let left = Parser::path_of(&name)?;
+    // LIKE patterns
+    if p.eat_kw("LIKE") {
+        let pat = match p.next() {
+            Some(Tok::Str(s)) => s,
+            other => return Err(err(format!("LIKE needs a string, found {other:?}"))),
+        };
+        let starts = pat.ends_with('%') && !pat.starts_with('%');
+        let ends = pat.starts_with('%') && !pat.ends_with('%');
+        let trimmed = pat.trim_matches('%').to_owned();
+        if trimmed.contains('%') {
+            return Err(err("only prefix/suffix/containment LIKE is supported"));
+        }
+        let op = if starts {
+            CmpOp::StartsWith
+        } else if ends {
+            CmpOp::EndsWith
+        } else {
+            CmpOp::Contains
+        };
+        return Ok(Predicate::Compare {
+            left,
+            op,
+            right: Operand::Literal(Value::str(trimmed)),
+        });
+    }
+    let op = match p.next() {
+        Some(Tok::Symbol('=')) => CmpOp::Eq,
+        Some(Tok::Symbol('<')) => CmpOp::Lt,
+        Some(Tok::Symbol('>')) => CmpOp::Gt,
+        Some(Tok::Le) => CmpOp::Le,
+        Some(Tok::Ge) => CmpOp::Ge,
+        Some(Tok::Ne) => CmpOp::Ne,
+        other => return Err(err(format!("expected comparison, found {other:?}"))),
+    };
+    let right = match p.next() {
+        Some(Tok::Number(n)) => {
+            if n.fract() == 0.0 {
+                Operand::Literal(Value::Long(n as i64))
+            } else {
+                Operand::Literal(Value::Double(n))
+            }
+        }
+        Some(Tok::Str(s)) => Operand::Literal(Value::str(s)),
+        Some(Tok::Ident(attr)) if !is_keyword(&attr) => {
+            Operand::Attr(Parser::path_of(&attr)?)
+        }
+        other => return Err(err(format!("bad comparison operand {other:?}"))),
+    };
+    Ok(Predicate::Compare { left, op, right })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_q1() {
+        let q = parse_sql(
+            "SELECT rs.name FROM restaurant rs, review rv, tweet t \
+             WHERE rs_id = rv_rsid AND rv_tid = t_id \
+               AND addr[0].zip = 94301 AND addr[0].state = 'CA' \
+               AND sentanalysis(rv_text) AND checkid(rv_uid, t_uid)",
+        )
+        .unwrap();
+        assert_eq!(q.relations.len(), 3);
+        assert_eq!(q.relations[0].alias, "rs");
+        assert_eq!(q.predicates.len(), 6);
+        assert!(matches!(q.predicates[4], Predicate::Udf { .. }));
+    }
+
+    #[test]
+    fn parses_q10_shape_with_aggregates() {
+        let q = parse_sql(
+            "SELECT c_custkey, SUM(l_extendedprice) AS revenue \
+             FROM customer, orders, lineitem, nation \
+             WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+               AND c_nationkey = n_nationkey \
+               AND o_orderdate >= 19931001 AND o_orderdate < 19940101 \
+               AND l_returnflag = 'R' \
+             GROUP BY c_custkey ORDER BY revenue DESC LIMIT 20",
+        )
+        .unwrap();
+        assert_eq!(q.relations.len(), 4);
+        let g = q.group_by.unwrap();
+        assert_eq!(g.aggs.len(), 1);
+        assert_eq!(g.aggs[0].0, "revenue");
+        assert_eq!(g.aggs[0].1, AggFn::Sum);
+        let o = q.order_by.unwrap();
+        assert!(o.keys[0].1, "DESC");
+        assert_eq!(o.limit, Some(20));
+    }
+
+    #[test]
+    fn like_patterns_map_to_string_ops() {
+        let q = parse_sql("SELECT * FROM part WHERE p_type LIKE '%BRASS'").unwrap();
+        assert!(matches!(
+            q.predicates[0],
+            Predicate::Compare {
+                op: CmpOp::EndsWith,
+                ..
+            }
+        ));
+        let q = parse_sql("SELECT * FROM part WHERE p_name LIKE 'green%'").unwrap();
+        assert!(matches!(
+            q.predicates[0],
+            Predicate::Compare {
+                op: CmpOp::StartsWith,
+                ..
+            }
+        ));
+        let q = parse_sql("SELECT * FROM part WHERE p_name LIKE '%green%'").unwrap();
+        assert!(matches!(
+            q.predicates[0],
+            Predicate::Compare {
+                op: CmpOp::Contains,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn attr_vs_attr_comparisons_become_join_conditions_downstream() {
+        let q = parse_sql("SELECT * FROM a, b WHERE x = y AND x <> 3").unwrap();
+        assert!(q.predicates[0].as_attr_equality().is_some());
+        assert!(q.predicates[1].as_attr_equality().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "FROM t",                                  // no SELECT
+            "SELECT * FROM",                           // no table
+            "SELECT * FROM t WHERE",                   // dangling WHERE
+            "SELECT * FROM t WHERE x LIKE 'a%b%c'",    // unsupported pattern
+            "SELECT SUM(x) FROM t",                    // aggregate without GROUP BY
+            "SELECT * FROM t WHERE x = 'unterminated", // bad literal
+            "SELECT * FROM t LIMIT x",                 // non-numeric limit
+            "SELECT * FROM t WHERE x = 1 extra",       // trailing garbage
+        ] {
+            assert!(parse_sql(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn qualified_names_lose_their_qualifier() {
+        let q = parse_sql("SELECT * FROM t WHERE t.x = 5").unwrap();
+        match &q.predicates[0] {
+            Predicate::Compare { left, .. } => assert_eq!(left.to_string(), "x"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numbers_keep_their_type() {
+        let q = parse_sql("SELECT * FROM t WHERE a = 5 AND b = 2.5 AND c = -3").unwrap();
+        let lits: Vec<&Operand> = q
+            .predicates
+            .iter()
+            .map(|p| match p {
+                Predicate::Compare { right, .. } => right,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(lits[0], &Operand::Literal(Value::Long(5)));
+        assert_eq!(lits[1], &Operand::Literal(Value::Double(2.5)));
+        assert_eq!(lits[2], &Operand::Literal(Value::Long(-3)));
+    }
+}

@@ -1,0 +1,145 @@
+//! The user-defined-function registry.
+//!
+//! UDFs are the central villain of the paper: they are opaque to static
+//! optimizers ("DBMS-X does not have enough information to estimate
+//! selectivity of UDFs", §6.1), they may be expensive, and their
+//! selectivity can only be *measured* — which is what pilot runs do.
+//!
+//! A [`UdfDef`] couples the executable function with its per-call CPU cost
+//! (charged to the simulated clock). Deliberately, it carries **no
+//! selectivity metadata**: every component of the system must learn
+//! selectivities by observation, exactly as in the paper.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use dyno_data::Value;
+
+/// The callable form of a UDF: resolved argument values in, value out.
+/// A *filtering* UDF returns a boolean (non-`true` filters the record out).
+pub type UdfFn = Arc<dyn Fn(&[&Value]) -> Value + Send + Sync>;
+
+/// A registered user-defined function.
+#[derive(Clone)]
+pub struct UdfDef {
+    /// Registry name, referenced by [`crate::Predicate::Udf`].
+    pub name: Arc<str>,
+    /// The implementation.
+    pub func: UdfFn,
+    /// Simulated CPU seconds charged per invocation (sentiment analysis is
+    /// not free; §4.1's "expensive predicates/UDFs").
+    pub cpu_secs_per_call: f64,
+}
+
+impl fmt::Debug for UdfDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UdfDef")
+            .field("name", &self.name)
+            .field("cpu_secs_per_call", &self.cpu_secs_per_call)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A shared registry of UDFs available to a query.
+#[derive(Debug, Clone, Default)]
+pub struct UdfRegistry {
+    defs: BTreeMap<Arc<str>, UdfDef>,
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        UdfRegistry::default()
+    }
+
+    /// Register a UDF with a per-call CPU cost of zero.
+    pub fn register<F>(&mut self, name: &str, func: F)
+    where
+        F: Fn(&[&Value]) -> Value + Send + Sync + 'static,
+    {
+        self.register_costed(name, 0.0, func);
+    }
+
+    /// Register a UDF with an explicit per-call simulated CPU cost.
+    pub fn register_costed<F>(&mut self, name: &str, cpu_secs_per_call: f64, func: F)
+    where
+        F: Fn(&[&Value]) -> Value + Send + Sync + 'static,
+    {
+        let name: Arc<str> = Arc::from(name);
+        self.defs.insert(
+            Arc::clone(&name),
+            UdfDef {
+                name,
+                func: Arc::new(func),
+                cpu_secs_per_call,
+            },
+        );
+    }
+
+    /// Look up a UDF by name.
+    pub fn get(&self, name: &str) -> Option<&UdfDef> {
+        self.defs.get(name)
+    }
+
+    /// Invoke a UDF; panics if it is not registered (a query referencing an
+    /// unregistered UDF is a programming error caught in tests).
+    pub fn call(&self, name: &str, args: &[&Value]) -> Value {
+        let def = self
+            .defs
+            .get(name)
+            .unwrap_or_else(|| panic!("UDF {name:?} not registered"));
+        (def.func)(args)
+    }
+
+    /// Per-call CPU cost of a UDF (0 if unregistered — lookups for cost
+    /// accounting must not fail hard mid-simulation).
+    pub fn cost(&self, name: &str) -> f64 {
+        self.defs.get(name).map_or(0.0, |d| d.cpu_secs_per_call)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.defs.keys().map(|k| &**k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = UdfRegistry::new();
+        reg.register("is_positive", |args| {
+            Value::Bool(args[0].as_long().is_some_and(|v| v > 0))
+        });
+        assert!(reg.call("is_positive", &[&Value::Long(3)]).is_truthy());
+        assert!(!reg.call("is_positive", &[&Value::Long(-3)]).is_truthy());
+        assert_eq!(reg.names(), vec!["is_positive"]);
+    }
+
+    #[test]
+    fn cost_defaults_to_zero() {
+        let mut reg = UdfRegistry::new();
+        reg.register("free", |_| Value::Bool(true));
+        reg.register_costed("pricey", 0.002, |_| Value::Bool(true));
+        assert_eq!(reg.cost("free"), 0.0);
+        assert_eq!(reg.cost("pricey"), 0.002);
+        assert_eq!(reg.cost("unknown"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn calling_unregistered_panics() {
+        UdfRegistry::new().call("ghost", &[]);
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let mut reg = UdfRegistry::new();
+        reg.register("f", |_| Value::Bool(true));
+        reg.register("f", |_| Value::Bool(false));
+        assert!(!reg.call("f", &[]).is_truthy());
+    }
+}

@@ -1,0 +1,260 @@
+//! Additional statistics (paper §4.3): equi-depth histograms and frequent
+//! values.
+//!
+//! The paper's DYNO collects only min/max/KMV "since these are currently
+//! supported by the cost-based optimizer we are using", noting that
+//! histograms "would lead to more accurate cost estimations and possibly
+//! better plans, but would increase the overhead of statistics
+//! collection". This module supplies that next step: an equi-depth
+//! histogram with range-selectivity estimation and a top-k frequent-value
+//! sketch, both buildable from pilot-run samples. `RELOPT`'s exact
+//! single-predicate selectivities can be swapped for histogram estimates
+//! to study the precision/overhead trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// An equi-depth histogram over numeric values: each bucket holds (about)
+/// the same number of values, so skewed data gets finer buckets where the
+/// mass is.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct EquiDepthHistogram {
+    /// Bucket boundaries: `bounds[i]..bounds[i+1]` is bucket `i`
+    /// (inclusive of the final upper bound). Length = buckets + 1.
+    bounds: Vec<f64>,
+    /// Values per bucket.
+    counts: Vec<u64>,
+    /// Total values represented.
+    total: u64,
+}
+
+impl EquiDepthHistogram {
+    /// Build from a sample with the given bucket count.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`.
+    pub fn build(mut values: Vec<f64>, buckets: usize) -> Option<EquiDepthHistogram> {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        values.retain(|v| v.is_finite());
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        let buckets = buckets.min(n);
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        let mut counts = Vec::with_capacity(buckets);
+        bounds.push(values[0]);
+        let mut start = 0usize;
+        for b in 1..=buckets {
+            let end = (b * n) / buckets;
+            if end <= start {
+                continue;
+            }
+            bounds.push(values[end - 1]);
+            counts.push((end - start) as u64);
+            start = end;
+        }
+        Some(EquiDepthHistogram {
+            bounds,
+            counts,
+            total: n as u64,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total values represented.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated fraction of values `< x` (continuous interpolation
+    /// within buckets — the textbook uniform-within-bucket assumption).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let lo = self.bounds[0];
+        let hi = *self.bounds.last().expect("non-empty");
+        if x <= lo {
+            return 0.0;
+        }
+        if x > hi {
+            return 1.0;
+        }
+        let mut acc = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let b_lo = self.bounds[i];
+            let b_hi = self.bounds[i + 1];
+            if x > b_hi {
+                acc += count;
+            } else {
+                let within = if b_hi > b_lo {
+                    ((x - b_lo) / (b_hi - b_lo)).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                return (acc as f64 + count as f64 * within) / self.total as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Estimated selectivity of `lo ≤ v ≤ hi`.
+    pub fn range_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        (self.fraction_below(hi.next_up()) - self.fraction_below(lo)).clamp(0.0, 1.0)
+    }
+
+    /// Approximate `q`-th percentile (0.0–1.0).
+    pub fn percentile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total as f64;
+        let mut acc = 0.0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let next = acc + count as f64;
+            if next >= target || i == self.counts.len() - 1 {
+                let b_lo = self.bounds[i];
+                let b_hi = self.bounds[i + 1];
+                let within = if count > 0 {
+                    ((target - acc) / count as f64).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                return b_lo + (b_hi - b_lo) * within;
+            }
+            acc = next;
+        }
+        *self.bounds.last().expect("non-empty")
+    }
+}
+
+/// Top-k frequent values with exact counts over the observed sample
+/// (space-saving would be used on unbounded streams; pilot-run samples
+/// are bounded, so exact counting is fine).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+pub struct FrequentValues {
+    /// `(rendered value, count)` pairs, most frequent first.
+    pub top: Vec<(String, u64)>,
+    /// Total values observed.
+    pub total: u64,
+}
+
+impl FrequentValues {
+    /// Compute the top-k values of a sample.
+    pub fn build<I, S>(values: I, k: usize) -> FrequentValues
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut counts: std::collections::HashMap<String, u64> = Default::default();
+        let mut total = 0u64;
+        for v in values {
+            *counts.entry(v.into()).or_default() += 1;
+            total += 1;
+        }
+        let mut top: Vec<(String, u64)> = counts.into_iter().collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        top.truncate(k);
+        FrequentValues { top, total }
+    }
+
+    /// Estimated selectivity of `attr = value`: exact for tracked values,
+    /// and the average residual frequency otherwise.
+    pub fn eq_selectivity(&self, value: &str, distinct: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if let Some((_, c)) = self.top.iter().find(|(v, _)| v == value) {
+            return *c as f64 / self.total as f64;
+        }
+        let tracked: u64 = self.top.iter().map(|(_, c)| c).sum();
+        let residual = (self.total - tracked) as f64 / self.total as f64;
+        let untracked_distinct = (distinct - self.top.len() as f64).max(1.0);
+        residual / untracked_distinct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_depth_buckets_have_equal_mass() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = EquiDepthHistogram::build(values, 10).unwrap();
+        assert_eq!(h.buckets(), 10);
+        assert_eq!(h.total(), 1000);
+        // uniform data → uniform bounds
+        assert!((h.fraction_below(500.0) - 0.5).abs() < 0.02);
+        assert!((h.range_selectivity(250.0, 750.0) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn skew_gets_finer_buckets() {
+        // 90% of mass at small values
+        let mut values: Vec<f64> = (0..900).map(|i| (i % 10) as f64).collect();
+        values.extend((0..100).map(|i| 1000.0 + i as f64));
+        let h = EquiDepthHistogram::build(values, 10).unwrap();
+        // the low region holds ~90% of the mass
+        assert!((h.fraction_below(100.0) - 0.9).abs() < 0.05);
+        assert!(h.range_selectivity(1000.0, 2000.0) < 0.15);
+    }
+
+    #[test]
+    fn out_of_range_queries() {
+        let h = EquiDepthHistogram::build((0..100).map(f64::from).collect(), 4).unwrap();
+        assert_eq!(h.fraction_below(-5.0), 0.0);
+        assert_eq!(h.fraction_below(1e9), 1.0);
+        assert_eq!(h.range_selectivity(200.0, 100.0), 0.0);
+        assert!((h.range_selectivity(-100.0, 1000.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let h = EquiDepthHistogram::build((0..1000).map(f64::from).collect(), 16).unwrap();
+        let p25 = h.percentile(0.25);
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p25 < p50 && p50 < p99);
+        assert!((p50 - 500.0).abs() < 70.0, "p50 = {p50}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(EquiDepthHistogram::build(vec![], 4).is_none());
+        assert!(EquiDepthHistogram::build(vec![f64::NAN], 4).is_none());
+        let h = EquiDepthHistogram::build(vec![7.0; 50], 4).unwrap();
+        assert_eq!(h.fraction_below(7.0), 0.0);
+        assert!((h.range_selectivity(7.0, 7.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        EquiDepthHistogram::build(vec![1.0], 0);
+    }
+
+    #[test]
+    fn frequent_values_exact_and_residual() {
+        let data: Vec<&str> = std::iter::repeat_n("URGENT", 60)
+            .chain(std::iter::repeat_n("HIGH", 30))
+            .chain(["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"])
+            .collect();
+        let f = FrequentValues::build(data, 2);
+        assert_eq!(f.top[0], ("URGENT".to_owned(), 60));
+        assert_eq!(f.top[1], ("HIGH".to_owned(), 30));
+        assert!((f.eq_selectivity("URGENT", 12.0) - 0.6).abs() < 1e-9);
+        // untracked values share the residual 10% over ~10 distinct
+        let resid = f.eq_selectivity("c", 12.0);
+        assert!((resid - 0.01).abs() < 0.005, "residual {resid}");
+    }
+
+    #[test]
+    fn frequent_values_empty() {
+        let f = FrequentValues::build(Vec::<String>::new(), 3);
+        assert_eq!(f.eq_selectivity("x", 5.0), 0.0);
+    }
+}

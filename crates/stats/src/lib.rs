@@ -1,0 +1,30 @@
+//! # dyno-stats
+//!
+//! Statistics infrastructure for DYNO (paper §4.3, §5.4).
+//!
+//! The paper collects, per pilot run and per executed MapReduce job:
+//!
+//! * global table statistics — cardinality and average tuple size, derived
+//!   from Hadoop counters;
+//! * per-attribute statistics for join columns — min/max values and a
+//!   distinct-value estimate via the **KMV synopsis** of Beyer et al. \[6\],
+//!   computed per split and merged client-side (no extra reduce phase).
+//!
+//! Collected statistics are stored in a [`Metastore`] keyed by *expression
+//! signatures*, enabling reuse across queries and re-optimization steps
+//! (§4.1 "Reusability of statistics").
+//!
+//! All cardinalities here live in the **simulated** (logical-scale) world —
+//! see `dyno-storage`'s scale model.
+
+pub mod collect;
+pub mod histogram;
+pub mod kmv;
+pub mod metastore;
+pub mod table;
+
+pub use collect::{AttrSpec, DvExtrapolation, TableStatsBuilder};
+pub use histogram::{EquiDepthHistogram, FrequentValues};
+pub use kmv::KmvSynopsis;
+pub use metastore::{Metastore, Signature};
+pub use table::{Bound, ColumnStats, TableStats};

@@ -1,0 +1,158 @@
+//! The statistics metastore (paper §4.1 "Reusability of statistics").
+//!
+//! Statistics are associated with an *expression signature* — a canonical
+//! string for a leaf expression (scan + pushed-down predicates/UDFs) or for
+//! a materialized intermediate result. Before running a pilot run, DYNO
+//! looks the signature up and skips the run on a hit; the same mechanism
+//! serves recurring queries and shared sub-expressions.
+//!
+//! The paper stores statistics "in a file, but we can employ any persistent
+//! storage"; we keep them in a shared in-memory map with serde-based
+//! snapshot export/import standing in for the file.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::table::TableStats;
+
+/// A canonical expression signature. Equal signatures ⇒ statistics are
+/// interchangeable.
+pub type Signature = String;
+
+/// Shared, thread-safe statistics store. Cloning yields another handle to
+/// the same store.
+#[derive(Debug, Clone, Default)]
+pub struct Metastore {
+    inner: Arc<RwLock<BTreeMap<Signature, TableStats>>>,
+}
+
+/// Serializable snapshot of a metastore (the paper's statistics file).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct MetastoreSnapshot {
+    /// All `(signature, statistics)` entries.
+    pub entries: Vec<(Signature, TableStats)>,
+}
+
+impl Metastore {
+    /// An empty metastore.
+    pub fn new() -> Self {
+        Metastore::default()
+    }
+
+    /// Look up statistics by signature.
+    pub fn get(&self, sig: &str) -> Option<TableStats> {
+        self.inner.read().get(sig).cloned()
+    }
+
+    /// True iff statistics exist for the signature.
+    pub fn contains(&self, sig: &str) -> bool {
+        self.inner.read().contains_key(sig)
+    }
+
+    /// Insert (or replace) statistics for a signature.
+    pub fn put(&self, sig: impl Into<Signature>, stats: TableStats) {
+        self.inner.write().insert(sig.into(), stats);
+    }
+
+    /// Remove statistics for a signature, returning them if present.
+    pub fn remove(&self, sig: &str) -> Option<TableStats> {
+        self.inner.write().remove(sig)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Drop every entry (used between experiment repetitions).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+
+    /// All signatures, sorted.
+    pub fn signatures(&self) -> Vec<Signature> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Export a snapshot (the statistics "file").
+    pub fn snapshot(&self) -> MetastoreSnapshot {
+        MetastoreSnapshot {
+            entries: self
+                .inner
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Import a snapshot, replacing existing entries with the same signature.
+    pub fn restore(&self, snapshot: MetastoreSnapshot) {
+        let mut inner = self.inner.write();
+        for (k, v) in snapshot.entries {
+            inner.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(rows: f64) -> TableStats {
+        TableStats {
+            rows,
+            avg_record_size: 10.0,
+            columns: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn put_get_contains() {
+        let m = Metastore::new();
+        assert!(!m.contains("sig"));
+        m.put("sig", stats(5.0));
+        assert!(m.contains("sig"));
+        assert_eq!(m.get("sig").unwrap().rows, 5.0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let m = Metastore::new();
+        let m2 = m.clone();
+        m.put("a", stats(1.0));
+        assert!(m2.contains("a"));
+        m2.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let m = Metastore::new();
+        m.put("a", stats(3.0));
+        assert_eq!(m.remove("a").unwrap().rows, 3.0);
+        assert!(m.remove("a").is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let m = Metastore::new();
+        m.put("a", stats(1.0));
+        m.put("b", stats(2.0));
+        let snap = m.snapshot();
+        let m2 = Metastore::new();
+        m2.restore(snap);
+        assert_eq!(m2.len(), 2);
+        assert_eq!(m2.get("b").unwrap().rows, 2.0);
+        assert_eq!(m2.signatures(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Finished table and column statistics — what the cost-based optimizer
+//! consumes (paper §4.3: "table cardinality and average tuple size, as well
+//! as statistics per attribute: min/max values, and number of distinct
+//! values").
+
+use std::collections::BTreeMap;
+
+use dyno_data::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::kmv::KmvSynopsis;
+
+/// A scalar bound (min or max) reduced to an orderable, serializable form.
+///
+/// The optimizer only needs bounds for range-selectivity estimation and
+/// display, so a numeric-or-text simplification of [`Value`] suffices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Numeric bound (longs are widened to doubles).
+    Num(f64),
+    /// Textual bound.
+    Text(String),
+}
+
+impl Bound {
+    /// Convert a value to a bound; non-scalar values have no bound.
+    pub fn from_value(v: &Value) -> Option<Bound> {
+        match v {
+            Value::Long(x) => Some(Bound::Num(*x as f64)),
+            Value::Double(x) => Some(Bound::Num(*x)),
+            Value::Str(s) => Some(Bound::Text(s.to_string())),
+            Value::Bool(b) => Some(Bound::Num(if *b { 1.0 } else { 0.0 })),
+            _ => None,
+        }
+    }
+
+    /// Pointwise minimum, numeric and textual bounds kept separate
+    /// (a mixed-type column falls back to the numeric side).
+    fn min(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Num(a), Bound::Num(b)) => Bound::Num(a.min(b)),
+            (Bound::Text(a), Bound::Text(b)) => Bound::Text(a.min(b)),
+            (a, _) => a,
+        }
+    }
+
+    fn max(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Num(a), Bound::Num(b)) => Bound::Num(a.max(b)),
+            (Bound::Text(a), Bound::Text(b)) => Bound::Text(a.max(b)),
+            (a, _) => a,
+        }
+    }
+}
+
+/// Statistics for one attribute (join column).
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct ColumnStats {
+    /// Smallest observed value.
+    pub min: Option<Bound>,
+    /// Largest observed value.
+    pub max: Option<Bound>,
+    /// Distinct-value estimate at the **simulated** scale (already
+    /// extrapolated from the sample, §4.3: `DV_R = |R|/|Rs| · DV_Rs`).
+    pub distinct: f64,
+    /// Fraction of observed values that were null.
+    pub null_fraction: f64,
+}
+
+impl ColumnStats {
+    /// Observe one value into the running min/max.
+    pub(crate) fn observe_bound(&mut self, v: &Value) {
+        if let Some(b) = Bound::from_value(v) {
+            self.min = Some(match self.min.take() {
+                Some(m) => m.min(b.clone()),
+                None => b.clone(),
+            });
+            self.max = Some(match self.max.take() {
+                Some(m) => m.max(b),
+                None => b,
+            });
+        }
+    }
+
+    /// Merge another column's bounds into this one (client-side combine).
+    pub(crate) fn merge_bounds(&mut self, other: &ColumnStats) {
+        if let Some(b) = &other.min {
+            self.min = Some(match self.min.take() {
+                Some(m) => m.min(b.clone()),
+                None => b.clone(),
+            });
+        }
+        if let Some(b) = &other.max {
+            self.max = Some(match self.max.take() {
+                Some(m) => m.max(b.clone()),
+                None => b.clone(),
+            });
+        }
+    }
+
+    /// The numeric range `max − min`, if both bounds are numeric.
+    pub fn numeric_range(&self) -> Option<f64> {
+        match (&self.min, &self.max) {
+            (Some(Bound::Num(lo)), Some(Bound::Num(hi))) => Some(hi - lo),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics for one (virtual) table: a base relation after its local
+/// predicates, or a materialized intermediate join result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Estimated cardinality at simulated scale (`|R|ᵉ` in the paper).
+    pub rows: f64,
+    /// Average record size in bytes (`rec_sizeᵉ_avg`).
+    pub avg_record_size: f64,
+    /// Per-attribute statistics, keyed by attribute path string.
+    pub columns: BTreeMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Statistics for an empty relation.
+    pub fn empty() -> Self {
+        TableStats {
+            rows: 0.0,
+            avg_record_size: 0.0,
+            columns: BTreeMap::new(),
+        }
+    }
+
+    /// Estimated total size in bytes (`rows × avg_record_size`).
+    pub fn bytes(&self) -> f64 {
+        self.rows * self.avg_record_size
+    }
+
+    /// Statistics for attribute `attr`, if collected.
+    pub fn column(&self, attr: &str) -> Option<&ColumnStats> {
+        self.columns.get(attr)
+    }
+
+    /// Distinct-value estimate for `attr`; falls back to the table
+    /// cardinality (every row distinct) when the column was not observed —
+    /// the standard conservative assumption for key-like columns.
+    pub fn distinct_or_rows(&self, attr: &str) -> f64 {
+        match self.columns.get(attr) {
+            Some(c) if c.distinct > 0.0 => c.distinct.min(self.rows.max(1.0)),
+            _ => self.rows.max(1.0),
+        }
+    }
+}
+
+/// Partial (per-task / per-split) column statistics during collection.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ColumnPartial {
+    pub bounds: ColumnStats,
+    pub kmv: KmvSynopsis,
+    pub nulls: u64,
+    pub seen: u64,
+}
+
+impl ColumnPartial {
+    pub fn observe(&mut self, v: &Value) {
+        self.seen += 1;
+        if v.is_null() {
+            self.nulls += 1;
+        } else {
+            self.bounds.observe_bound(v);
+            self.kmv.insert(v);
+        }
+    }
+
+    pub fn merge(&mut self, other: &ColumnPartial) {
+        self.bounds.merge_bounds(&other.bounds);
+        self.kmv.merge(&other.kmv);
+        self.nulls += other.nulls;
+        self.seen += other.seen;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_track_min_max() {
+        let mut c = ColumnStats::default();
+        for v in [Value::Long(5), Value::Long(-3), Value::Long(10)] {
+            c.observe_bound(&v);
+        }
+        assert_eq!(c.min, Some(Bound::Num(-3.0)));
+        assert_eq!(c.max, Some(Bound::Num(10.0)));
+        assert_eq!(c.numeric_range(), Some(13.0));
+    }
+
+    #[test]
+    fn text_bounds() {
+        let mut c = ColumnStats::default();
+        for v in ["mango", "apple", "zebra"] {
+            c.observe_bound(&Value::str(v));
+        }
+        assert_eq!(c.min, Some(Bound::Text("apple".into())));
+        assert_eq!(c.max, Some(Bound::Text("zebra".into())));
+        assert_eq!(c.numeric_range(), None);
+    }
+
+    #[test]
+    fn merge_bounds_combines() {
+        let mut a = ColumnStats::default();
+        a.observe_bound(&Value::Long(1));
+        let mut b = ColumnStats::default();
+        b.observe_bound(&Value::Long(99));
+        a.merge_bounds(&b);
+        assert_eq!(a.min, Some(Bound::Num(1.0)));
+        assert_eq!(a.max, Some(Bound::Num(99.0)));
+    }
+
+    #[test]
+    fn distinct_or_rows_fallback() {
+        let mut t = TableStats::empty();
+        t.rows = 500.0;
+        assert_eq!(t.distinct_or_rows("missing"), 500.0);
+        t.columns.insert(
+            "a".into(),
+            ColumnStats {
+                distinct: 10_000.0, // over-estimate gets clamped to rows
+                ..ColumnStats::default()
+            },
+        );
+        assert_eq!(t.distinct_or_rows("a"), 500.0);
+        t.columns.get_mut("a").unwrap().distinct = 42.0;
+        assert_eq!(t.distinct_or_rows("a"), 42.0);
+    }
+
+    #[test]
+    fn bytes_is_rows_times_size() {
+        let t = TableStats {
+            rows: 100.0,
+            avg_record_size: 8.5,
+            columns: BTreeMap::new(),
+        };
+        assert_eq!(t.bytes(), 850.0);
+    }
+}

@@ -1,0 +1,410 @@
+//! The simulated DFS: named files of records, divided into splits.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dyno_data::{encoded_len, Value};
+
+use crate::SimScale;
+
+/// Default block/split size: 128 MB, as in the paper's HDFS configuration.
+pub const DEFAULT_BLOCK_SIZE: u64 = 128 * 1024 * 1024;
+
+/// Errors surfaced by the DFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The named file does not exist.
+    NotFound(String),
+    /// A file with that name already exists.
+    AlreadyExists(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(name) => write!(f, "dfs file not found: {name}"),
+            DfsError::AlreadyExists(name) => write!(f, "dfs file already exists: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// Metadata describing one split (HDFS block) of a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMeta {
+    /// Name of the file this split belongs to.
+    pub file: Arc<str>,
+    /// Zero-based index of the split within the file.
+    pub index: usize,
+    /// Range of *physical* record indices stored in this split.
+    pub records: Range<usize>,
+    /// Simulated byte length of this split (≤ block size).
+    pub sim_bytes: u64,
+}
+
+impl SplitMeta {
+    /// Number of physical records in this split.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// An immutable file in the simulated DFS.
+///
+/// Records are held in memory; sizes are tracked both physically (encoded
+/// bytes of the records actually present) and at simulated scale.
+#[derive(Debug)]
+pub struct DfsFile {
+    name: Arc<str>,
+    records: Vec<Value>,
+    /// Prefix sums of encoded record lengths: `offsets[i]` is the physical
+    /// byte offset of record `i`; last element is the total physical bytes.
+    offsets: Vec<u64>,
+    scale: SimScale,
+    block_size: u64,
+}
+
+impl DfsFile {
+    fn build(name: &str, records: Vec<Value>, scale: SimScale, block_size: u64) -> Self {
+        let mut offsets = Vec::with_capacity(records.len() + 1);
+        let mut total = 0u64;
+        offsets.push(0);
+        for r in &records {
+            total += encoded_len(r) as u64;
+            offsets.push(total);
+        }
+        DfsFile {
+            name: Arc::from(name),
+            records,
+            offsets,
+            scale,
+            block_size,
+        }
+    }
+
+    /// The file's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scale this file was written at.
+    pub fn scale(&self) -> SimScale {
+        self.scale
+    }
+
+    /// Number of physical records.
+    pub fn actual_records(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Physical bytes of the encoded records.
+    pub fn actual_bytes(&self) -> u64 {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    /// Simulated (logical-scale) record count.
+    pub fn sim_records(&self) -> u64 {
+        self.scale.up(self.actual_records())
+    }
+
+    /// Simulated (logical-scale) byte size — what "the file size on HDFS"
+    /// means everywhere in the system.
+    pub fn sim_bytes(&self) -> u64 {
+        self.scale.up(self.actual_bytes())
+    }
+
+    /// Average record size in bytes (identical in both worlds).
+    pub fn avg_record_size(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.actual_bytes() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// All records in the file.
+    pub fn records(&self) -> &[Value] {
+        &self.records
+    }
+
+    /// The records belonging to one split.
+    pub fn split_records(&self, split: &SplitMeta) -> &[Value] {
+        &self.records[split.records.clone()]
+    }
+
+    /// Enumerate the splits of this file.
+    ///
+    /// The file is cut at simulated block boundaries; each split maps back
+    /// to the contiguous range of physical records whose (scaled) offsets
+    /// fall inside the block. A non-empty file always has at least one split.
+    pub fn splits(&self) -> Vec<SplitMeta> {
+        let sim_total = self.sim_bytes();
+        if sim_total == 0 {
+            return vec![SplitMeta {
+                file: Arc::clone(&self.name),
+                index: 0,
+                records: 0..0,
+                sim_bytes: 0,
+            }];
+        }
+        let n_splits = sim_total.div_ceil(self.block_size) as usize;
+        let mut out = Vec::with_capacity(n_splits);
+        let mut rec_cursor = 0usize;
+        for i in 0..n_splits {
+            let sim_start = i as u64 * self.block_size;
+            let sim_end = (sim_start + self.block_size).min(sim_total);
+            // Physical byte boundary of this block.
+            let phys_end = self.scale.down(sim_end);
+            let start = rec_cursor;
+            while rec_cursor < self.records.len() && self.offsets[rec_cursor + 1] <= phys_end {
+                rec_cursor += 1;
+            }
+            // Last split swallows any remainder from rounding.
+            if i == n_splits - 1 {
+                rec_cursor = self.records.len();
+            }
+            out.push(SplitMeta {
+                file: Arc::clone(&self.name),
+                index: i,
+                records: start..rec_cursor,
+                sim_bytes: sim_end - sim_start,
+            });
+        }
+        out
+    }
+}
+
+/// The simulated distributed filesystem: a namespace of immutable files.
+///
+/// Cloning a `Dfs` clones a handle to the same namespace (like an HDFS
+/// client), so the executor, pilot runner and statistics collectors all see
+/// one filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct Dfs {
+    files: Arc<RwLock<BTreeMap<String, Arc<DfsFile>>>>,
+    block_size: u64,
+}
+
+impl Dfs {
+    /// An empty filesystem with the default 128 MB block size.
+    pub fn new() -> Self {
+        Self::with_block_size(DEFAULT_BLOCK_SIZE)
+    }
+
+    /// An empty filesystem with a custom block size (tests use small blocks).
+    pub fn with_block_size(block_size: u64) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        Dfs {
+            files: Arc::default(),
+            block_size,
+        }
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Write a new file. Fails if the name is taken.
+    pub fn write_file(
+        &self,
+        name: &str,
+        records: Vec<Value>,
+        scale: SimScale,
+    ) -> Result<Arc<DfsFile>, DfsError> {
+        let file = Arc::new(DfsFile::build(name, records, scale, self.block_size));
+        let mut files = self.files.write();
+        if files.contains_key(name) {
+            return Err(DfsError::AlreadyExists(name.to_owned()));
+        }
+        files.insert(name.to_owned(), Arc::clone(&file));
+        Ok(file)
+    }
+
+    /// Write a file, replacing any existing file of the same name (used for
+    /// re-materializing intermediate results on retry).
+    pub fn overwrite_file(&self, name: &str, records: Vec<Value>, scale: SimScale) -> Arc<DfsFile> {
+        let file = Arc::new(DfsFile::build(name, records, scale, self.block_size));
+        self.files.write().insert(name.to_owned(), Arc::clone(&file));
+        file
+    }
+
+    /// Look up a file by name.
+    pub fn file(&self, name: &str) -> Result<Arc<DfsFile>, DfsError> {
+        self.files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DfsError::NotFound(name.to_owned()))
+    }
+
+    /// True iff the file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.read().contains_key(name)
+    }
+
+    /// Delete a file (intermediate-result cleanup).
+    pub fn delete(&self, name: &str) -> Result<(), DfsError> {
+        self.files
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DfsError::NotFound(name.to_owned()))
+    }
+
+    /// Names of all files, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.files.read().keys().cloned().collect()
+    }
+
+    /// Total simulated bytes stored.
+    pub fn total_sim_bytes(&self) -> u64 {
+        self.files.read().values().map(|f| f.sim_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_data::Record;
+
+    fn rec(i: i64) -> Value {
+        Value::Record(Record::new().with("id", i).with("pad", "xxxxxxxxxx"))
+    }
+
+    fn records(n: i64) -> Vec<Value> {
+        (0..n).map(rec).collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dfs = Dfs::new();
+        let f = dfs.write_file("t", records(10), SimScale::IDENTITY).unwrap();
+        assert_eq!(f.actual_records(), 10);
+        assert_eq!(dfs.file("t").unwrap().records().len(), 10);
+        assert!(dfs.exists("t"));
+        assert_eq!(dfs.list(), vec!["t".to_owned()]);
+    }
+
+    #[test]
+    fn duplicate_write_fails_but_overwrite_succeeds() {
+        let dfs = Dfs::new();
+        dfs.write_file("t", records(1), SimScale::IDENTITY).unwrap();
+        assert!(matches!(
+            dfs.write_file("t", records(1), SimScale::IDENTITY),
+            Err(DfsError::AlreadyExists(_))
+        ));
+        let f = dfs.overwrite_file("t", records(5), SimScale::IDENTITY);
+        assert_eq!(f.actual_records(), 5);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dfs = Dfs::new();
+        assert!(matches!(dfs.file("nope"), Err(DfsError::NotFound(_))));
+        assert!(matches!(dfs.delete("nope"), Err(DfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn sim_sizes_scale_up() {
+        let dfs = Dfs::new();
+        let f = dfs
+            .write_file("t", records(10), SimScale::divisor(1000))
+            .unwrap();
+        assert_eq!(f.sim_records(), 10_000);
+        assert_eq!(f.sim_bytes(), f.actual_bytes() * 1000);
+        assert!(f.avg_record_size() > 0.0);
+    }
+
+    #[test]
+    fn splits_cover_all_records_exactly_once() {
+        let dfs = Dfs::with_block_size(64); // tiny blocks
+        let f = dfs.write_file("t", records(100), SimScale::IDENTITY).unwrap();
+        let splits = f.splits();
+        assert!(splits.len() > 1, "expected multiple splits");
+        let mut covered = 0;
+        for (i, s) in splits.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.records.start, covered);
+            covered = s.records.end;
+            assert!(s.sim_bytes <= 64);
+        }
+        assert_eq!(covered, 100);
+        let total: u64 = splits.iter().map(|s| s.sim_bytes).sum();
+        assert_eq!(total, f.sim_bytes());
+    }
+
+    #[test]
+    fn scaled_splits_partition_records() {
+        // 10 physical records standing for 10,000; block of 1/4 the sim size.
+        let dfs = Dfs::with_block_size(1);
+        let recs = records(8);
+        let f = dfs
+            .write_file("t", recs, SimScale::divisor(1))
+            .unwrap();
+        let splits = f.splits();
+        let covered: usize = splits.iter().map(SplitMeta::record_count).sum();
+        assert_eq!(covered, 8);
+    }
+
+    #[test]
+    fn empty_file_has_one_empty_split() {
+        let dfs = Dfs::new();
+        let f = dfs.write_file("e", vec![], SimScale::IDENTITY).unwrap();
+        let splits = f.splits();
+        assert_eq!(splits.len(), 1);
+        assert_eq!(splits[0].record_count(), 0);
+        assert_eq!(f.avg_record_size(), 0.0);
+    }
+
+    #[test]
+    fn clone_shares_namespace() {
+        let dfs = Dfs::new();
+        let dfs2 = dfs.clone();
+        dfs.write_file("t", records(1), SimScale::IDENTITY).unwrap();
+        assert!(dfs2.exists("t"));
+    }
+}
+
+#[cfg(test)]
+mod split_properties {
+    use super::*;
+    use crate::SimScale;
+    use dyno_data::{Record, Value};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any record count, divisor and block size, splits partition
+        /// the records exactly and their simulated bytes sum to the file's.
+        #[test]
+        fn splits_always_partition(
+            n in 0usize..200,
+            divisor in 1u64..10_000,
+            block_kb in 1u64..64,
+        ) {
+            let dfs = Dfs::with_block_size(block_kb * 1024);
+            let records: Vec<Value> = (0..n)
+                .map(|i| Value::Record(Record::new().with("id", i as i64).with("pad", "p".repeat(i % 40))))
+                .collect();
+            let f = dfs.write_file("t", records, SimScale::divisor(divisor)).unwrap();
+            let splits = f.splits();
+            let mut covered = 0usize;
+            for (i, s) in splits.iter().enumerate() {
+                prop_assert_eq!(s.index, i);
+                prop_assert_eq!(s.records.start, covered);
+                covered = s.records.end;
+            }
+            prop_assert_eq!(covered, n);
+            let total: u64 = splits.iter().map(|s| s.sim_bytes).sum();
+            prop_assert_eq!(total, f.sim_bytes());
+            for s in &splits {
+                prop_assert!(s.sim_bytes <= block_kb * 1024);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Reservoir sampling of splits (Algorithm 1 line 7: `reservoirSample`).
+//!
+//! Pilot runs read a uniformly random subset of a relation's splits. The
+//! classic reservoir algorithm (Vitter's Algorithm R) gives a uniform
+//! without-replacement sample in one pass over the split list, and the
+//! PILR_MT variant later *extends* the sample on demand when m/|R| splits
+//! did not yield k output records (§4.2), which [`SplitSampler`] supports.
+
+use rand::Rng;
+
+/// Uniformly sample `n` items from `items` without replacement.
+///
+/// Returns fewer than `n` items iff `items` has fewer. Order of the result
+/// is the reservoir order (not meaningful).
+pub fn reservoir_sample<T: Clone, R: Rng>(items: &[T], n: usize, rng: &mut R) -> Vec<T> {
+    let mut reservoir: Vec<T> = Vec::with_capacity(n.min(items.len()));
+    for (i, item) in items.iter().enumerate() {
+        if reservoir.len() < n {
+            reservoir.push(item.clone());
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < n {
+                reservoir[j] = item.clone();
+            }
+        }
+    }
+    reservoir
+}
+
+/// An extensible random sampler over a fixed population of items.
+///
+/// Produces an initial uniform sample and can then hand out additional
+/// previously-unseen items on demand — the paper's "if the m/|R| splits are
+/// not sufficient for getting our k-record sample, we pick more splits on
+/// demand" (§4.2, after [38]).
+#[derive(Debug)]
+pub struct SplitSampler<T> {
+    /// Remaining population in a random order; we pop from the back.
+    shuffled: Vec<T>,
+}
+
+impl<T> SplitSampler<T> {
+    /// Create a sampler over `items` using `rng` for the shuffle.
+    pub fn new<R: Rng>(mut items: Vec<T>, rng: &mut R) -> Self {
+        // Fisher–Yates shuffle.
+        for i in (1..items.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+        SplitSampler { shuffled: items }
+    }
+
+    /// Take up to `n` more items from the population.
+    pub fn take(&mut self, n: usize) -> Vec<T> {
+        let keep = self.shuffled.len().saturating_sub(n);
+        self.shuffled.split_off(keep)
+    }
+
+    /// Number of items not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.shuffled.len()
+    }
+
+    /// True iff the whole population has been handed out.
+    pub fn is_exhausted(&self) -> bool {
+        self.shuffled.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_is_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let items: Vec<u32> = (0..100).collect();
+        let mut s = reservoir_sample(&items, 10, &mut rng);
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn sample_larger_than_population_returns_all() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let items = vec![1, 2, 3];
+        let mut s = reservoir_sample(&items, 10, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Each of 20 items should appear in a 5-item sample with p = 1/4.
+        let items: Vec<usize> = (0..20).collect();
+        let mut counts = [0u32; 20];
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        for _ in 0..trials {
+            for x in reservoir_sample(&items, 5, &mut rng) {
+                counts[x] += 1;
+            }
+        }
+        let expected = trials as f64 * 5.0 / 20.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.06, "item {i}: count {c} vs expected {expected}");
+        }
+    }
+
+    #[test]
+    fn sampler_extends_without_repeats() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sampler = SplitSampler::new((0..50).collect::<Vec<_>>(), &mut rng);
+        let mut seen = Vec::new();
+        seen.extend(sampler.take(10));
+        assert_eq!(sampler.remaining(), 40);
+        seen.extend(sampler.take(15));
+        seen.extend(sampler.take(100)); // over-ask drains the rest
+        assert!(sampler.is_exhausted());
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn sampler_take_zero_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sampler = SplitSampler::new(vec![1, 2, 3], &mut rng);
+        assert!(sampler.take(0).is_empty());
+        assert_eq!(sampler.remaining(), 3);
+    }
+}

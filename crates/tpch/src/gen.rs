@@ -1,0 +1,493 @@
+//! The seeded TPC-H-shaped data generator.
+//!
+//! Cardinality ratios per scale-factor unit follow dbgen: 10 k suppliers,
+//! 150 k customers, 200 k parts, 800 k partsupps, 1.5 M orders and ~6 M
+//! lineitems (≈4 per order); `nation` (25) and `region` (5) are fixed.
+//! Physical counts are divided by the [`SimScale`] divisor, foreign keys
+//! are drawn within the *physical* key ranges, and dates are encoded as
+//! `YYYYMMDD` longs so range predicates compare numerically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dyno_data::{Record, Value};
+use dyno_storage::{Dfs, SimScale};
+
+/// The 5 TPC-H regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nations with their region keys.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINERS: [&str; 5] = ["SM CASE", "MED BOX", "LG DRUM", "JUMBO JAR", "WRAP PKG"];
+const SHIPMODES: [&str; 5] = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL"];
+
+/// A generated TPC-H world: the DFS containing all tables.
+#[derive(Debug, Clone)]
+pub struct TpchEnv {
+    /// The filesystem holding every table.
+    pub dfs: Dfs,
+    /// The logical scale factor (e.g. 100 for "SF100").
+    pub sf: u64,
+    /// The physical↔simulated divisor the scaled tables were written at.
+    pub scale: SimScale,
+}
+
+impl TpchEnv {
+    /// Simulated on-disk bytes of a base table — what Jaql's small-file
+    /// broadcast rewrite inspects.
+    pub fn table_sim_bytes(&self, table: &str) -> u64 {
+        self.dfs
+            .file(table)
+            .map(|f| f.sim_bytes())
+            .unwrap_or_default()
+    }
+
+    /// Physical row count of a base table.
+    pub fn table_rows(&self, table: &str) -> u64 {
+        self.dfs
+            .file(table)
+            .map(|f| f.actual_records())
+            .unwrap_or_default()
+    }
+}
+
+/// Deterministic generator. Same `(sf, scale, seed)` ⇒ identical data.
+#[derive(Debug, Clone)]
+pub struct TpchGenerator {
+    sf: u64,
+    scale: SimScale,
+    seed: u64,
+}
+
+impl TpchGenerator {
+    /// Generator for scale factor `sf` at the given physical divisor.
+    pub fn new(sf: u64, scale: SimScale) -> Self {
+        TpchGenerator {
+            sf,
+            scale,
+            seed: 0xD1_40,
+        }
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn rng(&self, table: &str) -> StdRng {
+        let mut h = self.seed;
+        for b in table.bytes() {
+            h = h.wrapping_mul(0x100000001b3) ^ b as u64;
+        }
+        StdRng::seed_from_u64(h)
+    }
+
+    /// Physical row count for a table with `base` rows per SF unit.
+    fn rows(&self, base: u64) -> i64 {
+        ((base * self.sf).div_ceil(self.scale.factor())).max(1) as i64
+    }
+
+    /// Generate every table into a fresh DFS.
+    pub fn generate(&self) -> TpchEnv {
+        let dfs = Dfs::new();
+        self.generate_into(&dfs);
+        TpchEnv {
+            dfs,
+            sf: self.sf,
+            scale: self.scale,
+        }
+    }
+
+    /// Generate every table into an existing DFS.
+    pub fn generate_into(&self, dfs: &Dfs) {
+        let n_supp = self.rows(10_000);
+        let n_cust = self.rows(150_000);
+        let n_part = self.rows(200_000);
+        let n_ord = self.rows(1_500_000);
+
+        // region / nation: fixed-size, stored unscaled.
+        let regions: Vec<Value> = REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                Value::Record(
+                    Record::new()
+                        .with("r_regionkey", i as i64)
+                        .with("r_name", *name)
+                        .with("r_comment", "established region of commerce"),
+                )
+            })
+            .collect();
+        dfs.overwrite_file("region", regions, SimScale::IDENTITY);
+
+        let nations: Vec<Value> = NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, (name, region))| {
+                Value::Record(
+                    Record::new()
+                        .with("n_nationkey", i as i64)
+                        .with("n_name", *name)
+                        .with("n_regionkey", *region)
+                        .with("n_comment", "carefully final deposits"),
+                )
+            })
+            .collect();
+        dfs.overwrite_file("nation", nations, SimScale::IDENTITY);
+
+        let mut rng = self.rng("supplier");
+        let suppliers: Vec<Value> = (1..=n_supp)
+            .map(|k| {
+                Value::Record(
+                    Record::new()
+                        .with("s_suppkey", k)
+                        .with("s_name", format!("Supplier#{k:09}"))
+                        .with("s_nationkey", rng.gen_range(0..25i64))
+                        .with("s_phone", format!("27-{:03}-{:04}", k % 1000, k % 10_000))
+                        .with("s_acctbal", rng.gen_range(-999.99..9999.99))
+                        .with("s_comment", "ironic requests sleep furiously"),
+                )
+            })
+            .collect();
+        dfs.overwrite_file("supplier", suppliers, self.scale);
+
+        let mut rng = self.rng("customer");
+        let customers: Vec<Value> = (1..=n_cust)
+            .map(|k| {
+                Value::Record(
+                    Record::new()
+                        .with("c_custkey", k)
+                        .with("c_name", format!("Customer#{k:09}"))
+                        .with("c_nationkey", rng.gen_range(0..25i64))
+                        .with("c_phone", format!("13-{:03}-{:04}", k % 1000, k % 10_000))
+                        .with("c_acctbal", rng.gen_range(-999.99..9999.99))
+                        .with("c_mktsegment", SEGMENTS[rng.gen_range(0..SEGMENTS.len())])
+                        .with("c_comment", "regular accounts wake blithely"),
+                )
+            })
+            .collect();
+        dfs.overwrite_file("customer", customers, self.scale);
+
+        let mut rng = self.rng("part");
+        let parts: Vec<Value> = (1..=n_part)
+            .map(|k| {
+                let ty = format!(
+                    "{} {} {}",
+                    TYPE_SYL1[rng.gen_range(0..TYPE_SYL1.len())],
+                    TYPE_SYL2[rng.gen_range(0..TYPE_SYL2.len())],
+                    TYPE_SYL3[rng.gen_range(0..TYPE_SYL3.len())]
+                );
+                Value::Record(
+                    Record::new()
+                        .with("p_partkey", k)
+                        .with("p_name", format!("ivory snow part {k}"))
+                        .with("p_mfgr", format!("Manufacturer#{}", 1 + k % 5))
+                        .with("p_brand", format!("Brand#{}{}", 1 + k % 5, 1 + k % 5))
+                        .with("p_type", ty)
+                        .with("p_size", rng.gen_range(1..=50i64))
+                        .with("p_container", CONTAINERS[rng.gen_range(0..CONTAINERS.len())])
+                        .with("p_retailprice", 900.0 + (k % 1000) as f64),
+                )
+            })
+            .collect();
+        dfs.overwrite_file("part", parts, self.scale);
+
+        let mut rng = self.rng("partsupp");
+        let mut partsupps = Vec::with_capacity(n_part as usize * 4);
+        for p in 1..=n_part {
+            for i in 0..4i64 {
+                let s = 1 + (p + i * (n_supp / 4).max(1)) % n_supp;
+                partsupps.push(Value::Record(
+                    Record::new()
+                        .with("ps_partkey", p)
+                        .with("ps_suppkey", s)
+                        .with("ps_availqty", rng.gen_range(1..=9999i64))
+                        .with("ps_supplycost", rng.gen_range(1.0..1000.0f64))
+                        .with("ps_comment", "slyly express packages haggle"),
+                ));
+            }
+        }
+        dfs.overwrite_file("partsupp", partsupps, self.scale);
+
+        let mut rng = self.rng("orders");
+        let mut orders = Vec::with_capacity(n_ord as usize);
+        let mut lineitems = Vec::new();
+        let mut li_rng = self.rng("lineitem");
+        for o in 1..=n_ord {
+            let prio_idx = rng.gen_range(0..PRIORITIES.len());
+            let date = random_date(&mut rng);
+            orders.push(Value::Record(
+                Record::new()
+                    .with("o_orderkey", o)
+                    .with("o_custkey", rng.gen_range(1..=n_cust))
+                    .with("o_orderstatus", ["F", "O", "P"][rng.gen_range(0..3)])
+                    .with("o_totalprice", rng.gen_range(1000.0..500_000.0f64))
+                    .with("o_orderdate", date)
+                    // The Q8' correlation: shippriority is a function of
+                    // orderpriority, so P(ship ∧ order) = P(order) while
+                    // independence predicts P(ship)·P(order).
+                    .with("o_orderpriority", PRIORITIES[prio_idx])
+                    .with("o_shippriority", prio_idx as i64)
+                    .with("o_comment", "furiously special foxes nag"),
+            ));
+            for ln in 1..=li_rng.gen_range(1..=7i64) {
+                lineitems.push(Value::Record(
+                    Record::new()
+                        .with("l_orderkey", o)
+                        .with("l_partkey", li_rng.gen_range(1..=n_part))
+                        .with("l_suppkey", li_rng.gen_range(1..=n_supp))
+                        .with("l_linenumber", ln)
+                        .with("l_quantity", li_rng.gen_range(1..=50i64))
+                        .with("l_extendedprice", li_rng.gen_range(900.0..100_000.0f64))
+                        .with("l_discount", li_rng.gen_range(0.0..0.1f64))
+                        .with("l_returnflag", ["R", "A", "N", "N"][li_rng.gen_range(0..4)])
+                        .with("l_shipdate", random_date(&mut li_rng))
+                        .with("l_shipmode", SHIPMODES[li_rng.gen_range(0..SHIPMODES.len())]),
+                ));
+            }
+        }
+        dfs.overwrite_file("orders", orders, self.scale);
+        dfs.overwrite_file("lineitem", lineitems, self.scale);
+
+        self.generate_restaurants(dfs);
+    }
+
+    /// The §4.1 running-example dataset: restaurants with nested address
+    /// arrays (zip determines state — the correlation that defeats the
+    /// independence assumption), reviews with free text, and tweets.
+    fn generate_restaurants(&self, dfs: &Dfs) {
+        let n_rest = self.rows(500);
+        let n_tweet = self.rows(3_000);
+        let mut rng = self.rng("restaurant");
+        let zips: [(i64, &str); 4] =
+            [(94301, "CA"), (94111, "CA"), (10001, "NY"), (60601, "IL")];
+        let restaurants: Vec<Value> = (1..=n_rest)
+            .map(|k| {
+                let n_addr = rng.gen_range(1..=2usize);
+                let addrs: Vec<Value> = (0..n_addr)
+                    .map(|_| {
+                        let (zip, state) = zips[rng.gen_range(0..zips.len())];
+                        Value::Record(Record::new().with("zip", zip).with("state", state))
+                    })
+                    .collect();
+                Value::Record(
+                    Record::new()
+                        .with("rs_id", k)
+                        .with("rs_name", format!("restaurant-{k}"))
+                        .with("addr", Value::Array(addrs)),
+                )
+            })
+            .collect();
+        dfs.overwrite_file("restaurant", restaurants, self.scale);
+
+        let mut rng = self.rng("tweet");
+        let tweets: Vec<Value> = (1..=n_tweet)
+            .map(|k| {
+                Value::Record(
+                    Record::new()
+                        .with("t_id", k)
+                        .with("t_uid", rng.gen_range(1..=1000i64))
+                        .with("t_text", "checking in downtown"),
+                )
+            })
+            .collect();
+        dfs.overwrite_file("tweet", tweets, self.scale);
+
+        let mut rng = self.rng("review");
+        let n_rev = self.rows(5_000);
+        let reviews: Vec<Value> = (1..=n_rev)
+            .map(|k| {
+                let positive = rng.gen_bool(0.4);
+                Value::Record(
+                    Record::new()
+                        .with("rv_id", k)
+                        .with("rv_rsid", rng.gen_range(1..=n_rest))
+                        .with("rv_tid", rng.gen_range(1..=n_tweet))
+                        .with("rv_uid", rng.gen_range(1..=1000i64))
+                        .with(
+                            "rv_text",
+                            if positive {
+                                "really good food and service"
+                            } else {
+                                "quite bad experience overall"
+                            },
+                        ),
+                )
+            })
+            .collect();
+        dfs.overwrite_file("review", reviews, self.scale);
+    }
+}
+
+/// Random `YYYYMMDD` long in TPC-H's [1992-01-01, 1998-12-31] window.
+fn random_date<R: Rng>(rng: &mut R) -> i64 {
+    let year = rng.gen_range(1992..=1998i64);
+    let month = rng.gen_range(1..=12i64);
+    let day = rng.gen_range(1..=28i64);
+    year * 10_000 + month * 100 + day
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::table_attrs;
+
+    fn small_env() -> TpchEnv {
+        TpchGenerator::new(1, SimScale::divisor(1000)).generate()
+    }
+
+    #[test]
+    fn cardinality_ratios_hold() {
+        let env = small_env();
+        assert_eq!(env.table_rows("region"), 5);
+        assert_eq!(env.table_rows("nation"), 25);
+        assert_eq!(env.table_rows("supplier"), 10);
+        assert_eq!(env.table_rows("customer"), 150);
+        assert_eq!(env.table_rows("part"), 200);
+        assert_eq!(env.table_rows("partsupp"), 800);
+        assert_eq!(env.table_rows("orders"), 1500);
+        let li = env.table_rows("lineitem");
+        assert!((3000..=10_500).contains(&li), "lineitem {li}");
+    }
+
+    #[test]
+    fn nation_region_are_unscaled() {
+        let env = small_env();
+        assert_eq!(env.dfs.file("nation").unwrap().sim_records(), 25);
+        assert_eq!(env.dfs.file("region").unwrap().sim_records(), 5);
+        // scaled tables report logical cardinalities
+        assert_eq!(env.dfs.file("orders").unwrap().sim_records(), 1_500_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchGenerator::new(1, SimScale::divisor(1000)).generate();
+        let b = TpchGenerator::new(1, SimScale::divisor(1000)).generate();
+        for t in ["orders", "lineitem", "part"] {
+            assert_eq!(
+                a.dfs.file(t).unwrap().records(),
+                b.dfs.file(t).unwrap().records(),
+                "table {t} differs between runs"
+            );
+        }
+        let c = TpchGenerator::new(1, SimScale::divisor(1000))
+            .with_seed(99)
+            .generate();
+        assert_ne!(
+            a.dfs.file("orders").unwrap().records(),
+            c.dfs.file("orders").unwrap().records()
+        );
+    }
+
+    #[test]
+    fn foreign_keys_stay_in_physical_ranges() {
+        let env = small_env();
+        let n_cust = env.table_rows("customer") as i64;
+        for rec in env.dfs.file("orders").unwrap().records() {
+            let ck = rec.as_record().unwrap().get("o_custkey").unwrap();
+            let ck = ck.as_long().unwrap();
+            assert!((1..=n_cust).contains(&ck), "o_custkey {ck} out of range");
+        }
+        let n_ord = env.table_rows("orders") as i64;
+        for rec in env.dfs.file("lineitem").unwrap().records() {
+            let ok = rec.as_record().unwrap().get("l_orderkey").unwrap();
+            assert!((1..=n_ord).contains(&ok.as_long().unwrap()));
+        }
+    }
+
+    #[test]
+    fn correlation_between_priorities_holds() {
+        let env = small_env();
+        for rec in env.dfs.file("orders").unwrap().records() {
+            let r = rec.as_record().unwrap();
+            let prio = r.get("o_orderpriority").unwrap().as_str().unwrap();
+            let ship = r.get("o_shippriority").unwrap().as_long().unwrap();
+            let expect = match &prio[..1] {
+                "1" => 0,
+                "2" => 1,
+                "3" => 2,
+                "4" => 3,
+                _ => 4,
+            };
+            assert_eq!(ship, expect, "correlation broken for {prio}");
+        }
+    }
+
+    #[test]
+    fn records_match_declared_schemas() {
+        let env = small_env();
+        for t in ["orders", "lineitem", "customer", "part", "supplier", "partsupp"] {
+            let file = env.dfs.file(t).unwrap();
+            let r = file.records()[0].as_record().unwrap();
+            for attr in table_attrs(t) {
+                assert!(r.get(attr).is_some(), "{t} missing {attr}");
+            }
+        }
+    }
+
+    #[test]
+    fn restaurant_zip_state_correlation() {
+        let env = small_env();
+        for rec in env.dfs.file("restaurant").unwrap().records() {
+            let addrs = rec.as_record().unwrap().get("addr").unwrap();
+            for a in addrs.as_array().unwrap() {
+                let r = a.as_record().unwrap();
+                let zip = r.get("zip").unwrap().as_long().unwrap();
+                let state = r.get("state").unwrap().as_str().unwrap();
+                if zip == 94301 {
+                    assert_eq!(state, "CA");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dates_are_valid_yyyymmdd() {
+        let env = small_env();
+        for rec in env.dfs.file("orders").unwrap().records().iter().take(100) {
+            let d = rec
+                .as_record()
+                .unwrap()
+                .get("o_orderdate")
+                .unwrap()
+                .as_long()
+                .unwrap();
+            assert!((19920101..=19981231).contains(&d));
+            let (m, day) = ((d / 100) % 100, d % 100);
+            assert!((1..=12).contains(&m) && (1..=28).contains(&day));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # dyno-tpch
+//!
+//! The workload substrate: a TPC-H-shaped data generator and the paper's
+//! query catalog (§6.1).
+//!
+//! The generator produces all eight TPC-H tables with dbgen's cardinality
+//! ratios, key/foreign-key structure and value domains, at a configurable
+//! physical scale (see `dyno-storage`'s scale model): `SF` controls the
+//! *logical* size while the divisor keeps the *physical* row counts
+//! laptop-sized. Foreign keys are drawn within the physical key ranges, so
+//! every join is consistent and physical join sizes are exactly `1/divisor`
+//! of logical ones. `nation` and `region` are fixed-size (25/5 rows) and
+//! stored unscaled, as in TPC-H itself.
+//!
+//! Two paper-specific datasets are also generated:
+//!
+//! * the **correlated `orders` columns** used by Q8′ (`o_orderpriority`
+//!   determines `o_shippriority`, the CORDS-style correlation that breaks
+//!   the independence assumption);
+//! * the **restaurants/reviews/tweets** dataset of the running example in
+//!   §4.1, with nested address arrays and a zip↔state correlation.
+//!
+//! [`queries`] holds Q2, Q7, Q8′, Q9′ (parametric UDF selectivity), Q10
+//! and the restaurant query Q1, each as a [`queries::PreparedQuery`]
+//! bundling the declarative spec with its UDF registry.
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+
+pub use dyno_storage::SimScale;
+pub use gen::{TpchEnv, TpchGenerator};
+pub use queries::{PreparedQuery, QueryId};
+pub use schema::{catalog_for, table_attrs};

@@ -1,0 +1,127 @@
+//! Table schemas and catalog construction.
+
+use dyno_query::{QuerySpec, SchemaCatalog};
+
+/// Attributes of each generated table. Unknown tables panic — referencing
+/// a table the generator does not produce is a programming error.
+pub fn table_attrs(table: &str) -> &'static [&'static str] {
+    match table {
+        "region" => &["r_regionkey", "r_name", "r_comment"],
+        "nation" => &["n_nationkey", "n_name", "n_regionkey", "n_comment"],
+        "supplier" => &[
+            "s_suppkey",
+            "s_name",
+            "s_nationkey",
+            "s_phone",
+            "s_acctbal",
+            "s_comment",
+        ],
+        "customer" => &[
+            "c_custkey",
+            "c_name",
+            "c_nationkey",
+            "c_phone",
+            "c_acctbal",
+            "c_mktsegment",
+            "c_comment",
+        ],
+        "part" => &[
+            "p_partkey",
+            "p_name",
+            "p_mfgr",
+            "p_brand",
+            "p_type",
+            "p_size",
+            "p_container",
+            "p_retailprice",
+        ],
+        "partsupp" => &[
+            "ps_partkey",
+            "ps_suppkey",
+            "ps_availqty",
+            "ps_supplycost",
+            "ps_comment",
+        ],
+        "orders" => &[
+            "o_orderkey",
+            "o_custkey",
+            "o_orderstatus",
+            "o_totalprice",
+            "o_orderdate",
+            "o_orderpriority",
+            "o_shippriority",
+            "o_comment",
+        ],
+        "lineitem" => &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_linenumber",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_returnflag",
+            "l_shipdate",
+            "l_shipmode",
+        ],
+        // §4.1 running-example dataset
+        "restaurant" => &["rs_id", "rs_name", "addr"],
+        "review" => &["rv_id", "rv_rsid", "rv_tid", "rv_uid", "rv_text"],
+        "tweet" => &["t_id", "t_uid", "t_text"],
+        other => panic!("unknown table {other:?}"),
+    }
+}
+
+/// Build the attribute-ownership catalog for a query over the generated
+/// tables (resolving scan renames).
+pub fn catalog_for(spec: &QuerySpec) -> SchemaCatalog {
+    let mut cat = SchemaCatalog::new();
+    for scan in &spec.relations {
+        cat.add_scan(scan, table_attrs(&scan.table));
+    }
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_query::ScanDef;
+
+    #[test]
+    fn known_tables_have_schemas() {
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+            "lineitem", "restaurant", "review", "tweet",
+        ] {
+            assert!(!table_attrs(t).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn unknown_table_panics() {
+        table_attrs("elephants");
+    }
+
+    #[test]
+    fn catalog_resolves_self_join_renames() {
+        let spec = QuerySpec::new(
+            "q",
+            vec![
+                ScanDef::aliased("nation", "n1")
+                    .rename("n_nationkey", "n1_nationkey")
+                    .rename("n_name", "n1_name")
+                    .rename("n_regionkey", "n1_regionkey")
+                    .rename("n_comment", "n1_comment"),
+                ScanDef::aliased("nation", "n2")
+                    .rename("n_nationkey", "n2_nationkey")
+                    .rename("n_name", "n2_name")
+                    .rename("n_regionkey", "n2_regionkey")
+                    .rename("n_comment", "n2_comment"),
+            ],
+        );
+        let cat = catalog_for(&spec);
+        assert_eq!(cat.owner("n1_name"), Some("n1"));
+        assert_eq!(cat.owner("n2_name"), Some("n2"));
+    }
+}

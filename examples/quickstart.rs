@@ -1,0 +1,60 @@
+//! Quickstart: generate a TPC-H world, run a query under DYNO, and look
+//! at the plan, the result, and where the (simulated) time went.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dyno::cluster::ClusterConfig;
+use dyno::core::{Dyno, DynoOptions, Mode, Strategy};
+use dyno::storage::SimScale;
+use dyno::tpch::queries::{self, QueryId};
+use dyno::tpch::TpchGenerator;
+
+fn main() {
+    // A TPC-H SF100 world. The divisor keeps physical data laptop-sized
+    // while every size the optimizer and cluster see stays at full scale.
+    let env = TpchGenerator::new(100, SimScale::divisor(50_000)).generate();
+    println!(
+        "generated TPC-H SF100: lineitem = {} physical rows standing for {}",
+        env.table_rows("lineitem"),
+        env.dfs.file("lineitem").unwrap().sim_records()
+    );
+
+    let dyno = Dyno::new(
+        env.dfs,
+        DynoOptions {
+            cluster: ClusterConfig::paper(), // 14 workers, 140/84 slots
+            strategy: Strategy::Unc(1),      // most-uncertain-first (§5.3)
+            ..DynoOptions::default()
+        },
+    );
+
+    // TPC-H Q10 end to end: pilot runs → cost-based plan →
+    // re-optimization at job boundaries → group-by → top-20.
+    let q = queries::prepare(QueryId::Q10);
+    let report = dyno.run(&q, Mode::Dynopt).expect("query should run");
+
+    println!("\nquery {} under {}:", report.query, report.mode);
+    for (i, plan) in report.plans.iter().enumerate() {
+        println!("  plan{}: {plan}", i + 1);
+    }
+    println!(
+        "\nsimulated time: {:.0}s total ({:.0}s pilot runs, {:.1}s optimizer, {} re-optimizations)",
+        report.total_secs, report.pilot_secs, report.optimize_secs, report.reopts
+    );
+    println!("result: {} rows; top 3:", report.rows);
+    for row in report.result.iter().take(3) {
+        println!("  {row}");
+    }
+
+    // Compare with the best hand-written left-deep Jaql plan.
+    dyno.clear_stats();
+    let baseline = dyno.run(&q, Mode::BestStaticJaql).expect("baseline");
+    println!(
+        "\nBESTSTATICJAQL: {:.0}s → DYNO is {:.2}x",
+        baseline.total_secs,
+        baseline.total_secs / report.total_secs
+    );
+    assert_eq!(baseline.result, report.result, "plans must agree on answers");
+}

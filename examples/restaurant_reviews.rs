@@ -1,0 +1,77 @@
+//! The paper's §4.1 running example: why pilot runs exist.
+//!
+//! The query asks for Palo Alto restaurants with positive reviews,
+//! cross-checked against tweets:
+//!
+//! ```sql
+//! SELECT rs.name
+//! FROM restaurant rs, review rv, tweet t
+//! WHERE rs.id = rv.rsid AND rv.tid = t.id
+//!   AND rs.addr[0].zip = 94301 AND rs.addr[0].state = 'CA'
+//!   AND sentanalysis(rv) = positive AND checkid(rv, t)
+//! ```
+//!
+//! Three estimation hazards at once: the `zip` ⇒ `state` correlation
+//! (the state predicate is redundant, but the independence assumption
+//! multiplies it in anyway), a nested array attribute, and two opaque
+//! UDFs. This example shows the selectivity each approach believes.
+//!
+//! ```sh
+//! cargo run --example restaurant_reviews
+//! ```
+
+use dyno::cluster::{Cluster, ClusterConfig, Coord};
+use dyno::core::baseline::relopt_leaf_stats;
+use dyno::core::pilot::{run_pilots, PilotConfig};
+use dyno::core::{Dyno, DynoOptions, Mode};
+use dyno::exec::Executor;
+use dyno::query::JoinBlock;
+use dyno::storage::SimScale;
+use dyno::tpch::queries::{self, QueryId};
+use dyno::tpch::{catalog_for, TpchGenerator};
+
+fn main() {
+    let env = TpchGenerator::new(1, SimScale::divisor(2)).generate();
+    let q = queries::prepare(QueryId::Q1Restaurant);
+    let block = JoinBlock::compile(&q.spec, &catalog_for(&q.spec)).expect("compiles");
+
+    let exec = Executor::new(env.dfs.clone(), Coord::new(), q.udfs.clone());
+    let mut cluster = Cluster::new(ClusterConfig::paper());
+
+    // What a static optimizer believes (exact per-predicate selectivities,
+    // multiplied under independence; UDFs assumed selectivity 1.0)…
+    let relopt = relopt_leaf_stats(&exec, &block).expect("stats");
+    // …vs what pilot runs measure.
+    let pilots = run_pilots(&exec, &mut cluster, &block, &PilotConfig::default())
+        .expect("pilot runs");
+
+    println!("estimated rows after local predicates/UDFs:\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "relation", "base rows", "RELOPT est", "pilot-run est"
+    );
+    for (i, leaf) in block.leaves.iter().enumerate() {
+        let table = match &leaf.source {
+            dyno::query::LeafSource::Table { table, .. } => table.clone(),
+            dyno::query::LeafSource::Materialized { file } => file.clone(),
+        };
+        let base = env.dfs.file(&table).unwrap().sim_records();
+        println!(
+            "{:<12} {:>14} {:>14.0} {:>14.0}",
+            leaf.name, base, relopt[i].rows, pilots.stats[i].rows
+        );
+    }
+    println!(
+        "\nThe restaurant estimates differ because RELOPT multiplies the\n\
+         redundant state predicate into the zip selectivity and cannot see\n\
+         the sentiment UDF at all; the pilot run simply measured both."
+    );
+
+    // Run the query end to end.
+    let dyno = Dyno::new(env.dfs, DynoOptions::default());
+    let report = dyno.run(&q, Mode::Dynopt).expect("query runs");
+    println!(
+        "\nDYNOPT answered with {} rows in {:.0} simulated seconds; plan: {}",
+        report.rows, report.total_secs, report.plans[0]
+    );
+}

@@ -1,0 +1,41 @@
+//! The SQL front end: Jaql accepted a SQL-92-like dialect (§2.1), and so
+//! does this reproduction — parse a SQL string, run it under DYNO.
+//!
+//! ```sh
+//! cargo run --example sql_frontend
+//! ```
+
+use dyno::core::{Dyno, DynoOptions, Mode};
+use dyno::query::parse_sql;
+use dyno::storage::SimScale;
+use dyno::tpch::queries::PreparedQuery;
+use dyno::tpch::TpchGenerator;
+
+fn main() {
+    let env = TpchGenerator::new(100, SimScale::divisor(50_000)).generate();
+
+    let sql = "SELECT n_name, SUM(o_totalprice) AS volume \
+               FROM customer, orders, nation \
+               WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey \
+                 AND o_orderdate >= 19960101 AND c_acctbal > 0 \
+               GROUP BY n_name ORDER BY volume DESC LIMIT 5";
+    println!("SQL:\n  {sql}\n");
+
+    let mut spec = parse_sql(sql).expect("parses");
+    spec.name = "sql_demo".into();
+    let query = PreparedQuery {
+        spec,
+        udfs: Default::default(),
+    };
+
+    let dyno = Dyno::new(env.dfs, DynoOptions::default());
+    let report = dyno.run(&query, Mode::Dynopt).expect("runs");
+    println!("plan: {}", report.plans[0]);
+    println!(
+        "{} rows in {:.0} simulated seconds:",
+        report.rows, report.total_secs
+    );
+    for row in &report.result {
+        println!("  {row}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # dyno — Dynamically Optimizing Queries over Large Scale Data Platforms
+//!
+//! A from-scratch Rust reproduction of the DYNO system (Karanasos et al.,
+//! SIGMOD 2014): pilot runs for selectivity estimation under UDFs and data
+//! correlations, a Columbia-style cost-based join optimizer, and dynamic
+//! re-optimization at MapReduce job boundaries — together with every
+//! substrate the paper depends on (a discrete-event Hadoop/MapReduce
+//! simulator, a simulated DFS, a Jaql-like query IR and heuristic compiler,
+//! a TPC-H-shaped generator, and KMV-based statistics).
+//!
+//! This facade crate re-exports the public API of every workspace crate.
+//! Start with [`core::Dyno`] for the end-to-end system, or see the
+//! runnable programs under `examples/`.
+//!
+//! ```
+//! use dyno::tpch::{TpchGenerator, SimScale};
+//! // Generate a tiny TPC-H world and look at one customer record.
+//! let env = TpchGenerator::new(1, SimScale::divisor(50_000)).generate();
+//! let file = env.dfs.file("customer").unwrap();
+//! assert!(file.sim_records() > 0);
+//! ```
+
+pub use dyno_cluster as cluster;
+pub use dyno_core as core;
+pub use dyno_data as data;
+pub use dyno_exec as exec;
+pub use dyno_optimizer as optimizer;
+pub use dyno_query as query;
+pub use dyno_stats as stats;
+pub use dyno_storage as storage;
+pub use dyno_tpch as tpch;

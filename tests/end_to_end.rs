@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: generator → pilot runs → optimizer →
+//! executor → aggregates, and the invariants that hold across all of it.
+
+use dyno::cluster::ClusterConfig;
+use dyno::core::{Dyno, DynoOptions, Mode, Strategy};
+use dyno::data::Value;
+use dyno::storage::SimScale;
+use dyno::tpch::queries::{self, QueryId};
+use dyno::tpch::TpchGenerator;
+
+fn dyno_at(sf: u64, divisor: u64) -> Dyno {
+    let env = TpchGenerator::new(sf, SimScale::divisor(divisor)).generate();
+    Dyno::new(
+        env.dfs,
+        DynoOptions {
+            cluster: ClusterConfig {
+                task_jitter: 0.0,
+                ..ClusterConfig::paper()
+            },
+            strategy: Strategy::Unc(1),
+            ..DynoOptions::default()
+        },
+    )
+}
+
+const ALL_MODES: [Mode; 5] = [
+    Mode::Dynopt,
+    Mode::DynoptSimple,
+    Mode::RelOpt,
+    Mode::BestStaticJaql,
+    Mode::JaqlAsWritten,
+];
+
+/// Every optimization strategy must produce the same answer — plans may
+/// differ wildly, results may not.
+#[test]
+fn all_modes_agree_on_every_benchmark_query() {
+    let d = dyno_at(100, 100_000);
+    for q in [QueryId::Q2, QueryId::Q7, QueryId::Q8Prime, QueryId::Q9Prime, QueryId::Q10] {
+        let prepared = queries::prepare(q);
+        let mut reference: Option<Vec<Value>> = None;
+        for mode in ALL_MODES {
+            d.clear_stats();
+            let report = d
+                .run(&prepared, mode)
+                .unwrap_or_else(|e| panic!("{} under {mode:?}: {e}", q.name()));
+            match &reference {
+                None => reference = Some(report.result),
+                Some(want) => assert_eq!(
+                    &report.result,
+                    want,
+                    "{} result differs under {mode:?}",
+                    q.name()
+                ),
+            }
+        }
+    }
+}
+
+/// Q10's aggregate must equal a hand-computed nested-loop reference over
+/// the generated physical data.
+#[test]
+fn q10_matches_nested_loop_reference() {
+    let env = TpchGenerator::new(1, SimScale::divisor(1000)).generate();
+    // Hand-compute: customers ⋈ orders ⋈ lineitem ⋈ nation with Q10's
+    // filters, grouped by customer, summed revenue, top-20 by revenue.
+    let customers = env.dfs.file("customer").unwrap();
+    let orders = env.dfs.file("orders").unwrap();
+    let lineitems = env.dfs.file("lineitem").unwrap();
+    let nations = env.dfs.file("nation").unwrap();
+    let get = |v: &Value, f: &str| v.as_record().unwrap().get(f).cloned().unwrap();
+    let mut revenue: std::collections::BTreeMap<i64, f64> = Default::default();
+    for o in orders.records() {
+        let date = get(o, "o_orderdate").as_long().unwrap();
+        if !(19931001..19940101).contains(&date) {
+            continue;
+        }
+        let ck = get(o, "o_custkey");
+        let c = customers
+            .records()
+            .iter()
+            .find(|c| get(c, "c_custkey") == ck)
+            .expect("FK resolves");
+        let nk = get(c, "c_nationkey");
+        assert!(nations
+            .records()
+            .iter()
+            .any(|n| get(n, "n_nationkey") == nk));
+        let ok = get(o, "o_orderkey");
+        for l in lineitems.records() {
+            if get(l, "l_orderkey") == ok
+                && get(l, "l_returnflag") == Value::str("R")
+            {
+                *revenue.entry(ck.as_long().unwrap()).or_default() +=
+                    get(l, "l_extendedprice").as_double().unwrap();
+            }
+        }
+    }
+    let mut expect: Vec<(i64, f64)> = revenue.into_iter().collect();
+    expect.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    expect.truncate(20);
+
+    let d = Dyno::new(env.dfs.clone(), DynoOptions::default());
+    let report = d.run(&queries::prepare(QueryId::Q10), Mode::Dynopt).unwrap();
+    assert_eq!(report.rows as usize, expect.len().min(20));
+    // spot-check the top entry
+    let top = report.result[0].as_record().unwrap();
+    assert_eq!(
+        top.get("c_custkey").unwrap().as_long().unwrap(),
+        expect[0].0
+    );
+    let rev = top.get("revenue").unwrap().as_double().unwrap();
+    assert!((rev - expect[0].1).abs() < 1e-6);
+}
+
+/// Pilot-run statistics persist in the metastore and are shared between
+/// different queries via expression signatures: Q7 and Q10 both scan
+/// `nation` without local predicates, so the second query's pilot skips it.
+#[test]
+fn statistics_are_shared_across_queries() {
+    let d = dyno_at(100, 100_000);
+    let q10 = queries::prepare(QueryId::Q10);
+    let q7 = queries::prepare(QueryId::Q7);
+    let first = d.run(&q10, Mode::DynoptSimple).unwrap();
+    let second = d.run(&q7, Mode::DynoptSimple).unwrap();
+    assert!(first.pilot_secs > 0.0);
+    assert!(second.pilot_secs > 0.0, "Q7 still pilots its own leaves");
+    // the metastore now holds signatures from both queries
+    let sigs = d.metastore.signatures();
+    assert!(sigs.iter().any(|s| s.contains("scan(nation)")));
+    assert!(sigs.iter().any(|s| s.contains("scan(lineitem)")));
+}
+
+/// The simulated clock must be consistent: total time dominates the sum
+/// of its attributed parts, and re-running with warm statistics is
+/// strictly cheaper.
+#[test]
+fn timing_attribution_is_sane() {
+    let d = dyno_at(100, 100_000);
+    let q = queries::prepare(QueryId::Q2);
+    let cold = d.run(&q, Mode::Dynopt).unwrap();
+    let warm = d.run(&q, Mode::Dynopt).unwrap();
+    assert!(cold.total_secs > cold.pilot_secs + cold.optimize_secs);
+    assert!(warm.pilot_secs < cold.pilot_secs);
+    assert!(warm.total_secs < cold.total_secs);
+}
+
+/// DYNOPT must never lose to stock Jaql's as-written plan by more than
+/// the measurement overheads allow — and must beat it when the written
+/// FROM order is bad.
+#[test]
+fn dynopt_beats_a_badly_written_from_order() {
+    let env = TpchGenerator::new(100, SimScale::divisor(100_000)).generate();
+    let d = Dyno::new(
+        env.dfs,
+        DynoOptions {
+            cluster: ClusterConfig {
+                task_jitter: 0.0,
+                ..ClusterConfig::paper()
+            },
+            ..DynoOptions::default()
+        },
+    );
+    // Rewrite Q10 with lineitem first: stock Jaql will start from the
+    // biggest table.
+    let q = queries::prepare(QueryId::Q10);
+    let bad = dyno::tpch::queries::PreparedQuery {
+        spec: q.spec.with_from_order(&["lineitem", "orders", "customer", "nation"]),
+        udfs: q.udfs.clone(),
+    };
+    let jaql = d.run(&bad, Mode::JaqlAsWritten).unwrap();
+    d.clear_stats();
+    let dynopt = d.run(&bad, Mode::Dynopt).unwrap();
+    assert_eq!(jaql.result, dynopt.result);
+    assert!(
+        dynopt.total_secs <= jaql.total_secs * 1.05,
+        "DYNOPT {:.0}s vs as-written Jaql {:.0}s",
+        dynopt.total_secs,
+        jaql.total_secs
+    );
+}
+
+/// Hive profile: broadcast-heavy plans get relatively cheaper than under
+/// the Jaql profile (the Figure 8 effect), and results are unchanged.
+#[test]
+fn hive_profile_cheapens_broadcast_plans() {
+    let run = |cluster: ClusterConfig| {
+        let env = TpchGenerator::new(300, SimScale::divisor(200_000)).generate();
+        let d = Dyno::new(
+            env.dfs,
+            DynoOptions {
+                cluster,
+                ..DynoOptions::default()
+            },
+        );
+        let q = queries::q9_prime(0.01); // broadcast-heavy star join
+        d.run(&q, Mode::DynoptSimple).unwrap()
+    };
+    let jaql = run(ClusterConfig {
+        task_jitter: 0.0,
+        ..ClusterConfig::paper()
+    });
+    let hive = run(ClusterConfig {
+        task_jitter: 0.0,
+        ..ClusterConfig::paper_hive()
+    });
+    assert_eq!(jaql.rows, hive.rows);
+    assert!(
+        hive.total_secs < jaql.total_secs,
+        "hive {:.0}s !< jaql {:.0}s",
+        hive.total_secs,
+        jaql.total_secs
+    );
+}

@@ -1,0 +1,200 @@
+//! Property-based tests over randomly generated schemas, data and join
+//! graphs: the optimizer must always produce valid plans, and every
+//! execution path must agree with a nested-loop reference.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use dyno::cluster::{Cluster, ClusterConfig, Coord};
+use dyno::data::{Record, Value};
+use dyno::exec::{Executor, JobDag};
+use dyno::optimizer::Optimizer;
+use dyno::query::{JoinBlock, Predicate, QuerySpec, ScanDef, SchemaCatalog, UdfRegistry};
+use dyno::stats::{AttrSpec, TableStatsBuilder};
+use dyno::storage::{Dfs, SimScale};
+
+/// A randomly generated chain-join world: tables t0…t{n−1}, each with a
+/// key column `k{i}` and a foreign key `f{i}` into the previous table.
+#[derive(Debug, Clone)]
+struct ChainWorld {
+    tables: Vec<Vec<(i64, i64)>>, // (key, fk) pairs per table
+}
+
+fn chain_world() -> impl Strategy<Value = ChainWorld> {
+    (2usize..5, 1usize..40).prop_flat_map(|(n_tables, max_rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec((0i64..max_rows as i64, 0i64..max_rows as i64), 1..=max_rows),
+            n_tables..=n_tables,
+        )
+        .prop_map(|tables| ChainWorld { tables })
+    })
+}
+
+fn build_env(world: &ChainWorld) -> (Dfs, QuerySpec, SchemaCatalog) {
+    let dfs = Dfs::new();
+    let mut spec_rels = Vec::new();
+    let mut cat = SchemaCatalog::new();
+    for (i, rows) in world.tables.iter().enumerate() {
+        let records: Vec<Value> = rows
+            .iter()
+            .map(|(k, f)| {
+                Value::Record(
+                    Record::new()
+                        .with(format!("k{i}"), *k)
+                        .with(format!("f{i}"), *f),
+                )
+            })
+            .collect();
+        let name = format!("t{i}");
+        dfs.write_file(&name, records, SimScale::IDENTITY).unwrap();
+        let scan = ScanDef::table(&name);
+        let k = format!("k{i}");
+        let f = format!("f{i}");
+        cat.add_scan(&scan, &[&k, &f]);
+        spec_rels.push(scan);
+    }
+    let mut spec = QuerySpec::new("prop", spec_rels);
+    for i in 1..world.tables.len() {
+        spec = spec.filter(Predicate::attr_eq(format!("f{i}"), format!("k{}", i - 1)));
+    }
+    (dfs, spec, cat)
+}
+
+/// Reference result: nested-loop join of the whole chain.
+fn nested_loop(world: &ChainWorld) -> usize {
+    let mut acc: Vec<Vec<(i64, i64)>> =
+        world.tables[0].iter().map(|r| vec![*r]).collect();
+    for i in 1..world.tables.len() {
+        let mut next = Vec::new();
+        for partial in &acc {
+            let prev_key = partial[i - 1].0;
+            for row in &world.tables[i] {
+                if row.1 == prev_key {
+                    let mut p = partial.clone();
+                    p.push(*row);
+                    next.push(p);
+                }
+            }
+        }
+        acc = next;
+    }
+    acc.len()
+}
+
+/// Exact statistics for every leaf, computed by scanning.
+fn exact_stats(dfs: &Dfs, block: &JoinBlock) -> Vec<dyno::stats::TableStats> {
+    (0..block.num_leaves())
+        .map(|i| {
+            let file = dfs
+                .file(match &block.leaves[i].source {
+                    dyno::query::LeafSource::Table { table, .. } => table,
+                    dyno::query::LeafSource::Materialized { file } => file,
+                })
+                .unwrap();
+            let attrs: Vec<AttrSpec> = block
+                .leaf_join_attrs(i)
+                .into_iter()
+                .map(AttrSpec::field)
+                .collect();
+            let mut b = TableStatsBuilder::new(attrs);
+            for r in file.records() {
+                b.observe(r);
+            }
+            b.finish(None)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimizer always returns a plan covering exactly the block's
+    /// leaves, and executing it yields the nested-loop reference count.
+    #[test]
+    fn optimized_plans_are_valid_and_correct(world in chain_world()) {
+        let (dfs, spec, cat) = build_env(&world);
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let stats = exact_stats(&dfs, &block);
+        let opt = Optimizer::new();
+        let r = opt.optimize(&block, &stats).unwrap();
+        let all: BTreeSet<usize> = (0..block.num_leaves()).collect();
+        prop_assert_eq!(r.plan.leaf_set(), all);
+        prop_assert_eq!(r.plan.join_count(), block.num_leaves() - 1);
+
+        let exec = Executor::new(dfs.clone(), Coord::new(), UdfRegistry::new());
+        let mut cluster = Cluster::new(ClusterConfig { task_jitter: 0.0, ..ClusterConfig::paper() });
+        let dag = JobDag::compile(&block, &r.plan);
+        let out = exec.run_dag(&mut cluster, &block, &dag, true, false).unwrap();
+        prop_assert_eq!(out.rows as usize, nested_loop(&world));
+    }
+
+    /// Left-deep mode produces left-deep plans costing at least as much
+    /// as the bushy optimum *before chain rewriting* (the broadcast-chain
+    /// rule is a post-pass, as in the paper's Columbia extension, so it
+    /// can reorder the chain-aware totals).
+    #[test]
+    fn left_deep_is_dominated(world in chain_world()) {
+        let (dfs, spec, cat) = build_env(&world);
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let stats = exact_stats(&dfs, &block);
+        let opt = Optimizer::new();
+        let bushy = opt.optimize(&block, &stats).unwrap();
+        let ld = opt.clone().left_deep().optimize(&block, &stats).unwrap();
+        prop_assert!(ld.plan.is_left_deep());
+        let unchained = |plan: &dyno::query::PhysNode| {
+            fn strip(p: &dyno::query::PhysNode) -> dyno::query::PhysNode {
+                match p {
+                    dyno::query::PhysNode::Leaf(i) => dyno::query::PhysNode::Leaf(*i),
+                    dyno::query::PhysNode::Join { method, left, right, .. } => {
+                        dyno::query::PhysNode::Join {
+                            method: *method,
+                            left: Box::new(strip(left)),
+                            right: Box::new(strip(right)),
+                            chained: false,
+                        }
+                    }
+                }
+            }
+            strip(plan)
+        };
+        let bushy_cost = opt.cost_plan(&block, &stats, &unchained(&bushy.plan));
+        let ld_cost = opt.cost_plan(&block, &stats, &unchained(&ld.plan));
+        prop_assert!(bushy_cost <= ld_cost + 1e-9, "bushy {bushy_cost} > left-deep {ld_cost}");
+    }
+
+    /// With exact statistics, the optimizer's cardinality estimate for a
+    /// chain of FK joins is within a factor bounded by key skew — and
+    /// never negative or NaN.
+    #[test]
+    fn estimates_are_finite(world in chain_world()) {
+        let (dfs, spec, cat) = build_env(&world);
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let stats = exact_stats(&dfs, &block);
+        let r = Optimizer::new().optimize(&block, &stats).unwrap();
+        prop_assert!(r.est_rows.is_finite() && r.est_rows >= 0.0);
+        prop_assert!(r.cost.is_finite() && r.cost >= 0.0);
+    }
+
+    /// Serial and co-scheduled execution of the same DAG agree on results
+    /// and on total slot-work, differing only in wall-clock.
+    #[test]
+    fn parallel_execution_only_changes_wallclock(world in chain_world()) {
+        let (dfs, spec, cat) = build_env(&world);
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let stats = exact_stats(&dfs, &block);
+        let r = Optimizer::new().optimize(&block, &stats).unwrap();
+        let dag = JobDag::compile(&block, &r.plan);
+
+        let run = |parallel: bool| {
+            let exec = Executor::new(dfs.clone(), Coord::new(), UdfRegistry::new());
+            let mut cluster = Cluster::new(ClusterConfig { task_jitter: 0.0, ..ClusterConfig::paper() });
+            let out = exec.run_dag(&mut cluster, &block, &dag, parallel, false).unwrap();
+            (out.rows, cluster.now())
+        };
+        let (rows_serial, t_serial) = run(false);
+        let (rows_parallel, t_parallel) = run(true);
+        prop_assert_eq!(rows_serial, rows_parallel);
+        prop_assert!(t_parallel <= t_serial + 1e-6);
+    }
+}
