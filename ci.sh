@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Offline CI gate for the dyno workspace.
+#
+#   1. tier-1 verify:  cargo build --release && cargo test -q
+#   2. full workspace test suite
+#   3. repro smoke check: Table 1 (PILR relative times) must agree with
+#      the committed repro_output.txt within TOLERANCE points, and the
+#      Figure 2 plan evolution must still re-optimize and beat RELOPT.
+#
+# The build is hermetic: every dependency is a path crate inside this
+# repository, so everything below runs with --offline and no registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+TOLERANCE=${TOLERANCE:-5.0} # max abs deviation, percentage points
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== workspace tests =="
+cargo test -q --workspace --offline
+
+echo "== repro smoke check (Table 1 + Figure 2 vs repro_output.txt) =="
+fresh=$(mktemp) ref_t1=$(mktemp) new_t1=$(mktemp)
+trap 'rm -f "$fresh" "$ref_t1" "$new_t1"' EXIT
+cargo run --release --offline -p dyno-bench --bin repro -- table1 > "$fresh"
+cargo run --release --offline -p dyno-bench --bin repro -- fig2 >> "$fresh"
+
+# Pull out just the Table 1 block (up to its first blank line) from each
+# side; later figures also have rows starting with a query name.
+table1_block() { awk '/^Table 1/{f=1} f && /^$/{exit} f' "$1"; }
+table1_block repro_output.txt > "$ref_t1"
+table1_block "$fresh" > "$new_t1"
+
+awk -v tol="$TOLERANCE" '
+    function strip(s) { sub(/%$/, "", s); return s + 0 }
+    /^Q[0-9]/ {
+        if (FILENAME == ARGV[1]) { for (i = 2; i <= 5; i++) ref[$1, i] = strip($i) }
+        else {
+            for (i = 2; i <= 5; i++) {
+                d = strip($i) - ref[$1, i]
+                if (d < 0) d = -d
+                if (d > tol) {
+                    printf "FAIL: %s col %d: %s vs reference %s%% (tol %s)\n", \
+                        $1, i, $i, ref[$1, i], tol
+                    bad = 1
+                } else {
+                    checked++
+                }
+            }
+        }
+    }
+    END {
+        if (bad) exit 1
+        if (checked < 16) { printf "FAIL: only %d/16 Table 1 cells compared\n", checked; exit 1 }
+        printf "ok: %d Table 1 cells within %s points of reference\n", checked, tol
+    }
+' "$ref_t1" "$new_t1"
+
+grep -q "DYNOPT re-optimized [1-9]" "$fresh" ||
+    { echo "FAIL: Figure 2 no longer re-optimizes"; exit 1; }
+awk '/RELOPT ran/ { r = $(NF-3) + 0; d = $NF + 0
+                    if (d >= r) { print "FAIL: DYNOPT (" d "s) not faster than RELOPT (" r "s)"; exit 1 }
+                    print "ok: Figure 2 re-optimizes, DYNOPT " d "s < RELOPT " r "s" }' "$fresh"
+
+echo "CI OK"

@@ -1,54 +1,27 @@
-//! One Criterion benchmark per table/figure of the paper (§6), at a
-//! coarse physical scale so `cargo bench` completes quickly. The `repro`
-//! binary runs the full-resolution versions and prints the actual tables.
+//! One benchmark per table/figure of the paper (§6), at a coarse
+//! physical scale so `cargo bench` completes quickly. The `repro` binary
+//! runs the full-resolution versions and prints the actual tables.
+//!
+//! Runs on the in-repo wall-clock harness (`dyno_common::bench`); set
+//! `DYNO_BENCH_ITERS` to raise the iteration count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dyno_bench::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, ExpScale};
+use dyno_common::bench::{black_box, Harness};
 
 fn coarse() -> ExpScale {
     ExpScale { divisor: 2_000_000 }
 }
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_pilr_st_vs_mt", |b| {
-        b.iter(|| table1(coarse()))
+fn main() {
+    let mut h = Harness::new("experiments");
+    h.bench_function("table1_pilr_st_vs_mt", || black_box(table1(coarse())));
+    h.bench_function("fig2_q8_plan_evolution", || black_box(fig2(coarse())));
+    h.bench_function("fig3_q9_plans", || black_box(fig3(coarse())));
+    h.bench_function("fig4_overheads", || black_box(fig4(coarse())));
+    h.bench_function("fig5_strategies", || black_box(fig5(coarse())));
+    h.bench_function("fig6_udf_selectivity", || {
+        black_box(fig6(ExpScale { divisor: 400_000 }))
     });
+    h.bench_function("fig7_end_to_end", || black_box(fig7(coarse())));
+    h.bench_function("fig8_hive", || black_box(fig8(coarse())));
 }
-
-fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2_q8_plan_evolution", |b| b.iter(|| fig2(coarse())));
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_q9_plans", |b| b.iter(|| fig3(coarse())));
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("fig4_overheads", |b| b.iter(|| fig4(coarse())));
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("fig5_strategies", |b| b.iter(|| fig5(coarse())));
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    c.bench_function("fig6_udf_selectivity", |b| {
-        b.iter(|| fig6(ExpScale { divisor: 400_000 }))
-    });
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("fig7_end_to_end", |b| b.iter(|| fig7(coarse())));
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("fig8_hive", |b| b.iter(|| fig8(coarse())));
-}
-
-criterion_group! {
-    name = experiments;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
-    targets = bench_table1, bench_fig2, bench_fig3, bench_fig4, bench_fig5,
-              bench_fig6, bench_fig7, bench_fig8
-}
-criterion_main!(experiments);

@@ -1,8 +1,11 @@
 //! Micro-benchmarks of DYNO's hot components: the Columbia-style join
 //! enumeration, the KMV synopsis, the hash-join executor, pilot runs and
 //! the discrete-event scheduler.
+//!
+//! Runs on the in-repo wall-clock harness (`dyno_common::bench`); set
+//! `DYNO_BENCH_ITERS` to raise the iteration count.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dyno_common::bench::{black_box, Harness};
 
 use dyno_cluster::{Cluster, ClusterConfig, Coord, JobProfile, TaskProfile};
 use dyno_core::pilot::{run_pilots, PilotConfig};
@@ -17,7 +20,7 @@ use dyno_tpch::{catalog_for, TpchGenerator};
 
 /// 8-relation join enumeration (Q8': the paper's costliest optimizer
 /// call, ~90 % of its total re-optimization time).
-fn bench_optimizer(c: &mut Criterion) {
+fn bench_optimizer(h: &mut Harness) {
     let env = TpchGenerator::new(1, SimScale::divisor(10_000)).generate();
     let p = queries::prepare(QueryId::Q8Prime);
     let block = JoinBlock::compile(&p.spec, &catalog_for(&p.spec)).unwrap();
@@ -27,77 +30,71 @@ fn bench_optimizer(c: &mut Criterion) {
         .unwrap()
         .stats;
     let opt = Optimizer::new();
-    c.bench_function("optimizer_enumerate_q8_8way", |b| {
-        b.iter(|| opt.optimize(&block, &stats).unwrap().cost)
+    h.bench_function("optimizer_enumerate_q8_8way", || {
+        black_box(opt.optimize(&block, &stats).unwrap().cost)
     });
 }
 
 /// KMV synopsis: stream insertion plus partial-merge, the §4.3 hot path.
-fn bench_kmv(c: &mut Criterion) {
+fn bench_kmv(h: &mut Harness) {
     let values: Vec<Value> = (0..10_000i64).map(Value::Long).collect();
-    c.bench_function("kmv_insert_10k", |b| {
-        b.iter_batched(
-            || KmvSynopsis::new(1024),
-            |mut s| {
-                for v in &values {
-                    s.insert(v);
-                }
-                s.estimate()
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_batched(
+        "kmv_insert_10k",
+        || KmvSynopsis::new(1024),
+        |mut s| {
+            for v in &values {
+                s.insert(v);
+            }
+            s.estimate()
+        },
+    );
     let mut a = KmvSynopsis::new(1024);
     let mut bb = KmvSynopsis::new(1024);
     for v in &values {
         a.insert(v);
         bb.insert(v);
     }
-    c.bench_function("kmv_merge", |b| {
-        b.iter_batched(
-            || a.clone(),
-            |mut x| {
-                x.merge(&bb);
-                x.estimate()
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_batched(
+        "kmv_merge",
+        || a.clone(),
+        |mut x| {
+            x.merge(&bb);
+            x.estimate()
+        },
+    );
 }
 
 /// Pilot runs over a 6-relation query (the PILR_MT path).
-fn bench_pilots(c: &mut Criterion) {
+fn bench_pilots(h: &mut Harness) {
     let env = TpchGenerator::new(1, SimScale::divisor(2_000)).generate();
     let p = queries::prepare(QueryId::Q9Prime);
     let block = JoinBlock::compile(&p.spec, &catalog_for(&p.spec)).unwrap();
-    c.bench_function("pilr_mt_q9_6way", |b| {
-        b.iter_batched(
-            || {
-                (
-                    Executor::new(env.dfs.clone(), Coord::new(), p.udfs.clone()),
-                    Cluster::new(ClusterConfig::paper()),
-                )
-            },
-            |(exec, mut cluster)| {
-                run_pilots(
-                    &exec,
-                    &mut cluster,
-                    &block,
-                    &PilotConfig {
-                        reuse_stats: false,
-                        ..PilotConfig::default()
-                    },
-                )
-                .unwrap()
-                .secs
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_batched(
+        "pilr_mt_q9_6way",
+        || {
+            (
+                Executor::new(env.dfs.clone(), Coord::new(), p.udfs.clone()),
+                Cluster::new(ClusterConfig::paper()),
+            )
+        },
+        |(exec, mut cluster)| {
+            run_pilots(
+                &exec,
+                &mut cluster,
+                &block,
+                &PilotConfig {
+                    reuse_stats: false,
+                    ..PilotConfig::default()
+                },
+            )
+            .unwrap()
+            .secs
+        },
+    );
 }
 
 /// One full repartition-join job over ~25k lineitems.
-fn bench_join_job(c: &mut Criterion) {
+fn bench_join_job(h: &mut Harness) {
     let env = TpchGenerator::new(1, SimScale::divisor(250)).generate();
     let p = queries::prepare(QueryId::Q10);
     let block = JoinBlock::compile(&p.spec, &catalog_for(&p.spec)).unwrap();
@@ -109,21 +106,19 @@ fn bench_join_job(c: &mut Criterion) {
         dyno_query::PhysNode::Leaf(block.leaf_of_alias("lineitem").unwrap()),
     );
     let dag = JobDag::compile(&block, &plan);
-    c.bench_function("repartition_join_job_25k_rows", |b| {
-        b.iter_batched(
-            || Cluster::new(ClusterConfig::paper()),
-            |mut cluster| {
-                exec.run_dag(&mut cluster, &block, &dag, false, false)
-                    .unwrap()
-                    .rows
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_batched(
+        "repartition_join_job_25k_rows",
+        || Cluster::new(ClusterConfig::paper()),
+        |mut cluster| {
+            exec.run_dag(&mut cluster, &block, &dag, false, false)
+                .unwrap()
+                .rows
+        },
+    );
 }
 
 /// The discrete-event scheduler with thousands of tasks across jobs.
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler(h: &mut Harness) {
     let job = |n: usize| JobProfile {
         name: "load".into(),
         map_tasks: (0..n)
@@ -140,22 +135,18 @@ fn bench_scheduler(c: &mut Criterion) {
             .collect(),
         shuffle_bytes: 1 << 33,
     };
-    c.bench_function("scheduler_4_jobs_4k_tasks", |b| {
-        b.iter_batched(
-            || Cluster::new(ClusterConfig::paper()),
-            |mut cluster| {
-                cluster
-                    .run_jobs((0..4).map(|_| job(1000)).collect())
-                    .len()
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_batched(
+        "scheduler_4_jobs_4k_tasks",
+        || Cluster::new(ClusterConfig::paper()),
+        |mut cluster| cluster.run_jobs((0..4).map(|_| job(1000)).collect()).len(),
+    );
 }
 
-criterion_group! {
-    name = micro;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
-    targets = bench_optimizer, bench_kmv, bench_pilots, bench_join_job, bench_scheduler
+fn main() {
+    let mut h = Harness::new("micro");
+    bench_optimizer(&mut h);
+    bench_kmv(&mut h);
+    bench_pilots(&mut h);
+    bench_join_job(&mut h);
+    bench_scheduler(&mut h);
 }
-criterion_main!(micro);

@@ -3,7 +3,8 @@
 //! The experiment harness: one function per table/figure of the paper's
 //! evaluation (§6), each regenerating the corresponding result as a text
 //! table over the simulated cluster. The `repro` binary drives them from
-//! the command line; the Criterion benches run reduced-scale versions.
+//! the command line; `cargo bench` runs reduced-scale versions on the
+//! in-repo wall-clock harness.
 //!
 //! Absolute numbers are simulated seconds on the modeled 14-worker
 //! cluster, not the authors' testbed — what must (and does) match is the

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dyno_common::Mutex;
 
 #[derive(Debug, Default)]
 struct CoordInner {

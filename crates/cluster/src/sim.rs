@@ -699,54 +699,95 @@ mod scheduler_tests {
 #[cfg(test)]
 mod sim_properties {
     use super::*;
-    use proptest::prelude::*;
+    use dyno_common::{prop_ensure, Rng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    fn job_sizes(g: &mut dyno_common::prop::Gen, max_jobs: usize, max_tasks: u64) -> Vec<u64> {
+        let n = g.len_in(1, max_jobs);
+        (0..n)
+            .map(|_| g.gen_range(1..max_tasks.min(1 + g.size() as u64 * 4)))
+            .collect()
+    }
 
-        /// Co-scheduling never beats the sum of serial runs in total work
-        /// and never loses to it in wall-clock; completion times are
-        /// monotone and positive.
-        #[test]
-        fn parallel_never_slower_than_serial_wallclock(
-            sizes in proptest::collection::vec(1u64..300, 1..5)
-        ) {
-            let mk = |n: u64| JobProfile {
-                name: format!("j{n}"),
-                map_tasks: (0..n).map(|_| TaskProfile { input_bytes: 64 << 20, ..TaskProfile::default() }).collect(),
-                ..JobProfile::default()
-            };
-            let cfg = ClusterConfig { task_jitter: 0.0, ..ClusterConfig::paper() };
-            let mut serial = Cluster::new(cfg.clone());
-            for &n in &sizes { serial.run_job(mk(n)); }
-            let t_serial = serial.now();
-            let mut par = Cluster::new(cfg);
-            let timings = par.run_jobs(sizes.iter().map(|&n| mk(n)).collect());
-            let t_par = par.now();
-            prop_assert!(t_par <= t_serial + 1e-6, "parallel {t_par} > serial {t_serial}");
-            for t in &timings {
-                prop_assert!(t.finished >= t.submitted + 15.0 - 1e-9);
-                prop_assert!(t.map_slot_secs > 0.0);
-            }
-        }
+    /// Co-scheduling never beats the sum of serial runs in total work
+    /// and never loses to it in wall-clock; completion times are
+    /// monotone and positive.
+    #[test]
+    fn parallel_never_slower_than_serial_wallclock() {
+        dyno_common::prop::check(
+            "parallel_never_slower_than_serial_wallclock",
+            32,
+            |g| job_sizes(g, 4, 300),
+            |sizes| {
+                let mk = |n: u64| JobProfile {
+                    name: format!("j{n}"),
+                    map_tasks: (0..n)
+                        .map(|_| TaskProfile {
+                            input_bytes: 64 << 20,
+                            ..TaskProfile::default()
+                        })
+                        .collect(),
+                    ..JobProfile::default()
+                };
+                let cfg = ClusterConfig {
+                    task_jitter: 0.0,
+                    ..ClusterConfig::paper()
+                };
+                let mut serial = Cluster::new(cfg.clone());
+                for &n in sizes {
+                    serial.run_job(mk(n));
+                }
+                let t_serial = serial.now();
+                let mut par = Cluster::new(cfg);
+                let timings = par.run_jobs(sizes.iter().map(|&n| mk(n)).collect());
+                let t_par = par.now();
+                prop_ensure!(
+                    t_par <= t_serial + 1e-6,
+                    "parallel {t_par} > serial {t_serial}"
+                );
+                for t in &timings {
+                    prop_ensure!(t.finished >= t.submitted + 15.0 - 1e-9, "startup floor");
+                    prop_ensure!(t.map_slot_secs > 0.0, "no map work recorded");
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// Slot-seconds are conserved across scheduling policies and
-        /// submission patterns.
-        #[test]
-        fn work_is_conserved(sizes in proptest::collection::vec(1u64..200, 1..4)) {
-            let mk = |n: u64| JobProfile {
-                name: "j".into(),
-                map_tasks: (0..n).map(|_| TaskProfile { input_bytes: 32 << 20, ..TaskProfile::default() }).collect(),
-                ..JobProfile::default()
-            };
-            let cfg = ClusterConfig { task_jitter: 0.0, ..ClusterConfig::paper() };
-            let mut a = Cluster::new(cfg.clone());
-            let ta = a.run_jobs(sizes.iter().map(|&n| mk(n)).collect());
-            let mut b = Cluster::new(ClusterConfig { scheduler: SchedulerPolicy::Fair, ..cfg });
-            let tb = b.run_jobs(sizes.iter().map(|&n| mk(n)).collect());
-            let wa: f64 = ta.iter().map(|t| t.map_slot_secs).sum();
-            let wb: f64 = tb.iter().map(|t| t.map_slot_secs).sum();
-            prop_assert!((wa - wb).abs() < 1e-6);
-        }
+    /// Slot-seconds are conserved across scheduling policies and
+    /// submission patterns.
+    #[test]
+    fn work_is_conserved() {
+        dyno_common::prop::check(
+            "work_is_conserved",
+            32,
+            |g| job_sizes(g, 3, 200),
+            |sizes| {
+                let mk = |n: u64| JobProfile {
+                    name: "j".into(),
+                    map_tasks: (0..n)
+                        .map(|_| TaskProfile {
+                            input_bytes: 32 << 20,
+                            ..TaskProfile::default()
+                        })
+                        .collect(),
+                    ..JobProfile::default()
+                };
+                let cfg = ClusterConfig {
+                    task_jitter: 0.0,
+                    ..ClusterConfig::paper()
+                };
+                let mut a = Cluster::new(cfg.clone());
+                let ta = a.run_jobs(sizes.iter().map(|&n| mk(n)).collect());
+                let mut b = Cluster::new(ClusterConfig {
+                    scheduler: SchedulerPolicy::Fair,
+                    ..cfg
+                });
+                let tb = b.run_jobs(sizes.iter().map(|&n| mk(n)).collect());
+                let wa: f64 = ta.iter().map(|t| t.map_slot_secs).sum();
+                let wb: f64 = tb.iter().map(|t| t.map_slot_secs).sum();
+                prop_ensure!((wa - wb).abs() < 1e-6, "slot work {wa} vs {wb}");
+                Ok(())
+            },
+        );
     }
 }

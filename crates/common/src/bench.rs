@@ -1,0 +1,128 @@
+//! A criterion-free wall-clock benchmark harness.
+//!
+//! The workspace's bench targets are `harness = false` binaries; this
+//! module gives them a tiny, dependency-free runner: warm-up, a fixed
+//! number of timed iterations (overridable with `DYNO_BENCH_ITERS`), and
+//! a one-line `min / mean / max` report per benchmark. Batched setup is
+//! supported for routines that consume their input (criterion's
+//! `iter_batched` pattern).
+//!
+//! It intentionally does no statistical outlier analysis — the benches
+//! exist to catch order-of-magnitude regressions in the simulator's hot
+//! paths, not microsecond-level noise.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-target benchmark runner; prints one summary line per benchmark.
+pub struct Harness {
+    label: String,
+    iters: u32,
+}
+
+impl Harness {
+    /// A harness for the bench target `label`.
+    pub fn new(label: impl Into<String>) -> Self {
+        let iters = std::env::var("DYNO_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(10);
+        let label = label.into();
+        println!("== bench target: {label} ({iters} timed iterations each) ==");
+        Harness { label, iters }
+    }
+
+    /// Time `routine` repeatedly and report.
+    pub fn bench_function<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) {
+        // Warm-up: one untimed call to populate caches/allocator state.
+        black_box(routine());
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t = Instant::now();
+            black_box(routine());
+            samples.push(t.elapsed());
+        }
+        self.report(name, &samples);
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn bench_batched<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        black_box(routine(setup()));
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed());
+        }
+        self.report(name, &samples);
+    }
+
+    fn report(&self, name: &str, samples: &[Duration]) {
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        println!(
+            "{:<40} min {:>12}  mean {:>12}  max {:>12}",
+            format!("{}/{}", self.label, name),
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+        );
+    }
+}
+
+/// Render a duration with an SI unit matched to its magnitude.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn harness_runs_and_counts_iterations() {
+        std::env::set_var("DYNO_BENCH_ITERS", "3");
+        let mut h = Harness::new("test");
+        std::env::remove_var("DYNO_BENCH_ITERS");
+        let mut calls = 0u32;
+        h.bench_function("noop", || calls += 1);
+        assert_eq!(calls, 4, "warm-up + 3 timed");
+        let mut setups = 0u32;
+        h.bench_batched(
+            "batched",
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+        );
+        assert_eq!(setups, 4);
+    }
+}

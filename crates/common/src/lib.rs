@@ -1,0 +1,26 @@
+//! # dyno-common
+//!
+//! The zero-dependency substrate every other DYNO crate builds on. The
+//! workspace is **hermetic**: it compiles and tests fully offline with no
+//! crates.io access, so the handful of external utilities the system needs
+//! are provided here instead:
+//!
+//! * [`rng`] — a seeded SplitMix64/xoshiro256++ PRNG with the
+//!   `gen_range`/`gen_bool`/`shuffle` surface used by the data generator,
+//!   split sampling and pilot runs. Deterministic across runs and
+//!   platforms: same seed ⇒ same sequence, forever.
+//! * [`sync`] — thin `Mutex`/`RwLock` wrappers over `std::sync` with a
+//!   non-poisoning (`parking_lot`-style) locking API.
+//! * [`prop`] — a minimal property-test harness: seeded case generation,
+//!   shrink-by-halving, and failure-seed reporting so a red run is
+//!   reproducible with `DYNO_PROP_SEED=<seed>`.
+//! * [`bench`] — a wall-clock micro-benchmark harness for the
+//!   `harness = false` bench targets.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+pub mod sync;
+
+pub use rng::{Rng, SeedableRng, SplitMix64, StdRng};
+pub use sync::{Mutex, RwLock};

@@ -290,10 +290,22 @@ mod tests {
         // multiplies in the redundant shippriority (another ≈1/5),
         // underestimating ≈5×.
         let est_frac = est / full;
-        let independence = (2.0 / 7.0) * (1.0 / 5.0) * (1.0 / 5.0);
+        // RELOPT multiplies every pushed-down predicate independently:
+        // the two date bounds (≥ 4/7 and ≤ 5/7 of the 1992–1998 span),
+        // the priority (≈1/5) and the redundant shippriority (another
+        // ≈1/5) — even though priority ⇒ shippriority and the date pair
+        // jointly selects 2/7.
+        let independence = (4.0 / 7.0) * (5.0 / 7.0) * (1.0 / 5.0) * (1.0 / 5.0);
         assert!(
             (est_frac - independence).abs() < independence * 0.6,
             "estimated fraction {est_frac}, independence predicts {independence}"
+        );
+        // The correlation makes RELOPT underestimate the true fraction
+        // (priority alone implies shippriority; joint date ≈ 2/7) ≈ 3.5×.
+        let truth = (2.0 / 7.0) * (1.0 / 5.0);
+        assert!(
+            est_frac < truth * 0.6,
+            "estimated fraction {est_frac} not an underestimate of {truth}"
         );
     }
 

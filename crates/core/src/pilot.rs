@@ -31,8 +31,7 @@ use dyno_query::JoinBlock;
 use dyno_stats::{AttrSpec, TableStats, TableStatsBuilder};
 use dyno_storage::sample::SplitSampler;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dyno_common::{SeedableRng, StdRng};
 
 /// PILR execution variant (§4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -11,12 +11,10 @@
 //! single-predicate selectivities can be swapped for histogram estimates
 //! to study the precision/overhead trade-off.
 
-use serde::{Deserialize, Serialize};
-
 /// An equi-depth histogram over numeric values: each bucket holds (about)
 /// the same number of values, so skewed data gets finer buckets where the
 /// mass is.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EquiDepthHistogram {
     /// Bucket boundaries: `bounds[i]..bounds[i+1]` is bucket `i`
     /// (inclusive of the final upper bound). Length = buckets + 1.
@@ -134,7 +132,7 @@ impl EquiDepthHistogram {
 /// Top-k frequent values with exact counts over the observed sample
 /// (space-saving would be used on unbounded streams; pilot-run samples
 /// are bounded, so exact counting is fine).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FrequentValues {
     /// `(rendered value, count)` pairs, most frequent first.
     pub top: Vec<(String, u64)>,

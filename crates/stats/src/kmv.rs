@@ -12,13 +12,12 @@
 use std::collections::BTreeSet;
 
 use dyno_data::Value;
-use serde::{Deserialize, Serialize};
 
 /// Default synopsis size used throughout the paper's experiments.
 pub const DEFAULT_K: usize = 1024;
 
 /// A mergeable k-minimum-values synopsis over a single attribute.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KmvSynopsis {
     k: usize,
     /// The up-to-k smallest hash values seen so far.
@@ -111,27 +110,20 @@ impl Default for KmvSynopsis {
 /// spread low-entropy inputs (sequential integers) across the full domain —
 /// the KMV estimator needs hash values that behave uniformly on `[0, 2^64)`.
 pub fn hash_value(value: &Value) -> u64 {
-    let mut buf = bytes::BytesMut::new();
+    let mut buf = Vec::new();
     dyno_data::encode_value(value, &mut buf);
     let mut h: u64 = 0xcbf29ce484222325;
-    for &b in buf.iter() {
+    for &b in &buf {
         h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
     }
-    splitmix64(h)
-}
-
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e3779b97f4a7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
+    dyno_common::rng::splitmix64(h)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dyno_common::{prop_ensure_eq, Rng};
 
     #[test]
     fn exact_below_k() {
@@ -198,33 +190,57 @@ mod tests {
         KmvSynopsis::new(1);
     }
 
-    proptest! {
-        /// Merging is commutative and associative in its effect.
-        #[test]
-        fn merge_is_order_insensitive(values in proptest::collection::vec(-500i64..500, 1..400)) {
-            let mut left = KmvSynopsis::new(32);
-            let mut right = KmvSynopsis::new(32);
-            let mid = values.len() / 2;
-            for (i, v) in values.iter().enumerate() {
-                if i < mid { left.insert(&Value::Long(*v)); } else { right.insert(&Value::Long(*v)); }
-            }
-            let mut ab = left.clone();
-            ab.merge(&right);
-            let mut ba = right.clone();
-            ba.merge(&left);
-            prop_assert_eq!(ab.estimate(), ba.estimate());
-        }
+    /// Merging is commutative and associative in its effect.
+    #[test]
+    fn merge_is_order_insensitive() {
+        dyno_common::prop::check(
+            "merge_is_order_insensitive",
+            128,
+            |g| {
+                let n = g.len_in(1, 400);
+                (0..n).map(|_| g.gen_range(-500i64..500)).collect::<Vec<_>>()
+            },
+            |values| {
+                let mut left = KmvSynopsis::new(32);
+                let mut right = KmvSynopsis::new(32);
+                let mid = values.len() / 2;
+                for (i, v) in values.iter().enumerate() {
+                    if i < mid {
+                        left.insert(&Value::Long(*v));
+                    } else {
+                        right.insert(&Value::Long(*v));
+                    }
+                }
+                let mut ab = left.clone();
+                ab.merge(&right);
+                let mut ba = right.clone();
+                ba.merge(&left);
+                prop_ensure_eq!(ab.estimate(), ba.estimate());
+                Ok(())
+            },
+        );
+    }
 
-        /// The estimator is exact whenever distinct count < k.
-        #[test]
-        fn exactness_property(values in proptest::collection::vec(0i64..200, 0..300)) {
-            let mut s = KmvSynopsis::new(256);
-            let mut set = std::collections::BTreeSet::new();
-            for v in &values {
-                s.insert(&Value::Long(*v));
-                set.insert(*v);
-            }
-            prop_assert_eq!(s.estimate(), set.len() as f64);
-        }
+    /// The estimator is exact whenever distinct count < k.
+    #[test]
+    fn exactness_property() {
+        dyno_common::prop::check(
+            "exactness_property",
+            128,
+            |g| {
+                let n = g.len_in(0, 300);
+                (0..n).map(|_| g.gen_range(0i64..200)).collect::<Vec<_>>()
+            },
+            |values| {
+                let mut s = KmvSynopsis::new(256);
+                let mut set = std::collections::BTreeSet::new();
+                for v in values {
+                    s.insert(&Value::Long(*v));
+                    set.insert(*v);
+                }
+                prop_ensure_eq!(s.estimate(), set.len() as f64);
+                Ok(())
+            },
+        );
     }
 }

@@ -7,14 +7,13 @@
 //! serves recurring queries and shared sub-expressions.
 //!
 //! The paper stores statistics "in a file, but we can employ any persistent
-//! storage"; we keep them in a shared in-memory map with serde-based
+//! storage"; we keep them in a shared in-memory map with plain-struct
 //! snapshot export/import standing in for the file.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use dyno_common::RwLock;
 
 use crate::table::TableStats;
 
@@ -30,7 +29,7 @@ pub struct Metastore {
 }
 
 /// Serializable snapshot of a metastore (the paper's statistics file).
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct MetastoreSnapshot {
     /// All `(signature, statistics)` entries.
     pub entries: Vec<(Signature, TableStats)>,

@@ -6,7 +6,6 @@
 use std::collections::BTreeMap;
 
 use dyno_data::Value;
-use serde::{Deserialize, Serialize};
 
 use crate::kmv::KmvSynopsis;
 
@@ -14,7 +13,7 @@ use crate::kmv::KmvSynopsis;
 ///
 /// The optimizer only needs bounds for range-selectivity estimation and
 /// display, so a numeric-or-text simplification of [`Value`] suffices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Bound {
     /// Numeric bound (longs are widened to doubles).
     Num(f64),
@@ -54,7 +53,7 @@ impl Bound {
 }
 
 /// Statistics for one attribute (join column).
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ColumnStats {
     /// Smallest observed value.
     pub min: Option<Bound>,
@@ -109,7 +108,7 @@ impl ColumnStats {
 
 /// Statistics for one (virtual) table: a base relation after its local
 /// predicates, or a materialized intermediate join result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableStats {
     /// Estimated cardinality at simulated scale (`|R|ᵉ` in the paper).
     pub rows: f64,

@@ -5,7 +5,7 @@ use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use dyno_common::RwLock;
 
 use dyno_data::{encoded_len, Value};
 
@@ -375,36 +375,55 @@ mod tests {
 mod split_properties {
     use super::*;
     use crate::SimScale;
+    use dyno_common::{prop_ensure, prop_ensure_eq, Rng};
     use dyno_data::{Record, Value};
-    use proptest::prelude::*;
 
-    proptest! {
-        /// For any record count, divisor and block size, splits partition
-        /// the records exactly and their simulated bytes sum to the file's.
-        #[test]
-        fn splits_always_partition(
-            n in 0usize..200,
-            divisor in 1u64..10_000,
-            block_kb in 1u64..64,
-        ) {
-            let dfs = Dfs::with_block_size(block_kb * 1024);
-            let records: Vec<Value> = (0..n)
-                .map(|i| Value::Record(Record::new().with("id", i as i64).with("pad", "p".repeat(i % 40))))
-                .collect();
-            let f = dfs.write_file("t", records, SimScale::divisor(divisor)).unwrap();
-            let splits = f.splits();
-            let mut covered = 0usize;
-            for (i, s) in splits.iter().enumerate() {
-                prop_assert_eq!(s.index, i);
-                prop_assert_eq!(s.records.start, covered);
-                covered = s.records.end;
-            }
-            prop_assert_eq!(covered, n);
-            let total: u64 = splits.iter().map(|s| s.sim_bytes).sum();
-            prop_assert_eq!(total, f.sim_bytes());
-            for s in &splits {
-                prop_assert!(s.sim_bytes <= block_kb * 1024);
-            }
-        }
+    /// For any record count, divisor and block size, splits partition
+    /// the records exactly and their simulated bytes sum to the file's.
+    #[test]
+    fn splits_always_partition() {
+        dyno_common::prop::check(
+            "splits_always_partition",
+            192,
+            |g| {
+                let n = g.len_in(0, 200);
+                let divisor = g.gen_range(1u64..10_000);
+                let block_kb = g.gen_range(1u64..64);
+                (n, divisor, block_kb)
+            },
+            |&(n, divisor, block_kb)| {
+                let dfs = Dfs::with_block_size(block_kb * 1024);
+                let records: Vec<Value> = (0..n)
+                    .map(|i| {
+                        Value::Record(
+                            Record::new()
+                                .with("id", i as i64)
+                                .with("pad", "p".repeat(i % 40)),
+                        )
+                    })
+                    .collect();
+                let f = dfs
+                    .write_file("t", records, SimScale::divisor(divisor))
+                    .unwrap();
+                let splits = f.splits();
+                let mut covered = 0usize;
+                for (i, s) in splits.iter().enumerate() {
+                    prop_ensure_eq!(s.index, i);
+                    prop_ensure_eq!(s.records.start, covered);
+                    covered = s.records.end;
+                }
+                prop_ensure_eq!(covered, n);
+                let total: u64 = splits.iter().map(|s| s.sim_bytes).sum();
+                prop_ensure_eq!(total, f.sim_bytes());
+                for s in &splits {
+                    prop_ensure!(
+                        s.sim_bytes <= block_kb * 1024,
+                        "split {} exceeds block size",
+                        s.index
+                    );
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! PILR_MT variant later *extends* the sample on demand when m/|R| splits
 //! did not yield k output records (§4.2), which [`SplitSampler`] supports.
 
-use rand::Rng;
+use dyno_common::Rng;
 
 /// Uniformly sample `n` items from `items` without replacement.
 ///
@@ -70,8 +70,7 @@ impl<T> SplitSampler<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use dyno_common::{SeedableRng, StdRng};
 
     #[test]
     fn sample_is_without_replacement() {

@@ -7,8 +7,7 @@
 //! are drawn within the *physical* key ranges, and dates are encoded as
 //! `YYYYMMDD` longs so range predicates compare numerically.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dyno_common::{Rng, SeedableRng, StdRng};
 
 use dyno_data::{Record, Value};
 use dyno_storage::{Dfs, SimScale};
@@ -253,7 +252,7 @@ impl TpchGenerator {
                 Record::new()
                     .with("o_orderkey", o)
                     .with("o_custkey", rng.gen_range(1..=n_cust))
-                    .with("o_orderstatus", ["F", "O", "P"][rng.gen_range(0..3)])
+                    .with("o_orderstatus", ["F", "O", "P"][rng.gen_range(0..3usize)])
                     .with("o_totalprice", rng.gen_range(1000.0..500_000.0f64))
                     .with("o_orderdate", date)
                     // The Q8' correlation: shippriority is a function of
@@ -273,7 +272,7 @@ impl TpchGenerator {
                         .with("l_quantity", li_rng.gen_range(1..=50i64))
                         .with("l_extendedprice", li_rng.gen_range(900.0..100_000.0f64))
                         .with("l_discount", li_rng.gen_range(0.0..0.1f64))
-                        .with("l_returnflag", ["R", "A", "N", "N"][li_rng.gen_range(0..4)])
+                        .with("l_returnflag", ["R", "A", "N", "N"][li_rng.gen_range(0..4usize)])
                         .with("l_shipdate", random_date(&mut li_rng))
                         .with("l_shipmode", SHIPMODES[li_rng.gen_range(0..SHIPMODES.len())]),
                 ));

@@ -92,12 +92,12 @@ pub fn prepare(q: QueryId) -> PreparedQuery {
 /// This is how opaque UDF selectivities are *realized* without the
 /// optimizer being able to see them.
 fn uhash(args: &[&Value], salt: u64) -> f64 {
-    let mut buf = bytes::BytesMut::new();
+    let mut buf = Vec::new();
     for a in args {
         encode_value(a, &mut buf);
     }
     let mut h: u64 = 0xcbf29ce484222325 ^ salt.wrapping_mul(0x9e3779b97f4a7c15);
-    for &b in buf.iter() {
+    for &b in &buf {
         h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
     }

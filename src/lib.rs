@@ -21,6 +21,8 @@
 //! ```
 
 pub use dyno_cluster as cluster;
+pub use dyno_common as common;
+pub use dyno_common::{prop_ensure, prop_ensure_eq};
 pub use dyno_core as core;
 pub use dyno_data as data;
 pub use dyno_exec as exec;

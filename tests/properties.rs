@@ -1,10 +1,18 @@
 //! Property-based tests over randomly generated schemas, data and join
 //! graphs: the optimizer must always produce valid plans, and every
 //! execution path must agree with a nested-loop reference.
+//!
+//! Runs on the in-repo harness (`dyno::common::prop`): deterministic
+//! seeded cases, shrink-by-halving, and `DYNO_PROP_SEED=<seed>` replay.
+//! Historical proptest failure seeds are pinned as explicit regression
+//! tests at the bottom (see `regression_*`), replacing the old
+//! `properties.proptest-regressions` side-car file.
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
+use dyno::common::prop::{check, Gen, PropResult};
+use dyno::common::Rng;
+use dyno::{prop_ensure, prop_ensure_eq};
 
 use dyno::cluster::{Cluster, ClusterConfig, Coord};
 use dyno::data::{Record, Value};
@@ -21,14 +29,23 @@ struct ChainWorld {
     tables: Vec<Vec<(i64, i64)>>, // (key, fk) pairs per table
 }
 
-fn chain_world() -> impl Strategy<Value = ChainWorld> {
-    (2usize..5, 1usize..40).prop_flat_map(|(n_tables, max_rows)| {
-        proptest::collection::vec(
-            proptest::collection::vec((0i64..max_rows as i64, 0i64..max_rows as i64), 1..=max_rows),
-            n_tables..=n_tables,
-        )
-        .prop_map(|tables| ChainWorld { tables })
-    })
+fn chain_world(g: &mut Gen) -> ChainWorld {
+    let n_tables = g.gen_range(2usize..5);
+    let max_rows = g.len_in(1, 39);
+    let tables = (0..n_tables)
+        .map(|_| {
+            let rows = g.len_in(1, max_rows);
+            (0..rows)
+                .map(|_| {
+                    (
+                        g.gen_range(0..max_rows as i64),
+                        g.gen_range(0..max_rows as i64),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    ChainWorld { tables }
 }
 
 fn build_env(world: &ChainWorld) -> (Dfs, QuerySpec, SchemaCatalog) {
@@ -106,95 +123,186 @@ fn exact_stats(dfs: &Dfs, block: &JoinBlock) -> Vec<dyno::stats::TableStats> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The optimizer always returns a plan covering exactly the block's
+/// leaves, and executing it yields the nested-loop reference count.
+fn prop_optimized_plans_are_valid_and_correct(world: &ChainWorld) -> PropResult {
+    let (dfs, spec, cat) = build_env(world);
+    let block = JoinBlock::compile(&spec, &cat).unwrap();
+    let stats = exact_stats(&dfs, &block);
+    let opt = Optimizer::new();
+    let r = opt.optimize(&block, &stats).unwrap();
+    let all: BTreeSet<usize> = (0..block.num_leaves()).collect();
+    prop_ensure_eq!(r.plan.leaf_set(), all);
+    prop_ensure_eq!(r.plan.join_count(), block.num_leaves() - 1);
 
-    /// The optimizer always returns a plan covering exactly the block's
-    /// leaves, and executing it yields the nested-loop reference count.
-    #[test]
-    fn optimized_plans_are_valid_and_correct(world in chain_world()) {
-        let (dfs, spec, cat) = build_env(&world);
-        let block = JoinBlock::compile(&spec, &cat).unwrap();
-        let stats = exact_stats(&dfs, &block);
-        let opt = Optimizer::new();
-        let r = opt.optimize(&block, &stats).unwrap();
-        let all: BTreeSet<usize> = (0..block.num_leaves()).collect();
-        prop_assert_eq!(r.plan.leaf_set(), all);
-        prop_assert_eq!(r.plan.join_count(), block.num_leaves() - 1);
+    let exec = Executor::new(dfs.clone(), Coord::new(), UdfRegistry::new());
+    let mut cluster = Cluster::new(ClusterConfig {
+        task_jitter: 0.0,
+        ..ClusterConfig::paper()
+    });
+    let dag = JobDag::compile(&block, &r.plan);
+    let out = exec.run_dag(&mut cluster, &block, &dag, true, false).unwrap();
+    prop_ensure_eq!(out.rows as usize, nested_loop(world));
+    Ok(())
+}
 
-        let exec = Executor::new(dfs.clone(), Coord::new(), UdfRegistry::new());
-        let mut cluster = Cluster::new(ClusterConfig { task_jitter: 0.0, ..ClusterConfig::paper() });
-        let dag = JobDag::compile(&block, &r.plan);
-        let out = exec.run_dag(&mut cluster, &block, &dag, true, false).unwrap();
-        prop_assert_eq!(out.rows as usize, nested_loop(&world));
-    }
-
-    /// Left-deep mode produces left-deep plans costing at least as much
-    /// as the bushy optimum *before chain rewriting* (the broadcast-chain
-    /// rule is a post-pass, as in the paper's Columbia extension, so it
-    /// can reorder the chain-aware totals).
-    #[test]
-    fn left_deep_is_dominated(world in chain_world()) {
-        let (dfs, spec, cat) = build_env(&world);
-        let block = JoinBlock::compile(&spec, &cat).unwrap();
-        let stats = exact_stats(&dfs, &block);
-        let opt = Optimizer::new();
-        let bushy = opt.optimize(&block, &stats).unwrap();
-        let ld = opt.clone().left_deep().optimize(&block, &stats).unwrap();
-        prop_assert!(ld.plan.is_left_deep());
-        let unchained = |plan: &dyno::query::PhysNode| {
-            fn strip(p: &dyno::query::PhysNode) -> dyno::query::PhysNode {
-                match p {
-                    dyno::query::PhysNode::Leaf(i) => dyno::query::PhysNode::Leaf(*i),
-                    dyno::query::PhysNode::Join { method, left, right, .. } => {
-                        dyno::query::PhysNode::Join {
-                            method: *method,
-                            left: Box::new(strip(left)),
-                            right: Box::new(strip(right)),
-                            chained: false,
-                        }
+/// Left-deep mode produces left-deep plans costing at least as much
+/// as the bushy optimum *before chain rewriting* (the broadcast-chain
+/// rule is a post-pass, as in the paper's Columbia extension, so it
+/// can reorder the chain-aware totals).
+fn prop_left_deep_is_dominated(world: &ChainWorld) -> PropResult {
+    let (dfs, spec, cat) = build_env(world);
+    let block = JoinBlock::compile(&spec, &cat).unwrap();
+    let stats = exact_stats(&dfs, &block);
+    let opt = Optimizer::new();
+    let bushy = opt.optimize(&block, &stats).unwrap();
+    let ld = opt.clone().left_deep().optimize(&block, &stats).unwrap();
+    prop_ensure!(ld.plan.is_left_deep(), "left-deep mode returned bushy plan");
+    let unchained = |plan: &dyno::query::PhysNode| {
+        fn strip(p: &dyno::query::PhysNode) -> dyno::query::PhysNode {
+            match p {
+                dyno::query::PhysNode::Leaf(i) => dyno::query::PhysNode::Leaf(*i),
+                dyno::query::PhysNode::Join { method, left, right, .. } => {
+                    dyno::query::PhysNode::Join {
+                        method: *method,
+                        left: Box::new(strip(left)),
+                        right: Box::new(strip(right)),
+                        chained: false,
                     }
                 }
             }
-            strip(plan)
-        };
-        let bushy_cost = opt.cost_plan(&block, &stats, &unchained(&bushy.plan));
-        let ld_cost = opt.cost_plan(&block, &stats, &unchained(&ld.plan));
-        prop_assert!(bushy_cost <= ld_cost + 1e-9, "bushy {bushy_cost} > left-deep {ld_cost}");
-    }
+        }
+        strip(plan)
+    };
+    let bushy_cost = opt.cost_plan(&block, &stats, &unchained(&bushy.plan));
+    let ld_cost = opt.cost_plan(&block, &stats, &unchained(&ld.plan));
+    prop_ensure!(
+        bushy_cost <= ld_cost + 1e-9,
+        "bushy {bushy_cost} > left-deep {ld_cost}"
+    );
+    Ok(())
+}
 
-    /// With exact statistics, the optimizer's cardinality estimate for a
-    /// chain of FK joins is within a factor bounded by key skew — and
-    /// never negative or NaN.
-    #[test]
-    fn estimates_are_finite(world in chain_world()) {
-        let (dfs, spec, cat) = build_env(&world);
-        let block = JoinBlock::compile(&spec, &cat).unwrap();
-        let stats = exact_stats(&dfs, &block);
-        let r = Optimizer::new().optimize(&block, &stats).unwrap();
-        prop_assert!(r.est_rows.is_finite() && r.est_rows >= 0.0);
-        prop_assert!(r.cost.is_finite() && r.cost >= 0.0);
-    }
+/// With exact statistics, the optimizer's cardinality estimate for a
+/// chain of FK joins is within a factor bounded by key skew — and
+/// never negative or NaN.
+fn prop_estimates_are_finite(world: &ChainWorld) -> PropResult {
+    let (dfs, spec, cat) = build_env(world);
+    let block = JoinBlock::compile(&spec, &cat).unwrap();
+    let stats = exact_stats(&dfs, &block);
+    let r = Optimizer::new().optimize(&block, &stats).unwrap();
+    prop_ensure!(
+        r.est_rows.is_finite() && r.est_rows >= 0.0,
+        "est_rows = {}",
+        r.est_rows
+    );
+    prop_ensure!(r.cost.is_finite() && r.cost >= 0.0, "cost = {}", r.cost);
+    Ok(())
+}
 
-    /// Serial and co-scheduled execution of the same DAG agree on results
-    /// and on total slot-work, differing only in wall-clock.
-    #[test]
-    fn parallel_execution_only_changes_wallclock(world in chain_world()) {
-        let (dfs, spec, cat) = build_env(&world);
-        let block = JoinBlock::compile(&spec, &cat).unwrap();
-        let stats = exact_stats(&dfs, &block);
-        let r = Optimizer::new().optimize(&block, &stats).unwrap();
-        let dag = JobDag::compile(&block, &r.plan);
+/// Serial and co-scheduled execution of the same DAG agree on results
+/// and on total slot-work, differing only in wall-clock.
+fn prop_parallel_execution_only_changes_wallclock(world: &ChainWorld) -> PropResult {
+    let (dfs, spec, cat) = build_env(world);
+    let block = JoinBlock::compile(&spec, &cat).unwrap();
+    let stats = exact_stats(&dfs, &block);
+    let r = Optimizer::new().optimize(&block, &stats).unwrap();
+    let dag = JobDag::compile(&block, &r.plan);
 
-        let run = |parallel: bool| {
-            let exec = Executor::new(dfs.clone(), Coord::new(), UdfRegistry::new());
-            let mut cluster = Cluster::new(ClusterConfig { task_jitter: 0.0, ..ClusterConfig::paper() });
-            let out = exec.run_dag(&mut cluster, &block, &dag, parallel, false).unwrap();
-            (out.rows, cluster.now())
-        };
-        let (rows_serial, t_serial) = run(false);
-        let (rows_parallel, t_parallel) = run(true);
-        prop_assert_eq!(rows_serial, rows_parallel);
-        prop_assert!(t_parallel <= t_serial + 1e-6);
+    let run = |parallel: bool| {
+        let exec = Executor::new(dfs.clone(), Coord::new(), UdfRegistry::new());
+        let mut cluster = Cluster::new(ClusterConfig {
+            task_jitter: 0.0,
+            ..ClusterConfig::paper()
+        });
+        let out = exec
+            .run_dag(&mut cluster, &block, &dag, parallel, false)
+            .unwrap();
+        (out.rows, cluster.now())
+    };
+    let (rows_serial, t_serial) = run(false);
+    let (rows_parallel, t_parallel) = run(true);
+    prop_ensure_eq!(rows_serial, rows_parallel);
+    prop_ensure!(
+        t_parallel <= t_serial + 1e-6,
+        "parallel {t_parallel} > serial {t_serial}"
+    );
+    Ok(())
+}
+
+#[test]
+fn optimized_plans_are_valid_and_correct() {
+    check(
+        "optimized_plans_are_valid_and_correct",
+        24,
+        chain_world,
+        prop_optimized_plans_are_valid_and_correct,
+    );
+}
+
+#[test]
+fn left_deep_is_dominated() {
+    check("left_deep_is_dominated", 24, chain_world, prop_left_deep_is_dominated);
+}
+
+#[test]
+fn estimates_are_finite() {
+    check("estimates_are_finite", 24, chain_world, prop_estimates_are_finite);
+}
+
+#[test]
+fn parallel_execution_only_changes_wallclock() {
+    check(
+        "parallel_execution_only_changes_wallclock",
+        24,
+        chain_world,
+        prop_parallel_execution_only_changes_wallclock,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regressions.
+//
+// Each case below is a shrunk counterexample proptest found historically
+// (formerly stored in `tests/properties.proptest-regressions`); they are
+// explicit named tests so the failures stay pinned under the new harness
+// and survive generator changes.
+// ---------------------------------------------------------------------------
+
+/// proptest seed `a5f1030445e3958ef20882d4e2998c12ce0f346950af70a2…`,
+/// shrunk to a 4-table chain with duplicate all-zero keys and one
+/// dangling foreign key (`(0, 8)` matches no key in t2): duplicate join
+/// keys fan out while the final join produces zero rows — a shape that
+/// historically miscounted output.
+fn regression_world_duplicate_keys_dangling_fk() -> ChainWorld {
+    ChainWorld {
+        tables: vec![
+            vec![(0, 0), (0, 0)],
+            vec![(0, 0)],
+            vec![(0, 0)],
+            vec![(0, 8)],
+        ],
     }
+}
+
+#[test]
+fn regression_duplicate_keys_dangling_fk_plans_are_correct() {
+    prop_optimized_plans_are_valid_and_correct(&regression_world_duplicate_keys_dangling_fk())
+        .unwrap();
+}
+
+#[test]
+fn regression_duplicate_keys_dangling_fk_left_deep_dominated() {
+    prop_left_deep_is_dominated(&regression_world_duplicate_keys_dangling_fk()).unwrap();
+}
+
+#[test]
+fn regression_duplicate_keys_dangling_fk_estimates_finite() {
+    prop_estimates_are_finite(&regression_world_duplicate_keys_dangling_fk()).unwrap();
+}
+
+#[test]
+fn regression_duplicate_keys_dangling_fk_parallel_matches_serial() {
+    prop_parallel_execution_only_changes_wallclock(&regression_world_duplicate_keys_dangling_fk())
+        .unwrap();
 }
