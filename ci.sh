@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Offline CI gate for the dyno workspace.
 #
-#   1. tier-1 verify:  cargo build --release && cargo test -q
+#   1. tier-1 verify:  cargo build --release (warnings are errors)
+#      && cargo test -q
 #   2. full workspace test suite
 #   3. repro smoke check: Table 1 (PILR relative times) must agree with
 #      the committed repro_output.txt within TOLERANCE points, and the
 #      Figure 2 plan evolution must still re-optimize and beat RELOPT.
+#   4. profile smoke check: `repro profile q8_prime 300` must emit an
+#      overhead-total line matching the Figure 4 Q8' row.
 #
 # The build is hermetic: every dependency is a path crate inside this
 # repository, so everything below runs with --offline and no registry.
@@ -16,7 +19,7 @@ export CARGO_NET_OFFLINE=true
 TOLERANCE=${TOLERANCE:-5.0} # max abs deviation, percentage points
 
 echo "== tier-1: cargo build --release && cargo test -q =="
-cargo build --release --offline
+RUSTFLAGS="-D warnings" cargo build --release --offline
 cargo test -q --offline
 
 echo "== workspace tests =="
@@ -64,5 +67,41 @@ grep -q "DYNOPT re-optimized [1-9]" "$fresh" ||
 awk '/RELOPT ran/ { r = $(NF-3) + 0; d = $NF + 0
                     if (d >= r) { print "FAIL: DYNOPT (" d "s) not faster than RELOPT (" r "s)"; exit 1 }
                     print "ok: Figure 2 re-optimizes, DYNOPT " d "s < RELOPT " r "s" }' "$fresh"
+
+echo "== repro profile smoke check (overhead line vs Figure 4 Q8' row) =="
+profile_out=$(cargo run --release --offline -p dyno-bench --bin repro -- profile q8_prime 300)
+echo "$profile_out" | tail -1
+overhead=$(echo "$profile_out" | grep '^overhead-total: ') ||
+    { echo "FAIL: profile has no overhead-total line"; exit 1; }
+# Figure 4's Q8' row in the committed reference:
+#   Q8'  <existing stats>  <total>s  <PILR %>  <re-opt %>  <overhead %>
+awk -v tol="$TOLERANCE" -v line="$overhead" '
+    function strip(s) { sub(/[%s]$/, "", s); return s + 0 }
+    /^Figure 4/ { in4 = 1 }
+    in4 && /^Q8'\''[[:space:]]/ && !done {
+        # row layout: query, existing-stats, total, PILR %, re-opt %, overhead %
+        ref_total = strip($3); ref_pilot = strip($4); ref_reopt = strip($5)
+        done = 1
+    }
+    END {
+        if (!done) { print "FAIL: no Figure 4 Q8-prime row in repro_output.txt"; exit 1 }
+        split(line, f, /[ =]/)
+        # overhead-total: total=<T>s pilot=<P>% reopt=<R>%
+        got_total = strip(f[3]); got_pilot = strip(f[5]); got_reopt = strip(f[7])
+        dt = got_total - ref_total; if (dt < 0) dt = -dt
+        dp = got_pilot - ref_pilot; if (dp < 0) dp = -dp
+        dr = got_reopt - ref_reopt; if (dr < 0) dr = -dr
+        if (dt > ref_total * tol / 100) {
+            printf "FAIL: profile total %ss vs Figure 4 %ss\n", got_total, ref_total; exit 1
+        }
+        if (dp > tol || dr > tol) {
+            printf "FAIL: profile pilot/reopt %s%%/%s%% vs Figure 4 %s%%/%s%%\n", \
+                got_pilot, got_reopt, ref_pilot, ref_reopt
+            exit 1
+        }
+        printf "ok: profile overhead (%ss, %s%%, %s%%) matches Figure 4 Q8-prime row (tol %s)\n", \
+            got_total, got_pilot, got_reopt, tol
+    }
+' repro_output.txt
 
 echo "CI OK"

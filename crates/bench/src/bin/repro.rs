@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8] [--divisor N]
+//! repro profile <query> <sf> [--divisor N]
 //! ```
+//!
+//! `profile` runs one query cold under DYNOPT with `dyno-obs` tracing on
+//! and prints its `EXPLAIN ANALYZE`-style profile (phase times, per-job
+//! gantt, est-vs-actual join cardinalities, Figure 4 overhead line).
 //!
 //! The divisor controls the physical scale (logical rows per physical
 //! record); the default of 50 000 runs every experiment in a few minutes
@@ -10,11 +15,13 @@
 
 use std::env;
 
-use dyno_bench::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, ExpScale};
+use dyno_bench::{
+    ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, profile_report, table1, ExpScale,
+};
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let mut which = "all".to_owned();
+    let mut positional: Vec<String> = Vec::new();
     let mut divisor = 50_000u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -27,14 +34,30 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table1|fig2|...|fig8|ablations] [--divisor N]"
+                    "usage: repro [all|table1|fig2|...|fig8|ablations] [--divisor N]\n       repro profile <query> <sf> [--divisor N]"
                 );
                 return;
             }
-            other => which = other.to_owned(),
+            other => positional.push(other.to_owned()),
         }
     }
+    let which = positional.first().cloned().unwrap_or_else(|| "all".to_owned());
     let scale = ExpScale { divisor };
+
+    if which == "profile" {
+        let query = positional
+            .get(1)
+            .unwrap_or_else(|| die("profile needs <query> <sf>"));
+        let sf: u64 = positional
+            .get(2)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die("profile needs a numeric scale factor"));
+        match profile_report(query, sf, scale) {
+            Ok(out) => println!("{out}"),
+            Err(e) => die(&e),
+        }
+        return;
+    }
     // Figure 6 sweeps selectivities down to 0.01 %, which needs enough
     // physical dimension rows to be realized; use a finer grain there.
     let fine = ExpScale {

@@ -29,7 +29,12 @@ fn paper_cluster() -> ClusterConfig {
     ClusterConfig::paper()
 }
 
-fn make_dyno(sf: u64, scale: ExpScale, cluster: ClusterConfig, strategy: Strategy) -> Dyno {
+pub(crate) fn make_dyno(
+    sf: u64,
+    scale: ExpScale,
+    cluster: ClusterConfig,
+    strategy: Strategy,
+) -> Dyno {
     let env = TpchGenerator::new(sf, SimScale::divisor(scale.divisor)).generate();
     Dyno::new(
         env.dfs,

@@ -12,7 +12,9 @@
 //! fall. EXPERIMENTS.md records paper-vs-measured for every experiment.
 
 pub mod experiments;
+pub mod profile;
 pub mod render;
 
 pub use experiments::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, ExpScale};
+pub use profile::profile_report;
 pub use render::render_table;

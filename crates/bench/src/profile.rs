@@ -1,0 +1,73 @@
+//! `repro profile <query> <sf>` — an `EXPLAIN ANALYZE`-style profile of
+//! one cold DYNOPT run, produced from the `dyno-obs` event log.
+//!
+//! The run mirrors the Figure 4 configuration (paper cluster, UNC-1,
+//! pilot runs + re-optimization), so the final `overhead-total:` line is
+//! directly comparable with the corresponding Figure 4 row — `ci.sh`
+//! diffs the two.
+
+use dyno_cluster::ClusterConfig;
+use dyno_core::{Mode, Strategy};
+use dyno_obs::{Obs, QueryProfile};
+use dyno_tpch::queries::{self, QueryId};
+
+use crate::experiments::{make_dyno, ExpScale};
+
+/// Parse a command-line query name (`q8_prime`, `Q8'`, `q10`, …).
+pub fn parse_query(name: &str) -> Option<QueryId> {
+    match name.to_ascii_lowercase().as_str() {
+        "q1_restaurant" | "q1r" => Some(QueryId::Q1Restaurant),
+        "q2" => Some(QueryId::Q2),
+        "q5" => Some(QueryId::Q5),
+        "q7" => Some(QueryId::Q7),
+        "q8_prime" | "q8'" | "q8" => Some(QueryId::Q8Prime),
+        "q9_prime" | "q9'" | "q9" => Some(QueryId::Q9Prime),
+        "q10" => Some(QueryId::Q10),
+        _ => None,
+    }
+}
+
+/// Run `query` cold under DYNOPT at scale factor `sf` with tracing on and
+/// render the resulting [`QueryProfile`].
+pub fn profile_report(query: &str, sf: u64, scale: ExpScale) -> Result<String, String> {
+    let id = parse_query(query).ok_or_else(|| {
+        format!("unknown query {query:?} (try q2, q7, q8_prime, q9_prime, q10)")
+    })?;
+    let mut d = make_dyno(sf, scale, ClusterConfig::paper(), Strategy::Unc(1));
+    d.obs = Obs::enabled();
+    let q = queries::prepare(id);
+    let report = d
+        .run(&q, Mode::Dynopt)
+        .map_err(|e| format!("{} failed: {e}", q.spec.name))?;
+    let profile = QueryProfile::build(&d.obs.tracer)
+        .ok_or_else(|| "tracer recorded no query span".to_owned())?;
+    debug_assert_eq!(profile.total_secs.to_bits(), report.total_secs.to_bits());
+    Ok(profile.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_paper_names() {
+        assert_eq!(parse_query("q8_prime"), Some(QueryId::Q8Prime));
+        assert_eq!(parse_query("Q8'"), Some(QueryId::Q8Prime));
+        assert_eq!(parse_query("q10"), Some(QueryId::Q10));
+        assert_eq!(parse_query("nope"), None);
+    }
+
+    #[test]
+    fn profile_report_renders_overhead_line() {
+        let out =
+            profile_report("q10", 100, ExpScale { divisor: 200_000 }).expect("profile run");
+        assert!(out.contains("== profile: Q10 =="));
+        assert!(out.contains("pilot"));
+        assert!(out.contains("overhead-total: total="));
+    }
+
+    #[test]
+    fn unknown_query_is_an_error() {
+        assert!(profile_report("q99", 1, ExpScale::default()).is_err());
+    }
+}

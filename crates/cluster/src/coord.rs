@@ -118,4 +118,87 @@ mod tests {
         }
         assert_eq!(c.counter("n"), 8000);
     }
+
+    #[test]
+    fn registry_appends_it_never_overwrites() {
+        // Publication is append-only: a key accumulates entries (even
+        // duplicates) until explicitly cleared — tasks re-announcing a
+        // stats file must not clobber their peers.
+        let c = Coord::new();
+        c.publish("stats/j", "task-0");
+        c.publish("stats/j", "task-0");
+        c.publish("stats/j", "task-1");
+        assert_eq!(c.entries("stats/j"), vec!["task-0", "task-0", "task-1"]);
+        // clearing one key leaves the others untouched
+        c.publish("stats/k", "task-9");
+        c.clear_entries("stats/j");
+        assert!(c.entries("stats/j").is_empty());
+        assert_eq!(c.entries("stats/k"), vec!["task-9"]);
+        // a cleared key starts fresh
+        c.publish("stats/j", "task-2");
+        assert_eq!(c.entries("stats/j"), vec!["task-2"]);
+    }
+
+    #[test]
+    fn concurrent_publication_loses_no_entries() {
+        let c = Coord::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        c.publish("stats/job", format!("task-{t}-{i}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut entries = c.entries("stats/job");
+        assert_eq!(entries.len(), 400);
+        entries.sort();
+        entries.dedup();
+        assert_eq!(entries.len(), 400, "publications must not duplicate or clobber");
+    }
+
+    #[test]
+    fn pilr_early_termination_checked_at_block_boundaries() {
+        // The §4.2 protocol: map tasks share an output counter and stop at
+        // the first *block boundary* where the target k has been reached —
+        // every started block still finishes (no partial blocks, dodging
+        // the inspection-paradox bias).
+        const K: u64 = 1000;
+        const BLOCK: u64 = 64;
+        let c = Coord::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    let mut blocks_finished = 0u64;
+                    loop {
+                        // check *before* starting the next block only
+                        if c.counter("pilr/q/k") >= K {
+                            break;
+                        }
+                        let after = c.incr("pilr/q/k", BLOCK);
+                        blocks_finished += 1;
+                        if after >= K {
+                            break;
+                        }
+                    }
+                    blocks_finished
+                })
+            })
+            .collect();
+        let total_blocks: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let produced = c.counter("pilr/q/k");
+        assert!(produced >= K, "termination only after k records: {produced}");
+        // every contribution came from a *finished* block
+        assert_eq!(produced, total_blocks * BLOCK);
+        // overshoot is bounded by one in-flight block per worker
+        assert!(produced < K + 8 * BLOCK, "overshoot too large: {produced}");
+        c.reset_counter("pilr/q/k");
+        assert_eq!(c.counter("pilr/q/k"), 0, "reset re-arms the next pilot run");
+    }
 }

@@ -18,6 +18,9 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
+use dyno_obs::trace::NO_SPAN;
+use dyno_obs::{Metrics, SpanId, SpanKind, Tracer};
+
 use crate::config::{ClusterConfig, SchedulerPolicy};
 
 /// Simulated time in seconds since cluster creation.
@@ -134,6 +137,31 @@ fn next_job(
     }
 }
 
+/// Fold a task launch into the job's current wave span of this kind:
+/// a launch overlapping the open wave extends its end, a launch after
+/// the wave has drained opens the next wave span.
+fn extend_wave(
+    tracer: &Tracer,
+    wave: &mut Option<(SpanId, f64)>,
+    job_span: SpanId,
+    kind: &'static str,
+    now: f64,
+    dur: f64,
+) {
+    match wave {
+        Some((id, end)) if now <= *end + 1e-9 => {
+            let new_end = (*end).max(now + dur);
+            *end = new_end;
+            tracer.end_span(*id, new_end);
+        }
+        _ => {
+            let id = tracer.start_span(job_span, SpanKind::Wave, kind, now);
+            tracer.end_span(id, now + dur);
+            *wave = Some((id, now + dur));
+        }
+    }
+}
+
 #[derive(Debug)]
 struct JobState {
     pending_maps: VecDeque<(f64, u32)>, // (duration, retries)
@@ -158,21 +186,55 @@ pub struct Cluster {
     config: ClusterConfig,
     clock: SimTime,
     jitter_seed: u64,
+    tracer: Tracer,
+    metrics: Metrics,
+    trace_scope: SpanId,
 }
 
 impl Cluster {
-    /// A cluster at time zero.
+    /// A cluster at time zero (observability disabled).
     pub fn new(config: ClusterConfig) -> Self {
         Cluster {
             config,
             clock: 0.0,
             jitter_seed: 0x9e3779b97f4a7c15,
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
+            trace_scope: NO_SPAN,
         }
     }
 
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Install observability handles; `run_jobs` records job/wave spans and
+    /// task events under the current trace scope.
+    pub fn set_obs(&mut self, tracer: Tracer, metrics: Metrics) {
+        self.tracer = tracer;
+        self.metrics = metrics;
+    }
+
+    /// Span under which subsequently simulated jobs are recorded (a query
+    /// or phase span). [`NO_SPAN`] parents jobs at the root.
+    pub fn set_trace_scope(&mut self, scope: SpanId) {
+        self.trace_scope = scope;
+    }
+
+    /// Current trace scope (to save/restore around a nested phase).
+    pub fn trace_scope(&self) -> SpanId {
+        self.trace_scope
+    }
+
+    /// The cluster's tracer handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The cluster's metrics handle.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Current virtual time.
@@ -280,6 +342,27 @@ impl Cluster {
             });
         }
 
+        let traced = self.tracer.is_enabled();
+        let job_spans: Vec<SpanId> = if traced {
+            jobs.iter()
+                .map(|job| {
+                    self.tracer.start_span(
+                        self.trace_scope,
+                        SpanKind::Job,
+                        job.name.clone(),
+                        submit_time,
+                    )
+                })
+                .collect()
+        } else {
+            vec![NO_SPAN; n]
+        };
+        // Current open wave span per (job, kind) as (span, end time): a
+        // launch overlapping the current wave extends it, a later launch
+        // opens the next wave.
+        let mut map_wave: Vec<Option<(SpanId, f64)>> = vec![None; n];
+        let mut reduce_wave: Vec<Option<(SpanId, f64)>> = vec![None; n];
+
         let mut free_map = self.config.map_slots();
         let mut free_reduce = self.config.reduce_slots();
         let mut now;
@@ -291,6 +374,9 @@ impl Cluster {
             match ev.kind {
                 EventKind::JobReady(j) => {
                     states[j].maps_ready = true;
+                    if traced {
+                        self.tracer.event(job_spans[j], now, "job_ready", vec![]);
+                    }
                     // A job with no map tasks at all proceeds straight to
                     // its reduces (does not occur in MapReduce proper, but
                     // keeps the simulator total); with no tasks of any kind
@@ -304,12 +390,29 @@ impl Cluster {
                     }
                 }
                 EventKind::MapDone(j) => {
+                    self.metrics.observe("cluster.task_secs", ev.task_duration);
                     if ev.retries_left > 0 {
                         // Failed attempt: Hadoop reruns the task from scratch.
                         states[j]
                             .pending_maps
                             .push_back((ev.task_duration, ev.retries_left - 1));
                         states[j].map_slot_secs += ev.task_duration;
+                        self.metrics.incr("cluster.tasks_retried", 1);
+                        if traced {
+                            self.tracer.event(
+                                job_spans[j],
+                                now,
+                                "task_retry",
+                                vec![("kind", "map".into()), ("secs", ev.task_duration.into())],
+                            );
+                        }
+                    } else if traced {
+                        self.tracer.event(
+                            job_spans[j],
+                            now,
+                            "task_done",
+                            vec![("kind", "map".into()), ("secs", ev.task_duration.into())],
+                        );
                     }
                     free_map += 1;
                     states[j].maps_outstanding -= 1;
@@ -330,11 +433,28 @@ impl Cluster {
                     }
                 }
                 EventKind::ReduceDone(j) => {
+                    self.metrics.observe("cluster.task_secs", ev.task_duration);
                     if ev.retries_left > 0 {
                         states[j]
                             .pending_reduces
                             .push_back((ev.task_duration, ev.retries_left - 1));
                         states[j].reduce_slot_secs += ev.task_duration;
+                        self.metrics.incr("cluster.tasks_retried", 1);
+                        if traced {
+                            self.tracer.event(
+                                job_spans[j],
+                                now,
+                                "task_retry",
+                                vec![("kind", "reduce".into()), ("secs", ev.task_duration.into())],
+                            );
+                        }
+                    } else if traced {
+                        self.tracer.event(
+                            job_spans[j],
+                            now,
+                            "task_done",
+                            vec![("kind", "reduce".into()), ("secs", ev.task_duration.into())],
+                        );
                     }
                     free_reduce += 1;
                     states[j].reduces_outstanding -= 1;
@@ -373,6 +493,9 @@ impl Cluster {
                     task_duration: dur,
                     retries_left: retries,
                 });
+                if traced {
+                    extend_wave(&self.tracer, &mut map_wave[j], job_spans[j], "map", now, dur);
+                }
             }
             while free_reduce > 0 {
                 let pick = next_job(&states, policy, |st| {
@@ -397,6 +520,23 @@ impl Cluster {
                     task_duration: dur,
                     retries_left: retries,
                 });
+                if traced {
+                    extend_wave(
+                        &self.tracer,
+                        &mut reduce_wave[j],
+                        job_spans[j],
+                        "reduce",
+                        now,
+                        dur,
+                    );
+                }
+            }
+        }
+
+        if traced {
+            for (j, st) in states.iter().enumerate() {
+                self.tracer
+                    .end_span(job_spans[j], st.finished_at.expect("all jobs finished"));
             }
         }
 
@@ -613,6 +753,51 @@ mod tests {
     #[should_panic(expected = "rewind")]
     fn negative_advance_panics() {
         Cluster::new(cfg()).advance(-1.0);
+    }
+
+    #[test]
+    fn tracing_records_jobs_waves_and_tasks() {
+        let mut cl = Cluster::new(cfg());
+        let tracer = Tracer::enabled();
+        let metrics = Metrics::enabled();
+        cl.set_obs(tracer.clone(), metrics.clone());
+        let mut flaky = map_task(128);
+        flaky.retries = 1;
+        cl.run_job(JobProfile {
+            name: "traced".into(),
+            map_tasks: vec![map_task(128), flaky, map_task(128)],
+            reduce_tasks: vec![map_task(64)],
+            shuffle_bytes: 1 << 20,
+        });
+        let spans = tracer.spans();
+        let job = spans.iter().find(|s| s.kind == SpanKind::Job).unwrap();
+        assert_eq!(job.name, "traced");
+        assert_eq!(job.start, 0.0);
+        assert_eq!(job.end, Some(cl.now()));
+        let waves: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Wave).collect();
+        assert!(waves.iter().any(|w| w.name == "map" && w.parent == job.id));
+        assert!(waves.iter().any(|w| w.name == "reduce" && w.parent == job.id));
+        let evs = tracer.events();
+        assert_eq!(evs.iter().filter(|e| e.name == "job_ready").count(), 1);
+        // 3 maps + 1 reduce succeed; the flaky map fails one attempt first
+        assert_eq!(evs.iter().filter(|e| e.name == "task_done").count(), 4);
+        assert_eq!(evs.iter().filter(|e| e.name == "task_retry").count(), 1);
+        assert_eq!(metrics.counter("cluster.tasks_retried"), 1);
+        let h = metrics.histogram("cluster.task_secs").unwrap();
+        assert_eq!(h.count, 5); // every attempt, including the failed one
+    }
+
+    #[test]
+    fn untraced_cluster_records_nothing() {
+        let mut cl = Cluster::new(cfg());
+        assert!(!cl.tracer().is_enabled());
+        cl.run_job(JobProfile {
+            name: "quiet".into(),
+            map_tasks: vec![map_task(128)],
+            ..JobProfile::default()
+        });
+        assert!(cl.tracer().spans().is_empty());
+        assert_eq!(cl.metrics().counter("cluster.tasks_retried"), 0);
     }
 }
 

@@ -18,6 +18,7 @@ use std::collections::BTreeSet;
 
 use dyno_cluster::Cluster;
 use dyno_exec::{Executor, JobDag, JobOutput};
+use dyno_obs::SpanKind;
 use dyno_optimizer::CostModel;
 use dyno_query::jaql::{jaql_heuristic_plan, leaf_sizes_from};
 use dyno_query::{JoinBlock, LeafSource, Predicate};
@@ -137,6 +138,22 @@ pub fn best_static_jaql(
                 .total_cmp(&true_cost_of_order(b, block, &mut oracle, &sizes, model))
         })
         .expect("non-empty");
+    cluster
+        .metrics()
+        .incr("baseline.orders_considered", orders.len() as u64);
+    if cluster.tracer().is_enabled() {
+        let best_cost = true_cost_of_order(best, block, &mut oracle, &sizes, model);
+        let tracer = cluster.tracer().clone();
+        tracer.event(
+            cluster.trace_scope(),
+            cluster.now(),
+            "plan_choice",
+            vec![
+                ("orders", (orders.len() as u64).into()),
+                ("true_cost", best_cost.into()),
+            ],
+        );
+    }
     let alias_order: Vec<String> = best
         .iter()
         .map(|&l| {
@@ -168,8 +185,20 @@ pub fn execute_jaql_order(
     let plan = jaql_heuristic_plan(&block, &sizes, model.memory_budget as u64);
     let rendered = plan.render_inline(&block);
     let dag = JobDag::compile(&block, &plan);
-    let out = exec.run_dag(cluster, &block, &dag, false, false)?;
-    Ok((out, rendered))
+    // Baseline runs get an `execute` phase span too, so their profiles
+    // show the same phase breakdown as DYNOPT's.
+    let tracer = cluster.tracer().clone();
+    let prev_scope = cluster.trace_scope();
+    let phase = tracer.start_span(prev_scope, SpanKind::Phase, "execute", cluster.now());
+    if tracer.is_enabled() {
+        cluster.set_trace_scope(phase);
+    }
+    let result = exec.run_dag(cluster, &block, &dag, false, false);
+    if tracer.is_enabled() {
+        cluster.set_trace_scope(prev_scope);
+        tracer.end_span(phase, cluster.now());
+    }
+    Ok((result?, rendered))
 }
 
 /// Compute the RELOPT leaf statistics: exact base stats, exact

@@ -5,6 +5,8 @@ use std::fmt;
 use dyno_cluster::{Cluster, ClusterConfig, Coord};
 use dyno_data::Value;
 use dyno_exec::{ExecError, Executor, JobDag};
+use dyno_obs::trace::NO_SPAN;
+use dyno_obs::{Obs, SpanKind};
 use dyno_optimizer::{OptError, Optimizer};
 use dyno_query::block::CompileError;
 use dyno_query::{JoinBlock, LeafSource};
@@ -169,6 +171,9 @@ pub struct Dyno {
     pub opts: DynoOptions,
     /// Cross-run statistics store.
     pub metastore: Metastore,
+    /// Observability handles (disabled by default — near-free when off).
+    /// Swap in [`Obs::enabled`] to record traces/metrics across runs.
+    pub obs: Obs,
 }
 
 impl Dyno {
@@ -178,6 +183,7 @@ impl Dyno {
             dfs,
             opts,
             metastore: Metastore::new(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -190,11 +196,23 @@ impl Dyno {
     /// cluster starting at time zero.
     pub fn run(&self, q: &PreparedQuery, mode: Mode) -> Result<QueryReport, DynoError> {
         let mut cluster = Cluster::new(self.opts.cluster.clone());
+        cluster.set_obs(self.obs.tracer.clone(), self.obs.metrics.clone());
+        self.metastore.set_metrics(self.obs.metrics.clone());
         let mut exec = Executor::new(self.dfs.clone(), Coord::new(), q.udfs.clone());
         exec.metastore = self.metastore.clone();
 
         let cat = catalog_for(&q.spec);
         let mut block = JoinBlock::compile(&q.spec, &cat)?;
+        // Reject unregistered UDFs up front with a typed error — never
+        // mid-execution (where they would silently evaluate to null).
+        block.validate_udfs(&q.udfs)?;
+
+        let tracer = self.obs.tracer.clone();
+        let query_span =
+            tracer.start_span(NO_SPAN, SpanKind::Query, q.spec.name.clone(), 0.0);
+        if tracer.is_enabled() {
+            cluster.set_trace_scope(query_span);
+        }
 
         let (final_file, plans, plan_trees, pilot_secs, optimize_secs, reopts) = match mode {
             Mode::Dynopt | Mode::DynoptSimple => {
@@ -238,8 +256,32 @@ impl Dyno {
                 loop {
                     let opt = optimizer.optimize(&block, &stats)?;
                     let opt_secs = opt.expressions as f64 * OPT_SECS_PER_EXPRESSION;
+                    let opt_span = if tracer.is_enabled() {
+                        tracer.start_span(
+                            cluster.trace_scope(),
+                            SpanKind::Phase,
+                            "optimize",
+                            cluster.now(),
+                        )
+                    } else {
+                        NO_SPAN
+                    };
                     cluster.advance(opt_secs);
                     total_opt_secs += opt_secs;
+                    if tracer.is_enabled() {
+                        tracer.event(
+                            opt_span,
+                            cluster.now(),
+                            "phase_secs",
+                            vec![("phase", "optimize".into()), ("secs", opt_secs.into())],
+                        );
+                        tracer.end_span(opt_span, cluster.now());
+                    }
+                    cluster.metrics().incr("optimizer.memo_groups", opt.groups as u64);
+                    cluster
+                        .metrics()
+                        .incr("optimizer.expressions_costed", opt.expressions as u64);
+                    cluster.metrics().incr("optimizer.plans_pruned", opt.pruned as u64);
                     let dag = JobDag::compile(&block, &opt.plan);
                     let rendered = opt.plan.render_inline(&block);
                     let tree = opt.plan.render_tree(&block);
@@ -288,6 +330,13 @@ impl Dyno {
         if let Some(o) = &q.spec.order_by {
             let (recs, _) = exec.run_order_by(&mut cluster, &current_file, o)?;
             result = recs;
+        }
+
+        // The query span runs 0.0 → now, so its duration equals
+        // `total_secs` exactly (x - 0.0 is bitwise x).
+        if tracer.is_enabled() {
+            cluster.set_trace_scope(NO_SPAN);
+            tracer.end_span(query_span, cluster.now());
         }
 
         Ok(QueryReport {
@@ -379,6 +428,170 @@ mod tests {
         let r = d.run(&q, Mode::Dynopt).unwrap();
         // correlated zip/state predicates + 2 UDFs still produce rows
         assert!(r.rows > 0, "restaurant query returned nothing");
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use dyno_common::Rng;
+    use dyno_obs::QueryProfile;
+    use dyno_storage::SimScale;
+    use dyno_tpch::queries::{self, QueryId};
+    use dyno_tpch::TpchGenerator;
+
+    fn dyno_with_obs() -> Dyno {
+        let env = TpchGenerator::new(1, SimScale::divisor(2000)).generate();
+        let mut d = Dyno::new(env.dfs, DynoOptions::default());
+        d.obs = Obs::enabled();
+        d
+    }
+
+    /// The tentpole contract: the profile's phase accounting reconciles
+    /// *bitwise* with the Figure 4 numbers in the `QueryReport`.
+    #[test]
+    fn profile_reconciles_exactly_with_report() {
+        for mode in [
+            Mode::Dynopt,
+            Mode::DynoptSimple,
+            Mode::RelOpt,
+            Mode::BestStaticJaql,
+        ] {
+            let d = dyno_with_obs();
+            let q = queries::prepare(QueryId::Q7);
+            let r = d.run(&q, mode).unwrap();
+            let p = QueryProfile::build(&d.obs.tracer)
+                .unwrap_or_else(|| panic!("no profile under {mode:?}"));
+            assert_eq!(p.query, r.query);
+            assert_eq!(
+                p.total_secs.to_bits(),
+                r.total_secs.to_bits(),
+                "{mode:?} total"
+            );
+            assert_eq!(
+                p.pilot_secs.to_bits(),
+                r.pilot_secs.to_bits(),
+                "{mode:?} pilot"
+            );
+            assert_eq!(
+                p.optimize_secs.to_bits(),
+                r.optimize_secs.to_bits(),
+                "{mode:?} optimize"
+            );
+            // The execute phase is the bulk of any run.
+            if mode != Mode::RelOpt {
+                assert!(p.execute_secs > 0.0, "{mode:?} execute");
+                assert!(!p.jobs.is_empty(), "{mode:?} jobs");
+            }
+        }
+    }
+
+    #[test]
+    fn dynopt_profile_has_cardinalities_and_reopt_checks() {
+        let d = dyno_with_obs();
+        let q = queries::prepare(QueryId::Q7);
+        let r = d.run(&q, Mode::Dynopt).unwrap();
+        let p = QueryProfile::build(&d.obs.tracer).unwrap();
+        assert!(p.reopt_checks as usize >= r.reopts);
+        assert!(
+            !p.cardinalities.is_empty(),
+            "executed joins must report est-vs-actual rows"
+        );
+        for c in &p.cardinalities {
+            assert!(c.est_rows.is_finite());
+        }
+        let rendered = p.render();
+        assert!(rendered.contains("overhead-total:"));
+        // A warm re-run overwrites nothing: build() profiles the new run.
+        let warm = d.run(&q, Mode::Dynopt).unwrap();
+        let p2 = QueryProfile::build(&d.obs.tracer).unwrap();
+        assert_eq!(p2.pilot_secs.to_bits(), warm.pilot_secs.to_bits());
+        assert_eq!(p2.total_secs.to_bits(), warm.total_secs.to_bits());
+    }
+
+    /// Fixed seeds ⇒ byte-identical event logs and metrics across fresh
+    /// runs — the determinism contract that makes traces diffable.
+    #[test]
+    fn event_log_is_byte_identical_across_identical_runs() {
+        dyno_common::prop::check(
+            "event_log_is_byte_identical",
+            4,
+            |g| {
+                let query = [QueryId::Q7, QueryId::Q10][g.gen_range(0usize..2)];
+                let mode =
+                    [Mode::Dynopt, Mode::DynoptSimple, Mode::RelOpt][g.gen_range(0usize..3)];
+                (query, mode)
+            },
+            |&(query, mode)| {
+                let run_once = || {
+                    let d = dyno_with_obs();
+                    let q = queries::prepare(query);
+                    d.run(&q, mode).unwrap();
+                    (d.obs.tracer.render(), d.obs.metrics.render())
+                };
+                let (trace_a, metrics_a) = run_once();
+                let (trace_b, metrics_b) = run_once();
+                dyno_common::prop_ensure!(
+                    trace_a == trace_b,
+                    "event logs differ for {query:?} under {mode:?}"
+                );
+                dyno_common::prop_ensure_eq!(metrics_a, metrics_b);
+                dyno_common::prop_ensure!(!trace_a.is_empty());
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let env = TpchGenerator::new(1, SimScale::divisor(2000)).generate();
+        let d = Dyno::new(env.dfs, DynoOptions::default());
+        let q = queries::prepare(QueryId::Q10);
+        d.run(&q, Mode::Dynopt).unwrap();
+        assert!(QueryProfile::build(&d.obs.tracer).is_none());
+        assert!(d.obs.tracer.spans().is_empty());
+        assert!(d.obs.tracer.events().is_empty());
+    }
+
+    #[test]
+    fn metrics_cover_the_whole_stack() {
+        let d = dyno_with_obs();
+        let q = queries::prepare(QueryId::Q7);
+        d.run(&q, Mode::Dynopt).unwrap();
+        let m = &d.obs.metrics;
+        for counter in [
+            "pilot.leaves_piloted",
+            "optimizer.expressions_costed",
+            "optimizer.memo_groups",
+            "metastore.hits",
+        ] {
+            assert!(m.counter(counter) > 0, "counter {counter} never incremented");
+        }
+        // SF1 plans may be all-broadcast or need repartitions; either way
+        // the executor moved bytes.
+        assert!(
+            m.counter("exec.shuffle_bytes") + m.counter("exec.broadcast_build_bytes") > 0,
+            "no join bytes recorded"
+        );
+        let hist = m.histogram("cluster.task_secs").expect("task histogram");
+        assert!(hist.count > 0);
+    }
+
+    /// Satellite (a): a query referencing an unregistered UDF fails with
+    /// a typed compile error before any job runs.
+    #[test]
+    fn unknown_udf_is_a_typed_compile_error() {
+        let env = TpchGenerator::new(1, SimScale::divisor(2000)).generate();
+        let d = Dyno::new(env.dfs, DynoOptions::default());
+        let mut q = queries::prepare(QueryId::Q9Prime);
+        q.udfs = dyno_query::UdfRegistry::new(); // drop udf_p
+        let err = d.run(&q, Mode::Dynopt).unwrap_err();
+        match err {
+            DynoError::Compile(CompileError::UnknownUdf { name }) => {
+                assert!(name.starts_with("udf_"), "unexpected udf {name}")
+            }
+            other => panic!("expected UnknownUdf, got {other}"),
+        }
     }
 }
 

@@ -12,6 +12,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use dyno_cluster::Cluster;
 use dyno_exec::{Executor, Input, JobDag, JobKind, JobNode, JobOutput};
+use dyno_obs::trace::NO_SPAN;
+use dyno_obs::SpanKind;
 use dyno_optimizer::Optimizer;
 use dyno_query::{JoinBlock, JoinMethod, PhysNode};
 use dyno_stats::TableStats;
@@ -151,6 +153,8 @@ pub fn run_dynopt(
 ) -> Result<DynoptOutcome, DynoError> {
     // Local copy: broadcast-OOM recovery tightens its memory budget.
     let mut optimizer = optimizer.clone();
+    let tracer = cluster.tracer().clone();
+    let traced = tracer.is_enabled();
     let mut plans = Vec::new();
     let mut plan_trees = Vec::new();
     let mut optimize_secs = 0.0;
@@ -182,8 +186,39 @@ pub fn run_dynopt(
         let stats = leaf_stats(exec, block)?;
         let opt = optimizer.optimize(block, &stats)?;
         let opt_secs = opt.expressions as f64 * OPT_SECS_PER_EXPRESSION;
+        let opt_span = if traced {
+            tracer.start_span(cluster.trace_scope(), SpanKind::Phase, "optimize", cluster.now())
+        } else {
+            NO_SPAN
+        };
         cluster.advance(opt_secs);
         optimize_secs += opt_secs;
+        if traced {
+            // `secs` carries the per-call increment exactly as accumulated
+            // into `optimize_secs`, so summing the events in record order
+            // reproduces the QueryReport value bit-for-bit.
+            tracer.event(
+                opt_span,
+                cluster.now(),
+                "phase_secs",
+                vec![("phase", "optimize".into()), ("secs", opt_secs.into())],
+            );
+            tracer.event(
+                opt_span,
+                cluster.now(),
+                "optimize",
+                vec![
+                    ("expressions", (opt.expressions as u64).into()),
+                    ("groups", (opt.groups as u64).into()),
+                    ("pruned", (opt.pruned as u64).into()),
+                    ("cost", opt.cost.into()),
+                ],
+            );
+            tracer.end_span(opt_span, cluster.now());
+        }
+        cluster.metrics().incr("optimizer.memo_groups", opt.groups as u64);
+        cluster.metrics().incr("optimizer.expressions_costed", opt.expressions as u64);
+        cluster.metrics().incr("optimizer.plans_pruned", opt.pruned as u64);
         reopts += 1;
         plans.push(opt.plan.render_inline(block));
         plan_trees.push(opt.plan.render_tree(block));
@@ -235,11 +270,45 @@ pub fn run_dynopt(
                     jobs_run += outs.len();
                     let mut replan = false;
                     for out in outs {
+                        if traced && collect {
+                            // Estimated-vs-observed output cardinality for
+                            // the profile's join table (both at simulated
+                            // scale).
+                            let est = optimizer.estimate_rows(
+                                block,
+                                &stats,
+                                &dag.jobs[out.job_id].leaves,
+                            );
+                            let label = out
+                                .aliases
+                                .iter()
+                                .cloned()
+                                .collect::<Vec<_>>()
+                                .join("⋈");
+                            tracer.event(
+                                cluster.trace_scope(),
+                                cluster.now(),
+                                "job_cardinality",
+                                vec![
+                                    ("job", label.into()),
+                                    ("est", est.into()),
+                                    ("obs", (out.stats.rows as u64).into()),
+                                ],
+                            );
+                        }
                         if reoptimize && !out.leaves_estimate_held(&optimizer, block, &stats, &dag, reopt_threshold) {
                             replan = true;
                         }
                         done.insert(out.job_id);
                         outputs.insert(out.job_id, out);
+                    }
+                    if traced && reoptimize && !finishes_dag {
+                        tracer.event(
+                            cluster.trace_scope(),
+                            cluster.now(),
+                            "reopt_decision",
+                            vec![("replanned", u64::from(replan).into())],
+                        );
                     }
                     if done.len() == dag.jobs.len() {
                         fold_done_and_replan!();
@@ -330,6 +399,7 @@ pub(crate) fn oom_recover(
     let cfg = cluster.config();
     let penalty = cfg.job_startup_secs + oom.build_bytes as f64 / cfg.disk_bytes_per_sec;
     cluster.advance(penalty);
+    cluster.metrics().incr("core.oom_recoveries", 1);
     *retries += 1;
     if *retries >= 5 {
         // Estimates are so wrong (e.g. a zero-byte estimate for a

@@ -27,6 +27,7 @@ use std::collections::BTreeMap;
 
 use dyno_cluster::{Cluster, JobProfile, TaskProfile};
 use dyno_exec::Executor;
+use dyno_obs::SpanKind;
 use dyno_query::JoinBlock;
 use dyno_stats::{AttrSpec, TableStats, TableStatsBuilder};
 use dyno_storage::sample::SplitSampler;
@@ -95,6 +96,15 @@ pub fn run_pilots(
     cfg: &PilotConfig,
 ) -> Result<PilotOutcome, dyno_exec::ExecError> {
     let started_at = cluster.now();
+    // PILR jobs nest under a `pilot` phase span so the profile can tell
+    // sampling time apart from query execution.
+    let tracer = cluster.tracer().clone();
+    let traced = tracer.is_enabled();
+    let prev_scope = cluster.trace_scope();
+    let phase = tracer.start_span(prev_scope, SpanKind::Phase, "pilot", started_at);
+    if traced {
+        cluster.set_trace_scope(phase);
+    }
     let n = block.num_leaves();
     let mut stats: Vec<Option<TableStats>> = vec![None; n];
     let mut reused = 0;
@@ -242,6 +252,18 @@ pub fn run_pilots(
             })
             .collect();
         let _ = scale;
+        if traced {
+            tracer.event(
+                phase,
+                started_at,
+                "pilot_leaf",
+                vec![
+                    ("leaf", leaf.name.as_str().into()),
+                    ("splits", charged_splits.into()),
+                    ("materialized", u64::from(materialized.contains_key(&i)).into()),
+                ],
+            );
+        }
         profiles.push((
             i,
             JobProfile {
@@ -265,12 +287,29 @@ pub fn run_pilots(
         }
     }
 
+    // The exact value `QueryReport::pilot_secs` will carry — the
+    // `phase_secs` event records it verbatim so profiles reconcile
+    // bit-for-bit with the Figure 4 accounting.
+    let secs = cluster.now() - started_at;
+    if traced {
+        cluster.set_trace_scope(prev_scope);
+        tracer.event(
+            phase,
+            cluster.now(),
+            "phase_secs",
+            vec![("phase", "pilot".into()), ("secs", secs.into())],
+        );
+        tracer.end_span(phase, cluster.now());
+    }
+    cluster.metrics().incr("pilot.leaves_piloted", to_run.len() as u64);
+    cluster.metrics().incr("pilot.leaves_reused", reused as u64);
+
     Ok(PilotOutcome {
         stats: stats
             .into_iter()
             .map(|s| s.expect("every leaf has stats after PILR"))
             .collect(),
-        secs: cluster.now() - started_at,
+        secs,
         reused,
         materialized,
     })

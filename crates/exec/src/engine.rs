@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use dyno_cluster::{Cluster, Coord, JobProfile, JobTiming, TaskProfile};
 use dyno_data::{encoded_len, Record, Value};
+use dyno_obs::SpanKind;
 use dyno_query::{
     AggFn, GroupBySpec, JoinBlock, OrderBySpec, Predicate, UdfRegistry,
 };
@@ -27,6 +28,12 @@ pub enum ExecError {
     Dfs(DfsError),
     /// A broadcast build side did not fit in task memory at runtime.
     Oom(BroadcastOom),
+    /// A job was asked to run before the job producing its input — a
+    /// malformed DAG or a caller scheduling outside dependency order.
+    OutOfOrderJob {
+        /// Id of the missing upstream job.
+        job: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -38,6 +45,9 @@ impl fmt::Display for ExecError {
                 "broadcast OOM in job {}: build side {} bytes exceeds budget {}",
                 o.job, o.build_bytes, o.budget
             ),
+            ExecError::OutOfOrderJob { job } => {
+                write!(f, "job {job} executed out of order: its output is not available")
+            }
         }
     }
 }
@@ -124,7 +134,7 @@ impl Executor {
             Input::Job(j) => {
                 let out = outputs
                     .get(&j)
-                    .unwrap_or_else(|| panic!("job {j} executed out of order"));
+                    .ok_or(ExecError::OutOfOrderJob { job: j })?;
                 Ok(InputData {
                     file: self.dfs.file(&out.file)?,
                     leaf: None,
@@ -142,6 +152,10 @@ impl Executor {
     /// FIFO (§5.3's MO/`-2` strategies); otherwise they run one after
     /// another. `collect_stats` controls output statistics collection
     /// (§5.4 skips it when no re-optimization will follow).
+    ///
+    /// When the cluster carries an enabled tracer, the whole batch is
+    /// wrapped in an `execute` phase span (jobs nest under it) and each
+    /// stats merge is recorded at the producing job's finish time.
     #[allow(clippy::too_many_arguments)]
     pub fn execute_jobs(
         &self,
@@ -153,6 +167,56 @@ impl Executor {
         parallel: bool,
         collect_stats: bool,
     ) -> Result<Vec<JobOutput>, ExecError> {
+        let tracer = cluster.tracer().clone();
+        let prev_scope = cluster.trace_scope();
+        let phase =
+            tracer.start_span(prev_scope, SpanKind::Phase, "execute", cluster.now());
+        if tracer.is_enabled() {
+            cluster.set_trace_scope(phase);
+        }
+        let result = self.execute_jobs_inner(
+            cluster,
+            block,
+            dag,
+            ids,
+            outputs,
+            parallel,
+            collect_stats,
+        );
+        if tracer.is_enabled() {
+            cluster.set_trace_scope(prev_scope);
+            tracer.end_span(phase, cluster.now());
+            if collect_stats {
+                if let Ok(results) = &result {
+                    for r in results {
+                        tracer.event(
+                            phase,
+                            r.timing.finished,
+                            "stats_merge",
+                            vec![
+                                ("job", r.timing.name.clone().into()),
+                                ("rows", r.rows.into()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_jobs_inner(
+        &self,
+        cluster: &mut Cluster,
+        block: &JoinBlock,
+        dag: &JobDag,
+        ids: &[usize],
+        outputs: &BTreeMap<usize, JobOutput>,
+        parallel: bool,
+        collect_stats: bool,
+    ) -> Result<Vec<JobOutput>, ExecError> {
+        let metrics = cluster.metrics().clone();
         let mut computed = Vec::new();
         for &id in ids {
             let node = &dag.jobs[id];
@@ -171,7 +235,15 @@ impl Executor {
                 JobKind::Scan { input } => {
                     let inp = self.resolve(block, *input, outputs)?;
                     (
-                        jobs::run_scan(&name, block, &inp, &self.udfs, &stat_attrs, &self.coord),
+                        jobs::run_scan(
+                            &name,
+                            block,
+                            &inp,
+                            &self.udfs,
+                            &stat_attrs,
+                            &self.coord,
+                            &metrics,
+                        ),
                         Vec::new(),
                     )
                 }
@@ -191,6 +263,7 @@ impl Executor {
                             cluster.config(),
                             &stat_attrs,
                             &self.coord,
+                            &metrics,
                         ),
                         step.post_preds.clone(),
                     )
@@ -216,6 +289,7 @@ impl Executor {
                             cluster.config(),
                             &stat_attrs,
                             &self.coord,
+                            &metrics,
                         )?,
                         applied,
                     )

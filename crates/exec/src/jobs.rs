@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use dyno_cluster::{ClusterConfig, Coord, JobProfile, RuntimeProfile, TaskProfile};
 use dyno_data::{encoded_len, Value};
+use dyno_obs::Metrics;
 use dyno_query::{JoinBlock, Predicate, UdfRegistry};
 use dyno_stats::{AttrSpec, TableStatsBuilder};
 use dyno_storage::{DfsFile, SimScale};
@@ -264,11 +265,17 @@ pub fn inject_failures(tasks: &mut [TaskProfile], cfg: &ClusterConfig) {
 
 /// Distribute the statistics-collection CPU cost over the tasks that
 /// produce the job's output.
-fn charge_stats_cpu(tasks: &mut [TaskProfile], out_sim_records: u64, n_attrs: usize) {
+fn charge_stats_cpu(
+    tasks: &mut [TaskProfile],
+    out_sim_records: u64,
+    n_attrs: usize,
+    metrics: &Metrics,
+) {
     if tasks.is_empty() || n_attrs == 0 {
         return;
     }
     let total = out_sim_records as f64 * n_attrs as f64 * STATS_CPU_PER_RECORD_ATTR;
+    metrics.fadd("exec.stats_cpu_secs", total);
     let per_task = total / tasks.len() as f64;
     for t in tasks {
         t.extra_cpu_secs += per_task;
@@ -294,6 +301,7 @@ pub fn run_repartition(
     cfg: &ClusterConfig,
     stat_attrs: &[AttrSpec],
     coord: &Coord,
+    metrics: &Metrics,
 ) -> JobData {
     let l = scan_input(block, left, udfs, true, true);
     let r = scan_input(block, right, udfs, true, true);
@@ -305,6 +313,8 @@ pub fn run_repartition(
     };
 
     let shuffle_bytes = l.out_sim_bytes + r.out_sim_bytes;
+    metrics.incr("exec.shuffle_bytes", shuffle_bytes);
+    metrics.incr("exec.join_candidates", candidates);
     let reducers = reduce_count(shuffle_bytes, cfg);
     let out_actual_bytes: u64 = output.iter().map(|v| encoded_len(v) as u64).sum();
     let out_sim_bytes = out_scale.up(out_actual_bytes);
@@ -329,6 +339,7 @@ pub fn run_repartition(
         &mut reduce_tasks,
         out_scale.up(output.len() as u64),
         stat_attrs.len(),
+        metrics,
     );
     let stats = collect_stats(&output, stat_attrs, reducers, coord, name);
     JobData {
@@ -357,6 +368,7 @@ pub fn run_broadcast_chain(
     cfg: &ClusterConfig,
     stat_attrs: &[AttrSpec],
     coord: &Coord,
+    metrics: &Metrics,
 ) -> Result<JobData, BroadcastOom> {
     let mut out_scale = probe.file.scale();
     // Load and filter all build sides (runtime memory check — the
@@ -383,6 +395,8 @@ pub fn run_broadcast_chain(
             budget,
         });
     }
+    metrics.incr("exec.broadcast_build_bytes", total_build_sim_bytes);
+    metrics.incr("exec.broadcast_build_records", total_build_sim_records);
 
     // Build hash tables once (semantically per-task; we charge per-task
     // setup cost below instead of redoing the work).
@@ -466,10 +480,12 @@ pub fn run_broadcast_chain(
         });
         output.extend(current);
     }
+    metrics.incr("exec.join_candidates", candidates);
     charge_stats_cpu(
         &mut map_tasks,
         out_scale.up(output.len() as u64),
         stat_attrs.len(),
+        metrics,
     );
     // Build-side scans happen inside the same map-only job's tasks (the
     // framework distributes the files); charge them as extra map tasks.
@@ -492,6 +508,7 @@ pub fn run_broadcast_chain(
 }
 
 /// Execute a scan-only (materialization) job over one leaf.
+#[allow(clippy::too_many_arguments)]
 pub fn run_scan(
     name: &str,
     block: &JoinBlock,
@@ -499,11 +516,12 @@ pub fn run_scan(
     udfs: &UdfRegistry,
     stat_attrs: &[AttrSpec],
     coord: &Coord,
+    metrics: &Metrics,
 ) -> JobData {
     let s = scan_input(block, input, udfs, false, true);
     let n = s.tasks.len();
     let mut tasks = s.tasks;
-    charge_stats_cpu(&mut tasks, s.out_sim_records, stat_attrs.len());
+    charge_stats_cpu(&mut tasks, s.out_sim_records, stat_attrs.len(), metrics);
     let stats = collect_stats(&s.records, stat_attrs, n, coord, name);
     JobData {
         output: s.records,

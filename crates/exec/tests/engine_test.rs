@@ -206,6 +206,47 @@ fn missing_table_is_a_clean_error() {
 }
 
 #[test]
+fn out_of_order_execution_is_a_typed_error() {
+    let env = TpchGenerator::new(1, SimScale::divisor(1000)).generate();
+    let spec = QuerySpec::new(
+        "con_ooo",
+        vec![
+            ScanDef::table("orders"),
+            ScanDef::table("customer"),
+            ScanDef::table("nation"),
+        ],
+    )
+    .filter(Predicate::attr_eq("o_custkey", "c_custkey"))
+    .filter(Predicate::attr_eq("c_nationkey", "n_nationkey"));
+    let block = JoinBlock::compile(&spec, &catalog_for(&spec)).unwrap();
+    let exec = Executor::new(env.dfs, Coord::new(), UdfRegistry::new());
+    let mut cl = cluster();
+    let plan = PhysNode::join(
+        JoinMethod::Repartition,
+        PhysNode::join(JoinMethod::Repartition, PhysNode::Leaf(0), PhysNode::Leaf(1)),
+        PhysNode::Leaf(2),
+    );
+    let dag = JobDag::compile(&block, &plan);
+    assert_eq!(dag.jobs.len(), 2);
+    // ask for the root before its dependency has produced any output
+    let err = exec
+        .execute_jobs(
+            &mut cl,
+            &block,
+            &dag,
+            &[dag.root()],
+            &BTreeMap::new(),
+            false,
+            false,
+        )
+        .unwrap_err();
+    match err {
+        ExecError::OutOfOrderJob { job } => assert_eq!(job, 0),
+        other => panic!("expected OutOfOrderJob, got {other}"),
+    }
+}
+
+#[test]
 fn chained_broadcast_equals_two_single_jobs() {
     let env = TpchGenerator::new(1, SimScale::divisor(1000)).generate();
     let spec = QuerySpec::new(

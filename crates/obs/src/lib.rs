@@ -1,0 +1,79 @@
+//! # dyno-obs
+//!
+//! Observability for the DYNO reproduction: a structured event log keyed
+//! by *simulated* time, a metrics registry, and a profile reporter that
+//! folds a query's event log into an `EXPLAIN ANALYZE`-style report.
+//!
+//! Design constraints (see DESIGN.md §"Observability"):
+//!
+//! * **Zero external deps** — the workspace is hermetic; everything here
+//!   is `std` plus `dyno-common`'s lock wrappers.
+//! * **Near-free when disabled** — [`Tracer`] and [`Metrics`] are handles
+//!   around `Option<Arc<Mutex<…>>>`; the disabled state is `None`, so
+//!   every recording call is a branch on an `Option` and nothing else.
+//!   Hot paths additionally gate event construction on
+//!   [`Tracer::is_enabled`] so no allocation happens when tracing is off.
+//! * **Deterministic** — the log stores simulated times (never wall
+//!   clock); the canonical [`Tracer::render`] export orders events by
+//!   `(sim_time, seq)` and formats floats with Rust's shortest-roundtrip
+//!   `Display`, so a fixed seed yields byte-identical logs across runs.
+//!
+//! The span hierarchy instrumented across the stack is
+//! `query → phase (pilot / optimize / execute) → job → task-wave`; phases
+//! additionally carry `phase_secs` events whose `secs` fields are the
+//! *exact* `f64` values the `QueryReport` accounting accumulates, which is
+//! what lets [`profile::QueryProfile`] reconcile bit-for-bit with the
+//! Figure 4 overhead math (asserted in `dyno-core`'s tests).
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::Metrics;
+pub use profile::QueryProfile;
+pub use trace::{Event, FieldValue, Span, SpanId, SpanKind, Tracer};
+
+/// The pair of handles a component needs to be observable. Cloning clones
+/// both handles (which share their underlying log/registry).
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Structured event log handle.
+    pub tracer: Tracer,
+    /// Metrics registry handle.
+    pub metrics: Metrics,
+}
+
+impl Obs {
+    /// Recording handles (fresh log + registry).
+    pub fn enabled() -> Self {
+        Obs {
+            tracer: Tracer::enabled(),
+            metrics: Metrics::enabled(),
+        }
+    }
+
+    /// No-op handles (the default).
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// True iff the tracer records.
+    pub fn is_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_default_is_disabled() {
+        let o = Obs::default();
+        assert!(!o.is_enabled());
+        assert!(!o.metrics.is_enabled());
+        let e = Obs::enabled();
+        assert!(e.is_enabled());
+        assert!(e.metrics.is_enabled());
+    }
+}

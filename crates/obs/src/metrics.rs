@@ -1,0 +1,237 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms behind a cheap cloneable [`Metrics`] handle.
+//!
+//! Names are flat dotted strings (`exec.shuffle_bytes`,
+//! `metastore.hits`); the registry is a `BTreeMap` per kind, so
+//! [`Metrics::render`] is alphabetically sorted and deterministic. Like
+//! [`crate::Tracer`], the default handle is disabled and every call on it
+//! is a no-op branch on an `Option`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use dyno_common::Mutex;
+
+/// Number of histogram buckets: decades from `1e-3` up, plus overflow.
+const HIST_BUCKETS: usize = 16;
+
+/// A fixed-bucket histogram over decades: bucket `i` counts observations
+/// in `[1e-3 * 10^i, 1e-3 * 10^(i+1))`, with underflow folded into bucket
+/// 0 and overflow into the last bucket. Good enough for task durations
+/// (seconds) and byte counts alike without any configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn bucket_of(value: f64) -> usize {
+        if !(value > 1e-3) {
+            return 0;
+        }
+        let idx = (value / 1e-3).log10().floor() as i64;
+        idx.clamp(0, HIST_BUCKETS as i64 - 1) as usize
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> f64 {
+        1e-3 * 10f64.powi(i as i32)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Handle to a shared metrics registry. `Default` is the disabled (no-op)
+/// handle; clones share the same registry.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Mutex<Registry>>>,
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// A recording registry.
+    pub fn enabled() -> Self {
+        Metrics {
+            inner: Some(Arc::new(Mutex::new(Registry::default()))),
+        }
+    }
+
+    /// The no-op handle (same as `Default`).
+    pub fn disabled() -> Self {
+        Metrics::default()
+    }
+
+    /// True iff calls record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `by` to the named counter (created at 0).
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            *inner.lock().counters.entry(name.to_owned()).or_insert(0) += by;
+        }
+    }
+
+    /// Add `by` to the named gauge (created at 0.0).
+    pub fn fadd(&self, name: &str, by: f64) {
+        if let Some(inner) = &self.inner {
+            *inner.lock().gauges.entry(name.to_owned()).or_insert(0.0) += by;
+        }
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .lock()
+                .histograms
+                .entry(name.to_owned())
+                .or_default()
+                .observe(value);
+        }
+    }
+
+    /// Current value of the named counter (0 if absent or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.lock().counters.get(name).copied().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Current value of the named gauge (0.0 if absent or disabled).
+    pub fn gauge(&self, name: &str) -> f64 {
+        match &self.inner {
+            Some(inner) => inner.lock().gauges.get(name).copied().unwrap_or(0.0),
+            None => 0.0,
+        }
+    }
+
+    /// Snapshot of the named histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.lock().histograms.get(name).cloned())
+    }
+
+    /// Reset every counter, gauge, and histogram.
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            let mut reg = inner.lock();
+            reg.counters.clear();
+            reg.gauges.clear();
+            reg.histograms.clear();
+        }
+    }
+
+    /// Deterministic (alphabetical) text dump of the registry.
+    pub fn render(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let reg = inner.lock();
+        let mut out = String::new();
+        for (name, v) in &reg.counters {
+            out.push_str(&format!("counter {name} = {v}\n"));
+        }
+        for (name, v) in &reg.gauges {
+            out.push_str(&format!("gauge {name} = {v}\n"));
+        }
+        for (name, h) in &reg.histograms {
+            out.push_str(&format!(
+                "histogram {name} count={} sum={}\n",
+                h.count, h.sum
+            ));
+            for (i, n) in h.buckets.iter().enumerate() {
+                if *n > 0 {
+                    out.push_str(&format!("  bucket[>={}] = {n}\n", Histogram::bucket_lo(i)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_are_a_noop() {
+        let m = Metrics::disabled();
+        m.incr("a", 3);
+        m.fadd("b", 1.5);
+        m.observe("c", 2.0);
+        assert_eq!(m.counter("a"), 0);
+        assert_eq!(m.gauge("b"), 0.0);
+        assert!(m.histogram("c").is_none());
+        assert_eq!(m.render(), "");
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let m = Metrics::enabled();
+        m.incr("exec.shuffle_bytes", 100);
+        m.incr("exec.shuffle_bytes", 50);
+        m.fadd("exec.stats_cpu_secs", 0.25);
+        m.fadd("exec.stats_cpu_secs", 0.25);
+        m.observe("cluster.task_secs", 2.0);
+        m.observe("cluster.task_secs", 30.0);
+        assert_eq!(m.counter("exec.shuffle_bytes"), 150);
+        assert_eq!(m.gauge("exec.stats_cpu_secs"), 0.5);
+        let h = m.histogram("cluster.task_secs").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 32.0);
+    }
+
+    #[test]
+    fn histogram_buckets_span_decades() {
+        // sub-1e-3 values fold into bucket 0, huge values into the last
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(1e-9), 0);
+        assert_eq!(Histogram::bucket_of(5e-3), 0);
+        assert_eq!(Histogram::bucket_of(0.05), 1);
+        assert_eq!(Histogram::bucket_of(2.0), 3);
+        assert_eq!(Histogram::bucket_of(1e30), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn clones_share_and_render_is_sorted() {
+        let m = Metrics::enabled();
+        let m2 = m.clone();
+        m2.incr("z.last", 1);
+        m2.incr("a.first", 1);
+        let r = m.render();
+        let z = r.find("z.last").unwrap();
+        let a = r.find("a.first").unwrap();
+        assert!(a < z, "render must be alphabetical: {r}");
+        m.clear();
+        assert_eq!(m.render(), "");
+    }
+}

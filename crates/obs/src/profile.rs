@@ -1,0 +1,404 @@
+//! Fold a query's event log into an `EXPLAIN ANALYZE`-style profile.
+//!
+//! [`QueryProfile::build`] walks the *last* `query` span in a
+//! [`Tracer`]'s log (so a warm re-run profiles the re-run, not the cold
+//! one), restricts to that span's descendants, and extracts:
+//!
+//! * per-phase time — summed from `phase_secs` events, which carry the
+//!   exact `f64` values the `QueryReport` accounting accumulates, so the
+//!   profile's `pilot`/`optimize` totals are bit-identical to the Figure 4
+//!   overhead math (asserted in `dyno-core`'s tests);
+//! * a per-job text gantt over map/reduce task waves;
+//! * estimated-vs-actual cardinality per executed join job;
+//! * a final machine-parseable `overhead-total:` line using the same
+//!   `{:.1}s` / `{:.1}%` formatting as the Figure 4 table in
+//!   `repro_output.txt`.
+
+use crate::trace::{Event, FieldValue, Span, SpanId, SpanKind, Tracer};
+
+/// Width of the gantt bar column in [`QueryProfile::render`].
+const GANTT_WIDTH: usize = 40;
+
+/// Per-job timeline entry.
+#[derive(Debug, Clone)]
+pub struct JobProfile {
+    /// Job name (the `JobProfile` name charged to the cluster).
+    pub name: String,
+    /// Simulated start (submit) time.
+    pub start: f64,
+    /// Simulated finish time.
+    pub end: f64,
+    /// Number of map task waves the simulator scheduled.
+    pub map_waves: usize,
+    /// Number of reduce task waves the simulator scheduled.
+    pub reduce_waves: usize,
+    /// Total tasks completed (map + reduce, including retries).
+    pub tasks: u64,
+}
+
+/// Estimated-vs-actual cardinality for one executed join job.
+#[derive(Debug, Clone)]
+pub struct JoinCardinality {
+    /// Job name.
+    pub job: String,
+    /// Optimizer row estimate at plan time.
+    pub est_rows: f64,
+    /// Rows actually produced.
+    pub actual_rows: u64,
+}
+
+/// A structured profile of one query execution, built from the event log.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// Query name (the `query` span's name).
+    pub query: String,
+    /// End-to-end simulated seconds (query span duration).
+    pub total_secs: f64,
+    /// Pilot-phase seconds, summed from `phase_secs` events in record
+    /// order — bit-identical to `QueryReport::pilot_secs`.
+    pub pilot_secs: f64,
+    /// (Re-)optimization seconds, summed the same way — bit-identical to
+    /// `QueryReport::optimize_secs`.
+    pub optimize_secs: f64,
+    /// Seconds inside `execute` phase spans (job execution).
+    pub execute_secs: f64,
+    /// Number of re-optimization decision points recorded.
+    pub reopt_checks: u64,
+    /// Jobs in submit order.
+    pub jobs: Vec<JobProfile>,
+    /// Join cardinality comparisons in record order.
+    pub cardinalities: Vec<JoinCardinality>,
+}
+
+fn field_f64(e: &Event, key: &str) -> Option<f64> {
+    e.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| match v {
+        FieldValue::F64(x) => *x,
+        FieldValue::U64(x) => *x as f64,
+        FieldValue::Str(_) => f64::NAN,
+    })
+}
+
+fn field_u64(e: &Event, key: &str) -> Option<u64> {
+    e.fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        FieldValue::U64(x) => Some(*x),
+        _ => None,
+    })
+}
+
+fn field_str<'a>(e: &'a Event, key: &str) -> Option<&'a str> {
+    e.fields.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        FieldValue::Str(s) => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+/// True iff `id`'s ancestor chain reaches `root`.
+fn descends_from(spans: &[Span], mut id: SpanId, root: SpanId) -> bool {
+    while id != 0 {
+        if id == root {
+            return true;
+        }
+        id = match spans.iter().find(|s| s.id == id) {
+            Some(s) => s.parent,
+            None => return false,
+        };
+    }
+    false
+}
+
+impl QueryProfile {
+    /// Build the profile for the last `query` span recorded in `tracer`.
+    /// Returns `None` when the log holds no query span (e.g. tracing was
+    /// disabled).
+    pub fn build(tracer: &Tracer) -> Option<QueryProfile> {
+        let spans = tracer.spans();
+        let query_span = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Query)
+            .max_by_key(|s| s.id)?
+            .clone();
+        let in_scope: Vec<&Span> = spans
+            .iter()
+            .filter(|s| descends_from(&spans, s.id, query_span.id))
+            .collect();
+        let scope_ids: Vec<SpanId> = in_scope.iter().map(|s| s.id).collect();
+        // events() is sorted by (time, seq); phase_secs summation must be
+        // in *record* (seq) order to reproduce the accumulator exactly.
+        let mut events: Vec<Event> = tracer
+            .events()
+            .into_iter()
+            .filter(|e| scope_ids.contains(&e.span))
+            .collect();
+        events.sort_by_key(|e| e.seq);
+
+        let mut pilot_secs = 0.0;
+        let mut optimize_secs = 0.0;
+        let mut reopt_checks = 0;
+        let mut cardinalities = Vec::new();
+        for e in &events {
+            match e.name.as_str() {
+                "phase_secs" => {
+                    let secs = field_f64(e, "secs").unwrap_or(0.0);
+                    match field_str(e, "phase") {
+                        Some("pilot") => pilot_secs += secs,
+                        Some("optimize") => optimize_secs += secs,
+                        _ => {}
+                    }
+                }
+                "reopt_decision" => reopt_checks += 1,
+                "job_cardinality" => {
+                    cardinalities.push(JoinCardinality {
+                        job: field_str(e, "job").unwrap_or("?").to_owned(),
+                        est_rows: field_f64(e, "est").unwrap_or(f64::NAN),
+                        actual_rows: field_u64(e, "obs").unwrap_or(0),
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        let execute_secs: f64 = in_scope
+            .iter()
+            .filter(|s| s.kind == SpanKind::Phase && s.name == "execute")
+            .map(|s| s.end.unwrap_or(s.start) - s.start)
+            .sum();
+
+        let mut jobs = Vec::new();
+        let mut job_spans: Vec<&&Span> =
+            in_scope.iter().filter(|s| s.kind == SpanKind::Job).collect();
+        job_spans.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.id.cmp(&b.id)));
+        for js in job_spans {
+            let map_waves = in_scope
+                .iter()
+                .filter(|s| s.kind == SpanKind::Wave && s.parent == js.id && s.name == "map")
+                .count();
+            let reduce_waves = in_scope
+                .iter()
+                .filter(|s| s.kind == SpanKind::Wave && s.parent == js.id && s.name == "reduce")
+                .count();
+            let tasks = events
+                .iter()
+                .filter(|e| e.span == js.id && e.name == "task_done")
+                .map(|e| field_u64(e, "tasks").unwrap_or(1))
+                .sum();
+            jobs.push(JobProfile {
+                name: js.name.clone(),
+                start: js.start,
+                end: js.end.unwrap_or(js.start),
+                map_waves,
+                reduce_waves,
+                tasks,
+            });
+        }
+
+        Some(QueryProfile {
+            query: query_span.name.clone(),
+            total_secs: query_span.end.unwrap_or(query_span.start) - query_span.start,
+            pilot_secs,
+            optimize_secs,
+            execute_secs,
+            reopt_checks,
+            jobs,
+            cardinalities,
+        })
+    }
+
+    /// The machine-parseable summary line checked by `ci.sh` against the
+    /// Figure 4 row: same `{:.1}s` / `{:.1}%` formatting as the table in
+    /// `repro_output.txt`.
+    pub fn overhead_line(&self) -> String {
+        let pct = |x: f64| format!("{:.1}%", x * 100.0);
+        format!(
+            "overhead-total: total={:.1}s pilot={} reopt={}",
+            self.total_secs,
+            pct(self.pilot_secs / self.total_secs),
+            pct(self.optimize_secs / self.total_secs),
+        )
+    }
+
+    /// Render the full text report.
+    pub fn render(&self) -> String {
+        let secs = |x: f64| format!("{x:.1}s");
+        let mut out = String::new();
+        out.push_str(&format!("== profile: {} ==\n", self.query));
+        out.push_str(&format!("total: {}\n", secs(self.total_secs)));
+        out.push_str("phases:\n");
+        for (name, t) in [
+            ("pilot", self.pilot_secs),
+            ("optimize", self.optimize_secs),
+            ("execute", self.execute_secs),
+        ] {
+            let share = if self.total_secs > 0.0 {
+                t / self.total_secs * 100.0
+            } else {
+                0.0
+            };
+            out.push_str(&format!("  {name:<10} {:>8}  ({share:.1}%)\n", secs(t)));
+        }
+        out.push_str(&format!("reopt checks: {}\n", self.reopt_checks));
+
+        if !self.jobs.is_empty() {
+            out.push_str(&format!(
+                "jobs ({} total; bar spans 0..{}):\n",
+                self.jobs.len(),
+                secs(self.total_secs)
+            ));
+            for j in &self.jobs {
+                out.push_str(&format!(
+                    "  {:<28} {:>8} -> {:>8}  waves {}m/{}r  tasks {:>4}  |{}|\n",
+                    j.name,
+                    secs(j.start),
+                    secs(j.end),
+                    j.map_waves,
+                    j.reduce_waves,
+                    j.tasks,
+                    gantt_bar(j.start, j.end, self.total_secs),
+                ));
+            }
+        }
+
+        if !self.cardinalities.is_empty() {
+            out.push_str("join cardinalities (est vs actual):\n");
+            for c in &self.cardinalities {
+                let ratio = if c.actual_rows > 0 {
+                    c.est_rows / c.actual_rows as f64
+                } else {
+                    f64::INFINITY
+                };
+                out.push_str(&format!(
+                    "  {:<28} est {:>14.0}  actual {:>12}  est/actual {ratio:.2}\n",
+                    c.job, c.est_rows, c.actual_rows
+                ));
+            }
+        }
+
+        out.push_str(&self.overhead_line());
+        out.push('\n');
+        out
+    }
+}
+
+/// A `GANTT_WIDTH`-char bar with `#` between `start..end` scaled to
+/// `0..total`.
+fn gantt_bar(start: f64, end: f64, total: f64) -> String {
+    let mut bar = vec![' '; GANTT_WIDTH];
+    if total > 0.0 {
+        let lo = ((start / total) * GANTT_WIDTH as f64).floor() as usize;
+        let hi = ((end / total) * GANTT_WIDTH as f64).ceil() as usize;
+        let lo = lo.min(GANTT_WIDTH - 1);
+        let hi = hi.clamp(lo + 1, GANTT_WIDTH);
+        for c in bar.iter_mut().take(hi).skip(lo) {
+            *c = '#';
+        }
+    }
+    bar.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::NO_SPAN;
+
+    fn synthetic_trace() -> Tracer {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q10", 0.0);
+        let pilot = t.start_span(q, SpanKind::Phase, "pilot", 0.0);
+        t.event(
+            pilot,
+            8.0,
+            "phase_secs",
+            vec![("phase", "pilot".into()), ("secs", 8.0.into())],
+        );
+        t.end_span(pilot, 8.0);
+        let opt = t.start_span(q, SpanKind::Phase, "optimize", 8.0);
+        t.event(
+            opt,
+            8.0,
+            "phase_secs",
+            vec![("phase", "optimize".into()), ("secs", 0.5.into())],
+        );
+        t.end_span(opt, 8.5);
+        let exec = t.start_span(q, SpanKind::Phase, "execute", 8.5);
+        let job = t.start_span(exec, SpanKind::Job, "join1", 8.5);
+        let w = t.start_span(job, SpanKind::Wave, "map", 23.5);
+        t.end_span(w, 40.0);
+        t.event(job, 40.0, "task_done", vec![("tasks", 16u64.into())]);
+        t.end_span(job, 50.0);
+        t.event(
+            exec,
+            50.0,
+            "job_cardinality",
+            vec![
+                ("job", "join1".into()),
+                ("est", 1000.0.into()),
+                ("obs", 800u64.into()),
+            ],
+        );
+        t.event(exec, 50.0, "reopt_decision", vec![("replanned", 0u64.into())]);
+        t.end_span(exec, 50.0);
+        t.end_span(q, 50.0);
+        t
+    }
+
+    #[test]
+    fn profile_extracts_phases_jobs_and_cardinalities() {
+        let t = synthetic_trace();
+        let p = QueryProfile::build(&t).unwrap();
+        assert_eq!(p.query, "q10");
+        assert_eq!(p.total_secs, 50.0);
+        assert_eq!(p.pilot_secs.to_bits(), 8.0f64.to_bits());
+        assert_eq!(p.optimize_secs.to_bits(), 0.5f64.to_bits());
+        assert_eq!(p.execute_secs, 41.5);
+        assert_eq!(p.reopt_checks, 1);
+        assert_eq!(p.jobs.len(), 1);
+        assert_eq!(p.jobs[0].map_waves, 1);
+        assert_eq!(p.jobs[0].reduce_waves, 0);
+        assert_eq!(p.jobs[0].tasks, 16);
+        assert_eq!(p.cardinalities.len(), 1);
+        assert_eq!(p.cardinalities[0].actual_rows, 800);
+    }
+
+    #[test]
+    fn overhead_line_matches_figure4_formatting() {
+        let t = synthetic_trace();
+        let p = QueryProfile::build(&t).unwrap();
+        assert_eq!(
+            p.overhead_line(),
+            "overhead-total: total=50.0s pilot=16.0% reopt=1.0%"
+        );
+        let rendered = p.render();
+        assert!(rendered.ends_with("overhead-total: total=50.0s pilot=16.0% reopt=1.0%\n"));
+        assert!(rendered.contains("join1"));
+    }
+
+    #[test]
+    fn build_uses_the_last_query_span() {
+        let t = synthetic_trace();
+        // a later (warm) run appends a second query span
+        let q2 = t.start_span(NO_SPAN, SpanKind::Query, "q10-warm", 0.0);
+        t.end_span(q2, 10.0);
+        let p = QueryProfile::build(&t).unwrap();
+        assert_eq!(p.query, "q10-warm");
+        assert_eq!(p.total_secs, 10.0);
+        assert_eq!(p.pilot_secs, 0.0);
+        assert!(p.jobs.is_empty());
+    }
+
+    #[test]
+    fn no_query_span_yields_none() {
+        assert!(QueryProfile::build(&Tracer::disabled()).is_none());
+        let t = Tracer::enabled();
+        t.event(NO_SPAN, 0.0, "stray", vec![]);
+        assert!(QueryProfile::build(&t).is_none());
+    }
+
+    #[test]
+    fn gantt_bar_scales_and_clamps() {
+        assert_eq!(gantt_bar(0.0, 50.0, 100.0).trim_end(), "#".repeat(20));
+        let full = gantt_bar(0.0, 100.0, 100.0);
+        assert_eq!(full, "#".repeat(GANTT_WIDTH));
+        // zero-length spans still show a sliver
+        assert!(gantt_bar(99.0, 99.0, 100.0).contains('#'));
+        assert_eq!(gantt_bar(0.0, 1.0, 0.0), " ".repeat(GANTT_WIDTH));
+    }
+}

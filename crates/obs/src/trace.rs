@@ -1,0 +1,370 @@
+//! The structured event log: spans and events keyed by simulated time.
+//!
+//! A [`Tracer`] is a cheap cloneable handle; all clones record into the
+//! same log. The disabled handle (the default) is `None` inside and every
+//! call on it is a no-op — [`Tracer::start_span`] returns [`NO_SPAN`],
+//! which is accepted everywhere a parent is expected, so instrumented code
+//! never branches on enablement for correctness (only, optionally, for
+//! speed).
+//!
+//! Determinism contract: nothing here reads the wall clock; all times are
+//! the caller's simulated clock. The canonical [`Tracer::render`] export
+//! sorts events by `(sim_time, seq)` (ties broken by the monotonically
+//! increasing sequence number assigned at record time) and spans by
+//! `(start, id)`, and floats are formatted with Rust's deterministic
+//! shortest-roundtrip `Display` — so identical executions produce
+//! byte-identical logs.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dyno_common::Mutex;
+
+/// Identifier of a recorded span. `0` ([`NO_SPAN`]) means "no span" —
+/// returned by a disabled tracer and usable as a root parent.
+pub type SpanId = u64;
+
+/// The null span id: parent of root spans, result of disabled tracing.
+pub const NO_SPAN: SpanId = 0;
+
+/// Level of the span hierarchy (query → phase → job → task-wave).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One end-to-end query execution.
+    Query,
+    /// A phase of a query: pilot runs, (re-)optimization, execution.
+    Phase,
+    /// One MapReduce job.
+    Job,
+    /// One wave of map or reduce tasks launched together.
+    Wave,
+}
+
+impl SpanKind {
+    /// Lowercase label used in the rendered log.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::Phase => "phase",
+            SpanKind::Job => "job",
+            SpanKind::Wave => "wave",
+        }
+    }
+}
+
+/// A typed event/span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float (formatted with the deterministic shortest-roundtrip form).
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A named field on an event.
+pub type Field = (&'static str, FieldValue);
+
+/// A recorded span.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Id (creation order, starting at 1).
+    pub id: SpanId,
+    /// Parent span id ([`NO_SPAN`] for roots).
+    pub parent: SpanId,
+    /// Hierarchy level.
+    pub kind: SpanKind,
+    /// Display name.
+    pub name: String,
+    /// Simulated start time.
+    pub start: f64,
+    /// Simulated end time (`None` while open).
+    pub end: Option<f64>,
+}
+
+/// A recorded point event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Record-order sequence number (total tiebreak within equal times).
+    pub seq: u64,
+    /// Owning span ([`NO_SPAN`] if recorded outside any span).
+    pub span: SpanId,
+    /// Simulated time.
+    pub time: f64,
+    /// Event name.
+    pub name: String,
+    /// Typed fields, in record order.
+    pub fields: Vec<Field>,
+}
+
+#[derive(Debug, Default)]
+struct TraceLog {
+    spans: Vec<Span>,
+    events: Vec<Event>,
+    next_seq: u64,
+}
+
+/// Handle to a shared structured event log. `Default` is the disabled
+/// (no-op) handle; clones share the same log.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<TraceLog>>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A recording tracer over a fresh log.
+    pub fn enabled() -> Self {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(TraceLog::default()))),
+        }
+    }
+
+    /// The no-op tracer (same as `Default`).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// True iff calls record. Hot paths use this to skip building event
+    /// payloads entirely.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span at simulated time `at`. Returns [`NO_SPAN`] when
+    /// disabled.
+    pub fn start_span(
+        &self,
+        parent: SpanId,
+        kind: SpanKind,
+        name: impl Into<String>,
+        at: f64,
+    ) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return NO_SPAN;
+        };
+        let mut log = inner.lock();
+        let id = log.spans.len() as u64 + 1;
+        log.spans.push(Span {
+            id,
+            parent,
+            kind,
+            name: name.into(),
+            start: at,
+            end: None,
+        });
+        id
+    }
+
+    /// Close a span at simulated time `at`. No-op for [`NO_SPAN`] or when
+    /// disabled.
+    pub fn end_span(&self, id: SpanId, at: f64) {
+        let Some(inner) = &self.inner else { return };
+        if id == NO_SPAN {
+            return;
+        }
+        let mut log = inner.lock();
+        if let Some(span) = log.spans.get_mut(id as usize - 1) {
+            span.end = Some(at);
+        }
+    }
+
+    /// Record a point event under `span` at simulated time `at`.
+    pub fn event(&self, span: SpanId, at: f64, name: &str, fields: Vec<Field>) {
+        let Some(inner) = &self.inner else { return };
+        let mut log = inner.lock();
+        log.next_seq += 1;
+        let seq = log.next_seq;
+        log.events.push(Event {
+            seq,
+            span,
+            time: at,
+            name: name.to_owned(),
+            fields,
+        });
+    }
+
+    /// Copy of all recorded spans, in creation (id) order.
+    pub fn spans(&self) -> Vec<Span> {
+        match &self.inner {
+            Some(inner) => inner.lock().spans.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Copy of all recorded events, sorted by `(time, seq)`.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => {
+                let mut evs = inner.lock().events.clone();
+                evs.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+                evs
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Drop all recorded spans and events (sequence numbers restart).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            let mut log = inner.lock();
+            log.spans.clear();
+            log.events.clear();
+            log.next_seq = 0;
+        }
+    }
+
+    /// Canonical text export of the whole log. Two identical executions
+    /// produce byte-identical output (the determinism contract).
+    pub fn render(&self) -> String {
+        let mut spans = self.spans();
+        spans.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.id.cmp(&b.id)));
+        let events = self.events();
+        let mut out = String::new();
+        out.push_str("== spans ==\n");
+        for s in &spans {
+            out.push_str(&format!(
+                "span {} parent={} kind={} name={} start={} end={}\n",
+                s.id,
+                s.parent,
+                s.kind.label(),
+                s.name,
+                s.start,
+                match s.end {
+                    Some(e) => format!("{e}"),
+                    None => "open".to_owned(),
+                }
+            ));
+        }
+        out.push_str("== events ==\n");
+        for e in &events {
+            out.push_str(&format!(
+                "event t={} seq={} span={} name={}",
+                e.time, e.seq, e.span, e.name
+            ));
+            for (k, v) in &e.fields {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_a_noop() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let s = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        assert_eq!(s, NO_SPAN);
+        t.event(s, 1.0, "e", vec![("k", FieldValue::U64(1))]);
+        t.end_span(s, 2.0);
+        assert!(t.spans().is_empty());
+        assert!(t.events().is_empty());
+        assert_eq!(t.render(), "== spans ==\n== events ==\n");
+    }
+
+    #[test]
+    fn spans_nest_and_events_sort_by_time_then_seq() {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        let p = t.start_span(q, SpanKind::Phase, "pilot", 0.0);
+        // record out of time order; same-time events keep record order
+        t.event(p, 5.0, "late", vec![]);
+        t.event(p, 1.0, "early", vec![]);
+        t.event(p, 1.0, "early2", vec![]);
+        t.end_span(p, 6.0);
+        t.end_span(q, 7.0);
+        let evs = t.events();
+        let names: Vec<&str> = evs.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["early", "early2", "late"]);
+        assert!(evs[0].seq < evs[1].seq);
+        let spans = t.spans();
+        assert_eq!(spans[1].parent, q);
+        assert_eq!(spans[0].end, Some(7.0));
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let t = Tracer::enabled();
+        let t2 = t.clone();
+        let s = t.start_span(NO_SPAN, SpanKind::Job, "j", 1.0);
+        t2.end_span(s, 2.0);
+        assert_eq!(t.spans()[0].end, Some(2.0));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_roundtrips_floats() {
+        let mk = || {
+            let t = Tracer::enabled();
+            let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+            t.event(
+                q,
+                0.1 + 0.2, // a value with a non-trivial shortest form
+                "e",
+                vec![("secs", FieldValue::F64(1.0 / 3.0))],
+            );
+            t.end_span(q, 1e-9);
+            t.render()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        // the rendered float parses back to the identical bits
+        let rendered = format!("{}", FieldValue::F64(1.0 / 3.0));
+        let back: f64 = rendered.parse().unwrap();
+        assert_eq!(back.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn clear_resets_sequence_numbers() {
+        let t = Tracer::enabled();
+        t.event(NO_SPAN, 0.0, "a", vec![]);
+        t.clear();
+        t.event(NO_SPAN, 0.0, "b", vec![]);
+        assert_eq!(t.events()[0].seq, 1);
+    }
+}

@@ -78,6 +78,9 @@ pub struct OptResult {
     pub groups: usize,
     /// Physical join alternatives costed.
     pub expressions: usize,
+    /// Partition splits discarded by the branch-and-bound check before
+    /// any implementation rule was costed.
+    pub pruned: usize,
 }
 
 struct Search<'a> {
@@ -88,6 +91,7 @@ struct Search<'a> {
     best: HashMap<u64, Option<(f64, PhysNode)>>,
     leaf_stats: &'a [TableStats],
     expressions: usize,
+    pruned: usize,
 }
 
 impl Optimizer {
@@ -136,6 +140,7 @@ impl Optimizer {
             best: HashMap::new(),
             leaf_stats,
             expressions: 0,
+            pruned: 0,
         };
         let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         let (_, mut plan) = search
@@ -153,6 +158,7 @@ impl Optimizer {
             est_bytes: est.bytes(),
             groups: search.best.len(),
             expressions: search.expressions,
+            pruned: search.pruned,
         })
     }
 
@@ -175,6 +181,7 @@ impl Optimizer {
             best: HashMap::new(),
             leaf_stats,
             expressions: 0,
+            pruned: 0,
         };
         let mask = leaves.iter().fold(0u64, |m, &i| m | (1 << i));
         search.props(mask).rows
@@ -197,6 +204,7 @@ impl Optimizer {
             best: HashMap::new(),
             leaf_stats,
             expressions: 0,
+            pruned: 0,
         };
         chained_cost(plan, &mut search)
     }
@@ -292,6 +300,7 @@ impl<'a> Search<'a> {
             // Branch-and-bound: children alone already too expensive.
             if let Some((bound, _)) = &best {
                 if lcost >= *bound {
+                    self.pruned += 1;
                     continue;
                 }
             }
@@ -302,6 +311,7 @@ impl<'a> Search<'a> {
             let child_cost = lcost + rcost;
             if let Some((bound, _)) = &best {
                 if child_cost >= *bound {
+                    self.pruned += 1;
                     continue;
                 }
             }
@@ -623,6 +633,10 @@ mod tests {
         // 3 leaves → 7 non-empty subsets = 7 groups
         assert_eq!(r.groups, 7);
         assert!(r.expressions >= 6);
+        // pruning diagnostics are deterministic across identical searches
+        let r2 = Optimizer::new().optimize(&block, &star_stats(100.0)).unwrap();
+        assert_eq!(r.pruned, r2.pruned);
+        assert_eq!(r.expressions, r2.expressions);
     }
 
     #[test]

@@ -155,6 +155,11 @@ pub enum CompileError {
     },
     /// The FROM clause is empty.
     NoRelations,
+    /// A predicate calls a UDF that is not in the registry.
+    UnknownUdf {
+        /// The unregistered UDF name.
+        name: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -164,6 +169,9 @@ impl fmt::Display for CompileError {
                 write!(f, "unknown attribute {attr:?} in predicate {predicate}")
             }
             CompileError::NoRelations => write!(f, "query has no relations"),
+            CompileError::UnknownUdf { name } => {
+                write!(f, "UDF {name:?} is not registered")
+            }
         }
     }
 }
@@ -274,6 +282,32 @@ impl JoinBlock {
     /// Number of leaves still to be joined.
     pub fn num_leaves(&self) -> usize {
         self.leaves.len()
+    }
+
+    /// Names of every UDF any predicate of this block calls (leaf-local
+    /// and post-join alike).
+    pub fn referenced_udfs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for leaf in &self.leaves {
+            for p in &leaf.local_preds {
+                out.extend(p.referenced_udfs());
+            }
+        }
+        for pp in &self.post_preds {
+            out.extend(pp.pred.referenced_udfs());
+        }
+        out
+    }
+
+    /// Check that every UDF the block references is registered; the first
+    /// missing name (alphabetically) is reported as a typed error.
+    pub fn validate_udfs(&self, udfs: &crate::UdfRegistry) -> Result<(), CompileError> {
+        for name in self.referenced_udfs() {
+            if udfs.get(&name).is_none() {
+                return Err(CompileError::UnknownUdf { name });
+            }
+        }
+        Ok(())
     }
 
     /// Index of the leaf covering `alias`.
@@ -500,6 +534,24 @@ mod tests {
             Err(CompileError::UnknownAttribute { attr, .. }) => assert_eq!(attr, "ghost"),
             other => panic!("expected UnknownAttribute, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn referenced_udfs_and_validation() {
+        // spec3's "check" UDF lands in post_preds; add a local UDF too
+        let spec = spec3().filter(Predicate::udf("scrub", &["s_y"]));
+        let block = JoinBlock::compile(&spec, &catalog3()).unwrap();
+        let udf_names: Vec<String> = block.referenced_udfs().into_iter().collect();
+        assert_eq!(udf_names, vec!["check".to_owned(), "scrub".to_owned()]);
+
+        let mut udfs = crate::UdfRegistry::new();
+        udfs.register("check", |_| dyno_data::Value::Bool(true));
+        match block.validate_udfs(&udfs) {
+            Err(CompileError::UnknownUdf { name }) => assert_eq!(name, "scrub"),
+            other => panic!("expected UnknownUdf, got {other:?}"),
+        }
+        udfs.register("scrub", |_| dyno_data::Value::Bool(true));
+        assert!(block.validate_udfs(&udfs).is_ok());
     }
 
     #[test]

@@ -230,6 +230,30 @@ impl Predicate {
         }
     }
 
+    /// Names of the UDFs this predicate calls — validated against the
+    /// registry before execution so an unknown UDF is a typed compile
+    /// error rather than a mid-query surprise.
+    pub fn referenced_udfs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_udfs(&mut out);
+        out
+    }
+
+    fn collect_udfs(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Predicate::Compare { .. } => {}
+            Predicate::Udf { name, .. } => {
+                out.insert(name.to_string());
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_udfs(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_udfs(out),
+        }
+    }
+
     /// True iff this is an equi-comparison between two attributes —
     /// the shape of a join condition.
     pub fn as_attr_equality(&self) -> Option<(&Path, &Path)> {

@@ -82,14 +82,17 @@ impl UdfRegistry {
         self.defs.get(name)
     }
 
-    /// Invoke a UDF; panics if it is not registered (a query referencing an
-    /// unregistered UDF is a programming error caught in tests).
+    /// Invoke a UDF if it is registered.
+    pub fn try_call(&self, name: &str, args: &[&Value]) -> Option<Value> {
+        self.defs.get(name).map(|def| (def.func)(args))
+    }
+
+    /// Invoke a UDF. An unregistered name evaluates to `Value::Null`
+    /// (falsy, so the predicate filters the record) — queries referencing
+    /// unknown UDFs are rejected with a typed error at compile/validation
+    /// time (`CompileError::UnknownUdf`), never mid-execution.
     pub fn call(&self, name: &str, args: &[&Value]) -> Value {
-        let def = self
-            .defs
-            .get(name)
-            .unwrap_or_else(|| panic!("UDF {name:?} not registered"));
-        (def.func)(args)
+        self.try_call(name, args).unwrap_or(Value::Null)
     }
 
     /// Per-call CPU cost of a UDF (0 if unregistered — lookups for cost
@@ -130,9 +133,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn calling_unregistered_panics() {
-        UdfRegistry::new().call("ghost", &[]);
+    fn calling_unregistered_is_null_not_a_panic() {
+        let reg = UdfRegistry::new();
+        assert!(reg.try_call("ghost", &[]).is_none());
+        assert_eq!(reg.call("ghost", &[]), Value::Null);
+        assert!(!reg.call("ghost", &[]).is_truthy());
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dyno_common::RwLock;
+use dyno_common::{Mutex, RwLock};
+use dyno_obs::Metrics;
 
 use crate::table::TableStats;
 
@@ -26,6 +27,9 @@ pub type Signature = String;
 #[derive(Debug, Clone, Default)]
 pub struct Metastore {
     inner: Arc<RwLock<BTreeMap<Signature, TableStats>>>,
+    // Behind Arc<Mutex<…>> so `set_metrics(&self)` reaches every clone of
+    // this store, not just the local handle.
+    metrics: Arc<Mutex<Metrics>>,
 }
 
 /// Serializable snapshot of a metastore (the paper's statistics file).
@@ -41,9 +45,23 @@ impl Metastore {
         Metastore::default()
     }
 
+    /// Install a metrics handle shared by all clones of this store; every
+    /// subsequent [`Metastore::get`] counts as `metastore.hits` or
+    /// `metastore.misses`.
+    pub fn set_metrics(&self, metrics: Metrics) {
+        *self.metrics.lock() = metrics;
+    }
+
     /// Look up statistics by signature.
     pub fn get(&self, sig: &str) -> Option<TableStats> {
-        self.inner.read().get(sig).cloned()
+        let found = self.inner.read().get(sig).cloned();
+        let metrics = self.metrics.lock();
+        if found.is_some() {
+            metrics.incr("metastore.hits", 1);
+        } else {
+            metrics.incr("metastore.misses", 1);
+        }
+        found
     }
 
     /// True iff statistics exist for the signature.
@@ -140,6 +158,20 @@ mod tests {
         m.put("a", stats(3.0));
         assert_eq!(m.remove("a").unwrap().rows, 3.0);
         assert!(m.remove("a").is_none());
+    }
+
+    #[test]
+    fn hit_miss_counters_reach_all_clones() {
+        let m = Metastore::new();
+        let clone = m.clone();
+        let metrics = Metrics::enabled();
+        m.set_metrics(metrics.clone());
+        m.put("a", stats(1.0));
+        assert!(clone.get("a").is_some()); // hit, via the clone
+        assert!(clone.get("b").is_none()); // miss
+        assert!(m.get("b").is_none()); // miss
+        assert_eq!(metrics.counter("metastore.hits"), 1);
+        assert_eq!(metrics.counter("metastore.misses"), 2);
     }
 
     #[test]
