@@ -9,6 +9,11 @@
 #      Figure 2 plan evolution must still re-optimize and beat RELOPT.
 #   4. profile smoke check: `repro profile q8_prime 300` must emit an
 #      overhead-total line matching the Figure 4 Q8' row.
+#   5. workload smoke check: a fixed-seed 6-query mixed stream at SF 1
+#      must reproduce the committed metastore hit-rate line *exactly*
+#      (the workload report is deterministic byte-for-byte; the Chrome
+#      trace exporter is pinned the same way by the golden-file test in
+#      crates/bench/tests/chrome_golden.rs, which step 2 runs).
 #
 # The build is hermetic: every dependency is a path crate inside this
 # repository, so everything below runs with --offline and no registry.
@@ -103,5 +108,20 @@ awk -v tol="$TOLERANCE" -v line="$overhead" '
             got_total, got_pilot, got_reopt, tol
     }
 ' repro_output.txt
+
+echo "== repro workload smoke check (fixed-seed stream vs repro_output.txt) =="
+workload_out=$(cargo run --release --offline -p dyno-bench --bin repro -- \
+    workload q2x2,q8_prime,q10@simplex2,q7 1 --seed 42 --divisor 2000)
+got=$(echo "$workload_out" | grep '^workload metastore hit-rate: ') ||
+    { echo "FAIL: workload report has no hit-rate line"; exit 1; }
+ref=$(grep '^workload metastore hit-rate: ' repro_output.txt | head -1) ||
+    { echo "FAIL: no workload hit-rate line in repro_output.txt"; exit 1; }
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: workload hit-rate drifted:"
+    echo "  got: $got"
+    echo "  ref: $ref"
+    exit 1
+fi
+echo "ok: $got matches reference exactly"
 
 echo "CI OK"

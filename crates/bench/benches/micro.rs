@@ -134,6 +134,7 @@ fn bench_scheduler(h: &mut Harness) {
             })
             .collect(),
         shuffle_bytes: 1 << 33,
+        build_bytes: 0,
     };
     h.bench_batched(
         "scheduler_4_jobs_4k_tasks",

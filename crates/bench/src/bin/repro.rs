@@ -1,95 +1,177 @@
 //! `repro` — regenerate every table and figure of the DYNO paper.
 //!
 //! ```text
-//! repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8] [--divisor N]
+//! repro [all|table1|fig2|...|fig8|ablations|reopt_ab] [--divisor N]
 //! repro profile <query> <sf> [--divisor N]
+//! repro trace <query> <sf> [--divisor N]
+//! repro workload <spec> <sf> [--seed N] [--divisor N]
 //! ```
 //!
 //! `profile` runs one query cold under DYNOPT with `dyno-obs` tracing on
-//! and prints its `EXPLAIN ANALYZE`-style profile (phase times, per-job
-//! gantt, est-vs-actual join cardinalities, Figure 4 overhead line).
+//! and prints its `EXPLAIN ANALYZE`-style profile; `trace` prints the
+//! same run as Chrome `trace_event` JSON (open in `chrome://tracing`);
+//! `workload` runs a multi-query stream (`name[@mode][xN]`, comma
+//! separated) against one DYNO instance and prints the workload report.
 //!
 //! The divisor controls the physical scale (logical rows per physical
 //! record); the default of 50 000 runs every experiment in a few minutes
 //! on a laptop while keeping the simulated world at full TPC-H scale.
+//!
+//! Every failure path surfaces as a typed [`BenchError`] printed with the
+//! usage text — the binary never panics on bad input.
 
 use std::env;
+use std::process::ExitCode;
 
 use dyno_bench::{
-    ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, profile_report, table1, ExpScale,
+    ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, profile_report, reopt_ab,
+    run_workload, table1, trace_report, BenchError, ExpScale,
 };
 
-fn main() {
+const USAGE: &str = "usage: repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablations|reopt_ab] [--divisor N]
+       repro profile <query> <sf> [--divisor N]
+       repro trace <query> <sf> [--divisor N]
+       repro workload <spec> <sf> [--seed N] [--divisor N]
+
+queries:  q2 q5 q7 q8_prime q9_prime q10 q1_restaurant
+workload: comma-separated entries of the form name[@mode][xN],
+          e.g. 'q2x3,q8_prime@relopt,q10@simplex2'
+modes:    dynopt (default) | simple | relopt | beststatic | jaql";
+
+fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    let mut positional: Vec<String> = Vec::new();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed command line: positional arguments plus the shared flags.
+struct Cli {
+    positional: Vec<String>,
+    divisor: u64,
+    seed: u64,
+}
+
+fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
+    let mut positional = Vec::new();
     let mut divisor = 50_000u64;
+    let mut seed = 0u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--divisor" => {
-                divisor = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--divisor needs a positive integer"));
+                divisor = parse_flag_value(it.next(), "--divisor", "a positive integer")?;
+                if divisor == 0 {
+                    return Err(BenchError::BadArg {
+                        arg: "--divisor".to_owned(),
+                        expected: "a positive integer".to_owned(),
+                    });
+                }
             }
-            "--help" | "-h" => {
-                println!(
-                    "usage: repro [all|table1|fig2|...|fig8|ablations] [--divisor N]\n       repro profile <query> <sf> [--divisor N]"
-                );
-                return;
+            "--seed" => {
+                seed = parse_flag_value(it.next(), "--seed", "an unsigned integer")?;
             }
+            "--help" | "-h" => return Ok(None),
             other => positional.push(other.to_owned()),
         }
     }
-    let which = positional.first().cloned().unwrap_or_else(|| "all".to_owned());
-    let scale = ExpScale { divisor };
+    Ok(Some(Cli { positional, divisor, seed }))
+}
 
-    if which == "profile" {
-        let query = positional
-            .get(1)
-            .unwrap_or_else(|| die("profile needs <query> <sf>"));
-        let sf: u64 = positional
-            .get(2)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| die("profile needs a numeric scale factor"));
-        match profile_report(query, sf, scale) {
-            Ok(out) => println!("{out}"),
-            Err(e) => die(&e),
+fn parse_flag_value(
+    value: Option<&String>,
+    flag: &str,
+    expected: &str,
+) -> Result<u64, BenchError> {
+    value
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| BenchError::BadArg {
+            arg: flag.to_owned(),
+            expected: expected.to_owned(),
+        })
+}
+
+fn positional<'a>(cli: &'a Cli, i: usize, what: &str) -> Result<&'a str, BenchError> {
+    cli.positional.get(i).map(String::as_str).ok_or_else(|| BenchError::BadArg {
+        arg: what.to_owned(),
+        expected: "a value (missing positional argument)".to_owned(),
+    })
+}
+
+fn parse_sf(cli: &Cli, i: usize) -> Result<u64, BenchError> {
+    let raw = positional(cli, i, "<sf>")?;
+    raw.parse().map_err(|_| BenchError::BadArg {
+        arg: raw.to_owned(),
+        expected: "a numeric scale factor".to_owned(),
+    })
+}
+
+fn run(args: &[String]) -> Result<(), BenchError> {
+    let Some(cli) = parse_cli(args)? else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let which = cli.positional.first().cloned().unwrap_or_else(|| "all".to_owned());
+    let scale = ExpScale { divisor: cli.divisor };
+
+    match which.as_str() {
+        "profile" => {
+            let query = positional(&cli, 1, "<query>")?;
+            let sf = parse_sf(&cli, 2)?;
+            println!("{}", profile_report(query, sf, scale)?);
+            return Ok(());
         }
-        return;
+        "trace" => {
+            let query = positional(&cli, 1, "<query>")?;
+            let sf = parse_sf(&cli, 2)?;
+            print!("{}", trace_report(query, sf, scale)?);
+            return Ok(());
+        }
+        "workload" => {
+            let spec = positional(&cli, 1, "<spec>")?;
+            let sf = parse_sf(&cli, 2)?;
+            print!("{}", run_workload(spec, sf, cli.seed, scale)?.render());
+            return Ok(());
+        }
+        _ => {}
     }
+
     // Figure 6 sweeps selectivities down to 0.01 %, which needs enough
     // physical dimension rows to be realized; use a finer grain there.
     let fine = ExpScale {
-        divisor: (divisor / 10).max(1),
+        divisor: (cli.divisor / 10).max(1),
     };
 
-    let run = |name: &str| match name {
-        "table1" => println!("{}", table1(scale)),
-        "fig2" => println!("{}", fig2(scale)),
-        "fig3" => println!("{}", fig3(scale)),
-        "fig4" => println!("{}", fig4(scale)),
-        "fig5" => println!("{}", fig5(scale)),
-        "fig6" => println!("{}", fig6(fine)),
-        "fig7" => println!("{}", fig7(scale)),
-        "fig8" => println!("{}", fig8(scale)),
-        "ablations" => println!("{}", ablations(scale)),
-        other => die(&format!("unknown experiment {other:?}")),
+    let run_one = |name: &str| -> Result<(), BenchError> {
+        match name {
+            "table1" => println!("{}", table1(scale)),
+            "fig2" => println!("{}", fig2(scale)),
+            "fig3" => println!("{}", fig3(scale)),
+            "fig4" => println!("{}", fig4(scale)),
+            "fig5" => println!("{}", fig5(scale)),
+            "fig6" => println!("{}", fig6(fine)),
+            "fig7" => println!("{}", fig7(scale)),
+            "fig8" => println!("{}", fig8(scale)),
+            "ablations" => println!("{}", ablations(scale)),
+            "reopt_ab" => println!("{}", reopt_ab(scale)),
+            other => return Err(BenchError::UnknownExperiment(other.to_owned())),
+        }
+        Ok(())
     };
 
     if which == "all" {
         for name in [
             "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations",
         ] {
-            run(name);
+            run_one(name)?;
             println!();
         }
+        Ok(())
     } else {
-        run(&which);
+        run_one(&which)
     }
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("repro: {msg}");
-    std::process::exit(2);
 }

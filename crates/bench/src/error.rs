@@ -1,0 +1,66 @@
+//! Typed errors for the `repro` binary and the library entry points it
+//! calls. Every failure the harness can produce maps to one variant, so
+//! `main` can print a one-line diagnosis plus usage instead of panicking
+//! or calling `process::exit` from deep inside a subcommand.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong driving the benchmark harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// A query name no `parse_query` arm accepts.
+    UnknownQuery(String),
+    /// A `repro` subcommand / experiment name that does not exist.
+    UnknownExperiment(String),
+    /// A flag or positional argument that failed to parse, with the
+    /// expectation it violated.
+    BadArg { arg: String, expected: String },
+    /// A malformed workload spec entry (`name[@mode][xN]`).
+    BadSpec { spec: String, reason: String },
+    /// A query run returned an execution error.
+    QueryFailed { query: String, message: String },
+    /// Tracing was expected but the tracer recorded no query span.
+    EmptyTrace,
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::UnknownQuery(q) => {
+                write!(f, "unknown query {q:?} (try q2, q7, q8_prime, q9_prime, q10)")
+            }
+            BenchError::UnknownExperiment(e) => write!(f, "unknown experiment {e:?}"),
+            BenchError::BadArg { arg, expected } => {
+                write!(f, "bad argument {arg:?}: expected {expected}")
+            }
+            BenchError::BadSpec { spec, reason } => {
+                write!(f, "bad workload spec entry {spec:?}: {reason}")
+            }
+            BenchError::QueryFailed { query, message } => {
+                write!(f, "{query} failed: {message}")
+            }
+            BenchError::EmptyTrace => write!(f, "tracer recorded no query span"),
+        }
+    }
+}
+
+impl Error for BenchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = BenchError::UnknownQuery("q99".into());
+        assert!(e.to_string().contains("q99"));
+        assert!(e.to_string().contains("q8_prime"), "suggests valid names");
+        let e = BenchError::BadSpec {
+            spec: "q2x".into(),
+            reason: "missing repeat count after 'x'".into(),
+        };
+        assert!(e.to_string().contains("q2x"));
+        assert!(e.to_string().contains("missing repeat count"));
+    }
+}

@@ -11,10 +11,16 @@
 //! *shape*: who wins, by roughly what factor, and where the crossovers
 //! fall. EXPERIMENTS.md records paper-vs-measured for every experiment.
 
+pub mod error;
 pub mod experiments;
 pub mod profile;
 pub mod render;
+pub mod workload;
 
-pub use experiments::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, ExpScale};
-pub use profile::profile_report;
+pub use error::BenchError;
+pub use experiments::{
+    ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, reopt_ab, table1, ExpScale,
+};
+pub use profile::{profile_report, trace_report};
 pub use render::render_table;
+pub use workload::{parse_spec, run_workload, run_workload_on, WorkloadReport};

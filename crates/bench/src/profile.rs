@@ -7,10 +7,11 @@
 //! diffs the two.
 
 use dyno_cluster::ClusterConfig;
-use dyno_core::{Mode, Strategy};
+use dyno_core::{Dyno, Mode, Strategy};
 use dyno_obs::{Obs, QueryProfile};
 use dyno_tpch::queries::{self, QueryId};
 
+use crate::error::BenchError;
 use crate::experiments::{make_dyno, ExpScale};
 
 /// Parse a command-line query name (`q8_prime`, `Q8'`, `q10`, …).
@@ -27,22 +28,33 @@ pub fn parse_query(name: &str) -> Option<QueryId> {
     }
 }
 
-/// Run `query` cold under DYNOPT at scale factor `sf` with tracing on and
-/// render the resulting [`QueryProfile`].
-pub fn profile_report(query: &str, sf: u64, scale: ExpScale) -> Result<String, String> {
-    let id = parse_query(query).ok_or_else(|| {
-        format!("unknown query {query:?} (try q2, q7, q8_prime, q9_prime, q10)")
-    })?;
+/// Run `query` cold under DYNOPT at scale factor `sf` with tracing on;
+/// the caller decides what to fold the event log into.
+fn traced_run(query: &str, sf: u64, scale: ExpScale) -> Result<Dyno, BenchError> {
+    let id = parse_query(query).ok_or_else(|| BenchError::UnknownQuery(query.to_owned()))?;
     let mut d = make_dyno(sf, scale, ClusterConfig::paper(), Strategy::Unc(1));
     d.obs = Obs::enabled();
     let q = queries::prepare(id);
-    let report = d
-        .run(&q, Mode::Dynopt)
-        .map_err(|e| format!("{} failed: {e}", q.spec.name))?;
-    let profile = QueryProfile::build(&d.obs.tracer)
-        .ok_or_else(|| "tracer recorded no query span".to_owned())?;
-    debug_assert_eq!(profile.total_secs.to_bits(), report.total_secs.to_bits());
+    d.run(&q, Mode::Dynopt).map_err(|e| BenchError::QueryFailed {
+        query: q.spec.name.clone(),
+        message: e.to_string(),
+    })?;
+    Ok(d)
+}
+
+/// Run `query` cold under DYNOPT at scale factor `sf` with tracing on and
+/// render the resulting [`QueryProfile`].
+pub fn profile_report(query: &str, sf: u64, scale: ExpScale) -> Result<String, BenchError> {
+    let d = traced_run(query, sf, scale)?;
+    let profile = QueryProfile::build(&d.obs.tracer).ok_or(BenchError::EmptyTrace)?;
     Ok(profile.render())
+}
+
+/// Run `query` cold under DYNOPT and export the event log in Chrome
+/// `trace_event` JSON (load the output in `chrome://tracing` / Perfetto).
+pub fn trace_report(query: &str, sf: u64, scale: ExpScale) -> Result<String, BenchError> {
+    let d = traced_run(query, sf, scale)?;
+    Ok(d.obs.tracer.to_chrome_trace())
 }
 
 #[cfg(test)]
@@ -68,6 +80,17 @@ mod tests {
 
     #[test]
     fn unknown_query_is_an_error() {
-        assert!(profile_report("q99", 1, ExpScale::default()).is_err());
+        assert_eq!(
+            profile_report("q99", 1, ExpScale::default()),
+            Err(BenchError::UnknownQuery("q99".into()))
+        );
+    }
+
+    #[test]
+    fn trace_report_is_valid_chrome_json() {
+        let out = trace_report("q10", 1, ExpScale { divisor: 200_000 }).expect("trace run");
+        let summary = dyno_obs::validate_chrome_trace(&out).expect("well-formed trace");
+        assert_eq!(summary.begins, summary.ends, "balanced B/E");
+        assert!(summary.begins > 0);
     }
 }

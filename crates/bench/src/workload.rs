@@ -1,0 +1,577 @@
+//! `repro workload <spec> <sf>` — a multi-query workload driver.
+//!
+//! Runs a configurable TPC-H query stream against ONE [`Dyno`] instance
+//! (shared metastore, shared `Tracer`/`Metrics`), so recurring queries
+//! exercise the §4.1 statistics-reuse path exactly as a long-lived DYNO
+//! deployment would. The stream is described by a compact spec:
+//!
+//! ```text
+//! q2x3,q8_prime@relopt,q10@simplex2
+//! ```
+//!
+//! Each comma-separated entry is `name[@mode][xN]` — query name, optional
+//! execution mode (default DYNOPT), optional repeat count. The expanded
+//! instance list is shuffled with a seeded Fisher–Yates, so interleavings
+//! are reproducible: the same `(spec, sf, seed)` triple yields a
+//! byte-identical [`WorkloadReport::render`] (property-tested).
+//!
+//! The report folds the shared event log and metrics registry into:
+//!
+//! * a per-query latency distribution over the fixed decade buckets of
+//!   [`Histogram`], plus a merged all-queries histogram;
+//! * the cross-query metastore hit-rate *trajectory* — cumulative
+//!   hits/misses after every query, showing the store warming up;
+//! * a cluster-contention summary derived from job spans (job count,
+//!   summed job-seconds, and the peak number of concurrently open jobs
+//!   in any single run);
+//! * per-OOM memory attributions: for every broadcast-OOM recovery,
+//!   which query, which job, which build side, and bytes over budget.
+
+use dyno_cluster::ClusterConfig;
+use dyno_common::{Rng, SeedableRng, StdRng};
+use dyno_core::{Mode, Strategy};
+use dyno_obs::{descends_from, Histogram, Obs, OomRecovery, SpanKind};
+use dyno_tpch::queries::{self, QueryId};
+
+use crate::error::BenchError;
+use crate::experiments::{make_dyno, ExpScale};
+use crate::profile::parse_query;
+use crate::render::pct;
+
+/// One parsed spec entry: a query, the mode to run it under, and how many
+/// instances of it enter the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadEntry {
+    /// Which TPC-H query.
+    pub query: QueryId,
+    /// Execution mode (default [`Mode::Dynopt`]).
+    pub mode: Mode,
+    /// Number of instances in the stream (≥ 1).
+    pub repeat: u32,
+}
+
+/// Parse an execution-mode suffix (`@dynopt`, `@simple`, `@relopt`, …).
+fn parse_mode(s: &str) -> Option<Mode> {
+    match s.to_ascii_lowercase().as_str() {
+        "dynopt" => Some(Mode::Dynopt),
+        "simple" | "dynopt_simple" | "dynoptsimple" => Some(Mode::DynoptSimple),
+        "relopt" => Some(Mode::RelOpt),
+        "beststatic" | "best_static" | "beststaticjaql" => Some(Mode::BestStaticJaql),
+        "jaql" | "aswritten" | "as_written" => Some(Mode::JaqlAsWritten),
+        _ => None,
+    }
+}
+
+/// Parse a full workload spec (comma-separated `name[@mode][xN]` entries).
+pub fn parse_spec(spec: &str) -> Result<Vec<WorkloadEntry>, BenchError> {
+    let mut entries = Vec::new();
+    for raw in spec.split(',') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Err(BenchError::BadSpec {
+                spec: spec.to_owned(),
+                reason: "empty entry (stray comma?)".to_owned(),
+            });
+        }
+        // Trailing repeat count: `...xN`. No query or mode name contains
+        // an `x` followed by digits, so this parse is unambiguous.
+        let (head, repeat) = match raw.rfind('x') {
+            Some(i) if i > 0 && raw.len() > i + 1 && raw[i + 1..].bytes().all(|b| b.is_ascii_digit()) => {
+                let n: u32 = raw[i + 1..].parse().map_err(|_| BenchError::BadSpec {
+                    spec: raw.to_owned(),
+                    reason: "repeat count does not fit in u32".to_owned(),
+                })?;
+                if n == 0 {
+                    return Err(BenchError::BadSpec {
+                        spec: raw.to_owned(),
+                        reason: "repeat count must be at least 1".to_owned(),
+                    });
+                }
+                (&raw[..i], n)
+            }
+            _ => (raw, 1),
+        };
+        let (name, mode) = match head.split_once('@') {
+            Some((n, m)) => {
+                let mode = parse_mode(m).ok_or_else(|| BenchError::BadSpec {
+                    spec: raw.to_owned(),
+                    reason: format!(
+                        "unknown mode {m:?} (try dynopt, simple, relopt, beststatic, jaql)"
+                    ),
+                })?;
+                (n, mode)
+            }
+            None => (head, Mode::Dynopt),
+        };
+        let query = parse_query(name).ok_or_else(|| BenchError::UnknownQuery(name.to_owned()))?;
+        entries.push(WorkloadEntry { query, mode, repeat });
+    }
+    Ok(entries)
+}
+
+/// Latency stats for one (query, mode) pair across its runs.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Display label, e.g. `Q8' (DYNOPT)`.
+    pub label: String,
+    /// Number of runs.
+    pub runs: u64,
+    /// Summed simulated latency.
+    pub total_secs: f64,
+    /// Fastest run.
+    pub min_secs: f64,
+    /// Slowest run.
+    pub max_secs: f64,
+    /// Latency distribution over the fixed decade buckets.
+    pub hist: Histogram,
+}
+
+/// One point of the cross-query metastore hit-rate trajectory: cumulative
+/// counters after the `i`-th query of the stream finished.
+#[derive(Debug, Clone)]
+pub struct TrajectoryPoint {
+    /// Label of the query that just ran.
+    pub query: String,
+    /// Cumulative `metastore.hits` so far.
+    pub hits: u64,
+    /// Cumulative `metastore.misses` so far.
+    pub misses: u64,
+}
+
+impl TrajectoryPoint {
+    /// Cumulative hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One broadcast-OOM recovery attributed to the query run that hit it.
+#[derive(Debug, Clone)]
+pub struct OomAttribution {
+    /// 1-based position in the executed stream.
+    pub run: usize,
+    /// Label of the query whose run recovered.
+    pub query: String,
+    /// The decoded recovery (job, build side, bytes over budget).
+    pub oom: OomRecovery,
+}
+
+/// Cluster-contention summary over every job span the stream recorded.
+#[derive(Debug, Clone, Default)]
+pub struct ContentionSummary {
+    /// Total jobs executed across the stream.
+    pub jobs: usize,
+    /// Summed job wall time (simulated seconds; overlapping jobs count
+    /// separately, so this exceeds latency when jobs are co-scheduled).
+    pub job_secs: f64,
+    /// Peak number of concurrently open jobs in any single run.
+    pub max_concurrent: usize,
+    /// Label of the run where the peak occurred.
+    pub busiest_query: String,
+}
+
+/// The folded result of one workload stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Scale factor the stream ran at.
+    pub sf: u64,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Executed order (after the seeded shuffle).
+    pub order: Vec<String>,
+    /// Per-(query, mode) latency stats, in first-execution order.
+    pub queries: Vec<QueryStats>,
+    /// All per-query histograms merged.
+    pub overall: Histogram,
+    /// Metastore hit-rate trajectory, one point per executed query.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Broadcast-OOM recoveries attributed to their runs.
+    pub ooms: Vec<OomAttribution>,
+    /// Contention summary from job spans.
+    pub contention: ContentionSummary,
+}
+
+/// Run the workload described by `spec` at scale factor `sf`, shuffling
+/// the expanded instance list with `seed`, on the paper cluster.
+pub fn run_workload(
+    spec: &str,
+    sf: u64,
+    seed: u64,
+    scale: ExpScale,
+) -> Result<WorkloadReport, BenchError> {
+    run_workload_on(spec, sf, seed, scale, ClusterConfig::paper())
+}
+
+/// [`run_workload`] on an explicit cluster configuration (e.g. a
+/// memory-starved one, to surface broadcast-OOM recoveries).
+pub fn run_workload_on(
+    spec: &str,
+    sf: u64,
+    seed: u64,
+    scale: ExpScale,
+    cluster: ClusterConfig,
+) -> Result<WorkloadReport, BenchError> {
+    let entries = parse_spec(spec)?;
+
+    // Expand to the instance stream and shuffle it reproducibly.
+    let mut stream: Vec<(QueryId, Mode)> = entries
+        .iter()
+        .flat_map(|e| std::iter::repeat((e.query, e.mode)).take(e.repeat as usize))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.shuffle(&mut stream);
+
+    // ONE Dyno for the whole stream: the metastore and the obs handles
+    // are shared, which is the entire point of the exercise.
+    let mut d = make_dyno(sf, scale, cluster, Strategy::Unc(1));
+    d.obs = Obs::enabled();
+
+    let label = |q: QueryId, m: Mode| format!("{} ({})", queries::prepare(q).spec.name, m.name());
+
+    let mut order = Vec::new();
+    let mut stats: Vec<QueryStats> = Vec::new();
+    let mut overall = Histogram::default();
+    let mut trajectory = Vec::new();
+    for &(q, mode) in &stream {
+        let prepared = queries::prepare(q);
+        let name = label(q, mode);
+        let report = d.run(&prepared, mode).map_err(|e| BenchError::QueryFailed {
+            query: name.clone(),
+            message: e.to_string(),
+        })?;
+        let secs = report.total_secs;
+        overall.observe(secs);
+        match stats.iter_mut().find(|s| s.label == name) {
+            Some(s) => {
+                s.runs += 1;
+                s.total_secs += secs;
+                s.min_secs = s.min_secs.min(secs);
+                s.max_secs = s.max_secs.max(secs);
+                s.hist.observe(secs);
+            }
+            None => {
+                let mut hist = Histogram::default();
+                hist.observe(secs);
+                stats.push(QueryStats {
+                    label: name.clone(),
+                    runs: 1,
+                    total_secs: secs,
+                    min_secs: secs,
+                    max_secs: secs,
+                    hist,
+                });
+            }
+        }
+        trajectory.push(TrajectoryPoint {
+            query: name.clone(),
+            hits: d.obs.metrics.counter("metastore.hits"),
+            misses: d.obs.metrics.counter("metastore.misses"),
+        });
+        order.push(name);
+    }
+
+    // Fold the shared event log: each run opened exactly one Query span
+    // (in run order, since span ids are allocated monotonically).
+    let spans = d.obs.tracer.spans();
+    let query_spans: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Query).collect();
+    debug_assert_eq!(query_spans.len(), order.len());
+
+    let mut ooms = Vec::new();
+    let mut contention = ContentionSummary::default();
+    let events = d.obs.tracer.events();
+    for (i, qs) in query_spans.iter().enumerate() {
+        let run_label = order.get(i).cloned().unwrap_or_else(|| qs.name.clone());
+        for e in events.iter().filter(|e| descends_from(&spans, e.span, qs.id)) {
+            if let Some(oom) = OomRecovery::from_event(e) {
+                ooms.push(OomAttribution {
+                    run: i + 1,
+                    query: run_label.clone(),
+                    oom,
+                });
+            }
+        }
+        // Contention: sweep this run's job spans for the peak overlap.
+        let jobs: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Job && descends_from(&spans, s.id, qs.id))
+            .collect();
+        let mut edges: Vec<(f64, i32)> = Vec::new();
+        for j in &jobs {
+            let end = j.end.unwrap_or(j.start);
+            contention.jobs += 1;
+            contention.job_secs += end - j.start;
+            edges.push((j.start, 1));
+            edges.push((end, -1));
+        }
+        // Close before open at equal times so back-to-back jobs do not
+        // count as overlapping.
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut open = 0i32;
+        let mut peak = 0i32;
+        for (_, delta) in edges {
+            open += delta;
+            peak = peak.max(open);
+        }
+        if peak as usize > contention.max_concurrent {
+            contention.max_concurrent = peak as usize;
+            contention.busiest_query = format!("run#{} {run_label}", i + 1);
+        }
+    }
+    // OOM events interleave across runs in the sweep above only by run
+    // index, which already matches stream order.
+    ooms.sort_by_key(|o| o.run);
+
+    Ok(WorkloadReport {
+        sf,
+        seed,
+        order,
+        queries: stats,
+        overall,
+        trajectory,
+        ooms,
+        contention,
+    })
+}
+
+/// Render the non-empty buckets of a latency histogram, one per line.
+fn render_hist(out: &mut String, indent: &str, h: &Histogram) {
+    for (i, n) in h.buckets.iter().enumerate() {
+        if *n == 0 {
+            continue;
+        }
+        let lo = Histogram::bucket_lo(i);
+        if i + 1 < h.buckets.len() {
+            out.push_str(&format!("{indent}[{lo}s, {}s): {n}\n", Histogram::bucket_lo(i + 1)));
+        } else {
+            out.push_str(&format!("{indent}[{lo}s, inf): {n}\n"));
+        }
+    }
+}
+
+impl WorkloadReport {
+    /// The machine-parseable final line `ci.sh` diffs against
+    /// `repro_output.txt`.
+    pub fn hit_rate_line(&self) -> String {
+        let (hits, misses) = self
+            .trajectory
+            .last()
+            .map(|p| (p.hits, p.misses))
+            .unwrap_or((0, 0));
+        let total = hits + misses;
+        let rate = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+        format!("workload metastore hit-rate: {hits}/{total} ({})", pct(rate))
+    }
+
+    /// Render the full deterministic text report.
+    pub fn render(&self) -> String {
+        let secs = |x: f64| format!("{x:.1}s");
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== workload: {} queries, SF={}, seed={} ==\n",
+            self.order.len(),
+            self.sf,
+            self.seed
+        ));
+        out.push_str(&format!("order: {}\n", self.order.join(", ")));
+
+        out.push_str("per-query latency:\n");
+        for s in &self.queries {
+            out.push_str(&format!(
+                "  {:<24} runs {:>3}  min {:>9}  max {:>9}  mean {:>9}\n",
+                s.label,
+                s.runs,
+                secs(s.min_secs),
+                secs(s.max_secs),
+                secs(s.total_secs / s.runs as f64),
+            ));
+            render_hist(&mut out, "    ", &s.hist);
+        }
+        out.push_str(&format!(
+            "overall latency (n={}, total {}):\n",
+            self.overall.count,
+            secs(self.overall.sum)
+        ));
+        render_hist(&mut out, "    ", &self.overall);
+
+        out.push_str("metastore hit-rate trajectory:\n");
+        for (i, p) in self.trajectory.iter().enumerate() {
+            out.push_str(&format!(
+                "  {:>3}. {:<24} hits {:>5}  misses {:>5}  cumulative {}\n",
+                i + 1,
+                p.query,
+                p.hits,
+                p.misses,
+                pct(p.rate()),
+            ));
+        }
+
+        out.push_str(&format!(
+            "cluster contention: {} jobs, {} job-seconds, peak {} concurrent",
+            self.contention.jobs,
+            secs(self.contention.job_secs),
+            self.contention.max_concurrent,
+        ));
+        if !self.contention.busiest_query.is_empty() {
+            out.push_str(&format!(" ({})", self.contention.busiest_query));
+        }
+        out.push('\n');
+
+        if self.ooms.is_empty() {
+            out.push_str("oom recoveries: none\n");
+        } else {
+            out.push_str(&format!("oom recoveries: {}\n", self.ooms.len()));
+            for o in &self.ooms {
+                out.push_str(&format!(
+                    "  run#{} {}: {} build side {} at {} bytes (total build {}) exceeded budget {} by {}\n",
+                    o.run,
+                    o.query,
+                    o.oom.job,
+                    o.oom.build_side,
+                    o.oom.build_side_bytes,
+                    o.oom.build_bytes,
+                    o.oom.budget,
+                    o.oom.over,
+                ));
+            }
+        }
+
+        out.push_str(&self.hit_rate_line());
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_common::prop;
+
+    fn coarse() -> ExpScale {
+        ExpScale { divisor: 200_000 }
+    }
+
+    #[test]
+    fn spec_parses_names_modes_and_repeats() {
+        let entries = parse_spec("q2x3,q8_prime@relopt,q10@simplex2").unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(
+            entries[0],
+            WorkloadEntry { query: QueryId::Q2, mode: Mode::Dynopt, repeat: 3 }
+        );
+        assert_eq!(
+            entries[1],
+            WorkloadEntry { query: QueryId::Q8Prime, mode: Mode::RelOpt, repeat: 1 }
+        );
+        assert_eq!(
+            entries[2],
+            WorkloadEntry { query: QueryId::Q10, mode: Mode::DynoptSimple, repeat: 2 }
+        );
+    }
+
+    #[test]
+    fn spec_rejects_garbage_with_typed_errors() {
+        assert!(matches!(parse_spec("q99"), Err(BenchError::UnknownQuery(_))));
+        assert!(matches!(parse_spec("q2@warp"), Err(BenchError::BadSpec { .. })));
+        assert!(matches!(parse_spec("q2x0"), Err(BenchError::BadSpec { .. })));
+        assert!(matches!(parse_spec("q2,,q10"), Err(BenchError::BadSpec { .. })));
+        assert!(matches!(parse_spec(""), Err(BenchError::BadSpec { .. })));
+    }
+
+    #[test]
+    fn workload_reports_trajectory_and_contention() {
+        let r = run_workload("q2x2,q10x2", 1, 7, coarse()).unwrap();
+        assert_eq!(r.order.len(), 4);
+        assert_eq!(r.trajectory.len(), 4);
+        assert_eq!(r.overall.count, 4);
+        // Counters are cumulative, so the trajectory is monotone…
+        for w in r.trajectory.windows(2) {
+            assert!(w[1].hits >= w[0].hits);
+            assert!(w[1].misses >= w[0].misses);
+        }
+        // …and repeats hit the metastore: the second run of each query
+        // reuses the first run's pilot statistics.
+        let last = r.trajectory.last().unwrap();
+        assert!(last.hits > 0, "repeated queries must produce hits");
+        assert!(r.contention.jobs > 0);
+        assert!(r.contention.max_concurrent >= 1);
+        let text = r.render();
+        assert!(text.contains("metastore hit-rate trajectory:"));
+        assert!(text.lines().last().unwrap().starts_with("workload metastore hit-rate: "));
+    }
+
+    #[test]
+    fn memory_starved_cluster_attributes_oom_recoveries() {
+        // Shrink slot memory until Q9's broadcast builds cannot fit; the
+        // report must then say WHICH job and WHICH build side overflowed
+        // and by how much — not just that a recovery happened.
+        let starved = ClusterConfig {
+            slot_memory_bytes: 4 * 1024 * 1024,
+            ..ClusterConfig::paper()
+        };
+        let r = run_workload_on("q9_prime", 100, 0, coarse(), starved).unwrap();
+        assert!(!r.ooms.is_empty(), "4MB slots must overflow Q9' builds");
+        for o in &r.ooms {
+            assert_eq!(o.query, "Q9' (DYNOPT)");
+            assert!(!o.oom.job.is_empty());
+            assert_ne!(o.oom.build_side, "?", "build side must be attributed");
+            assert!(o.oom.build_side_bytes > 0);
+            assert!(o.oom.build_bytes > o.oom.budget, "it did overflow");
+            assert_eq!(o.oom.over, o.oom.build_bytes - o.oom.budget);
+        }
+        let text = r.render();
+        assert!(text.contains("oom recoveries:"));
+        assert!(text.contains("exceeded budget"));
+    }
+
+    #[test]
+    fn workload_render_is_byte_identical_across_identical_seeds() {
+        prop::check(
+            "workload determinism",
+            3,
+            |g| g.gen_range(0..1000u64),
+            |&seed| {
+                let a = run_workload("q2x2,q10", 1, seed, coarse())
+                    .map_err(|e| e.to_string())?
+                    .render();
+                let b = run_workload("q2x2,q10", 1, seed, coarse())
+                    .map_err(|e| e.to_string())?
+                    .render();
+                if a != b {
+                    return Err("same seed produced different reports".to_owned());
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn different_seeds_can_reorder_the_stream() {
+        let orders: Vec<Vec<String>> = (0..6)
+            .map(|seed| {
+                parse_spec("q2x2,q10x2")
+                    .map(|entries| {
+                        let mut stream: Vec<String> = entries
+                            .iter()
+                            .flat_map(|e| {
+                                std::iter::repeat(format!("{:?}", e.query))
+                                    .take(e.repeat as usize)
+                            })
+                            .collect();
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        rng.shuffle(&mut stream);
+                        stream
+                    })
+                    .unwrap()
+            })
+            .collect();
+        assert!(
+            orders.windows(2).any(|w| w[0] != w[1]),
+            "six seeds never changing the order would mean the shuffle is dead"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Golden-file pin for the Chrome `trace_event` exporter.
+//!
+//! A fixed-configuration Q2 run (SF 1, divisor 2000, cold DYNOPT) must
+//! export byte-identically forever: the whole observability stack sits on
+//! the simulated clock, so any drift here means a semantic change leaked
+//! into the tracer, the exporter, or the execution path itself. Regenerate
+//! deliberately with:
+//!
+//! ```text
+//! cargo run -p dyno-bench --bin repro -- trace q2 1 --divisor 2000 \
+//!     > crates/bench/tests/golden/q2_sf1_chrome_trace.json
+//! ```
+
+use dyno_bench::{trace_report, ExpScale};
+use dyno_obs::validate_chrome_trace;
+
+const GOLDEN: &str = include_str!("golden/q2_sf1_chrome_trace.json");
+
+fn fixed_run() -> String {
+    trace_report("q2", 1, ExpScale { divisor: 2000 }).expect("Q2 trace run")
+}
+
+#[test]
+fn q2_chrome_trace_matches_golden_file() {
+    let trace = fixed_run();
+    assert!(
+        trace == GOLDEN,
+        "Chrome trace drifted from the golden file; if the change is \
+         intentional, regenerate it (see module docs). First divergence \
+         at byte {}",
+        trace
+            .bytes()
+            .zip(GOLDEN.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| trace.len().min(GOLDEN.len())),
+    );
+}
+
+#[test]
+fn q2_chrome_trace_is_well_formed_and_balanced() {
+    let summary = validate_chrome_trace(GOLDEN).expect("golden trace parses");
+    assert_eq!(summary.begins, summary.ends, "every B has a matching E");
+    assert!(summary.begins > 0, "trace is not empty");
+    assert!(summary.instants > 0, "instant events present");
+}
+
+#[test]
+fn q2_chrome_trace_is_byte_identical_across_runs() {
+    assert_eq!(fixed_run(), fixed_run());
+}

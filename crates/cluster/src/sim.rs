@@ -59,6 +59,10 @@ pub struct JobProfile {
     pub reduce_tasks: Vec<TaskProfile>,
     /// Total bytes shuffled from mappers to reducers.
     pub shuffle_bytes: u64,
+    /// Total broadcast build-side bytes this job holds in memory (0 for
+    /// repartition/scan jobs). Attached to the job span as the
+    /// `job_memory` event so profiles can attribute OOM recoveries.
+    pub build_bytes: u64,
 }
 
 /// Timing of one simulated job.
@@ -94,6 +98,9 @@ struct Event {
     task_duration: f64,
     /// Remaining retries of the completed task.
     retries_left: u32,
+    /// Resident memory the completed task held (its broadcast build
+    /// side), released when this event fires.
+    task_mem: u64,
 }
 
 impl PartialEq for Event {
@@ -164,14 +171,18 @@ fn extend_wave(
 
 #[derive(Debug)]
 struct JobState {
-    pending_maps: VecDeque<(f64, u32)>, // (duration, retries)
-    pending_reduces: VecDeque<(f64, u32)>,
+    pending_maps: VecDeque<(f64, u32, u64)>, // (duration, retries, mem bytes)
+    pending_reduces: VecDeque<(f64, u32, u64)>,
     maps_ready: bool,
     maps_outstanding: usize,
     reduces_outstanding: usize,
     finished_at: Option<SimTime>,
     map_slot_secs: f64,
     reduce_slot_secs: f64,
+    /// Broadcast-build bytes resident in currently running tasks.
+    mem_in_use: u64,
+    /// High-water mark of `mem_in_use` — the job's per-wave peak memory.
+    peak_mem: u64,
 }
 
 impl JobState {
@@ -300,7 +311,13 @@ impl Cluster {
                 .map_tasks
                 .iter()
                 .enumerate()
-                .map(|(i, t)| (self.task_duration(t) * self.jitter(j, 1, i), t.retries))
+                .map(|(i, t)| {
+                    (
+                        self.task_duration(t) * self.jitter(j, 1, i),
+                        t.retries,
+                        t.setup_bytes,
+                    )
+                })
                 .collect();
             let shuffle_per_reduce = if job.reduce_tasks.is_empty() {
                 0.0
@@ -317,6 +334,7 @@ impl Cluster {
                     (
                         (self.task_duration(t) + shuffle_per_reduce) * self.jitter(j, 2, i),
                         t.retries,
+                        t.setup_bytes,
                     )
                 })
                 .collect();
@@ -329,6 +347,8 @@ impl Cluster {
                 finished_at: None,
                 map_slot_secs: 0.0,
                 reduce_slot_secs: 0.0,
+                mem_in_use: 0,
+                peak_mem: 0,
             });
             events.push(Event {
                 time: submit_time + self.config.job_startup_secs,
@@ -339,6 +359,7 @@ impl Cluster {
                 kind: EventKind::JobReady(j),
                 task_duration: 0.0,
                 retries_left: 0,
+                task_mem: 0,
             });
         }
 
@@ -391,11 +412,14 @@ impl Cluster {
                 }
                 EventKind::MapDone(j) => {
                     self.metrics.observe("cluster.task_secs", ev.task_duration);
+                    states[j].mem_in_use -= ev.task_mem;
                     if ev.retries_left > 0 {
                         // Failed attempt: Hadoop reruns the task from scratch.
-                        states[j]
-                            .pending_maps
-                            .push_back((ev.task_duration, ev.retries_left - 1));
+                        states[j].pending_maps.push_back((
+                            ev.task_duration,
+                            ev.retries_left - 1,
+                            ev.task_mem,
+                        ));
                         states[j].map_slot_secs += ev.task_duration;
                         self.metrics.incr("cluster.tasks_retried", 1);
                         if traced {
@@ -434,10 +458,13 @@ impl Cluster {
                 }
                 EventKind::ReduceDone(j) => {
                     self.metrics.observe("cluster.task_secs", ev.task_duration);
+                    states[j].mem_in_use -= ev.task_mem;
                     if ev.retries_left > 0 {
-                        states[j]
-                            .pending_reduces
-                            .push_back((ev.task_duration, ev.retries_left - 1));
+                        states[j].pending_reduces.push_back((
+                            ev.task_duration,
+                            ev.retries_left - 1,
+                            ev.task_mem,
+                        ));
                         states[j].reduce_slot_secs += ev.task_duration;
                         self.metrics.incr("cluster.tasks_retried", 1);
                         if traced {
@@ -478,13 +505,15 @@ impl Cluster {
                     st.maps_ready && !st.pending_maps.is_empty()
                 });
                 let Some(j) = pick else { break };
-                let (dur, retries) = states[j]
+                let (dur, retries, mem) = states[j]
                     .pending_maps
                     .pop_front()
                     .expect("picked job has pending maps");
                 free_map -= 1;
                 states[j].maps_outstanding += 1;
                 states[j].map_slot_secs += dur;
+                states[j].mem_in_use += mem;
+                states[j].peak_mem = states[j].peak_mem.max(states[j].mem_in_use);
                 seq += 1;
                 events.push(Event {
                     time: now + dur,
@@ -492,6 +521,7 @@ impl Cluster {
                     kind: EventKind::MapDone(j),
                     task_duration: dur,
                     retries_left: retries,
+                    task_mem: mem,
                 });
                 if traced {
                     extend_wave(&self.tracer, &mut map_wave[j], job_spans[j], "map", now, dur);
@@ -505,13 +535,15 @@ impl Cluster {
                         && !st.pending_reduces.is_empty()
                 });
                 let Some(j) = pick else { break };
-                let (dur, retries) = states[j]
+                let (dur, retries, mem) = states[j]
                     .pending_reduces
                     .pop_front()
                     .expect("picked job has pending reduces");
                 free_reduce -= 1;
                 states[j].reduces_outstanding += 1;
                 states[j].reduce_slot_secs += dur;
+                states[j].mem_in_use += mem;
+                states[j].peak_mem = states[j].peak_mem.max(states[j].mem_in_use);
                 seq += 1;
                 events.push(Event {
                     time: now + dur,
@@ -519,6 +551,7 @@ impl Cluster {
                     kind: EventKind::ReduceDone(j),
                     task_duration: dur,
                     retries_left: retries,
+                    task_mem: mem,
                 });
                 if traced {
                     extend_wave(
@@ -533,10 +566,28 @@ impl Cluster {
             }
         }
 
-        if traced {
-            for (j, st) in states.iter().enumerate() {
-                self.tracer
-                    .end_span(job_spans[j], st.finished_at.expect("all jobs finished"));
+        for (j, st) in states.iter().enumerate() {
+            if st.peak_mem > 0 {
+                self.metrics
+                    .observe("cluster.job_peak_mem_bytes", st.peak_mem as f64);
+            }
+            if traced {
+                let finished = st.finished_at.expect("all jobs finished");
+                // Span-scoped memory accounting: broadcast jobs record
+                // their build residency so profiles can say *why* an OOM
+                // recovery fired (which join, how many bytes).
+                if jobs[j].build_bytes > 0 || st.peak_mem > 0 {
+                    self.tracer.event(
+                        job_spans[j],
+                        finished,
+                        "job_memory",
+                        vec![
+                            ("build_bytes", jobs[j].build_bytes.into()),
+                            ("peak_task_mem", st.peak_mem.into()),
+                        ],
+                    );
+                }
+                self.tracer.end_span(job_spans[j], finished);
             }
         }
 
@@ -634,6 +685,7 @@ mod tests {
             map_tasks: vec![map_task(128)],
             reduce_tasks: vec![map_task(64)],
             shuffle_bytes: 50 * 1024 * 1024,
+            ..JobProfile::default()
         };
         let t = cl.run_job(job);
         // startup 15 + map (1 + 1.28) + reduce (1 + 0.64 + shuffle 1.0)
@@ -768,6 +820,7 @@ mod tests {
             map_tasks: vec![map_task(128), flaky, map_task(128)],
             reduce_tasks: vec![map_task(64)],
             shuffle_bytes: 1 << 20,
+            ..JobProfile::default()
         });
         let spans = tracer.spans();
         let job = spans.iter().find(|s| s.kind == SpanKind::Job).unwrap();
@@ -785,6 +838,39 @@ mod tests {
         assert_eq!(metrics.counter("cluster.tasks_retried"), 1);
         let h = metrics.histogram("cluster.task_secs").unwrap();
         assert_eq!(h.count, 5); // every attempt, including the failed one
+    }
+
+    #[test]
+    fn job_memory_event_records_build_and_peak_bytes() {
+        let mut cl = Cluster::new(cfg());
+        let tracer = Tracer::enabled();
+        let metrics = Metrics::enabled();
+        cl.set_obs(tracer.clone(), metrics.clone());
+        // 3 broadcast map tasks, each holding a 10 MB build side; 140
+        // slots, so all three run concurrently → peak = 30 MB.
+        let mut task = map_task(128);
+        task.setup_bytes = 10 << 20;
+        cl.run_job(JobProfile {
+            name: "bcast".into(),
+            map_tasks: vec![task.clone(), task.clone(), task],
+            build_bytes: 10 << 20,
+            ..JobProfile::default()
+        });
+        let evs = tracer.events();
+        let mem = evs.iter().find(|e| e.name == "job_memory").unwrap();
+        assert_eq!(mem.fields[0], ("build_bytes", (10u64 << 20).into()));
+        assert_eq!(mem.fields[1], ("peak_task_mem", (30u64 << 20).into()));
+        let h = metrics.histogram("cluster.job_peak_mem_bytes").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, (30u64 << 20) as f64);
+        // a plain job with no build side emits no job_memory event
+        cl.run_job(JobProfile {
+            name: "plain".into(),
+            map_tasks: vec![map_task(128)],
+            ..JobProfile::default()
+        });
+        let evs = tracer.events();
+        assert_eq!(evs.iter().filter(|e| e.name == "job_memory").count(), 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use dyno_tpch::queries::PreparedQuery;
 use dyno_tpch::catalog_for;
 
 use crate::baseline::{best_static_jaql, execute_jaql_order, relopt_leaf_stats};
-use crate::dynopt::{run_dynopt, Strategy, OPT_SECS_PER_EXPRESSION};
+use crate::dynopt::{run_dynopt, AdaptiveReopt, ReoptPolicy, Strategy, OPT_SECS_PER_EXPRESSION};
 use crate::pilot::{run_pilots, PilotConfig};
 
 /// Everything that can go wrong running a query.
@@ -112,8 +112,24 @@ pub struct DynoOptions {
     /// re-optimization only when an estimate was wrong. `None` reproduces
     /// the paper's evaluated behaviour (re-optimize after every batch).
     pub reopt_threshold: Option<f64>,
+    /// Metrics-driven re-optimization: when set, the threshold adapts to
+    /// the est-vs-actual cardinality stream (tighten on miss, relax on
+    /// hold) instead of staying fixed. Off (`None`) by default; takes
+    /// precedence over `reopt_threshold` when both are set.
+    pub adaptive_reopt: Option<AdaptiveReopt>,
     /// The cost-based optimizer.
     pub optimizer: Optimizer,
+}
+
+impl DynoOptions {
+    /// The re-optimization policy these options select.
+    pub fn reopt_policy(&self) -> ReoptPolicy {
+        match (self.adaptive_reopt, self.reopt_threshold) {
+            (Some(a), _) => ReoptPolicy::Adaptive(a),
+            (None, Some(t)) => ReoptPolicy::Static(t),
+            (None, None) => ReoptPolicy::Always,
+        }
+    }
 }
 
 impl Default for DynoOptions {
@@ -123,6 +139,7 @@ impl Default for DynoOptions {
             pilot: PilotConfig::default(),
             strategy: Strategy::Unc(1), // the winning strategy in Figure 5
             reopt_threshold: None,
+            adaptive_reopt: None,
             optimizer: Optimizer::new(),
         }
     }
@@ -232,7 +249,7 @@ impl Dyno {
                     &self.opts.optimizer,
                     self.opts.strategy,
                     mode == Mode::Dynopt,
-                    self.opts.reopt_threshold,
+                    self.opts.reopt_policy(),
                 )?;
                 (
                     out.final_file,

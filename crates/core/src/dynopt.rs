@@ -69,6 +69,65 @@ impl Strategy {
     }
 }
 
+/// How the re-optimization gate treats estimate accuracy (§5.1, plus the
+/// metrics-driven extension that closes the observability loop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReoptPolicy {
+    /// Re-optimize after every executed batch — DYNOPT as evaluated in
+    /// the paper.
+    Always,
+    /// Conditional: keep the current plan while every executed job's
+    /// observed output cardinality stays within a fixed factor of its
+    /// estimate.
+    Static(f64),
+    /// Metrics-driven: like `Static`, but the factor adapts to the
+    /// est-vs-actual cardinality stream — tightened while estimates miss
+    /// (re-optimize eagerly when the stats are off), relaxed once they
+    /// hold (back off and save optimizer calls).
+    Adaptive(AdaptiveReopt),
+}
+
+impl ReoptPolicy {
+    /// The threshold in force before any feedback. `None` means
+    /// "estimates never hold" — the always-re-optimize default.
+    fn initial_threshold(&self) -> Option<f64> {
+        match self {
+            ReoptPolicy::Always => None,
+            ReoptPolicy::Static(t) => Some(*t),
+            ReoptPolicy::Adaptive(a) => Some(a.initial),
+        }
+    }
+}
+
+/// Parameters of the adaptive threshold controller: multiplicative
+/// tighten-on-miss / relax-on-hold with clamping, the classic AIMD-style
+/// feedback loop applied to the §5.1 re-optimization factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveReopt {
+    /// Threshold before any cardinality feedback arrives.
+    pub initial: f64,
+    /// Tightest the threshold may get (floor after repeated misses).
+    pub min: f64,
+    /// Loosest the threshold may get (cap after repeated holds).
+    pub max: f64,
+    /// Multiplier (< 1) applied when an estimate missed.
+    pub tighten: f64,
+    /// Multiplier (> 1) applied when every estimate in the batch held.
+    pub relax: f64,
+}
+
+impl Default for AdaptiveReopt {
+    fn default() -> Self {
+        AdaptiveReopt {
+            initial: 0.25,
+            min: 0.05,
+            max: 2.0,
+            tighten: 0.5,
+            relax: 2.0,
+        }
+    }
+}
+
 /// Result of driving a join block to completion.
 #[derive(Debug)]
 pub struct DynoptOutcome {
@@ -135,13 +194,18 @@ fn job_subtree(job: &JobNode) -> Option<PhysNode> {
 ///
 /// * `reoptimize = false` — DYNOPT-SIMPLE: the first plan executes
 ///   wholesale, with no statistics collection.
-/// * `reoptimize = true, reopt_threshold = None` — DYNOPT as evaluated in
-///   the paper: re-optimize after every executed job batch.
-/// * `reoptimize = true, reopt_threshold = Some(t)` — the conditional
-///   variant the paper sketches in §5.1: keep executing the current plan
-///   while every executed job's observed output cardinality stays within
-///   a factor `t` of its estimate, and pay for re-optimization only when
-///   an estimate was wrong (which is when a new plan can differ).
+/// * `reoptimize = true, policy = ReoptPolicy::Always` — DYNOPT as
+///   evaluated in the paper: re-optimize after every executed job batch.
+/// * `reoptimize = true, policy = ReoptPolicy::Static(t)` — the
+///   conditional variant the paper sketches in §5.1: keep executing the
+///   current plan while every executed job's observed output cardinality
+///   stays within a factor `t` of its estimate, and pay for
+///   re-optimization only when an estimate was wrong (which is when a new
+///   plan can differ).
+/// * `reoptimize = true, policy = ReoptPolicy::Adaptive(..)` — the same
+///   gate, but the factor follows the est-vs-actual stream: each miss
+///   tightens it, each fully-held batch relaxes it (`reopt_threshold`
+///   events record the trajectory).
 pub fn run_dynopt(
     exec: &Executor,
     cluster: &mut Cluster,
@@ -149,12 +213,13 @@ pub fn run_dynopt(
     optimizer: &Optimizer,
     strategy: Strategy,
     reoptimize: bool,
-    reopt_threshold: Option<f64>,
+    policy: ReoptPolicy,
 ) -> Result<DynoptOutcome, DynoError> {
     // Local copy: broadcast-OOM recovery tightens its memory budget.
     let mut optimizer = optimizer.clone();
     let tracer = cluster.tracer().clone();
     let traced = tracer.is_enabled();
+    let mut threshold = policy.initial_threshold();
     let mut plans = Vec::new();
     let mut plan_trees = Vec::new();
     let mut optimize_secs = 0.0;
@@ -296,8 +361,38 @@ pub fn run_dynopt(
                                 ],
                             );
                         }
-                        if reoptimize && !out.leaves_estimate_held(&optimizer, block, &stats, &dag, reopt_threshold) {
-                            replan = true;
+                        if reoptimize {
+                            let held = out.leaves_estimate_held(
+                                &optimizer, block, &stats, &dag, threshold,
+                            );
+                            if !held {
+                                replan = true;
+                            }
+                            // Adaptive feedback: learn only from batches
+                            // with real statistics (`collect`), never from
+                            // the stat-less final job.
+                            if let ReoptPolicy::Adaptive(a) = policy {
+                                if collect {
+                                    let t = threshold.unwrap_or(a.initial);
+                                    let new_t = if held {
+                                        (t * a.relax).min(a.max)
+                                    } else {
+                                        (t * a.tighten).max(a.min)
+                                    };
+                                    threshold = Some(new_t);
+                                    if traced {
+                                        tracer.event(
+                                            cluster.trace_scope(),
+                                            cluster.now(),
+                                            "reopt_threshold",
+                                            vec![
+                                                ("held", u64::from(held).into()),
+                                                ("threshold", new_t.into()),
+                                            ],
+                                        );
+                                    }
+                                }
+                            }
                         }
                         done.insert(out.job_id);
                         outputs.insert(out.job_id, out);
@@ -400,6 +495,26 @@ pub(crate) fn oom_recover(
     let penalty = cfg.job_startup_secs + oom.build_bytes as f64 / cfg.disk_bytes_per_sec;
     cluster.advance(penalty);
     cluster.metrics().incr("core.oom_recoveries", 1);
+    if cluster.tracer().is_enabled() {
+        // Span-scoped memory attribution: which join OOMed, which build
+        // side, and by how much — what `QueryProfile` and the workload
+        // report surface as the *why* behind each recovery.
+        let (side, side_bytes) = oom.worst_side();
+        let tracer = cluster.tracer().clone();
+        tracer.event(
+            cluster.trace_scope(),
+            cluster.now(),
+            "oom_recovery",
+            vec![
+                ("job", oom.job.clone().into()),
+                ("build_bytes", oom.build_bytes.into()),
+                ("budget", oom.budget.into()),
+                ("over", oom.build_bytes.saturating_sub(oom.budget).into()),
+                ("build_side", side.into()),
+                ("build_side_bytes", side_bytes.into()),
+            ],
+        );
+    }
     *retries += 1;
     if *retries >= 5 {
         // Estimates are so wrong (e.g. a zero-byte estimate for a
@@ -443,7 +558,16 @@ mod tests {
         let (exec, mut cluster, mut block) = setup(q);
         run_pilots(&exec, &mut cluster, &block, &PilotConfig::default()).unwrap();
         let opt = Optimizer::new();
-        let out = run_dynopt(&exec, &mut cluster, &mut block, &opt, strategy, reopt, None).unwrap();
+        let out = run_dynopt(
+            &exec,
+            &mut cluster,
+            &mut block,
+            &opt,
+            strategy,
+            reopt,
+            ReoptPolicy::Always,
+        )
+        .unwrap();
         (out, 0)
     }
 
@@ -493,7 +617,7 @@ mod tests {
         // With a generous threshold, DYNOPT re-plans only when an
         // estimate was wrong — so it calls the optimizer at most as often
         // as the unconditional variant, while producing the same answer.
-        let run_with = |threshold: Option<f64>| {
+        let run_with = |policy: ReoptPolicy| {
             let (exec, mut cluster, mut block) = setup(QueryId::Q8Prime);
             run_pilots(&exec, &mut cluster, &block, &PilotConfig::default()).unwrap();
             let opt = Optimizer::new();
@@ -504,12 +628,12 @@ mod tests {
                 &opt,
                 Strategy::Unc(1),
                 true,
-                threshold,
+                policy,
             )
             .unwrap()
         };
-        let always = run_with(None);
-        let conditional = run_with(Some(0.5));
+        let always = run_with(ReoptPolicy::Always);
+        let conditional = run_with(ReoptPolicy::Static(0.5));
         assert_eq!(always.rows, conditional.rows);
         assert!(
             conditional.plans.len() <= always.plans.len(),
@@ -518,6 +642,73 @@ mod tests {
             always.plans.len()
         );
         assert!(conditional.optimize_secs <= always.optimize_secs + 1e-9);
+    }
+
+    #[test]
+    fn adaptive_policy_agrees_and_never_replans_more_than_always() {
+        let run_with = |policy: ReoptPolicy| {
+            let (exec, mut cluster, mut block) = setup(QueryId::Q8Prime);
+            run_pilots(&exec, &mut cluster, &block, &PilotConfig::default()).unwrap();
+            let opt = Optimizer::new();
+            run_dynopt(
+                &exec,
+                &mut cluster,
+                &mut block,
+                &opt,
+                Strategy::Unc(1),
+                true,
+                policy,
+            )
+            .unwrap()
+        };
+        let always = run_with(ReoptPolicy::Always);
+        let adaptive = run_with(ReoptPolicy::Adaptive(AdaptiveReopt::default()));
+        // Adaptive gating can only *skip* re-optimizations relative to
+        // the unconditional loop; the answer must be identical.
+        assert_eq!(always.rows, adaptive.rows);
+        assert!(
+            adaptive.plans.len() <= always.plans.len(),
+            "adaptive {} > always {}",
+            adaptive.plans.len(),
+            always.plans.len()
+        );
+        assert!(adaptive.optimize_secs <= always.optimize_secs + 1e-9);
+    }
+
+    #[test]
+    fn adaptive_policy_records_threshold_trajectory() {
+        let (exec, mut cluster, mut block) = setup(QueryId::Q8Prime);
+        let tracer = dyno_obs::Tracer::enabled();
+        cluster.set_obs(tracer.clone(), dyno_obs::Metrics::enabled());
+        run_pilots(&exec, &mut cluster, &block, &PilotConfig::default()).unwrap();
+        let opt = Optimizer::new();
+        let a = AdaptiveReopt::default();
+        run_dynopt(
+            &exec,
+            &mut cluster,
+            &mut block,
+            &opt,
+            Strategy::Unc(1),
+            true,
+            ReoptPolicy::Adaptive(a),
+        )
+        .unwrap();
+        let evs = tracer.events();
+        let thresholds: Vec<f64> = evs
+            .iter()
+            .filter(|e| e.name == "reopt_threshold")
+            .filter_map(|e| match e.fields.iter().find(|(k, _)| *k == "threshold") {
+                Some((_, dyno_obs::FieldValue::F64(t))) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !thresholds.is_empty(),
+            "adaptive runs must record their threshold trajectory"
+        );
+        for t in &thresholds {
+            assert!(*t >= a.min - 1e-12 && *t <= a.max + 1e-12, "threshold {t}");
+        }
     }
 
     #[test]
@@ -530,7 +721,7 @@ mod tests {
             &Optimizer::new(),
             Strategy::Unc(1),
             true,
-            None,
+            ReoptPolicy::Always,
         )
         .unwrap_err();
         assert!(matches!(err, DynoError::MissingLeafStats(_)));

@@ -27,6 +27,6 @@ pub mod oracle;
 pub mod pilot;
 
 pub use dyno::{Dyno, DynoError, DynoOptions, Mode, QueryReport};
-pub use dynopt::Strategy;
+pub use dynopt::{AdaptiveReopt, ReoptPolicy, Strategy};
 pub use oracle::Oracle;
 pub use pilot::{PilotConfig, PilotOutcome, PilrMode};

@@ -271,6 +271,7 @@ pub fn run_pilots(
                 map_tasks: tasks,
                 reduce_tasks: Vec::new(),
                 shuffle_bytes: 0,
+                build_bytes: 0,
             },
         ));
     }

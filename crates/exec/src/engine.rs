@@ -40,11 +40,15 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Dfs(e) => write!(f, "{e}"),
-            ExecError::Oom(o) => write!(
-                f,
-                "broadcast OOM in job {}: build side {} bytes exceeds budget {}",
-                o.job, o.build_bytes, o.budget
-            ),
+            ExecError::Oom(o) => {
+                let (side, bytes) = o.worst_side();
+                write!(
+                    f,
+                    "broadcast OOM in job {}: build side {} bytes exceeds budget {} \
+                     (largest build: {side} at {bytes} bytes)",
+                    o.job, o.build_bytes, o.budget
+                )
+            }
             ExecError::OutOfOrderJob { job } => {
                 write!(f, "job {job} executed out of order: its output is not available")
             }
@@ -498,6 +502,7 @@ impl Executor {
             map_tasks,
             reduce_tasks,
             shuffle_bytes: shuffle,
+            build_bytes: 0,
         }
     }
 }

@@ -59,6 +59,20 @@ pub struct BroadcastOom {
     pub build_bytes: u64,
     /// The memory budget they had to fit into.
     pub budget: u64,
+    /// Per-build-side breakdown `(leaf name, simulated bytes)`, largest
+    /// first — which join input actually blew the budget.
+    pub build_sides: Vec<(String, u64)>,
+}
+
+impl BroadcastOom {
+    /// The largest build side, the usual culprit (`("?", 0)` if the
+    /// breakdown is somehow empty).
+    pub fn worst_side(&self) -> (&str, u64) {
+        self.build_sides
+            .first()
+            .map(|(n, b)| (n.as_str(), *b))
+            .unwrap_or(("?", 0))
+    }
 }
 
 /// Join key: the tuple of join-attribute values. `None` when any
@@ -350,6 +364,7 @@ pub fn run_repartition(
             map_tasks,
             reduce_tasks,
             shuffle_bytes,
+            build_bytes: 0,
         },
         stats,
         candidates,
@@ -375,6 +390,7 @@ pub fn run_broadcast_chain(
     // estimate said they fit; reality decides).
     let mut build_records: Vec<Vec<Value>> = Vec::with_capacity(builds.len());
     let mut build_tasks: Vec<TaskProfile> = Vec::new();
+    let mut build_sides: Vec<(String, u64)> = Vec::with_capacity(builds.len());
     let mut total_build_sim_bytes = 0u64;
     let mut total_build_sim_records = 0u64;
     for (input, _) in builds {
@@ -382,6 +398,11 @@ pub fn run_broadcast_chain(
         if s.scale.factor() > out_scale.factor() {
             out_scale = s.scale;
         }
+        let label = match input.leaf {
+            Some(leaf_id) => block.leaves[leaf_id].name.clone(),
+            None => "intermediate".to_owned(),
+        };
+        build_sides.push((label, s.out_sim_bytes));
         total_build_sim_bytes += s.out_sim_bytes;
         total_build_sim_records += s.out_sim_records;
         build_tasks.extend(s.tasks);
@@ -389,10 +410,13 @@ pub fn run_broadcast_chain(
     }
     let budget = cfg.broadcast_budget_bytes();
     if total_build_sim_bytes > budget {
+        // Largest side first: the attribution profiles lead with it.
+        build_sides.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         return Err(BroadcastOom {
             job: name.to_owned(),
             build_bytes: total_build_sim_bytes,
             budget,
+            build_sides,
         });
     }
     metrics.incr("exec.broadcast_build_bytes", total_build_sim_bytes);
@@ -501,6 +525,7 @@ pub fn run_broadcast_chain(
             map_tasks,
             reduce_tasks: Vec::new(),
             shuffle_bytes: 0,
+            build_bytes: total_build_sim_bytes,
         },
         stats,
         candidates,
@@ -531,6 +556,7 @@ pub fn run_scan(
             map_tasks: tasks,
             reduce_tasks: Vec::new(),
             shuffle_bytes: 0,
+            build_bytes: 0,
         },
         stats,
         candidates: 0,

@@ -1,0 +1,663 @@
+//! Chrome `trace_event`-format JSON export of a [`Tracer`] log.
+//!
+//! [`Tracer::to_chrome_trace`] serializes the span tree and the point
+//! events into the JSON Array Format understood by `chrome://tracing` and
+//! Perfetto: every span becomes a `"ph":"B"` / `"ph":"E"` pair and every
+//! point event a `"ph":"i"` (instant, thread-scoped) marker, all
+//! timestamped in microseconds of *simulated* time. The JSON is
+//! hand-rolled (the workspace is hermetic — no serde), with full string
+//! escaping, and inherits the determinism contract of
+//! [`Tracer::render`]: identical executions produce byte-identical
+//! output.
+//!
+//! Spans in the log form a tree, but the trace-event format nests by
+//! `(pid, tid)` stack discipline, so the exporter assigns each span a
+//! *lane* (emitted as `tid`): a child reuses its parent's lane while
+//! children are sequential, and overlapping siblings (concurrent jobs,
+//! task waves) spill onto the lowest lane that is free at their start
+//! time. Within one lane spans are properly nested or disjoint by
+//! construction, so the `B`/`E` events on every lane balance — which
+//! [`validate_chrome_trace`] checks, and CI relies on. Spans still open
+//! at export time are closed at the log's maximum timestamp.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{FieldValue, Span, SpanId, Tracer, NO_SPAN};
+
+/// Escape `s` as the body of a JSON string literal (no surrounding
+/// quotes): `"` and `\` are backslash-escaped, control characters use the
+/// short forms (`\n`, `\t`, ...) or `\u00XX`, and everything else —
+/// including non-ASCII — passes through as raw UTF-8.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON rendering of a field value. Non-finite floats have no JSON number
+/// form, so they degrade to strings rather than emitting invalid JSON.
+fn field_json(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(x) => format!("{x}"),
+        FieldValue::F64(x) if x.is_finite() => format!("{x}"),
+        FieldValue::F64(x) => format!("\"{x}\""),
+        FieldValue::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+/// Simulated seconds → trace-event microseconds, in the deterministic
+/// shortest-roundtrip form.
+fn micros(t: f64) -> String {
+    format!("{}", t * 1e6)
+}
+
+/// Assign each span (given in id order) a lane such that spans sharing a
+/// lane are properly nested or disjoint. Children prefer the parent's
+/// lane (valid while siblings are sequential); overlapping spans take the
+/// lowest lane free at their start.
+fn assign_lanes(spans: &[Span], log_end: f64) -> Vec<u64> {
+    let idx_of_id: BTreeMap<SpanId, usize> =
+        spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by(|&a, &b| {
+        spans[a]
+            .start
+            .total_cmp(&spans[b].start)
+            .then(spans[a].id.cmp(&spans[b].id))
+    });
+    let mut lane = vec![0u64; spans.len()];
+    let mut placed = vec![false; spans.len()];
+    // Per-lane time up to which the lane is reserved.
+    let mut lane_free_at: Vec<f64> = Vec::new();
+    // Per-parent: end of the last child placed on the parent's own lane.
+    let mut last_child_end: BTreeMap<SpanId, f64> = BTreeMap::new();
+    for &i in &order {
+        let s = &spans[i];
+        let end = s.end.unwrap_or(log_end).max(s.start);
+        let mut chosen = None;
+        if s.parent != NO_SPAN {
+            if let Some(&pi) = idx_of_id.get(&s.parent) {
+                if placed[pi] {
+                    let busy_until = last_child_end
+                        .get(&s.parent)
+                        .copied()
+                        .unwrap_or(f64::NEG_INFINITY);
+                    if busy_until <= s.start {
+                        chosen = Some(lane[pi] as usize);
+                        last_child_end.insert(s.parent, end);
+                    }
+                }
+            }
+        }
+        let l = chosen.unwrap_or_else(|| {
+            match lane_free_at.iter().position(|&f| f <= s.start) {
+                Some(l) => l,
+                None => {
+                    lane_free_at.push(f64::NEG_INFINITY);
+                    lane_free_at.len() - 1
+                }
+            }
+        });
+        if l >= lane_free_at.len() {
+            lane_free_at.resize(l + 1, f64::NEG_INFINITY);
+        }
+        lane_free_at[l] = lane_free_at[l].max(end);
+        lane[i] = l as u64;
+        placed[i] = true;
+    }
+    lane
+}
+
+impl Tracer {
+    /// Export the whole log in Chrome `trace_event` JSON Array Format
+    /// (loadable in `chrome://tracing` / Perfetto). One record per line;
+    /// records are ordered by `(timestamp, phase, tiebreak)` with `E`
+    /// before `B` before `i` at equal timestamps, so the per-lane `B`/`E`
+    /// stacks always balance. Byte-identical across identical executions.
+    pub fn to_chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let events = self.events();
+        let log_end = spans
+            .iter()
+            .map(|s| s.end.unwrap_or(s.start))
+            .chain(events.iter().map(|e| e.time))
+            .fold(0.0_f64, f64::max);
+        let lanes = assign_lanes(&spans, log_end);
+        let lane_of_id: BTreeMap<SpanId, u64> = spans
+            .iter()
+            .zip(lanes.iter())
+            .map(|(s, &l)| (s.id, l))
+            .collect();
+
+        struct Rec {
+            ts: f64,
+            rank: u8, // E=0, B=1, i=2 at equal timestamps
+            tie: u64,
+            json: String,
+        }
+        let mut recs: Vec<Rec> = Vec::with_capacity(spans.len() * 2 + events.len());
+        for (s, &lane) in spans.iter().zip(lanes.iter()) {
+            let end = s.end.unwrap_or(log_end).max(s.start);
+            recs.push(Rec {
+                ts: s.start,
+                rank: 1,
+                tie: s.id, // parents open before children
+                json: format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\
+                     \"tid\":{},\"args\":{{\"span\":{},\"parent\":{}}}}}",
+                    json_escape(&s.name),
+                    s.kind.label(),
+                    micros(s.start),
+                    lane,
+                    s.id,
+                    s.parent
+                ),
+            });
+            recs.push(Rec {
+                ts: end,
+                rank: 0,
+                tie: u64::MAX - s.id, // children close before parents
+                json: format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\
+                     \"tid\":{}}}",
+                    json_escape(&s.name),
+                    s.kind.label(),
+                    micros(end),
+                    lane
+                ),
+            });
+        }
+        for e in &events {
+            let lane = lane_of_id.get(&e.span).copied().unwrap_or(0);
+            let mut args = format!("\"span\":{}", e.span);
+            for (k, v) in &e.fields {
+                args.push_str(&format!(",\"{}\":{}", json_escape(k), field_json(v)));
+            }
+            recs.push(Rec {
+                ts: e.time,
+                rank: 2,
+                tie: e.seq,
+                json: format!(
+                    "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\
+                     \"tid\":{},\"s\":\"t\",\"args\":{{{}}}}}",
+                    json_escape(&e.name),
+                    micros(e.time),
+                    lane,
+                    args
+                ),
+            });
+        }
+        recs.sort_by(|a, b| {
+            a.ts.total_cmp(&b.ts)
+                .then(a.rank.cmp(&b.rank))
+                .then(a.tie.cmp(&b.tie))
+        });
+
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, r) in recs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&r.json);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// What [`validate_chrome_trace`] found in a well-formed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Number of `"ph":"B"` records.
+    pub begins: usize,
+    /// Number of `"ph":"E"` records.
+    pub ends: usize,
+    /// Number of `"ph":"i"` records.
+    pub instants: usize,
+}
+
+/// Check that `s` is well-formed JSON in the shape
+/// [`Tracer::to_chrome_trace`] emits: a top-level object with a
+/// `traceEvents` array whose records carry known phases, globally
+/// non-decreasing timestamps, and — per `(pid, tid)` lane — balanced,
+/// name-matched `B`/`E` stacks. Used by tests and CI; the parser is a
+/// self-contained recursive-descent JSON reader (hermetic build, no
+/// serde).
+pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let top = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    let Json::Obj(top) = top else {
+        return Err("top level is not an object".to_owned());
+    };
+    let Some(Json::Arr(records)) = get(&top, "traceEvents") else {
+        return Err("no traceEvents array".to_owned());
+    };
+    let mut summary = ChromeTraceSummary {
+        begins: 0,
+        ends: 0,
+        instants: 0,
+    };
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut prev_ts = f64::NEG_INFINITY;
+    for (i, rec) in records.iter().enumerate() {
+        let Json::Obj(o) = rec else {
+            return Err(format!("record {i} is not an object"));
+        };
+        let ph = match get(o, "ph") {
+            Some(Json::Str(ph)) => ph.as_str(),
+            _ => return Err(format!("record {i} has no \"ph\"")),
+        };
+        let ts = match get(o, "ts") {
+            Some(Json::Num(ts)) => *ts,
+            _ => return Err(format!("record {i} has no numeric \"ts\"")),
+        };
+        if ts < prev_ts {
+            return Err(format!("record {i}: timestamp {ts} goes backwards"));
+        }
+        prev_ts = ts;
+        let num = |key: &str| match get(o, key) {
+            Some(Json::Num(n)) => *n as u64,
+            _ => 0,
+        };
+        let lane = (num("pid"), num("tid"));
+        let name = match get(o, "name") {
+            Some(Json::Str(n)) => Some(n.clone()),
+            _ => None,
+        };
+        match ph {
+            "B" => {
+                summary.begins += 1;
+                let name = name.ok_or_else(|| format!("record {i}: B without name"))?;
+                stacks.entry(lane).or_default().push(name);
+            }
+            "E" => {
+                summary.ends += 1;
+                let open = stacks
+                    .entry(lane)
+                    .or_default()
+                    .pop()
+                    .ok_or_else(|| format!("record {i}: E with no open B on {lane:?}"))?;
+                if let Some(name) = name {
+                    if name != open {
+                        return Err(format!(
+                            "record {i}: E named {name:?} closes B named {open:?}"
+                        ));
+                    }
+                }
+            }
+            "i" => summary.instants += 1,
+            other => return Err(format!("record {i}: unexpected phase {other:?}")),
+        }
+    }
+    for (lane, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "lane {lane:?} ends with {} unclosed B record(s): {stack:?}",
+                stack.len()
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+/// Minimal JSON value for validation.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b' ' | b'\t' | b'\n' | b'\r')
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Result<u8, String> {
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_owned())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().unwrap_or(0) as char
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => return Err(format!("expected ',' or '}}', found {:?}", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(format!("expected ',' or ']', found {:?}", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let b = self.peek()?;
+            self.pos += 1;
+            match b {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|e| format!("invalid UTF-8: {e}"))
+                }
+                b'\\' => {
+                    let esc = self.peek()?;
+                    self.pos += 1;
+                    let c = match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'b' => '\u{8}',
+                        b'f' => '\u{c}',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        b'u' => self.unicode_escape()?,
+                        c => return Err(format!("bad escape \\{}", c as char)),
+                    };
+                    let mut buf = [0u8; 4];
+                    out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                }
+                c if c < 0x20 => {
+                    return Err(format!("raw control byte {c:#x} in string"));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        let code = if (0xd800..0xdc00).contains(&hi) {
+            // high surrogate: a \uXXXX low surrogate must follow
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
+            {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if !(0xdc00..0xe000).contains(&lo) {
+                    return Err(format!("bad low surrogate {lo:#x}"));
+                }
+                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+            } else {
+                return Err("lone high surrogate".to_owned());
+            }
+        } else {
+            hi
+        };
+        char::from_u32(code).ok_or_else(|| format!("invalid code point {code:#x}"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek()?;
+            self.pos += 1;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| format!("bad hex digit {:?}", b as char))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanKind;
+
+    #[test]
+    fn json_escape_covers_special_and_control_chars() {
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape(r"a\b"), r"a\\b");
+        assert_eq!(json_escape("a\nb\tc\rd"), r"a\nb\tc\rd");
+        assert_eq!(json_escape("\u{8}\u{c}"), r"\b\f");
+        assert_eq!(json_escape("\u{1}\u{1f}"), "\\u0001\\u001f");
+        // non-ASCII passes through as raw UTF-8
+        assert_eq!(json_escape("λ—名前"), "λ—名前");
+    }
+
+    #[test]
+    fn escaped_names_roundtrip_through_the_validator() {
+        let t = Tracer::enabled();
+        let name = "job \"weird\\name\"\n\twith λ—名前 and \u{1} ctrl";
+        let s = t.start_span(NO_SPAN, SpanKind::Job, name, 0.0);
+        t.event(
+            s,
+            0.5,
+            "fields \"too\"",
+            vec![
+                ("s", FieldValue::Str("a\\\"b\u{2}".to_owned())),
+                ("n", FieldValue::U64(7)),
+                ("f", FieldValue::F64(0.1 + 0.2)),
+            ],
+        );
+        t.end_span(s, 1.0);
+        let json = t.to_chrome_trace();
+        let summary = validate_chrome_trace(&json).expect("valid JSON");
+        assert_eq!(
+            summary,
+            ChromeTraceSummary {
+                begins: 1,
+                ends: 1,
+                instants: 1
+            }
+        );
+        // the validator decodes escapes, so a successful parse plus a
+        // name-matched E proves the escaping round-trips
+        assert!(json.contains(r#"\"weird\\name\""#), "{json}");
+        assert!(json.contains("\\u0001"), "{json}");
+    }
+
+    #[test]
+    fn empty_log_exports_valid_json() {
+        let t = Tracer::enabled();
+        let summary = validate_chrome_trace(&t.to_chrome_trace()).unwrap();
+        assert_eq!(summary.begins, 0);
+        assert_eq!(summary.ends, 0);
+        let d = Tracer::disabled();
+        validate_chrome_trace(&d.to_chrome_trace()).unwrap();
+    }
+
+    #[test]
+    fn overlapping_siblings_get_distinct_lanes_and_balance() {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        let p = t.start_span(q, SpanKind::Phase, "execute", 0.0);
+        // two overlapping jobs, then one sequential job after both
+        let j1 = t.start_span(p, SpanKind::Job, "j1", 1.0);
+        let j2 = t.start_span(p, SpanKind::Job, "j2", 2.0);
+        t.event(j2, 2.5, "task_done", vec![("wave", FieldValue::U64(1))]);
+        t.end_span(j1, 4.0);
+        t.end_span(j2, 5.0);
+        let j3 = t.start_span(p, SpanKind::Job, "j3", 5.0);
+        t.end_span(j3, 6.0);
+        t.end_span(p, 6.0);
+        t.end_span(q, 7.0);
+        let json = t.to_chrome_trace();
+        let summary = validate_chrome_trace(&json).expect("valid + balanced");
+        assert_eq!(summary.begins, 5);
+        assert_eq!(summary.ends, 5);
+        assert_eq!(summary.instants, 1);
+        // j1 nests on the shared lane; the overlapping j2 spills elsewhere
+        let lanes = assign_lanes(&t.spans(), 7.0);
+        assert_eq!(lanes[0], lanes[1]); // q and its only phase child share
+        assert_eq!(lanes[1], lanes[2]); // j1 fits inside the phase lane
+        assert_ne!(lanes[2], lanes[3]); // j2 overlaps j1 → new lane
+        assert_eq!(lanes[2], lanes[4]); // j3 starts after j2 ends → reuse
+    }
+
+    #[test]
+    fn open_spans_are_closed_at_log_end() {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        t.event(q, 3.0, "last", vec![]);
+        // q never ended; the E record must appear at the log max (3.0s)
+        let json = t.to_chrome_trace();
+        validate_chrome_trace(&json).expect("balanced despite open span");
+        assert!(json.contains("\"ph\":\"E\",\"ts\":3000000"), "{json}");
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_identical_logs() {
+        let mk = || {
+            let t = Tracer::enabled();
+            let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+            let j = t.start_span(q, SpanKind::Job, "j", 0.25);
+            t.event(j, 0.5, "e", vec![("secs", FieldValue::F64(1.0 / 3.0))]);
+            t.end_span(j, 0.75);
+            t.end_span(q, 1.0);
+            t.to_chrome_trace()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_and_unbalanced_input() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[}").is_err());
+        // unbalanced: B without E
+        let r = validate_chrome_trace(
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":0}]}",
+        );
+        assert!(r.is_err(), "{r:?}");
+        // E closing a differently-named B
+        let r = validate_chrome_trace(
+            "{\"traceEvents\":[\
+             {\"name\":\"x\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":0},\
+             {\"name\":\"y\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":0}]}",
+        );
+        assert!(r.is_err(), "{r:?}");
+        // timestamps must not go backwards
+        let r = validate_chrome_trace(
+            "{\"traceEvents\":[\
+             {\"name\":\"x\",\"ph\":\"B\",\"ts\":5,\"pid\":1,\"tid\":0},\
+             {\"name\":\"x\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":0}]}",
+        );
+        assert!(r.is_err(), "{r:?}");
+    }
+}

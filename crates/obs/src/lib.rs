@@ -25,12 +25,14 @@
 //! what lets [`profile::QueryProfile`] reconcile bit-for-bit with the
 //! Figure 4 overhead math (asserted in `dyno-core`'s tests).
 
+pub mod chrome;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
-pub use metrics::Metrics;
-pub use profile::QueryProfile;
+pub use chrome::{json_escape, validate_chrome_trace, ChromeTraceSummary};
+pub use metrics::{Histogram, Metrics};
+pub use profile::{descends_from, OomRecovery, QueryProfile};
 pub use trace::{Event, FieldValue, Span, SpanId, SpanKind, Tracer};
 
 /// The pair of handles a component needs to be observable. Cloning clones

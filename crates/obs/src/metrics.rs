@@ -16,10 +16,13 @@ use dyno_common::Mutex;
 /// Number of histogram buckets: decades from `1e-3` up, plus overflow.
 const HIST_BUCKETS: usize = 16;
 
-/// A fixed-bucket histogram over decades: bucket `i` counts observations
-/// in `[1e-3 * 10^i, 1e-3 * 10^(i+1))`, with underflow folded into bucket
-/// 0 and overflow into the last bucket. Good enough for task durations
-/// (seconds) and byte counts alike without any configuration.
+/// A fixed-bucket histogram over decades. Buckets are left-closed: bucket
+/// `i` counts observations in `[bucket_lo(i), bucket_lo(i+1))`, so a value
+/// exactly on a boundary lands in the bucket that boundary *opens*.
+/// Underflow (anything below `bucket_lo(1)`, including zero, negatives,
+/// and NaN) folds into bucket 0; anything at or above `bucket_lo(15)`
+/// folds into the last bucket. Good enough for task durations (seconds)
+/// and byte counts alike without any configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     /// Per-bucket observation counts.
@@ -31,18 +34,32 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn bucket_of(value: f64) -> usize {
-        if !(value > 1e-3) {
-            return 0;
+    /// Bucket index for `value`. Compares against the same `bucket_lo`
+    /// values `render` prints, rather than taking a log, so boundary
+    /// values are deterministic: `bucket_of(bucket_lo(i)) == i` exactly.
+    pub fn bucket_of(value: f64) -> usize {
+        let mut i = 0;
+        while i + 1 < HIST_BUCKETS && value >= Self::bucket_lo(i + 1) {
+            i += 1;
         }
-        let idx = (value / 1e-3).log10().floor() as i64;
-        idx.clamp(0, HIST_BUCKETS as i64 - 1) as usize
+        i
     }
 
-    fn observe(&mut self, value: f64) {
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
         self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
         self.sum += value;
+    }
+
+    /// Fold `other` into `self` bucket-by-bucket (used by the workload
+    /// report to combine per-query latency histograms).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
     }
 
     /// Lower bound of bucket `i`.
@@ -219,6 +236,40 @@ mod tests {
         assert_eq!(Histogram::bucket_of(0.05), 1);
         assert_eq!(Histogram::bucket_of(2.0), 3);
         assert_eq!(Histogram::bucket_of(1e30), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_boundaries_are_deterministic() {
+        // Buckets are left-closed: a value exactly on bucket_lo(i) lands
+        // in bucket i — including 1.0, which a float log10 would misplace.
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_lo(i)), i, "lo({i})");
+        }
+        assert_eq!(Histogram::bucket_of(1.0), 3);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_of(-4.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::INFINITY), HIST_BUCKETS - 1);
+        // Above-max overflow folds into the last bucket, deterministically.
+        assert_eq!(
+            Histogram::bucket_of(Histogram::bucket_lo(HIST_BUCKETS - 1)),
+            HIST_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets_count_and_sum() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.observe(2.0);
+        a.observe(0.05);
+        b.observe(2.0);
+        b.observe(1e30);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 2.0 + 0.05 + 2.0 + 1e30);
+        assert_eq!(a.buckets[Histogram::bucket_of(2.0)], 2);
+        assert_eq!(a.buckets[1], 1);
+        assert_eq!(a.buckets[HIST_BUCKETS - 1], 1);
     }
 
     #[test]

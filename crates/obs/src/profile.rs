@@ -34,6 +34,48 @@ pub struct JobProfile {
     pub reduce_waves: usize,
     /// Total tasks completed (map + reduce, including retries).
     pub tasks: u64,
+    /// Broadcast build bytes resident for the whole job (0 for
+    /// repartition/scan jobs), from the job's `job_memory` event.
+    pub build_bytes: u64,
+    /// Peak concurrent task-resident memory the simulator observed.
+    pub peak_mem: u64,
+}
+
+/// One broadcast-OOM recovery extracted from an `oom_recovery` event:
+/// which job hit its memory budget, which build side was largest, and by
+/// how many bytes the build exceeded the budget.
+#[derive(Debug, Clone)]
+pub struct OomRecovery {
+    /// Job whose broadcast build overflowed.
+    pub job: String,
+    /// Name of the largest build side (leaf name or `intermediate`).
+    pub build_side: String,
+    /// Bytes of that largest build side.
+    pub build_side_bytes: u64,
+    /// Total broadcast build bytes the job required.
+    pub build_bytes: u64,
+    /// Broadcast memory budget in force when the OOM fired.
+    pub budget: u64,
+    /// Bytes over budget (`build_bytes - budget`).
+    pub over: u64,
+}
+
+impl OomRecovery {
+    /// Decode an `oom_recovery` event (as emitted by the DYNOPT loop).
+    /// Returns `None` for any other event name.
+    pub fn from_event(e: &Event) -> Option<OomRecovery> {
+        if e.name != "oom_recovery" {
+            return None;
+        }
+        Some(OomRecovery {
+            job: field_str(e, "job").unwrap_or("?").to_owned(),
+            build_side: field_str(e, "build_side").unwrap_or("?").to_owned(),
+            build_side_bytes: field_u64(e, "build_side_bytes").unwrap_or(0),
+            build_bytes: field_u64(e, "build_bytes").unwrap_or(0),
+            budget: field_u64(e, "budget").unwrap_or(0),
+            over: field_u64(e, "over").unwrap_or(0),
+        })
+    }
 }
 
 /// Estimated-vs-actual cardinality for one executed join job.
@@ -68,6 +110,9 @@ pub struct QueryProfile {
     pub jobs: Vec<JobProfile>,
     /// Join cardinality comparisons in record order.
     pub cardinalities: Vec<JoinCardinality>,
+    /// Broadcast-OOM recoveries in record order — WHY each recovery
+    /// fired: which join, which build side, bytes over budget.
+    pub ooms: Vec<OomRecovery>,
 }
 
 fn field_f64(e: &Event, key: &str) -> Option<f64> {
@@ -93,7 +138,7 @@ fn field_str<'a>(e: &'a Event, key: &str) -> Option<&'a str> {
 }
 
 /// True iff `id`'s ancestor chain reaches `root`.
-fn descends_from(spans: &[Span], mut id: SpanId, root: SpanId) -> bool {
+pub fn descends_from(spans: &[Span], mut id: SpanId, root: SpanId) -> bool {
     while id != 0 {
         if id == root {
             return true;
@@ -135,6 +180,7 @@ impl QueryProfile {
         let mut optimize_secs = 0.0;
         let mut reopt_checks = 0;
         let mut cardinalities = Vec::new();
+        let mut ooms = Vec::new();
         for e in &events {
             match e.name.as_str() {
                 "phase_secs" => {
@@ -146,6 +192,7 @@ impl QueryProfile {
                     }
                 }
                 "reopt_decision" => reopt_checks += 1,
+                "oom_recovery" => ooms.extend(OomRecovery::from_event(e)),
                 "job_cardinality" => {
                     cardinalities.push(JoinCardinality {
                         job: field_str(e, "job").unwrap_or("?").to_owned(),
@@ -181,6 +228,9 @@ impl QueryProfile {
                 .filter(|e| e.span == js.id && e.name == "task_done")
                 .map(|e| field_u64(e, "tasks").unwrap_or(1))
                 .sum();
+            let mem = events
+                .iter()
+                .find(|e| e.span == js.id && e.name == "job_memory");
             jobs.push(JobProfile {
                 name: js.name.clone(),
                 start: js.start,
@@ -188,6 +238,8 @@ impl QueryProfile {
                 map_waves,
                 reduce_waves,
                 tasks,
+                build_bytes: mem.and_then(|e| field_u64(e, "build_bytes")).unwrap_or(0),
+                peak_mem: mem.and_then(|e| field_u64(e, "peak_task_mem")).unwrap_or(0),
             });
         }
 
@@ -200,6 +252,7 @@ impl QueryProfile {
             reopt_checks,
             jobs,
             cardinalities,
+            ooms,
         })
     }
 
@@ -244,8 +297,13 @@ impl QueryProfile {
                 secs(self.total_secs)
             ));
             for j in &self.jobs {
+                let mem = if j.peak_mem > 0 || j.build_bytes > 0 {
+                    format!("  mem peak={} build={}", j.peak_mem, j.build_bytes)
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "  {:<28} {:>8} -> {:>8}  waves {}m/{}r  tasks {:>4}  |{}|\n",
+                    "  {:<28} {:>8} -> {:>8}  waves {}m/{}r  tasks {:>4}  |{}|{mem}\n",
                     j.name,
                     secs(j.start),
                     secs(j.end),
@@ -268,6 +326,16 @@ impl QueryProfile {
                 out.push_str(&format!(
                     "  {:<28} est {:>14.0}  actual {:>12}  est/actual {ratio:.2}\n",
                     c.job, c.est_rows, c.actual_rows
+                ));
+            }
+        }
+
+        if !self.ooms.is_empty() {
+            out.push_str("oom recoveries:\n");
+            for o in &self.ooms {
+                out.push_str(&format!(
+                    "  {}: build side {} at {} bytes (total build {}) exceeded budget {} by {}\n",
+                    o.job, o.build_side, o.build_side_bytes, o.build_bytes, o.budget, o.over
                 ));
             }
         }
@@ -369,6 +437,52 @@ mod tests {
         let rendered = p.render();
         assert!(rendered.ends_with("overhead-total: total=50.0s pilot=16.0% reopt=1.0%\n"));
         assert!(rendered.contains("join1"));
+    }
+
+    #[test]
+    fn profile_attributes_memory_and_oom_recoveries() {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q9", 0.0);
+        let exec = t.start_span(q, SpanKind::Phase, "execute", 0.0);
+        let job = t.start_span(exec, SpanKind::Job, "bjoin", 0.0);
+        t.event(
+            job,
+            20.0,
+            "job_memory",
+            vec![("build_bytes", 4096u64.into()), ("peak_task_mem", 8192u64.into())],
+        );
+        t.end_span(job, 20.0);
+        t.event(
+            exec,
+            20.0,
+            "oom_recovery",
+            vec![
+                ("job", "bjoin".into()),
+                ("build_bytes", 4096u64.into()),
+                ("budget", 1024u64.into()),
+                ("over", 3072u64.into()),
+                ("build_side", "lineitem".into()),
+                ("build_side_bytes", 4000u64.into()),
+            ],
+        );
+        t.end_span(exec, 20.0);
+        t.end_span(q, 20.0);
+
+        let p = QueryProfile::build(&t).unwrap();
+        assert_eq!(p.jobs.len(), 1);
+        assert_eq!(p.jobs[0].build_bytes, 4096);
+        assert_eq!(p.jobs[0].peak_mem, 8192);
+        assert_eq!(p.ooms.len(), 1);
+        let o = &p.ooms[0];
+        assert_eq!(o.job, "bjoin");
+        assert_eq!(o.build_side, "lineitem");
+        assert_eq!(o.build_side_bytes, 4000);
+        assert_eq!(o.over, 3072);
+        let rendered = p.render();
+        assert!(rendered.contains("mem peak=8192 build=4096"));
+        assert!(rendered.contains(
+            "bjoin: build side lineitem at 4000 bytes (total build 4096) exceeded budget 1024 by 3072"
+        ));
     }
 
     #[test]
