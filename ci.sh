@@ -14,6 +14,11 @@
 #      (the workload report is deterministic byte-for-byte; the Chrome
 #      trace exporter is pinned the same way by the golden-file test in
 #      crates/bench/tests/chrome_golden.rs, which step 2 runs).
+#   6. concurrent workload smoke check: a fixed-seed 3-query stream on
+#      ONE shared cluster (`--concurrent`) must reproduce the committed
+#      `concurrent makespan:` summary line *exactly* — pinning the open
+#      scheduler, the resumable query drivers, and the seeded arrival
+#      stream in one line.
 #
 # The build is hermetic: every dependency is a path crate inside this
 # repository, so everything below runs with --offline and no registry.
@@ -118,6 +123,21 @@ ref=$(grep '^workload metastore hit-rate: ' repro_output.txt | head -1) ||
     { echo "FAIL: no workload hit-rate line in repro_output.txt"; exit 1; }
 if [ "$got" != "$ref" ]; then
     echo "FAIL: workload hit-rate drifted:"
+    echo "  got: $got"
+    echo "  ref: $ref"
+    exit 1
+fi
+echo "ok: $got matches reference exactly"
+
+echo "== repro concurrent workload smoke check (fixed-seed stream vs repro_output.txt) =="
+concurrent_out=$(cargo run --release --offline -p dyno-bench --bin repro -- \
+    workload q2,q7,q9 100 --seed 7 --divisor 200000 --concurrent)
+got=$(echo "$concurrent_out" | grep '^concurrent makespan: ') ||
+    { echo "FAIL: concurrent workload report has no makespan line"; exit 1; }
+ref=$(grep '^concurrent makespan: ' repro_output.txt | head -1) ||
+    { echo "FAIL: no concurrent makespan line in repro_output.txt"; exit 1; }
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: concurrent workload drifted:"
     echo "  got: $got"
     echo "  ref: $ref"
     exit 1

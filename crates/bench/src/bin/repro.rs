@@ -24,19 +24,23 @@ use std::env;
 use std::process::ExitCode;
 
 use dyno_bench::{
-    ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, profile_report, reopt_ab,
-    run_workload, table1, trace_report, BenchError, ExpScale,
+    ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, parse_sched, profile_report, reopt_ab,
+    run_concurrent_workload, run_workload, table1, trace_report, BenchError, ConcurrentOptions,
+    ExpScale,
 };
 
 const USAGE: &str = "usage: repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablations|reopt_ab] [--divisor N]
        repro profile <query> <sf> [--divisor N]
        repro trace <query> <sf> [--divisor N]
        repro workload <spec> <sf> [--seed N] [--divisor N]
+                      [--concurrent [--arrival-mean S] [--sched fifo|fair]]
 
 queries:  q2 q5 q7 q8_prime q9_prime q10 q1_restaurant
 workload: comma-separated entries of the form name[@mode][xN],
           e.g. 'q2x3,q8_prime@relopt,q10@simplex2'
-modes:    dynopt (default) | simple | relopt | beststatic | jaql";
+modes:    dynopt (default) | simple | relopt | beststatic | jaql
+concurrent: run the stream on ONE shared cluster with seeded arrival
+          offsets (--arrival-mean, default 30s) under --sched (fifo)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -54,12 +58,16 @@ struct Cli {
     positional: Vec<String>,
     divisor: u64,
     seed: u64,
+    concurrent: bool,
+    workload_opts: ConcurrentOptions,
 }
 
 fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
     let mut positional = Vec::new();
     let mut divisor = 50_000u64;
     let mut seed = 0u64;
+    let mut concurrent = false;
+    let mut workload_opts = ConcurrentOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -75,11 +83,40 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
             "--seed" => {
                 seed = parse_flag_value(it.next(), "--seed", "an unsigned integer")?;
             }
+            "--concurrent" => concurrent = true,
+            "--arrival-mean" => {
+                let raw = it.next().ok_or_else(|| BenchError::BadArg {
+                    arg: "--arrival-mean".to_owned(),
+                    expected: "a non-negative number of seconds".to_owned(),
+                })?;
+                workload_opts.arrival_mean = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|m| m.is_finite() && *m >= 0.0)
+                    .ok_or_else(|| BenchError::BadArg {
+                        arg: "--arrival-mean".to_owned(),
+                        expected: "a non-negative number of seconds".to_owned(),
+                    })?;
+            }
+            "--sched" => {
+                let raw = it.next().map(String::as_str).unwrap_or("");
+                workload_opts.sched =
+                    parse_sched(raw).ok_or_else(|| BenchError::BadArg {
+                        arg: "--sched".to_owned(),
+                        expected: "fifo or fair".to_owned(),
+                    })?;
+            }
             "--help" | "-h" => return Ok(None),
             other => positional.push(other.to_owned()),
         }
     }
-    Ok(Some(Cli { positional, divisor, seed }))
+    Ok(Some(Cli {
+        positional,
+        divisor,
+        seed,
+        concurrent,
+        workload_opts,
+    }))
 }
 
 fn parse_flag_value(
@@ -134,7 +171,13 @@ fn run(args: &[String]) -> Result<(), BenchError> {
         "workload" => {
             let spec = positional(&cli, 1, "<spec>")?;
             let sf = parse_sf(&cli, 2)?;
-            print!("{}", run_workload(spec, sf, cli.seed, scale)?.render());
+            if cli.concurrent {
+                let report =
+                    run_concurrent_workload(spec, sf, cli.seed, scale, cli.workload_opts)?;
+                print!("{}", report.render());
+            } else {
+                print!("{}", run_workload(spec, sf, cli.seed, scale)?.render());
+            }
             return Ok(());
         }
         _ => {}

@@ -22,6 +22,8 @@ pub enum BenchError {
     QueryFailed { query: String, message: String },
     /// Tracing was expected but the tracer recorded no query span.
     EmptyTrace,
+    /// The exported Chrome trace failed validation — an exporter bug.
+    InvalidTrace(String),
 }
 
 impl fmt::Display for BenchError {
@@ -41,6 +43,9 @@ impl fmt::Display for BenchError {
                 write!(f, "{query} failed: {message}")
             }
             BenchError::EmptyTrace => write!(f, "tracer recorded no query span"),
+            BenchError::InvalidTrace(why) => {
+                write!(f, "exported Chrome trace failed validation: {why}")
+            }
         }
     }
 }

@@ -23,4 +23,7 @@ pub use experiments::{
 };
 pub use profile::{profile_report, trace_report};
 pub use render::render_table;
-pub use workload::{parse_spec, run_workload, run_workload_on, WorkloadReport};
+pub use workload::{
+    parse_sched, parse_spec, run_concurrent_workload, run_concurrent_workload_on, run_workload,
+    run_workload_on, ConcurrentOptions, ConcurrentReport, WorkloadReport,
+};

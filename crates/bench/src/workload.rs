@@ -27,10 +27,12 @@
 //! * per-OOM memory attributions: for every broadcast-OOM recovery,
 //!   which query, which job, which build side, and bytes over budget.
 
-use dyno_cluster::ClusterConfig;
+use std::collections::BTreeSet;
+
+use dyno_cluster::{Cluster, ClusterConfig, JobHandle, SchedPolicy};
 use dyno_common::{Rng, SeedableRng, StdRng};
-use dyno_core::{Mode, Strategy};
-use dyno_obs::{descends_from, Histogram, Obs, OomRecovery, SpanKind};
+use dyno_core::{DriverPoll, Mode, QueryDriver, Strategy};
+use dyno_obs::{descends_from, validate_chrome_trace, Histogram, Obs, OomRecovery, SpanKind};
 use dyno_tpch::queries::{self, QueryId};
 
 use crate::error::BenchError;
@@ -446,6 +448,395 @@ impl WorkloadReport {
     }
 }
 
+/// Knobs for the concurrent workload runner.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentOptions {
+    /// Mean inter-arrival gap in simulated seconds (exponential-ish,
+    /// seeded). `0.0` submits every query at t=0.
+    pub arrival_mean: f64,
+    /// Cross-job slot scheduling policy on the shared cluster.
+    pub sched: SchedPolicy,
+}
+
+impl Default for ConcurrentOptions {
+    fn default() -> Self {
+        ConcurrentOptions {
+            arrival_mean: 30.0,
+            sched: SchedPolicy::Fifo,
+        }
+    }
+}
+
+/// Per-query row of a concurrent stream: when it arrived, how long it
+/// took, and how much of that was spent waiting for the cluster.
+#[derive(Debug, Clone)]
+pub struct ConcurrentQueryReport {
+    /// 1-based position in the (shuffled) stream.
+    pub index: usize,
+    /// Display label, e.g. `Q7 (DYNOPT)`.
+    pub label: String,
+    /// Simulated arrival time.
+    pub arrival_secs: f64,
+    /// Arrival-to-answer latency (includes every wait).
+    pub latency_secs: f64,
+    /// Summed queue delay of this query's jobs: time each job's first
+    /// task waited behind *other* jobs for a free slot.
+    pub queue_delay_secs: f64,
+    /// Summed per-task slot wait across this query's jobs.
+    pub slot_wait_secs: f64,
+    /// Jobs the query submitted.
+    pub jobs: usize,
+}
+
+/// The result of one shared-clock concurrent stream.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    /// Scale factor.
+    pub sf: u64,
+    /// Shuffle + arrival seed.
+    pub seed: u64,
+    /// Runner knobs the stream ran with.
+    pub opts: ConcurrentOptions,
+    /// Per-query rows, in stream order.
+    pub runs: Vec<ConcurrentQueryReport>,
+    /// First arrival to last answer on the shared clock.
+    pub makespan_secs: f64,
+    /// Sum of per-query latencies — what a back-to-back serial client
+    /// would experience if each query cost its concurrent latency.
+    pub serial_sum_secs: f64,
+    /// Final metastore counters (shared store, so cross-query reuse).
+    pub hits: u64,
+    /// Final metastore miss counter.
+    pub misses: u64,
+    /// The whole stream as ONE Chrome trace: one named pid lane per
+    /// query. Validated before this report is returned.
+    pub trace_json: String,
+    /// Number of named pid lanes in the trace (== number of queries).
+    pub trace_processes: usize,
+}
+
+fn sched_name(s: SchedPolicy) -> &'static str {
+    match s {
+        SchedPolicy::Fifo => "fifo",
+        SchedPolicy::Fair => "fair",
+    }
+}
+
+/// Parse a `--sched` value.
+pub fn parse_sched(s: &str) -> Option<SchedPolicy> {
+    match s.to_ascii_lowercase().as_str() {
+        "fifo" => Some(SchedPolicy::Fifo),
+        "fair" => Some(SchedPolicy::Fair),
+        _ => None,
+    }
+}
+
+/// What one in-flight query is waiting for on the shared clock.
+enum Wait {
+    /// Ready to poll right away.
+    Poll,
+    /// Waiting on these cluster jobs.
+    Jobs(Vec<JobHandle>),
+    /// Client-side work (optimizer call, OOM penalty) until this time.
+    Time(f64),
+}
+
+/// One stream slot: a query that has not arrived, is running, or is done.
+enum Slot {
+    Pending {
+        arrival: f64,
+        query: QueryId,
+        mode: Mode,
+    },
+    Running {
+        arrival: f64,
+        label: String,
+        driver: Box<QueryDriver>,
+        wait: Wait,
+        jobs: BTreeSet<JobHandle>,
+    },
+    Finished {
+        row: ConcurrentQueryReport,
+    },
+}
+
+/// Run the workload concurrently: every query in the stream shares ONE
+/// simulated cluster and clock, arriving at seeded offsets, so queries
+/// genuinely contend for map/reduce slots and overlap their idle phases.
+pub fn run_concurrent_workload(
+    spec: &str,
+    sf: u64,
+    seed: u64,
+    scale: ExpScale,
+    opts: ConcurrentOptions,
+) -> Result<ConcurrentReport, BenchError> {
+    run_concurrent_workload_on(spec, sf, seed, scale, ClusterConfig::paper(), opts)
+}
+
+/// [`run_concurrent_workload`] on an explicit base cluster configuration
+/// (the runner overrides its scheduler policy from `opts`).
+pub fn run_concurrent_workload_on(
+    spec: &str,
+    sf: u64,
+    seed: u64,
+    scale: ExpScale,
+    cluster_cfg: ClusterConfig,
+    opts: ConcurrentOptions,
+) -> Result<ConcurrentReport, BenchError> {
+    let entries = parse_spec(spec)?;
+    let mut stream: Vec<(QueryId, Mode)> = entries
+        .iter()
+        .flat_map(|e| std::iter::repeat((e.query, e.mode)).take(e.repeat as usize))
+        .collect();
+    // Same shuffle as the serial runner, then arrival gaps from the same
+    // seeded generator: (spec, sf, seed, arrival_mean, sched) fully
+    // determines the stream.
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.shuffle(&mut stream);
+    let mut arrivals = Vec::with_capacity(stream.len());
+    let mut t = 0.0f64;
+    for i in 0..stream.len() {
+        if i > 0 && opts.arrival_mean > 0.0 {
+            // Exponential inter-arrival gaps: u ∈ [0, 1) keeps ln finite.
+            let u = rng.next_f64();
+            t += -opts.arrival_mean * (1.0 - u).ln();
+        }
+        arrivals.push(t);
+    }
+
+    let mut d = make_dyno(
+        sf,
+        scale,
+        ClusterConfig {
+            scheduler: opts.sched,
+            ..cluster_cfg
+        },
+        Strategy::Unc(1),
+    );
+    d.obs = Obs::enabled();
+    let mut cluster = Cluster::new(d.opts.cluster.clone());
+    cluster.set_obs(d.obs.tracer.clone(), d.obs.metrics.clone());
+
+    let label = |q: QueryId, m: Mode| format!("{} ({})", queries::prepare(q).spec.name, m.name());
+    let mut slots: Vec<Slot> = stream
+        .iter()
+        .zip(arrivals.iter())
+        .map(|(&(q, m), &arrival)| Slot::Pending {
+            arrival,
+            query: q,
+            mode: m,
+        })
+        .collect();
+
+    loop {
+        let mut progressed = false;
+        for i in 0..slots.len() {
+            // Promote arrived queries to live drivers.
+            if let Slot::Pending { arrival, query, mode } = slots[i] {
+                if cluster.now() >= arrival {
+                    let prepared = queries::prepare(query);
+                    let name = label(query, mode);
+                    let driver = QueryDriver::new(&d, &prepared, mode, &mut cluster).map_err(
+                        |e| BenchError::QueryFailed {
+                            query: name.clone(),
+                            message: e.to_string(),
+                        },
+                    )?;
+                    slots[i] = Slot::Running {
+                        arrival,
+                        label: name,
+                        driver: Box::new(driver),
+                        wait: Wait::Poll,
+                        jobs: BTreeSet::new(),
+                    };
+                }
+            }
+            let Slot::Running { arrival, label, driver, wait, jobs } = &mut slots[i] else {
+                continue;
+            };
+            let ready = match wait {
+                Wait::Poll => true,
+                Wait::Jobs(handles) => handles.iter().all(|&h| cluster.is_done(h)),
+                Wait::Time(until) => cluster.now() >= *until,
+            };
+            if !ready {
+                continue;
+            }
+            progressed = true;
+            match driver.poll(&mut cluster) {
+                Ok(DriverPoll::NeedJobs(handles)) => {
+                    jobs.extend(handles.iter().copied());
+                    *wait = Wait::Jobs(handles);
+                }
+                Ok(DriverPoll::Reoptimizing { until }) => *wait = Wait::Time(until),
+                Ok(DriverPoll::Done(report)) => {
+                    let (queue_delay_secs, slot_wait_secs) = jobs
+                        .iter()
+                        .filter_map(|&h| cluster.timing(h))
+                        .fold((0.0, 0.0), |(q, s), t| {
+                            (q + t.queue_delay, s + t.slot_wait_secs)
+                        });
+                    slots[i] = Slot::Finished {
+                        row: ConcurrentQueryReport {
+                            index: i + 1,
+                            label: std::mem::take(label),
+                            arrival_secs: *arrival,
+                            latency_secs: report.total_secs,
+                            queue_delay_secs,
+                            slot_wait_secs,
+                            jobs: jobs.len(),
+                        },
+                    };
+                }
+                Err(e) => {
+                    return Err(BenchError::QueryFailed {
+                        query: label.clone(),
+                        message: e.to_string(),
+                    })
+                }
+            }
+        }
+        if slots.iter().all(|s| matches!(s, Slot::Finished { .. })) {
+            break;
+        }
+        if progressed {
+            continue;
+        }
+        // Nothing pollable: advance the shared clock to the next thing
+        // that can happen — a cluster event, an arrival, or a client-side
+        // wait expiring — whichever is earliest.
+        let t_wake = slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Pending { arrival, .. } => Some(*arrival),
+                Slot::Running { wait: Wait::Time(until), .. } => Some(*until),
+                _ => None,
+            })
+            .fold(f64::INFINITY, f64::min);
+        match cluster.next_event_time() {
+            Some(te) if te <= t_wake => {
+                cluster.step();
+            }
+            _ => {
+                assert!(
+                    t_wake.is_finite(),
+                    "concurrent runner stalled: queries waiting on jobs but the \
+                     cluster has no events, arrivals, or timed waits"
+                );
+                cluster.run_until_time(t_wake);
+            }
+        }
+    }
+
+    let mut runs = Vec::with_capacity(slots.len());
+    for s in slots {
+        let Slot::Finished { row } = s else {
+            unreachable!("loop exits only when every slot is finished")
+        };
+        runs.push(row);
+    }
+    let makespan_secs = cluster.now();
+    let serial_sum_secs = runs.iter().map(|r| r.latency_secs).sum();
+
+    // The whole stream is ONE trace: each query's root span became its
+    // own named pid lane. Validate before handing it out — per-pid B/E
+    // balance and one process_name per query are hard invariants.
+    let trace_json = d.obs.tracer.to_chrome_trace();
+    let summary =
+        validate_chrome_trace(&trace_json).map_err(BenchError::InvalidTrace)?;
+    if summary.processes != runs.len() {
+        return Err(BenchError::InvalidTrace(format!(
+            "{} queries but {} named pid lanes",
+            runs.len(),
+            summary.processes
+        )));
+    }
+
+    Ok(ConcurrentReport {
+        sf,
+        seed,
+        opts,
+        runs,
+        makespan_secs,
+        serial_sum_secs,
+        hits: d.obs.metrics.counter("metastore.hits"),
+        misses: d.obs.metrics.counter("metastore.misses"),
+        trace_json,
+        trace_processes: summary.processes,
+    })
+}
+
+impl ConcurrentReport {
+    /// The machine-parseable line `ci.sh` diffs against
+    /// `repro_output.txt`: exact makespan and total queueing delay.
+    pub fn summary_line(&self) -> String {
+        let queue: f64 = self.runs.iter().map(|r| r.queue_delay_secs).sum();
+        format!(
+            "concurrent makespan: {:.3}s  serial-sum: {:.3}s  queue-delay-total: {:.3}s",
+            self.makespan_secs, self.serial_sum_secs, queue
+        )
+    }
+
+    /// Render the full deterministic text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== concurrent workload: {} queries, SF={}, seed={}, sched={}, arrival-mean={}s ==\n",
+            self.runs.len(),
+            self.sf,
+            self.seed,
+            sched_name(self.opts.sched),
+            self.opts.arrival_mean,
+        ));
+        out.push_str(&format!(
+            "  {:>2}  {:<24} {:>10} {:>10} {:>12} {:>11} {:>5}\n",
+            "#", "query", "arrival", "latency", "queue-delay", "slot-wait", "jobs"
+        ));
+        let secs = |x: f64| format!("{x:.1}s");
+        for r in &self.runs {
+            out.push_str(&format!(
+                "  {:>2}. {:<24} {:>9} {:>10} {:>12} {:>11} {:>5}\n",
+                r.index,
+                r.label,
+                secs(r.arrival_secs),
+                secs(r.latency_secs),
+                secs(r.queue_delay_secs),
+                secs(r.slot_wait_secs),
+                r.jobs,
+            ));
+        }
+        let speedup = if self.makespan_secs > 0.0 {
+            self.serial_sum_secs / self.makespan_secs
+        } else {
+            1.0
+        };
+        out.push_str(&format!(
+            "stream makespan {} vs serial sum {} (overlap x{speedup:.2})\n",
+            secs(self.makespan_secs),
+            secs(self.serial_sum_secs),
+        ));
+        let lookups = self.hits + self.misses;
+        let rate = if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        };
+        out.push_str(&format!(
+            "metastore: {}/{} hits ({})\n",
+            self.hits,
+            lookups,
+            pct(rate)
+        ));
+        out.push_str(&format!(
+            "chrome trace: {} named pid lanes, balanced (validated)\n",
+            self.trace_processes
+        ));
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,6 +934,143 @@ mod tests {
                     .render();
                 if a != b {
                     return Err("same seed produced different reports".to_owned());
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn concurrent_stream_overlaps_and_attributes_waits() {
+        let r = run_concurrent_workload(
+            "q2,q7,q10",
+            1,
+            7,
+            coarse(),
+            ConcurrentOptions {
+                arrival_mean: 5.0,
+                sched: SchedPolicy::Fifo,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.runs.len(), 3);
+        assert_eq!(r.trace_processes, 3, "one named pid lane per query");
+        // With 5s mean gaps and multi-minute queries the stream overlaps:
+        // the shared clock beats running the same latencies back to back.
+        assert!(
+            r.makespan_secs < r.serial_sum_secs,
+            "makespan {} vs serial sum {}",
+            r.makespan_secs,
+            r.serial_sum_secs
+        );
+        // Arrivals are the seeded offsets, in stream order.
+        assert_eq!(r.runs[0].arrival_secs, 0.0);
+        for w in r.runs.windows(2) {
+            assert!(w[1].arrival_secs >= w[0].arrival_secs);
+        }
+        for run in &r.runs {
+            assert!(run.jobs > 0, "{} ran no jobs", run.label);
+            assert!(run.latency_secs > 0.0);
+            assert!(run.queue_delay_secs >= 0.0);
+            assert!(run.slot_wait_secs >= 0.0);
+        }
+        let text = r.render();
+        assert!(text.contains("== concurrent workload:"));
+        assert!(text.contains("queue-delay"));
+        assert!(
+            text.lines().last().unwrap().starts_with("concurrent makespan: "),
+            "last line is the ci.sh diff line"
+        );
+        // The single exported trace passes validation (checked inside the
+        // runner too, but assert the report carries the real JSON).
+        let summary = validate_chrome_trace(&r.trace_json).unwrap();
+        assert_eq!(summary.processes, 3);
+        assert_eq!(summary.begins, summary.ends);
+    }
+
+    #[test]
+    fn concurrent_all_at_time_zero_contends_hardest() {
+        // arrival_mean = 0: every query arrives at t=0 and fights for
+        // slots immediately; someone must queue behind someone else.
+        // SF100 at the coarse divisor keeps jobs big enough to contend.
+        let r = run_concurrent_workload(
+            "q2,q7,q10",
+            100,
+            3,
+            coarse(),
+            ConcurrentOptions {
+                arrival_mean: 0.0,
+                sched: SchedPolicy::Fifo,
+            },
+        )
+        .unwrap();
+        assert!(r.runs.iter().all(|x| x.arrival_secs == 0.0));
+        assert!(
+            r.runs.iter().any(|x| x.queue_delay_secs > 0.0),
+            "simultaneous arrivals must produce queueing"
+        );
+    }
+
+    #[test]
+    fn concurrent_fair_scheduling_runs_the_same_stream() {
+        let mk = |sched| {
+            run_concurrent_workload(
+                "q2,q10x2",
+                1,
+                11,
+                coarse(),
+                ConcurrentOptions {
+                    arrival_mean: 2.0,
+                    sched,
+                },
+            )
+            .unwrap()
+        };
+        let fifo = mk(SchedPolicy::Fifo);
+        let fair = mk(SchedPolicy::Fair);
+        // Same stream, same arrivals — only the slot-grant order differs.
+        for (a, b) in fifo.runs.iter().zip(fair.runs.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.arrival_secs.to_bits(), b.arrival_secs.to_bits());
+        }
+        assert_eq!(fifo.trace_processes, fair.trace_processes);
+    }
+
+    /// Satellite: concurrent workload reports (and the single stream
+    /// trace) are byte-identical across identical seeds.
+    #[test]
+    fn concurrent_report_is_byte_identical_across_identical_seeds() {
+        prop::check(
+            "concurrent workload determinism",
+            3,
+            |g| {
+                (
+                    g.gen_range(0..1000u64),
+                    if g.gen_bool(0.5) { SchedPolicy::Fifo } else { SchedPolicy::Fair },
+                )
+            },
+            |&(seed, sched)| {
+                let run_once = || {
+                    run_concurrent_workload(
+                        "q2,q10x2",
+                        1,
+                        seed,
+                        coarse(),
+                        ConcurrentOptions {
+                            arrival_mean: 5.0,
+                            sched,
+                        },
+                    )
+                    .map_err(|e| e.to_string())
+                    .map(|r| (r.render(), r.trace_json))
+                };
+                let (report_a, trace_a) = run_once()?;
+                let (report_b, trace_b) = run_once()?;
+                if report_a != report_b {
+                    return Err("same seed produced different reports".to_owned());
+                }
+                if trace_a != trace_b {
+                    return Err("same seed produced different traces".to_owned());
                 }
                 Ok(())
             },

@@ -2,21 +2,30 @@
 //!
 //! `dyno-exec` performs the real record processing, then summarizes each
 //! MapReduce job as a [`JobProfile`] (per-task byte and record volumes at
-//! the *simulated* scale). [`Cluster::run_jobs`] plays those profiles
-//! through a FIFO slot scheduler with a virtual clock, reproducing the
-//! timing phenomena the paper's experiments hinge on:
+//! the *simulated* scale). The cluster is an **open** scheduler: jobs are
+//! submitted at any simulated time with [`Cluster::submit_job`], live in
+//! one persistent event heap, and share the cluster's slots with every
+//! other in-flight job — whoever submitted them. Callers drive the clock
+//! with [`Cluster::step`], [`Cluster::run_until_time`], or
+//! [`Cluster::run_until_done`]; [`Cluster::run_jobs`] remains as the
+//! closed-batch compatibility wrapper (submit all, run to completion)
+//! used by single-query paths.
+//!
+//! The simulation reproduces the timing phenomena the paper's experiments
+//! hinge on:
 //!
 //! * **job startup latency** (~15 s, §4.2) — why PILR_MT submits all pilot
 //!   jobs at once while PILR_ST pays startup once per relation;
 //! * **map/reduce waves** — tasks queue for the cluster's 140/84 slots;
-//! * **concurrent jobs** — bushy-plan leaf jobs share slots under FIFO
-//!   (§5.3), so parallel submission helps utilization but is not free;
+//! * **concurrent jobs** — bushy-plan leaf jobs *and* jobs from other
+//!   concurrently running queries share slots under FIFO or fair
+//!   scheduling (§5.3), so parallel submission helps utilization but is
+//!   not free;
 //! * **shuffle cost** — repartition joins move both inputs over the
 //!   network; broadcast joins don't (§2.2.1).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use dyno_obs::trace::NO_SPAN;
 use dyno_obs::{Metrics, SpanId, SpanKind, Tracer};
@@ -25,6 +34,10 @@ use crate::config::{ClusterConfig, SchedulerPolicy};
 
 /// Simulated time in seconds since cluster creation.
 pub type SimTime = f64;
+
+/// Scheduling-policy knob, re-exported under the name the workload
+/// runner uses (`--sched fifo|fair`).
+pub type SchedPolicy = SchedulerPolicy;
 
 /// Resource profile of one task at simulated scale.
 #[derive(Debug, Clone, Default)]
@@ -65,6 +78,12 @@ pub struct JobProfile {
     pub build_bytes: u64,
 }
 
+/// Handle to a job accepted by [`Cluster::submit_job`]. Globally unique
+/// for the lifetime of the cluster; stays valid after the job finishes
+/// (its [`JobTiming`] is kept and reachable via [`Cluster::timing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobHandle(pub u64);
+
 /// Timing of one simulated job.
 #[derive(Debug, Clone)]
 pub struct JobTiming {
@@ -80,13 +99,23 @@ pub struct JobTiming {
     pub map_slot_secs: f64,
     /// Total reduce-slot busy seconds consumed.
     pub reduce_slot_secs: f64,
+    /// Time between the job becoming runnable (submission + startup) and
+    /// its first task launching — the wait behind *other* jobs' tasks for
+    /// a first free slot. Zero for jobs with no tasks and for jobs that
+    /// launch immediately.
+    pub queue_delay: f64,
+    /// Cumulative slot wait: for every task launch, the time between its
+    /// phase becoming runnable (job ready for maps, map-phase barrier for
+    /// reduces) and the slot grant. Grows with both intrinsic waves and
+    /// cross-job contention.
+    pub slot_wait_secs: f64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
-    JobReady(usize),
-    MapDone(usize),
-    ReduceDone(usize),
+    JobReady(u64),
+    MapDone(u64),
+    ReduceDone(u64),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -126,21 +155,19 @@ impl Ord for Event {
 
 /// Pick the next job to receive a free slot among those satisfying
 /// `eligible`, per the scheduling policy: FIFO takes the earliest
-/// submission, Fair the job with the fewest tasks currently running.
+/// submission (lowest job id), Fair the job with the fewest tasks
+/// currently running.
 fn next_job(
-    states: &[JobState],
+    states: &BTreeMap<u64, JobState>,
     policy: SchedulerPolicy,
     eligible: impl Fn(&JobState) -> bool,
-) -> Option<usize> {
-    let candidates = states
-        .iter()
-        .enumerate()
-        .filter(|(_, st)| !st.is_done() && eligible(st));
+) -> Option<u64> {
+    let candidates = states.iter().filter(|(_, st)| eligible(st));
     match policy {
-        SchedulerPolicy::Fifo => candidates.map(|(j, _)| j).next(),
+        SchedulerPolicy::Fifo => candidates.map(|(&id, _)| id).next(),
         SchedulerPolicy::Fair => candidates
-            .min_by_key(|(j, st)| (st.maps_outstanding + st.reduces_outstanding, *j))
-            .map(|(j, _)| j),
+            .min_by_key(|&(&id, st)| (st.maps_outstanding + st.reduces_outstanding, id))
+            .map(|(&id, _)| id),
     }
 }
 
@@ -171,27 +198,34 @@ fn extend_wave(
 
 #[derive(Debug)]
 struct JobState {
+    name: String,
+    build_bytes: u64,
+    span: SpanId,
+    submitted: SimTime,
+    /// When the job becomes schedulable (`submitted + job_startup_secs`).
+    ready_at: SimTime,
+    /// When the map-phase barrier lifted (reduces became schedulable).
+    reduces_ready_at: SimTime,
+    first_launch: Option<SimTime>,
+    slot_wait_secs: f64,
     pending_maps: VecDeque<(f64, u32, u64)>, // (duration, retries, mem bytes)
     pending_reduces: VecDeque<(f64, u32, u64)>,
     maps_ready: bool,
     maps_outstanding: usize,
     reduces_outstanding: usize,
-    finished_at: Option<SimTime>,
     map_slot_secs: f64,
     reduce_slot_secs: f64,
     /// Broadcast-build bytes resident in currently running tasks.
     mem_in_use: u64,
     /// High-water mark of `mem_in_use` — the job's per-wave peak memory.
     peak_mem: u64,
+    /// Current open wave span per kind as (span, end time).
+    map_wave: Option<(SpanId, f64)>,
+    reduce_wave: Option<(SpanId, f64)>,
 }
 
-impl JobState {
-    fn is_done(&self) -> bool {
-        self.finished_at.is_some()
-    }
-}
-
-/// The simulated cluster: configuration + virtual clock.
+/// The simulated cluster: configuration + virtual clock + the persistent
+/// event heap shared by every in-flight job.
 #[derive(Debug)]
 pub struct Cluster {
     config: ClusterConfig,
@@ -200,11 +234,20 @@ pub struct Cluster {
     tracer: Tracer,
     metrics: Metrics,
     trace_scope: SpanId,
+    events: BinaryHeap<Event>,
+    states: BTreeMap<u64, JobState>,
+    finished: BTreeMap<u64, JobTiming>,
+    next_job_id: u64,
+    seq: u64,
+    free_map: usize,
+    free_reduce: usize,
 }
 
 impl Cluster {
     /// A cluster at time zero (observability disabled).
     pub fn new(config: ClusterConfig) -> Self {
+        let free_map = config.map_slots();
+        let free_reduce = config.reduce_slots();
         Cluster {
             config,
             clock: 0.0,
@@ -212,6 +255,13 @@ impl Cluster {
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
             trace_scope: NO_SPAN,
+            events: BinaryHeap::new(),
+            states: BTreeMap::new(),
+            finished: BTreeMap::new(),
+            next_job_id: 0,
+            seq: 0,
+            free_map,
+            free_reduce,
         }
     }
 
@@ -220,14 +270,14 @@ impl Cluster {
         &self.config
     }
 
-    /// Install observability handles; `run_jobs` records job/wave spans and
-    /// task events under the current trace scope.
+    /// Install observability handles; the scheduler records job/wave spans
+    /// and task events under the trace scope current *at submission*.
     pub fn set_obs(&mut self, tracer: Tracer, metrics: Metrics) {
         self.tracer = tracer;
         self.metrics = metrics;
     }
 
-    /// Span under which subsequently simulated jobs are recorded (a query
+    /// Span under which subsequently submitted jobs are recorded (a query
     /// or phase span). [`NO_SPAN`] parents jobs at the root.
     pub fn set_trace_scope(&mut self, scope: SpanId) {
         self.trace_scope = scope;
@@ -253,11 +303,13 @@ impl Cluster {
         self.clock
     }
 
-    /// Advance the clock without running anything (client-side work such as
-    /// optimizer calls, whose duration DYNO accounts explicitly in §6.2).
+    /// Advance the clock by `secs` (client-side work such as optimizer
+    /// calls, whose duration DYNO accounts explicitly in §6.2). Any
+    /// cluster events falling inside the window are processed, so
+    /// in-flight jobs from other queries keep making progress.
     pub fn advance(&mut self, secs: f64) {
         assert!(secs >= 0.0, "cannot rewind the simulated clock");
-        self.clock += secs;
+        self.run_until_time(self.clock + secs);
     }
 
     /// Duration of one task attempt under this cluster's rates.
@@ -273,11 +325,13 @@ impl Cluster {
         c.task_overhead_secs + io + cpu + sort
     }
 
-    /// Deterministic per-task jitter multiplier in `[1-j, 1+j]`.
-    fn jitter(&self, job: usize, kind: u64, idx: usize) -> f64 {
+    /// Deterministic per-task jitter multiplier in `[1-j, 1+j]`, seeded
+    /// from the globally-unique job id so no two jobs — not even
+    /// single-job batches — share a jitter stream.
+    fn jitter(&self, job: u64, kind: u64, idx: usize) -> f64 {
         let mut z = self
             .jitter_seed
-            .wrapping_add((job as u64) << 32)
+            .wrapping_add(job.wrapping_shl(32))
             .wrapping_add(kind << 20)
             .wrapping_add(idx as u64);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -287,328 +341,423 @@ impl Cluster {
         1.0 + self.config.task_jitter * (2.0 * unit - 1.0)
     }
 
-    /// Run a single job to completion; returns its timing.
-    pub fn run_job(&mut self, job: JobProfile) -> JobTiming {
-        self.run_jobs(vec![job]).pop().expect("one job in, one out")
-    }
+    /// Submit one job at the current simulated time. The job's span is
+    /// parented under the *current* trace scope; its tasks will compete
+    /// for slots with every other in-flight job. Returns a handle usable
+    /// with [`Cluster::is_done`] / [`Cluster::timing`].
+    pub fn submit_job(&mut self, job: JobProfile) -> JobHandle {
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        let submitted = self.clock;
 
-    /// Submit all `jobs` at the current time and simulate until every job
-    /// completes, FIFO-scheduling tasks onto the cluster's slots.
-    /// The clock advances to the completion of the last job.
-    pub fn run_jobs(&mut self, jobs: Vec<JobProfile>) -> Vec<JobTiming> {
-        let submit_time = self.clock;
-        let n = jobs.len();
-        if n == 0 {
-            return Vec::new();
-        }
+        let pending_maps = job
+            .map_tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                (
+                    self.task_duration(t) * self.jitter(id, 1, i),
+                    t.retries,
+                    t.setup_bytes,
+                )
+            })
+            .collect();
+        let shuffle_per_reduce = if job.reduce_tasks.is_empty() {
+            0.0
+        } else {
+            job.shuffle_bytes as f64
+                / job.reduce_tasks.len() as f64
+                / self.config.shuffle_bytes_per_sec
+        };
+        let pending_reduces = job
+            .reduce_tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                (
+                    (self.task_duration(t) + shuffle_per_reduce) * self.jitter(id, 2, i),
+                    t.retries,
+                    t.setup_bytes,
+                )
+            })
+            .collect();
 
-        let mut states: Vec<JobState> = Vec::with_capacity(n);
-        let mut events = BinaryHeap::new();
-        let mut seq = 0u64;
-
-        for (j, job) in jobs.iter().enumerate() {
-            let pending_maps = job
-                .map_tasks
-                .iter()
-                .enumerate()
-                .map(|(i, t)| {
-                    (
-                        self.task_duration(t) * self.jitter(j, 1, i),
-                        t.retries,
-                        t.setup_bytes,
-                    )
-                })
-                .collect();
-            let shuffle_per_reduce = if job.reduce_tasks.is_empty() {
-                0.0
-            } else {
-                job.shuffle_bytes as f64
-                    / job.reduce_tasks.len() as f64
-                    / self.config.shuffle_bytes_per_sec
-            };
-            let pending_reduces = job
-                .reduce_tasks
-                .iter()
-                .enumerate()
-                .map(|(i, t)| {
-                    (
-                        (self.task_duration(t) + shuffle_per_reduce) * self.jitter(j, 2, i),
-                        t.retries,
-                        t.setup_bytes,
-                    )
-                })
-                .collect();
-            states.push(JobState {
+        let span = if self.tracer.is_enabled() {
+            self.tracer
+                .start_span(self.trace_scope, SpanKind::Job, job.name.clone(), submitted)
+        } else {
+            NO_SPAN
+        };
+        let ready_at = submitted + self.config.job_startup_secs;
+        self.seq += 1;
+        self.events.push(Event {
+            time: ready_at,
+            seq: self.seq,
+            kind: EventKind::JobReady(id),
+            task_duration: 0.0,
+            retries_left: 0,
+            task_mem: 0,
+        });
+        self.states.insert(
+            id,
+            JobState {
+                name: job.name,
+                build_bytes: job.build_bytes,
+                span,
+                submitted,
+                ready_at,
+                reduces_ready_at: ready_at,
+                first_launch: None,
+                slot_wait_secs: 0.0,
                 pending_maps,
                 pending_reduces,
                 maps_ready: false,
                 maps_outstanding: 0,
                 reduces_outstanding: 0,
-                finished_at: None,
                 map_slot_secs: 0.0,
                 reduce_slot_secs: 0.0,
                 mem_in_use: 0,
                 peak_mem: 0,
-            });
-            events.push(Event {
-                time: submit_time + self.config.job_startup_secs,
-                seq: {
-                    seq += 1;
-                    seq
-                },
-                kind: EventKind::JobReady(j),
-                task_duration: 0.0,
-                retries_left: 0,
-                task_mem: 0,
-            });
-        }
+                map_wave: None,
+                reduce_wave: None,
+            },
+        );
+        JobHandle(id)
+    }
 
-        let traced = self.tracer.is_enabled();
-        let job_spans: Vec<SpanId> = if traced {
-            jobs.iter()
-                .map(|job| {
-                    self.tracer.start_span(
-                        self.trace_scope,
-                        SpanKind::Job,
-                        job.name.clone(),
-                        submit_time,
-                    )
-                })
-                .collect()
-        } else {
-            vec![NO_SPAN; n]
+    /// Time of the earliest pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek().map(|e| e.time)
+    }
+
+    /// Free map slots right now.
+    pub fn free_map_slots(&self) -> usize {
+        self.free_map
+    }
+
+    /// Free reduce slots right now.
+    pub fn free_reduce_slots(&self) -> usize {
+        self.free_reduce
+    }
+
+    /// Map tasks currently occupying slots, across all in-flight jobs.
+    pub fn running_map_tasks(&self) -> usize {
+        self.states.values().map(|s| s.maps_outstanding).sum()
+    }
+
+    /// Reduce tasks currently occupying slots, across all in-flight jobs.
+    pub fn running_reduce_tasks(&self) -> usize {
+        self.states.values().map(|s| s.reduces_outstanding).sum()
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn in_flight_jobs(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Has this job finished?
+    pub fn is_done(&self, h: JobHandle) -> bool {
+        self.finished.contains_key(&h.0)
+    }
+
+    /// Timing of a finished job (kept for the cluster's lifetime).
+    pub fn timing(&self, h: JobHandle) -> Option<&JobTiming> {
+        self.finished.get(&h.0)
+    }
+
+    /// Process the single earliest pending event: a completed task frees
+    /// its slot (or re-queues, for injected failures), map-phase barriers
+    /// lift, finished jobs retire, and every free slot is re-granted per
+    /// the scheduling policy. Returns `false` if no events are pending.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.events.pop() else {
+            return false;
         };
-        // Current open wave span per (job, kind) as (span, end time): a
-        // launch overlapping the current wave extends it, a later launch
-        // opens the next wave.
-        let mut map_wave: Vec<Option<(SpanId, f64)>> = vec![None; n];
-        let mut reduce_wave: Vec<Option<(SpanId, f64)>> = vec![None; n];
-
-        let mut free_map = self.config.map_slots();
-        let mut free_reduce = self.config.reduce_slots();
-        let mut now;
-
-        let mut remaining = n;
-        while remaining > 0 {
-            let ev = events.pop().expect("jobs outstanding but no events");
-            now = ev.time;
-            match ev.kind {
-                EventKind::JobReady(j) => {
-                    states[j].maps_ready = true;
-                    if traced {
-                        self.tracer.event(job_spans[j], now, "job_ready", vec![]);
-                    }
-                    // A job with no map tasks at all proceeds straight to
-                    // its reduces (does not occur in MapReduce proper, but
-                    // keeps the simulator total); with no tasks of any kind
-                    // it completes at startup.
-                    if states[j].pending_maps.is_empty()
-                        && states[j].maps_outstanding == 0
-                        && states[j].pending_reduces.is_empty()
-                    {
-                        states[j].finished_at = Some(now);
-                        remaining -= 1;
-                    }
+        let now = ev.time;
+        self.clock = self.clock.max(now);
+        let traced = self.tracer.is_enabled();
+        let tracer = self.tracer.clone();
+        match ev.kind {
+            EventKind::JobReady(id) => {
+                let st = self.states.get_mut(&id).expect("ready event for live job");
+                st.maps_ready = true;
+                if st.pending_maps.is_empty() {
+                    // No maps: the reduce phase (if any) opens immediately.
+                    st.reduces_ready_at = now;
                 }
-                EventKind::MapDone(j) => {
-                    self.metrics.observe("cluster.task_secs", ev.task_duration);
-                    states[j].mem_in_use -= ev.task_mem;
-                    if ev.retries_left > 0 {
-                        // Failed attempt: Hadoop reruns the task from scratch.
-                        states[j].pending_maps.push_back((
-                            ev.task_duration,
-                            ev.retries_left - 1,
-                            ev.task_mem,
-                        ));
-                        states[j].map_slot_secs += ev.task_duration;
-                        self.metrics.incr("cluster.tasks_retried", 1);
-                        if traced {
-                            self.tracer.event(
-                                job_spans[j],
-                                now,
-                                "task_retry",
-                                vec![("kind", "map".into()), ("secs", ev.task_duration.into())],
-                            );
-                        }
-                    } else if traced {
-                        self.tracer.event(
-                            job_spans[j],
+                let span = st.span;
+                let finished_now = st.pending_maps.is_empty()
+                    && st.maps_outstanding == 0
+                    && st.pending_reduces.is_empty();
+                if traced {
+                    tracer.event(span, now, "job_ready", vec![]);
+                }
+                // A job with no map tasks at all proceeds straight to
+                // its reduces (does not occur in MapReduce proper, but
+                // keeps the simulator total); with no tasks of any kind
+                // it completes at startup.
+                if finished_now {
+                    self.finish_job(id, now);
+                }
+            }
+            EventKind::MapDone(id) => {
+                self.metrics.observe("cluster.task_secs", ev.task_duration);
+                let st = self.states.get_mut(&id).expect("map event for live job");
+                st.mem_in_use -= ev.task_mem;
+                let span = st.span;
+                let retried = ev.retries_left > 0;
+                if retried {
+                    // Failed attempt: Hadoop reruns the task from scratch.
+                    st.pending_maps.push_back((
+                        ev.task_duration,
+                        ev.retries_left - 1,
+                        ev.task_mem,
+                    ));
+                    st.map_slot_secs += ev.task_duration;
+                }
+                st.maps_outstanding -= 1;
+                let map_phase_done =
+                    !retried && st.maps_outstanding == 0 && st.pending_maps.is_empty();
+                if map_phase_done {
+                    // Map phase complete: reduces (already in
+                    // pending_reduces) become schedulable now; MapReduce
+                    // gates reduces on the map phase.
+                    st.reduces_ready_at = now;
+                }
+                let finished_now = map_phase_done
+                    && st.pending_reduces.is_empty()
+                    && st.reduces_outstanding == 0;
+                if retried {
+                    self.metrics.incr("cluster.tasks_retried", 1);
+                    if traced {
+                        tracer.event(
+                            span,
                             now,
-                            "task_done",
+                            "task_retry",
                             vec![("kind", "map".into()), ("secs", ev.task_duration.into())],
                         );
                     }
-                    free_map += 1;
-                    states[j].maps_outstanding -= 1;
-                    if ev.retries_left == 0
-                        && states[j].maps_outstanding == 0
-                        && states[j].pending_maps.is_empty()
-                    {
-                        // Map phase complete.
-                        if states[j].pending_reduces.is_empty()
-                            && states[j].reduces_outstanding == 0
-                        {
-                            states[j].finished_at = Some(now);
-                            remaining -= 1;
-                        }
-                        // Reduces (already in pending_reduces) become
-                        // schedulable now; MapReduce gates reduces on the
-                        // map phase.
-                    }
+                } else if traced {
+                    tracer.event(
+                        span,
+                        now,
+                        "task_done",
+                        vec![("kind", "map".into()), ("secs", ev.task_duration.into())],
+                    );
                 }
-                EventKind::ReduceDone(j) => {
-                    self.metrics.observe("cluster.task_secs", ev.task_duration);
-                    states[j].mem_in_use -= ev.task_mem;
-                    if ev.retries_left > 0 {
-                        states[j].pending_reduces.push_back((
-                            ev.task_duration,
-                            ev.retries_left - 1,
-                            ev.task_mem,
-                        ));
-                        states[j].reduce_slot_secs += ev.task_duration;
-                        self.metrics.incr("cluster.tasks_retried", 1);
-                        if traced {
-                            self.tracer.event(
-                                job_spans[j],
-                                now,
-                                "task_retry",
-                                vec![("kind", "reduce".into()), ("secs", ev.task_duration.into())],
-                            );
-                        }
-                    } else if traced {
-                        self.tracer.event(
-                            job_spans[j],
+                self.free_map += 1;
+                if finished_now {
+                    self.finish_job(id, now);
+                }
+            }
+            EventKind::ReduceDone(id) => {
+                self.metrics.observe("cluster.task_secs", ev.task_duration);
+                let st = self.states.get_mut(&id).expect("reduce event for live job");
+                st.mem_in_use -= ev.task_mem;
+                let span = st.span;
+                let retried = ev.retries_left > 0;
+                if retried {
+                    st.pending_reduces.push_back((
+                        ev.task_duration,
+                        ev.retries_left - 1,
+                        ev.task_mem,
+                    ));
+                    st.reduce_slot_secs += ev.task_duration;
+                }
+                st.reduces_outstanding -= 1;
+                let finished_now = !retried
+                    && st.reduces_outstanding == 0
+                    && st.pending_reduces.is_empty()
+                    && st.maps_outstanding == 0
+                    && st.pending_maps.is_empty();
+                if retried {
+                    self.metrics.incr("cluster.tasks_retried", 1);
+                    if traced {
+                        tracer.event(
+                            span,
                             now,
-                            "task_done",
+                            "task_retry",
                             vec![("kind", "reduce".into()), ("secs", ev.task_duration.into())],
                         );
                     }
-                    free_reduce += 1;
-                    states[j].reduces_outstanding -= 1;
-                    if ev.retries_left == 0
-                        && states[j].reduces_outstanding == 0
-                        && states[j].pending_reduces.is_empty()
-                        && states[j].maps_outstanding == 0
-                        && states[j].pending_maps.is_empty()
-                    {
-                        states[j].finished_at = Some(now);
-                        remaining -= 1;
-                    }
-                }
-            }
-            // Schedule maps, then reduces (reduces only once a job's map
-            // phase has fully completed — the MapReduce barrier). The
-            // policy decides which job gets each free slot.
-            let policy = self.config.scheduler;
-            while free_map > 0 {
-                let pick = next_job(&states, policy, |st| {
-                    st.maps_ready && !st.pending_maps.is_empty()
-                });
-                let Some(j) = pick else { break };
-                let (dur, retries, mem) = states[j]
-                    .pending_maps
-                    .pop_front()
-                    .expect("picked job has pending maps");
-                free_map -= 1;
-                states[j].maps_outstanding += 1;
-                states[j].map_slot_secs += dur;
-                states[j].mem_in_use += mem;
-                states[j].peak_mem = states[j].peak_mem.max(states[j].mem_in_use);
-                seq += 1;
-                events.push(Event {
-                    time: now + dur,
-                    seq,
-                    kind: EventKind::MapDone(j),
-                    task_duration: dur,
-                    retries_left: retries,
-                    task_mem: mem,
-                });
-                if traced {
-                    extend_wave(&self.tracer, &mut map_wave[j], job_spans[j], "map", now, dur);
-                }
-            }
-            while free_reduce > 0 {
-                let pick = next_job(&states, policy, |st| {
-                    st.maps_ready
-                        && st.pending_maps.is_empty()
-                        && st.maps_outstanding == 0
-                        && !st.pending_reduces.is_empty()
-                });
-                let Some(j) = pick else { break };
-                let (dur, retries, mem) = states[j]
-                    .pending_reduces
-                    .pop_front()
-                    .expect("picked job has pending reduces");
-                free_reduce -= 1;
-                states[j].reduces_outstanding += 1;
-                states[j].reduce_slot_secs += dur;
-                states[j].mem_in_use += mem;
-                states[j].peak_mem = states[j].peak_mem.max(states[j].mem_in_use);
-                seq += 1;
-                events.push(Event {
-                    time: now + dur,
-                    seq,
-                    kind: EventKind::ReduceDone(j),
-                    task_duration: dur,
-                    retries_left: retries,
-                    task_mem: mem,
-                });
-                if traced {
-                    extend_wave(
-                        &self.tracer,
-                        &mut reduce_wave[j],
-                        job_spans[j],
-                        "reduce",
+                } else if traced {
+                    tracer.event(
+                        span,
                         now,
-                        dur,
+                        "task_done",
+                        vec![("kind", "reduce".into()), ("secs", ev.task_duration.into())],
                     );
+                }
+                self.free_reduce += 1;
+                if finished_now {
+                    self.finish_job(id, now);
                 }
             }
         }
+        self.grant_slots(now);
+        true
+    }
 
-        for (j, st) in states.iter().enumerate() {
-            if st.peak_mem > 0 {
-                self.metrics
-                    .observe("cluster.job_peak_mem_bytes", st.peak_mem as f64);
+    /// Grant every free slot to an eligible job per the scheduling policy:
+    /// maps first, then reduces (reduces only once a job's map phase has
+    /// fully completed — the MapReduce barrier).
+    fn grant_slots(&mut self, now: SimTime) {
+        let policy = self.config.scheduler;
+        let traced = self.tracer.is_enabled();
+        let tracer = self.tracer.clone();
+        while self.free_map > 0 {
+            let pick = next_job(&self.states, policy, |st| {
+                st.maps_ready && !st.pending_maps.is_empty()
+            });
+            let Some(id) = pick else { break };
+            let st = self.states.get_mut(&id).expect("picked job is live");
+            let (dur, retries, mem) = st
+                .pending_maps
+                .pop_front()
+                .expect("picked job has pending maps");
+            st.maps_outstanding += 1;
+            st.map_slot_secs += dur;
+            st.mem_in_use += mem;
+            st.peak_mem = st.peak_mem.max(st.mem_in_use);
+            st.slot_wait_secs += now - st.ready_at;
+            if st.first_launch.is_none() {
+                st.first_launch = Some(now);
             }
             if traced {
-                let finished = st.finished_at.expect("all jobs finished");
-                // Span-scoped memory accounting: broadcast jobs record
-                // their build residency so profiles can say *why* an OOM
-                // recovery fired (which join, how many bytes).
-                if jobs[j].build_bytes > 0 || st.peak_mem > 0 {
-                    self.tracer.event(
-                        job_spans[j],
-                        finished,
-                        "job_memory",
-                        vec![
-                            ("build_bytes", jobs[j].build_bytes.into()),
-                            ("peak_task_mem", st.peak_mem.into()),
-                        ],
-                    );
-                }
-                self.tracer.end_span(job_spans[j], finished);
+                extend_wave(&tracer, &mut st.map_wave, st.span, "map", now, dur);
+            }
+            self.free_map -= 1;
+            self.seq += 1;
+            self.events.push(Event {
+                time: now + dur,
+                seq: self.seq,
+                kind: EventKind::MapDone(id),
+                task_duration: dur,
+                retries_left: retries,
+                task_mem: mem,
+            });
+        }
+        while self.free_reduce > 0 {
+            let pick = next_job(&self.states, policy, |st| {
+                st.maps_ready
+                    && st.pending_maps.is_empty()
+                    && st.maps_outstanding == 0
+                    && !st.pending_reduces.is_empty()
+            });
+            let Some(id) = pick else { break };
+            let st = self.states.get_mut(&id).expect("picked job is live");
+            let (dur, retries, mem) = st
+                .pending_reduces
+                .pop_front()
+                .expect("picked job has pending reduces");
+            st.reduces_outstanding += 1;
+            st.reduce_slot_secs += dur;
+            st.mem_in_use += mem;
+            st.peak_mem = st.peak_mem.max(st.mem_in_use);
+            st.slot_wait_secs += now - st.reduces_ready_at;
+            if st.first_launch.is_none() {
+                st.first_launch = Some(now);
+            }
+            if traced {
+                extend_wave(&tracer, &mut st.reduce_wave, st.span, "reduce", now, dur);
+            }
+            self.free_reduce -= 1;
+            self.seq += 1;
+            self.events.push(Event {
+                time: now + dur,
+                seq: self.seq,
+                kind: EventKind::ReduceDone(id),
+                task_duration: dur,
+                retries_left: retries,
+                task_mem: mem,
+            });
+        }
+    }
+
+    /// Retire a finished job: record its peak memory, close its span, and
+    /// keep its [`JobTiming`] reachable through the handle.
+    fn finish_job(&mut self, id: u64, finished: SimTime) {
+        let st = self.states.remove(&id).expect("finishing a live job");
+        if st.peak_mem > 0 {
+            self.metrics
+                .observe("cluster.job_peak_mem_bytes", st.peak_mem as f64);
+        }
+        if self.tracer.is_enabled() {
+            // Span-scoped memory accounting: broadcast jobs record
+            // their build residency so profiles can say *why* an OOM
+            // recovery fired (which join, how many bytes).
+            if st.build_bytes > 0 || st.peak_mem > 0 {
+                self.tracer.event(
+                    st.span,
+                    finished,
+                    "job_memory",
+                    vec![
+                        ("build_bytes", st.build_bytes.into()),
+                        ("peak_task_mem", st.peak_mem.into()),
+                    ],
+                );
+            }
+            self.tracer.end_span(st.span, finished);
+        }
+        let queue_delay = st.first_launch.map_or(0.0, |t| t - st.ready_at);
+        self.finished.insert(
+            id,
+            JobTiming {
+                name: st.name,
+                submitted: st.submitted,
+                finished,
+                elapsed: finished - st.submitted,
+                map_slot_secs: st.map_slot_secs,
+                reduce_slot_secs: st.reduce_slot_secs,
+                queue_delay,
+                slot_wait_secs: st.slot_wait_secs,
+            },
+        );
+    }
+
+    /// Process every event up to and including time `t`, then set the
+    /// clock to `t` (if it is not already past it).
+    pub fn run_until_time(&mut self, t: SimTime) {
+        while self.events.peek().is_some_and(|e| e.time <= t) {
+            self.step();
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    /// Step the simulation until `pred` holds. Returns `false` if the
+    /// event heap drained before the predicate was satisfied.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&Cluster) -> bool) -> bool {
+        loop {
+            if pred(self) {
+                return true;
+            }
+            if !self.step() {
+                return false;
             }
         }
+    }
 
-        self.clock = states
+    /// Step the simulation until every handle in `handles` has finished.
+    pub fn run_until_done(&mut self, handles: &[JobHandle]) {
+        while !handles.iter().all(|h| self.is_done(*h)) {
+            assert!(self.step(), "jobs outstanding but no events");
+        }
+    }
+
+    /// Run a single job to completion; returns its timing.
+    pub fn run_job(&mut self, job: JobProfile) -> JobTiming {
+        self.run_jobs(vec![job]).pop().expect("one job in, one out")
+    }
+
+    /// Closed-batch compatibility wrapper: submit all `jobs` at the
+    /// current time and simulate until every one of them completes. The
+    /// clock advances to the completion of the last of *these* jobs.
+    pub fn run_jobs(&mut self, jobs: Vec<JobProfile>) -> Vec<JobTiming> {
+        let handles: Vec<JobHandle> = jobs.into_iter().map(|j| self.submit_job(j)).collect();
+        self.run_until_done(&handles);
+        handles
             .iter()
-            .map(|s| s.finished_at.expect("all jobs finished"))
-            .fold(self.clock, f64::max);
-
-        jobs.into_iter()
-            .zip(states)
-            .map(|(job, st)| {
-                let finished = st.finished_at.expect("finished");
-                JobTiming {
-                    name: job.name,
-                    submitted: submit_time,
-                    finished,
-                    elapsed: finished - submit_time,
-                    map_slot_secs: st.map_slot_secs,
-                    reduce_slot_secs: st.reduce_slot_secs,
-                }
-            })
+            .map(|h| self.timing(*h).expect("job just completed").clone())
             .collect()
     }
 }
@@ -737,6 +886,82 @@ mod tests {
     }
 
     #[test]
+    fn queue_delay_and_slot_wait_are_recorded() {
+        let mut cl = Cluster::new(cfg());
+        let big = JobProfile {
+            name: "big".into(),
+            map_tasks: (0..280).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        };
+        let small = JobProfile {
+            name: "small".into(),
+            map_tasks: vec![map_task(128)],
+            ..JobProfile::default()
+        };
+        let t = cl.run_jobs(vec![big, small]);
+        // The big job launches the moment it is ready.
+        assert_eq!(t[0].queue_delay, 0.0);
+        // Under FIFO the small job's only task waits behind the big job's
+        // two waves for its first slot; the per-task slot wait equals the
+        // queue delay for a one-task job.
+        assert!(t[1].queue_delay > 2.0, "queue_delay={}", t[1].queue_delay);
+        assert!((t[1].slot_wait_secs - t[1].queue_delay).abs() < 1e-9);
+        // The big job's second wave contributes intrinsic slot wait.
+        assert!(t[0].slot_wait_secs > 0.0);
+    }
+
+    #[test]
+    fn open_scheduler_interleaves_late_submissions() {
+        // Submit a two-wave job, run halfway, then submit a second job:
+        // the second job contends for slots while the first still runs,
+        // and both finish without a shared batch boundary.
+        let mut cl = Cluster::new(cfg());
+        // Two waves of 13.8 s tasks: still mid-flight when the second
+        // job clears its 15 s startup.
+        let a = cl.submit_job(JobProfile {
+            name: "first".into(),
+            map_tasks: (0..280).map(|_| map_task(1280)).collect(),
+            ..JobProfile::default()
+        });
+        cl.run_until_time(16.0); // startup done, first wave in flight
+        assert_eq!(cl.in_flight_jobs(), 1);
+        assert!(cl.free_map_slots() == 0, "first wave fills the cluster");
+        let b = cl.submit_job(JobProfile {
+            name: "second".into(),
+            map_tasks: vec![map_task(128)],
+            ..JobProfile::default()
+        });
+        let tb_submitted = cl.timing(a).is_none(); // a still running
+        assert!(tb_submitted);
+        cl.run_until_done(&[a, b]);
+        let ta = cl.timing(a).expect("first finished").clone();
+        let tb = cl.timing(b).expect("second finished").clone();
+        assert_eq!(tb.submitted, 16.0);
+        assert!(ta.finished > ta.submitted + 15.0);
+        // FIFO: the late job's task runs after the first job's backlog.
+        assert!(tb.queue_delay > 0.0);
+        assert_eq!(cl.in_flight_jobs(), 0);
+        assert_eq!(cl.now(), ta.finished.max(tb.finished));
+    }
+
+    #[test]
+    fn run_until_predicate_stops_midway() {
+        let mut cl = Cluster::new(cfg());
+        let h = cl.submit_job(JobProfile {
+            name: "watched".into(),
+            map_tasks: (0..10).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        });
+        // Stop as soon as any task has launched.
+        assert!(cl.run_until(|c| c.running_map_tasks() > 0));
+        assert!(!cl.is_done(h));
+        assert!(cl.now() >= 15.0);
+        // Drain: predicate that never holds returns false at heap end.
+        assert!(!cl.run_until(|_| false));
+        assert!(cl.is_done(h));
+    }
+
+    #[test]
     fn retries_cost_extra_time() {
         let mut cl = Cluster::new(cfg());
         let clean = cl
@@ -781,6 +1006,32 @@ mod tests {
         });
         let nominal = 15.0 + 2.28;
         assert!((t.elapsed - nominal).abs() < nominal * 0.1);
+    }
+
+    #[test]
+    fn consecutive_single_job_batches_get_distinct_jitter() {
+        // Regression: jitter used to be seeded from the per-batch job
+        // index, so every single-job batch replayed the identical jitter
+        // stream. Seeding from the global job id makes consecutive runs
+        // of the same profile differ (slightly).
+        let mut cl = Cluster::new(ClusterConfig::paper()); // jitter on
+        let mk = || JobProfile {
+            name: "same".into(),
+            map_tasks: (0..7).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        };
+        let t1 = cl.run_job(mk());
+        let t2 = cl.run_job(mk());
+        assert!(
+            (t1.elapsed - t2.elapsed).abs() > 1e-12,
+            "identical jitter streams: {} vs {}",
+            t1.elapsed,
+            t2.elapsed
+        );
+        // And the stream is still deterministic: a fresh cluster replays it.
+        let mut cl2 = Cluster::new(ClusterConfig::paper());
+        let r1 = cl2.run_job(mk());
+        assert_eq!(r1.elapsed.to_bits(), t1.elapsed.to_bits());
     }
 
     #[test]
@@ -1057,6 +1308,92 @@ mod sim_properties {
                 let wa: f64 = ta.iter().map(|t| t.map_slot_secs).sum();
                 let wb: f64 = tb.iter().map(|t| t.map_slot_secs).sum();
                 prop_ensure!((wa - wb).abs() < 1e-6, "slot work {wa} vs {wb}");
+                Ok(())
+            },
+        );
+    }
+
+    /// With ≥3 concurrently submitted jobs (staggered arrivals, maps and
+    /// reduces, both policies), slot accounting never goes negative and
+    /// never exceeds the cluster's capacity at any event.
+    #[test]
+    fn slot_accounting_stays_within_capacity() {
+        dyno_common::prop::check(
+            "slot_accounting_stays_within_capacity",
+            24,
+            |g| {
+                let n = g.len_in(3, 6);
+                let fair = g.gen_range(0..2u64) == 1;
+                let jobs: Vec<(u64, u64, f64)> = (0..n)
+                    .map(|_| {
+                        (
+                            g.gen_range(1..220u64),            // map tasks
+                            g.gen_range(0..40u64),             // reduce tasks
+                            g.gen_range(0..30u64) as f64 * 1.0, // arrival offset secs
+                        )
+                    })
+                    .collect();
+                (fair, jobs)
+            },
+            |(fair, jobs)| {
+                let cfg = ClusterConfig {
+                    task_jitter: 0.0,
+                    scheduler: if *fair {
+                        SchedulerPolicy::Fair
+                    } else {
+                        SchedulerPolicy::Fifo
+                    },
+                    ..ClusterConfig::paper()
+                };
+                let map_cap = cfg.map_slots();
+                let reduce_cap = cfg.reduce_slots();
+                let mut cl = Cluster::new(cfg);
+                let mut handles = Vec::new();
+                // Stagger submissions so ≥3 jobs overlap in flight.
+                let mut arrivals: Vec<&(u64, u64, f64)> = jobs.iter().collect();
+                arrivals.sort_by(|a, b| a.2.total_cmp(&b.2));
+                for &&(maps, reduces, at) in &arrivals {
+                    cl.run_until_time(at);
+                    handles.push(cl.submit_job(JobProfile {
+                        name: "p".into(),
+                        map_tasks: (0..maps)
+                            .map(|_| TaskProfile {
+                                input_bytes: 48 << 20,
+                                ..TaskProfile::default()
+                            })
+                            .collect(),
+                        reduce_tasks: (0..reduces)
+                            .map(|_| TaskProfile {
+                                input_bytes: 16 << 20,
+                                ..TaskProfile::default()
+                            })
+                            .collect(),
+                        shuffle_bytes: 64 << 20,
+                        ..JobProfile::default()
+                    }));
+                }
+                loop {
+                    let running_m = cl.running_map_tasks();
+                    let running_r = cl.running_reduce_tasks();
+                    let free_m = cl.free_map_slots();
+                    let free_r = cl.free_reduce_slots();
+                    prop_ensure!(
+                        free_m + running_m == map_cap,
+                        "map slots leak: {free_m} free + {running_m} running != {map_cap}"
+                    );
+                    prop_ensure!(
+                        free_r + running_r == reduce_cap,
+                        "reduce slots leak: {free_r} free + {running_r} running != {reduce_cap}"
+                    );
+                    prop_ensure!(running_m <= map_cap, "map overcommit");
+                    prop_ensure!(running_r <= reduce_cap, "reduce overcommit");
+                    if !cl.step() {
+                        break;
+                    }
+                }
+                for h in &handles {
+                    prop_ensure!(cl.is_done(*h), "job left unfinished");
+                }
                 Ok(())
             },
         );

@@ -16,9 +16,9 @@
 
 use std::collections::BTreeSet;
 
-use dyno_cluster::Cluster;
-use dyno_exec::{Executor, JobDag, JobOutput};
-use dyno_obs::SpanKind;
+use dyno_cluster::{Cluster, JobHandle};
+use dyno_exec::{DagRun, DagStep, Executor, JobDag, JobOutput};
+use dyno_obs::{SpanId, SpanKind};
 use dyno_optimizer::CostModel;
 use dyno_query::jaql::{jaql_heuristic_plan, leaf_sizes_from};
 use dyno_query::{JoinBlock, LeafSource, Predicate};
@@ -125,6 +125,21 @@ pub fn best_static_jaql(
     block: &JoinBlock,
     model: &CostModel,
 ) -> Result<(JobOutput, String), DynoError> {
+    let alias_order = best_jaql_alias_order(exec, cluster, block, model);
+    execute_jaql_order(exec, cluster, block, model, &alias_order)
+}
+
+/// Rank every Jaql-producible left-deep order with true sizes and return
+/// the winner's alias order — the plan-selection half of
+/// [`best_static_jaql`], split out so resumable drivers can execute the
+/// chosen order through [`begin_jaql_order`]. Costs no simulated time
+/// (the paper's authors did this offline).
+pub fn best_jaql_alias_order(
+    exec: &Executor,
+    cluster: &mut Cluster,
+    block: &JoinBlock,
+    model: &CostModel,
+) -> Vec<String> {
     let sizes = leaf_sizes_from(block, |f| {
         exec.dfs.file(f).map(|x| x.sim_bytes()).unwrap_or(u64::MAX)
     });
@@ -154,8 +169,7 @@ pub fn best_static_jaql(
             ],
         );
     }
-    let alias_order: Vec<String> = best
-        .iter()
+    best.iter()
         .map(|&l| {
             block.leaves[l]
                 .aliases
@@ -164,12 +178,12 @@ pub fn best_static_jaql(
                 .expect("leaf covers an alias")
                 .clone()
         })
-        .collect();
-    execute_jaql_order(exec, cluster, block, model, &alias_order)
+        .collect()
 }
 
 /// Execute stock Jaql over a given FROM order (also used for the
-/// "as-written" mode).
+/// "as-written" mode), blocking until done. Thin wrapper over
+/// [`begin_jaql_order`] + [`JaqlRun::poll`].
 pub fn execute_jaql_order(
     exec: &Executor,
     cluster: &mut Cluster,
@@ -177,6 +191,44 @@ pub fn execute_jaql_order(
     model: &CostModel,
     from_order: &[String],
 ) -> Result<(JobOutput, String), DynoError> {
+    let mut run = begin_jaql_order(exec, cluster, block, model, from_order);
+    loop {
+        match run.poll(exec, cluster)? {
+            JaqlStep::Wait(handles) => cluster.run_until_done(&handles),
+            JaqlStep::Done(out) => return Ok(*out),
+        }
+    }
+}
+
+/// One poll of a [`JaqlRun`].
+pub enum JaqlStep {
+    /// Waiting on these cluster jobs.
+    Wait(Vec<JobHandle>),
+    /// The plan has executed: join-block output + rendered plan.
+    Done(Box<(JobOutput, String)>),
+}
+
+/// Resumable execution of a stock-Jaql plan: the heuristic plan is fixed
+/// up front; the DAG then runs wave by wave through [`DagRun`].
+pub struct JaqlRun {
+    block: JoinBlock,
+    dag: JobDag,
+    rendered: String,
+    phase: SpanId,
+    prev_scope: SpanId,
+    run: DagRun,
+}
+
+/// Plan stock Jaql over a given FROM order and start executing: compiles
+/// the heuristic plan and opens the `execute` phase span; jobs are
+/// submitted by [`JaqlRun::poll`].
+pub fn begin_jaql_order(
+    exec: &Executor,
+    cluster: &mut Cluster,
+    block: &JoinBlock,
+    model: &CostModel,
+    from_order: &[String],
+) -> JaqlRun {
     let mut block = block.clone();
     block.from_order = from_order.to_vec();
     let sizes = leaf_sizes_from(&block, |f| {
@@ -193,12 +245,44 @@ pub fn execute_jaql_order(
     if tracer.is_enabled() {
         cluster.set_trace_scope(phase);
     }
-    let result = exec.run_dag(cluster, &block, &dag, false, false);
-    if tracer.is_enabled() {
-        cluster.set_trace_scope(prev_scope);
-        tracer.end_span(phase, cluster.now());
+    JaqlRun {
+        block,
+        dag,
+        rendered,
+        phase,
+        prev_scope,
+        run: DagRun::new(false, false),
     }
-    Ok((result?, rendered))
+}
+
+impl JaqlRun {
+    /// Advance the DAG; restores the trace scope and closes the phase
+    /// span when the run completes (or fails).
+    pub fn poll(
+        &mut self,
+        exec: &Executor,
+        cluster: &mut Cluster,
+    ) -> Result<JaqlStep, DynoError> {
+        let step = self.run.poll(exec, cluster, &self.block, &self.dag);
+        let close = |cluster: &mut Cluster| {
+            let tracer = cluster.tracer().clone();
+            if tracer.is_enabled() {
+                cluster.set_trace_scope(self.prev_scope);
+                tracer.end_span(self.phase, cluster.now());
+            }
+        };
+        match step {
+            Ok(DagStep::Wait(handles)) => Ok(JaqlStep::Wait(handles)),
+            Ok(DagStep::Done(out)) => {
+                close(cluster);
+                Ok(JaqlStep::Done(Box::new((out, self.rendered.clone()))))
+            }
+            Err(e) => {
+                close(cluster);
+                Err(e.into())
+            }
+        }
+    }
 }
 
 /// Compute the RELOPT leaf statistics: exact base stats, exact

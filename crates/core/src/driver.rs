@@ -1,0 +1,654 @@
+//! The resumable query state machine.
+//!
+//! [`QueryDriver`] is [`Dyno::run`] split at its suspension points: every
+//! cluster-job boundary (exactly where DYNOPT re-optimizes, §5) and every
+//! client-side wait (optimizer calls, OOM penalties) returns control to
+//! the caller instead of blocking on the simulated clock. Driving a
+//! single query solo — `run_until_done` on [`DriverPoll::NeedJobs`],
+//! `run_until_time` on [`DriverPoll::Reoptimizing`] — reproduces the
+//! blocking path bit for bit; a workload runner instead interleaves many
+//! drivers over one *shared* cluster, so queries really contend for map
+//! and reduce slots (the concurrent-workload tentpole).
+
+use dyno_cluster::{Cluster, Coord, JobHandle, SimTime};
+use dyno_data::Value;
+use dyno_exec::jobs::BroadcastOom;
+use dyno_exec::{DagRun, DagStep, ExecError, Executor, JobDag, PendingAggregate};
+use dyno_obs::trace::NO_SPAN;
+use dyno_obs::{SpanId, SpanKind, Tracer};
+use dyno_optimizer::{OptResult, Optimizer};
+use dyno_query::{GroupBySpec, JoinBlock, LeafSource, OrderBySpec};
+use dyno_stats::TableStats;
+use dyno_tpch::catalog_for;
+use dyno_tpch::queries::PreparedQuery;
+
+use crate::baseline::{begin_jaql_order, best_jaql_alias_order, relopt_leaf_stats, JaqlRun, JaqlStep};
+use crate::dyno::{Dyno, DynoError, DynoOptions, Mode, QueryReport};
+use crate::dynopt::{oom_penalty, oom_record, DynoptMachine, DynoptStep, OPT_SECS_PER_EXPRESSION};
+use crate::pilot::{begin_pilots, PilotRun, PilotStep};
+
+/// One poll of a [`QueryDriver`].
+pub enum DriverPoll {
+    /// The query is waiting on these cluster jobs; poll again once they
+    /// finish (solo: [`Cluster::run_until_done`]).
+    NeedJobs(Vec<JobHandle>),
+    /// The query is spending client-side time — an optimizer call or an
+    /// OOM recovery penalty; poll again once the clock reaches `until`
+    /// (solo: [`Cluster::run_until_time`]).
+    Reoptimizing {
+        /// Simulated time at which the client-side work completes.
+        until: SimTime,
+    },
+    /// The query finished; this is its report.
+    Done(QueryReport),
+}
+
+enum DriverState {
+    Start,
+    Pilot(PilotRun),
+    Dynopt(DynoptMachine),
+    RelOpt(RelOptMachine),
+    Jaql(JaqlRun),
+    ReadResult,
+    GroupBy(Option<PendingAggregate>),
+    MaybeOrderBy,
+    OrderBy(Option<PendingAggregate>),
+    Finish,
+    Done,
+}
+
+/// A single query's execution, resumable at every job boundary. Create
+/// with [`QueryDriver::new`] against a (possibly shared) cluster, then
+/// [`QueryDriver::poll`] until [`DriverPoll::Done`].
+pub struct QueryDriver {
+    exec: Executor,
+    block: JoinBlock,
+    opts: DynoOptions,
+    mode: Mode,
+    query_name: String,
+    group_by: Option<GroupBySpec>,
+    order_by: Option<OrderBySpec>,
+    tracer: Tracer,
+    query_span: SpanId,
+    /// The driver's private trace scope, saved/restored around each poll
+    /// so interleaved drivers never submit under each other's spans.
+    scope: SpanId,
+    started_at: SimTime,
+    pilot_secs: f64,
+    optimize_secs: f64,
+    reopts: usize,
+    plans: Vec<String>,
+    plan_trees: Vec<String>,
+    current_file: String,
+    result: Vec<Value>,
+    state: DriverState,
+}
+
+impl QueryDriver {
+    /// Start a query on `cluster` at the current simulated time: compiles
+    /// the join block, validates UDFs, and opens the Query span. No jobs
+    /// are submitted until the first [`QueryDriver::poll`].
+    pub fn new(
+        dyno: &Dyno,
+        q: &PreparedQuery,
+        mode: Mode,
+        cluster: &mut Cluster,
+    ) -> Result<Self, DynoError> {
+        dyno.metastore.set_metrics(dyno.obs.metrics.clone());
+        let mut exec = Executor::new(dyno.dfs.clone(), Coord::new(), q.udfs.clone());
+        exec.metastore = dyno.metastore.clone();
+
+        let cat = catalog_for(&q.spec);
+        let block = JoinBlock::compile(&q.spec, &cat)?;
+        // Reject unregistered UDFs up front with a typed error — never
+        // mid-execution (where they would silently evaluate to null).
+        block.validate_udfs(&q.udfs)?;
+
+        let tracer = dyno.obs.tracer.clone();
+        let started_at = cluster.now();
+        // When `started_at` is 0.0 (a fresh solo cluster) the span runs
+        // 0.0 → now, so its duration equals `total_secs` exactly
+        // (x - 0.0 is bitwise x).
+        let query_span =
+            tracer.start_span(NO_SPAN, SpanKind::Query, q.spec.name.clone(), started_at);
+        let scope = if tracer.is_enabled() {
+            query_span
+        } else {
+            cluster.trace_scope()
+        };
+
+        Ok(QueryDriver {
+            exec,
+            block,
+            opts: dyno.opts.clone(),
+            mode,
+            query_name: q.spec.name.clone(),
+            group_by: q.spec.group_by.clone(),
+            order_by: q.spec.order_by.clone(),
+            tracer,
+            query_span,
+            scope,
+            started_at,
+            pilot_secs: 0.0,
+            optimize_secs: 0.0,
+            reopts: 0,
+            plans: Vec::new(),
+            plan_trees: Vec::new(),
+            current_file: String::new(),
+            result: Vec::new(),
+            state: DriverState::Start,
+        })
+    }
+
+    /// The query's name (for workload reports and trace lanes).
+    pub fn query(&self) -> &str {
+        &self.query_name
+    }
+
+    /// The root Query span this driver's work nests under.
+    pub fn query_span(&self) -> SpanId {
+        self.query_span
+    }
+
+    /// Simulated time the driver was created (the query's arrival).
+    pub fn started_at(&self) -> SimTime {
+        self.started_at
+    }
+
+    /// Advance the query as far as possible without waiting on simulated
+    /// time. Must not be called again after [`DriverPoll::Done`].
+    pub fn poll(&mut self, cluster: &mut Cluster) -> Result<DriverPoll, DynoError> {
+        // Swap in this driver's trace scope for the duration of the poll,
+        // so interleaved drivers stay isolated under their own spans.
+        let outer = cluster.trace_scope();
+        cluster.set_trace_scope(self.scope);
+        let out = self.poll_inner(cluster);
+        self.scope = cluster.trace_scope();
+        cluster.set_trace_scope(outer);
+        out
+    }
+
+    fn poll_inner(&mut self, cluster: &mut Cluster) -> Result<DriverPoll, DynoError> {
+        loop {
+            match std::mem::replace(&mut self.state, DriverState::Done) {
+                DriverState::Start => match self.mode {
+                    Mode::Dynopt | Mode::DynoptSimple => {
+                        let run =
+                            begin_pilots(&self.exec, cluster, &self.block, &self.opts.pilot)?;
+                        self.state = DriverState::Pilot(run);
+                    }
+                    Mode::RelOpt => {
+                        let stats = relopt_leaf_stats(&self.exec, &self.block)?;
+                        self.state = DriverState::RelOpt(RelOptMachine::new(
+                            stats,
+                            self.opts.optimizer.clone(),
+                        ));
+                    }
+                    Mode::BestStaticJaql => {
+                        let order = best_jaql_alias_order(
+                            &self.exec,
+                            cluster,
+                            &self.block,
+                            &self.opts.optimizer.cost_model,
+                        );
+                        self.state = DriverState::Jaql(begin_jaql_order(
+                            &self.exec,
+                            cluster,
+                            &self.block,
+                            &self.opts.optimizer.cost_model,
+                            &order,
+                        ));
+                    }
+                    Mode::JaqlAsWritten => {
+                        let order = self.block.from_order.clone();
+                        self.state = DriverState::Jaql(begin_jaql_order(
+                            &self.exec,
+                            cluster,
+                            &self.block,
+                            &self.opts.optimizer.cost_model,
+                            &order,
+                        ));
+                    }
+                },
+
+                DriverState::Pilot(mut run) => match run.poll(cluster) {
+                    PilotStep::Wait(handles) => {
+                        self.state = DriverState::Pilot(run);
+                        return Ok(DriverPoll::NeedJobs(handles));
+                    }
+                    PilotStep::Done(pilots) => {
+                        // §4.1: reuse fully-consumed pilot outputs instead
+                        // of re-running expensive predicates during the
+                        // query.
+                        for (leaf, file) in &pilots.materialized {
+                            self.block.leaves[*leaf].source = LeafSource::Materialized {
+                                file: file.clone(),
+                            };
+                            self.block.leaves[*leaf].local_preds.clear();
+                        }
+                        self.pilot_secs = pilots.secs;
+                        self.state = DriverState::Dynopt(DynoptMachine::new(
+                            &self.opts.optimizer,
+                            self.opts.strategy,
+                            self.mode == Mode::Dynopt,
+                            self.opts.reopt_policy(),
+                        ));
+                    }
+                },
+
+                DriverState::Dynopt(mut machine) => {
+                    match machine.poll(&self.exec, cluster, &mut self.block)? {
+                        DynoptStep::Wait(handles) => {
+                            self.state = DriverState::Dynopt(machine);
+                            return Ok(DriverPoll::NeedJobs(handles));
+                        }
+                        DynoptStep::Sleep { until } => {
+                            self.state = DriverState::Dynopt(machine);
+                            return Ok(DriverPoll::Reoptimizing { until });
+                        }
+                        DynoptStep::Done(out) => {
+                            self.current_file = out.final_file;
+                            self.plans = out.plans;
+                            self.plan_trees = out.plan_trees;
+                            self.optimize_secs = out.optimize_secs;
+                            self.reopts = out.reopts;
+                            self.state = DriverState::ReadResult;
+                        }
+                    }
+                }
+
+                DriverState::RelOpt(mut machine) => {
+                    match machine.poll(&self.exec, cluster, &self.block)? {
+                        RelOptStep::Wait(handles) => {
+                            self.state = DriverState::RelOpt(machine);
+                            return Ok(DriverPoll::NeedJobs(handles));
+                        }
+                        RelOptStep::Sleep { until } => {
+                            self.state = DriverState::RelOpt(machine);
+                            return Ok(DriverPoll::Reoptimizing { until });
+                        }
+                        RelOptStep::Done(out) => {
+                            let (file, rendered, tree, opt_secs) = *out;
+                            self.current_file = file;
+                            self.plans = vec![rendered];
+                            self.plan_trees = vec![tree];
+                            self.optimize_secs = opt_secs;
+                            self.state = DriverState::ReadResult;
+                        }
+                    }
+                }
+
+                DriverState::Jaql(mut run) => match run.poll(&self.exec, cluster)? {
+                    JaqlStep::Wait(handles) => {
+                        self.state = DriverState::Jaql(run);
+                        return Ok(DriverPoll::NeedJobs(handles));
+                    }
+                    JaqlStep::Done(out) => {
+                        let (out, plan) = *out;
+                        self.current_file = out.file;
+                        self.plans = vec![plan.clone()];
+                        self.plan_trees = vec![plan];
+                        self.state = DriverState::ReadResult;
+                    }
+                },
+
+                DriverState::ReadResult => {
+                    // Post-join-block operators (§5.1): grouping, then
+                    // ordering.
+                    self.result = self.exec.read_result(&self.current_file)?;
+                    if let Some(g) = &self.group_by {
+                        let agg = self.exec.begin_group_by(cluster, &self.current_file, g)?;
+                        let h = agg.handle();
+                        self.state = DriverState::GroupBy(Some(agg));
+                        return Ok(DriverPoll::NeedJobs(vec![h]));
+                    }
+                    self.state = DriverState::MaybeOrderBy;
+                }
+
+                DriverState::GroupBy(agg) => {
+                    let agg = agg.expect("group-by job in flight");
+                    if !cluster.is_done(agg.handle()) {
+                        let h = agg.handle();
+                        self.state = DriverState::GroupBy(Some(agg));
+                        return Ok(DriverPoll::NeedJobs(vec![h]));
+                    }
+                    let (recs, _) = agg.finish(&self.exec, cluster);
+                    self.current_file = format!("{}.grouped", self.current_file);
+                    self.result = recs;
+                    self.state = DriverState::MaybeOrderBy;
+                }
+
+                DriverState::MaybeOrderBy => {
+                    if let Some(o) = &self.order_by {
+                        let agg = self.exec.begin_order_by(cluster, &self.current_file, o)?;
+                        let h = agg.handle();
+                        self.state = DriverState::OrderBy(Some(agg));
+                        return Ok(DriverPoll::NeedJobs(vec![h]));
+                    }
+                    self.state = DriverState::Finish;
+                }
+
+                DriverState::OrderBy(agg) => {
+                    let agg = agg.expect("order-by job in flight");
+                    if !cluster.is_done(agg.handle()) {
+                        let h = agg.handle();
+                        self.state = DriverState::OrderBy(Some(agg));
+                        return Ok(DriverPoll::NeedJobs(vec![h]));
+                    }
+                    let (recs, _) = agg.finish(&self.exec, cluster);
+                    self.result = recs;
+                    self.state = DriverState::Finish;
+                }
+
+                DriverState::Finish => {
+                    if self.tracer.is_enabled() {
+                        cluster.set_trace_scope(NO_SPAN);
+                        self.tracer.end_span(self.query_span, cluster.now());
+                    }
+                    self.state = DriverState::Done;
+                    return Ok(DriverPoll::Done(QueryReport {
+                        query: self.query_name.clone(),
+                        mode: self.mode.name(),
+                        rows: self.result.len() as u64,
+                        result: std::mem::take(&mut self.result),
+                        total_secs: cluster.now() - self.started_at,
+                        pilot_secs: self.pilot_secs,
+                        optimize_secs: self.optimize_secs,
+                        plans: std::mem::take(&mut self.plans),
+                        plan_trees: std::mem::take(&mut self.plan_trees),
+                        reopts: self.reopts,
+                    }));
+                }
+
+                DriverState::Done => unreachable!("QueryDriver polled after Done"),
+            }
+        }
+    }
+}
+
+/// One poll of a [`RelOptMachine`].
+enum RelOptStep {
+    Wait(Vec<JobHandle>),
+    Sleep { until: SimTime },
+    /// (final file, rendered plan, plan tree, total optimize secs)
+    Done(Box<(String, String, String, f64)>),
+}
+
+enum RelOptState {
+    /// Optimize the block with the static leaf statistics.
+    Plan,
+    /// The optimizer call's simulated time is elapsing.
+    Opt {
+        span: SpanId,
+        opt: OptResult,
+        opt_secs: f64,
+    },
+    /// Executing the chosen plan's DAG.
+    Exec {
+        dag: JobDag,
+        rendered: String,
+        tree: String,
+        run: DagRun,
+    },
+    /// A broadcast-OOM penalty is elapsing; re-plan afterwards.
+    OomWait { oom: BroadcastOom },
+    Finished,
+}
+
+/// The RELOPT pipeline as a state machine: one optimizer call over
+/// UDF-blind static statistics, then static execution — with the §6.4
+/// OOM-retry loop (each failed broadcast halves the memory budget and
+/// re-derives the plan).
+struct RelOptMachine {
+    stats: Vec<TableStats>,
+    optimizer: Optimizer,
+    retries: usize,
+    total_opt_secs: f64,
+    state: RelOptState,
+}
+
+impl RelOptMachine {
+    fn new(stats: Vec<TableStats>, optimizer: Optimizer) -> Self {
+        RelOptMachine {
+            stats,
+            optimizer,
+            retries: 0,
+            total_opt_secs: 0.0,
+            state: RelOptState::Plan,
+        }
+    }
+
+    fn poll(
+        &mut self,
+        exec: &Executor,
+        cluster: &mut Cluster,
+        block: &JoinBlock,
+    ) -> Result<RelOptStep, DynoError> {
+        let tracer = cluster.tracer().clone();
+        let traced = tracer.is_enabled();
+        loop {
+            match std::mem::replace(&mut self.state, RelOptState::Finished) {
+                RelOptState::Plan => {
+                    let opt = self.optimizer.optimize(block, &self.stats)?;
+                    let opt_secs = opt.expressions as f64 * OPT_SECS_PER_EXPRESSION;
+                    let span = if traced {
+                        tracer.start_span(
+                            cluster.trace_scope(),
+                            SpanKind::Phase,
+                            "optimize",
+                            cluster.now(),
+                        )
+                    } else {
+                        NO_SPAN
+                    };
+                    let until = cluster.now() + opt_secs;
+                    self.state = RelOptState::Opt { span, opt, opt_secs };
+                    return Ok(RelOptStep::Sleep { until });
+                }
+
+                RelOptState::Opt { span, opt, opt_secs } => {
+                    self.total_opt_secs += opt_secs;
+                    if traced {
+                        tracer.event(
+                            span,
+                            cluster.now(),
+                            "phase_secs",
+                            vec![("phase", "optimize".into()), ("secs", opt_secs.into())],
+                        );
+                        tracer.end_span(span, cluster.now());
+                    }
+                    cluster.metrics().incr("optimizer.memo_groups", opt.groups as u64);
+                    cluster
+                        .metrics()
+                        .incr("optimizer.expressions_costed", opt.expressions as u64);
+                    cluster.metrics().incr("optimizer.plans_pruned", opt.pruned as u64);
+                    let dag = JobDag::compile(block, &opt.plan);
+                    let rendered = opt.plan.render_inline(block);
+                    let tree = opt.plan.render_tree(block);
+                    self.state = RelOptState::Exec {
+                        dag,
+                        rendered,
+                        tree,
+                        run: DagRun::new(true, false),
+                    };
+                }
+
+                RelOptState::Exec { dag, rendered, tree, mut run } => {
+                    match run.poll(exec, cluster, block, &dag) {
+                        Ok(DagStep::Wait(handles)) => {
+                            self.state = RelOptState::Exec { dag, rendered, tree, run };
+                            return Ok(RelOptStep::Wait(handles));
+                        }
+                        Ok(DagStep::Done(out)) => {
+                            return Ok(RelOptStep::Done(Box::new((
+                                out.file,
+                                rendered,
+                                tree,
+                                self.total_opt_secs,
+                            ))));
+                        }
+                        Err(ExecError::Oom(o)) => {
+                            let until = cluster.now() + oom_penalty(cluster, &o);
+                            self.state = RelOptState::OomWait { oom: o };
+                            return Ok(RelOptStep::Sleep { until });
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+
+                RelOptState::OomWait { oom } => {
+                    oom_record(cluster, &mut self.optimizer, &mut self.retries, oom)?;
+                    self.state = RelOptState::Plan;
+                }
+
+                RelOptState::Finished => unreachable!("RelOptMachine polled after Done"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_cluster::ClusterConfig;
+    use dyno_obs::Obs;
+    use dyno_storage::SimScale;
+    use dyno_tpch::queries::{self, QueryId};
+    use dyno_tpch::TpchGenerator;
+
+    fn dyno() -> Dyno {
+        let env = TpchGenerator::new(1, SimScale::divisor(2000)).generate();
+        let mut d = Dyno::new(env.dfs, crate::dyno::DynoOptions::default());
+        d.obs = Obs::enabled();
+        d
+    }
+
+    /// Drive a query manually, single-stepping the event loop instead of
+    /// using `run_until_done` — a *different* stepping pattern from
+    /// `Dyno::run`, which the determinism contract says must not matter.
+    fn drive(d: &Dyno, q: &PreparedQuery, mode: Mode) -> QueryReport {
+        let mut cluster = Cluster::new(d.opts.cluster.clone());
+        cluster.set_obs(d.obs.tracer.clone(), d.obs.metrics.clone());
+        let mut driver = QueryDriver::new(d, q, mode, &mut cluster).unwrap();
+        loop {
+            match driver.poll(&mut cluster).unwrap() {
+                DriverPoll::NeedJobs(handles) => {
+                    while !handles.iter().all(|&h| cluster.is_done(h)) {
+                        assert!(cluster.step(), "jobs outstanding but no events");
+                    }
+                }
+                DriverPoll::Reoptimizing { until } => cluster.run_until_time(until),
+                DriverPoll::Done(report) => return report,
+            }
+        }
+    }
+
+    fn assert_bitwise_eq(a: &QueryReport, b: &QueryReport, ctx: &str) {
+        assert_eq!(a.total_secs.to_bits(), b.total_secs.to_bits(), "{ctx} total");
+        assert_eq!(a.pilot_secs.to_bits(), b.pilot_secs.to_bits(), "{ctx} pilot");
+        assert_eq!(
+            a.optimize_secs.to_bits(),
+            b.optimize_secs.to_bits(),
+            "{ctx} optimize"
+        );
+        assert_eq!(a.rows, b.rows, "{ctx} rows");
+        assert_eq!(a.result, b.result, "{ctx} result");
+        assert_eq!(a.plans, b.plans, "{ctx} plans");
+        assert_eq!(a.reopts, b.reopts, "{ctx} reopts");
+    }
+
+    /// The tentpole acceptance criterion: a query driven through
+    /// `QueryDriver` yields a `QueryReport` bitwise-identical to
+    /// `Dyno::run`, for every benchmark query at SF1 — with the full
+    /// paper config (jitter on) and obs enabled, so traces match too.
+    #[test]
+    fn driver_solo_is_bitwise_identical_to_run() {
+        for q in [
+            QueryId::Q2,
+            QueryId::Q7,
+            QueryId::Q8Prime,
+            QueryId::Q9Prime,
+            QueryId::Q10,
+        ] {
+            let query = queries::prepare(q);
+            let via_run = {
+                let d = dyno();
+                let r = d.run(&query, Mode::Dynopt).unwrap();
+                (r, d.obs.tracer.render())
+            };
+            let via_driver = {
+                let d = dyno();
+                let r = drive(&d, &query, Mode::Dynopt);
+                (r, d.obs.tracer.render())
+            };
+            assert_bitwise_eq(&via_run.0, &via_driver.0, &format!("{q:?}"));
+            assert_eq!(via_run.1, via_driver.1, "{q:?} traces differ");
+        }
+    }
+
+    /// Every mode takes the driver path; the baselines and RELOPT must be
+    /// bitwise-stable under manual stepping too.
+    #[test]
+    fn driver_matches_run_across_modes() {
+        let query = queries::prepare(QueryId::Q7);
+        for mode in [
+            Mode::DynoptSimple,
+            Mode::RelOpt,
+            Mode::BestStaticJaql,
+            Mode::JaqlAsWritten,
+        ] {
+            let via_run = {
+                let d = dyno();
+                d.run(&query, mode).unwrap()
+            };
+            let via_driver = {
+                let d = dyno();
+                drive(&d, &query, mode)
+            };
+            assert_bitwise_eq(&via_run, &via_driver, &format!("{mode:?}"));
+        }
+    }
+
+    /// A driver on a cluster whose clock is already nonzero reports
+    /// latency relative to its own arrival, not absolute time.
+    #[test]
+    fn driver_latency_is_relative_to_arrival() {
+        let env = TpchGenerator::new(1, SimScale::divisor(2000)).generate();
+        let d = Dyno::new(
+            env.dfs,
+            crate::dyno::DynoOptions {
+                cluster: ClusterConfig {
+                    task_jitter: 0.0,
+                    ..ClusterConfig::paper()
+                },
+                ..crate::dyno::DynoOptions::default()
+            },
+        );
+        let query = queries::prepare(QueryId::Q10);
+        let solo = d.run(&query, Mode::Dynopt).unwrap();
+
+        d.clear_stats();
+        let mut cluster = Cluster::new(d.opts.cluster.clone());
+        cluster.run_until_time(1000.0);
+        let mut driver = QueryDriver::new(&d, &query, Mode::Dynopt, &mut cluster).unwrap();
+        assert_eq!(driver.started_at(), 1000.0);
+        let report = loop {
+            match driver.poll(&mut cluster).unwrap() {
+                DriverPoll::NeedJobs(h) => cluster.run_until_done(&h),
+                DriverPoll::Reoptimizing { until } => cluster.run_until_time(until),
+                DriverPoll::Done(r) => break r,
+            }
+        };
+        assert_eq!(report.rows, solo.rows);
+        // Arrival-relative, not absolute: the same query starting at
+        // t=1000 reports (essentially) the same latency as at t=0. Only
+        // f64 rounding of the shifted clock may differ, so allow ulps.
+        let rel = (report.total_secs - solo.total_secs).abs() / solo.total_secs;
+        assert!(
+            rel < 1e-9,
+            "latency must be arrival-relative: {} vs {}",
+            report.total_secs,
+            solo.total_secs
+        );
+    }
+}

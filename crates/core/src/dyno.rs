@@ -2,22 +2,19 @@
 
 use std::fmt;
 
-use dyno_cluster::{Cluster, ClusterConfig, Coord};
+use dyno_cluster::{Cluster, ClusterConfig};
 use dyno_data::Value;
-use dyno_exec::{ExecError, Executor, JobDag};
-use dyno_obs::trace::NO_SPAN;
-use dyno_obs::{Obs, SpanKind};
+use dyno_exec::ExecError;
+use dyno_obs::Obs;
 use dyno_optimizer::{OptError, Optimizer};
 use dyno_query::block::CompileError;
-use dyno_query::{JoinBlock, LeafSource};
 use dyno_stats::Metastore;
 use dyno_storage::{Dfs, DfsError};
 use dyno_tpch::queries::PreparedQuery;
-use dyno_tpch::catalog_for;
 
-use crate::baseline::{best_static_jaql, execute_jaql_order, relopt_leaf_stats};
-use crate::dynopt::{run_dynopt, AdaptiveReopt, ReoptPolicy, Strategy, OPT_SECS_PER_EXPRESSION};
-use crate::pilot::{run_pilots, PilotConfig};
+use crate::driver::{DriverPoll, QueryDriver};
+use crate::dynopt::{AdaptiveReopt, ReoptPolicy, Strategy};
+use crate::pilot::PilotConfig;
 
 /// Everything that can go wrong running a query.
 #[derive(Debug)]
@@ -211,163 +208,22 @@ impl Dyno {
 
     /// Run a prepared query under the given mode, on a fresh simulated
     /// cluster starting at time zero.
+    ///
+    /// This is the solo driving loop over [`QueryDriver`]: block on each
+    /// set of outstanding jobs, advance the clock through client-side
+    /// (re-)optimization windows, and return the report. Concurrent
+    /// workloads use the same driver against one shared cluster instead.
     pub fn run(&self, q: &PreparedQuery, mode: Mode) -> Result<QueryReport, DynoError> {
         let mut cluster = Cluster::new(self.opts.cluster.clone());
         cluster.set_obs(self.obs.tracer.clone(), self.obs.metrics.clone());
-        self.metastore.set_metrics(self.obs.metrics.clone());
-        let mut exec = Executor::new(self.dfs.clone(), Coord::new(), q.udfs.clone());
-        exec.metastore = self.metastore.clone();
-
-        let cat = catalog_for(&q.spec);
-        let mut block = JoinBlock::compile(&q.spec, &cat)?;
-        // Reject unregistered UDFs up front with a typed error — never
-        // mid-execution (where they would silently evaluate to null).
-        block.validate_udfs(&q.udfs)?;
-
-        let tracer = self.obs.tracer.clone();
-        let query_span =
-            tracer.start_span(NO_SPAN, SpanKind::Query, q.spec.name.clone(), 0.0);
-        if tracer.is_enabled() {
-            cluster.set_trace_scope(query_span);
-        }
-
-        let (final_file, plans, plan_trees, pilot_secs, optimize_secs, reopts) = match mode {
-            Mode::Dynopt | Mode::DynoptSimple => {
-                let pilots = run_pilots(&exec, &mut cluster, &block, &self.opts.pilot)?;
-                // §4.1: reuse fully-consumed pilot outputs instead of
-                // re-running expensive predicates during the query.
-                for (leaf, file) in &pilots.materialized {
-                    block.leaves[*leaf].source = LeafSource::Materialized {
-                        file: file.clone(),
-                    };
-                    block.leaves[*leaf].local_preds.clear();
-                }
-                let out = run_dynopt(
-                    &exec,
-                    &mut cluster,
-                    &mut block,
-                    &self.opts.optimizer,
-                    self.opts.strategy,
-                    mode == Mode::Dynopt,
-                    self.opts.reopt_policy(),
-                )?;
-                (
-                    out.final_file,
-                    out.plans,
-                    out.plan_trees,
-                    pilots.secs,
-                    out.optimize_secs,
-                    out.reopts,
-                )
+        let mut driver = QueryDriver::new(self, q, mode, &mut cluster)?;
+        loop {
+            match driver.poll(&mut cluster)? {
+                DriverPoll::NeedJobs(handles) => cluster.run_until_done(&handles),
+                DriverPoll::Reoptimizing { until } => cluster.run_until_time(until),
+                DriverPoll::Done(report) => return Ok(report),
             }
-            Mode::RelOpt => {
-                let stats = relopt_leaf_stats(&exec, &block)?;
-                // RELOPT is the mode most exposed to broadcast OOM: its
-                // UDF-blind, independence-assuming estimates can send an
-                // oversized build side into a map-only join (§6.4). Each
-                // failed attempt costs cluster time, then the plan is
-                // re-derived under a tighter memory budget.
-                let mut optimizer = self.opts.optimizer.clone();
-                let mut retries = 0usize;
-                let mut total_opt_secs = 0.0;
-                loop {
-                    let opt = optimizer.optimize(&block, &stats)?;
-                    let opt_secs = opt.expressions as f64 * OPT_SECS_PER_EXPRESSION;
-                    let opt_span = if tracer.is_enabled() {
-                        tracer.start_span(
-                            cluster.trace_scope(),
-                            SpanKind::Phase,
-                            "optimize",
-                            cluster.now(),
-                        )
-                    } else {
-                        NO_SPAN
-                    };
-                    cluster.advance(opt_secs);
-                    total_opt_secs += opt_secs;
-                    if tracer.is_enabled() {
-                        tracer.event(
-                            opt_span,
-                            cluster.now(),
-                            "phase_secs",
-                            vec![("phase", "optimize".into()), ("secs", opt_secs.into())],
-                        );
-                        tracer.end_span(opt_span, cluster.now());
-                    }
-                    cluster.metrics().incr("optimizer.memo_groups", opt.groups as u64);
-                    cluster
-                        .metrics()
-                        .incr("optimizer.expressions_costed", opt.expressions as u64);
-                    cluster.metrics().incr("optimizer.plans_pruned", opt.pruned as u64);
-                    let dag = JobDag::compile(&block, &opt.plan);
-                    let rendered = opt.plan.render_inline(&block);
-                    let tree = opt.plan.render_tree(&block);
-                    match exec.run_dag(&mut cluster, &block, &dag, true, false) {
-                        Ok(out) => {
-                            break (out.file, vec![rendered], vec![tree], 0.0, total_opt_secs, 0)
-                        }
-                        Err(ExecError::Oom(o)) => {
-                            crate::dynopt::oom_recover(
-                                &mut cluster,
-                                &mut optimizer,
-                                &mut retries,
-                                o,
-                            )?;
-                        }
-                        Err(e) => return Err(e.into()),
-                    }
-                }
-            }
-            Mode::BestStaticJaql => {
-                let (out, plan) =
-                    best_static_jaql(&exec, &mut cluster, &block, &self.opts.optimizer.cost_model)?;
-                (out.file, vec![plan.clone()], vec![plan], 0.0, 0.0, 0)
-            }
-            Mode::JaqlAsWritten => {
-                let order = block.from_order.clone();
-                let (out, plan) = execute_jaql_order(
-                    &exec,
-                    &mut cluster,
-                    &block,
-                    &self.opts.optimizer.cost_model,
-                    &order,
-                )?;
-                (out.file, vec![plan.clone()], vec![plan], 0.0, 0.0, 0)
-            }
-        };
-
-        // Post-join-block operators (§5.1): grouping, then ordering.
-        let mut current_file = final_file;
-        let mut result = exec.read_result(&current_file)?;
-        if let Some(g) = &q.spec.group_by {
-            let (recs, _) = exec.run_group_by(&mut cluster, &current_file, g)?;
-            current_file = format!("{current_file}.grouped");
-            result = recs;
         }
-        if let Some(o) = &q.spec.order_by {
-            let (recs, _) = exec.run_order_by(&mut cluster, &current_file, o)?;
-            result = recs;
-        }
-
-        // The query span runs 0.0 → now, so its duration equals
-        // `total_secs` exactly (x - 0.0 is bitwise x).
-        if tracer.is_enabled() {
-            cluster.set_trace_scope(NO_SPAN);
-            tracer.end_span(query_span, cluster.now());
-        }
-
-        Ok(QueryReport {
-            query: q.spec.name.clone(),
-            mode: mode.name(),
-            rows: result.len() as u64,
-            result,
-            total_secs: cluster.now(),
-            pilot_secs,
-            optimize_secs,
-            plans,
-            plan_trees,
-            reopts,
-        })
     }
 }
 

@@ -10,11 +10,12 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use dyno_cluster::Cluster;
-use dyno_exec::{Executor, Input, JobDag, JobKind, JobNode, JobOutput};
+use dyno_cluster::{Cluster, JobHandle, SimTime};
+use dyno_exec::jobs::BroadcastOom;
+use dyno_exec::{Executor, Input, JobDag, JobKind, JobNode, JobOutput, JobsStep, PendingJobs};
 use dyno_obs::trace::NO_SPAN;
-use dyno_obs::SpanKind;
-use dyno_optimizer::Optimizer;
+use dyno_obs::{SpanId, SpanKind};
+use dyno_optimizer::{OptResult, Optimizer};
 use dyno_query::{JoinBlock, JoinMethod, PhysNode};
 use dyno_stats::TableStats;
 
@@ -215,210 +216,353 @@ pub fn run_dynopt(
     reoptimize: bool,
     policy: ReoptPolicy,
 ) -> Result<DynoptOutcome, DynoError> {
-    // Local copy: broadcast-OOM recovery tightens its memory budget.
-    let mut optimizer = optimizer.clone();
-    let tracer = cluster.tracer().clone();
-    let traced = tracer.is_enabled();
-    let mut threshold = policy.initial_threshold();
-    let mut plans = Vec::new();
-    let mut plan_trees = Vec::new();
-    let mut optimize_secs = 0.0;
-    let mut reopts = 0usize;
-    let mut jobs_run = 0usize;
-    let mut oom_retries = 0usize;
-
-    'replan: loop {
-        // Already reduced to a single materialized leaf? Done.
-        if block.is_fully_executed() {
-            let file = match &block.leaves[0].source {
-                dyno_query::LeafSource::Materialized { file } => file.clone(),
-                _ => unreachable!("fully executed means materialized"),
-            };
-            let rows = exec.dfs.file(&file)?.actual_records();
-            return Ok(DynoptOutcome {
-                final_file: file,
-                rows,
-                plans,
-                plan_trees,
-                optimize_secs,
-                reopts: reopts.saturating_sub(1),
-                jobs_run,
-            });
+    let mut machine = DynoptMachine::new(optimizer, strategy, reoptimize, policy);
+    loop {
+        match machine.poll(exec, cluster, block)? {
+            DynoptStep::Wait(handles) => cluster.run_until_done(&handles),
+            DynoptStep::Sleep { until } => cluster.run_until_time(until),
+            DynoptStep::Done(out) => return Ok(out),
         }
+    }
+}
 
-        // Optimize the remaining block (§5.1: local predicates are not
-        // re-estimated; the leaf statistics already reflect them).
-        let stats = leaf_stats(exec, block)?;
-        let opt = optimizer.optimize(block, &stats)?;
-        let opt_secs = opt.expressions as f64 * OPT_SECS_PER_EXPRESSION;
-        let opt_span = if traced {
-            tracer.start_span(cluster.trace_scope(), SpanKind::Phase, "optimize", cluster.now())
-        } else {
-            NO_SPAN
-        };
-        cluster.advance(opt_secs);
-        optimize_secs += opt_secs;
-        if traced {
-            // `secs` carries the per-call increment exactly as accumulated
-            // into `optimize_secs`, so summing the events in record order
-            // reproduces the QueryReport value bit-for-bit.
-            tracer.event(
-                opt_span,
-                cluster.now(),
-                "phase_secs",
-                vec![("phase", "optimize".into()), ("secs", opt_secs.into())],
-            );
-            tracer.event(
-                opt_span,
-                cluster.now(),
-                "optimize",
-                vec![
-                    ("expressions", (opt.expressions as u64).into()),
-                    ("groups", (opt.groups as u64).into()),
-                    ("pruned", (opt.pruned as u64).into()),
-                    ("cost", opt.cost.into()),
-                ],
-            );
-            tracer.end_span(opt_span, cluster.now());
+/// One poll of a [`DynoptMachine`].
+pub enum DynoptStep {
+    /// Waiting on these cluster jobs; drive the cluster and poll again.
+    Wait(Vec<JobHandle>),
+    /// Client-side time is being charged (an optimizer call or an OOM
+    /// recovery penalty); run the cluster to `until` and poll again.
+    Sleep {
+        /// Simulated time at which the client-side work completes.
+        until: SimTime,
+    },
+    /// The block has been fully executed.
+    Done(DynoptOutcome),
+}
+
+enum MachState {
+    /// Top of the re-plan loop: optimize whatever remains of the block.
+    Replan,
+    /// An optimizer call's simulated time is elapsing.
+    Opt {
+        span: SpanId,
+        opt: OptResult,
+        opt_secs: f64,
+        stats: Vec<TableStats>,
+    },
+    /// Executing the current plan's DAG, batch by batch.
+    Exec {
+        dag: JobDag,
+        stats: Vec<TableStats>,
+        outputs: BTreeMap<usize, JobOutput>,
+        done: BTreeSet<usize>,
+        pending: Option<(PendingJobs, bool, bool)>, // (batch, finishes_dag, collect)
+    },
+    /// A broadcast-OOM penalty (startup + doomed build load) is elapsing.
+    OomWait { oom: BroadcastOom },
+    Finished,
+}
+
+/// Algorithm 2 as a resumable state machine: every suspension point is a
+/// job boundary (where DYNOPT re-optimizes) or a client-side wait (an
+/// optimizer call or OOM recovery). Driving it solo — poll in a loop,
+/// `run_until_done` on `Wait`, `run_until_time` on `Sleep` — reproduces
+/// the blocking [`run_dynopt`] bit for bit; concurrent workloads instead
+/// interleave many machines over one shared cluster.
+pub struct DynoptMachine {
+    /// Local copy: broadcast-OOM recovery tightens its memory budget.
+    optimizer: Optimizer,
+    strategy: Strategy,
+    reoptimize: bool,
+    policy: ReoptPolicy,
+    threshold: Option<f64>,
+    plans: Vec<String>,
+    plan_trees: Vec<String>,
+    optimize_secs: f64,
+    reopts: usize,
+    jobs_run: usize,
+    oom_retries: usize,
+    state: MachState,
+}
+
+impl DynoptMachine {
+    /// A machine that has not optimized or executed anything yet.
+    pub fn new(
+        optimizer: &Optimizer,
+        strategy: Strategy,
+        reoptimize: bool,
+        policy: ReoptPolicy,
+    ) -> Self {
+        DynoptMachine {
+            optimizer: optimizer.clone(),
+            strategy,
+            reoptimize,
+            policy,
+            threshold: policy.initial_threshold(),
+            plans: Vec::new(),
+            plan_trees: Vec::new(),
+            optimize_secs: 0.0,
+            reopts: 0,
+            jobs_run: 0,
+            oom_retries: 0,
+            state: MachState::Replan,
         }
-        cluster.metrics().incr("optimizer.memo_groups", opt.groups as u64);
-        cluster.metrics().incr("optimizer.expressions_costed", opt.expressions as u64);
-        cluster.metrics().incr("optimizer.plans_pruned", opt.pruned as u64);
-        reopts += 1;
-        plans.push(opt.plan.render_inline(block));
-        plan_trees.push(opt.plan.render_tree(block));
+    }
 
-        let dag = JobDag::compile(block, &opt.plan);
-        let mut outputs: BTreeMap<usize, JobOutput> = BTreeMap::new();
-        let mut done: BTreeSet<usize> = BTreeSet::new();
-
-        // Merge every finished job of this DAG back into the block, in
-        // dependency (id) order so later merges subsume earlier ones,
-        // then go re-plan what remains.
-        macro_rules! fold_done_and_replan {
-            () => {{
-                for (_, out) in &outputs {
-                    block.merge_leaves_by_aliases(
-                        &out.aliases,
-                        &out.file,
-                        &out.applied_preds,
-                    );
-                }
-                continue 'replan;
-            }};
-        }
-
-        // Execute this DAG until it completes or a re-plan is warranted.
+    /// Advance the algorithm as far as possible without waiting on
+    /// simulated time. Must not be called again after [`DynoptStep::Done`].
+    pub fn poll(
+        &mut self,
+        exec: &Executor,
+        cluster: &mut Cluster,
+        block: &mut JoinBlock,
+    ) -> Result<DynoptStep, DynoError> {
+        let tracer = cluster.tracer().clone();
+        let traced = tracer.is_enabled();
         loop {
-            let mut runnable = dag.runnable(&done);
-            assert!(!runnable.is_empty(), "incomplete DAG has runnable jobs");
-            rank_jobs(&mut runnable, &dag, strategy, |id| {
-                job_subtree(&dag.jobs[id])
-                    .map(|sub| optimizer.cost_plan(block, &stats, &sub))
-                    .unwrap_or(f64::INFINITY)
-            });
-            runnable.truncate(strategy.batch_size());
-            let finishes_dag = done.len() + runnable.len() == dag.jobs.len();
-            // §5.4: no statistics on the last job / when not re-optimizing.
-            let collect = reoptimize && !finishes_dag;
+            match std::mem::replace(&mut self.state, MachState::Finished) {
+                MachState::Replan => {
+                    // Already reduced to a single materialized leaf? Done.
+                    if block.is_fully_executed() {
+                        let file = match &block.leaves[0].source {
+                            dyno_query::LeafSource::Materialized { file } => file.clone(),
+                            _ => unreachable!("fully executed means materialized"),
+                        };
+                        let rows = exec.dfs.file(&file)?.actual_records();
+                        return Ok(DynoptStep::Done(DynoptOutcome {
+                            final_file: file,
+                            rows,
+                            plans: std::mem::take(&mut self.plans),
+                            plan_trees: std::mem::take(&mut self.plan_trees),
+                            optimize_secs: self.optimize_secs,
+                            reopts: self.reopts.saturating_sub(1),
+                            jobs_run: self.jobs_run,
+                        }));
+                    }
 
-            match exec.execute_jobs(
-                cluster,
-                block,
-                &dag,
-                &runnable,
-                &outputs,
-                strategy.parallel() && runnable.len() > 1,
-                collect,
-            ) {
-                Ok(outs) => {
-                    jobs_run += outs.len();
-                    let mut replan = false;
-                    for out in outs {
-                        if traced && collect {
-                            // Estimated-vs-observed output cardinality for
-                            // the profile's join table (both at simulated
-                            // scale).
-                            let est = optimizer.estimate_rows(
-                                block,
-                                &stats,
-                                &dag.jobs[out.job_id].leaves,
-                            );
-                            let label = out
-                                .aliases
-                                .iter()
-                                .cloned()
-                                .collect::<Vec<_>>()
-                                .join("⋈");
-                            tracer.event(
-                                cluster.trace_scope(),
-                                cluster.now(),
-                                "job_cardinality",
-                                vec![
-                                    ("job", label.into()),
-                                    ("est", est.into()),
-                                    ("obs", (out.stats.rows as u64).into()),
-                                ],
-                            );
-                        }
-                        if reoptimize {
-                            let held = out.leaves_estimate_held(
-                                &optimizer, block, &stats, &dag, threshold,
-                            );
-                            if !held {
-                                replan = true;
+                    // Optimize the remaining block (§5.1: local predicates
+                    // are not re-estimated; the leaf statistics already
+                    // reflect them).
+                    let stats = leaf_stats(exec, block)?;
+                    let opt = self.optimizer.optimize(block, &stats)?;
+                    let opt_secs = opt.expressions as f64 * OPT_SECS_PER_EXPRESSION;
+                    let span = if traced {
+                        tracer.start_span(
+                            cluster.trace_scope(),
+                            SpanKind::Phase,
+                            "optimize",
+                            cluster.now(),
+                        )
+                    } else {
+                        NO_SPAN
+                    };
+                    let until = cluster.now() + opt_secs;
+                    self.state = MachState::Opt { span, opt, opt_secs, stats };
+                    return Ok(DynoptStep::Sleep { until });
+                }
+
+                MachState::Opt { span, opt, opt_secs, stats } => {
+                    self.optimize_secs += opt_secs;
+                    if traced {
+                        // `secs` carries the per-call increment exactly as
+                        // accumulated into `optimize_secs`, so summing the
+                        // events in record order reproduces the QueryReport
+                        // value bit-for-bit.
+                        tracer.event(
+                            span,
+                            cluster.now(),
+                            "phase_secs",
+                            vec![("phase", "optimize".into()), ("secs", opt_secs.into())],
+                        );
+                        tracer.event(
+                            span,
+                            cluster.now(),
+                            "optimize",
+                            vec![
+                                ("expressions", (opt.expressions as u64).into()),
+                                ("groups", (opt.groups as u64).into()),
+                                ("pruned", (opt.pruned as u64).into()),
+                                ("cost", opt.cost.into()),
+                            ],
+                        );
+                        tracer.end_span(span, cluster.now());
+                    }
+                    cluster.metrics().incr("optimizer.memo_groups", opt.groups as u64);
+                    cluster
+                        .metrics()
+                        .incr("optimizer.expressions_costed", opt.expressions as u64);
+                    cluster.metrics().incr("optimizer.plans_pruned", opt.pruned as u64);
+                    self.reopts += 1;
+                    self.plans.push(opt.plan.render_inline(block));
+                    self.plan_trees.push(opt.plan.render_tree(block));
+
+                    let dag = JobDag::compile(block, &opt.plan);
+                    self.state = MachState::Exec {
+                        dag,
+                        stats,
+                        outputs: BTreeMap::new(),
+                        done: BTreeSet::new(),
+                        pending: None,
+                    };
+                }
+
+                MachState::Exec { dag, stats, mut outputs, mut done, mut pending } => {
+                    if pending.is_none() {
+                        let mut runnable = dag.runnable(&done);
+                        assert!(!runnable.is_empty(), "incomplete DAG has runnable jobs");
+                        rank_jobs(&mut runnable, &dag, self.strategy, |id| {
+                            job_subtree(&dag.jobs[id])
+                                .map(|sub| self.optimizer.cost_plan(block, &stats, &sub))
+                                .unwrap_or(f64::INFINITY)
+                        });
+                        runnable.truncate(self.strategy.batch_size());
+                        let finishes_dag = done.len() + runnable.len() == dag.jobs.len();
+                        // §5.4: no statistics on the last job / when not
+                        // re-optimizing.
+                        let collect = self.reoptimize && !finishes_dag;
+                        match exec.begin_jobs(
+                            cluster,
+                            block,
+                            &dag,
+                            &runnable,
+                            &outputs,
+                            self.strategy.parallel() && runnable.len() > 1,
+                            collect,
+                        ) {
+                            Ok(batch) => pending = Some((batch, finishes_dag, collect)),
+                            Err(dyno_exec::ExecError::Oom(o)) => {
+                                fold_done(block, &outputs);
+                                let until = cluster.now() + oom_penalty(cluster, &o);
+                                self.state = MachState::OomWait { oom: o };
+                                return Ok(DynoptStep::Sleep { until });
                             }
-                            // Adaptive feedback: learn only from batches
-                            // with real statistics (`collect`), never from
-                            // the stat-less final job.
-                            if let ReoptPolicy::Adaptive(a) = policy {
-                                if collect {
-                                    let t = threshold.unwrap_or(a.initial);
-                                    let new_t = if held {
-                                        (t * a.relax).min(a.max)
-                                    } else {
-                                        (t * a.tighten).max(a.min)
-                                    };
-                                    threshold = Some(new_t);
-                                    if traced {
-                                        tracer.event(
-                                            cluster.trace_scope(),
-                                            cluster.now(),
-                                            "reopt_threshold",
-                                            vec![
-                                                ("held", u64::from(held).into()),
-                                                ("threshold", new_t.into()),
-                                            ],
-                                        );
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    let (mut batch, finishes_dag, collect) =
+                        pending.take().expect("batch just ensured");
+                    match batch.poll(cluster) {
+                        JobsStep::Wait(handles) => {
+                            self.state = MachState::Exec {
+                                dag,
+                                stats,
+                                outputs,
+                                done,
+                                pending: Some((batch, finishes_dag, collect)),
+                            };
+                            return Ok(DynoptStep::Wait(handles));
+                        }
+                        JobsStep::Done(outs) => {
+                            self.jobs_run += outs.len();
+                            let mut replan = false;
+                            for out in outs {
+                                if traced && collect {
+                                    // Estimated-vs-observed output
+                                    // cardinality for the profile's join
+                                    // table (both at simulated scale).
+                                    let est = self.optimizer.estimate_rows(
+                                        block,
+                                        &stats,
+                                        &dag.jobs[out.job_id].leaves,
+                                    );
+                                    let label = out
+                                        .aliases
+                                        .iter()
+                                        .cloned()
+                                        .collect::<Vec<_>>()
+                                        .join("⋈");
+                                    tracer.event(
+                                        cluster.trace_scope(),
+                                        cluster.now(),
+                                        "job_cardinality",
+                                        vec![
+                                            ("job", label.into()),
+                                            ("est", est.into()),
+                                            ("obs", (out.stats.rows as u64).into()),
+                                        ],
+                                    );
+                                }
+                                if self.reoptimize {
+                                    let held = out.leaves_estimate_held(
+                                        &self.optimizer,
+                                        block,
+                                        &stats,
+                                        &dag,
+                                        self.threshold,
+                                    );
+                                    if !held {
+                                        replan = true;
+                                    }
+                                    // Adaptive feedback: learn only from
+                                    // batches with real statistics
+                                    // (`collect`), never from the stat-less
+                                    // final job.
+                                    if let ReoptPolicy::Adaptive(a) = self.policy {
+                                        if collect {
+                                            let t = self.threshold.unwrap_or(a.initial);
+                                            let new_t = if held {
+                                                (t * a.relax).min(a.max)
+                                            } else {
+                                                (t * a.tighten).max(a.min)
+                                            };
+                                            self.threshold = Some(new_t);
+                                            if traced {
+                                                tracer.event(
+                                                    cluster.trace_scope(),
+                                                    cluster.now(),
+                                                    "reopt_threshold",
+                                                    vec![
+                                                        ("held", u64::from(held).into()),
+                                                        ("threshold", new_t.into()),
+                                                    ],
+                                                );
+                                            }
+                                        }
                                     }
                                 }
+                                done.insert(out.job_id);
+                                outputs.insert(out.job_id, out);
+                            }
+                            if traced && self.reoptimize && !finishes_dag {
+                                tracer.event(
+                                    cluster.trace_scope(),
+                                    cluster.now(),
+                                    "reopt_decision",
+                                    vec![("replanned", u64::from(replan).into())],
+                                );
+                            }
+                            if done.len() == dag.jobs.len() || (self.reoptimize && replan) {
+                                fold_done(block, &outputs);
+                                self.state = MachState::Replan;
+                            } else {
+                                self.state = MachState::Exec {
+                                    dag,
+                                    stats,
+                                    outputs,
+                                    done,
+                                    pending: None,
+                                };
                             }
                         }
-                        done.insert(out.job_id);
-                        outputs.insert(out.job_id, out);
-                    }
-                    if traced && reoptimize && !finishes_dag {
-                        tracer.event(
-                            cluster.trace_scope(),
-                            cluster.now(),
-                            "reopt_decision",
-                            vec![("replanned", u64::from(replan).into())],
-                        );
-                    }
-                    if done.len() == dag.jobs.len() {
-                        fold_done_and_replan!();
-                    }
-                    if reoptimize && replan {
-                        fold_done_and_replan!();
                     }
                 }
-                Err(dyno_exec::ExecError::Oom(o)) => {
-                    oom_recover(cluster, &mut optimizer, &mut oom_retries, o)?;
-                    fold_done_and_replan!();
+
+                MachState::OomWait { oom } => {
+                    oom_record(cluster, &mut self.optimizer, &mut self.oom_retries, oom)?;
+                    self.state = MachState::Replan;
                 }
-                Err(e) => return Err(e.into()),
+
+                MachState::Finished => unreachable!("DynoptMachine polled after Done"),
             }
         }
+    }
+}
+
+/// Merge every finished job of the current DAG back into the block, in
+/// dependency (id) order so later merges subsume earlier ones.
+fn fold_done(block: &mut JoinBlock, outputs: &BTreeMap<usize, JobOutput>) {
+    for out in outputs.values() {
+        block.merge_leaves_by_aliases(&out.aliases, &out.file, &out.applied_preds);
     }
 }
 
@@ -478,22 +622,27 @@ impl EstimateCheck for JobOutput {
     }
 }
 
+/// Simulated seconds a failed broadcast attempt costs: job startup plus
+/// loading the doomed build side from disk.
+pub(crate) fn oom_penalty(cluster: &Cluster, oom: &BroadcastOom) -> f64 {
+    let cfg = cluster.config();
+    cfg.job_startup_secs + oom.build_bytes as f64 / cfg.disk_bytes_per_sec
+}
+
 /// Broadcast OOM recovery. The platform has no spilling, so a build side
 /// that outgrows its estimate kills the job (§2.2.1: "the query fails due
 /// to an out of memory error"). The failed attempt costs real cluster
-/// time (startup + the doomed build load); the plan is then re-derived
-/// under a halved optimizer memory budget — what an operator re-submitting
-/// the query does. With pilot-run statistics this path is rarely taken;
-/// with UDF-blind static estimates it is exactly the §6.4 hazard.
-pub(crate) fn oom_recover(
+/// time ([`oom_penalty`], charged by the caller *before* this records the
+/// recovery); the plan is then re-derived under a halved optimizer memory
+/// budget — what an operator re-submitting the query does. With pilot-run
+/// statistics this path is rarely taken; with UDF-blind static estimates
+/// it is exactly the §6.4 hazard.
+pub(crate) fn oom_record(
     cluster: &mut Cluster,
     optimizer: &mut Optimizer,
     retries: &mut usize,
-    oom: dyno_exec::jobs::BroadcastOom,
+    oom: BroadcastOom,
 ) -> Result<(), DynoError> {
-    let cfg = cluster.config();
-    let penalty = cfg.job_startup_secs + oom.build_bytes as f64 / cfg.disk_bytes_per_sec;
-    cluster.advance(penalty);
     cluster.metrics().incr("core.oom_recoveries", 1);
     if cluster.tracer().is_enabled() {
         // Span-scoped memory attribution: which join OOMed, which build

@@ -21,11 +21,13 @@
 //! * [`Mode::JaqlAsWritten`] — stock Jaql on the user's FROM order.
 
 pub mod baseline;
+pub mod driver;
 pub mod dyno;
 pub mod dynopt;
 pub mod oracle;
 pub mod pilot;
 
+pub use driver::{DriverPoll, QueryDriver};
 pub use dyno::{Dyno, DynoError, DynoOptions, Mode, QueryReport};
 pub use dynopt::{AdaptiveReopt, ReoptPolicy, Strategy};
 pub use oracle::Oracle;

@@ -23,11 +23,11 @@
 //! output materialized for reuse by the real query (§4.1's optimization),
 //! and statistics are reused across runs via expression signatures.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
-use dyno_cluster::{Cluster, JobProfile, TaskProfile};
+use dyno_cluster::{Cluster, JobHandle, JobProfile, TaskProfile};
 use dyno_exec::Executor;
-use dyno_obs::SpanKind;
+use dyno_obs::{SpanId, SpanKind};
 use dyno_query::JoinBlock;
 use dyno_stats::{AttrSpec, TableStats, TableStatsBuilder};
 use dyno_storage::sample::SplitSampler;
@@ -88,13 +88,122 @@ pub struct PilotOutcome {
     pub materialized: BTreeMap<usize, String>,
 }
 
-/// Run Algorithm 1 over `block`.
+/// Run Algorithm 1 over `block`, blocking until every pilot job has been
+/// charged. Thin wrapper over [`begin_pilots`] + [`PilotRun::poll`] — the
+/// resumable path concurrent workloads use directly.
 pub fn run_pilots(
     exec: &Executor,
     cluster: &mut Cluster,
     block: &JoinBlock,
     cfg: &PilotConfig,
 ) -> Result<PilotOutcome, dyno_exec::ExecError> {
+    let mut run = begin_pilots(exec, cluster, block, cfg)?;
+    loop {
+        match run.poll(cluster) {
+            PilotStep::Wait(handles) => cluster.run_until_done(&handles),
+            PilotStep::Done(out) => return Ok(out),
+        }
+    }
+}
+
+/// One poll of a [`PilotRun`].
+pub enum PilotStep {
+    /// Waiting on these pilot jobs; drive the cluster and poll again.
+    Wait(Vec<JobHandle>),
+    /// Every pilot job has been charged; statistics are final.
+    Done(PilotOutcome),
+}
+
+/// A pilot phase whose record-level sampling is already done, with
+/// cluster time still being charged. Produced by [`begin_pilots`]; poll
+/// until [`PilotStep::Done`]. ST submits leaf jobs one at a time (each
+/// suspension is a job boundary); MT co-schedules them all.
+pub struct PilotRun {
+    started_at: f64,
+    phase: SpanId,
+    prev_scope: SpanId,
+    mode: PilrMode,
+    stats: Vec<Option<TableStats>>,
+    reused: usize,
+    piloted: usize,
+    materialized: BTreeMap<usize, String>,
+    /// Profiles not yet submitted (ST charging only).
+    profiles: VecDeque<JobProfile>,
+    handles: Vec<JobHandle>,
+    finished: bool,
+}
+
+impl PilotRun {
+    /// Advance the pilot phase: submit the next ST job when its
+    /// predecessor finishes; close the phase span and assemble the
+    /// [`PilotOutcome`] once all jobs are done. Must not be called again
+    /// after returning [`PilotStep::Done`].
+    pub fn poll(&mut self, cluster: &mut Cluster) -> PilotStep {
+        assert!(!self.finished, "PilotRun polled after Done");
+        match self.mode {
+            PilrMode::SingleTable => {
+                if let Some(&current) = self.handles.last() {
+                    if !cluster.is_done(current) {
+                        return PilotStep::Wait(vec![current]);
+                    }
+                }
+                if let Some(p) = self.profiles.pop_front() {
+                    let h = cluster.submit_job(p);
+                    self.handles.push(h);
+                    return PilotStep::Wait(vec![h]);
+                }
+            }
+            PilrMode::MultiTable => {
+                let waiting: Vec<JobHandle> = self
+                    .handles
+                    .iter()
+                    .copied()
+                    .filter(|h| !cluster.is_done(*h))
+                    .collect();
+                if !waiting.is_empty() {
+                    return PilotStep::Wait(waiting);
+                }
+            }
+        }
+        self.finished = true;
+        // The exact value `QueryReport::pilot_secs` will carry — the
+        // `phase_secs` event records it verbatim so profiles reconcile
+        // bit-for-bit with the Figure 4 accounting.
+        let secs = cluster.now() - self.started_at;
+        let tracer = cluster.tracer().clone();
+        if tracer.is_enabled() {
+            cluster.set_trace_scope(self.prev_scope);
+            tracer.event(
+                self.phase,
+                cluster.now(),
+                "phase_secs",
+                vec![("phase", "pilot".into()), ("secs", secs.into())],
+            );
+            tracer.end_span(self.phase, cluster.now());
+        }
+        cluster.metrics().incr("pilot.leaves_piloted", self.piloted as u64);
+        cluster.metrics().incr("pilot.leaves_reused", self.reused as u64);
+        PilotStep::Done(PilotOutcome {
+            stats: std::mem::take(&mut self.stats)
+                .into_iter()
+                .map(|s| s.expect("every leaf has stats after PILR"))
+                .collect(),
+            secs,
+            reused: self.reused,
+            materialized: std::mem::take(&mut self.materialized),
+        })
+    }
+}
+
+/// Start Algorithm 1 over `block`: perform the record-level sampling,
+/// compute statistics and materializations, open the `pilot` phase span —
+/// then *submit* the pilot jobs rather than running them.
+pub fn begin_pilots(
+    exec: &Executor,
+    cluster: &mut Cluster,
+    block: &JoinBlock,
+    cfg: &PilotConfig,
+) -> Result<PilotRun, dyno_exec::ExecError> {
     let started_at = cluster.now();
     // PILR jobs nest under a `pilot` phase span so the profile can tell
     // sampling time apart from query execution.
@@ -276,44 +385,35 @@ pub fn run_pilots(
         ));
     }
 
-    // Charge the cluster: ST runs jobs one by one, MT co-schedules all.
+    // Charge the cluster: ST submits jobs one by one (the next at each
+    // predecessor's completion, via `poll`), MT co-schedules all.
+    let mut run = PilotRun {
+        started_at,
+        phase,
+        prev_scope,
+        mode: cfg.mode,
+        stats,
+        reused,
+        piloted: to_run.len(),
+        materialized,
+        profiles: VecDeque::new(),
+        handles: Vec::new(),
+        finished: false,
+    };
     match cfg.mode {
         PilrMode::SingleTable => {
-            for (_, p) in profiles {
-                cluster.run_job(p);
+            run.profiles = profiles.into_iter().map(|(_, p)| p).collect();
+            if let Some(p) = run.profiles.pop_front() {
+                run.handles.push(cluster.submit_job(p));
             }
         }
         PilrMode::MultiTable => {
-            cluster.run_jobs(profiles.into_iter().map(|(_, p)| p).collect());
+            for (_, p) in profiles {
+                run.handles.push(cluster.submit_job(p));
+            }
         }
     }
-
-    // The exact value `QueryReport::pilot_secs` will carry — the
-    // `phase_secs` event records it verbatim so profiles reconcile
-    // bit-for-bit with the Figure 4 accounting.
-    let secs = cluster.now() - started_at;
-    if traced {
-        cluster.set_trace_scope(prev_scope);
-        tracer.event(
-            phase,
-            cluster.now(),
-            "phase_secs",
-            vec![("phase", "pilot".into()), ("secs", secs.into())],
-        );
-        tracer.end_span(phase, cluster.now());
-    }
-    cluster.metrics().incr("pilot.leaves_piloted", to_run.len() as u64);
-    cluster.metrics().incr("pilot.leaves_reused", reused as u64);
-
-    Ok(PilotOutcome {
-        stats: stats
-            .into_iter()
-            .map(|s| s.expect("every leaf has stats after PILR"))
-            .collect(),
-        secs,
-        reused,
-        materialized,
-    })
+    Ok(run)
 }
 
 #[cfg(test)]

@@ -3,19 +3,19 @@
 //! the metastore, and evaluates the post-join-block group-by/order-by
 //! operators the Jaql compiler appends (§5.1 "Executing the whole query").
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use dyno_cluster::{Cluster, Coord, JobProfile, JobTiming, TaskProfile};
+use dyno_cluster::{Cluster, Coord, JobHandle, JobProfile, JobTiming, TaskProfile};
 use dyno_data::{encoded_len, Record, Value};
-use dyno_obs::SpanKind;
+use dyno_obs::{SpanId, SpanKind};
 use dyno_query::{
     AggFn, GroupBySpec, JoinBlock, OrderBySpec, Predicate, UdfRegistry,
 };
 use dyno_stats::{AttrSpec, Metastore, TableStats};
-use dyno_storage::{Dfs, DfsError};
+use dyno_storage::{Dfs, DfsError, SimScale};
 
 use crate::dag::{Input, JobDag, JobKind};
 use crate::jobs::{self, BroadcastOom, InputData};
@@ -151,15 +151,10 @@ impl Executor {
         idx.iter().map(|&i| &block.post_preds[i].pred).collect()
     }
 
-    /// Execute the given (runnable) jobs of `dag`. With `parallel`, all
-    /// jobs are submitted to the cluster together and share slots under
-    /// FIFO (§5.3's MO/`-2` strategies); otherwise they run one after
-    /// another. `collect_stats` controls output statistics collection
-    /// (§5.4 skips it when no re-optimization will follow).
-    ///
-    /// When the cluster carries an enabled tracer, the whole batch is
-    /// wrapped in an `execute` phase span (jobs nest under it) and each
-    /// stats merge is recorded at the producing job's finish time.
+    /// Execute the given (runnable) jobs of `dag`, blocking until every
+    /// one has been charged to the cluster. Thin wrapper over
+    /// [`Executor::begin_jobs`] + [`PendingJobs::poll`] — the resumable
+    /// path concurrent workloads use directly.
     #[allow(clippy::too_many_arguments)]
     pub fn execute_jobs(
         &self,
@@ -171,46 +166,31 @@ impl Executor {
         parallel: bool,
         collect_stats: bool,
     ) -> Result<Vec<JobOutput>, ExecError> {
-        let tracer = cluster.tracer().clone();
-        let prev_scope = cluster.trace_scope();
-        let phase =
-            tracer.start_span(prev_scope, SpanKind::Phase, "execute", cluster.now());
-        if tracer.is_enabled() {
-            cluster.set_trace_scope(phase);
-        }
-        let result = self.execute_jobs_inner(
-            cluster,
-            block,
-            dag,
-            ids,
-            outputs,
-            parallel,
-            collect_stats,
-        );
-        if tracer.is_enabled() {
-            cluster.set_trace_scope(prev_scope);
-            tracer.end_span(phase, cluster.now());
-            if collect_stats {
-                if let Ok(results) = &result {
-                    for r in results {
-                        tracer.event(
-                            phase,
-                            r.timing.finished,
-                            "stats_merge",
-                            vec![
-                                ("job", r.timing.name.clone().into()),
-                                ("rows", r.rows.into()),
-                            ],
-                        );
-                    }
-                }
+        let mut pending =
+            self.begin_jobs(cluster, block, dag, ids, outputs, parallel, collect_stats)?;
+        loop {
+            match pending.poll(cluster) {
+                JobsStep::Wait(handles) => cluster.run_until_done(&handles),
+                JobsStep::Done(outs) => return Ok(outs),
             }
         }
-        result
     }
 
+    /// Start executing the given (runnable) jobs of `dag`: performs the
+    /// record-level work, materializes outputs to the DFS, registers
+    /// statistics, and opens the `execute` phase span — then *submits*
+    /// the cluster jobs rather than running them. With `parallel`, all
+    /// jobs are submitted together and share slots under the cluster's
+    /// scheduling policy (§5.3's MO/`-2` strategies); otherwise each job
+    /// is submitted as the previous one finishes. `collect_stats`
+    /// controls output statistics collection (§5.4 skips it when no
+    /// re-optimization will follow).
+    ///
+    /// When the cluster carries an enabled tracer, the whole batch is
+    /// wrapped in an `execute` phase span (jobs nest under it) and each
+    /// stats merge is recorded at the producing job's finish time.
     #[allow(clippy::too_many_arguments)]
-    fn execute_jobs_inner(
+    pub fn begin_jobs(
         &self,
         cluster: &mut Cluster,
         block: &JoinBlock,
@@ -219,7 +199,57 @@ impl Executor {
         outputs: &BTreeMap<usize, JobOutput>,
         parallel: bool,
         collect_stats: bool,
-    ) -> Result<Vec<JobOutput>, ExecError> {
+    ) -> Result<PendingJobs, ExecError> {
+        let tracer = cluster.tracer().clone();
+        let prev_scope = cluster.trace_scope();
+        let phase =
+            tracer.start_span(prev_scope, SpanKind::Phase, "execute", cluster.now());
+        if tracer.is_enabled() {
+            cluster.set_trace_scope(phase);
+        }
+        let computed = self.compute_jobs(cluster, block, dag, ids, outputs, collect_stats);
+        let (results, profiles) = match computed {
+            Ok(pair) => pair,
+            Err(e) => {
+                if tracer.is_enabled() {
+                    cluster.set_trace_scope(prev_scope);
+                    tracer.end_span(phase, cluster.now());
+                }
+                return Err(e);
+            }
+        };
+        let mut pending = PendingJobs {
+            results,
+            profiles: profiles.into(),
+            handles: Vec::new(),
+            parallel,
+            collect_stats,
+            phase,
+            finished: false,
+        };
+        if parallel {
+            while let Some(p) = pending.profiles.pop_front() {
+                pending.handles.push(cluster.submit_job(p));
+            }
+        }
+        if tracer.is_enabled() {
+            cluster.set_trace_scope(prev_scope);
+        }
+        Ok(pending)
+    }
+
+    /// Record-level execution + materialization for a batch of jobs.
+    /// Returns outputs with placeholder timings plus the job profiles to
+    /// charge against the cluster.
+    fn compute_jobs(
+        &self,
+        cluster: &mut Cluster,
+        block: &JoinBlock,
+        dag: &JobDag,
+        ids: &[usize],
+        outputs: &BTreeMap<usize, JobOutput>,
+        collect_stats: bool,
+    ) -> Result<(Vec<JobOutput>, Vec<JobProfile>), ExecError> {
         let metrics = cluster.metrics().clone();
         let mut computed = Vec::new();
         for &id in ids {
@@ -327,29 +357,20 @@ impl Executor {
                     elapsed: 0.0,
                     map_slot_secs: 0.0,
                     reduce_slot_secs: 0.0,
+                    queue_delay: 0.0,
+                    slot_wait_secs: 0.0,
                 },
             });
         }
-
-        // Charge the cluster for the time.
-        if parallel {
-            let timings = cluster.run_jobs(profiles);
-            for (r, t) in results.iter_mut().zip(timings) {
-                r.timing = t;
-            }
-        } else {
-            for (r, p) in results.iter_mut().zip(profiles) {
-                r.timing = cluster.run_job(p);
-            }
-        }
-        Ok(results)
+        Ok((results, profiles))
     }
 
     /// Execute an entire job DAG (static execution: DYNOPT-SIMPLE,
-    /// RELOPT, BESTSTATICJAQL). With `parallel`, each wave of runnable
-    /// jobs is co-scheduled (`DYNOPT-SIMPLE_MO`); otherwise jobs run one
-    /// at a time in dependency order (`_SO`). Returns the root job's
-    /// output.
+    /// RELOPT, BESTSTATICJAQL), blocking until the root job's output is
+    /// available. Thin wrapper over the resumable [`DagRun`]. With
+    /// `parallel`, each wave of runnable jobs is co-scheduled
+    /// (`DYNOPT-SIMPLE_MO`); otherwise jobs run one at a time in
+    /// dependency order (`_SO`).
     pub fn run_dag(
         &self,
         cluster: &mut Cluster,
@@ -358,28 +379,13 @@ impl Executor {
         parallel: bool,
         collect_stats: bool,
     ) -> Result<JobOutput, ExecError> {
-        let mut outputs: BTreeMap<usize, JobOutput> = BTreeMap::new();
-        let mut done: BTreeSet<usize> = BTreeSet::new();
-        while done.len() < dag.jobs.len() {
-            let wave = dag.runnable(&done);
-            assert!(!wave.is_empty(), "DAG has a cycle or dangling dep");
-            let batch = self.execute_jobs(
-                cluster,
-                block,
-                dag,
-                &wave,
-                &outputs,
-                parallel,
-                collect_stats,
-            )?;
-            for out in batch {
-                done.insert(out.job_id);
-                outputs.insert(out.job_id, out);
+        let mut run = DagRun::new(parallel, collect_stats);
+        loop {
+            match run.poll(self, cluster, block, dag)? {
+                DagStep::Wait(handles) => cluster.run_until_done(&handles),
+                DagStep::Done(out) => return Ok(out),
             }
         }
-        Ok(outputs
-            .remove(&dag.root())
-            .expect("root executed last"))
     }
 
     /// Read back a materialized result.
@@ -396,6 +402,20 @@ impl Executor {
         input_file: &str,
         spec: &GroupBySpec,
     ) -> Result<(Vec<Value>, JobTiming), ExecError> {
+        let agg = self.begin_group_by(cluster, input_file, spec)?;
+        cluster.run_until_done(&[agg.handle()]);
+        Ok(agg.finish(self, cluster))
+    }
+
+    /// Start the GROUP BY job: compute the aggregates and submit the
+    /// cluster job; materialization happens in [`PendingAggregate::finish`]
+    /// once the job's time has been charged.
+    pub fn begin_group_by(
+        &self,
+        cluster: &mut Cluster,
+        input_file: &str,
+        spec: &GroupBySpec,
+    ) -> Result<PendingAggregate, ExecError> {
         let file = self.dfs.file(input_file)?;
         let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
         for rec in file.records() {
@@ -426,10 +446,13 @@ impl Executor {
         result.sort(); // deterministic output order
 
         let profile = self.aggregate_profile("group_by", &file, &result, cluster);
-        let timing = cluster.run_job(profile);
-        let out_name = format!("{input_file}.grouped");
-        self.dfs.overwrite_file(&out_name, result.clone(), file.scale());
-        Ok((result, timing))
+        let handle = cluster.submit_job(profile);
+        Ok(PendingAggregate {
+            records: result,
+            out_name: format!("{input_file}.grouped"),
+            scale: file.scale(),
+            handle,
+        })
     }
 
     /// Run the ORDER BY (+LIMIT) job: a single-reducer total sort.
@@ -439,6 +462,18 @@ impl Executor {
         input_file: &str,
         spec: &OrderBySpec,
     ) -> Result<(Vec<Value>, JobTiming), ExecError> {
+        let agg = self.begin_order_by(cluster, input_file, spec)?;
+        cluster.run_until_done(&[agg.handle()]);
+        Ok(agg.finish(self, cluster))
+    }
+
+    /// Start the ORDER BY job; see [`Executor::begin_group_by`].
+    pub fn begin_order_by(
+        &self,
+        cluster: &mut Cluster,
+        input_file: &str,
+        spec: &OrderBySpec,
+    ) -> Result<PendingAggregate, ExecError> {
         let file = self.dfs.file(input_file)?;
         let mut records = file.records().to_vec();
         records.sort_by(|a, b| {
@@ -455,10 +490,13 @@ impl Executor {
             records.truncate(limit);
         }
         let profile = self.aggregate_profile("order_by", &file, &records, cluster);
-        let timing = cluster.run_job(profile);
-        let out_name = format!("{input_file}.ordered");
-        self.dfs.overwrite_file(&out_name, records.clone(), file.scale());
-        Ok((records, timing))
+        let handle = cluster.submit_job(profile);
+        Ok(PendingAggregate {
+            records,
+            out_name: format!("{input_file}.ordered"),
+            scale: file.scale(),
+            handle,
+        })
     }
 
     fn aggregate_profile(
@@ -504,6 +542,202 @@ impl Executor {
             shuffle_bytes: shuffle,
             build_bytes: 0,
         }
+    }
+}
+
+/// One poll of a [`PendingJobs`] batch.
+pub enum JobsStep {
+    /// Waiting on these cluster jobs; drive the cluster (e.g. with
+    /// [`Cluster::run_until_done`]) and poll again.
+    Wait(Vec<JobHandle>),
+    /// Every job has been charged; outputs carry their real timings.
+    Done(Vec<JobOutput>),
+}
+
+/// A batch of jobs whose record-level work is already done and
+/// materialized, with cluster time still being charged. Produced by
+/// [`Executor::begin_jobs`]; poll until [`JobsStep::Done`]. Suspension
+/// points are exactly the job completions DYNOPT re-optimizes at, which
+/// is what lets concurrent queries interleave on one shared cluster.
+pub struct PendingJobs {
+    results: Vec<JobOutput>,
+    /// Profiles not yet submitted (serial charging only).
+    profiles: VecDeque<JobProfile>,
+    /// Handles of submitted jobs, in `results` order.
+    handles: Vec<JobHandle>,
+    parallel: bool,
+    collect_stats: bool,
+    phase: SpanId,
+    finished: bool,
+}
+
+impl PendingJobs {
+    /// Advance the batch: submit the next serial job when its predecessor
+    /// finishes, and attach timings + close the phase span once all jobs
+    /// are done. Must not be called again after returning
+    /// [`JobsStep::Done`].
+    pub fn poll(&mut self, cluster: &mut Cluster) -> JobsStep {
+        assert!(!self.finished, "PendingJobs polled after Done");
+        if self.parallel {
+            let waiting: Vec<JobHandle> = self
+                .handles
+                .iter()
+                .copied()
+                .filter(|h| !cluster.is_done(*h))
+                .collect();
+            if !waiting.is_empty() {
+                return JobsStep::Wait(waiting);
+            }
+        } else {
+            if let Some(&current) = self.handles.last() {
+                if !cluster.is_done(current) {
+                    return JobsStep::Wait(vec![current]);
+                }
+            }
+            if let Some(p) = self.profiles.pop_front() {
+                let h = self.submit_scoped(cluster, p);
+                return JobsStep::Wait(vec![h]);
+            }
+        }
+        self.finished = true;
+        let tracer = cluster.tracer().clone();
+        for (r, h) in self.results.iter_mut().zip(&self.handles) {
+            r.timing = cluster.timing(*h).expect("charged job finished").clone();
+        }
+        if tracer.is_enabled() {
+            tracer.end_span(self.phase, cluster.now());
+            if self.collect_stats {
+                for r in &self.results {
+                    tracer.event(
+                        self.phase,
+                        r.timing.finished,
+                        "stats_merge",
+                        vec![
+                            ("job", r.timing.name.clone().into()),
+                            ("rows", r.rows.into()),
+                        ],
+                    );
+                }
+            }
+        }
+        JobsStep::Done(std::mem::take(&mut self.results))
+    }
+
+    /// Submit a job under this batch's `execute` phase span, whatever
+    /// trace scope the cluster currently carries.
+    fn submit_scoped(&mut self, cluster: &mut Cluster, p: JobProfile) -> JobHandle {
+        let traced = cluster.tracer().is_enabled();
+        let prev = cluster.trace_scope();
+        if traced {
+            cluster.set_trace_scope(self.phase);
+        }
+        let h = cluster.submit_job(p);
+        if traced {
+            cluster.set_trace_scope(prev);
+        }
+        self.handles.push(h);
+        h
+    }
+}
+
+/// One poll of a [`DagRun`].
+pub enum DagStep {
+    /// Waiting on these cluster jobs.
+    Wait(Vec<JobHandle>),
+    /// The whole DAG has executed; this is the root job's output.
+    Done(JobOutput),
+}
+
+/// Resumable execution of an entire job DAG: waves of runnable jobs run
+/// through [`PendingJobs`], suspending at every job boundary.
+pub struct DagRun {
+    outputs: BTreeMap<usize, JobOutput>,
+    done: BTreeSet<usize>,
+    pending: Option<PendingJobs>,
+    parallel: bool,
+    collect_stats: bool,
+}
+
+impl DagRun {
+    /// A DAG run that has not started any jobs yet.
+    pub fn new(parallel: bool, collect_stats: bool) -> Self {
+        DagRun {
+            outputs: BTreeMap::new(),
+            done: BTreeSet::new(),
+            pending: None,
+            parallel,
+            collect_stats,
+        }
+    }
+
+    /// Advance the DAG: fold finished batches in, start the next wave of
+    /// runnable jobs, and return the root output once everything ran.
+    pub fn poll(
+        &mut self,
+        exec: &Executor,
+        cluster: &mut Cluster,
+        block: &JoinBlock,
+        dag: &JobDag,
+    ) -> Result<DagStep, ExecError> {
+        loop {
+            if let Some(p) = &mut self.pending {
+                match p.poll(cluster) {
+                    JobsStep::Wait(handles) => return Ok(DagStep::Wait(handles)),
+                    JobsStep::Done(batch) => {
+                        self.pending = None;
+                        for out in batch {
+                            self.done.insert(out.job_id);
+                            self.outputs.insert(out.job_id, out);
+                        }
+                    }
+                }
+            }
+            if self.done.len() == dag.jobs.len() {
+                return Ok(DagStep::Done(
+                    self.outputs.remove(&dag.root()).expect("root executed last"),
+                ));
+            }
+            let wave = dag.runnable(&self.done);
+            assert!(!wave.is_empty(), "DAG has a cycle or dangling dep");
+            self.pending = Some(exec.begin_jobs(
+                cluster,
+                block,
+                dag,
+                &wave,
+                &self.outputs,
+                self.parallel,
+                self.collect_stats,
+            )?);
+        }
+    }
+}
+
+/// A submitted GROUP BY / ORDER BY job whose records are already
+/// computed; call [`PendingAggregate::finish`] once the cluster reports
+/// its handle done.
+pub struct PendingAggregate {
+    records: Vec<Value>,
+    out_name: String,
+    scale: SimScale,
+    handle: JobHandle,
+}
+
+impl PendingAggregate {
+    /// Handle of the submitted aggregation job.
+    pub fn handle(&self) -> JobHandle {
+        self.handle
+    }
+
+    /// Materialize the output and return the records with the job's
+    /// timing. The job must have finished.
+    pub fn finish(self, exec: &Executor, cluster: &Cluster) -> (Vec<Value>, JobTiming) {
+        let timing = cluster
+            .timing(self.handle)
+            .expect("aggregate job finished")
+            .clone();
+        exec.dfs
+            .overwrite_file(&self.out_name, self.records.clone(), self.scale);
+        (self.records, timing)
     }
 }
 

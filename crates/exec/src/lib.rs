@@ -26,4 +26,6 @@ pub mod jobs;
 pub mod leaf;
 
 pub use dag::{Input, JobDag, JobKind, JobNode, JoinStep};
-pub use engine::{ExecError, Executor, JobOutput};
+pub use engine::{
+    DagRun, DagStep, ExecError, Executor, JobOutput, JobsStep, PendingAggregate, PendingJobs,
+};

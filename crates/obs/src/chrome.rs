@@ -63,11 +63,37 @@ fn micros(t: f64) -> String {
     format!("{}", t * 1e6)
 }
 
+/// Assign each span the `pid` of its root ancestor: root spans (parent
+/// [`NO_SPAN`]) get sequential pids from 1 in span-id order, and every
+/// descendant inherits its root's pid. In a concurrent workload each
+/// query is a root span, so each query becomes its own named process
+/// lane in the trace viewer.
+fn assign_pids(spans: &[Span]) -> Vec<u64> {
+    let mut pid_of_id: BTreeMap<SpanId, u64> = BTreeMap::new();
+    let mut next_pid = 1u64;
+    let mut pids = Vec::with_capacity(spans.len());
+    for s in spans {
+        let pid = match pid_of_id.get(&s.parent) {
+            Some(&p) => p,
+            None => {
+                let p = next_pid;
+                next_pid += 1;
+                p
+            }
+        };
+        pid_of_id.insert(s.id, pid);
+        pids.push(pid);
+    }
+    pids
+}
+
 /// Assign each span (given in id order) a lane such that spans sharing a
-/// lane are properly nested or disjoint. Children prefer the parent's
-/// lane (valid while siblings are sequential); overlapping spans take the
-/// lowest lane free at their start.
-fn assign_lanes(spans: &[Span], log_end: f64) -> Vec<u64> {
+/// `(pid, lane)` pair are properly nested or disjoint. Children prefer
+/// the parent's lane (valid while siblings are sequential); overlapping
+/// spans take the lowest lane of their pid free at their start. Lane
+/// reservations are tracked per pid, so concurrent queries — each its own
+/// pid — get independent, compact lane numbering.
+fn assign_lanes(spans: &[Span], pids: &[u64], log_end: f64) -> Vec<u64> {
     let idx_of_id: BTreeMap<SpanId, usize> =
         spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
     let mut order: Vec<usize> = (0..spans.len()).collect();
@@ -79,41 +105,52 @@ fn assign_lanes(spans: &[Span], log_end: f64) -> Vec<u64> {
     });
     let mut lane = vec![0u64; spans.len()];
     let mut placed = vec![false; spans.len()];
-    // Per-lane time up to which the lane is reserved.
-    let mut lane_free_at: Vec<f64> = Vec::new();
-    // Per-parent: end of the last child placed on the parent's own lane.
-    let mut last_child_end: BTreeMap<SpanId, f64> = BTreeMap::new();
+    // Per-pid, per-lane: (time up to which the lane is reserved, whether
+    // the reserving span was zero-duration). A zero-duration span emits
+    // B-then-E *after* other opens at its timestamp, so a lane it frees
+    // at t must not be handed to a span that also starts at t — that
+    // span's B would land between the zero span's B and E.
+    let mut lane_free_at: BTreeMap<u64, Vec<(f64, bool)>> = BTreeMap::new();
+    // Per-parent: (end, was-zero-duration) of the last child placed on
+    // the parent's own lane.
+    let mut last_child_end: BTreeMap<SpanId, (f64, bool)> = BTreeMap::new();
     for &i in &order {
         let s = &spans[i];
         let end = s.end.unwrap_or(log_end).max(s.start);
+        let zero = end == s.start;
+        let free = lane_free_at.entry(pids[i]).or_default();
         let mut chosen = None;
         if s.parent != NO_SPAN {
             if let Some(&pi) = idx_of_id.get(&s.parent) {
                 if placed[pi] {
-                    let busy_until = last_child_end
+                    let (busy_until, busy_zero) = last_child_end
                         .get(&s.parent)
                         .copied()
-                        .unwrap_or(f64::NEG_INFINITY);
-                    if busy_until <= s.start {
+                        .unwrap_or((f64::NEG_INFINITY, false));
+                    if busy_until < s.start || (busy_until == s.start && !busy_zero) {
                         chosen = Some(lane[pi] as usize);
-                        last_child_end.insert(s.parent, end);
+                        last_child_end.insert(s.parent, (end, zero));
                     }
                 }
             }
         }
         let l = chosen.unwrap_or_else(|| {
-            match lane_free_at.iter().position(|&f| f <= s.start) {
+            match free.iter().position(|&(f, z)| f < s.start || (f == s.start && !z)) {
                 Some(l) => l,
                 None => {
-                    lane_free_at.push(f64::NEG_INFINITY);
-                    lane_free_at.len() - 1
+                    free.push((f64::NEG_INFINITY, false));
+                    free.len() - 1
                 }
             }
         });
-        if l >= lane_free_at.len() {
-            lane_free_at.resize(l + 1, f64::NEG_INFINITY);
+        if l >= free.len() {
+            free.resize(l + 1, (f64::NEG_INFINITY, false));
         }
-        lane_free_at[l] = lane_free_at[l].max(end);
+        if end > free[l].0 {
+            free[l] = (end, zero);
+        } else if end == free[l].0 && zero {
+            free[l].1 = true;
+        }
         lane[i] = l as u64;
         placed[i] = true;
     }
@@ -124,8 +161,10 @@ impl Tracer {
     /// Export the whole log in Chrome `trace_event` JSON Array Format
     /// (loadable in `chrome://tracing` / Perfetto). One record per line;
     /// records are ordered by `(timestamp, phase, tiebreak)` with `E`
-    /// before `B` before `i` at equal timestamps, so the per-lane `B`/`E`
-    /// stacks always balance. Byte-identical across identical executions.
+    /// before `B` at equal timestamps — except the `E` of a zero-duration
+    /// span, which sorts after the opens so it never precedes its own `B`
+    /// — then `i`, so the per-lane `B`/`E` stacks always balance.
+    /// Byte-identical across identical executions.
     pub fn to_chrome_trace(&self) -> String {
         let spans = self.spans();
         let events = self.events();
@@ -134,32 +173,38 @@ impl Tracer {
             .map(|s| s.end.unwrap_or(s.start))
             .chain(events.iter().map(|e| e.time))
             .fold(0.0_f64, f64::max);
-        let lanes = assign_lanes(&spans, log_end);
-        let lane_of_id: BTreeMap<SpanId, u64> = spans
+        let pids = assign_pids(&spans);
+        let lanes = assign_lanes(&spans, &pids, log_end);
+        let lane_of_id: BTreeMap<SpanId, (u64, u64)> = spans
             .iter()
-            .zip(lanes.iter())
-            .map(|(s, &l)| (s.id, l))
+            .zip(pids.iter().zip(lanes.iter()))
+            .map(|(s, (&p, &l))| (s.id, (p, l)))
             .collect();
 
         struct Rec {
             ts: f64,
-            rank: u8, // E=0, B=1, i=2 at equal timestamps
+            // At equal timestamps: E=0, B=1, zero-duration E=2, i=3. A
+            // zero-duration span's E shares its B's timestamp, so it must
+            // sort *after* the opens (its own B included) rather than
+            // with the ordinary closes.
+            rank: u8,
             tie: u64,
             json: String,
         }
         let mut recs: Vec<Rec> = Vec::with_capacity(spans.len() * 2 + events.len());
-        for (s, &lane) in spans.iter().zip(lanes.iter()) {
+        for ((s, &pid), &lane) in spans.iter().zip(pids.iter()).zip(lanes.iter()) {
             let end = s.end.unwrap_or(log_end).max(s.start);
             recs.push(Rec {
                 ts: s.start,
                 rank: 1,
                 tie: s.id, // parents open before children
                 json: format!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":1,\
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":{},\
                      \"tid\":{},\"args\":{{\"span\":{},\"parent\":{}}}}}",
                     json_escape(&s.name),
                     s.kind.label(),
                     micros(s.start),
+                    pid,
                     lane,
                     s.id,
                     s.parent
@@ -167,33 +212,35 @@ impl Tracer {
             });
             recs.push(Rec {
                 ts: end,
-                rank: 0,
+                rank: if end == s.start { 2 } else { 0 },
                 tie: u64::MAX - s.id, // children close before parents
                 json: format!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":{},\
                      \"tid\":{}}}",
                     json_escape(&s.name),
                     s.kind.label(),
                     micros(end),
+                    pid,
                     lane
                 ),
             });
         }
         for e in &events {
-            let lane = lane_of_id.get(&e.span).copied().unwrap_or(0);
+            let (pid, lane) = lane_of_id.get(&e.span).copied().unwrap_or((1, 0));
             let mut args = format!("\"span\":{}", e.span);
             for (k, v) in &e.fields {
                 args.push_str(&format!(",\"{}\":{}", json_escape(k), field_json(v)));
             }
             recs.push(Rec {
                 ts: e.time,
-                rank: 2,
+                rank: 3,
                 tie: e.seq,
                 json: format!(
-                    "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\
+                    "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\
                      \"tid\":{},\"s\":\"t\",\"args\":{{{}}}}}",
                     json_escape(&e.name),
                     micros(e.time),
+                    pid,
                     lane,
                     args
                 ),
@@ -206,9 +253,30 @@ impl Tracer {
         });
 
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        for (i, r) in recs.iter().enumerate() {
-            out.push_str(if i == 0 { "\n" } else { ",\n" });
-            out.push_str(&r.json);
+        let mut first = true;
+        let push = |line: String, first: &mut bool| -> String {
+            let sep = if *first { "\n" } else { ",\n" };
+            *first = false;
+            format!("{sep}{line}")
+        };
+        // Name each root span's process lane up front: `"ph":"M"`
+        // process_name metadata, one per pid, so the trace viewer shows
+        // "q7", "q9", ... instead of bare process numbers.
+        for (s, &pid) in spans.iter().zip(pids.iter()) {
+            if s.parent == NO_SPAN {
+                out.push_str(&push(
+                    format!(
+                        "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{},\
+                         \"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                        pid,
+                        json_escape(&s.name)
+                    ),
+                    &mut first,
+                ));
+            }
+        }
+        for r in &recs {
+            out.push_str(&push(r.json.clone(), &mut first));
         }
         out.push_str("\n]}\n");
         out
@@ -224,15 +292,21 @@ pub struct ChromeTraceSummary {
     pub ends: usize,
     /// Number of `"ph":"i"` records.
     pub instants: usize,
+    /// Number of `"ph":"M"` `process_name` records — one named process
+    /// lane per root span (per query, in a workload trace).
+    pub processes: usize,
 }
 
 /// Check that `s` is well-formed JSON in the shape
 /// [`Tracer::to_chrome_trace`] emits: a top-level object with a
 /// `traceEvents` array whose records carry known phases, globally
 /// non-decreasing timestamps, and — per `(pid, tid)` lane — balanced,
-/// name-matched `B`/`E` stacks. Used by tests and CI; the parser is a
-/// self-contained recursive-descent JSON reader (hermetic build, no
-/// serde).
+/// name-matched `B`/`E` stacks. `"ph":"M"` `process_name` metadata must
+/// name each pid at most once, and every pid that carries `B`/`E`/`i`
+/// records in a multi-process trace must have been named — the
+/// "one named lane per query" contract for workload traces. Used by
+/// tests and CI; the parser is a self-contained recursive-descent JSON
+/// reader (hermetic build, no serde).
 pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
     let mut p = Parser {
         bytes: s.as_bytes(),
@@ -253,8 +327,11 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
         begins: 0,
         ends: 0,
         instants: 0,
+        processes: 0,
     };
     let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut named_pids: BTreeMap<u64, String> = BTreeMap::new();
+    let mut seen_pids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     let mut prev_ts = f64::NEG_INFINITY;
     for (i, rec) in records.iter().enumerate() {
         let Json::Obj(o) = rec else {
@@ -284,11 +361,13 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
         match ph {
             "B" => {
                 summary.begins += 1;
+                seen_pids.insert(lane.0);
                 let name = name.ok_or_else(|| format!("record {i}: B without name"))?;
                 stacks.entry(lane).or_default().push(name);
             }
             "E" => {
                 summary.ends += 1;
+                seen_pids.insert(lane.0);
                 let open = stacks
                     .entry(lane)
                     .or_default()
@@ -302,7 +381,30 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
                     }
                 }
             }
-            "i" => summary.instants += 1,
+            "i" => {
+                summary.instants += 1;
+                seen_pids.insert(lane.0);
+            }
+            "M" => {
+                let meta = name.ok_or_else(|| format!("record {i}: M without name"))?;
+                if meta != "process_name" {
+                    return Err(format!("record {i}: unexpected metadata {meta:?}"));
+                }
+                let label = match get(o, "args") {
+                    Some(Json::Obj(args)) => match get(args, "name") {
+                        Some(Json::Str(l)) => l.clone(),
+                        _ => return Err(format!("record {i}: process_name without args.name")),
+                    },
+                    _ => return Err(format!("record {i}: process_name without args")),
+                };
+                if let Some(prev) = named_pids.insert(lane.0, label.clone()) {
+                    return Err(format!(
+                        "record {i}: pid {} named twice ({prev:?}, then {label:?})",
+                        lane.0
+                    ));
+                }
+                summary.processes += 1;
+            }
             other => return Err(format!("record {i}: unexpected phase {other:?}")),
         }
     }
@@ -312,6 +414,16 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
                 "lane {lane:?} ends with {} unclosed B record(s): {stack:?}",
                 stack.len()
             ));
+        }
+    }
+    // Multi-process traces must name every lane that carries records:
+    // one process_name per query is the workload-trace contract.
+    // (Single-process traces may omit metadata — hand-written fixtures.)
+    if !named_pids.is_empty() || seen_pids.len() > 1 {
+        for pid in &seen_pids {
+            if !named_pids.contains_key(pid) {
+                return Err(format!("pid {pid} carries records but was never named"));
+            }
         }
     }
     Ok(summary)
@@ -563,7 +675,8 @@ mod tests {
             ChromeTraceSummary {
                 begins: 1,
                 ends: 1,
-                instants: 1
+                instants: 1,
+                processes: 1
             }
         );
         // the validator decodes escapes, so a successful parse plus a
@@ -602,12 +715,98 @@ mod tests {
         assert_eq!(summary.begins, 5);
         assert_eq!(summary.ends, 5);
         assert_eq!(summary.instants, 1);
+        assert_eq!(summary.processes, 1);
         // j1 nests on the shared lane; the overlapping j2 spills elsewhere
-        let lanes = assign_lanes(&t.spans(), 7.0);
+        let spans = t.spans();
+        let pids = assign_pids(&spans);
+        assert!(pids.iter().all(|&p| p == 1), "one query, one pid");
+        let lanes = assign_lanes(&spans, &pids, 7.0);
         assert_eq!(lanes[0], lanes[1]); // q and its only phase child share
         assert_eq!(lanes[1], lanes[2]); // j1 fits inside the phase lane
         assert_ne!(lanes[2], lanes[3]); // j2 overlaps j1 → new lane
         assert_eq!(lanes[2], lanes[4]); // j3 starts after j2 ends → reuse
+    }
+
+    #[test]
+    fn concurrent_roots_get_their_own_named_pid_lanes() {
+        let t = Tracer::enabled();
+        // two overlapping queries, as a workload runner would record them
+        let q1 = t.start_span(NO_SPAN, SpanKind::Query, "q7", 0.0);
+        let q2 = t.start_span(NO_SPAN, SpanKind::Query, "q9", 1.0);
+        let j1 = t.start_span(q1, SpanKind::Job, "j1", 2.0);
+        let j2 = t.start_span(q2, SpanKind::Job, "j2", 2.5);
+        t.end_span(j1, 3.0);
+        t.end_span(j2, 4.0);
+        t.end_span(q1, 5.0);
+        t.end_span(q2, 6.0);
+        let spans = t.spans();
+        let pids = assign_pids(&spans);
+        assert_eq!(pids, vec![1, 2, 1, 2], "descendants inherit root pid");
+        // overlapping spans on different pids do NOT spill lanes
+        let lanes = assign_lanes(&spans, &pids, 6.0);
+        assert_eq!(lanes, vec![0, 0, 0, 0], "per-pid lanes stay compact");
+        let json = t.to_chrome_trace();
+        let summary = validate_chrome_trace(&json).expect("valid multi-pid trace");
+        assert_eq!(summary.processes, 2);
+        assert_eq!(summary.begins, 4);
+        assert_eq!(summary.ends, 4);
+        assert!(
+            json.contains("{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"name\":\"q7\"}}"),
+            "{json}"
+        );
+        assert!(json.contains("\"pid\":2,\"tid\":0,\"args\":{\"name\":\"q9\"}"), "{json}");
+    }
+
+    #[test]
+    fn validator_enforces_per_pid_naming_and_balance() {
+        // a second pid with records but no process_name is rejected
+        let r = validate_chrome_trace(
+            "{\"traceEvents\":[\
+             {\"name\":\"x\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":0},\
+             {\"name\":\"y\",\"ph\":\"B\",\"ts\":0,\"pid\":2,\"tid\":0},\
+             {\"name\":\"x\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":0},\
+             {\"name\":\"y\",\"ph\":\"E\",\"ts\":1,\"pid\":2,\"tid\":0}]}",
+        );
+        assert!(r.is_err(), "{r:?}");
+        // naming one pid twice is rejected
+        let r = validate_chrome_trace(
+            "{\"traceEvents\":[\
+             {\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"name\":\"a\"}},\
+             {\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"name\":\"b\"}}]}",
+        );
+        assert!(r.is_err(), "{r:?}");
+        // B/E balance is per (pid, tid): an E on the wrong pid is caught
+        let r = validate_chrome_trace(
+            "{\"traceEvents\":[\
+             {\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"name\":\"a\"}},\
+             {\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":2,\"tid\":0,\"args\":{\"name\":\"b\"}},\
+             {\"name\":\"x\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":0},\
+             {\"name\":\"x\",\"ph\":\"E\",\"ts\":1,\"pid\":2,\"tid\":0}]}",
+        );
+        assert!(r.is_err(), "{r:?}");
+    }
+
+    #[test]
+    fn zero_duration_spans_keep_lanes_balanced() {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        // A warm query's pilot phase opens and closes at the same instant
+        // (all leaf stats reused), and the next phase starts at that very
+        // timestamp. The zero span's E must not precede its own B, and
+        // the optimize span must not land between them on the same lane.
+        let p = t.start_span(q, SpanKind::Phase, "pilots", 0.0);
+        t.end_span(p, 0.0);
+        let o = t.start_span(q, SpanKind::Phase, "optimize", 0.0);
+        t.end_span(o, 2.0);
+        t.end_span(q, 3.0);
+        let json = t.to_chrome_trace();
+        let summary = validate_chrome_trace(&json).expect("zero-duration spans balance");
+        assert_eq!(summary.begins, 3);
+        assert_eq!(summary.ends, 3);
+        // the pilot E sorts after every ts-0 B, directly closing itself
+        let b_opt = json.find("\"name\":\"optimize\",\"cat\":\"phase\",\"ph\":\"B\"").unwrap();
+        let e_pilot = json.find("\"name\":\"pilots\",\"cat\":\"phase\",\"ph\":\"E\"").unwrap();
+        assert!(e_pilot > b_opt, "{json}");
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! The paper stores statistics "in a file, but we can employ any persistent
 //! storage"; we keep them in a shared in-memory map with plain-struct
 //! snapshot export/import standing in for the file.
+//!
+//! The map is *lock-striped* into [`SHARDS`] shards keyed by a signature
+//! hash: concurrent workloads share one metastore handle across every
+//! query driver, and striping keeps lookups from different queries from
+//! contending on one lock. Whole-store operations (`len`, `signatures`,
+//! `snapshot`, ...) visit the shards in order; since shard membership is a
+//! pure function of the signature, the union is still a consistent
+//! signature-keyed map and `signatures()` stays globally sorted.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -22,14 +30,40 @@ use crate::table::TableStats;
 /// interchangeable.
 pub type Signature = String;
 
+/// Number of lock stripes. A power of two a few times larger than the
+/// worst-case driver concurrency, so two queries rarely hash to the same
+/// stripe at the same instant.
+pub const SHARDS: usize = 16;
+
+/// FNV-1a over the signature bytes → shard index. Deterministic across
+/// processes (no RandomState), so shard membership is stable for tests
+/// and snapshots.
+fn shard_of(sig: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in sig.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
 /// Shared, thread-safe statistics store. Cloning yields another handle to
 /// the same store.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Metastore {
-    inner: Arc<RwLock<BTreeMap<Signature, TableStats>>>,
+    shards: Arc<[RwLock<BTreeMap<Signature, TableStats>>; SHARDS]>,
     // Behind Arc<Mutex<…>> so `set_metrics(&self)` reaches every clone of
     // this store, not just the local handle.
     metrics: Arc<Mutex<Metrics>>,
+}
+
+impl Default for Metastore {
+    fn default() -> Self {
+        Metastore {
+            shards: Arc::new(std::array::from_fn(|_| RwLock::new(BTreeMap::new()))),
+            metrics: Arc::new(Mutex::new(Metrics::default())),
+        }
+    }
 }
 
 /// Serializable snapshot of a metastore (the paper's statistics file).
@@ -52,9 +86,10 @@ impl Metastore {
         *self.metrics.lock() = metrics;
     }
 
-    /// Look up statistics by signature.
+    /// Look up statistics by signature. Touches only the signature's
+    /// shard.
     pub fn get(&self, sig: &str) -> Option<TableStats> {
-        let found = self.inner.read().get(sig).cloned();
+        let found = self.shards[shard_of(sig)].read().get(sig).cloned();
         let metrics = self.metrics.lock();
         if found.is_some() {
             metrics.incr("metastore.hits", 1);
@@ -66,56 +101,68 @@ impl Metastore {
 
     /// True iff statistics exist for the signature.
     pub fn contains(&self, sig: &str) -> bool {
-        self.inner.read().contains_key(sig)
+        self.shards[shard_of(sig)].read().contains_key(sig)
     }
 
     /// Insert (or replace) statistics for a signature.
     pub fn put(&self, sig: impl Into<Signature>, stats: TableStats) {
-        self.inner.write().insert(sig.into(), stats);
+        let sig = sig.into();
+        self.shards[shard_of(&sig)].write().insert(sig, stats);
     }
 
     /// Remove statistics for a signature, returning them if present.
     pub fn remove(&self, sig: &str) -> Option<TableStats> {
-        self.inner.write().remove(sig)
+        self.shards[shard_of(sig)].write().remove(sig)
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True iff empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Drop every entry (used between experiment repetitions).
     pub fn clear(&self) {
-        self.inner.write().clear();
+        for s in self.shards.iter() {
+            s.write().clear();
+        }
     }
 
     /// All signatures, sorted.
     pub fn signatures(&self) -> Vec<Signature> {
-        self.inner.read().keys().cloned().collect()
+        let mut sigs: Vec<Signature> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        sigs.sort();
+        sigs
     }
 
-    /// Export a snapshot (the statistics "file").
+    /// Export a snapshot (the statistics "file"), sorted by signature.
     pub fn snapshot(&self) -> MetastoreSnapshot {
-        MetastoreSnapshot {
-            entries: self
-                .inner
-                .read()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
-        }
+        let mut entries: Vec<(Signature, TableStats)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        MetastoreSnapshot { entries }
     }
 
     /// Import a snapshot, replacing existing entries with the same signature.
     pub fn restore(&self, snapshot: MetastoreSnapshot) {
-        let mut inner = self.inner.write();
         for (k, v) in snapshot.entries {
-            inner.insert(k, v);
+            self.put(k, v);
         }
     }
 }
@@ -185,5 +232,52 @@ mod tests {
         assert_eq!(m2.len(), 2);
         assert_eq!(m2.get("b").unwrap().rows, 2.0);
         assert_eq!(m2.signatures(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_spread() {
+        // shard_of is a pure function: same signature, same shard
+        for sig in ["a", "scan(lineitem)|p_l", "σ:udf_p(x)"] {
+            assert_eq!(shard_of(sig), shard_of(sig));
+            assert!(shard_of(sig) < SHARDS);
+        }
+        // enough distinct signatures land on more than one shard
+        let used: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| shard_of(&format!("sig-{i}"))).collect();
+        assert!(used.len() > SHARDS / 2, "poor spread: {used:?}");
+    }
+
+    /// Many threads hammer the same store through clones — inserts from
+    /// every thread are all visible afterwards, whole-store reads run
+    /// mid-flight without deadlock, and the sorted views stay sorted.
+    #[test]
+    fn contended_access_across_shards_is_safe() {
+        let m = Metastore::new();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let sig = format!("t{t}-sig{i}");
+                        m.put(sig.clone(), stats(i as f64));
+                        assert_eq!(m.get(&sig).unwrap().rows, i as f64);
+                        if i % 17 == 0 {
+                            // whole-store ops interleave with per-shard ops
+                            let _ = m.len();
+                            let _ = m.snapshot();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.len(), 800);
+        let sigs = m.signatures();
+        assert_eq!(sigs.len(), 800);
+        assert!(sigs.windows(2).all(|w| w[0] <= w[1]), "signatures unsorted");
+        let snap = m.snapshot();
+        assert!(snap.entries.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 }
