@@ -19,6 +19,11 @@
 #      `concurrent makespan:` summary line *exactly* — pinning the open
 #      scheduler, the resumable query drivers, and the seeded arrival
 #      stream in one line.
+#   7. timeline smoke check: the same fixed-seed stream through
+#      `repro timeline` must reproduce the committed
+#      `peak map utilization:` line *exactly* — pinning the simulator's
+#      telemetry sampling (slot occupancy, queue depth, memory) on the
+#      simulated clock.
 #
 # The build is hermetic: every dependency is a path crate inside this
 # repository, so everything below runs with --offline and no registry.
@@ -138,6 +143,21 @@ ref=$(grep '^concurrent makespan: ' repro_output.txt | head -1) ||
     { echo "FAIL: no concurrent makespan line in repro_output.txt"; exit 1; }
 if [ "$got" != "$ref" ]; then
     echo "FAIL: concurrent workload drifted:"
+    echo "  got: $got"
+    echo "  ref: $ref"
+    exit 1
+fi
+echo "ok: $got matches reference exactly"
+
+echo "== repro timeline smoke check (fixed-seed telemetry vs repro_output.txt) =="
+timeline_out=$(cargo run --release --offline -p dyno-bench --bin repro -- \
+    timeline q2,q7,q9 100 --seed 7 --divisor 200000)
+got=$(echo "$timeline_out" | grep '^peak map utilization: ') ||
+    { echo "FAIL: timeline report has no peak-map-utilization line"; exit 1; }
+ref=$(grep '^peak map utilization: ' repro_output.txt | head -1) ||
+    { echo "FAIL: no peak-map-utilization line in repro_output.txt"; exit 1; }
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: timeline telemetry drifted:"
     echo "  got: $got"
     echo "  ref: $ref"
     exit 1

@@ -25,8 +25,8 @@ use std::process::ExitCode;
 
 use dyno_bench::{
     ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, parse_sched, profile_report, reopt_ab,
-    run_concurrent_workload, run_workload, table1, trace_report, BenchError, ConcurrentOptions,
-    ExpScale,
+    run_concurrent_workload, run_workload, table1, timeline_report, trace_report, BenchError,
+    ConcurrentOptions, ExpScale,
 };
 
 const USAGE: &str = "usage: repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablations|reopt_ab] [--divisor N]
@@ -34,13 +34,17 @@ const USAGE: &str = "usage: repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8
        repro trace <query> <sf> [--divisor N]
        repro workload <spec> <sf> [--seed N] [--divisor N]
                       [--concurrent [--arrival-mean S] [--sched fifo|fair]]
+       repro timeline <query|spec> <sf> [--seed N] [--divisor N]
+                      [--arrival-mean S] [--sched fifo|fair]
 
 queries:  q2 q5 q7 q8_prime q9_prime q10 q1_restaurant
 workload: comma-separated entries of the form name[@mode][xN],
           e.g. 'q2x3,q8_prime@relopt,q10@simplex2'
 modes:    dynopt (default) | simple | relopt | beststatic | jaql
 concurrent: run the stream on ONE shared cluster with seeded arrival
-          offsets (--arrival-mean, default 30s) under --sched (fifo)";
+          offsets (--arrival-mean, default 30s) under --sched (fifo)
+timeline: run the stream on the shared cluster and report the sampled
+          slot-utilization / queue-depth telemetry";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -166,6 +170,12 @@ fn run(args: &[String]) -> Result<(), BenchError> {
             let query = positional(&cli, 1, "<query>")?;
             let sf = parse_sf(&cli, 2)?;
             print!("{}", trace_report(query, sf, scale)?);
+            return Ok(());
+        }
+        "timeline" => {
+            let spec = positional(&cli, 1, "<query|spec>")?;
+            let sf = parse_sf(&cli, 2)?;
+            print!("{}", timeline_report(spec, sf, cli.seed, scale, cli.workload_opts)?);
             return Ok(());
         }
         "workload" => {

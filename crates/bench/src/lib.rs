@@ -15,6 +15,7 @@ pub mod error;
 pub mod experiments;
 pub mod profile;
 pub mod render;
+pub mod timeline;
 pub mod workload;
 
 pub use error::BenchError;
@@ -23,6 +24,7 @@ pub use experiments::{
 };
 pub use profile::{profile_report, trace_report};
 pub use render::render_table;
+pub use timeline::{render_timeline, timeline_report};
 pub use workload::{
     parse_sched, parse_spec, run_concurrent_workload, run_concurrent_workload_on, run_workload,
     run_workload_on, ConcurrentOptions, ConcurrentReport, WorkloadReport,

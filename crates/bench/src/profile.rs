@@ -51,10 +51,11 @@ pub fn profile_report(query: &str, sf: u64, scale: ExpScale) -> Result<String, B
 }
 
 /// Run `query` cold under DYNOPT and export the event log in Chrome
-/// `trace_event` JSON (load the output in `chrome://tracing` / Perfetto).
+/// `trace_event` JSON (load the output in `chrome://tracing` / Perfetto),
+/// with the cluster telemetry timeline merged in as counter records.
 pub fn trace_report(query: &str, sf: u64, scale: ExpScale) -> Result<String, BenchError> {
     let d = traced_run(query, sf, scale)?;
-    Ok(d.obs.tracer.to_chrome_trace())
+    Ok(d.obs.tracer.to_chrome_trace_with(&d.obs.timeline))
 }
 
 #[cfg(test)]
@@ -92,5 +93,7 @@ mod tests {
         let summary = dyno_obs::validate_chrome_trace(&out).expect("well-formed trace");
         assert_eq!(summary.begins, summary.ends, "balanced B/E");
         assert!(summary.begins > 0);
+        assert!(summary.counters > 0, "cluster telemetry counters merged in");
+        assert!(out.contains("\"args\":{\"name\":\"cluster\"}"), "telemetry pid named");
     }
 }

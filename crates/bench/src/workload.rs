@@ -32,7 +32,10 @@ use std::collections::BTreeSet;
 use dyno_cluster::{Cluster, ClusterConfig, JobHandle, SchedPolicy};
 use dyno_common::{Rng, SeedableRng, StdRng};
 use dyno_core::{DriverPoll, Mode, QueryDriver, Strategy};
-use dyno_obs::{descends_from, validate_chrome_trace, Histogram, Obs, OomRecovery, SpanKind};
+use dyno_obs::{
+    descends_from, validate_chrome_trace, CriticalPath, Histogram, Obs, OomRecovery, SpanKind,
+    Timeline,
+};
 use dyno_tpch::queries::{self, QueryId};
 
 use crate::error::BenchError;
@@ -384,19 +387,25 @@ impl WorkloadReport {
         out.push_str("per-query latency:\n");
         for s in &self.queries {
             out.push_str(&format!(
-                "  {:<24} runs {:>3}  min {:>9}  max {:>9}  mean {:>9}\n",
+                "  {:<24} runs {:>3}  min {:>9}  max {:>9}  mean {:>9}  p50 {:>9}  p95 {:>9}  p99 {:>9}\n",
                 s.label,
                 s.runs,
                 secs(s.min_secs),
                 secs(s.max_secs),
                 secs(s.total_secs / s.runs as f64),
+                secs(s.hist.quantile(0.50)),
+                secs(s.hist.quantile(0.95)),
+                secs(s.hist.quantile(0.99)),
             ));
             render_hist(&mut out, "    ", &s.hist);
         }
         out.push_str(&format!(
-            "overall latency (n={}, total {}):\n",
+            "overall latency (n={}, total {}, p50 {}, p95 {}, p99 {}):\n",
             self.overall.count,
-            secs(self.overall.sum)
+            secs(self.overall.sum),
+            secs(self.overall.quantile(0.50)),
+            secs(self.overall.quantile(0.95)),
+            secs(self.overall.quantile(0.99)),
         ));
         render_hist(&mut out, "    ", &self.overall);
 
@@ -486,6 +495,10 @@ pub struct ConcurrentQueryReport {
     pub slot_wait_secs: f64,
     /// Jobs the query submitted.
     pub jobs: usize,
+    /// Critical-path decomposition of this query's span tree; its
+    /// [`CriticalPath::bottleneck`] names the resource that dominated
+    /// the latency. `None` only if the span tree was incomplete.
+    pub critical: Option<CriticalPath>,
 }
 
 /// The result of one shared-clock concurrent stream.
@@ -509,13 +522,20 @@ pub struct ConcurrentReport {
     /// Final metastore miss counter.
     pub misses: u64,
     /// The whole stream as ONE Chrome trace: one named pid lane per
-    /// query. Validated before this report is returned.
+    /// query, plus the shared cluster's telemetry counters on the
+    /// `cluster` lane. Validated before this report is returned.
     pub trace_json: String,
-    /// Number of named pid lanes in the trace (== number of queries).
+    /// Number of named *query* pid lanes in the trace (== number of
+    /// queries; the telemetry lane is not counted).
     pub trace_processes: usize,
+    /// Number of `"C"` telemetry counter records merged into the trace.
+    pub trace_counters: usize,
+    /// The shared cluster's telemetry timeline (handle into the sampled
+    /// series) — the `repro timeline` report folds this further.
+    pub timeline: Timeline,
 }
 
-fn sched_name(s: SchedPolicy) -> &'static str {
+pub(crate) fn sched_name(s: SchedPolicy) -> &'static str {
     match s {
         SchedPolicy::Fifo => "fifo",
         SchedPolicy::Fair => "fair",
@@ -615,7 +635,11 @@ pub fn run_concurrent_workload_on(
     );
     d.obs = Obs::enabled();
     let mut cluster = Cluster::new(d.opts.cluster.clone());
-    cluster.set_obs(d.obs.tracer.clone(), d.obs.metrics.clone());
+    cluster.set_obs(
+        d.obs.tracer.clone(),
+        d.obs.metrics.clone(),
+        d.obs.timeline.clone(),
+    );
 
     let label = |q: QueryId, m: Mode| format!("{} ({})", queries::prepare(q).spec.name, m.name());
     let mut slots: Vec<Slot> = stream
@@ -676,6 +700,10 @@ pub fn run_concurrent_workload_on(
                         .fold((0.0, 0.0), |(q, s), t| {
                             (q + t.queue_delay, s + t.slot_wait_secs)
                         });
+                    // The query span just closed; decompose its subtree
+                    // into critical-path segments while the ids are at
+                    // hand. Segments reconcile bitwise with the latency.
+                    let critical = CriticalPath::build(&d.obs.tracer, driver.query_span());
                     slots[i] = Slot::Finished {
                         row: ConcurrentQueryReport {
                             index: i + 1,
@@ -685,6 +713,7 @@ pub fn run_concurrent_workload_on(
                             queue_delay_secs,
                             slot_wait_secs,
                             jobs: jobs.len(),
+                            critical,
                         },
                     };
                 }
@@ -739,12 +768,15 @@ pub fn run_concurrent_workload_on(
     let serial_sum_secs = runs.iter().map(|r| r.latency_secs).sum();
 
     // The whole stream is ONE trace: each query's root span became its
-    // own named pid lane. Validate before handing it out — per-pid B/E
-    // balance and one process_name per query are hard invariants.
-    let trace_json = d.obs.tracer.to_chrome_trace();
+    // own named pid lane, and the shared cluster's telemetry timeline
+    // merged in as counter records on the `cluster` lane. Validate
+    // before handing it out — per-pid B/E balance, one process_name per
+    // query, and per-counter time order are hard invariants.
+    let trace_json = d.obs.tracer.to_chrome_trace_with(&d.obs.timeline);
     let summary =
         validate_chrome_trace(&trace_json).map_err(BenchError::InvalidTrace)?;
-    if summary.processes != runs.len() {
+    let expected = runs.len() + usize::from(summary.counters > 0);
+    if summary.processes != expected {
         return Err(BenchError::InvalidTrace(format!(
             "{} queries but {} named pid lanes",
             runs.len(),
@@ -756,13 +788,15 @@ pub fn run_concurrent_workload_on(
         sf,
         seed,
         opts,
-        runs,
         makespan_secs,
         serial_sum_secs,
         hits: d.obs.metrics.counter("metastore.hits"),
         misses: d.obs.metrics.counter("metastore.misses"),
         trace_json,
-        trace_processes: summary.processes,
+        trace_processes: runs.len(),
+        trace_counters: summary.counters,
+        timeline: d.obs.timeline.clone(),
+        runs,
     })
 }
 
@@ -789,13 +823,13 @@ impl ConcurrentReport {
             self.opts.arrival_mean,
         ));
         out.push_str(&format!(
-            "  {:>2}  {:<24} {:>10} {:>10} {:>12} {:>11} {:>5}\n",
-            "#", "query", "arrival", "latency", "queue-delay", "slot-wait", "jobs"
+            "  {:>2}  {:<24} {:>10} {:>10} {:>12} {:>11} {:>5}  {}\n",
+            "#", "query", "arrival", "latency", "queue-delay", "slot-wait", "jobs", "bottleneck"
         ));
         let secs = |x: f64| format!("{x:.1}s");
         for r in &self.runs {
             out.push_str(&format!(
-                "  {:>2}. {:<24} {:>9} {:>10} {:>12} {:>11} {:>5}\n",
+                "  {:>2}. {:<24} {:>9} {:>10} {:>12} {:>11} {:>5}  {}\n",
                 r.index,
                 r.label,
                 secs(r.arrival_secs),
@@ -803,6 +837,7 @@ impl ConcurrentReport {
                 secs(r.queue_delay_secs),
                 secs(r.slot_wait_secs),
                 r.jobs,
+                r.critical.as_ref().map(|c| c.bottleneck()).unwrap_or("?"),
             ));
         }
         let speedup = if self.makespan_secs > 0.0 {
@@ -828,8 +863,8 @@ impl ConcurrentReport {
             pct(rate)
         ));
         out.push_str(&format!(
-            "chrome trace: {} named pid lanes, balanced (validated)\n",
-            self.trace_processes
+            "chrome trace: {} named pid lanes, {} telemetry counters, balanced (validated)\n",
+            self.trace_processes, self.trace_counters
         ));
         out.push_str(&self.summary_line());
         out.push('\n');
@@ -973,6 +1008,16 @@ mod tests {
             assert!(run.latency_secs > 0.0);
             assert!(run.queue_delay_secs >= 0.0);
             assert!(run.slot_wait_secs >= 0.0);
+            // Tentpole invariant: the critical-path segments of every
+            // query sum bitwise to its reported latency.
+            let cp = run.critical.as_ref().expect("critical path built");
+            assert_eq!(
+                cp.total().to_bits(),
+                run.latency_secs.to_bits(),
+                "critical path of {} must reconcile exactly",
+                run.label
+            );
+            assert!(!cp.bottleneck().is_empty());
         }
         let text = r.render();
         assert!(text.contains("== concurrent workload:"));
@@ -981,11 +1026,14 @@ mod tests {
             text.lines().last().unwrap().starts_with("concurrent makespan: "),
             "last line is the ci.sh diff line"
         );
+        assert!(text.contains("bottleneck"));
         // The single exported trace passes validation (checked inside the
         // runner too, but assert the report carries the real JSON).
         let summary = validate_chrome_trace(&r.trace_json).unwrap();
-        assert_eq!(summary.processes, 3);
+        assert_eq!(summary.processes, 4, "3 query lanes + the cluster telemetry lane");
         assert_eq!(summary.begins, summary.ends);
+        assert!(summary.counters > 0, "shared-cluster telemetry merged in");
+        assert_eq!(summary.counters, r.trace_counters);
     }
 
     #[test]

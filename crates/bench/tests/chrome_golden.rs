@@ -42,6 +42,11 @@ fn q2_chrome_trace_is_well_formed_and_balanced() {
     assert_eq!(summary.begins, summary.ends, "every B has a matching E");
     assert!(summary.begins > 0, "trace is not empty");
     assert!(summary.instants > 0, "instant events present");
+    assert!(summary.counters > 0, "cluster telemetry counters present");
+    assert!(
+        GOLDEN.contains("\"args\":{\"name\":\"cluster\"}"),
+        "telemetry pid lane is named"
+    );
 }
 
 #[test]

@@ -28,7 +28,7 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use dyno_obs::trace::NO_SPAN;
-use dyno_obs::{Metrics, SpanId, SpanKind, Tracer};
+use dyno_obs::{Metrics, Sample, SpanId, SpanKind, Timeline, Tracer};
 
 use crate::config::{ClusterConfig, SchedulerPolicy};
 
@@ -233,6 +233,7 @@ pub struct Cluster {
     jitter_seed: u64,
     tracer: Tracer,
     metrics: Metrics,
+    timeline: Timeline,
     trace_scope: SpanId,
     events: BinaryHeap<Event>,
     states: BTreeMap<u64, JobState>,
@@ -254,6 +255,7 @@ impl Cluster {
             jitter_seed: 0x9e3779b97f4a7c15,
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
+            timeline: Timeline::disabled(),
             trace_scope: NO_SPAN,
             events: BinaryHeap::new(),
             states: BTreeMap::new(),
@@ -271,10 +273,16 @@ impl Cluster {
     }
 
     /// Install observability handles; the scheduler records job/wave spans
-    /// and task events under the trace scope current *at submission*.
-    pub fn set_obs(&mut self, tracer: Tracer, metrics: Metrics) {
+    /// and task events under the trace scope current *at submission*, and
+    /// samples the telemetry timeline at every event transition.
+    pub fn set_obs(&mut self, tracer: Tracer, metrics: Metrics, timeline: Timeline) {
         self.tracer = tracer;
         self.metrics = metrics;
+        timeline.set_capacity(
+            self.config.map_slots() as u32,
+            self.config.reduce_slots() as u32,
+        );
+        self.timeline = timeline;
     }
 
     /// Span under which subsequently submitted jobs are recorded (a query
@@ -383,8 +391,25 @@ impl Cluster {
             .collect();
 
         let span = if self.tracer.is_enabled() {
-            self.tracer
-                .start_span(self.trace_scope, SpanKind::Job, job.name.clone(), submitted)
+            let s = self
+                .tracer
+                .start_span(self.trace_scope, SpanKind::Job, job.name.clone(), submitted);
+            // The job's static shape, recorded once at submission: how
+            // many tasks of each kind and the per-reduce shuffle charge
+            // folded into every reduce duration. Critical-path analysis
+            // uses `shuffle_secs` to split reduce waves into shuffle vs
+            // reduce time.
+            self.tracer.event(
+                s,
+                submitted,
+                "job_shape",
+                vec![
+                    ("maps", (job.map_tasks.len() as u64).into()),
+                    ("reduces", (job.reduce_tasks.len() as u64).into()),
+                    ("shuffle_secs", shuffle_per_reduce.into()),
+                ],
+            );
+            s
         } else {
             NO_SPAN
         };
@@ -422,7 +447,24 @@ impl Cluster {
                 reduce_wave: None,
             },
         );
+        self.sample_timeline(submitted);
         JobHandle(id)
+    }
+
+    /// Record one telemetry sample of the current cluster state (no-op
+    /// when the timeline is disabled; equal-state samples are dropped
+    /// inside [`Timeline::record`]).
+    fn sample_timeline(&self, now: SimTime) {
+        if !self.timeline.is_enabled() {
+            return;
+        }
+        self.timeline.record(Sample {
+            time: now,
+            map_busy: (self.config.map_slots() - self.free_map) as u32,
+            reduce_busy: (self.config.reduce_slots() - self.free_reduce) as u32,
+            pending_jobs: self.states.len() as u32,
+            resident_bytes: self.states.values().map(|s| s.mem_in_use).sum(),
+        });
     }
 
     /// Time of the earliest pending event, if any.
@@ -595,6 +637,7 @@ impl Cluster {
             }
         }
         self.grant_slots(now);
+        self.sample_timeline(now);
         true
     }
 
@@ -1063,7 +1106,7 @@ mod tests {
         let mut cl = Cluster::new(cfg());
         let tracer = Tracer::enabled();
         let metrics = Metrics::enabled();
-        cl.set_obs(tracer.clone(), metrics.clone());
+        cl.set_obs(tracer.clone(), metrics.clone(), Timeline::disabled());
         let mut flaky = map_task(128);
         flaky.retries = 1;
         cl.run_job(JobProfile {
@@ -1096,7 +1139,7 @@ mod tests {
         let mut cl = Cluster::new(cfg());
         let tracer = Tracer::enabled();
         let metrics = Metrics::enabled();
-        cl.set_obs(tracer.clone(), metrics.clone());
+        cl.set_obs(tracer.clone(), metrics.clone(), Timeline::disabled());
         // 3 broadcast map tasks, each holding a 10 MB build side; 140
         // slots, so all three run concurrently → peak = 30 MB.
         let mut task = map_task(128);

@@ -528,7 +528,11 @@ mod tests {
     /// `Dyno::run`, which the determinism contract says must not matter.
     fn drive(d: &Dyno, q: &PreparedQuery, mode: Mode) -> QueryReport {
         let mut cluster = Cluster::new(d.opts.cluster.clone());
-        cluster.set_obs(d.obs.tracer.clone(), d.obs.metrics.clone());
+        cluster.set_obs(
+            d.obs.tracer.clone(),
+            d.obs.metrics.clone(),
+            d.obs.timeline.clone(),
+        );
         let mut driver = QueryDriver::new(d, q, mode, &mut cluster).unwrap();
         loop {
             match driver.poll(&mut cluster).unwrap() {

@@ -214,8 +214,17 @@ impl Dyno {
     /// (re-)optimization windows, and return the report. Concurrent
     /// workloads use the same driver against one shared cluster instead.
     pub fn run(&self, q: &PreparedQuery, mode: Mode) -> Result<QueryReport, DynoError> {
+        // Each solo run gets a fresh cluster at time zero; a reused
+        // timeline handle must not mix step samples from earlier runs
+        // (their clocks restart), so it covers only the latest run —
+        // mirroring `QueryProfile`'s last-query-span semantics.
+        self.obs.timeline.reset();
         let mut cluster = Cluster::new(self.opts.cluster.clone());
-        cluster.set_obs(self.obs.tracer.clone(), self.obs.metrics.clone());
+        cluster.set_obs(
+            self.obs.tracer.clone(),
+            self.obs.metrics.clone(),
+            self.obs.timeline.clone(),
+        );
         let mut driver = QueryDriver::new(self, q, mode, &mut cluster)?;
         loop {
             match driver.poll(&mut cluster)? {
@@ -357,6 +366,83 @@ mod obs_tests {
                 assert!(!p.jobs.is_empty(), "{mode:?} jobs");
             }
         }
+    }
+
+    /// The critical-path decomposition must sum *bitwise* to the
+    /// latency the `QueryReport` states: named segments plus the `other`
+    /// residual reconstruct `total_secs` exactly (`f64::to_bits`), in
+    /// every execution mode.
+    #[test]
+    fn critical_path_reconciles_bitwise_with_report_latency() {
+        for mode in [
+            Mode::Dynopt,
+            Mode::DynoptSimple,
+            Mode::RelOpt,
+            Mode::BestStaticJaql,
+        ] {
+            let d = dyno_with_obs();
+            let q = queries::prepare(QueryId::Q7);
+            let r = d.run(&q, mode).unwrap();
+            let p = QueryProfile::build(&d.obs.tracer).unwrap();
+            let cp = p
+                .critical
+                .unwrap_or_else(|| panic!("no critical path under {mode:?}"));
+            // Solo runs start their query span at t=0, so the span width
+            // IS the reported latency, bit for bit — and the segment sum
+            // reconstructs it exactly.
+            assert_eq!(
+                cp.latency_secs.to_bits(),
+                r.total_secs.to_bits(),
+                "{mode:?} latency"
+            );
+            assert_eq!(
+                cp.total().to_bits(),
+                r.total_secs.to_bits(),
+                "{mode:?} segments must sum bitwise to the latency"
+            );
+            // Something real must be attributed whenever jobs ran.
+            if mode != Mode::RelOpt {
+                assert!(
+                    cp.map_secs > 0.0 || cp.reduce_secs > 0.0,
+                    "{mode:?} attributes no task time"
+                );
+                assert!(!cp.bottleneck().is_empty());
+            }
+        }
+    }
+
+    /// The solo driver samples the shared cluster telemetry: a traced
+    /// run leaves a strictly time-ordered, non-empty timeline behind,
+    /// and a re-run resets it (the series covers only the latest run).
+    #[test]
+    fn solo_runs_record_and_reset_the_timeline() {
+        let d = dyno_with_obs();
+        let q = queries::prepare(QueryId::Q7);
+        d.run(&q, Mode::Dynopt).unwrap();
+        let first = d.obs.timeline.samples();
+        assert!(!first.is_empty(), "traced run must sample the timeline");
+        for w in first.windows(2) {
+            assert!(w[1].time > w[0].time, "samples must be strictly ordered");
+        }
+        let (map_cap, reduce_cap) = d.obs.timeline.capacity();
+        assert!(map_cap > 0 && reduce_cap > 0, "capacities recorded");
+        // Peak occupancy cannot exceed capacity.
+        assert!(first.iter().all(|s| s.map_busy <= map_cap));
+        assert!(first.iter().all(|s| s.reduce_busy <= reduce_cap));
+        // A second run restarts the simulated clock on a fresh cluster;
+        // the timeline resets with it instead of appending out-of-order.
+        // (The run itself differs — the warm metastore skips pilots.)
+        d.run(&q, Mode::Dynopt).unwrap();
+        let second = d.obs.timeline.samples();
+        assert!(!second.is_empty());
+        for w in second.windows(2) {
+            assert!(w[1].time > w[0].time, "reset series stays ordered");
+        }
+        assert!(
+            second.first().unwrap().time < first.last().unwrap().time,
+            "second run must restart the series, not append after {}",
+            first.last().unwrap().time
+        );
     }
 
     #[test]

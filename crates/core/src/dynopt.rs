@@ -828,7 +828,11 @@ mod tests {
     fn adaptive_policy_records_threshold_trajectory() {
         let (exec, mut cluster, mut block) = setup(QueryId::Q8Prime);
         let tracer = dyno_obs::Tracer::enabled();
-        cluster.set_obs(tracer.clone(), dyno_obs::Metrics::enabled());
+        cluster.set_obs(
+            tracer.clone(),
+            dyno_obs::Metrics::enabled(),
+            dyno_obs::Timeline::disabled(),
+        );
         run_pilots(&exec, &mut cluster, &block, &PilotConfig::default()).unwrap();
         let opt = Optimizer::new();
         let a = AdaptiveReopt::default();

@@ -187,7 +187,9 @@ impl Executor {
     /// re-optimization will follow).
     ///
     /// When the cluster carries an enabled tracer, the whole batch is
-    /// wrapped in an `execute` phase span (jobs nest under it) and each
+    /// wrapped in an `execute` phase span (jobs nest under it), an
+    /// `execute_batch` event records the batch shape (job count,
+    /// parallel co-scheduling, stats collection) at open time, and each
     /// stats merge is recorded at the producing job's finish time.
     #[allow(clippy::too_many_arguments)]
     pub fn begin_jobs(
@@ -206,6 +208,16 @@ impl Executor {
             tracer.start_span(prev_scope, SpanKind::Phase, "execute", cluster.now());
         if tracer.is_enabled() {
             cluster.set_trace_scope(phase);
+            tracer.event(
+                phase,
+                cluster.now(),
+                "execute_batch",
+                vec![
+                    ("jobs", (ids.len() as u64).into()),
+                    ("parallel", u64::from(parallel).into()),
+                    ("collect_stats", u64::from(collect_stats).into()),
+                ],
+            );
         }
         let computed = self.compute_jobs(cluster, block, dag, ids, outputs, collect_stats);
         let (results, profiles) = match computed {

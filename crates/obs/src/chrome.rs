@@ -19,9 +19,17 @@
 //! construction, so the `B`/`E` events on every lane balance — which
 //! [`validate_chrome_trace`] checks, and CI relies on. Spans still open
 //! at export time are closed at the log's maximum timestamp.
+//!
+//! [`Tracer::to_chrome_trace_with`] additionally merges a
+//! [`Timeline`]'s cluster telemetry into the trace as `"ph":"C"`
+//! counter records — one series each for busy map slots, busy reduce
+//! slots, pending jobs, and resident memory — on a dedicated pid `0`
+//! named `cluster`, so the viewer draws the utilization step functions
+//! above the query lanes.
 
 use std::collections::BTreeMap;
 
+use crate::timeline::Timeline;
 use crate::trace::{FieldValue, Span, SpanId, Tracer, NO_SPAN};
 
 /// Escape `s` as the body of a JSON string literal (no surrounding
@@ -166,6 +174,18 @@ impl Tracer {
     /// — then `i`, so the per-lane `B`/`E` stacks always balance.
     /// Byte-identical across identical executions.
     pub fn to_chrome_trace(&self) -> String {
+        self.to_chrome_trace_with(&Timeline::disabled())
+    }
+
+    /// Like [`Tracer::to_chrome_trace`], but additionally merges the
+    /// `timeline`'s telemetry samples into the trace as `"ph":"C"`
+    /// counter records on a dedicated pid `0` process named `cluster`.
+    /// Each sample emits one record per series *that changed* (the
+    /// first sample emits all four), so flat stretches cost nothing
+    /// and each counter stream stays strictly time-ordered. A disabled
+    /// or empty timeline yields a trace identical to
+    /// [`Tracer::to_chrome_trace`].
+    pub fn to_chrome_trace_with(&self, timeline: &Timeline) -> String {
         let spans = self.spans();
         let events = self.events();
         let log_end = spans
@@ -183,10 +203,11 @@ impl Tracer {
 
         struct Rec {
             ts: f64,
-            // At equal timestamps: E=0, B=1, zero-duration E=2, i=3. A
-            // zero-duration span's E shares its B's timestamp, so it must
-            // sort *after* the opens (its own B included) rather than
-            // with the ordinary closes.
+            // At equal timestamps: E=0, B=1, zero-duration E=2, i=3,
+            // C=4. A zero-duration span's E shares its B's timestamp,
+            // so it must sort *after* the opens (its own B included)
+            // rather than with the ordinary closes. Counters describe
+            // the state *from* their timestamp, so they sort last.
             rank: u8,
             tie: u64,
             json: String,
@@ -246,6 +267,44 @@ impl Tracer {
                 ),
             });
         }
+        // Cluster telemetry → "C" counter records on the dedicated
+        // pid 0 / tid 0 lane. Per-series change-dedup: a sample emits a
+        // series only when its value differs from the last one emitted
+        // (the first sample emits every series), so each counter stream
+        // is minimal and strictly time-ordered.
+        const SERIES: [&str; 4] = [
+            "map_slots_busy",
+            "reduce_slots_busy",
+            "pending_jobs",
+            "resident_mem_bytes",
+        ];
+        let samples = timeline.samples();
+        let has_counters = !samples.is_empty();
+        let mut last_emitted: [Option<u64>; 4] = [None; 4];
+        for (si, sample) in samples.iter().enumerate() {
+            let values = [
+                sample.map_busy as u64,
+                sample.reduce_busy as u64,
+                sample.pending_jobs as u64,
+                sample.resident_bytes,
+            ];
+            for (ci, (&name, &v)) in SERIES.iter().zip(values.iter()).enumerate() {
+                if last_emitted[ci] == Some(v) {
+                    continue;
+                }
+                last_emitted[ci] = Some(v);
+                recs.push(Rec {
+                    ts: sample.time,
+                    rank: 4,
+                    tie: (si as u64) * SERIES.len() as u64 + ci as u64,
+                    json: format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"telemetry\",\"ph\":\"C\",\"ts\":{},\
+                         \"pid\":0,\"tid\":0,\"args\":{{\"value\":{v}}}}}",
+                        micros(sample.time)
+                    ),
+                });
+            }
+        }
         recs.sort_by(|a, b| {
             a.ts.total_cmp(&b.ts)
                 .then(a.rank.cmp(&b.rank))
@@ -259,6 +318,16 @@ impl Tracer {
             *first = false;
             format!("{sep}{line}")
         };
+        // Telemetry counters live on pid 0; name it so the validator's
+        // every-pid-named contract holds for counter-carrying traces.
+        if has_counters {
+            out.push_str(&push(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\
+                 \"tid\":0,\"args\":{\"name\":\"cluster\"}}"
+                    .to_owned(),
+                &mut first,
+            ));
+        }
         // Name each root span's process lane up front: `"ph":"M"`
         // process_name metadata, one per pid, so the trace viewer shows
         // "q7", "q9", ... instead of bare process numbers.
@@ -293,15 +362,20 @@ pub struct ChromeTraceSummary {
     /// Number of `"ph":"i"` records.
     pub instants: usize,
     /// Number of `"ph":"M"` `process_name` records — one named process
-    /// lane per root span (per query, in a workload trace).
+    /// lane per root span (per query, in a workload trace), plus the
+    /// `cluster` telemetry lane when counters are present.
     pub processes: usize,
+    /// Number of `"ph":"C"` counter records (cluster telemetry).
+    pub counters: usize,
 }
 
 /// Check that `s` is well-formed JSON in the shape
 /// [`Tracer::to_chrome_trace`] emits: a top-level object with a
 /// `traceEvents` array whose records carry known phases, globally
 /// non-decreasing timestamps, and — per `(pid, tid)` lane — balanced,
-/// name-matched `B`/`E` stacks. `"ph":"M"` `process_name` metadata must
+/// name-matched `B`/`E` stacks. `"ph":"C"` counter records must carry a
+/// name, a non-empty `args` object, and non-decreasing timestamps per
+/// `(pid, name)` counter stream. `"ph":"M"` `process_name` metadata must
 /// name each pid at most once, and every pid that carries `B`/`E`/`i`
 /// records in a multi-process trace must have been named — the
 /// "one named lane per query" contract for workload traces. Used by
@@ -328,8 +402,10 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
         ends: 0,
         instants: 0,
         processes: 0,
+        counters: 0,
     };
     let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut counter_ts: BTreeMap<(u64, String), f64> = BTreeMap::new();
     let mut named_pids: BTreeMap<u64, String> = BTreeMap::new();
     let mut seen_pids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     let mut prev_ts = f64::NEG_INFINITY;
@@ -384,6 +460,32 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
             "i" => {
                 summary.instants += 1;
                 seen_pids.insert(lane.0);
+            }
+            "C" => {
+                summary.counters += 1;
+                seen_pids.insert(lane.0);
+                let name = name.ok_or_else(|| format!("record {i}: C without name"))?;
+                match get(o, "args") {
+                    Some(Json::Obj(args)) if !args.is_empty() => {}
+                    _ => {
+                        return Err(format!(
+                            "record {i}: counter {name:?} without args values"
+                        ))
+                    }
+                }
+                // Each named counter stream must advance in time
+                // (non-decreasing per (pid, name), independent of the
+                // global ordering check above).
+                let key = (lane.0, name);
+                if let Some(&prev) = counter_ts.get(&key) {
+                    if ts < prev {
+                        return Err(format!(
+                            "record {i}: counter {:?} timestamp {ts} goes backwards",
+                            key.1
+                        ));
+                    }
+                }
+                counter_ts.insert(key, ts);
             }
             "M" => {
                 let meta = name.ok_or_else(|| format!("record {i}: M without name"))?;
@@ -676,7 +778,8 @@ mod tests {
                 begins: 1,
                 ends: 1,
                 instants: 1,
-                processes: 1
+                processes: 1,
+                counters: 0
             }
         );
         // the validator decodes escapes, so a successful parse plus a
@@ -832,6 +935,77 @@ mod tests {
             t.to_chrome_trace()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn timeline_counters_merge_as_dedup_counter_records() {
+        use crate::timeline::{Sample, Timeline};
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        t.end_span(q, 10.0);
+        let tl = Timeline::enabled();
+        tl.set_capacity(4, 2);
+        let s = |time, map_busy, pending| Sample {
+            time,
+            map_busy,
+            reduce_busy: 0,
+            pending_jobs: pending,
+            resident_bytes: (map_busy as u64) << 20,
+        };
+        tl.record(s(0.0, 0, 1));
+        tl.record(s(1.0, 3, 1)); // map + resident change; reduce/pending flat
+        tl.record(s(2.0, 3, 2)); // only pending changes
+        let json = t.to_chrome_trace_with(&tl);
+        let summary = validate_chrome_trace(&json).expect("counters validate");
+        // 4 series at t=0, map+resident at t=1, pending at t=2
+        assert_eq!(summary.counters, 4 + 2 + 1);
+        // query pid + the dedicated cluster telemetry pid
+        assert_eq!(summary.processes, 2);
+        assert!(
+            json.contains(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\
+                 \"tid\":0,\"args\":{\"name\":\"cluster\"}}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "{\"name\":\"map_slots_busy\",\"cat\":\"telemetry\",\"ph\":\"C\",\
+                 \"ts\":1000000,\"pid\":0,\"tid\":0,\"args\":{\"value\":3}}"
+            ),
+            "{json}"
+        );
+        // flat series do not re-emit: reduce_slots_busy appears once
+        assert_eq!(json.matches("\"name\":\"reduce_slots_busy\"").count(), 1);
+        // a disabled or empty timeline leaves the trace unchanged
+        assert_eq!(t.to_chrome_trace_with(&Timeline::disabled()), t.to_chrome_trace());
+        assert_eq!(t.to_chrome_trace_with(&Timeline::enabled()), t.to_chrome_trace());
+    }
+
+    #[test]
+    fn validator_checks_counter_args_and_per_counter_time_order() {
+        // C without args is rejected
+        let r = validate_chrome_trace(
+            "{\"traceEvents\":[\
+             {\"name\":\"c\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0}]}",
+        );
+        assert!(r.is_err(), "{r:?}");
+        // C with an empty args object is rejected
+        let r = validate_chrome_trace(
+            "{\"traceEvents\":[\
+             {\"name\":\"c\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{}}]}",
+        );
+        assert!(r.is_err(), "{r:?}");
+        // well-formed counters pass and are counted
+        let s = validate_chrome_trace(
+            "{\"traceEvents\":[\
+             {\"name\":\"c\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"value\":1}},\
+             {\"name\":\"c\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"value\":2}},\
+             {\"name\":\"c\",\"ph\":\"C\",\"ts\":3,\"pid\":1,\"tid\":0,\"args\":{\"value\":1}}]}",
+        )
+        .expect("repeated + advancing counter is fine");
+        assert_eq!(s.counters, 3);
+        assert_eq!(s.begins, 0);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Per-query critical-path decomposition.
+//!
+//! [`CriticalPath::build`] walks one query span's recorded job DAG and
+//! decomposes the query's latency into *exclusive* time segments: at any
+//! instant between query start and end, the instant is charged to the
+//! most "productive" thing the cluster was doing for this query at that
+//! moment, in priority order
+//!
+//! ```text
+//! map > shuffle > reduce > reopt > startup > queue-delay > other
+//! ```
+//!
+//! so e.g. a re-optimization pause that overlaps a still-draining map
+//! wave counts as map time, and startup only counts when nothing is
+//! executing. Segment sources:
+//!
+//! * **map** — `map` wave spans;
+//! * **shuffle** — the leading `shuffle_secs` (from the job's
+//!   `job_shape` event) of each `reduce` wave span, the simulator's
+//!   model of mapper→reducer transfer;
+//! * **reduce** — the remainder of `reduce` wave spans;
+//! * **reopt** — `optimize` phase spans (initial + re-optimizations);
+//! * **startup** — job submission to its `job_ready` event (the fixed
+//!   per-job startup cost the paper's §6 amortization argument is
+//!   about);
+//! * **queue-delay** — `job_ready` to the job's first task launch
+//!   (waiting behind other jobs for a slot);
+//! * **other** — anything not covered (client-side gaps, OOM penalties).
+//!
+//! The decomposition reconciles *bitwise* with the reported latency:
+//! `queue + startup + map + shuffle + reduce + reopt + other == latency`
+//! exactly under `f64::to_bits` (the residual `other` is nudged onto the
+//! exact lattice, mirroring the Figure 4 overhead reconciliation).
+
+use crate::profile::{descends_from, field_f64};
+use crate::trace::{SpanId, SpanKind, Tracer};
+
+/// Exclusive time segments one query's latency decomposes into.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CriticalPath {
+    /// End-to-end latency (query span duration) the segments sum to.
+    pub latency_secs: f64,
+    /// Jobs ready but waiting behind other jobs for a slot.
+    pub queue_secs: f64,
+    /// Fixed per-job startup cost (submission → ready), uncovered by
+    /// any execution.
+    pub startup_secs: f64,
+    /// Map waves running.
+    pub map_secs: f64,
+    /// Mapper→reducer shuffle transfer.
+    pub shuffle_secs: f64,
+    /// Reduce waves running (post-shuffle).
+    pub reduce_secs: f64,
+    /// Optimizer calls (initial plan + re-optimization pauses).
+    pub reopt_secs: f64,
+    /// Residual: time covered by none of the above, nudged so the total
+    /// reconciles bitwise with `latency_secs`.
+    pub other_secs: f64,
+}
+
+/// Segment priority when intervals overlap (highest first), and the
+/// order segments are listed in reports.
+const SEGMENTS: [&str; 6] = ["map", "shuffle", "reduce", "reopt", "startup", "queue-delay"];
+
+impl CriticalPath {
+    /// Decompose the query span `query` recorded in `tracer`. Returns
+    /// `None` when the span is unknown or still open.
+    pub fn build(tracer: &Tracer, query: SpanId) -> Option<CriticalPath> {
+        let spans = tracer.spans();
+        let qspan = spans.iter().find(|s| s.id == query)?;
+        let qstart = qspan.start;
+        let qend = qspan.end?;
+        let latency = qend - qstart;
+
+        // Gather the raw interval sets, one Vec per segment class, in
+        // SEGMENTS order. All span/event walks are in id/seq order, so
+        // the interval lists (and the later accumulation) are
+        // deterministic.
+        let mut intervals: [Vec<(f64, f64)>; 6] = Default::default();
+        let in_scope = |id: SpanId| descends_from(&spans, id, query);
+
+        let events = tracer.events();
+        for job in spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Job && in_scope(s.id))
+        {
+            // The simulator charges every reduce task of a job the same
+            // leading shuffle time, recorded once per job at submission.
+            let shuffle = events
+                .iter()
+                .find(|e| e.span == job.id && e.name == "job_shape")
+                .and_then(|e| field_f64(e, "shuffle_secs"))
+                .unwrap_or(0.0);
+            let mut first_launch = f64::INFINITY;
+            for wave in spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Wave && s.parent == job.id)
+            {
+                let end = wave.end.unwrap_or(wave.start);
+                first_launch = first_launch.min(wave.start);
+                match wave.name.as_str() {
+                    "map" => intervals[0].push((wave.start, end)),
+                    "reduce" => {
+                        let split = (wave.start + shuffle).min(end);
+                        intervals[1].push((wave.start, split));
+                        intervals[2].push((split, end));
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(ready) = events
+                .iter()
+                .find(|e| e.span == job.id && e.name == "job_ready")
+                .map(|e| e.time)
+            {
+                intervals[4].push((job.start, ready));
+                if first_launch.is_finite() {
+                    intervals[5].push((ready, first_launch));
+                }
+            }
+        }
+        for opt in spans.iter().filter(|s| {
+            s.kind == SpanKind::Phase && s.name == "optimize" && in_scope(s.id)
+        }) {
+            intervals[3].push((opt.start, opt.end.unwrap_or(opt.start)));
+        }
+
+        // Clip to the query window and drop empty intervals.
+        for set in intervals.iter_mut() {
+            set.retain_mut(|iv| {
+                iv.0 = iv.0.max(qstart);
+                iv.1 = iv.1.min(qend);
+                iv.1 > iv.0
+            });
+        }
+
+        // Sweep the elementary intervals between breakpoints, charging
+        // each to the highest-priority class covering it.
+        let mut cuts: Vec<f64> = vec![qstart, qend];
+        for set in &intervals {
+            for &(a, b) in set {
+                cuts.push(a);
+                cuts.push(b);
+            }
+        }
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup_by(|a, b| a.to_bits() == b.to_bits());
+
+        let mut secs = [0.0f64; 6];
+        for w in cuts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let covered = |set: &[(f64, f64)]| set.iter().any(|iv| iv.0 <= a && iv.1 >= b);
+            if let Some(class) = (0..SEGMENTS.len()).find(|&c| covered(&intervals[c])) {
+                secs[class] += b - a;
+            }
+        }
+
+        let named: f64 = secs[5] + secs[4] + secs[0] + secs[1] + secs[2] + secs[3];
+        Some(CriticalPath {
+            latency_secs: latency,
+            queue_secs: secs[5],
+            startup_secs: secs[4],
+            map_secs: secs[0],
+            shuffle_secs: secs[1],
+            reduce_secs: secs[2],
+            reopt_secs: secs[3],
+            other_secs: exact_residual(latency, named),
+        })
+    }
+
+    /// Convenience: decompose the *last* query span in the log (the one
+    /// [`QueryProfile`](crate::QueryProfile) reports on).
+    pub fn build_last(tracer: &Tracer) -> Option<CriticalPath> {
+        let query = tracer
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Query)
+            .max_by_key(|s| s.id)
+            .map(|s| s.id)?;
+        CriticalPath::build(tracer, query)
+    }
+
+    /// Segments in report order as `(name, seconds)` pairs (`other`
+    /// excluded).
+    pub fn named(&self) -> [(&'static str, f64); 6] {
+        [
+            ("queue-delay", self.queue_secs),
+            ("startup", self.startup_secs),
+            ("map", self.map_secs),
+            ("shuffle", self.shuffle_secs),
+            ("reduce", self.reduce_secs),
+            ("reopt", self.reopt_secs),
+        ]
+    }
+
+    /// Sum of the named segments, in their fixed report order.
+    pub fn named_sum(&self) -> f64 {
+        self.named().iter().map(|(_, s)| s).sum()
+    }
+
+    /// Total of all segments — bitwise equal to `latency_secs`.
+    pub fn total(&self) -> f64 {
+        self.named_sum() + self.other_secs
+    }
+
+    /// The bottleneck resource: the largest named segment (first in
+    /// report order on ties).
+    pub fn bottleneck(&self) -> &'static str {
+        let mut best = ("queue-delay", f64::NEG_INFINITY);
+        for (name, s) in self.named() {
+            if s > best.1 {
+                best = (name, s);
+            }
+        }
+        best.0
+    }
+}
+
+/// Nudge `other = latency - named` onto the float lattice where
+/// `named + other == latency` holds *bitwise*. One correction step
+/// almost always suffices; the loop is bounded for pathological inputs.
+fn exact_residual(latency: f64, named: f64) -> f64 {
+    let mut other = latency - named;
+    for _ in 0..4 {
+        let err = latency - (named + other);
+        if err == 0.0 {
+            break;
+        }
+        other += err;
+    }
+    other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::NO_SPAN;
+
+    /// A query with one optimize pause and one two-wave job:
+    ///
+    /// ```text
+    /// 0        5            30        45        60    70   80
+    /// |optimize|startup.....|queue....|map.......|shuf|red |
+    /// ```
+    fn synthetic() -> (Tracer, SpanId) {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        let opt = t.start_span(q, SpanKind::Phase, "optimize", 0.0);
+        t.end_span(opt, 5.0);
+        let exec = t.start_span(q, SpanKind::Phase, "execute", 5.0);
+        let job = t.start_span(exec, SpanKind::Job, "j1", 5.0);
+        t.event(job, 5.0, "job_shape", vec![("shuffle_secs", 10.0.into())]);
+        t.event(job, 30.0, "job_ready", vec![]);
+        let m = t.start_span(job, SpanKind::Wave, "map", 45.0);
+        t.end_span(m, 60.0);
+        let r = t.start_span(job, SpanKind::Wave, "reduce", 60.0);
+        t.end_span(r, 80.0);
+        t.end_span(job, 80.0);
+        t.end_span(exec, 80.0);
+        t.end_span(q, 80.0);
+        (t, q)
+    }
+
+    #[test]
+    fn decomposes_the_synthetic_query() {
+        let (t, q) = synthetic();
+        let cp = CriticalPath::build(&t, q).unwrap();
+        assert_eq!(cp.latency_secs, 80.0);
+        assert_eq!(cp.reopt_secs, 5.0);
+        assert_eq!(cp.startup_secs, 25.0);
+        assert_eq!(cp.queue_secs, 15.0);
+        assert_eq!(cp.map_secs, 15.0);
+        assert_eq!(cp.shuffle_secs, 10.0);
+        assert_eq!(cp.reduce_secs, 10.0);
+        assert_eq!(cp.bottleneck(), "startup");
+        assert_eq!(cp.total().to_bits(), cp.latency_secs.to_bits());
+        assert_eq!(CriticalPath::build_last(&t).unwrap(), cp);
+    }
+
+    #[test]
+    fn overlaps_charge_the_higher_priority_segment() {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        // An optimize pause [0, 10] fully overlapped by a map wave
+        // [0, 10] of a job that was ready at t=0.
+        let opt = t.start_span(q, SpanKind::Phase, "optimize", 0.0);
+        t.end_span(opt, 10.0);
+        let job = t.start_span(q, SpanKind::Job, "j", 0.0);
+        t.event(job, 0.0, "job_ready", vec![]);
+        let m = t.start_span(job, SpanKind::Wave, "map", 0.0);
+        t.end_span(m, 10.0);
+        t.end_span(job, 10.0);
+        t.end_span(q, 10.0);
+        let cp = CriticalPath::build(&t, q).unwrap();
+        assert_eq!(cp.map_secs, 10.0);
+        assert_eq!(cp.reopt_secs, 0.0);
+        assert_eq!(cp.bottleneck(), "map");
+    }
+
+    #[test]
+    fn uncovered_time_lands_in_other_and_total_is_bitwise() {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        // Only a map wave [0.1, 0.3] inside a [0, 1] query: the rest of
+        // the window is client-side "other" time.
+        let job = t.start_span(q, SpanKind::Job, "j", 0.1);
+        t.event(job, 0.1, "job_ready", vec![]);
+        let m = t.start_span(job, SpanKind::Wave, "map", 0.1);
+        t.end_span(m, 0.3);
+        t.end_span(job, 0.3);
+        t.end_span(q, 1.0);
+        let cp = CriticalPath::build(&t, q).unwrap();
+        assert_eq!(cp.map_secs.to_bits(), (0.3f64 - 0.1).to_bits());
+        assert!(cp.other_secs > 0.5);
+        assert_eq!(cp.total().to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn open_or_unknown_query_span_yields_none() {
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        assert!(CriticalPath::build(&t, q).is_none(), "still open");
+        assert!(CriticalPath::build(&t, 999).is_none(), "unknown id");
+        assert!(CriticalPath::build_last(&Tracer::disabled()).is_none());
+    }
+
+    #[test]
+    fn exact_residual_reconciles_awkward_floats() {
+        for (latency, named) in [
+            (1.0, 0.1 + 0.2 + 0.3),
+            (262.26800000000003, 261.999999999),
+            (0.0, 0.0),
+            (1e-9, 3e-10),
+            (88.9, 88.9),
+        ] {
+            let other = exact_residual(latency, named);
+            assert_eq!(
+                (named + other).to_bits(),
+                latency.to_bits(),
+                "latency={latency} named={named}"
+            );
+        }
+    }
+}

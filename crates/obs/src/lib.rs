@@ -26,31 +26,38 @@
 //! Figure 4 overhead math (asserted in `dyno-core`'s tests).
 
 pub mod chrome;
+pub mod critical;
 pub mod metrics;
 pub mod profile;
+pub mod timeline;
 pub mod trace;
 
 pub use chrome::{json_escape, validate_chrome_trace, ChromeTraceSummary};
+pub use critical::CriticalPath;
 pub use metrics::{Histogram, Metrics};
 pub use profile::{descends_from, OomRecovery, QueryProfile};
+pub use timeline::{Sample, Timeline, TimelineStats};
 pub use trace::{Event, FieldValue, Span, SpanId, SpanKind, Tracer};
 
-/// The pair of handles a component needs to be observable. Cloning clones
-/// both handles (which share their underlying log/registry).
+/// The handles a component needs to be observable. Cloning clones every
+/// handle (they share their underlying log/registry/series).
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// Structured event log handle.
     pub tracer: Tracer,
     /// Metrics registry handle.
     pub metrics: Metrics,
+    /// Cluster telemetry time-series handle.
+    pub timeline: Timeline,
 }
 
 impl Obs {
-    /// Recording handles (fresh log + registry).
+    /// Recording handles (fresh log + registry + timeline).
     pub fn enabled() -> Self {
         Obs {
             tracer: Tracer::enabled(),
             metrics: Metrics::enabled(),
+            timeline: Timeline::enabled(),
         }
     }
 

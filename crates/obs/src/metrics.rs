@@ -66,6 +66,48 @@ impl Histogram {
     pub fn bucket_lo(i: usize) -> f64 {
         1e-3 * 10f64.powi(i as i32)
     }
+
+    /// Deterministic quantile estimate for `p` in `[0, 1]`: find the
+    /// bucket holding the `p`-th observation and interpolate linearly
+    /// inside it (bucket 0 interpolates from 0). Returns 0.0 for an
+    /// empty histogram. Exact knowledge of the underlying values is
+    /// gone, so this is a bucket-resolution estimate — but a pure
+    /// function of the bucket counts, hence byte-stable for reports.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = p.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += n;
+            if (seen as f64) < rank {
+                continue;
+            }
+            let lo = if i == 0 { 0.0 } else { Self::bucket_lo(i) };
+            let hi = if i + 1 < HIST_BUCKETS {
+                Self::bucket_lo(i + 1)
+            } else {
+                // Overflow bucket has no upper bound; report its lower
+                // edge rather than inventing one.
+                return Self::bucket_lo(i);
+            };
+            let frac = ((rank - before as f64) / *n as f64).clamp(0.0, 1.0);
+            return lo + (hi - lo) * frac;
+        }
+        // p == 0 with all mass above rank 0: fall back to the first
+        // non-empty bucket's lower edge.
+        let first = self.buckets.iter().position(|n| *n > 0).unwrap_or(0);
+        if first == 0 {
+            0.0
+        } else {
+            Self::bucket_lo(first)
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -177,12 +219,17 @@ impl Metrics {
         for (name, v) in &reg.counters {
             out.push_str(&format!("counter {name} = {v}\n"));
         }
+        // Gauges and histogram sums are floats: format with `{:?}`, which
+        // always prints a decimal point or exponent (`0.0`, not `0`) —
+        // `{}` collapses whole floats to integer form, so a gauge ticking
+        // from 0.0 to 0.5 would change the line's *shape*, not just its
+        // value, breaking golden diffs.
         for (name, v) in &reg.gauges {
-            out.push_str(&format!("gauge {name} = {v}\n"));
+            out.push_str(&format!("gauge {name} = {v:?}\n"));
         }
         for (name, h) in &reg.histograms {
             out.push_str(&format!(
-                "histogram {name} count={} sum={}\n",
+                "histogram {name} count={} sum={:?}\n",
                 h.count, h.sum
             ));
             for (i, n) in h.buckets.iter().enumerate() {
@@ -270,6 +317,61 @@ mod tests {
         assert_eq!(a.buckets[Histogram::bucket_of(2.0)], 2);
         assert_eq!(a.buckets[1], 1);
         assert_eq!(a.buckets[HIST_BUCKETS - 1], 1);
+    }
+
+    /// Satellite: gauges and histogram sums render in canonical float
+    /// form — whole values keep their decimal point (`0.0`, `3.0`), so a
+    /// gauge crossing a whole number never changes the line's shape.
+    #[test]
+    fn render_formats_floats_canonically() {
+        let m = Metrics::enabled();
+        m.fadd("zeroed", 0.0);
+        m.fadd("whole", 3.0);
+        m.fadd("frac", 0.5);
+        m.observe("h", 2.0);
+        m.observe("h", 1.0);
+        let r = m.render();
+        assert!(r.contains("gauge zeroed = 0.0\n"), "got: {r}");
+        assert!(r.contains("gauge whole = 3.0\n"), "got: {r}");
+        assert!(r.contains("gauge frac = 0.5\n"), "got: {r}");
+        assert!(r.contains("histogram h count=2 sum=3.0\n"), "got: {r}");
+    }
+
+    #[test]
+    fn quantiles_interpolate_deterministically() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        let mut h = Histogram::default();
+        // 10 observations spread evenly inside bucket 3 ([1, 10)).
+        for _ in 0..10 {
+            h.observe(2.0);
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(0.5), 1.0 + 9.0 * 0.5);
+        assert_eq!(h.quantile(1.0), 10.0);
+        // Mass split across buckets: p50 sits at the edge of the first.
+        let mut h = Histogram::default();
+        h.observe(0.05); // bucket 1: [0.01, 0.1)
+        h.observe(2.0); // bucket 3
+        assert_eq!(h.quantile(0.5), 0.1);
+        assert!(h.quantile(0.99) > 1.0);
+        // The overflow bucket reports its lower edge, not infinity.
+        let mut h = Histogram::default();
+        h.observe(1e30);
+        let q = h.quantile(0.99);
+        assert!(q.is_finite());
+        assert_eq!(q, Histogram::bucket_lo(HIST_BUCKETS - 1));
+        // Quantiles are monotone in p.
+        let mut h = Histogram::default();
+        for v in [0.002, 0.05, 0.4, 2.0, 30.0, 500.0, 500.0, 8000.0] {
+            h.observe(v);
+        }
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= prev, "p={} q={q} prev={prev}", i as f64 / 100.0);
+            prev = q;
+        }
     }
 
     #[test]

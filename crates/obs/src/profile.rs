@@ -14,6 +14,7 @@
 //!   `{:.1}s` / `{:.1}%` formatting as the Figure 4 table in
 //!   `repro_output.txt`.
 
+use crate::critical::CriticalPath;
 use crate::trace::{Event, FieldValue, Span, SpanId, SpanKind, Tracer};
 
 /// Width of the gantt bar column in [`QueryProfile::render`].
@@ -113,9 +114,12 @@ pub struct QueryProfile {
     /// Broadcast-OOM recoveries in record order — WHY each recovery
     /// fired: which join, which build side, bytes over budget.
     pub ooms: Vec<OomRecovery>,
+    /// Critical-path decomposition of `total_secs` into exclusive
+    /// segments (`None` when the query span is still open).
+    pub critical: Option<CriticalPath>,
 }
 
-fn field_f64(e: &Event, key: &str) -> Option<f64> {
+pub(crate) fn field_f64(e: &Event, key: &str) -> Option<f64> {
     e.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| match v {
         FieldValue::F64(x) => *x,
         FieldValue::U64(x) => *x as f64,
@@ -253,6 +257,7 @@ impl QueryProfile {
             jobs,
             cardinalities,
             ooms,
+            critical: CriticalPath::build(tracer, query_span.id),
         })
     }
 
@@ -338,6 +343,23 @@ impl QueryProfile {
                     o.job, o.build_side, o.build_side_bytes, o.build_bytes, o.budget, o.over
                 ));
             }
+        }
+
+        if let Some(cp) = &self.critical {
+            out.push_str(&format!(
+                "critical path (latency {}, bottleneck: {}):\n",
+                secs(cp.latency_secs),
+                cp.bottleneck()
+            ));
+            for (name, t) in cp.named() {
+                let share = if cp.latency_secs > 0.0 {
+                    t / cp.latency_secs * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!("  {name:<12} {:>8}  ({share:.1}%)\n", secs(t)));
+            }
+            out.push_str(&format!("  {:<12} {:>8}\n", "other", secs(cp.other_secs)));
         }
 
         out.push_str(&self.overhead_line());

@@ -1,0 +1,370 @@
+//! Cluster telemetry timeline: step-function time series on the
+//! simulated clock.
+//!
+//! A [`Timeline`] is a cheap cloneable handle (same pattern as
+//! [`Tracer`](crate::Tracer)); the simulator samples map/reduce slot
+//! occupancy, pending-job queue depth, and resident memory at every
+//! event transition. Samples are step functions: each [`Sample`] holds
+//! the state of the cluster *from* `time` until the next sample's time.
+//! Consecutive samples always differ in at least one series and are
+//! strictly increasing in time — a re-sample at the same instant
+//! overwrites the previous one (only the final state of an instant is
+//! observable), and a sample equal to the current state is dropped.
+//!
+//! Determinism contract: times come from the simulated clock and floats
+//! are rendered with the shortest-roundtrip `Display`, so identical runs
+//! produce byte-identical [`Timeline::render`] output (property-tested
+//! at the bench layer against full query runs).
+
+use std::fmt;
+use std::sync::Arc;
+
+use dyno_common::Mutex;
+
+/// One step-function sample: the cluster state from `time` until the
+/// next sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Simulated time the state took effect.
+    pub time: f64,
+    /// Occupied map slots.
+    pub map_busy: u32,
+    /// Occupied reduce slots.
+    pub reduce_busy: u32,
+    /// Jobs submitted but not yet finished (queue depth).
+    pub pending_jobs: u32,
+    /// Resident task memory across all in-flight jobs, bytes.
+    pub resident_bytes: u64,
+}
+
+impl Sample {
+    fn same_state(&self, other: &Sample) -> bool {
+        self.map_busy == other.map_busy
+            && self.reduce_busy == other.reduce_busy
+            && self.pending_jobs == other.pending_jobs
+            && self.resident_bytes == other.resident_bytes
+    }
+}
+
+#[derive(Debug, Default)]
+struct TimelineLog {
+    map_cap: u32,
+    reduce_cap: u32,
+    samples: Vec<Sample>,
+}
+
+/// Handle to a shared telemetry timeline. `Default` is the disabled
+/// (no-op) handle; clones share the same log.
+#[derive(Clone, Default)]
+pub struct Timeline {
+    inner: Option<Arc<Mutex<TimelineLog>>>,
+}
+
+impl fmt::Debug for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Timeline")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Timeline {
+    /// A recording timeline over a fresh log.
+    pub fn enabled() -> Self {
+        Timeline {
+            inner: Some(Arc::new(Mutex::new(TimelineLog::default()))),
+        }
+    }
+
+    /// The no-op timeline (same as `Default`).
+    pub fn disabled() -> Self {
+        Timeline::default()
+    }
+
+    /// True iff calls record. The simulator uses this to skip the
+    /// sampling walk entirely when telemetry is off.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record the slot capacities utilization is computed against.
+    pub fn set_capacity(&self, map_cap: u32, reduce_cap: u32) {
+        if let Some(inner) = &self.inner {
+            let mut log = inner.lock();
+            log.map_cap = map_cap;
+            log.reduce_cap = reduce_cap;
+        }
+    }
+
+    /// Record one step-function sample. Equal-state samples are dropped
+    /// and same-instant samples overwrite (see module docs), so the
+    /// stored series is strictly time-ordered with no duplicate states.
+    pub fn record(&self, sample: Sample) {
+        let Some(inner) = &self.inner else { return };
+        let mut log = inner.lock();
+        if let Some(last) = log.samples.last_mut() {
+            if last.time == sample.time {
+                *last = sample;
+                // Collapsing may have made the tail redundant.
+                let n = log.samples.len();
+                if n >= 2 && log.samples[n - 2].same_state(&log.samples[n - 1]) {
+                    log.samples.pop();
+                }
+                return;
+            }
+            debug_assert!(
+                sample.time > last.time,
+                "timeline sampled backwards: {} after {}",
+                sample.time,
+                last.time
+            );
+            if last.same_state(&sample) {
+                return;
+            }
+        }
+        log.samples.push(sample);
+    }
+
+    /// Drop all samples (capacities are kept). Called at the start of
+    /// each solo run so a reused handle covers only the latest run.
+    pub fn reset(&self) {
+        if let Some(inner) = &self.inner {
+            inner.lock().samples.clear();
+        }
+    }
+
+    /// Copy of all samples, strictly increasing in time.
+    pub fn samples(&self) -> Vec<Sample> {
+        match &self.inner {
+            Some(inner) => inner.lock().samples.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Recorded `(map, reduce)` slot capacities.
+    pub fn capacity(&self) -> (u32, u32) {
+        match &self.inner {
+            Some(inner) => {
+                let log = inner.lock();
+                (log.map_cap, log.reduce_cap)
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Canonical text export: one line per sample plus the capacity
+    /// header. Byte-identical across identical runs.
+    pub fn render(&self) -> String {
+        let (map_cap, reduce_cap) = self.capacity();
+        let mut out = format!("== timeline map_cap={map_cap} reduce_cap={reduce_cap} ==\n");
+        for s in &self.samples() {
+            out.push_str(&format!(
+                "t={} map={} reduce={} pending={} resident={}\n",
+                s.time, s.map_busy, s.reduce_busy, s.pending_jobs, s.resident_bytes
+            ));
+        }
+        out
+    }
+
+    /// Fold the series into summary statistics (zeros when empty).
+    pub fn stats(&self) -> TimelineStats {
+        let samples = self.samples();
+        let (map_cap, reduce_cap) = self.capacity();
+        TimelineStats::from_samples(&samples, map_cap, reduce_cap)
+    }
+}
+
+/// Time-weighted summary of a [`Timeline`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelineStats {
+    /// Map slot capacity the averages are relative to.
+    pub map_cap: u32,
+    /// Reduce slot capacity.
+    pub reduce_cap: u32,
+    /// Span covered: first sample time.
+    pub start: f64,
+    /// Span covered: last sample time (width of the final step is zero —
+    /// the series ends when the cluster drains).
+    pub end: f64,
+    /// Time-weighted average busy map slots.
+    pub avg_map_busy: f64,
+    /// Peak busy map slots.
+    pub peak_map_busy: u32,
+    /// Time-weighted average busy reduce slots.
+    pub avg_reduce_busy: f64,
+    /// Peak busy reduce slots.
+    pub peak_reduce_busy: u32,
+    /// Seconds with every map slot occupied.
+    pub full_map_secs: f64,
+    /// Time-weighted average queue depth (in-flight jobs).
+    pub avg_pending: f64,
+    /// Peak queue depth.
+    pub peak_pending: u32,
+    /// Seconds spent at each queue depth, indexed by depth (length
+    /// `peak_pending + 1`; empty when there are no samples).
+    pub pending_secs: Vec<f64>,
+    /// Peak resident memory, bytes.
+    pub peak_resident_bytes: u64,
+}
+
+impl TimelineStats {
+    fn from_samples(samples: &[Sample], map_cap: u32, reduce_cap: u32) -> TimelineStats {
+        let mut st = TimelineStats {
+            map_cap,
+            reduce_cap,
+            ..TimelineStats::default()
+        };
+        let Some(first) = samples.first() else {
+            return st;
+        };
+        let last = samples.last().unwrap();
+        st.start = first.time;
+        st.end = last.time;
+        st.peak_pending = samples.iter().map(|s| s.pending_jobs).max().unwrap();
+        st.pending_secs = vec![0.0; st.peak_pending as usize + 1];
+        let span = st.end - st.start;
+        let mut map_area = 0.0;
+        let mut reduce_area = 0.0;
+        let mut pending_area = 0.0;
+        for w in samples.windows(2) {
+            let dt = w[1].time - w[0].time;
+            map_area += w[0].map_busy as f64 * dt;
+            reduce_area += w[0].reduce_busy as f64 * dt;
+            pending_area += w[0].pending_jobs as f64 * dt;
+            if map_cap > 0 && w[0].map_busy == map_cap {
+                st.full_map_secs += dt;
+            }
+            st.pending_secs[w[0].pending_jobs as usize] += dt;
+        }
+        for s in samples {
+            st.peak_map_busy = st.peak_map_busy.max(s.map_busy);
+            st.peak_reduce_busy = st.peak_reduce_busy.max(s.reduce_busy);
+            st.peak_resident_bytes = st.peak_resident_bytes.max(s.resident_bytes);
+        }
+        if span > 0.0 {
+            st.avg_map_busy = map_area / span;
+            st.avg_reduce_busy = reduce_area / span;
+            st.avg_pending = pending_area / span;
+        }
+        st
+    }
+
+    /// Peak map slot utilization in `[0, 1]`.
+    pub fn peak_map_util(&self) -> f64 {
+        ratio(self.peak_map_busy as f64, self.map_cap)
+    }
+
+    /// Time-weighted average map slot utilization in `[0, 1]`.
+    pub fn avg_map_util(&self) -> f64 {
+        ratio(self.avg_map_busy, self.map_cap)
+    }
+
+    /// Peak reduce slot utilization in `[0, 1]`.
+    pub fn peak_reduce_util(&self) -> f64 {
+        ratio(self.peak_reduce_busy as f64, self.reduce_cap)
+    }
+
+    /// Time-weighted average reduce slot utilization in `[0, 1]`.
+    pub fn avg_reduce_util(&self) -> f64 {
+        ratio(self.avg_reduce_busy, self.reduce_cap)
+    }
+}
+
+fn ratio(x: f64, cap: u32) -> f64 {
+    if cap == 0 {
+        0.0
+    } else {
+        x / cap as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(time: f64, map: u32, reduce: u32, pending: u32, resident: u64) -> Sample {
+        Sample {
+            time,
+            map_busy: map,
+            reduce_busy: reduce,
+            pending_jobs: pending,
+            resident_bytes: resident,
+        }
+    }
+
+    #[test]
+    fn disabled_timeline_is_a_noop() {
+        let t = Timeline::disabled();
+        assert!(!t.is_enabled());
+        t.set_capacity(10, 5);
+        t.record(s(0.0, 1, 0, 1, 0));
+        assert!(t.samples().is_empty());
+        assert_eq!(t.capacity(), (0, 0));
+        assert_eq!(t.render(), "== timeline map_cap=0 reduce_cap=0 ==\n");
+        assert_eq!(t.stats(), TimelineStats::default());
+    }
+
+    #[test]
+    fn equal_state_samples_collapse_and_same_instant_overwrites() {
+        let t = Timeline::enabled();
+        t.record(s(0.0, 1, 0, 1, 0));
+        t.record(s(1.0, 1, 0, 1, 0)); // no state change: dropped
+        t.record(s(2.0, 3, 0, 1, 0));
+        t.record(s(2.0, 4, 1, 2, 8)); // same instant: overwrites
+        let got = t.samples();
+        assert_eq!(got, vec![s(0.0, 1, 0, 1, 0), s(2.0, 4, 1, 2, 8)]);
+        // Same-instant overwrite back to the previous state pops the tail.
+        t.record(s(3.0, 9, 9, 9, 9));
+        t.record(s(3.0, 4, 1, 2, 8));
+        assert_eq!(t.samples().len(), 2);
+    }
+
+    #[test]
+    fn clones_share_and_reset_keeps_capacity() {
+        let t = Timeline::enabled();
+        let t2 = t.clone();
+        t.set_capacity(140, 84);
+        t2.record(s(0.0, 1, 0, 1, 0));
+        assert_eq!(t.samples().len(), 1);
+        t.reset();
+        assert!(t2.samples().is_empty());
+        assert_eq!(t2.capacity(), (140, 84));
+    }
+
+    #[test]
+    fn stats_are_time_weighted_step_functions() {
+        let t = Timeline::enabled();
+        t.set_capacity(4, 2);
+        // [0,2): 4 maps busy (full); [2,6): 1 map busy; ends at 6.
+        t.record(s(0.0, 4, 0, 2, 100));
+        t.record(s(2.0, 1, 2, 1, 50));
+        t.record(s(6.0, 0, 0, 0, 0));
+        let st = t.stats();
+        assert_eq!(st.peak_map_busy, 4);
+        assert_eq!(st.peak_reduce_busy, 2);
+        assert_eq!(st.peak_pending, 2);
+        assert_eq!(st.peak_resident_bytes, 100);
+        assert_eq!(st.full_map_secs, 2.0);
+        // (4*2 + 1*4) / 6 = 2.0
+        assert_eq!(st.avg_map_busy, 2.0);
+        assert_eq!(st.avg_map_util(), 0.5);
+        assert_eq!(st.peak_map_util(), 1.0);
+        // (2*2 + 1*4) / 6 = 8/6
+        assert_eq!(st.avg_pending, 8.0 / 6.0);
+        assert_eq!(st.pending_secs, vec![0.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn render_is_canonical() {
+        let t = Timeline::enabled();
+        t.set_capacity(2, 1);
+        t.record(s(0.0, 1, 0, 1, 0));
+        t.record(s(1.5, 2, 1, 2, 1024));
+        assert_eq!(
+            t.render(),
+            "== timeline map_cap=2 reduce_cap=1 ==\n\
+             t=0 map=1 reduce=0 pending=1 resident=0\n\
+             t=1.5 map=2 reduce=1 pending=2 resident=1024\n"
+        );
+    }
+}
