@@ -24,6 +24,12 @@
 #      `peak map utilization:` line *exactly* — pinning the simulator's
 #      telemetry sampling (slot occupancy, queue depth, memory) on the
 #      simulated clock.
+#   8. plan-reuse smoke check: the same fixed-seed workload runner with
+#      `--reuse` must reproduce the committed `plan cache:` line
+#      *exactly* — pinning the cross-query plan cache (hit/miss/
+#      invalidate accounting against per-leaf stats versions) end to
+#      end, and the reuse-off step-5 line above proves cold runs are
+#      unaffected.
 #
 # The build is hermetic: every dependency is a path crate inside this
 # repository, so everything below runs with --offline and no registry.
@@ -162,6 +168,23 @@ if [ "$got" != "$ref" ]; then
     echo "  ref: $ref"
     exit 1
 fi
+echo "ok: $got matches reference exactly"
+
+echo "== repro plan-reuse smoke check (fixed-seed --reuse stream vs repro_output.txt) =="
+reuse_out=$(cargo run --release --offline -p dyno-bench --bin repro -- \
+    workload q2x3,q8_prime,q10@simplex3 1 --seed 42 --divisor 2000 --reuse)
+got=$(echo "$reuse_out" | grep '^plan cache: ') ||
+    { echo "FAIL: reuse workload report has no plan-cache line"; exit 1; }
+ref=$(grep '^plan cache: ' repro_output.txt | head -1) ||
+    { echo "FAIL: no plan-cache line in repro_output.txt"; exit 1; }
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: plan-cache accounting drifted:"
+    echo "  got: $got"
+    echo "  ref: $ref"
+    exit 1
+fi
+echo "$reuse_out" | grep -q ' cache [1-9][0-9]*/' ||
+    { echo "FAIL: no per-query cache-hit column in the reuse report"; exit 1; }
 echo "ok: $got matches reference exactly"
 
 echo "CI OK"

@@ -25,14 +25,14 @@ use std::process::ExitCode;
 
 use dyno_bench::{
     ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, parse_sched, profile_report, reopt_ab,
-    run_concurrent_workload, run_workload, table1, timeline_report, trace_report, BenchError,
-    ConcurrentOptions, ExpScale,
+    run_concurrent_workload, run_workload, run_workload_reuse, table1, timeline_report,
+    trace_report, BenchError, ConcurrentOptions, ExpScale,
 };
 
 const USAGE: &str = "usage: repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablations|reopt_ab] [--divisor N]
        repro profile <query> <sf> [--divisor N]
        repro trace <query> <sf> [--divisor N]
-       repro workload <spec> <sf> [--seed N] [--divisor N]
+       repro workload <spec> <sf> [--seed N] [--divisor N] [--reuse]
                       [--concurrent [--arrival-mean S] [--sched fifo|fair]]
        repro timeline <query|spec> <sf> [--seed N] [--divisor N]
                       [--arrival-mean S] [--sched fifo|fair]
@@ -43,6 +43,8 @@ workload: comma-separated entries of the form name[@mode][xN],
 modes:    dynopt (default) | simple | relopt | beststatic | jaql
 concurrent: run the stream on ONE shared cluster with seeded arrival
           offsets (--arrival-mean, default 30s) under --sched (fifo)
+reuse:    keep the optimizer memo across re-optimization rounds and a
+          plan cache across the stream (serial workload runner only)
 timeline: run the stream on the shared cluster and report the sampled
           slot-utilization / queue-depth telemetry";
 
@@ -63,6 +65,7 @@ struct Cli {
     divisor: u64,
     seed: u64,
     concurrent: bool,
+    reuse: bool,
     workload_opts: ConcurrentOptions,
 }
 
@@ -71,6 +74,7 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
     let mut divisor = 50_000u64;
     let mut seed = 0u64;
     let mut concurrent = false;
+    let mut reuse = false;
     let mut workload_opts = ConcurrentOptions::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -88,6 +92,7 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
                 seed = parse_flag_value(it.next(), "--seed", "an unsigned integer")?;
             }
             "--concurrent" => concurrent = true,
+            "--reuse" => reuse = true,
             "--arrival-mean" => {
                 let raw = it.next().ok_or_else(|| BenchError::BadArg {
                     arg: "--arrival-mean".to_owned(),
@@ -119,6 +124,7 @@ fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
         divisor,
         seed,
         concurrent,
+        reuse,
         workload_opts,
     }))
 }
@@ -185,6 +191,8 @@ fn run(args: &[String]) -> Result<(), BenchError> {
                 let report =
                     run_concurrent_workload(spec, sf, cli.seed, scale, cli.workload_opts)?;
                 print!("{}", report.render());
+            } else if cli.reuse {
+                print!("{}", run_workload_reuse(spec, sf, cli.seed, scale)?.render());
             } else {
                 print!("{}", run_workload(spec, sf, cli.seed, scale)?.render());
             }

@@ -27,5 +27,5 @@ pub use render::render_table;
 pub use timeline::{render_timeline, timeline_report};
 pub use workload::{
     parse_sched, parse_spec, run_concurrent_workload, run_concurrent_workload_on, run_workload,
-    run_workload_on, ConcurrentOptions, ConcurrentReport, WorkloadReport,
+    run_workload_on, run_workload_reuse, ConcurrentOptions, ConcurrentReport, WorkloadReport,
 };

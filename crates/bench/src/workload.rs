@@ -127,6 +127,12 @@ pub struct QueryStats {
     pub min_secs: f64,
     /// Slowest run.
     pub max_secs: f64,
+    /// Summed simulated (re-)optimization time across the runs.
+    pub opt_secs: f64,
+    /// Plan-cache probes across the runs (0 unless reuse was on).
+    pub cache_lookups: u64,
+    /// Plan-cache probes served without a search.
+    pub cache_hits: u64,
     /// Latency distribution over the fixed decade buckets.
     pub hist: Histogram,
 }
@@ -199,6 +205,14 @@ pub struct WorkloadReport {
     pub ooms: Vec<OomAttribution>,
     /// Contention summary from job spans.
     pub contention: ContentionSummary,
+    /// Whether the stream ran with memo + plan-cache reuse enabled.
+    pub reuse: bool,
+    /// Total plan-cache probes across the stream.
+    pub plan_cache_lookups: u64,
+    /// Probes answered from the cache (no search ran).
+    pub plan_cache_hits: u64,
+    /// Stale entries evicted because a leaf's stats version moved.
+    pub plan_cache_invalidations: u64,
 }
 
 /// Run the workload described by `spec` at scale factor `sf`, shuffling
@@ -212,6 +226,18 @@ pub fn run_workload(
     run_workload_on(spec, sf, seed, scale, ClusterConfig::paper())
 }
 
+/// [`run_workload`] with optimizer reuse on: the shared [`Dyno`] keeps
+/// its memo across re-optimization rounds and its plan cache across the
+/// whole stream, so repeated queries skip the join search entirely.
+pub fn run_workload_reuse(
+    spec: &str,
+    sf: u64,
+    seed: u64,
+    scale: ExpScale,
+) -> Result<WorkloadReport, BenchError> {
+    run_workload_inner(spec, sf, seed, scale, ClusterConfig::paper(), true)
+}
+
 /// [`run_workload`] on an explicit cluster configuration (e.g. a
 /// memory-starved one, to surface broadcast-OOM recoveries).
 pub fn run_workload_on(
@@ -220,6 +246,17 @@ pub fn run_workload_on(
     seed: u64,
     scale: ExpScale,
     cluster: ClusterConfig,
+) -> Result<WorkloadReport, BenchError> {
+    run_workload_inner(spec, sf, seed, scale, cluster, false)
+}
+
+fn run_workload_inner(
+    spec: &str,
+    sf: u64,
+    seed: u64,
+    scale: ExpScale,
+    cluster: ClusterConfig,
+    reuse: bool,
 ) -> Result<WorkloadReport, BenchError> {
     let entries = parse_spec(spec)?;
 
@@ -235,6 +272,8 @@ pub fn run_workload_on(
     // are shared, which is the entire point of the exercise.
     let mut d = make_dyno(sf, scale, cluster, Strategy::Unc(1));
     d.obs = Obs::enabled();
+    d.opts.reuse_memo = reuse;
+    d.opts.reuse_plans = reuse;
 
     let label = |q: QueryId, m: Mode| format!("{} ({})", queries::prepare(q).spec.name, m.name());
 
@@ -257,6 +296,9 @@ pub fn run_workload_on(
                 s.total_secs += secs;
                 s.min_secs = s.min_secs.min(secs);
                 s.max_secs = s.max_secs.max(secs);
+                s.opt_secs += report.optimize_secs;
+                s.cache_lookups += report.plan_cache_lookups;
+                s.cache_hits += report.plan_cache_hits;
                 s.hist.observe(secs);
             }
             None => {
@@ -268,6 +310,9 @@ pub fn run_workload_on(
                     total_secs: secs,
                     min_secs: secs,
                     max_secs: secs,
+                    opt_secs: report.optimize_secs,
+                    cache_lookups: report.plan_cache_lookups,
+                    cache_hits: report.plan_cache_hits,
                     hist,
                 });
             }
@@ -340,6 +385,12 @@ pub fn run_workload_on(
         trajectory,
         ooms,
         contention,
+        reuse,
+        plan_cache_lookups: d.obs.metrics.counter("plan_cache.hit")
+            + d.obs.metrics.counter("plan_cache.miss")
+            + d.obs.metrics.counter("plan_cache.invalidate"),
+        plan_cache_hits: d.obs.metrics.counter("plan_cache.hit"),
+        plan_cache_invalidations: d.obs.metrics.counter("plan_cache.invalidate"),
     })
 }
 
@@ -359,6 +410,24 @@ fn render_hist(out: &mut String, indent: &str, h: &Histogram) {
 }
 
 impl WorkloadReport {
+    /// The machine-parseable plan-cache summary `ci.sh` diffs against
+    /// `repro_output.txt` for the `--reuse` smoke check. Only rendered
+    /// when reuse was on, so cold reports stay byte-identical.
+    pub fn plan_cache_line(&self) -> String {
+        let rate = if self.plan_cache_lookups == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / self.plan_cache_lookups as f64
+        };
+        format!(
+            "plan cache: {}/{} hits ({}), {} invalidated",
+            self.plan_cache_hits,
+            self.plan_cache_lookups,
+            pct(rate),
+            self.plan_cache_invalidations,
+        )
+    }
+
     /// The machine-parseable final line `ci.sh` diffs against
     /// `repro_output.txt`.
     pub fn hit_rate_line(&self) -> String {
@@ -387,7 +456,7 @@ impl WorkloadReport {
         out.push_str("per-query latency:\n");
         for s in &self.queries {
             out.push_str(&format!(
-                "  {:<24} runs {:>3}  min {:>9}  max {:>9}  mean {:>9}  p50 {:>9}  p95 {:>9}  p99 {:>9}\n",
+                "  {:<24} runs {:>3}  min {:>9}  max {:>9}  mean {:>9}  p50 {:>9}  p95 {:>9}  p99 {:>9}  opt {:>9}",
                 s.label,
                 s.runs,
                 secs(s.min_secs),
@@ -396,7 +465,12 @@ impl WorkloadReport {
                 secs(s.hist.quantile(0.50)),
                 secs(s.hist.quantile(0.95)),
                 secs(s.hist.quantile(0.99)),
+                secs(s.opt_secs),
             ));
+            if s.cache_lookups > 0 {
+                out.push_str(&format!("  cache {}/{}", s.cache_hits, s.cache_lookups));
+            }
+            out.push('\n');
             render_hist(&mut out, "    ", &s.hist);
         }
         out.push_str(&format!(
@@ -451,6 +525,12 @@ impl WorkloadReport {
             }
         }
 
+        // The hit-rate line stays LAST — ci.sh and the workload tests
+        // key on it — so the reuse summary slots in just above it.
+        if self.reuse {
+            out.push_str(&self.plan_cache_line());
+            out.push('\n');
+        }
         out.push_str(&self.hit_rate_line());
         out.push('\n');
         out
@@ -928,6 +1008,50 @@ mod tests {
         let text = r.render();
         assert!(text.contains("metastore hit-rate trajectory:"));
         assert!(text.lines().last().unwrap().starts_with("workload metastore hit-rate: "));
+    }
+
+    #[test]
+    fn reuse_workload_hits_plan_cache_and_cuts_optimizer_time() {
+        let cold = run_workload("q2x3,q10", 1, 7, coarse()).unwrap();
+        let warm = run_workload_reuse("q2x3,q10", 1, 7, coarse()).unwrap();
+
+        // The cold report carries no cache state and renders no cache
+        // lines at all — byte-identity for reuse-off runs.
+        assert!(!cold.reuse);
+        assert_eq!(cold.plan_cache_lookups, 0);
+        assert!(!cold.render().contains("plan cache:"));
+        assert!(!cold.render().contains("cache "));
+
+        // The warm stream probes once per run; at least one repeat hits.
+        assert!(warm.reuse);
+        assert_eq!(warm.plan_cache_lookups, 4, "one probe per run");
+        assert!(warm.plan_cache_hits >= 1, "q2's repeats must hit");
+        let q2 = warm.queries.iter().find(|s| s.label.starts_with("Q2")).unwrap();
+        assert_eq!(q2.cache_lookups, 3);
+        assert!(q2.cache_hits >= 1);
+
+        // Cache hits skip the search, so charged optimizer time drops
+        // strictly; execution itself is untouched (same plans, so the
+        // shuffle order and per-run latencies differ only by opt time).
+        let cold_opt: f64 = cold.queries.iter().map(|s| s.opt_secs).sum();
+        let warm_opt: f64 = warm.queries.iter().map(|s| s.opt_secs).sum();
+        assert!(
+            warm_opt < cold_opt,
+            "reuse must cut optimizer time: warm {warm_opt} vs cold {cold_opt}"
+        );
+        assert_eq!(cold.order, warm.order, "same seed, same stream");
+        for (a, b) in cold.queries.iter().zip(warm.queries.iter()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.runs, b.runs);
+        }
+
+        // Render: the reuse summary sits directly above the (still-last)
+        // hit-rate line, and the per-query rows grow a cache column.
+        let text = warm.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[lines.len() - 2].starts_with("plan cache: "));
+        assert!(lines[lines.len() - 1].starts_with("workload metastore hit-rate: "));
+        assert!(text.contains(&format!("cache {}/{}", q2.cache_hits, q2.cache_lookups)));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use dyno_tpch::queries::PreparedQuery;
 
 use crate::baseline::{begin_jaql_order, best_jaql_alias_order, relopt_leaf_stats, JaqlRun, JaqlStep};
 use crate::dyno::{Dyno, DynoError, DynoOptions, Mode, QueryReport};
-use crate::dynopt::{oom_penalty, oom_record, DynoptMachine, DynoptStep, OPT_SECS_PER_EXPRESSION};
+use crate::dynopt::{oom_penalty, oom_record, opt_secs, DynoptMachine, DynoptStep};
 use crate::pilot::{begin_pilots, PilotRun, PilotStep};
 
 /// One poll of a [`QueryDriver`].
@@ -74,9 +74,14 @@ pub struct QueryDriver {
     /// so interleaved drivers never submit under each other's spans.
     scope: SpanId,
     started_at: SimTime,
+    /// Handle on the Dyno-wide cross-query plan cache (used only when
+    /// `opts.reuse_plans`).
+    plan_cache: dyno_optimizer::PlanCache,
     pilot_secs: f64,
     optimize_secs: f64,
     reopts: usize,
+    plan_cache_lookups: u64,
+    plan_cache_hits: u64,
     plans: Vec<String>,
     plan_trees: Vec<String>,
     current_file: String,
@@ -129,9 +134,12 @@ impl QueryDriver {
             query_span,
             scope,
             started_at,
+            plan_cache: dyno.plan_cache.clone(),
             pilot_secs: 0.0,
             optimize_secs: 0.0,
             reopts: 0,
+            plan_cache_lookups: 0,
+            plan_cache_hits: 0,
             plans: Vec::new(),
             plan_trees: Vec::new(),
             current_file: String::new(),
@@ -227,12 +235,18 @@ impl QueryDriver {
                             self.block.leaves[*leaf].local_preds.clear();
                         }
                         self.pilot_secs = pilots.secs;
-                        self.state = DriverState::Dynopt(DynoptMachine::new(
-                            &self.opts.optimizer,
-                            self.opts.strategy,
-                            self.mode == Mode::Dynopt,
-                            self.opts.reopt_policy(),
-                        ));
+                        self.state = DriverState::Dynopt(
+                            DynoptMachine::new(
+                                &self.opts.optimizer,
+                                self.opts.strategy,
+                                self.mode == Mode::Dynopt,
+                                self.opts.reopt_policy(),
+                            )
+                            .with_reuse(
+                                self.opts.reuse_memo,
+                                self.opts.reuse_plans.then(|| self.plan_cache.clone()),
+                            ),
+                        );
                     }
                 },
 
@@ -252,6 +266,8 @@ impl QueryDriver {
                             self.plan_trees = out.plan_trees;
                             self.optimize_secs = out.optimize_secs;
                             self.reopts = out.reopts;
+                            self.plan_cache_lookups = out.plan_cache_lookups;
+                            self.plan_cache_hits = out.plan_cache_hits;
                             self.state = DriverState::ReadResult;
                         }
                     }
@@ -357,6 +373,8 @@ impl QueryDriver {
                         plans: std::mem::take(&mut self.plans),
                         plan_trees: std::mem::take(&mut self.plan_trees),
                         reopts: self.reopts,
+                        plan_cache_lookups: self.plan_cache_lookups,
+                        plan_cache_hits: self.plan_cache_hits,
                     }));
                 }
 
@@ -430,7 +448,7 @@ impl RelOptMachine {
             match std::mem::replace(&mut self.state, RelOptState::Finished) {
                 RelOptState::Plan => {
                     let opt = self.optimizer.optimize(block, &self.stats)?;
-                    let opt_secs = opt.expressions as f64 * OPT_SECS_PER_EXPRESSION;
+                    let opt_secs = opt_secs(opt.expressions);
                     let span = if traced {
                         tracer.start_span(
                             cluster.trace_scope(),

@@ -114,6 +114,14 @@ pub struct DynoOptions {
     /// hold) instead of staying fixed. Off (`None`) by default; takes
     /// precedence over `reopt_threshold` when both are set.
     pub adaptive_reopt: Option<AdaptiveReopt>,
+    /// Carry the optimizer memo across a query's re-optimization rounds:
+    /// only groups whose leaves are stats-dirty are re-costed. Off by
+    /// default (the paper's from-scratch re-optimization).
+    pub reuse_memo: bool,
+    /// Serve repeated queries' initial plans from the [`Dyno`]-wide plan
+    /// cache, keyed by block signature + leaf statistics versions. Off by
+    /// default.
+    pub reuse_plans: bool,
     /// The cost-based optimizer.
     pub optimizer: Optimizer,
 }
@@ -137,6 +145,8 @@ impl Default for DynoOptions {
             strategy: Strategy::Unc(1), // the winning strategy in Figure 5
             reopt_threshold: None,
             adaptive_reopt: None,
+            reuse_memo: false,
+            reuse_plans: false,
             optimizer: Optimizer::new(),
         }
     }
@@ -165,6 +175,10 @@ pub struct QueryReport {
     pub plan_trees: Vec<String>,
     /// Re-optimization points hit.
     pub reopts: usize,
+    /// Plan cache probes made (0 unless `reuse_plans`; at most 1).
+    pub plan_cache_lookups: u64,
+    /// Plan cache probes that skipped the search entirely.
+    pub plan_cache_hits: u64,
 }
 
 impl QueryReport {
@@ -185,6 +199,8 @@ pub struct Dyno {
     pub opts: DynoOptions,
     /// Cross-run statistics store.
     pub metastore: Metastore,
+    /// Cross-query plan cache (consulted only when `opts.reuse_plans`).
+    pub plan_cache: dyno_optimizer::PlanCache,
     /// Observability handles (disabled by default — near-free when off).
     /// Swap in [`Obs::enabled`] to record traces/metrics across runs.
     pub obs: Obs,
@@ -197,13 +213,16 @@ impl Dyno {
             dfs,
             opts,
             metastore: Metastore::new(),
+            plan_cache: dyno_optimizer::PlanCache::new(),
             obs: Obs::disabled(),
         }
     }
 
-    /// Drop all remembered statistics (between experiment repetitions).
+    /// Drop all remembered statistics and cached plans (between
+    /// experiment repetitions).
     pub fn clear_stats(&self) {
         self.metastore.clear();
+        self.plan_cache.clear();
     }
 
     /// Run a prepared query under the given mode, on a fresh simulated
@@ -534,6 +553,63 @@ mod obs_tests {
         );
         let hist = m.histogram("cluster.task_secs").expect("task histogram");
         assert!(hist.count > 0);
+    }
+
+    /// The tentpole acceptance check: with memo + plan-cache reuse on, a
+    /// repeated query keeps its answers and plans bitwise while the
+    /// optimizer does strictly less costing work; a statistics-version
+    /// bump invalidates the cached plan instead of serving it stale.
+    #[test]
+    fn plan_reuse_keeps_answers_and_skips_search() {
+        let q = queries::prepare(QueryId::Q8Prime);
+        let run_stream = |reuse: bool| {
+            // SF100: the plan needs several jobs, so re-optimization
+            // rounds exist and the within-run memo gets exercised.
+            let env = TpchGenerator::new(100, SimScale::divisor(50_000)).generate();
+            let mut d = Dyno::new(env.dfs, DynoOptions::default());
+            d.obs = Obs::enabled();
+            d.opts.reuse_memo = reuse;
+            d.opts.reuse_plans = reuse;
+            let reports: Vec<QueryReport> =
+                (0..3).map(|_| d.run(&q, Mode::Dynopt).unwrap()).collect();
+            (d, reports)
+        };
+        let (_, off) = run_stream(false);
+        let (d_on, on) = run_stream(true);
+        assert!(off[0].reopts >= 1, "Q8′ must hit re-optimization points");
+
+        for (i, (a, b)) in off.iter().zip(on.iter()).enumerate() {
+            assert_eq!(a.result, b.result, "run {i} answers differ under reuse");
+            assert_eq!(a.rows, b.rows, "run {i} rows differ");
+            assert_eq!(a.plans, b.plans, "run {i} plans differ under reuse");
+        }
+        // Run 1 plans over pilot-materialized leaves (unique signature);
+        // runs 2-3 skip pilots, so run 2 misses + inserts and run 3 hits.
+        assert_eq!(on[0].plan_cache_lookups, 1);
+        assert_eq!(on[2].plan_cache_hits, 1, "repeat must be served from cache");
+        let m = &d_on.obs.metrics;
+        assert!(m.counter("plan_cache.hit") >= 1);
+        assert!(m.counter("plan_cache.miss") >= 1);
+        assert!(m.counter("optimizer.memo_reuse") > 0, "no groups reused");
+        let cold = {
+            let (d, _) = run_stream(false);
+            d.obs.metrics.counter("optimizer.expressions_costed")
+        };
+        assert!(
+            m.counter("optimizer.expressions_costed") < cold,
+            "reuse must cost strictly fewer expressions: {} vs {}",
+            m.counter("optimizer.expressions_costed"),
+            cold
+        );
+
+        // Bump every signature's statistics version (a re-put of the same
+        // stats still moves the version): the cached plan must be
+        // invalidated, not served stale — and the answer stays put.
+        d_on.metastore.restore(d_on.metastore.snapshot());
+        let after = d_on.run(&q, Mode::Dynopt).unwrap();
+        assert_eq!(after.result, off[2].result);
+        assert_eq!(after.plan_cache_hits, 0, "stale entry must not hit");
+        assert!(m.counter("plan_cache.invalidate") >= 1);
     }
 
     /// Satellite (a): a query referencing an unregistered UDF fails with

@@ -15,7 +15,7 @@ use dyno_exec::jobs::BroadcastOom;
 use dyno_exec::{Executor, Input, JobDag, JobKind, JobNode, JobOutput, JobsStep, PendingJobs};
 use dyno_obs::trace::NO_SPAN;
 use dyno_obs::{SpanId, SpanKind};
-use dyno_optimizer::{OptResult, Optimizer};
+use dyno_optimizer::{CachedPlan, Memo, OptResult, Optimizer, PlanCache};
 use dyno_query::{JoinBlock, JoinMethod, PhysNode};
 use dyno_stats::TableStats;
 
@@ -26,6 +26,14 @@ use crate::dyno::DynoError;
 /// the initial 8-relation call on Q8′ is ~90 % of total re-opt time and
 /// subsequent calls over shrunken blocks are nearly free).
 pub const OPT_SECS_PER_EXPRESSION: f64 = 2.5e-3;
+
+/// Simulated client-side seconds one optimizer call costs. The single
+/// place that converts costed-expression counts to time: with the
+/// persistent memo, warm calls cost fewer expressions and this charges
+/// only the re-costed work.
+pub fn opt_secs(expressions: usize) -> f64 {
+    expressions as f64 * OPT_SECS_PER_EXPRESSION
+}
 
 /// Execution strategy (§5.3): how many leaf jobs run at once and which.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +155,12 @@ pub struct DynoptOutcome {
     pub reopts: usize,
     /// MapReduce jobs executed.
     pub jobs_run: usize,
+    /// Cross-query plan cache probes made (0 or 1 per run: only the
+    /// initial plan is cacheable — later rounds plan over run-local
+    /// materialized leaves).
+    pub plan_cache_lookups: u64,
+    /// Plan cache probes answered without a search.
+    pub plan_cache_hits: u64,
 }
 
 /// Look up every leaf's statistics by expression signature.
@@ -249,6 +263,9 @@ enum MachState {
         opt: OptResult,
         opt_secs: f64,
         stats: Vec<TableStats>,
+        /// Plan-cache probe result ("hit"/"miss"/"invalidate") to record
+        /// once the call completes; `None` when no probe was made.
+        cache_outcome: Option<&'static str>,
     },
     /// Executing the current plan's DAG, batch by batch.
     Exec {
@@ -276,6 +293,20 @@ pub struct DynoptMachine {
     reoptimize: bool,
     policy: ReoptPolicy,
     threshold: Option<f64>,
+    /// Carry the memo across (re-)optimization rounds instead of
+    /// re-deriving every group from scratch.
+    use_memo: bool,
+    /// The persistent memo (empty and unused unless `use_memo`).
+    memo: Memo,
+    /// Leaf-signature statistics versions as of the last optimizer call;
+    /// a leaf whose stored version moved is stats-dirty for the memo.
+    seen_versions: BTreeMap<String, u64>,
+    /// Cross-query plan cache shared with other runs; `None` disables.
+    plan_cache: Option<PlanCache>,
+    /// Whether the initial (cacheable) optimizer call has happened.
+    planned_once: bool,
+    cache_lookups: u64,
+    cache_hits: u64,
     plans: Vec<String>,
     plan_trees: Vec<String>,
     optimize_secs: f64,
@@ -286,7 +317,9 @@ pub struct DynoptMachine {
 }
 
 impl DynoptMachine {
-    /// A machine that has not optimized or executed anything yet.
+    /// A machine that has not optimized or executed anything yet. Memo
+    /// reuse and the plan cache are off — the paper-faithful default;
+    /// opt in with [`DynoptMachine::with_reuse`].
     pub fn new(
         optimizer: &Optimizer,
         strategy: Strategy,
@@ -299,6 +332,13 @@ impl DynoptMachine {
             reoptimize,
             policy,
             threshold: policy.initial_threshold(),
+            use_memo: false,
+            memo: Memo::new(),
+            seen_versions: BTreeMap::new(),
+            plan_cache: None,
+            planned_once: false,
+            cache_lookups: 0,
+            cache_hits: 0,
             plans: Vec::new(),
             plan_trees: Vec::new(),
             optimize_secs: 0.0,
@@ -307,6 +347,16 @@ impl DynoptMachine {
             oom_retries: 0,
             state: MachState::Replan,
         }
+    }
+
+    /// Enable optimizer-state reuse: `memo` keeps the group memo alive
+    /// across this run's re-optimization rounds (only stats-dirty groups
+    /// are re-costed); `plan_cache` shares initial plans across queries
+    /// keyed by block signature + leaf statistics versions.
+    pub fn with_reuse(mut self, memo: bool, plan_cache: Option<PlanCache>) -> Self {
+        self.use_memo = memo;
+        self.plan_cache = plan_cache;
+        self
     }
 
     /// Advance the algorithm as far as possible without waiting on
@@ -337,6 +387,8 @@ impl DynoptMachine {
                             optimize_secs: self.optimize_secs,
                             reopts: self.reopts.saturating_sub(1),
                             jobs_run: self.jobs_run,
+                            plan_cache_lookups: self.cache_lookups,
+                            plan_cache_hits: self.cache_hits,
                         }));
                     }
 
@@ -344,8 +396,115 @@ impl DynoptMachine {
                     // are not re-estimated; the leaf statistics already
                     // reflect them).
                     let stats = leaf_stats(exec, block)?;
-                    let opt = self.optimizer.optimize(block, &stats)?;
-                    let opt_secs = opt.expressions as f64 * OPT_SECS_PER_EXPRESSION;
+
+                    // Cross-query plan cache probe. Only the initial plan
+                    // is cacheable: later rounds plan over materialized
+                    // leaves whose file names are unique to this run. An
+                    // entry is valid while every input leaf's statistics
+                    // version matches the one it was costed under.
+                    let mut cache_outcome = None;
+                    let mut cached: Option<OptResult> = None;
+                    let mut cache_slot: Option<(String, Vec<(String, u64)>)> = None;
+                    if !self.planned_once {
+                        if let Some(cache) = &self.plan_cache {
+                            let key = format!(
+                                "{:016x}|{}",
+                                self.optimizer.config_fingerprint(),
+                                block.signature()
+                            );
+                            let mut leaf_versions: Vec<(String, u64)> = block
+                                .leaves
+                                .iter()
+                                .map(|l| {
+                                    let sig = l.signature();
+                                    let v = exec.metastore.version(&sig);
+                                    (sig, v)
+                                })
+                                .collect();
+                            leaf_versions.sort();
+                            leaf_versions.dedup();
+                            self.cache_lookups += 1;
+                            match cache.get(&key) {
+                                Some(c) if c.leaf_versions == leaf_versions => {
+                                    self.cache_hits += 1;
+                                    cache_outcome = Some("hit");
+                                    cached = Some(OptResult {
+                                        plan: c.plan,
+                                        cost: c.cost,
+                                        est_rows: c.est_rows,
+                                        est_bytes: c.est_bytes,
+                                        groups: 0,
+                                        groups_reused: 0,
+                                        groups_recosted: 0,
+                                        expressions: 0,
+                                        pruned: 0,
+                                    });
+                                }
+                                Some(_) => {
+                                    cache.remove(&key);
+                                    cache_outcome = Some("invalidate");
+                                    cache_slot = Some((key, leaf_versions));
+                                }
+                                None => {
+                                    cache_outcome = Some("miss");
+                                    cache_slot = Some((key, leaf_versions));
+                                }
+                            }
+                        }
+                    }
+
+                    let opt = match cached {
+                        Some(opt) => opt,
+                        None => {
+                            let opt = if self.use_memo {
+                                // A leaf is stats-dirty when the metastore
+                                // version behind its signature moved since
+                                // the last call (or it was never seen).
+                                let dirty: BTreeSet<usize> = block
+                                    .leaves
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, l)| {
+                                        let sig = l.signature();
+                                        self.seen_versions.get(&sig).copied()
+                                            != Some(exec.metastore.version(&sig))
+                                    })
+                                    .map(|(i, _)| i)
+                                    .collect();
+                                let r = self.optimizer.optimize_with_memo(
+                                    block,
+                                    &stats,
+                                    &mut self.memo,
+                                    &dirty,
+                                )?;
+                                for l in &block.leaves {
+                                    let sig = l.signature();
+                                    let v = exec.metastore.version(&sig);
+                                    self.seen_versions.insert(sig, v);
+                                }
+                                r
+                            } else {
+                                self.optimizer.optimize(block, &stats)?
+                            };
+                            if let (Some((key, leaf_versions)), Some(cache)) =
+                                (cache_slot, &self.plan_cache)
+                            {
+                                cache.insert(
+                                    key,
+                                    CachedPlan {
+                                        plan: opt.plan.clone(),
+                                        cost: opt.cost,
+                                        est_rows: opt.est_rows,
+                                        est_bytes: opt.est_bytes,
+                                        leaf_versions,
+                                    },
+                                );
+                            }
+                            opt
+                        }
+                    };
+                    self.planned_once = true;
+                    let opt_secs = opt_secs(opt.expressions);
                     let span = if traced {
                         tracer.start_span(
                             cluster.trace_scope(),
@@ -357,11 +516,11 @@ impl DynoptMachine {
                         NO_SPAN
                     };
                     let until = cluster.now() + opt_secs;
-                    self.state = MachState::Opt { span, opt, opt_secs, stats };
+                    self.state = MachState::Opt { span, opt, opt_secs, stats, cache_outcome };
                     return Ok(DynoptStep::Sleep { until });
                 }
 
-                MachState::Opt { span, opt, opt_secs, stats } => {
+                MachState::Opt { span, opt, opt_secs, stats, cache_outcome } => {
                     self.optimize_secs += opt_secs;
                     if traced {
                         // `secs` carries the per-call increment exactly as
@@ -385,6 +544,27 @@ impl DynoptMachine {
                                 ("cost", opt.cost.into()),
                             ],
                         );
+                        // Reuse events fire only on reuse-enabled runs, so
+                        // a cold run's trace stays byte-identical.
+                        if self.use_memo {
+                            tracer.event(
+                                span,
+                                cluster.now(),
+                                "memo_reuse",
+                                vec![
+                                    ("reused", (opt.groups_reused as u64).into()),
+                                    ("recosted", (opt.groups_recosted as u64).into()),
+                                ],
+                            );
+                        }
+                        if let Some(outcome) = cache_outcome {
+                            tracer.event(
+                                span,
+                                cluster.now(),
+                                "plan_cache",
+                                vec![("outcome", outcome.into())],
+                            );
+                        }
                         tracer.end_span(span, cluster.now());
                     }
                     cluster.metrics().incr("optimizer.memo_groups", opt.groups as u64);
@@ -392,6 +572,14 @@ impl DynoptMachine {
                         .metrics()
                         .incr("optimizer.expressions_costed", opt.expressions as u64);
                     cluster.metrics().incr("optimizer.plans_pruned", opt.pruned as u64);
+                    if self.use_memo {
+                        cluster
+                            .metrics()
+                            .incr("optimizer.memo_reuse", opt.groups_reused as u64);
+                    }
+                    if let Some(outcome) = cache_outcome {
+                        cluster.metrics().incr(&format!("plan_cache.{outcome}"), 1);
+                    }
                     self.reopts += 1;
                     self.plans.push(opt.plan.render_inline(block));
                     self.plan_trees.push(opt.plan.render_tree(block));

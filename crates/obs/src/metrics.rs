@@ -78,35 +78,34 @@ impl Histogram {
             return 0.0;
         }
         let rank = p.clamp(0.0, 1.0) * self.count as f64;
-        let mut seen = 0u64;
-        for (i, n) in self.buckets.iter().enumerate() {
-            if *n == 0 {
-                continue;
+        // Walk to the bucket holding the rank-th observation. `rank` is
+        // at most `count`, so the walk always stops at or before the
+        // last non-empty bucket — there is no fall-through case.
+        let (i, n, before) = {
+            let mut seen = 0u64;
+            let mut found = None;
+            for (i, n) in self.buckets.iter().enumerate() {
+                if *n == 0 {
+                    continue;
+                }
+                let before = seen;
+                seen += n;
+                if (seen as f64) >= rank {
+                    found = Some((i, *n, before));
+                    break;
+                }
             }
-            let before = seen;
-            seen += n;
-            if (seen as f64) < rank {
-                continue;
-            }
-            let lo = if i == 0 { 0.0 } else { Self::bucket_lo(i) };
-            let hi = if i + 1 < HIST_BUCKETS {
-                Self::bucket_lo(i + 1)
-            } else {
-                // Overflow bucket has no upper bound; report its lower
-                // edge rather than inventing one.
-                return Self::bucket_lo(i);
-            };
-            let frac = ((rank - before as f64) / *n as f64).clamp(0.0, 1.0);
-            return lo + (hi - lo) * frac;
+            found.expect("count > 0 and rank <= count: some bucket holds the rank")
+        };
+        if i + 1 == HIST_BUCKETS {
+            // Overflow bucket has no upper bound; report its lower edge
+            // rather than inventing one.
+            return Self::bucket_lo(i);
         }
-        // p == 0 with all mass above rank 0: fall back to the first
-        // non-empty bucket's lower edge.
-        let first = self.buckets.iter().position(|n| *n > 0).unwrap_or(0);
-        if first == 0 {
-            0.0
-        } else {
-            Self::bucket_lo(first)
-        }
+        let lo = if i == 0 { 0.0 } else { Self::bucket_lo(i) };
+        let hi = Self::bucket_lo(i + 1);
+        let frac = ((rank - before as f64) / n as f64).clamp(0.0, 1.0);
+        lo + (hi - lo) * frac
     }
 }
 
@@ -372,6 +371,51 @@ mod tests {
             assert!(q >= prev, "p={} q={q} prev={prev}", i as f64 / 100.0);
             prev = q;
         }
+    }
+
+    /// Satellite: boundary quantiles — p=0, p=1, all mass in a single
+    /// bucket, and ranks landing in the overflow bucket — each exercise a
+    /// distinct exit of the (restructured, fall-through-free) `quantile`.
+    #[test]
+    fn quantile_boundary_paths() {
+        // p = 0 in bucket 0 interpolates down to 0.0…
+        let mut h = Histogram::default();
+        h.observe(0.0005);
+        h.observe(0.0005);
+        assert_eq!(h.quantile(0.0), 0.0);
+        // …and when the first non-empty bucket sits higher, p = 0 reports
+        // that bucket's lower edge.
+        let mut h = Histogram::default();
+        h.observe(0.05); // bucket 1: [0.01, 0.1)
+        assert_eq!(h.quantile(0.0), Histogram::bucket_lo(1));
+        // p = 1 is the upper edge of the last non-empty bucket.
+        let mut h = Histogram::default();
+        h.observe(0.05);
+        h.observe(0.05);
+        assert_eq!(h.quantile(1.0), Histogram::bucket_lo(2));
+        // Single-bucket mass: every p interpolates inside that bucket.
+        let mut h = Histogram::default();
+        for _ in 0..4 {
+            h.observe(2.0); // bucket 3: [1, 10)
+        }
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            let q = h.quantile(p);
+            assert!((1.0..=10.0).contains(&q), "p={p} q={q}");
+        }
+        assert_eq!(h.quantile(0.25), 1.0 + 9.0 * 0.25);
+        // Ranks landing in the overflow bucket report its finite lower
+        // edge even when lower buckets hold mass too.
+        let mut h = Histogram::default();
+        h.observe(2.0);
+        h.observe(1e30);
+        h.observe(f64::INFINITY);
+        let q = h.quantile(1.0);
+        assert!(q.is_finite());
+        assert_eq!(q, Histogram::bucket_lo(HIST_BUCKETS - 1));
+        // Out-of-range p clamps to the endpoints.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
     }
 
     #[test]

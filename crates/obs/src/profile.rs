@@ -107,6 +107,16 @@ pub struct QueryProfile {
     pub execute_secs: f64,
     /// Number of re-optimization decision points recorded.
     pub reopt_checks: u64,
+    /// Memo groups served from the persistent memo across all optimizer
+    /// calls (0 unless memo reuse was on).
+    pub memo_groups_reused: u64,
+    /// Memo groups (re-)costed across all optimizer calls under memo
+    /// reuse.
+    pub memo_groups_recosted: u64,
+    /// Plan-cache probes recorded (0 unless the plan cache was on).
+    pub plan_cache_lookups: u64,
+    /// Plan-cache probes that skipped the search.
+    pub plan_cache_hits: u64,
     /// Jobs in submit order.
     pub jobs: Vec<JobProfile>,
     /// Join cardinality comparisons in record order.
@@ -183,6 +193,10 @@ impl QueryProfile {
         let mut pilot_secs = 0.0;
         let mut optimize_secs = 0.0;
         let mut reopt_checks = 0;
+        let mut memo_groups_reused = 0;
+        let mut memo_groups_recosted = 0;
+        let mut plan_cache_lookups = 0;
+        let mut plan_cache_hits = 0;
         let mut cardinalities = Vec::new();
         let mut ooms = Vec::new();
         for e in &events {
@@ -196,6 +210,16 @@ impl QueryProfile {
                     }
                 }
                 "reopt_decision" => reopt_checks += 1,
+                "memo_reuse" => {
+                    memo_groups_reused += field_u64(e, "reused").unwrap_or(0);
+                    memo_groups_recosted += field_u64(e, "recosted").unwrap_or(0);
+                }
+                "plan_cache" => {
+                    plan_cache_lookups += 1;
+                    if field_str(e, "outcome") == Some("hit") {
+                        plan_cache_hits += 1;
+                    }
+                }
                 "oom_recovery" => ooms.extend(OomRecovery::from_event(e)),
                 "job_cardinality" => {
                     cardinalities.push(JoinCardinality {
@@ -254,6 +278,10 @@ impl QueryProfile {
             optimize_secs,
             execute_secs,
             reopt_checks,
+            memo_groups_reused,
+            memo_groups_recosted,
+            plan_cache_lookups,
+            plan_cache_hits,
             jobs,
             cardinalities,
             ooms,
@@ -294,6 +322,20 @@ impl QueryProfile {
             out.push_str(&format!("  {name:<10} {:>8}  ({share:.1}%)\n", secs(t)));
         }
         out.push_str(&format!("reopt checks: {}\n", self.reopt_checks));
+        // Reuse lines appear only on reuse-enabled runs, so a cold run's
+        // rendered profile stays byte-identical.
+        if self.plan_cache_lookups > 0 {
+            out.push_str(&format!(
+                "plan cache: {}/{} hits\n",
+                self.plan_cache_hits, self.plan_cache_lookups
+            ));
+        }
+        if self.memo_groups_reused + self.memo_groups_recosted > 0 {
+            out.push_str(&format!(
+                "memo reuse: {} groups reused, {} re-costed\n",
+                self.memo_groups_reused, self.memo_groups_recosted
+            ));
+        }
 
         if !self.jobs.is_empty() {
             out.push_str(&format!(
@@ -505,6 +547,49 @@ mod tests {
         assert!(rendered.contains(
             "bjoin: build side lineitem at 4000 bytes (total build 4096) exceeded budget 1024 by 3072"
         ));
+    }
+
+    #[test]
+    fn profile_folds_reuse_events_and_renders_conditionally() {
+        // A cold trace records nothing reuse-related…
+        let cold = QueryProfile::build(&synthetic_trace()).unwrap();
+        assert_eq!(cold.plan_cache_lookups, 0);
+        assert_eq!(cold.memo_groups_reused + cold.memo_groups_recosted, 0);
+        assert!(!cold.render().contains("plan cache:"));
+        assert!(!cold.render().contains("memo reuse:"));
+
+        // …while a reuse-enabled run folds its events into the profile.
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q8", 0.0);
+        let opt = t.start_span(q, SpanKind::Phase, "optimize", 0.0);
+        t.event(opt, 0.0, "plan_cache", vec![("outcome", "miss".into())]);
+        t.event(
+            opt,
+            0.0,
+            "memo_reuse",
+            vec![("reused", 0u64.into()), ("recosted", 7u64.into())],
+        );
+        t.end_span(opt, 0.5);
+        let opt2 = t.start_span(q, SpanKind::Phase, "optimize", 1.0);
+        t.event(
+            opt2,
+            1.0,
+            "memo_reuse",
+            vec![("reused", 5u64.into()), ("recosted", 2u64.into())],
+        );
+        t.end_span(opt2, 1.1);
+        t.end_span(q, 2.0);
+
+        let p = QueryProfile::build(&t).unwrap();
+        assert_eq!(p.plan_cache_lookups, 1);
+        assert_eq!(p.plan_cache_hits, 0);
+        assert_eq!(p.memo_groups_reused, 5);
+        assert_eq!(p.memo_groups_recosted, 9);
+        let rendered = p.render();
+        assert!(rendered.contains("plan cache: 0/1 hits\n"));
+        assert!(rendered.contains("memo reuse: 5 groups reused, 9 re-costed\n"));
+        // The machine-parseable summary stays the last line.
+        assert!(rendered.ends_with(&format!("{}\n", p.overhead_line())));
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! The cross-query plan cache (tentpole, part b).
+//!
+//! Repeated queries in a workload stream present the optimizer with the
+//! exact same problem — same [`JoinBlock::signature`], same per-leaf
+//! statistics — so the search can be skipped entirely. Entries are keyed
+//! by `"{config_fingerprint:016x}|{block.signature()}"` and validated
+//! against a sorted `(leaf signature, stats version)` vector: the
+//! metastore bumps a monotonic version every time it stores statistics
+//! for a signature, so any statistics movement invalidates the entry
+//! (the caller removes it and re-optimizes).
+//!
+//! Like the metastore, the cache is lock-striped into [`SHARDS`] shards
+//! keyed by an FNV-1a hash of the key, so concurrent drivers sharing one
+//! handle rarely contend. Cloning yields another handle to the same
+//! cache. The cache itself records no metrics — callers count
+//! `plan_cache.{hit,miss,invalidate}` so disabled-observability runs
+//! stay byte-identical.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use dyno_query::PhysNode;
+
+/// Number of lock stripes (mirrors the metastore's).
+const SHARDS: usize = 16;
+
+/// FNV-1a over the key bytes → shard index. Deterministic across
+/// processes, so shard membership is stable for tests.
+fn shard_of(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+/// One cached optimization outcome: the chain-marked winning plan plus
+/// the estimates the caller would otherwise recompute, and the leaf
+/// statistics versions it was costed under.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The winning physical plan, chain marks included.
+    pub plan: PhysNode,
+    /// Estimated cost of `plan`.
+    pub cost: f64,
+    /// Estimated output cardinality.
+    pub est_rows: f64,
+    /// Estimated output bytes.
+    pub est_bytes: f64,
+    /// Sorted `(leaf signature, metastore stats version)` pairs the plan
+    /// was costed under; a mismatch at lookup time means the entry is
+    /// stale and must be invalidated.
+    pub leaf_versions: Vec<(String, u64)>,
+}
+
+/// Shared, thread-safe plan cache. Cloning yields another handle to the
+/// same cache.
+#[derive(Debug, Clone)]
+pub struct PlanCache {
+    shards: Arc<[Mutex<HashMap<String, CachedPlan>>; SHARDS]>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            shards: Arc::new(std::array::from_fn(|_| Mutex::new(HashMap::new()))),
+        }
+    }
+}
+
+impl PlanCache {
+    /// An empty plan cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Look up a cached plan by key. The caller checks `leaf_versions`
+    /// and decides hit vs invalidate.
+    pub fn get(&self, key: &str) -> Option<CachedPlan> {
+        self.shards[shard_of(key)].lock().unwrap().get(key).cloned()
+    }
+
+    /// Insert (or replace) a cached plan.
+    pub fn insert(&self, key: impl Into<String>, plan: CachedPlan) {
+        let key = key.into();
+        self.shards[shard_of(&key)].lock().unwrap().insert(key, plan);
+    }
+
+    /// Remove an entry (stale-version invalidation), returning it.
+    pub fn remove(&self, key: &str) -> Option<CachedPlan> {
+        self.shards[shard_of(key)].lock().unwrap().remove(key)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().unwrap().is_empty())
+    }
+
+    /// Drop every entry (used between experiment repetitions).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().unwrap().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(cost: f64) -> CachedPlan {
+        CachedPlan {
+            plan: PhysNode::Leaf(0),
+            cost,
+            est_rows: 1.0,
+            est_bytes: 10.0,
+            leaf_versions: vec![("scan(t)[]|".to_owned(), 1)],
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let c = PlanCache::new();
+        assert!(c.is_empty());
+        assert!(c.get("k").is_none());
+        c.insert("k", entry(5.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("k").unwrap().cost, 5.0);
+        assert_eq!(c.remove("k").unwrap().cost, 5.0);
+        assert!(c.remove("k").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let c = PlanCache::new();
+        let c2 = c.clone();
+        c.insert("a", entry(1.0));
+        assert!(c2.get("a").is_some());
+        c2.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_spread() {
+        for key in ["a", "0123abcd|L[r]scan(r)[]|;", "yet another key"] {
+            assert_eq!(shard_of(key), shard_of(key));
+            assert!(shard_of(key) < SHARDS);
+        }
+        let used: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| shard_of(&format!("key-{i}"))).collect();
+        assert!(used.len() > SHARDS / 2, "poor spread: {used:?}");
+        // Entries land on many shards and are all retrievable.
+        let c = PlanCache::new();
+        for i in 0..64 {
+            c.insert(format!("key-{i}"), entry(i as f64));
+        }
+        assert_eq!(c.len(), 64);
+        for i in 0..64 {
+            assert_eq!(c.get(&format!("key-{i}")).unwrap().cost, i as f64);
+        }
+    }
+}

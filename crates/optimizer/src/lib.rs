@@ -22,10 +22,14 @@
 //! for the baselines. After plan selection, the broadcast-chain rule marks
 //! consecutive broadcast joins that execute in a single map-only job.
 
+pub mod cache;
 pub mod cost;
+pub mod memo;
 pub mod props;
 pub mod search;
 
+pub use cache::{CachedPlan, PlanCache};
 pub use cost::CostModel;
+pub use memo::Memo;
 pub use props::GroupProps;
 pub use search::{OptError, OptResult, Optimizer};

@@ -1,0 +1,430 @@
+//! A persistent memo that survives re-optimization rounds.
+//!
+//! The search in [`crate::search`] memoizes per-call: every DYNOPT
+//! re-optimization round used to re-derive every group winner from
+//! scratch, paying the full `expressions × OPT_SECS_PER_EXPRESSION`
+//! charge even when a single leaf's statistics moved. This module makes
+//! the memo an explicit, caller-owned value (in the style of optd's
+//! persistent memo tables): each group stores its logical properties and
+//! its winning physical plan, keyed by *stable leaf identities* rather
+//! than leaf indices, so the memo keeps working after
+//! [`JoinBlock::merge_leaves`] renumbers the block.
+//!
+//! Group identity: each leaf maps to [`leaf_key`] (covered aliases +
+//! expression signature); a group's key is the sorted list of its member
+//! leaf keys. Alias sets partition the block's FROM aliases, so leaf keys
+//! are unique within a block, and a merged-away leaf's key never
+//! reappears (`t{n}` temp names count up forever).
+//!
+//! Invalidation is two-level. [`Memo::seed_for`] evicts every group that
+//! (a) contains a *dirty* leaf — its winner was costed from statistics
+//! that just changed — or (b) no longer maps onto the current block
+//! (some member was merged away). And the whole memo self-clears when
+//! the optimizer's [`crate::Optimizer::config_fingerprint`] moves, e.g.
+//! after an OOM recovery halves the broadcast memory budget.
+
+use std::collections::{BTreeSet, HashMap};
+
+use dyno_query::{JoinBlock, LeafExpr, PhysNode};
+
+use crate::props::GroupProps;
+
+/// Stable identity of one leaf across rounds: the aliases it covers plus
+/// its expression signature (the same signature that keys the statistics
+/// metastore).
+pub(crate) fn leaf_key(leaf: &LeafExpr) -> String {
+    let aliases: Vec<&str> = leaf.aliases.iter().map(String::as_str).collect();
+    format!("{}|{}", aliases.join(","), leaf.signature())
+}
+
+/// One persisted group: logical props plus the winning physical plan.
+/// The winner's leaves are stored as *ranks* into the group's sorted
+/// leaf-key list, so the plan can be remapped onto any later block.
+#[derive(Debug, Clone)]
+struct MemoGroup {
+    props: GroupProps,
+    cost: f64,
+    winner: PhysNode,
+}
+
+/// The caller-owned memo carried across [`crate::Optimizer`] calls via
+/// [`crate::Optimizer::optimize_with_memo`].
+#[derive(Debug, Clone, Default)]
+pub struct Memo {
+    /// Fingerprint of the optimizer configuration the contents were
+    /// computed under; a mismatch clears the memo wholesale.
+    fingerprint: Option<u64>,
+    /// Groups keyed by their sorted member leaf keys.
+    groups: HashMap<Vec<String>, MemoGroup>,
+}
+
+impl Memo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// Number of persisted groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True iff no groups are persisted.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Drop every group (and the fingerprint).
+    pub fn clear(&mut self) {
+        self.groups.clear();
+        self.fingerprint = None;
+    }
+
+    /// Project the memo onto `block` as `(props, winners)` seed tables
+    /// keyed by the block's current leaf masks, evicting every group
+    /// that is dirty or unmappable. Eviction (not mere skipping) is
+    /// essential: a dirty group left behind would seed a stale winner
+    /// next round, after the caller refreshes its seen-stats versions.
+    pub(crate) fn seed_for(
+        &mut self,
+        block: &JoinBlock,
+        dirty: &BTreeSet<usize>,
+        fingerprint: u64,
+    ) -> (HashMap<u64, GroupProps>, HashMap<u64, (f64, PhysNode)>) {
+        if self.fingerprint != Some(fingerprint) {
+            self.groups.clear();
+            self.fingerprint = Some(fingerprint);
+            return (HashMap::new(), HashMap::new());
+        }
+        let keys: Vec<String> = block.leaves.iter().map(leaf_key).collect();
+        let idx_of: HashMap<&str, usize> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.as_str(), i))
+            .collect();
+        let dirty_keys: BTreeSet<&str> = dirty
+            .iter()
+            .filter_map(|&i| keys.get(i).map(String::as_str))
+            .collect();
+        let mut seed_props = HashMap::new();
+        let mut seed_best = HashMap::new();
+        self.groups.retain(|gkeys, g| {
+            let mut mask = 0u64;
+            for k in gkeys {
+                match idx_of.get(k.as_str()) {
+                    // A dirty member invalidates the whole group: its
+                    // winner was costed from statistics that changed.
+                    Some(_) if dirty_keys.contains(k.as_str()) => return false,
+                    Some(&i) => mask |= 1u64 << i,
+                    // A member no longer exists (merged away); merged
+                    // temp names never return, so evict for good.
+                    None => return false,
+                }
+            }
+            let winner = remap(&g.winner, &|rank| idx_of[gkeys[rank].as_str()]);
+            seed_props.insert(mask, g.props.clone());
+            seed_best.insert(mask, (g.cost, winner));
+            true
+        });
+        (seed_props, seed_best)
+    }
+
+    /// Fold one search's winner/props tables back in, keyed by stable
+    /// leaf identities. This *upserts* group by group — a seeded search
+    /// materializes only the groups it visits, and replacing the memo
+    /// wholesale would throw away subgroup winners still needed by
+    /// later rounds.
+    pub(crate) fn absorb(
+        &mut self,
+        block: &JoinBlock,
+        props: &HashMap<u64, GroupProps>,
+        best: &HashMap<u64, (f64, PhysNode)>,
+    ) {
+        let keys: Vec<String> = block.leaves.iter().map(leaf_key).collect();
+        for (&mask, (cost, plan)) in best {
+            let members: Vec<usize> = (0..block.num_leaves())
+                .filter(|&i| mask & (1u64 << i) != 0)
+                .collect();
+            let mut gkeys: Vec<String> =
+                members.iter().map(|&i| keys[i].clone()).collect();
+            gkeys.sort();
+            let rank_of: HashMap<usize, usize> = members
+                .iter()
+                .map(|&i| {
+                    let rank = gkeys
+                        .iter()
+                        .position(|k| *k == keys[i])
+                        .expect("member key present by construction");
+                    (i, rank)
+                })
+                .collect();
+            let winner = remap(plan, &|i| rank_of[&i]);
+            let group = MemoGroup {
+                props: props
+                    .get(&mask)
+                    .expect("props materialized for every winner")
+                    .clone(),
+                cost: *cost,
+                winner,
+            };
+            self.groups.insert(gkeys, group);
+        }
+    }
+}
+
+/// Clone `plan` with every leaf index rewritten through `f`.
+fn remap(plan: &PhysNode, f: &dyn Fn(usize) -> usize) -> PhysNode {
+    match plan {
+        PhysNode::Leaf(i) => PhysNode::Leaf(f(*i)),
+        PhysNode::Join {
+            method,
+            left,
+            right,
+            chained,
+        } => PhysNode::Join {
+            method: *method,
+            left: Box::new(remap(left, f)),
+            right: Box::new(remap(right, f)),
+            chained: *chained,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Optimizer;
+    use dyno_common::{prop, prop_ensure_eq, Rng};
+    use dyno_query::{Predicate, QuerySpec, ScanDef, SchemaCatalog};
+    use dyno_stats::{ColumnStats, TableStats};
+
+    fn stats(rows: f64, size: f64, dvs: &[(&str, f64)]) -> TableStats {
+        let mut t = TableStats::empty();
+        t.rows = rows;
+        t.avg_record_size = size;
+        for (a, d) in dvs {
+            t.columns.insert(
+                a.to_string(),
+                ColumnStats {
+                    distinct: *d,
+                    ..ColumnStats::default()
+                },
+            );
+        }
+        t
+    }
+
+    /// fact—dim1, fact—dim2 star schema (leaf order: fact, dim1, dim2).
+    fn star_block() -> JoinBlock {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("fact"), &["f_id", "f_d1", "f_d2"]);
+        cat.add_scan(&ScanDef::table("dim1"), &["d1_id"]);
+        cat.add_scan(&ScanDef::table("dim2"), &["d2_id"]);
+        let spec = QuerySpec::new(
+            "star",
+            vec![
+                ScanDef::table("fact"),
+                ScanDef::table("dim1"),
+                ScanDef::table("dim2"),
+            ],
+        )
+        .filter(Predicate::attr_eq("f_d1", "d1_id"))
+        .filter(Predicate::attr_eq("f_d2", "d2_id"));
+        JoinBlock::compile(&spec, &cat).unwrap()
+    }
+
+    fn star_stats(fact_rows: f64, d1_rows: f64, d2_rows: f64) -> Vec<TableStats> {
+        vec![
+            stats(
+                fact_rows,
+                100.0,
+                &[("f_d1", d1_rows), ("f_d2", d2_rows), ("f_id", fact_rows)],
+            ),
+            stats(d1_rows, 50.0, &[("d1_id", d1_rows)]),
+            stats(d2_rows, 50.0, &[("d2_id", d2_rows)]),
+        ]
+    }
+
+    /// chain join graph a—b—c—d.
+    fn path_block() -> JoinBlock {
+        let mut cat = SchemaCatalog::new();
+        cat.add_scan(&ScanDef::table("a"), &["a_k"]);
+        cat.add_scan(&ScanDef::table("b"), &["b_ak", "b_k"]);
+        cat.add_scan(&ScanDef::table("c"), &["c_bk", "c_k"]);
+        cat.add_scan(&ScanDef::table("d"), &["d_ck"]);
+        let spec = QuerySpec::new(
+            "path",
+            vec![
+                ScanDef::table("a"),
+                ScanDef::table("b"),
+                ScanDef::table("c"),
+                ScanDef::table("d"),
+            ],
+        )
+        .filter(Predicate::attr_eq("a_k", "b_ak"))
+        .filter(Predicate::attr_eq("b_k", "c_bk"))
+        .filter(Predicate::attr_eq("c_k", "d_ck"));
+        JoinBlock::compile(&spec, &cat).unwrap()
+    }
+
+    /// Satellite: a memo-carrying re-optimize with an empty dirty set is
+    /// bitwise identical to a cold search — same plan, same cost bits,
+    /// same group count — while costing zero expressions.
+    #[test]
+    fn empty_dirty_rerun_matches_cold_search_bitwise() {
+        prop::check(
+            "memo empty-dirty identity",
+            24,
+            |g| {
+                (
+                    g.gen_range(1_000..10_000_000u64) as f64,
+                    g.gen_range(10..1_000_000u64) as f64,
+                    g.gen_range(10..1_000_000u64) as f64,
+                )
+            },
+            |&(f, d1, d2)| {
+                let block = star_block();
+                let s = star_stats(f, d1, d2);
+                let opt = Optimizer::new();
+                let cold = opt.optimize(&block, &s).map_err(|e| e.to_string())?;
+                let mut memo = Memo::new();
+                let all: BTreeSet<usize> = (0..block.num_leaves()).collect();
+                let first = opt
+                    .optimize_with_memo(&block, &s, &mut memo, &all)
+                    .map_err(|e| e.to_string())?;
+                prop_ensure_eq!(first.plan, cold.plan);
+                prop_ensure_eq!(first.cost.to_bits(), cold.cost.to_bits());
+                prop_ensure_eq!(first.groups, cold.groups);
+                prop_ensure_eq!(first.groups_reused, 0);
+                prop_ensure_eq!(first.expressions, cold.expressions);
+                let warm = opt
+                    .optimize_with_memo(&block, &s, &mut memo, &BTreeSet::new())
+                    .map_err(|e| e.to_string())?;
+                prop_ensure_eq!(warm.plan, cold.plan);
+                prop_ensure_eq!(warm.cost.to_bits(), cold.cost.to_bits());
+                prop_ensure_eq!(warm.est_rows.to_bits(), cold.est_rows.to_bits());
+                prop_ensure_eq!(warm.groups, cold.groups);
+                prop_ensure_eq!(warm.expressions, 0);
+                prop_ensure_eq!(warm.pruned, 0);
+                prop_ensure_eq!(warm.groups_recosted, 0);
+                prop_ensure_eq!(warm.groups_reused, warm.groups);
+                Ok(())
+            },
+        );
+    }
+
+    /// Dirtying one leaf re-costs only the groups containing it; clean
+    /// groups are reused, and the result still matches a cold search
+    /// over the new statistics bitwise.
+    #[test]
+    fn partial_dirty_recosts_only_intersecting_groups() {
+        let block = star_block();
+        let opt = Optimizer::new();
+        let mut memo = Memo::new();
+        let all: BTreeSet<usize> = (0..block.num_leaves()).collect();
+        let s0 = star_stats(1e6, 100.0, 100.0);
+        opt.optimize_with_memo(&block, &s0, &mut memo, &all).unwrap();
+
+        // dim1 (leaf 1) grows: only groups touching leaf 1 re-cost.
+        // (Only leaf 1's stats change — the other leaves stay bitwise
+        // identical, which is what an empty-intersection reuse needs.)
+        let mut s1 = s0.clone();
+        s1[1] = stats(50_000.0, 50.0, &[("d1_id", 50_000.0)]);
+        let cold = opt.optimize(&block, &s1).unwrap();
+        let warm = opt
+            .optimize_with_memo(&block, &s1, &mut memo, &BTreeSet::from([1]))
+            .unwrap();
+        assert_eq!(warm.plan, cold.plan);
+        assert_eq!(warm.cost.to_bits(), cold.cost.to_bits());
+        assert_eq!(warm.groups, cold.groups);
+        // Clean groups: {fact}, {dim2}, {fact, dim2}.
+        assert_eq!(warm.groups_reused, 3);
+        assert_eq!(warm.groups_recosted, cold.groups - 3);
+        assert!(
+            warm.expressions < cold.expressions,
+            "reuse must cost fewer expressions: {} vs {}",
+            warm.expressions,
+            cold.expressions
+        );
+    }
+
+    /// The memo survives `merge_leaves` renumbering: groups over the
+    /// untouched leaves keep their winners even though every leaf index
+    /// changed, and the seeded search still matches a cold one bitwise.
+    #[test]
+    fn memo_survives_leaf_merge_renumbering() {
+        let mut block = path_block();
+        let opt = Optimizer::new();
+        let mut memo = Memo::new();
+        let all: BTreeSet<usize> = (0..block.num_leaves()).collect();
+        let s0 = vec![
+            stats(1e6, 100.0, &[("a_k", 1e6)]),
+            stats(1e6, 100.0, &[("b_ak", 1e6), ("b_k", 1000.0)]),
+            stats(1e5, 100.0, &[("c_bk", 1000.0), ("c_k", 1e5)]),
+            stats(1e4, 100.0, &[("d_ck", 1e4)]),
+        ];
+        opt.optimize_with_memo(&block, &s0, &mut memo, &all).unwrap();
+        let groups_before = memo.len();
+
+        // Execute the a⋈b subtree: leaves renumber to [c, d, t1].
+        block.merge_leaves(&BTreeSet::from([0, 1]), "tmp/ab", &[]);
+        let t1 = stats(5e5, 150.0, &[("b_k", 900.0)]);
+        let s1 = vec![s0[2].clone(), s0[3].clone(), t1];
+        let cold = opt.optimize(&block, &s1).unwrap();
+        let warm = opt
+            .optimize_with_memo(&block, &s1, &mut memo, &BTreeSet::from([2]))
+            .unwrap();
+        assert_eq!(warm.plan, cold.plan);
+        assert_eq!(warm.cost.to_bits(), cold.cost.to_bits());
+        assert_eq!(warm.groups, cold.groups);
+        // {c}, {d}, {c, d} survived the merge with remapped indices.
+        assert_eq!(warm.groups_reused, 3);
+        assert!(warm.expressions < cold.expressions);
+        assert!(memo.len() < groups_before, "groups over a/b were evicted");
+    }
+
+    /// A config change (here: the OOM recovery path shrinking the
+    /// broadcast budget) invalidates the whole memo via the fingerprint.
+    #[test]
+    fn config_fingerprint_mismatch_clears_the_memo() {
+        let block = star_block();
+        let s = star_stats(1e6, 100.0, 100.0);
+        let opt = Optimizer::new();
+        let mut memo = Memo::new();
+        let all: BTreeSet<usize> = (0..block.num_leaves()).collect();
+        opt.optimize_with_memo(&block, &s, &mut memo, &all).unwrap();
+        assert!(!memo.is_empty());
+
+        let mut shrunk = Optimizer::new();
+        shrunk.cost_model.memory_budget /= 2.0;
+        assert_ne!(opt.config_fingerprint(), shrunk.config_fingerprint());
+        let cold = shrunk.optimize(&block, &s).unwrap();
+        // Even with an empty dirty set, the stale memo must not leak
+        // winners costed under the old budget.
+        let warm = shrunk
+            .optimize_with_memo(&block, &s, &mut memo, &BTreeSet::new())
+            .unwrap();
+        assert_eq!(warm.plan, cold.plan);
+        assert_eq!(warm.cost.to_bits(), cold.cost.to_bits());
+        assert_eq!(warm.groups_reused, 0);
+        assert_eq!(warm.expressions, cold.expressions);
+    }
+
+    #[test]
+    fn clear_resets_groups_and_fingerprint() {
+        let block = star_block();
+        let s = star_stats(1e6, 100.0, 100.0);
+        let opt = Optimizer::new();
+        let mut memo = Memo::new();
+        let all: BTreeSet<usize> = (0..block.num_leaves()).collect();
+        opt.optimize_with_memo(&block, &s, &mut memo, &all).unwrap();
+        assert!(memo.len() > 0);
+        memo.clear();
+        assert!(memo.is_empty());
+        // After clear, the next call behaves like a cold search again.
+        let r = opt
+            .optimize_with_memo(&block, &s, &mut memo, &BTreeSet::new())
+            .unwrap();
+        assert_eq!(r.groups_reused, 0);
+    }
+}

@@ -21,6 +21,7 @@ use dyno_query::{JoinBlock, JoinMethod, PhysNode};
 use dyno_stats::TableStats;
 
 use crate::cost::CostModel;
+use crate::memo::Memo;
 use crate::props::GroupProps;
 
 /// Optimizer façade. `left_deep_only` restricts the search to Jaql-shaped
@@ -74,13 +75,58 @@ pub struct OptResult {
     pub est_rows: f64,
     /// Estimated output bytes.
     pub est_bytes: f64,
-    /// Memo groups materialized during the search.
+    /// Total memo groups covering the block after this call: groups
+    /// whose winners were carried over plus groups (re-)costed now. For
+    /// a cold [`Optimizer::optimize`] this equals the groups materialized
+    /// during the search.
     pub groups: usize,
+    /// Groups whose winner was reused from a carried-over memo without
+    /// re-costing (always 0 for a cold [`Optimizer::optimize`]).
+    pub groups_reused: usize,
+    /// Groups whose winner was (re-)computed by this call. The simulated
+    /// optimizer-time charge scales with `expressions`, which only
+    /// re-costed groups contribute to.
+    pub groups_recosted: usize,
     /// Physical join alternatives costed.
     pub expressions: usize,
     /// Partition splits discarded by the branch-and-bound check before
     /// any implementation rule was costed.
     pub pruned: usize,
+}
+
+/// Everything a finished search produces: the winning plan plus the full
+/// winner/props tables, so [`Memo::absorb`] can persist them.
+struct SearchOutcome {
+    plan: PhysNode,
+    cost: f64,
+    est_rows: f64,
+    est_bytes: f64,
+    expressions: usize,
+    pruned: usize,
+    /// Groups answered straight from the seeded memo.
+    seed_hits: usize,
+    /// Final winner per materialized group (pre-chain-marking).
+    best: HashMap<u64, (f64, PhysNode)>,
+    /// Logical properties per materialized group.
+    props: HashMap<u64, GroupProps>,
+}
+
+/// Shared validation for every search entry point: statistics must cover
+/// every leaf, and blocks are capped at 63 leaves so the full-set mask
+/// `(1 << n) - 1` keeps bit 63 clear and can never overflow. Returns the
+/// leaf count.
+fn validate(block: &JoinBlock, leaf_stats: &[TableStats]) -> Result<usize, OptError> {
+    let n = block.num_leaves();
+    if leaf_stats.len() != n {
+        return Err(OptError::MissingStats {
+            leaves: n,
+            stats: leaf_stats.len(),
+        });
+    }
+    if n > 63 {
+        return Err(OptError::TooManyLeaves(n));
+    }
+    Ok(n)
 }
 
 struct Search<'a> {
@@ -89,6 +135,14 @@ struct Search<'a> {
     left_deep_only: bool,
     props: HashMap<u64, GroupProps>,
     best: HashMap<u64, Option<(f64, PhysNode)>>,
+    /// Logical props carried over from a prior round's memo (clean
+    /// groups only); consulted before computing.
+    seed_props: HashMap<u64, GroupProps>,
+    /// Winners carried over from a prior round's memo (clean groups
+    /// only); consulted before enumerating partitions.
+    seed_best: HashMap<u64, (f64, PhysNode)>,
+    /// Groups answered from `seed_best` without any costing.
+    seed_hits: usize,
     leaf_stats: &'a [TableStats],
     expressions: usize,
     pruned: usize,
@@ -121,28 +175,101 @@ impl Optimizer {
         block: &JoinBlock,
         leaf_stats: &[TableStats],
     ) -> Result<OptResult, OptError> {
-        let n = block.num_leaves();
-        if leaf_stats.len() != n {
-            return Err(OptError::MissingStats {
-                leaves: n,
-                stats: leaf_stats.len(),
-            });
-        }
-        if n > 63 {
-            return Err(OptError::TooManyLeaves(n));
-        }
+        let out =
+            self.search_with_seeds(block, leaf_stats, HashMap::new(), HashMap::new())?;
+        let groups = out.best.len();
+        Ok(OptResult {
+            plan: out.plan,
+            cost: out.cost,
+            est_rows: out.est_rows,
+            est_bytes: out.est_bytes,
+            groups,
+            groups_reused: 0,
+            groups_recosted: groups,
+            expressions: out.expressions,
+            pruned: out.pruned,
+        })
+    }
 
-        let mut search = Search {
-            block,
-            model: &self.cost_model,
-            left_deep_only: self.left_deep_only,
-            props: HashMap::new(),
-            best: HashMap::new(),
-            leaf_stats,
-            expressions: 0,
-            pruned: 0,
+    /// [`Optimizer::optimize`] with a caller-owned [`Memo`] carried
+    /// across re-optimization rounds. `dirty` names the leaves whose
+    /// statistics changed since the memo was last absorbed: groups whose
+    /// leaf set avoids every dirty leaf keep their memoized winners and
+    /// logical props (costing zero expressions), while intersecting
+    /// groups are evicted and re-costed from scratch. After the search,
+    /// the memo absorbs this round's winners, keyed by stable per-leaf
+    /// identities so it survives [`JoinBlock::merge_leaves`] renumbering.
+    ///
+    /// An empty `dirty` set over an unchanged block returns the same
+    /// plan, cost, and group count as a cold search — with zero
+    /// expressions costed (property-tested).
+    pub fn optimize_with_memo(
+        &self,
+        block: &JoinBlock,
+        leaf_stats: &[TableStats],
+        memo: &mut Memo,
+        dirty: &BTreeSet<usize>,
+    ) -> Result<OptResult, OptError> {
+        validate(block, leaf_stats)?;
+        let (seed_props, seed_best) = memo.seed_for(block, dirty, self.config_fingerprint());
+        let out = self.search_with_seeds(block, leaf_stats, seed_props, seed_best)?;
+        memo.absorb(block, &out.props, &out.best);
+        // Every surviving memo group maps onto the current block
+        // (`seed_for` evicted the rest), so the memo size *is* the
+        // group coverage: carried-over groups plus re-costed ones.
+        let groups = memo.len();
+        let groups_recosted = out.best.len() - out.seed_hits;
+        Ok(OptResult {
+            plan: out.plan,
+            cost: out.cost,
+            est_rows: out.est_rows,
+            est_bytes: out.est_bytes,
+            groups,
+            groups_reused: groups - groups_recosted,
+            groups_recosted,
+            expressions: out.expressions,
+            pruned: out.pruned,
+        })
+    }
+
+    /// FNV-1a fingerprint of every knob that affects plan choice. Memo
+    /// contents and plan-cache entries produced under a different
+    /// fingerprint are invalid — notably after an OOM recovery halves
+    /// the broadcast memory budget mid-query.
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
         };
-        let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        mix(self.left_deep_only as u64);
+        mix(self.disable_chaining as u64);
+        let m = &self.cost_model;
+        for v in [m.c_rep, m.c_probe, m.c_build, m.c_out, m.memory_budget] {
+            mix(v.to_bits());
+        }
+        h
+    }
+
+    /// The search core shared by the cold and memo-carrying entry
+    /// points: validate, run the (possibly seeded) branch-and-bound,
+    /// mark chains, and hand back the full winner/props tables.
+    fn search_with_seeds(
+        &self,
+        block: &JoinBlock,
+        leaf_stats: &[TableStats],
+        seed_props: HashMap<u64, GroupProps>,
+        seed_best: HashMap<u64, (f64, PhysNode)>,
+    ) -> Result<SearchOutcome, OptError> {
+        let n = validate(block, leaf_stats)?;
+        let mut search = Search {
+            seed_props,
+            seed_best,
+            ..Search::new(block, &self.cost_model, self.left_deep_only, leaf_stats)
+        };
+        let full: u64 = (1u64 << n) - 1;
         let (_, mut plan) = search
             .optimize_group(full)
             .expect("a plan always exists (cartesian fallback)");
@@ -151,14 +278,27 @@ impl Optimizer {
             mark_chains(&mut plan, &mut search);
         }
         let cost = chained_cost(&plan, &mut search);
-        Ok(OptResult {
+        // Materialize logical props for every winning group so the memo
+        // can absorb `(mask → props)` pairs without recomputation.
+        let masks: Vec<u64> = search.best.keys().copied().collect();
+        for m in masks {
+            search.props(m);
+        }
+        let best = search
+            .best
+            .iter()
+            .filter_map(|(m, v)| v.clone().map(|v| (*m, v)))
+            .collect();
+        Ok(SearchOutcome {
             plan,
             cost,
             est_rows: est.rows,
             est_bytes: est.bytes(),
-            groups: search.best.len(),
             expressions: search.expressions,
             pruned: search.pruned,
+            seed_hits: search.seed_hits,
+            best,
+            props: search.props,
         })
     }
 
@@ -173,16 +313,7 @@ impl Optimizer {
         leaf_stats: &[TableStats],
         leaves: &BTreeSet<usize>,
     ) -> f64 {
-        let mut search = Search {
-            block,
-            model: &self.cost_model,
-            left_deep_only: false,
-            props: HashMap::new(),
-            best: HashMap::new(),
-            leaf_stats,
-            expressions: 0,
-            pruned: 0,
-        };
+        let mut search = Search::new(block, &self.cost_model, false, leaf_stats);
         let mask = leaves.iter().fold(0u64, |m, &i| m | (1 << i));
         search.props(mask).rows
     }
@@ -196,21 +327,33 @@ impl Optimizer {
         leaf_stats: &[TableStats],
         plan: &PhysNode,
     ) -> f64 {
-        let mut search = Search {
-            block,
-            model: &self.cost_model,
-            left_deep_only: false,
-            props: HashMap::new(),
-            best: HashMap::new(),
-            leaf_stats,
-            expressions: 0,
-            pruned: 0,
-        };
+        let mut search = Search::new(block, &self.cost_model, false, leaf_stats);
         chained_cost(plan, &mut search)
     }
 }
 
 impl<'a> Search<'a> {
+    fn new(
+        block: &'a JoinBlock,
+        model: &'a CostModel,
+        left_deep_only: bool,
+        leaf_stats: &'a [TableStats],
+    ) -> Self {
+        Search {
+            block,
+            model,
+            left_deep_only,
+            props: HashMap::new(),
+            best: HashMap::new(),
+            seed_props: HashMap::new(),
+            seed_best: HashMap::new(),
+            seed_hits: 0,
+            leaf_stats,
+            expressions: 0,
+            pruned: 0,
+        }
+    }
+
     fn leaf_join_attrs(&self, leaf: usize) -> Vec<String> {
         let aliases = &self.block.leaves[leaf].aliases;
         let mut out = BTreeSet::new();
@@ -225,25 +368,20 @@ impl<'a> Search<'a> {
         out.into_iter().collect()
     }
 
-    fn mask_leaves(mask: u64) -> BTreeSet<usize> {
-        (0..64).filter(|i| mask & (1 << i) != 0).collect()
-    }
-
     /// Canonical logical properties of a leaf set: peel off the highest
     /// leaf so every order-dependent estimate is computed the same way.
     fn props(&mut self, mask: u64) -> &GroupProps {
         if !self.props.contains_key(&mask) {
-            let computed = if mask.count_ones() == 1 {
+            let computed = if let Some(seeded) = self.seed_props.get(&mask).cloned() {
+                seeded
+            } else if mask.count_ones() == 1 {
                 let leaf = mask.trailing_zeros() as usize;
                 let attrs = self.leaf_join_attrs(leaf);
                 GroupProps::from_stats(&self.leaf_stats[leaf], &attrs)
             } else {
                 let hi = 63 - mask.leading_zeros() as u64;
                 let rest = mask & !(1 << hi);
-                let conds = self.block.conditions_between(
-                    &Self::mask_leaves(rest),
-                    &Self::mask_leaves(1 << hi),
-                );
+                let conds = self.block.conditions_between_masks(rest, 1 << hi);
                 let left = self.props(rest).clone();
                 let right = self.props(1 << hi).clone();
                 GroupProps::join(&left, &right, &conds)
@@ -257,6 +395,13 @@ impl<'a> Search<'a> {
     fn optimize_group(&mut self, mask: u64) -> Option<(f64, PhysNode)> {
         if let Some(cached) = self.best.get(&mask) {
             return cached.clone();
+        }
+        // A winner carried over from a prior round whose leaf set no
+        // dirty statistic touches: reuse it without costing anything.
+        if let Some(seeded) = self.seed_best.get(&mask).cloned() {
+            self.seed_hits += 1;
+            self.best.insert(mask, Some(seeded.clone()));
+            return Some(seeded);
         }
         // Insert a placeholder to make accidental reentrancy loud.
         self.best.insert(mask, None);
@@ -279,9 +424,7 @@ impl<'a> Search<'a> {
             let left = sub;
             let right = mask ^ sub;
             if !self.left_deep_only || right.count_ones() == 1 {
-                let conds = self
-                    .block
-                    .conditions_between(&Self::mask_leaves(left), &Self::mask_leaves(right));
+                let conds = self.block.conditions_between_masks(left, right);
                 splits.push((left, right, conds));
             }
             sub = (sub - 1) & mask;
@@ -624,6 +767,38 @@ mod tests {
         let block = star_block();
         let err = Optimizer::new().optimize(&block, &[]).unwrap_err();
         assert!(matches!(err, OptError::MissingStats { leaves: 3, stats: 0 }));
+    }
+
+    /// `n` unjoined scans `t0..t{n-1}`, each with one attribute.
+    fn wide_block(n: usize) -> (JoinBlock, Vec<TableStats>) {
+        let mut cat = SchemaCatalog::new();
+        let mut scans = Vec::new();
+        for i in 0..n {
+            let t = format!("t{i}");
+            cat.add_scan(&ScanDef::table(&t), &[&format!("c{i}")]);
+            scans.push(ScanDef::table(&t));
+        }
+        let spec = QuerySpec::new("wide", scans);
+        let block = JoinBlock::compile(&spec, &cat).unwrap();
+        let s = (0..n)
+            .map(|i| stats(100.0, 10.0, &[(format!("c{i}").as_str(), 100.0)]))
+            .collect();
+        (block, s)
+    }
+
+    #[test]
+    fn leaf_limit_is_exactly_63() {
+        // 63 leaves validate fine: the full-set mask (1 << 63) - 1 keeps
+        // bit 63 clear. (Running the full search over 2^63 - 1 groups is
+        // infeasible, so only validation is exercised at the boundary.)
+        let (b63, s63) = wide_block(63);
+        assert_eq!(validate(&b63, &s63).unwrap(), 63);
+
+        // 64 leaves are rejected before any search state is built.
+        let (b64, s64) = wide_block(64);
+        let err = Optimizer::new().optimize(&b64, &s64).unwrap_err();
+        assert!(matches!(err, OptError::TooManyLeaves(64)));
+        assert_eq!(err.to_string(), "64 leaves exceed the 63-leaf limit");
     }
 
     #[test]

@@ -332,19 +332,52 @@ impl JoinBlock {
         left: &BTreeSet<usize>,
         right: &BTreeSet<usize>,
     ) -> Vec<(String, String)> {
-        let la = self.aliases_of(left);
-        let ra = self.aliases_of(right);
+        let as_mask = |ids: &BTreeSet<usize>| -> Option<u64> {
+            ids.iter()
+                .try_fold(0u64, |m, &i| (i < 64).then(|| m | (1u64 << i)))
+        };
+        match (as_mask(left), as_mask(right)) {
+            (Some(l), Some(r)) => self.conditions_between_masks(l, r),
+            // Leaf indices beyond the mask width (never reached through
+            // the optimizer, which caps blocks at 63 leaves): fall back
+            // to alias-set membership.
+            _ => {
+                let la = self.aliases_of(left);
+                let ra = self.aliases_of(right);
+                self.conditions
+                    .iter()
+                    .filter_map(|c| {
+                        if la.contains(&c.left.0) && ra.contains(&c.right.0) {
+                            return Some((c.left.1.clone(), c.right.1.clone()));
+                        }
+                        if ra.contains(&c.left.0) && la.contains(&c.right.0) {
+                            return Some((c.right.1.clone(), c.left.1.clone()));
+                        }
+                        None
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Mask twin of [`Self::conditions_between`]: bit `i` selects leaf
+    /// `i`. The optimizer's partition enumeration calls this once per
+    /// ordered split, so it must not materialize any per-call sets;
+    /// membership is a bit test on the alias's owning leaf (every alias
+    /// belongs to exactly one leaf, so the first covering leaf is *the*
+    /// covering leaf).
+    pub fn conditions_between_masks(&self, left: u64, right: u64) -> Vec<(String, String)> {
+        let covers = |mask: u64, alias: &str| {
+            self.leaf_of_alias(alias)
+                .is_some_and(|i| i < 64 && mask & (1u64 << i) != 0)
+        };
         self.conditions
             .iter()
             .filter_map(|c| {
-                let l_in = la.contains(&c.left.0);
-                let r_in = ra.contains(&c.right.0);
-                if l_in && r_in {
+                if covers(left, &c.left.0) && covers(right, &c.right.0) {
                     return Some((c.left.1.clone(), c.right.1.clone()));
                 }
-                let l_in_r = ra.contains(&c.left.0);
-                let r_in_l = la.contains(&c.right.0);
-                if l_in_r && r_in_l {
+                if covers(right, &c.left.0) && covers(left, &c.right.0) {
                     return Some((c.right.1.clone(), c.left.1.clone()));
                 }
                 None
@@ -476,6 +509,37 @@ impl JoinBlock {
             "alias set does not align with current leaf boundaries"
         );
         self.merge_leaves(&ids, file, applied_preds)
+    }
+
+    /// Canonical signature of the whole block — the plan-cache key
+    /// material. Two blocks with equal signatures present the optimizer
+    /// with the same problem: the same leaves (alias coverage + leaf
+    /// signature, in index order), join conditions, and post-join
+    /// predicate state. The query name is deliberately excluded so
+    /// identical queries submitted under different names share one cache
+    /// entry, mirroring how [`LeafExpr::signature`] keys the metastore.
+    pub fn signature(&self) -> String {
+        let mut out = String::new();
+        for l in &self.leaves {
+            let aliases: Vec<&str> = l.aliases.iter().map(String::as_str).collect();
+            out.push_str(&format!("L[{}]{};", aliases.join(","), l.signature()));
+        }
+        for c in &self.conditions {
+            out.push_str(&format!(
+                "C{}.{}={}.{};",
+                c.left.0, c.left.1, c.right.0, c.right.1
+            ));
+        }
+        for pp in &self.post_preds {
+            let aliases: Vec<&str> = pp.aliases.iter().map(String::as_str).collect();
+            out.push_str(&format!(
+                "P{}@[{}]{};",
+                pp.pred,
+                aliases.join(","),
+                if pp.applied { '!' } else { '?' }
+            ));
+        }
+        out
     }
 
     /// True when the block has been reduced to a single leaf (fully
@@ -618,6 +682,62 @@ mod tests {
         let rs: BTreeSet<String> = ["r", "s"].iter().map(|s| s.to_string()).collect();
         // after joining r and s, only s_id feeds the remaining join with t
         assert_eq!(block.attrs_needed_later(&rs), vec!["s_id".to_owned()]);
+    }
+
+    #[test]
+    fn conditions_between_masks_agrees_with_sets() {
+        // Every ordered pair of disjoint non-empty leaf subsets: the mask
+        // path and the set path must return identical condition lists
+        // (same order, same orientation) — before and after a merge.
+        let check_all = |block: &JoinBlock| {
+            let n = block.num_leaves();
+            for l in 1u64..(1 << n) {
+                for r in 1u64..(1 << n) {
+                    if l & r != 0 {
+                        continue;
+                    }
+                    let ls: BTreeSet<usize> = (0..n).filter(|i| l & (1 << i) != 0).collect();
+                    let rs: BTreeSet<usize> = (0..n).filter(|i| r & (1 << i) != 0).collect();
+                    assert_eq!(
+                        block.conditions_between(&ls, &rs),
+                        block.conditions_between_masks(l, r),
+                        "mask path diverged for split {l:b}|{r:b}"
+                    );
+                }
+            }
+        };
+        let mut block = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        check_all(&block);
+        let r = block.leaf_of_alias("r").unwrap();
+        let s = block.leaf_of_alias("s").unwrap();
+        block.merge_leaves(&BTreeSet::from([r, s]), "tmp/q3_1", &[0]);
+        check_all(&block);
+    }
+
+    #[test]
+    fn block_signature_is_canonical_and_state_sensitive() {
+        let a = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        let b = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        assert_eq!(a.signature(), b.signature());
+        // The query name is not part of the key: a renamed but otherwise
+        // identical query shares the signature.
+        let renamed = QuerySpec::new(
+            "other_name",
+            vec![ScanDef::table("r"), ScanDef::table("s"), ScanDef::table("t")],
+        )
+        .filter(Predicate::eq("r_x", 5i64))
+        .filter(Predicate::attr_eq("r_id", "s_rid"))
+        .filter(Predicate::attr_eq("s_id", "t_sid"))
+        .filter(Predicate::udf("check", &["r_x", "s_y"]));
+        let c = JoinBlock::compile(&renamed, &catalog3()).unwrap();
+        assert_eq!(a.signature(), c.signature());
+        // Merging leaves (and applying a post-join predicate) changes the
+        // optimization problem, so the signature must move.
+        let mut merged = JoinBlock::compile(&spec3(), &catalog3()).unwrap();
+        let r = merged.leaf_of_alias("r").unwrap();
+        let s = merged.leaf_of_alias("s").unwrap();
+        merged.merge_leaves(&BTreeSet::from([r, s]), "tmp/q3_1", &[0]);
+        assert_ne!(a.signature(), merged.signature());
     }
 
     #[test]

@@ -52,6 +52,12 @@ fn shard_of(sig: &str) -> usize {
 #[derive(Debug, Clone)]
 pub struct Metastore {
     shards: Arc<[RwLock<BTreeMap<Signature, TableStats>>; SHARDS]>,
+    // Per-signature statistics version, bumped on every `put`. Kept apart
+    // from the entries so versions stay monotonic forever — they survive
+    // `remove` and `clear`, which keeps a plan cached under version v from
+    // ever validating against a later clear-and-re-put of the same
+    // signature.
+    versions: Arc<[RwLock<BTreeMap<Signature, u64>>; SHARDS]>,
     // Behind Arc<Mutex<…>> so `set_metrics(&self)` reaches every clone of
     // this store, not just the local handle.
     metrics: Arc<Mutex<Metrics>>,
@@ -61,6 +67,7 @@ impl Default for Metastore {
     fn default() -> Self {
         Metastore {
             shards: Arc::new(std::array::from_fn(|_| RwLock::new(BTreeMap::new()))),
+            versions: Arc::new(std::array::from_fn(|_| RwLock::new(BTreeMap::new()))),
             metrics: Arc::new(Mutex::new(Metrics::default())),
         }
     }
@@ -104,10 +111,27 @@ impl Metastore {
         self.shards[shard_of(sig)].read().contains_key(sig)
     }
 
-    /// Insert (or replace) statistics for a signature.
+    /// Insert (or replace) statistics for a signature, bumping its
+    /// statistics version.
     pub fn put(&self, sig: impl Into<Signature>, stats: TableStats) {
         let sig = sig.into();
-        self.shards[shard_of(&sig)].write().insert(sig, stats);
+        let shard = shard_of(&sig);
+        *self.versions[shard].write().entry(sig.clone()).or_insert(0) += 1;
+        self.shards[shard].write().insert(sig, stats);
+    }
+
+    /// The signature's statistics version: 0 if never stored, else the
+    /// number of `put`s ever made under it. Monotonic — never reset by
+    /// [`Metastore::remove`] or [`Metastore::clear`] — so an unchanged
+    /// version guarantees the statistics a cached plan was costed under
+    /// are still the stored ones. Records no metrics (version probes are
+    /// not statistics lookups).
+    pub fn version(&self, sig: &str) -> u64 {
+        self.versions[shard_of(sig)]
+            .read()
+            .get(sig)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Remove statistics for a signature, returning them if present.
@@ -219,6 +243,34 @@ mod tests {
         assert!(m.get("b").is_none()); // miss
         assert_eq!(metrics.counter("metastore.hits"), 1);
         assert_eq!(metrics.counter("metastore.misses"), 2);
+    }
+
+    #[test]
+    fn versions_bump_on_put_and_survive_clear() {
+        let m = Metastore::new();
+        assert_eq!(m.version("a"), 0);
+        m.put("a", stats(1.0));
+        assert_eq!(m.version("a"), 1);
+        m.put("a", stats(2.0)); // replacement still bumps
+        assert_eq!(m.version("a"), 2);
+        assert_eq!(m.version("b"), 0); // untouched signature stays 0
+
+        // Versions are monotonic forever: neither remove nor clear resets
+        // them, so a later re-put of "a" cannot revisit version 2.
+        m.remove("a");
+        assert_eq!(m.version("a"), 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.version("a"), 2);
+        m.put("a", stats(3.0));
+        assert_eq!(m.version("a"), 3);
+
+        // Clones observe the same versions; restore bumps via put.
+        let clone = m.clone();
+        assert_eq!(clone.version("a"), 3);
+        let snap = m.snapshot();
+        m.restore(snap);
+        assert_eq!(clone.version("a"), 4);
     }
 
     #[test]
