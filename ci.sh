@@ -30,6 +30,12 @@
 #      invalidate accounting against per-leaf stats versions) end to
 #      end, and the reuse-off step-5 line above proves cold runs are
 #      unaffected.
+#   9. service smoke check: a fixed-seed `repro serve` run (16-query
+#      stream, 1000-tenant bursty arrivals, DeadlineEdf scheduling)
+#      must reproduce the committed `slo attainment:` line *exactly* —
+#      pinning the whole front door (admission control, deadline-tagged
+#      submission, EDF slot grants, calibrated SLOs, tail-latency
+#      histograms) in one deterministic line.
 #
 # The build is hermetic: every dependency is a path crate inside this
 # repository, so everything below runs with --offline and no registry.
@@ -185,6 +191,24 @@ if [ "$got" != "$ref" ]; then
 fi
 echo "$reuse_out" | grep -q ' cache [1-9][0-9]*/' ||
     { echo "FAIL: no per-query cache-hit column in the reuse report"; exit 1; }
+echo "ok: $got matches reference exactly"
+
+echo "== repro serve smoke check (fixed-seed service run vs repro_output.txt) =="
+serve_out=$(cargo run --release --offline -p dyno-bench --bin repro -- \
+    serve q2x6,q7x5,q9x5 100 --seed 11 --divisor 200000 \
+    --tenants 1000 --sched edf --arrival-mean 15 --slo-mult 2)
+got=$(echo "$serve_out" | grep '^slo attainment: ') ||
+    { echo "FAIL: serve report has no slo-attainment line"; exit 1; }
+ref=$(grep '^slo attainment: ' repro_output.txt | head -1) ||
+    { echo "FAIL: no slo-attainment line in repro_output.txt"; exit 1; }
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: service SLO attainment drifted:"
+    echo "  got: $got"
+    echo "  ref: $ref"
+    exit 1
+fi
+echo "$serve_out" | grep -q '^latency (n=16): .*p999' ||
+    { echo "FAIL: serve report has no p999 tail-latency column"; exit 1; }
 echo "ok: $got matches reference exactly"
 
 echo "CI OK"

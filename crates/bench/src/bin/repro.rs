@@ -5,48 +5,36 @@
 //! repro profile <query> <sf> [--divisor N]
 //! repro trace <query> <sf> [--divisor N]
 //! repro workload <spec> <sf> [--seed N] [--divisor N]
+//! repro serve <spec> <sf> [--tenants N] [--seed N] [--sched edf]
 //! ```
 //!
 //! `profile` runs one query cold under DYNOPT with `dyno-obs` tracing on
 //! and prints its `EXPLAIN ANALYZE`-style profile; `trace` prints the
 //! same run as Chrome `trace_event` JSON (open in `chrome://tracing`);
 //! `workload` runs a multi-query stream (`name[@mode][xN]`, comma
-//! separated) against one DYNO instance and prints the workload report.
+//! separated) against one DYNO instance and prints the workload report;
+//! `serve` replays the stream through the multi-tenant service front
+//! door (admission control + deadline-aware scheduling) and prints the
+//! service-level report.
 //!
 //! The divisor controls the physical scale (logical rows per physical
 //! record); the default of 50 000 runs every experiment in a few minutes
 //! on a laptop while keeping the simulated world at full TPC-H scale.
 //!
 //! Every failure path surfaces as a typed [`BenchError`] printed with the
-//! usage text — the binary never panics on bad input.
+//! usage text — the binary never panics on bad input. Argument parsing
+//! lives in `dyno_bench::cli` so the bad-invocation matrix is
+//! unit-tested in the library.
 
 use std::env;
 use std::process::ExitCode;
 
+use dyno_bench::cli::{parse_cli, parse_sf, positional, USAGE};
 use dyno_bench::{
-    ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, parse_sched, profile_report, reopt_ab,
+    ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, profile_report, reopt_ab, run_serve,
     run_concurrent_workload, run_workload, run_workload_reuse, table1, timeline_report,
-    trace_report, BenchError, ConcurrentOptions, ExpScale,
+    trace_report, BenchError, ExpScale,
 };
-
-const USAGE: &str = "usage: repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablations|reopt_ab] [--divisor N]
-       repro profile <query> <sf> [--divisor N]
-       repro trace <query> <sf> [--divisor N]
-       repro workload <spec> <sf> [--seed N] [--divisor N] [--reuse]
-                      [--concurrent [--arrival-mean S] [--sched fifo|fair]]
-       repro timeline <query|spec> <sf> [--seed N] [--divisor N]
-                      [--arrival-mean S] [--sched fifo|fair]
-
-queries:  q2 q5 q7 q8_prime q9_prime q10 q1_restaurant
-workload: comma-separated entries of the form name[@mode][xN],
-          e.g. 'q2x3,q8_prime@relopt,q10@simplex2'
-modes:    dynopt (default) | simple | relopt | beststatic | jaql
-concurrent: run the stream on ONE shared cluster with seeded arrival
-          offsets (--arrival-mean, default 30s) under --sched (fifo)
-reuse:    keep the optimizer memo across re-optimization rounds and a
-          plan cache across the stream (serial workload runner only)
-timeline: run the stream on the shared cluster and report the sampled
-          slot-utilization / queue-depth telemetry";
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -57,104 +45,6 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
-}
-
-/// Parsed command line: positional arguments plus the shared flags.
-struct Cli {
-    positional: Vec<String>,
-    divisor: u64,
-    seed: u64,
-    concurrent: bool,
-    reuse: bool,
-    workload_opts: ConcurrentOptions,
-}
-
-fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
-    let mut positional = Vec::new();
-    let mut divisor = 50_000u64;
-    let mut seed = 0u64;
-    let mut concurrent = false;
-    let mut reuse = false;
-    let mut workload_opts = ConcurrentOptions::default();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--divisor" => {
-                divisor = parse_flag_value(it.next(), "--divisor", "a positive integer")?;
-                if divisor == 0 {
-                    return Err(BenchError::BadArg {
-                        arg: "--divisor".to_owned(),
-                        expected: "a positive integer".to_owned(),
-                    });
-                }
-            }
-            "--seed" => {
-                seed = parse_flag_value(it.next(), "--seed", "an unsigned integer")?;
-            }
-            "--concurrent" => concurrent = true,
-            "--reuse" => reuse = true,
-            "--arrival-mean" => {
-                let raw = it.next().ok_or_else(|| BenchError::BadArg {
-                    arg: "--arrival-mean".to_owned(),
-                    expected: "a non-negative number of seconds".to_owned(),
-                })?;
-                workload_opts.arrival_mean = raw
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|m| m.is_finite() && *m >= 0.0)
-                    .ok_or_else(|| BenchError::BadArg {
-                        arg: "--arrival-mean".to_owned(),
-                        expected: "a non-negative number of seconds".to_owned(),
-                    })?;
-            }
-            "--sched" => {
-                let raw = it.next().map(String::as_str).unwrap_or("");
-                workload_opts.sched =
-                    parse_sched(raw).ok_or_else(|| BenchError::BadArg {
-                        arg: "--sched".to_owned(),
-                        expected: "fifo or fair".to_owned(),
-                    })?;
-            }
-            "--help" | "-h" => return Ok(None),
-            other => positional.push(other.to_owned()),
-        }
-    }
-    Ok(Some(Cli {
-        positional,
-        divisor,
-        seed,
-        concurrent,
-        reuse,
-        workload_opts,
-    }))
-}
-
-fn parse_flag_value(
-    value: Option<&String>,
-    flag: &str,
-    expected: &str,
-) -> Result<u64, BenchError> {
-    value
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| BenchError::BadArg {
-            arg: flag.to_owned(),
-            expected: expected.to_owned(),
-        })
-}
-
-fn positional<'a>(cli: &'a Cli, i: usize, what: &str) -> Result<&'a str, BenchError> {
-    cli.positional.get(i).map(String::as_str).ok_or_else(|| BenchError::BadArg {
-        arg: what.to_owned(),
-        expected: "a value (missing positional argument)".to_owned(),
-    })
-}
-
-fn parse_sf(cli: &Cli, i: usize) -> Result<u64, BenchError> {
-    let raw = positional(cli, i, "<sf>")?;
-    raw.parse().map_err(|_| BenchError::BadArg {
-        arg: raw.to_owned(),
-        expected: "a numeric scale factor".to_owned(),
-    })
 }
 
 fn run(args: &[String]) -> Result<(), BenchError> {
@@ -196,6 +86,12 @@ fn run(args: &[String]) -> Result<(), BenchError> {
             } else {
                 print!("{}", run_workload(spec, sf, cli.seed, scale)?.render());
             }
+            return Ok(());
+        }
+        "serve" => {
+            let spec = positional(&cli, 1, "<spec>")?;
+            let sf = parse_sf(&cli, 2)?;
+            print!("{}", run_serve(spec, sf, cli.seed, scale, cli.serve_opts)?.render());
             return Ok(());
         }
         _ => {}

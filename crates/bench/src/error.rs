@@ -16,6 +16,10 @@ pub enum BenchError {
     /// A flag or positional argument that failed to parse, with the
     /// expectation it violated.
     BadArg { arg: String, expected: String },
+    /// A flag the CLI does not recognize at all. Distinct from
+    /// [`BenchError::BadArg`] (a *known* flag with a bad value) so typos
+    /// fail loudly instead of falling through as positionals.
+    Usage(String),
     /// A malformed workload spec entry (`name[@mode][xN]`).
     BadSpec { spec: String, reason: String },
     /// A query run returned an execution error.
@@ -36,6 +40,7 @@ impl fmt::Display for BenchError {
             BenchError::BadArg { arg, expected } => {
                 write!(f, "bad argument {arg:?}: expected {expected}")
             }
+            BenchError::Usage(what) => write!(f, "{what}"),
             BenchError::BadSpec { spec, reason } => {
                 write!(f, "bad workload spec entry {spec:?}: {reason}")
             }

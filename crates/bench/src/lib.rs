@@ -11,18 +11,22 @@
 //! *shape*: who wins, by roughly what factor, and where the crossovers
 //! fall. EXPERIMENTS.md records paper-vs-measured for every experiment.
 
+pub mod cli;
 pub mod error;
 pub mod experiments;
 pub mod profile;
 pub mod render;
+pub mod serve;
 pub mod timeline;
 pub mod workload;
 
+pub use cli::{parse_cli, Cli, USAGE};
 pub use error::BenchError;
 pub use experiments::{
     ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, reopt_ab, table1, ExpScale,
 };
 pub use profile::{profile_report, trace_report};
+pub use serve::{run_serve, ServeOptions, ServeReport};
 pub use render::render_table;
 pub use timeline::{render_timeline, timeline_report};
 pub use workload::{

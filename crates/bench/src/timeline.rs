@@ -154,7 +154,7 @@ fn sparkline(samples: &[Sample], map_cap: u32) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dyno_cluster::SchedPolicy;
+    use dyno_cluster::SchedulerPolicy;
     use dyno_common::{prop, Rng};
 
     fn coarse() -> ExpScale {
@@ -164,7 +164,7 @@ mod tests {
     fn opts() -> ConcurrentOptions {
         ConcurrentOptions {
             arrival_mean: 5.0,
-            sched: SchedPolicy::Fifo,
+            sched: SchedulerPolicy::Fifo,
         }
     }
 

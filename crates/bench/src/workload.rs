@@ -29,7 +29,7 @@
 
 use std::collections::BTreeSet;
 
-use dyno_cluster::{Cluster, ClusterConfig, JobHandle, SchedPolicy};
+use dyno_cluster::{Cluster, ClusterConfig, JobHandle, SchedulerPolicy};
 use dyno_common::{Rng, SeedableRng, StdRng};
 use dyno_core::{DriverPoll, Mode, QueryDriver, Strategy};
 use dyno_obs::{
@@ -544,14 +544,14 @@ pub struct ConcurrentOptions {
     /// seeded). `0.0` submits every query at t=0.
     pub arrival_mean: f64,
     /// Cross-job slot scheduling policy on the shared cluster.
-    pub sched: SchedPolicy,
+    pub sched: SchedulerPolicy,
 }
 
 impl Default for ConcurrentOptions {
     fn default() -> Self {
         ConcurrentOptions {
             arrival_mean: 30.0,
-            sched: SchedPolicy::Fifo,
+            sched: SchedulerPolicy::Fifo,
         }
     }
 }
@@ -615,18 +615,22 @@ pub struct ConcurrentReport {
     pub timeline: Timeline,
 }
 
-pub(crate) fn sched_name(s: SchedPolicy) -> &'static str {
+pub(crate) fn sched_name(s: SchedulerPolicy) -> &'static str {
     match s {
-        SchedPolicy::Fifo => "fifo",
-        SchedPolicy::Fair => "fair",
+        SchedulerPolicy::Fifo => "fifo",
+        SchedulerPolicy::Fair => "fair",
+        SchedulerPolicy::Priority => "priority",
+        SchedulerPolicy::DeadlineEdf => "edf",
     }
 }
 
 /// Parse a `--sched` value.
-pub fn parse_sched(s: &str) -> Option<SchedPolicy> {
+pub fn parse_sched(s: &str) -> Option<SchedulerPolicy> {
     match s.to_ascii_lowercase().as_str() {
-        "fifo" => Some(SchedPolicy::Fifo),
-        "fair" => Some(SchedPolicy::Fair),
+        "fifo" => Some(SchedulerPolicy::Fifo),
+        "fair" => Some(SchedulerPolicy::Fair),
+        "priority" => Some(SchedulerPolicy::Priority),
+        "edf" | "deadline" | "deadline_edf" => Some(SchedulerPolicy::DeadlineEdf),
         _ => None,
     }
 }
@@ -1108,7 +1112,7 @@ mod tests {
             coarse(),
             ConcurrentOptions {
                 arrival_mean: 5.0,
-                sched: SchedPolicy::Fifo,
+                sched: SchedulerPolicy::Fifo,
             },
         )
         .unwrap();
@@ -1172,7 +1176,7 @@ mod tests {
             coarse(),
             ConcurrentOptions {
                 arrival_mean: 0.0,
-                sched: SchedPolicy::Fifo,
+                sched: SchedulerPolicy::Fifo,
             },
         )
         .unwrap();
@@ -1198,8 +1202,8 @@ mod tests {
             )
             .unwrap()
         };
-        let fifo = mk(SchedPolicy::Fifo);
-        let fair = mk(SchedPolicy::Fair);
+        let fifo = mk(SchedulerPolicy::Fifo);
+        let fair = mk(SchedulerPolicy::Fair);
         // Same stream, same arrivals — only the slot-grant order differs.
         for (a, b) in fifo.runs.iter().zip(fair.runs.iter()) {
             assert_eq!(a.label, b.label);
@@ -1218,7 +1222,7 @@ mod tests {
             |g| {
                 (
                     g.gen_range(0..1000u64),
-                    if g.gen_bool(0.5) { SchedPolicy::Fifo } else { SchedPolicy::Fair },
+                    if g.gen_bool(0.5) { SchedulerPolicy::Fifo } else { SchedulerPolicy::Fair },
                 )
             },
             |&(seed, sched)| {

@@ -24,8 +24,9 @@ pub enum RuntimeProfile {
 ///
 /// The paper runs Hadoop's default FIFO scheduler and leaves "different
 /// schedulers, such as the fair and capacity schedulers" as future work
-/// (§5.3/§6.3); both are implemented here — the `scheduler_ablation`
-/// experiment compares them.
+/// (§5.3/§6.3); all four are implemented here — the `scheduler_ablation`
+/// experiment compares Fifo/Fair, and the `dyno-service` front door
+/// drives `Priority`/`DeadlineEdf` for SLA-aware slot grants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerPolicy {
     /// Hadoop classic: earlier-submitted jobs take every free slot first.
@@ -34,6 +35,13 @@ pub enum SchedulerPolicy {
     /// Fair sharing: free slots go to the running job with the fewest
     /// tasks currently executing.
     Fair,
+    /// Strict priority: free slots go to the highest-priority job (from
+    /// its [`crate::SubmitTag`]); FIFO among equal priorities.
+    Priority,
+    /// Earliest-deadline-first over the deadlines jobs were submitted
+    /// with. Jobs without a deadline sort last; equal deadlines degrade
+    /// to submission (FIFO) order.
+    DeadlineEdf,
 }
 
 /// Simulated cluster parameters. All rates are in bytes per simulated

@@ -23,4 +23,4 @@ pub mod sim;
 
 pub use config::{ClusterConfig, RuntimeProfile, SchedulerPolicy};
 pub use coord::Coord;
-pub use sim::{Cluster, JobHandle, JobProfile, JobTiming, SchedPolicy, SimTime, TaskProfile};
+pub use sim::{Cluster, JobHandle, JobProfile, JobTiming, SimTime, SubmitTag, TaskProfile};

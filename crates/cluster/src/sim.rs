@@ -35,9 +35,19 @@ use crate::config::{ClusterConfig, SchedulerPolicy};
 /// Simulated time in seconds since cluster creation.
 pub type SimTime = f64;
 
-/// Scheduling-policy knob, re-exported under the name the workload
-/// runner uses (`--sched fifo|fair`).
-pub type SchedPolicy = SchedulerPolicy;
+/// Scheduling attributes stamped onto every job submitted while the tag
+/// is current (see [`Cluster::set_submit_tag`]). The default tag is
+/// priority 0 with no deadline — exactly the pre-tag behaviour, so the
+/// Fifo/Fair policies are unaffected by tags entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SubmitTag {
+    /// Larger numbers win slots first under [`SchedulerPolicy::Priority`].
+    pub priority: u32,
+    /// Absolute simulated-time deadline of the job's owner (query);
+    /// [`SchedulerPolicy::DeadlineEdf`] grants slots earliest-deadline
+    /// first. `None` sorts after every finite deadline.
+    pub deadline: Option<SimTime>,
+}
 
 /// Resource profile of one task at simulated scale.
 #[derive(Debug, Clone, Default)]
@@ -156,8 +166,11 @@ impl Ord for Event {
 /// Pick the next job to receive a free slot among those satisfying
 /// `eligible`, per the scheduling policy: FIFO takes the earliest
 /// submission (lowest job id), Fair the job with the fewest tasks
-/// currently running.
-fn next_job(
+/// currently running, Priority the highest submit-tag priority, and
+/// DeadlineEdf the earliest submit-tag deadline. Every policy breaks
+/// ties on the (monotone) job id, so each is a pure function of the
+/// cluster state — determinism is load-bearing for the service harness.
+fn pick_job(
     states: &BTreeMap<u64, JobState>,
     policy: SchedulerPolicy,
     eligible: impl Fn(&JobState) -> bool,
@@ -167,6 +180,18 @@ fn next_job(
         SchedulerPolicy::Fifo => candidates.map(|(&id, _)| id).next(),
         SchedulerPolicy::Fair => candidates
             .min_by_key(|&(&id, st)| (st.maps_outstanding + st.reduces_outstanding, id))
+            .map(|(&id, _)| id),
+        SchedulerPolicy::Priority => candidates
+            .min_by_key(|&(&id, st)| (std::cmp::Reverse(st.tag.priority), id))
+            .map(|(&id, _)| id),
+        SchedulerPolicy::DeadlineEdf => candidates
+            .min_by(|&(&ida, sta), &(&idb, stb)| {
+                // `None` deadlines sort last (INFINITY); equal deadlines
+                // fall back to submission order — EDF degrades to FIFO.
+                let da = sta.tag.deadline.unwrap_or(f64::INFINITY);
+                let db = stb.tag.deadline.unwrap_or(f64::INFINITY);
+                da.total_cmp(&db).then(ida.cmp(&idb))
+            })
             .map(|(&id, _)| id),
     }
 }
@@ -201,6 +226,8 @@ struct JobState {
     name: String,
     build_bytes: u64,
     span: SpanId,
+    /// Scheduling attributes current at submission.
+    tag: SubmitTag,
     submitted: SimTime,
     /// When the job becomes schedulable (`submitted + job_startup_secs`).
     ready_at: SimTime,
@@ -235,6 +262,7 @@ pub struct Cluster {
     metrics: Metrics,
     timeline: Timeline,
     trace_scope: SpanId,
+    submit_tag: SubmitTag,
     events: BinaryHeap<Event>,
     states: BTreeMap<u64, JobState>,
     finished: BTreeMap<u64, JobTiming>,
@@ -257,6 +285,7 @@ impl Cluster {
             metrics: Metrics::disabled(),
             timeline: Timeline::disabled(),
             trace_scope: NO_SPAN,
+            submit_tag: SubmitTag::default(),
             events: BinaryHeap::new(),
             states: BTreeMap::new(),
             finished: BTreeMap::new(),
@@ -294,6 +323,21 @@ impl Cluster {
     /// Current trace scope (to save/restore around a nested phase).
     pub fn trace_scope(&self) -> SpanId {
         self.trace_scope
+    }
+
+    /// Scheduling attributes applied to subsequently submitted jobs —
+    /// the same save/restore pattern as [`Cluster::set_trace_scope`]: a
+    /// multiplexer (the `dyno-service` front door) sets the owning
+    /// query's priority/deadline before polling its driver, so every job
+    /// that driver submits inherits the tag without the executor knowing
+    /// anything about tenants or SLAs.
+    pub fn set_submit_tag(&mut self, tag: SubmitTag) {
+        self.submit_tag = tag;
+    }
+
+    /// The tag currently applied to submitted jobs.
+    pub fn submit_tag(&self) -> SubmitTag {
+        self.submit_tag
     }
 
     /// The cluster's tracer handle.
@@ -429,6 +473,7 @@ impl Cluster {
                 name: job.name,
                 build_bytes: job.build_bytes,
                 span,
+                tag: self.submit_tag,
                 submitted,
                 ready_at,
                 reduces_ready_at: ready_at,
@@ -649,7 +694,7 @@ impl Cluster {
         let traced = self.tracer.is_enabled();
         let tracer = self.tracer.clone();
         while self.free_map > 0 {
-            let pick = next_job(&self.states, policy, |st| {
+            let pick = pick_job(&self.states, policy, |st| {
                 st.maps_ready && !st.pending_maps.is_empty()
             });
             let Some(id) = pick else { break };
@@ -681,7 +726,7 @@ impl Cluster {
             });
         }
         while self.free_reduce > 0 {
-            let pick = next_job(&self.states, policy, |st| {
+            let pick = pick_job(&self.states, policy, |st| {
                 st.maps_ready
                     && st.pending_maps.is_empty()
                     && st.maps_outstanding == 0
@@ -1259,6 +1304,107 @@ mod scheduler_tests {
         let work = |t: &[JobTiming]| -> f64 { t.iter().map(|x| x.map_slot_secs).sum() };
         assert!((work(&f) - work(&r)).abs() < 1e-6);
     }
+
+    /// Under strict priority, a high-priority latecomer overtakes the
+    /// backlog of an earlier low-priority job for every free slot.
+    #[test]
+    fn priority_policy_grants_high_priority_first() {
+        let big = JobProfile {
+            name: "big".into(),
+            map_tasks: (0..560).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        };
+        let urgent = JobProfile {
+            name: "urgent".into(),
+            map_tasks: (0..140).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        };
+        let mut cl = Cluster::new(cfg(SchedulerPolicy::Priority));
+        let h_big = cl.submit_job(big);
+        cl.set_submit_tag(SubmitTag {
+            priority: 9,
+            deadline: None,
+        });
+        let h_urgent = cl.submit_job(urgent);
+        cl.set_submit_tag(SubmitTag::default());
+        cl.run_until_done(&[h_big, h_urgent]);
+        let t_big = cl.timing(h_big).unwrap();
+        let t_urgent = cl.timing(h_urgent).unwrap();
+        assert!(
+            t_urgent.finished < t_big.finished - 3.0,
+            "urgent at {:.1} must beat big at {:.1}",
+            t_urgent.finished,
+            t_big.finished
+        );
+    }
+
+    /// EDF: the job whose owner's deadline is earliest wins free slots,
+    /// even when it was submitted after a deadline-less backlog.
+    #[test]
+    fn edf_grants_earliest_deadline_first() {
+        let mk = |name: &str, tasks: usize| JobProfile {
+            name: name.into(),
+            map_tasks: (0..tasks).map(|_| map_task(128)).collect(),
+            ..JobProfile::default()
+        };
+        let mut cl = Cluster::new(cfg(SchedulerPolicy::DeadlineEdf));
+        cl.set_submit_tag(SubmitTag {
+            priority: 0,
+            deadline: Some(10_000.0),
+        });
+        let relaxed = cl.submit_job(mk("relaxed", 560));
+        cl.set_submit_tag(SubmitTag {
+            priority: 0,
+            deadline: Some(60.0),
+        });
+        let tight = cl.submit_job(mk("tight", 140));
+        cl.set_submit_tag(SubmitTag::default());
+        let untagged = cl.submit_job(mk("untagged", 140));
+        cl.run_until_done(&[relaxed, tight, untagged]);
+        let f = |h| cl.timing(h).unwrap().finished;
+        // tight (60 s deadline) < relaxed (10 000 s) < untagged (∞).
+        assert!(f(tight) < f(relaxed), "tight deadline wins slots first");
+        assert!(f(relaxed) < f(untagged), "no deadline sorts last");
+    }
+
+    /// Satellite: with every deadline equal, EDF's id tie-break makes it
+    /// bitwise-identical to FIFO — submission order, nothing else.
+    #[test]
+    fn edf_equal_deadlines_degrade_to_submission_order() {
+        let jobs = || {
+            vec![
+                JobProfile {
+                    name: "a".into(),
+                    map_tasks: (0..200).map(|_| map_task(64)).collect(),
+                    ..JobProfile::default()
+                },
+                JobProfile {
+                    name: "b".into(),
+                    map_tasks: (0..77).map(|_| map_task(256)).collect(),
+                    reduce_tasks: (0..10).map(|_| map_task(16)).collect(),
+                    shuffle_bytes: 64 << 20,
+                    ..JobProfile::default()
+                },
+                JobProfile {
+                    name: "c".into(),
+                    map_tasks: vec![map_task(128)],
+                    ..JobProfile::default()
+                },
+            ]
+        };
+        let mut fifo = Cluster::new(cfg(SchedulerPolicy::Fifo));
+        let t_fifo = fifo.run_jobs(jobs());
+        let mut edf = Cluster::new(cfg(SchedulerPolicy::DeadlineEdf));
+        edf.set_submit_tag(SubmitTag {
+            priority: 0,
+            deadline: Some(500.0),
+        });
+        let t_edf = edf.run_jobs(jobs());
+        for (a, b) in t_fifo.iter().zip(t_edf.iter()) {
+            assert_eq!(a.finished.to_bits(), b.finished.to_bits(), "{}", a.name);
+            assert_eq!(a.queue_delay.to_bits(), b.queue_delay.to_bits(), "{}", a.name);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1436,6 +1582,71 @@ mod sim_properties {
                 }
                 for h in &handles {
                     prop_ensure!(cl.is_done(*h), "job left unfinished");
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// Satellite: every scheduling policy is a pure function of the
+    /// submitted jobs — replaying the same tagged job set (jitter on, so
+    /// the full duration pipeline is exercised) yields bitwise-identical
+    /// timings under Fifo, Fair, Priority, and DeadlineEdf alike.
+    #[test]
+    fn all_policies_are_deterministic_under_identical_submissions() {
+        dyno_common::prop::check(
+            "all_policies_are_deterministic_under_identical_submissions",
+            16,
+            |g| {
+                let n = g.len_in(2, 5);
+                (0..n)
+                    .map(|_| {
+                        (
+                            g.gen_range(1..180u64),     // map tasks
+                            g.gen_range(0..3000u64),    // deadline seconds (0 => None)
+                            g.gen_range(0..4u64) as u32, // priority
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |jobs| {
+                let run = |policy: SchedulerPolicy| -> Vec<u64> {
+                    let mut cl = Cluster::new(ClusterConfig {
+                        scheduler: policy,
+                        ..ClusterConfig::paper()
+                    });
+                    let mut handles = Vec::new();
+                    for &(maps, deadline, priority) in jobs {
+                        cl.set_submit_tag(SubmitTag {
+                            priority,
+                            deadline: (deadline > 0).then_some(deadline as f64),
+                        });
+                        handles.push(cl.submit_job(JobProfile {
+                            name: "d".into(),
+                            map_tasks: (0..maps)
+                                .map(|_| TaskProfile {
+                                    input_bytes: 48 << 20,
+                                    ..TaskProfile::default()
+                                })
+                                .collect(),
+                            ..JobProfile::default()
+                        }));
+                    }
+                    cl.run_until_done(&handles);
+                    handles
+                        .iter()
+                        .map(|&h| cl.timing(h).unwrap().finished.to_bits())
+                        .collect()
+                };
+                for policy in [
+                    SchedulerPolicy::Fifo,
+                    SchedulerPolicy::Fair,
+                    SchedulerPolicy::Priority,
+                    SchedulerPolicy::DeadlineEdf,
+                ] {
+                    let a = run(policy);
+                    let b = run(policy);
+                    prop_ensure!(a == b, "{policy:?} replay diverged");
                 }
                 Ok(())
             },

@@ -107,6 +107,30 @@ impl Histogram {
         let frac = ((rank - before as f64) / n as f64).clamp(0.0, 1.0);
         lo + (hi - lo) * frac
     }
+
+    /// Median ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile — the service tail-latency column. With fewer
+    /// than 1000 observations the rank lands in the bucket of the
+    /// maximum observation, so p999 interpolates just below
+    /// `quantile(1.0)` until the sample is large enough to resolve a
+    /// distinct 1-in-1000 tail.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -416,6 +440,57 @@ mod tests {
         // Out-of-range p clamps to the endpoints.
         assert_eq!(h.quantile(-3.0), h.quantile(0.0));
         assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    /// Satellite: the named tail helpers (p50/p95/p99/p999) at small
+    /// sample counts. The interesting boundary is p999 with n < 1000:
+    /// the rank `0.999 * n` exceeds `n - 1`, so the estimate must land in
+    /// the bucket of the maximum observation — never past it, and never
+    /// below p99.
+    #[test]
+    fn named_quantiles_at_small_sample_counts() {
+        // n = 1: every percentile reports the same (only) bucket.
+        let mut h = Histogram::default();
+        h.observe(2.0); // bucket 3: [1, 10)
+        for q in [h.p50(), h.p95(), h.p99(), h.p999()] {
+            assert!((1.0..=10.0).contains(&q), "n=1 q={q}");
+        }
+        assert!(h.p999() <= h.quantile(1.0));
+        // n = 2 with distinct buckets: the tail helpers all resolve to the
+        // upper bucket; the median sits at its edge.
+        let mut h = Histogram::default();
+        h.observe(0.05); // bucket 1
+        h.observe(2.0); // bucket 3
+        assert_eq!(h.p50(), Histogram::bucket_lo(2));
+        assert!(h.p95() > 1.0);
+        assert!(h.p99() > 1.0);
+        assert!(h.p99() <= h.p999() && h.p999() <= h.quantile(1.0));
+        // n = 100: p999's rank (99.9) still rounds into the final
+        // observation, so it cannot exceed quantile(1.0) and cannot drop
+        // below p99.
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.observe(2.0);
+        }
+        h.observe(30.0); // bucket 4: one 1-in-100 outlier
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.quantile(1.0));
+        assert!(h.p999() >= Histogram::bucket_lo(4), "tail outlier visible");
+        // n = 1002 with 2 outliers (> 1-in-1000 of the mass): the p999
+        // rank now clears the 1000-observation body, so p999 resolves the
+        // tail bucket while p99 stays in the body.
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.observe(2.0);
+        }
+        h.observe(500.0);
+        h.observe(500.0); // bucket 5: [100, 1000)
+        assert!(h.p99() < 10.0, "p99 stays in the body: {}", h.p99());
+        assert!(h.p999() >= Histogram::bucket_lo(5), "p999 sees the tail");
+        // Empty histogram: all named helpers report 0.0.
+        let h = Histogram::default();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p999(), 0.0);
     }
 
     #[test]

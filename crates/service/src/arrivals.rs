@@ -1,0 +1,207 @@
+//! Seeded bursty/diurnal arrival processes over a tenant population.
+//!
+//! The population-scale harness needs arrival streams that look like a
+//! production front door rather than a Poisson faucet: a diurnal rate
+//! curve (load swells and ebbs over the "day"), bursts (one tenant's
+//! dashboard refresh firing a volley of queries back-to-back), and a
+//! skewed tenant distribution (a few heavy tenants, a long tail of light
+//! ones — the usual power-law shape).
+//!
+//! [`generate_arrivals`] is a pure function of `(spec, seed)`: the same
+//! pair always yields the same `Vec<Arrival>`, byte for byte, which is
+//! what makes the whole `repro serve` pipeline replayable.
+
+use dyno_cluster::SimTime;
+use dyno_common::{Rng, SeedableRng, StdRng};
+
+use crate::service::TenantId;
+
+/// Shape of an arrival process. All times in simulated seconds.
+#[derive(Debug, Clone)]
+pub struct ArrivalSpec {
+    /// Number of arrivals to generate.
+    pub count: usize,
+    /// Tenant population size; tenants are drawn in `[0, tenants)`.
+    pub tenants: u32,
+    /// Mean inter-arrival gap at the baseline rate (exponential).
+    /// `0.0` puts every arrival at t=0.
+    pub mean_gap_secs: f64,
+    /// Diurnal modulation amplitude in `[0, 1)`: the instantaneous rate
+    /// is `baseline * (1 + amplitude * sin(2πt / period))`, so load
+    /// peaks mid-"day" and troughs mid-"night". `0.0` disables.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal curve.
+    pub diurnal_period_secs: f64,
+    /// Probability that an arrival opens a burst.
+    pub burst_prob: f64,
+    /// Arrivals per burst (following the opener, gap-compressed).
+    pub burst_len: usize,
+    /// Mean gap *inside* a burst (typically ≪ `mean_gap_secs`).
+    pub burst_gap_secs: f64,
+    /// Tenant skew exponent: tenant ids are drawn as
+    /// `floor(u^skew * tenants)`, so `skew > 1` concentrates arrivals on
+    /// low ids (heavy tenants) and `1.0` is uniform.
+    pub tenant_skew: f64,
+}
+
+impl Default for ArrivalSpec {
+    fn default() -> Self {
+        ArrivalSpec {
+            count: 0,
+            tenants: 1,
+            mean_gap_secs: 30.0,
+            diurnal_amplitude: 0.5,
+            diurnal_period_secs: 7200.0,
+            burst_prob: 0.1,
+            burst_len: 4,
+            burst_gap_secs: 1.0,
+            tenant_skew: 2.0,
+        }
+    }
+}
+
+/// One arrival: when, and whose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Simulated arrival time (non-decreasing across the stream).
+    pub at: SimTime,
+    /// The submitting tenant.
+    pub tenant: TenantId,
+}
+
+/// Generate the arrival stream for `spec` — deterministic in
+/// `(spec, seed)`, times non-decreasing, tenants in `[0, spec.tenants)`.
+pub fn generate_arrivals(spec: &ArrivalSpec, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(spec.count);
+    let mut t: f64 = 0.0;
+    let mut burst_left = 0usize;
+    for i in 0..spec.count {
+        if i > 0 && spec.mean_gap_secs > 0.0 {
+            // u ∈ [0, 1) keeps ln(1 - u) finite.
+            let u = rng.next_f64();
+            if burst_left > 0 {
+                burst_left -= 1;
+                t += -spec.burst_gap_secs * (1.0 - u).ln();
+            } else {
+                // Thin the baseline exponential by the diurnal rate at
+                // the *current* time (a piecewise approximation of an
+                // inhomogeneous Poisson process — exact enough here, and
+                // cheap and deterministic).
+                let rate = 1.0
+                    + spec.diurnal_amplitude
+                        * (2.0 * std::f64::consts::PI * t / spec.diurnal_period_secs).sin();
+                let mean = spec.mean_gap_secs / rate.max(0.05);
+                t += -mean * (1.0 - u).ln();
+                if spec.burst_len > 0 && rng.gen_bool(spec.burst_prob) {
+                    burst_left = spec.burst_len;
+                }
+            }
+        }
+        // Skewed tenant draw: u^skew pushes mass toward 0.
+        let u = rng.next_f64();
+        let tenant = ((u.powf(spec.tenant_skew) * spec.tenants as f64) as u32)
+            .min(spec.tenants.saturating_sub(1));
+        out.push(Arrival { at: t, tenant });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(count: usize, tenants: u32) -> ArrivalSpec {
+        ArrivalSpec {
+            count,
+            tenants,
+            ..ArrivalSpec::default()
+        }
+    }
+
+    #[test]
+    fn identical_seeds_are_identical_streams() {
+        let s = spec(500, 1000);
+        for seed in [0, 7, 42] {
+            let a = generate_arrivals(&s, seed);
+            let b = generate_arrivals(&s, seed);
+            assert_eq!(a, b, "seed {seed}");
+        }
+        assert_ne!(
+            generate_arrivals(&s, 1),
+            generate_arrivals(&s, 2),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn times_monotone_and_tenants_in_range() {
+        let s = spec(1000, 64);
+        let arrivals = generate_arrivals(&s, 9);
+        assert_eq!(arrivals.len(), 1000);
+        assert_eq!(arrivals[0].at, 0.0);
+        for w in arrivals.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        assert!(arrivals.iter().all(|a| a.tenant < 64));
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_tenant_ids() {
+        let skewed = generate_arrivals(&spec(2000, 100), 3);
+        let low = skewed.iter().filter(|a| a.tenant < 25).count();
+        // u^2 puts half the mass below u = 0.707 → tenant < 50; the
+        // bottom quarter of ids gets u < 0.5, i.e. half the draws.
+        assert!(
+            low > skewed.len() / 3,
+            "skew 2.0 must favor low ids: {low}/{} below 25",
+            skewed.len()
+        );
+        let uniform = generate_arrivals(
+            &ArrivalSpec {
+                tenant_skew: 1.0,
+                ..spec(2000, 100)
+            },
+            3,
+        );
+        let low_u = uniform.iter().filter(|a| a.tenant < 25).count();
+        assert!(low < 2 * low_u || low_u > 400, "uniform stays near 25%");
+    }
+
+    #[test]
+    fn bursts_compress_gaps() {
+        let bursty = generate_arrivals(
+            &ArrivalSpec {
+                burst_prob: 0.5,
+                burst_len: 5,
+                burst_gap_secs: 0.1,
+                diurnal_amplitude: 0.0,
+                ..spec(2000, 10)
+            },
+            11,
+        );
+        let calm = generate_arrivals(
+            &ArrivalSpec {
+                burst_prob: 0.0,
+                diurnal_amplitude: 0.0,
+                ..spec(2000, 10)
+            },
+            11,
+        );
+        // Same count, bursts pack arrivals tighter: the bursty stream
+        // ends earlier and contains many sub-second gaps.
+        let span = |v: &[Arrival]| v.last().unwrap().at;
+        assert!(span(&bursty) < span(&calm));
+        let tight = bursty.windows(2).filter(|w| w[1].at - w[0].at < 1.0).count();
+        assert!(tight > 400, "bursts must produce tight gaps: {tight}");
+    }
+
+    #[test]
+    fn zero_mean_gap_arrives_all_at_once() {
+        let s = ArrivalSpec {
+            mean_gap_secs: 0.0,
+            ..spec(50, 5)
+        };
+        assert!(generate_arrivals(&s, 1).iter().all(|a| a.at == 0.0));
+    }
+}

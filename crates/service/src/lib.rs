@@ -1,0 +1,40 @@
+//! # dyno-service
+//!
+//! The multi-tenant query-service front door: a long-running,
+//! deterministic (simulated-clock) service that owns ONE shared
+//! [`dyno_cluster::Cluster`] and multiplexes many tenants' resumable
+//! [`dyno_core::QueryDriver`]s behind a `submit` / `poll` / `cancel`
+//! ticket API.
+//!
+//! The paper's RAW/DYNOPT loop assumes queries arrive one at a time; the
+//! north star is a *service*: millions of users submitting concurrent
+//! queries against one shared cluster. This crate supplies the two
+//! mechanisms that shape makes necessary:
+//!
+//! * **Admission control** ([`TenantQuota`]): each tenant gets a cap on
+//!   in-flight queries (excess submissions queue *at admission*, before
+//!   any cluster resource is touched) and a cumulative slot-seconds
+//!   budget (exhausted budgets reject new submissions with a typed
+//!   error). Both paths are accounted per tenant and in the shared
+//!   metrics registry.
+//! * **Deadline-aware scheduling**: every submission carries an optional
+//!   deadline and a priority; the service stamps them into the cluster's
+//!   [`dyno_cluster::SubmitTag`] around each driver poll, so the
+//!   `Priority` / `DeadlineEdf` [`dyno_cluster::SchedulerPolicy`] arms
+//!   can grant slots SLA-first without the executor or driver knowing
+//!   tenants exist.
+//!
+//! Determinism contract: the service introduces no randomness of its
+//! own. Given the same sequence of `submit`/`advance_until`/`cancel`
+//! calls at the same simulated times, reports, traces, and metrics are
+//! byte-identical (property-tested in [`service`]). Arrival processes
+//! live in [`arrivals`], a pure function of `(spec, seed)`.
+
+pub mod arrivals;
+pub mod service;
+
+pub use arrivals::{generate_arrivals, Arrival, ArrivalSpec};
+pub use service::{
+    AdmitError, QueryOutcome, QueryService, QueryStatus, QueryTicket, ServiceConfig, SubmitOpts,
+    TenantId, TenantQuota, TenantStats,
+};

@@ -1,0 +1,935 @@
+//! The query service: one shared cluster, many tenants, three verbs.
+//!
+//! [`QueryService::submit`] admits (or queues, or rejects) a query for a
+//! tenant; [`QueryService::poll`] reports a ticket's status without
+//! driving anything; [`QueryService::advance_until`] /
+//! [`QueryService::drain`] pump the shared simulated clock, interleaving
+//! every admitted driver exactly like the concurrent workload runner —
+//! the service *is* that pump loop, grown an admission stage.
+//!
+//! ## Lifecycle of a ticket
+//!
+//! ```text
+//! submit ──► Rejected (slot-seconds quota exhausted; typed error)
+//!    │
+//!    ├────► Queued   (tenant at max in-flight; waits at admission)
+//!    │         │ a slot frees
+//!    ▼         ▼
+//!  Running (a QueryDriver on the shared cluster, polled under the
+//!    │      tenant's SubmitTag so Priority/DeadlineEdf see it)
+//!    ▼
+//!  Done (latency, slot-seconds charged to the tenant, SLO verdict)
+//! ```
+//!
+//! `cancel` detaches a ticket at any pre-Done point: a queued ticket
+//! simply leaves the queue; a running ticket closes its Query span and
+//! drops its driver (cluster jobs already in flight run to completion —
+//! Hadoop semantics: a killed client does not revoke submitted jobs —
+//! and their slot-seconds are still charged to the tenant).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use dyno_cluster::{Cluster, JobHandle, SimTime, SubmitTag};
+use dyno_core::{DriverPoll, Dyno, Mode, QueryDriver};
+use dyno_obs::trace::NO_SPAN;
+use dyno_obs::{Obs, SpanId, SpanKind};
+use dyno_tpch::queries::{self, QueryId};
+
+/// A tenant of the service. Plain integers: the population-scale harness
+/// draws thousands of them from a skewed distribution.
+pub type TenantId = u32;
+
+/// A submitted query's ticket — the handle `poll` and `cancel` take.
+/// Monotonically allocated in submission order, which also makes it the
+/// FIFO tie-breaker for admission-queue promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryTicket(pub u64);
+
+/// Per-tenant admission limits. The defaults are "unlimited": admission
+/// control only acts where the deployment configures it.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantQuota {
+    /// Queries a tenant may have running concurrently; submissions beyond
+    /// the cap wait in the admission queue (accounted, not rejected).
+    pub max_in_flight: usize,
+    /// Cumulative slot-seconds (map + reduce) a tenant may consume.
+    /// Charged when a query's jobs finish; once `used >= quota`, further
+    /// submissions are rejected with [`AdmitError::QuotaExhausted`].
+    pub slot_secs: f64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_in_flight: usize::MAX,
+            slot_secs: f64::INFINITY,
+        }
+    }
+}
+
+/// Service-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Admission limits, applied uniformly to every tenant.
+    pub quota: TenantQuota,
+}
+
+/// Per-submission options: how to run the query and how urgently.
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitOpts {
+    /// Execution mode (default DYNOPT).
+    pub mode: Mode,
+    /// Absolute simulated-time deadline. Flows into the cluster's
+    /// [`SubmitTag`] for `DeadlineEdf` slot grants and into the SLO
+    /// verdict of the [`QueryOutcome`].
+    pub deadline: Option<SimTime>,
+    /// Priority for the `Priority` scheduling policy (larger wins).
+    pub priority: u32,
+}
+
+impl Default for SubmitOpts {
+    fn default() -> Self {
+        SubmitOpts {
+            mode: Mode::Dynopt,
+            deadline: None,
+            priority: 0,
+        }
+    }
+}
+
+/// Why a submission was refused at the front door.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitError {
+    /// The tenant's cumulative slot-seconds consumption reached its
+    /// quota before this submission.
+    QuotaExhausted {
+        /// The refusing tenant.
+        tenant: TenantId,
+        /// Slot-seconds already charged.
+        used: f64,
+        /// The configured budget.
+        quota: f64,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::QuotaExhausted { tenant, used, quota } => write!(
+                f,
+                "tenant {tenant} rejected: {used:.1} slot-seconds used of {quota:.1} quota"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// The completed half of a ticket: everything the population harness
+/// folds into its tail-latency and SLO columns.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Display label, e.g. `Q7 (DYNOPT)`.
+    pub label: String,
+    /// Simulated time `submit` was called.
+    pub submitted_at: SimTime,
+    /// Simulated time the driver started (equals `submitted_at` unless
+    /// the ticket waited at admission).
+    pub started_at: SimTime,
+    /// Simulated time the answer was ready.
+    pub finished_at: SimTime,
+    /// Submit-to-answer latency — *includes* admission queueing.
+    pub latency_secs: f64,
+    /// Map + reduce slot-seconds this query's jobs consumed (what the
+    /// tenant's quota is charged).
+    pub slot_secs: f64,
+    /// Rows in the final result.
+    pub rows: u64,
+    /// Jobs the query submitted to the shared cluster.
+    pub jobs: usize,
+    /// `Some(true)` iff a deadline was set and the answer beat it.
+    pub met_deadline: Option<bool>,
+}
+
+/// What [`QueryService::poll`] reports for a ticket.
+#[derive(Debug, Clone)]
+pub enum QueryStatus {
+    /// Admitted, waiting at admission for the tenant's in-flight cap.
+    Queued,
+    /// A live driver on the shared cluster.
+    Running,
+    /// Finished; the outcome is final.
+    Done(Box<QueryOutcome>),
+    /// Detached by [`QueryService::cancel`] before completing.
+    Canceled,
+    /// The driver failed (query compilation or execution error).
+    Failed(String),
+}
+
+/// Per-tenant admission accounting, readable at any time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantStats {
+    /// Queries currently running.
+    pub in_flight: usize,
+    /// Slot-seconds charged so far.
+    pub slot_secs_used: f64,
+    /// Submissions admitted (straight to Running).
+    pub admitted: u64,
+    /// Submissions that waited at admission.
+    pub queued: u64,
+    /// Submissions rejected on quota.
+    pub rejected: u64,
+    /// Queries completed.
+    pub completed: u64,
+}
+
+/// What one running ticket is waiting for on the shared clock.
+enum Wait {
+    /// Ready to poll right away.
+    Poll,
+    /// Waiting on these cluster jobs.
+    Jobs(Vec<JobHandle>),
+    /// Client-side work (optimizer call, OOM penalty) until this time.
+    Time(SimTime),
+}
+
+/// A canceled-while-running ticket's unfinished business: the cluster
+/// still owes its submitted jobs (Hadoop semantics — a dead client does
+/// not revoke them), so the span tree closes and the slot-seconds charge
+/// lands only once those jobs finish.
+struct CancelSettle {
+    span: SpanId,
+    jobs: BTreeSet<JobHandle>,
+    at: SimTime,
+}
+
+enum EntryState {
+    Queued,
+    Running {
+        driver: Box<QueryDriver>,
+        wait: Wait,
+        jobs: BTreeSet<JobHandle>,
+    },
+    Done(Box<QueryOutcome>),
+    Canceled { settle: Option<CancelSettle> },
+    Failed(String),
+}
+
+struct Entry {
+    tenant: TenantId,
+    query: QueryId,
+    label: String,
+    opts: SubmitOpts,
+    submitted_at: SimTime,
+    state: EntryState,
+}
+
+/// The front door. Owns the [`Dyno`] (shared metastore, plan cache, obs
+/// handles) and the one shared [`Cluster`] every tenant's jobs contend
+/// on. Single-threaded and deterministic by construction: the only clock
+/// is the cluster's simulated clock, advanced explicitly by
+/// [`QueryService::advance_until`] / [`QueryService::drain`].
+pub struct QueryService {
+    dyno: Dyno,
+    cluster: Cluster,
+    quota: TenantQuota,
+    entries: BTreeMap<u64, Entry>,
+    next_ticket: u64,
+    tenants: BTreeMap<TenantId, TenantStats>,
+    /// Root span every admission-control event hangs off — its own pid
+    /// lane ("service") in the Chrome export, alongside the query lanes.
+    service_span: SpanId,
+    finished: bool,
+}
+
+impl QueryService {
+    /// Stand up a service over `dyno`'s data and observability handles.
+    /// The shared cluster is built from `dyno.opts.cluster` (set its
+    /// `scheduler` to `Priority`/`DeadlineEdf` for SLA-aware grants).
+    pub fn new(dyno: Dyno, cfg: ServiceConfig) -> Self {
+        let mut cluster = Cluster::new(dyno.opts.cluster.clone());
+        cluster.set_obs(
+            dyno.obs.tracer.clone(),
+            dyno.obs.metrics.clone(),
+            dyno.obs.timeline.clone(),
+        );
+        let service_span = if dyno.obs.tracer.is_enabled() {
+            dyno.obs
+                .tracer
+                .start_span(NO_SPAN, SpanKind::Phase, "service", cluster.now())
+        } else {
+            NO_SPAN
+        };
+        QueryService {
+            dyno,
+            cluster,
+            quota: cfg.quota,
+            entries: BTreeMap::new(),
+            next_ticket: 0,
+            tenants: BTreeMap::new(),
+            service_span,
+            finished: false,
+        }
+    }
+
+    /// The shared simulated clock.
+    pub fn now(&self) -> SimTime {
+        self.cluster.now()
+    }
+
+    /// The service's observability handles (tracer, metrics, timeline).
+    pub fn obs(&self) -> &Obs {
+        &self.dyno.obs
+    }
+
+    /// Admission accounting for one tenant (zeros if never seen).
+    pub fn tenant_stats(&self, tenant: TenantId) -> TenantStats {
+        self.tenants.get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// Every tenant that ever submitted, with its accounting.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, &TenantStats)> {
+        self.tenants.iter().map(|(&t, s)| (t, s))
+    }
+
+    /// Submit `query` for `tenant` at the current simulated time.
+    ///
+    /// Admission control runs immediately: a tenant over its
+    /// slot-seconds quota is rejected (typed error, accounted); a tenant
+    /// at its in-flight cap gets a ticket that waits at admission; any
+    /// other submission starts its driver right away. No simulated time
+    /// passes either way.
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        query: QueryId,
+        opts: SubmitOpts,
+    ) -> Result<QueryTicket, AdmitError> {
+        let now = self.cluster.now();
+        let tracer = self.dyno.obs.tracer.clone();
+        let stats = self.tenants.entry(tenant).or_default();
+        if stats.slot_secs_used >= self.quota.slot_secs {
+            stats.rejected += 1;
+            self.dyno.obs.metrics.incr("service.rejected", 1);
+            tracer.event(
+                self.service_span,
+                now,
+                "admission_reject",
+                vec![
+                    ("tenant", (tenant as u64).into()),
+                    ("slot_secs_used", stats.slot_secs_used.into()),
+                ],
+            );
+            return Err(AdmitError::QuotaExhausted {
+                tenant,
+                used: stats.slot_secs_used,
+                quota: self.quota.slot_secs,
+            });
+        }
+
+        let ticket = QueryTicket(self.next_ticket);
+        self.next_ticket += 1;
+        let label = format!("{} ({})", queries::prepare(query).spec.name, opts.mode.name());
+        let queue_at_admission = stats.in_flight >= self.quota.max_in_flight;
+        if queue_at_admission {
+            stats.queued += 1;
+            self.dyno.obs.metrics.incr("service.queued_at_admission", 1);
+            tracer.event(
+                self.service_span,
+                now,
+                "admission_queue",
+                vec![
+                    ("tenant", (tenant as u64).into()),
+                    ("in_flight", (stats.in_flight as u64).into()),
+                ],
+            );
+        } else {
+            stats.admitted += 1;
+            self.dyno.obs.metrics.incr("service.admitted", 1);
+        }
+        self.entries.insert(
+            ticket.0,
+            Entry {
+                tenant,
+                query,
+                label,
+                opts,
+                submitted_at: now,
+                state: EntryState::Queued,
+            },
+        );
+        if !queue_at_admission {
+            self.start_ticket(ticket.0);
+        }
+        Ok(ticket)
+    }
+
+    /// A ticket's status. Never advances the clock.
+    pub fn poll(&self, ticket: QueryTicket) -> Option<QueryStatus> {
+        self.entries.get(&ticket.0).map(|e| match &e.state {
+            EntryState::Queued => QueryStatus::Queued,
+            EntryState::Running { .. } => QueryStatus::Running,
+            EntryState::Done(outcome) => QueryStatus::Done(outcome.clone()),
+            EntryState::Canceled { .. } => QueryStatus::Canceled,
+            EntryState::Failed(msg) => QueryStatus::Failed(msg.clone()),
+        })
+    }
+
+    /// Detach a ticket. Returns `true` iff the ticket was still Queued or
+    /// Running. A running ticket's already-submitted jobs run to
+    /// completion on the cluster (a dead client does not revoke Hadoop
+    /// jobs); its span tree closes and its slot-seconds land on the
+    /// tenant once they finish (settled during the next pump).
+    pub fn cancel(&mut self, ticket: QueryTicket) -> bool {
+        let Some(e) = self.entries.get_mut(&ticket.0) else {
+            return false;
+        };
+        let now = self.cluster.now();
+        match std::mem::replace(&mut e.state, EntryState::Canceled { settle: None }) {
+            EntryState::Queued => {}
+            EntryState::Running { driver, jobs, .. } => {
+                self.tenants.entry(e.tenant).or_default().in_flight -= 1;
+                e.state = EntryState::Canceled {
+                    settle: Some(CancelSettle {
+                        span: driver.query_span(),
+                        jobs,
+                        at: now,
+                    }),
+                };
+            }
+            done => {
+                // Done / Canceled / Failed are final; put the state back.
+                e.state = done;
+                return false;
+            }
+        }
+        let tenant = e.tenant;
+        self.dyno.obs.metrics.incr("service.canceled", 1);
+        self.dyno.obs.tracer.event(
+            self.service_span,
+            now,
+            "cancel",
+            vec![("tenant", (tenant as u64).into()), ("ticket", ticket.0.into())],
+        );
+        // If nothing was in flight the settlement is immediate.
+        self.settle_canceled();
+        true
+    }
+
+    /// Pump the service until the simulated clock reaches `t`: promote
+    /// admission-queued tickets whose tenants have room, poll every
+    /// ready driver, and advance the clock through cluster events and
+    /// client-side waits — exactly the concurrent-runner loop. On
+    /// return, `now() == t` (or later only if already past `t`).
+    pub fn advance_until(&mut self, t: SimTime) {
+        self.pump(Some(t));
+        if self.cluster.now() < t {
+            self.cluster.run_until_time(t);
+            // The jump may have finished jobs drivers were waiting on.
+            self.pump(Some(t));
+        }
+    }
+
+    /// Pump until every ticket is final (Done / Canceled / Failed).
+    pub fn drain(&mut self) {
+        self.pump(None);
+    }
+
+    /// Close the service span so the Chrome export balances. Idempotent;
+    /// call after the last `drain` and before exporting the trace.
+    pub fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.dyno
+                .obs
+                .tracer
+                .end_span(self.service_span, self.cluster.now());
+        }
+    }
+
+    /// Start the driver for an admission-complete ticket.
+    fn start_ticket(&mut self, id: u64) {
+        let e = self.entries.get_mut(&id).expect("ticket exists");
+        debug_assert!(matches!(e.state, EntryState::Queued));
+        let prepared = queries::prepare(e.query);
+        match QueryDriver::new(&self.dyno, &prepared, e.opts.mode, &mut self.cluster) {
+            Ok(driver) => {
+                self.tenants.entry(e.tenant).or_default().in_flight += 1;
+                e.state = EntryState::Running {
+                    driver: Box::new(driver),
+                    wait: Wait::Poll,
+                    jobs: BTreeSet::new(),
+                };
+            }
+            Err(err) => {
+                self.dyno.obs.metrics.incr("service.failed", 1);
+                e.state = EntryState::Failed(err.to_string());
+            }
+        }
+    }
+
+    /// Settle canceled tickets whose orphaned jobs have all finished:
+    /// close every still-open span under the Query span (deepest spans
+    /// carry higher ids, so the exporter orders their closes correctly
+    /// at equal timestamps) and charge the jobs' slot-seconds to the
+    /// tenant. Returns true if anything settled.
+    fn settle_canceled(&mut self) -> bool {
+        let ids: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                matches!(&e.state, EntryState::Canceled { settle: Some(s) }
+                    if s.jobs.iter().all(|&h| self.cluster.is_done(h)))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        let mut any = false;
+        for id in ids {
+            let e = self.entries.get_mut(&id).expect("ticket exists");
+            let EntryState::Canceled { settle } = &mut e.state else {
+                unreachable!("filtered on Canceled above")
+            };
+            let s = settle.take().expect("filtered on Some above");
+            let slot_secs: f64 = s
+                .jobs
+                .iter()
+                .filter_map(|&h| self.cluster.timing(h))
+                .map(|t| t.map_slot_secs + t.reduce_slot_secs)
+                .sum();
+            let end = s
+                .jobs
+                .iter()
+                .filter_map(|&h| self.cluster.timing(h))
+                .map(|t| t.finished)
+                .fold(s.at, f64::max);
+            let spans = self.dyno.obs.tracer.spans();
+            for open in spans.iter().filter(|sp| {
+                sp.end.is_none()
+                    && (sp.id == s.span || dyno_obs::descends_from(&spans, sp.id, s.span))
+            }) {
+                self.dyno.obs.tracer.end_span(open.id, end);
+            }
+            self.tenants.entry(e.tenant).or_default().slot_secs_used += slot_secs;
+            any = true;
+        }
+        any
+    }
+
+    /// Promote admission-queued tickets (in ticket order — FIFO per
+    /// tenant and overall) while their tenants are under the in-flight
+    /// cap. Returns true if anything started.
+    fn promote_queued(&mut self) -> bool {
+        let queued: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| matches!(e.state, EntryState::Queued))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut any = false;
+        for id in queued {
+            let tenant = self.entries[&id].tenant;
+            if self.tenant_stats(tenant).in_flight >= self.quota.max_in_flight {
+                continue;
+            }
+            self.start_ticket(id);
+            any = true;
+        }
+        any
+    }
+
+    /// The shared-clock pump. With `target = Some(t)` it stops once no
+    /// progress is possible before `t`; with `None` it runs to quiescence.
+    fn pump(&mut self, target: Option<SimTime>) {
+        loop {
+            let mut progressed = self.promote_queued();
+            progressed |= self.settle_canceled();
+            let ids: Vec<u64> = self
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e.state, EntryState::Running { .. }))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in ids {
+                if self.poll_running(id) {
+                    progressed = true;
+                }
+            }
+            if progressed {
+                continue;
+            }
+            // Nothing pollable at the current time: advance the clock to
+            // the next thing that can happen — a cluster event or a
+            // client-side wait expiring — bounded by `target`.
+            let t_wake = self
+                .entries
+                .values()
+                .filter_map(|e| match &e.state {
+                    EntryState::Running { wait: Wait::Time(until), .. } => Some(*until),
+                    _ => None,
+                })
+                .fold(f64::INFINITY, f64::min);
+            let t_event = self.cluster.next_event_time().unwrap_or(f64::INFINITY);
+            let t_next = t_event.min(t_wake);
+            if let Some(t) = target {
+                if t_next > t {
+                    return;
+                }
+            }
+            if !t_next.is_finite() {
+                // Quiescent: nothing running can ever progress again.
+                debug_assert!(
+                    !self
+                        .entries
+                        .values()
+                        .any(|e| matches!(e.state, EntryState::Running { .. } | EntryState::Queued)),
+                    "service stalled: live tickets but no events or waits"
+                );
+                return;
+            }
+            if t_event <= t_wake {
+                self.cluster.step();
+            } else {
+                self.cluster.run_until_time(t_wake);
+            }
+        }
+    }
+
+    /// Poll one running ticket if its wait is satisfied. Returns true if
+    /// the driver was polled (progress was made).
+    fn poll_running(&mut self, id: u64) -> bool {
+        let e = self.entries.get_mut(&id).expect("ticket exists");
+        let EntryState::Running { driver, wait, jobs } = &mut e.state else {
+            return false;
+        };
+        let ready = match wait {
+            Wait::Poll => true,
+            Wait::Jobs(handles) => handles.iter().all(|&h| self.cluster.is_done(h)),
+            Wait::Time(until) => self.cluster.now() >= *until,
+        };
+        if !ready {
+            return false;
+        }
+        // Stamp the tenant's deadline/priority into the cluster's submit
+        // tag for the duration of the poll: every job the driver submits
+        // inherits it, which is what Priority/DeadlineEdf schedule on.
+        let saved = self.cluster.submit_tag();
+        self.cluster.set_submit_tag(SubmitTag {
+            priority: e.opts.priority,
+            deadline: e.opts.deadline,
+        });
+        let polled = driver.poll(&mut self.cluster);
+        self.cluster.set_submit_tag(saved);
+        match polled {
+            Ok(DriverPoll::NeedJobs(handles)) => {
+                jobs.extend(handles.iter().copied());
+                *wait = Wait::Jobs(handles);
+            }
+            Ok(DriverPoll::Reoptimizing { until }) => *wait = Wait::Time(until),
+            Ok(DriverPoll::Done(report)) => {
+                let now = self.cluster.now();
+                let slot_secs: f64 = jobs
+                    .iter()
+                    .filter_map(|&h| self.cluster.timing(h))
+                    .map(|t| t.map_slot_secs + t.reduce_slot_secs)
+                    .sum();
+                let outcome = QueryOutcome {
+                    tenant: e.tenant,
+                    label: e.label.clone(),
+                    submitted_at: e.submitted_at,
+                    started_at: driver.started_at(),
+                    finished_at: now,
+                    latency_secs: now - e.submitted_at,
+                    slot_secs,
+                    rows: report.rows,
+                    jobs: jobs.len(),
+                    met_deadline: e.opts.deadline.map(|d| now <= d),
+                };
+                let stats = self.tenants.entry(e.tenant).or_default();
+                stats.in_flight -= 1;
+                stats.slot_secs_used += slot_secs;
+                stats.completed += 1;
+                self.dyno.obs.metrics.incr("service.completed", 1);
+                self.dyno
+                    .obs
+                    .metrics
+                    .observe("service.latency_secs", outcome.latency_secs);
+                if let Some(met) = outcome.met_deadline {
+                    self.dyno.obs.metrics.incr(
+                        if met { "service.slo_met" } else { "service.slo_missed" },
+                        1,
+                    );
+                }
+                e.state = EntryState::Done(Box::new(outcome));
+            }
+            Err(err) => {
+                self.tenants.entry(e.tenant).or_default().in_flight -= 1;
+                self.dyno.obs.metrics.incr("service.failed", 1);
+                e.state = EntryState::Failed(err.to_string());
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_cluster::{ClusterConfig, SchedulerPolicy};
+    use dyno_core::DynoOptions;
+    use dyno_obs::validate_chrome_trace;
+    use dyno_storage::SimScale;
+    use dyno_tpch::TpchGenerator;
+
+    fn service_with(cluster: ClusterConfig, quota: TenantQuota) -> QueryService {
+        let env = TpchGenerator::new(1, SimScale::divisor(200_000)).generate();
+        let mut dyno = Dyno::new(
+            env.dfs,
+            DynoOptions {
+                cluster,
+                ..DynoOptions::default()
+            },
+        );
+        dyno.obs = Obs::enabled();
+        QueryService::new(dyno, ServiceConfig { quota })
+    }
+
+    fn service() -> QueryService {
+        service_with(ClusterConfig::paper(), TenantQuota::default())
+    }
+
+    fn outcome(s: &QueryService, t: QueryTicket) -> QueryOutcome {
+        match s.poll(t) {
+            Some(QueryStatus::Done(o)) => *o,
+            other => panic!("ticket {t:?} not done: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_drain_poll_roundtrip() {
+        let mut s = service();
+        let t1 = s.submit(1, QueryId::Q2, SubmitOpts::default()).unwrap();
+        let t2 = s.submit(2, QueryId::Q10, SubmitOpts::default()).unwrap();
+        assert!(matches!(s.poll(t1), Some(QueryStatus::Running)));
+        s.drain();
+        let o1 = outcome(&s, t1);
+        let o2 = outcome(&s, t2);
+        assert!(o1.jobs > 0 && o2.jobs > 0);
+        assert!(o1.latency_secs > 0.0);
+        assert!(o1.slot_secs > 0.0, "jobs must be charged");
+        assert_eq!(o1.submitted_at, o1.started_at, "no admission wait");
+        assert_eq!(s.tenant_stats(1).completed, 1);
+        assert_eq!(s.tenant_stats(2).completed, 1);
+        assert_eq!(s.obs().metrics.counter("service.completed"), 2);
+        assert!(s.poll(QueryTicket(99)).is_none());
+    }
+
+    #[test]
+    fn in_flight_cap_queues_at_admission() {
+        let mut s = service_with(
+            ClusterConfig::paper(),
+            TenantQuota {
+                max_in_flight: 1,
+                ..TenantQuota::default()
+            },
+        );
+        let t1 = s.submit(7, QueryId::Q2, SubmitOpts::default()).unwrap();
+        let t2 = s.submit(7, QueryId::Q2, SubmitOpts::default()).unwrap();
+        assert!(matches!(s.poll(t1), Some(QueryStatus::Running)));
+        assert!(matches!(s.poll(t2), Some(QueryStatus::Queued)));
+        assert_eq!(s.tenant_stats(7).queued, 1);
+        assert_eq!(s.obs().metrics.counter("service.queued_at_admission"), 1);
+        s.drain();
+        let o1 = outcome(&s, t1);
+        let o2 = outcome(&s, t2);
+        // The queued ticket started only after the first finished, and
+        // its latency includes the admission wait.
+        assert!(o2.started_at >= o1.finished_at);
+        assert_eq!(o2.submitted_at, 0.0);
+        assert!(o2.latency_secs >= o1.latency_secs);
+        assert!(o2.started_at > o2.submitted_at);
+    }
+
+    #[test]
+    fn slot_seconds_quota_rejects_with_typed_error() {
+        let mut s = service_with(
+            ClusterConfig::paper(),
+            TenantQuota {
+                slot_secs: 1.0,
+                ..TenantQuota::default()
+            },
+        );
+        let t1 = s.submit(3, QueryId::Q2, SubmitOpts::default()).unwrap();
+        s.drain();
+        assert!(outcome(&s, t1).slot_secs > 1.0, "query exceeds the tiny quota");
+        let err = s.submit(3, QueryId::Q2, SubmitOpts::default()).unwrap_err();
+        match err {
+            AdmitError::QuotaExhausted { tenant, used, quota } => {
+                assert_eq!(tenant, 3);
+                assert!(used >= quota);
+            }
+        }
+        assert_eq!(s.tenant_stats(3).rejected, 1);
+        assert_eq!(s.obs().metrics.counter("service.rejected"), 1);
+        // Another tenant is unaffected.
+        assert!(s.submit(4, QueryId::Q2, SubmitOpts::default()).is_ok());
+    }
+
+    #[test]
+    fn cancel_queued_and_running_tickets() {
+        let mut s = service_with(
+            ClusterConfig::paper(),
+            TenantQuota {
+                max_in_flight: 1,
+                ..TenantQuota::default()
+            },
+        );
+        let t1 = s.submit(1, QueryId::Q2, SubmitOpts::default()).unwrap();
+        let t2 = s.submit(1, QueryId::Q10, SubmitOpts::default()).unwrap();
+        // Cancel the queued ticket: it never starts.
+        assert!(s.cancel(t2));
+        assert!(matches!(s.poll(t2), Some(QueryStatus::Canceled)));
+        // Let the running one make some progress, then cancel it too.
+        s.advance_until(30.0);
+        assert!(s.cancel(t1));
+        assert!(matches!(s.poll(t1), Some(QueryStatus::Canceled)));
+        assert_eq!(s.tenant_stats(1).in_flight, 0);
+        // Cancel is not retroactive…
+        assert!(!s.cancel(t1));
+        // …and a fresh submission for the freed slot still works.
+        let t3 = s.submit(1, QueryId::Q2, SubmitOpts::default()).unwrap();
+        s.drain();
+        assert!(outcome(&s, t3).jobs > 0);
+        assert_eq!(s.obs().metrics.counter("service.canceled"), 2);
+        // The trace still balances: canceled spans were closed eagerly.
+        s.finish();
+        validate_chrome_trace(&s.obs().tracer.to_chrome_trace()).unwrap();
+    }
+
+    #[test]
+    fn deadlines_flow_into_outcomes_and_edf_grants() {
+        // Two queries at t=0 under EDF; the tight-deadline latecomer
+        // (higher ticket id, so FIFO would starve it) gets slots first.
+        let edf = ClusterConfig {
+            scheduler: SchedulerPolicy::DeadlineEdf,
+            ..ClusterConfig::paper()
+        };
+        let mut s = service_with(edf, TenantQuota::default());
+        let relaxed = s
+            .submit(
+                1,
+                QueryId::Q10,
+                SubmitOpts {
+                    deadline: Some(1e6),
+                    ..SubmitOpts::default()
+                },
+            )
+            .unwrap();
+        let tight = s
+            .submit(
+                2,
+                QueryId::Q2,
+                SubmitOpts {
+                    deadline: Some(400.0),
+                    ..SubmitOpts::default()
+                },
+            )
+            .unwrap();
+        s.drain();
+        let o_relaxed = outcome(&s, relaxed);
+        let o_tight = outcome(&s, tight);
+        assert_eq!(o_relaxed.met_deadline, Some(true));
+        assert!(o_tight.met_deadline.is_some());
+        // EDF must not let the relaxed query's full backlog run first:
+        // the tight query finishes before the relaxed one.
+        assert!(
+            o_tight.finished_at < o_relaxed.finished_at,
+            "tight {} vs relaxed {}",
+            o_tight.finished_at,
+            o_relaxed.finished_at
+        );
+    }
+
+    #[test]
+    fn advance_until_reaches_the_target_time() {
+        let mut s = service();
+        s.submit(1, QueryId::Q2, SubmitOpts::default()).unwrap();
+        s.advance_until(10.0);
+        assert_eq!(s.now(), 10.0);
+        s.advance_until(1e7);
+        assert_eq!(s.now(), 1e7, "idle service still reaches the target");
+        s.drain();
+        assert_eq!(s.obs().metrics.counter("service.completed"), 1);
+    }
+
+    /// Determinism contract: the same submit/advance schedule yields a
+    /// byte-identical trace, metrics dump, and outcome set.
+    #[test]
+    fn identical_schedules_are_byte_identical() {
+        let run = || {
+            let mut s = service_with(
+                ClusterConfig {
+                    scheduler: SchedulerPolicy::DeadlineEdf,
+                    ..ClusterConfig::paper()
+                },
+                TenantQuota {
+                    max_in_flight: 1,
+                    ..TenantQuota::default()
+                },
+            );
+            let mut tickets = Vec::new();
+            for (i, (q, at)) in [
+                (QueryId::Q2, 0.0),
+                (QueryId::Q10, 5.0),
+                (QueryId::Q2, 5.0),
+            ]
+            .iter()
+            .enumerate()
+            {
+                s.advance_until(*at);
+                tickets.push(
+                    s.submit(
+                        (i % 2) as TenantId,
+                        *q,
+                        SubmitOpts {
+                            deadline: Some(at + 2000.0),
+                            ..SubmitOpts::default()
+                        },
+                    )
+                    .unwrap(),
+                );
+            }
+            s.drain();
+            s.finish();
+            let outcomes: Vec<String> = tickets
+                .iter()
+                .map(|&t| {
+                    let o = outcome(&s, t);
+                    format!(
+                        "{} t{} {:?}/{:?}/{:?} slot={:?} met={:?}",
+                        o.label,
+                        o.tenant,
+                        o.submitted_at.to_bits(),
+                        o.started_at.to_bits(),
+                        o.finished_at.to_bits(),
+                        o.slot_secs.to_bits(),
+                        o.met_deadline
+                    )
+                })
+                .collect();
+            (
+                outcomes,
+                s.obs().tracer.to_chrome_trace(),
+                s.obs().metrics.render(),
+            )
+        };
+        let (o1, t1, m1) = run();
+        let (o2, t2, m2) = run();
+        assert_eq!(o1, o2, "outcomes must be byte-identical");
+        assert_eq!(t1, t2, "traces must be byte-identical");
+        assert_eq!(m1, m2, "metrics must be byte-identical");
+        validate_chrome_trace(&t1).unwrap();
+    }
+}

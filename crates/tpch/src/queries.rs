@@ -29,7 +29,7 @@ pub struct PreparedQuery {
 }
 
 /// Identifiers for the benchmark queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum QueryId {
     /// §4.1 restaurant/review/tweet example.
     Q1Restaurant,
