@@ -36,6 +36,13 @@
 #      pinning the whole front door (admission control, deadline-tagged
 #      submission, EDF slot grants, calibrated SLOs, tail-latency
 #      histograms) in one deterministic line.
+#  10. health smoke check: the same fixed-seed serve run with `--health
+#      --sample-one-in 4` must reproduce the committed `alerts:` line
+#      *exactly* (pinning the sliding-window burn-rate monitor), keep
+#      the `slo attainment:` line identical to step 9 (health is
+#      observe-only), and emit a tail-sampled trace that still
+#      validates (`balanced (validated)`, with a `sampled trace:`
+#      reduction line).
 #
 # The build is hermetic: every dependency is a path crate inside this
 # repository, so everything below runs with --offline and no registry.
@@ -210,5 +217,34 @@ fi
 echo "$serve_out" | grep -q '^latency (n=16): .*p999' ||
     { echo "FAIL: serve report has no p999 tail-latency column"; exit 1; }
 echo "ok: $got matches reference exactly"
+
+echo "== repro serve health smoke check (burn-rate alerts + tail sampling vs repro_output.txt) =="
+health_out=$(cargo run --release --offline -p dyno-bench --bin repro -- \
+    serve q2x6,q7x5,q9x5 100 --seed 11 --divisor 200000 \
+    --tenants 1000 --sched edf --arrival-mean 15 --slo-mult 2 \
+    --health --sample-one-in 4)
+got=$(echo "$health_out" | grep '^alerts: ') ||
+    { echo "FAIL: health serve report has no alerts line"; exit 1; }
+ref=$(grep '^alerts: ' repro_output.txt | head -1) ||
+    { echo "FAIL: no alerts line in repro_output.txt"; exit 1; }
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: burn-rate alert stream drifted:"
+    echo "  got: $got"
+    echo "  ref: $ref"
+    exit 1
+fi
+slo_health=$(echo "$health_out" | grep '^slo attainment: ')
+slo_plain=$(echo "$serve_out" | grep '^slo attainment: ')
+if [ "$slo_health" != "$slo_plain" ]; then
+    echo "FAIL: --health changed outcomes (must be observe-only):"
+    echo "  health: $slo_health"
+    echo "  plain:  $slo_plain"
+    exit 1
+fi
+echo "$health_out" | grep -q '^sampled trace: kept ' ||
+    { echo "FAIL: no tail-sampling reduction line"; exit 1; }
+echo "$health_out" | grep -q '^chrome trace: .*balanced (validated)' ||
+    { echo "FAIL: tail-sampled trace no longer validates"; exit 1; }
+echo "ok: $got matches reference exactly; sampled trace validates"
 
 echo "CI OK"

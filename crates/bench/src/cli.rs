@@ -23,7 +23,8 @@ pub const USAGE: &str = "usage: repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|
        repro serve <spec> <sf> [--tenants N] [--seed N] [--divisor N]
                    [--sched fifo|fair|priority|edf] [--arrival-mean S]
                    [--slo-mult X] [--max-in-flight N] [--quota-slot-secs S]
-                   [--tenant-skew X]
+                   [--tenant-skew X] [--health] [--health-interval S]
+                   [--sample-one-in N]
 
 queries:  q2 q5 q7 q8_prime q9_prime q10 q1_restaurant
 workload: comma-separated entries of the form name[@mode][xN],
@@ -39,7 +40,13 @@ serve:    stand up the multi-tenant service front door and replay a
           seeded bursty/diurnal arrival stream over --tenants tenants
           (admission control per tenant; deadlines from calibrated solo
           latency x --slo-mult; report p50..p999, SLO attainment,
-          rejections, and per-tenant fairness)";
+          rejections, and per-tenant fairness)
+health:   --health turns on sliding-window SLO burn-rate alerting and a
+          digest of the live health windows every --health-interval
+          simulated seconds (default 300); observe-only and
+          deterministic. --sample-one-in N keeps span trees only for
+          SLO-violating / OOM-recovering / alert-overlapping queries
+          plus a seeded 1-in-N baseline (0 = keep everything)";
 
 /// Parsed command line: positional arguments plus the shared flags.
 #[derive(Debug)]
@@ -151,6 +158,25 @@ pub fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
                     |s| s >= 1.0,
                 )?;
             }
+            "--health" => serve_opts.health = true,
+            "--health-interval" => {
+                serve_opts.health_interval = parse_flag_f64(
+                    it.next(),
+                    "--health-interval",
+                    "a positive number of seconds",
+                    |s| s > 0.0,
+                )?;
+            }
+            "--sample-one-in" => {
+                let n = parse_flag_u64(it.next(), "--sample-one-in", "a positive keep rate")?;
+                if n == 0 {
+                    return Err(BenchError::BadArg {
+                        arg: "--sample-one-in".to_owned(),
+                        expected: "a positive keep rate".to_owned(),
+                    });
+                }
+                serve_opts.sample_one_in = n;
+            }
             "--help" | "-h" => return Ok(None),
             other if other.starts_with('-') => {
                 return Err(BenchError::Usage(format!(
@@ -249,6 +275,11 @@ mod tests {
             "5000",
             "--arrival-mean",
             "12.5",
+            "--health",
+            "--health-interval",
+            "60",
+            "--sample-one-in",
+            "10",
         ])
         .unwrap()
         .unwrap();
@@ -260,6 +291,9 @@ mod tests {
         assert_eq!(cli.serve_opts.max_in_flight, 2);
         assert_eq!(cli.serve_opts.quota_slot_secs, 5000.0);
         assert_eq!(cli.serve_opts.arrival_mean, 12.5);
+        assert!(cli.serve_opts.health);
+        assert_eq!(cli.serve_opts.health_interval, 60.0);
+        assert_eq!(cli.serve_opts.sample_one_in, 10);
         assert_eq!(cli.workload_opts.arrival_mean, 12.5, "shared flag");
         assert_eq!(positional(&cli, 1, "<spec>").unwrap(), "q2x3");
         assert_eq!(parse_sf(&cli, 2).unwrap(), 100);
@@ -310,6 +344,11 @@ mod tests {
             (&["--quota-slot-secs", "-1"], "--quota-slot-secs"),
             (&["--tenant-skew", "0.5"], "--tenant-skew"),
             (&["--tenant-skew"], "--tenant-skew"),
+            (&["--health-interval", "0"], "--health-interval"),
+            (&["--health-interval", "NaN"], "--health-interval"),
+            (&["--health-interval"], "--health-interval"),
+            (&["--sample-one-in", "0"], "--sample-one-in"),
+            (&["--sample-one-in", "half"], "--sample-one-in"),
         ];
         for (args, flag) in bad_arg {
             match parse(args) {

@@ -24,10 +24,10 @@ use std::collections::BTreeMap;
 use dyno_cluster::{ClusterConfig, SchedulerPolicy};
 use dyno_common::{Rng, SeedableRng, StdRng};
 use dyno_core::{Mode, Strategy};
-use dyno_obs::{validate_chrome_trace, Histogram, Obs};
+use dyno_obs::{validate_chrome_trace, Histogram, Obs, SamplingPolicy, SloPolicy};
 use dyno_service::{
-    generate_arrivals, ArrivalSpec, QueryService, QueryStatus, ServiceConfig, SubmitOpts,
-    TenantId, TenantQuota,
+    generate_arrivals, ArrivalSpec, HealthDigest, QueryService, QueryStatus, ServiceConfig,
+    SubmitOpts, TenantId, TenantQuota,
 };
 use dyno_tpch::queries::{self, QueryId};
 
@@ -58,6 +58,16 @@ pub struct ServeOptions {
     /// heavy-hitter / noisy-neighbor scenario admission control exists
     /// for.
     pub tenant_skew: f64,
+    /// Live health monitoring: sliding-window SLO burn-rate alerting
+    /// plus a periodic digest of the service's health windows.
+    /// Observe-only — outcomes and scheduling are identical either way.
+    pub health: bool,
+    /// Simulated seconds between health digests (only with `health`).
+    pub health_interval: f64,
+    /// Tail-based trace sampling: keep span trees only for SLO-violating,
+    /// OOM-recovering, and alert-overlapping queries plus a seeded
+    /// 1-in-N baseline. `0` disables sampling (keep everything).
+    pub sample_one_in: u64,
 }
 
 impl Default for ServeOptions {
@@ -70,6 +80,9 @@ impl Default for ServeOptions {
             max_in_flight: 4,
             quota_slot_secs: f64::INFINITY,
             tenant_skew: 2.0,
+            health: false,
+            health_interval: 300.0,
+            sample_one_in: 0,
         }
     }
 }
@@ -139,6 +152,41 @@ pub struct ServeReport {
     pub trace_processes: usize,
     /// `"C"` telemetry counter records merged into the trace.
     pub trace_counters: usize,
+    /// Live health monitoring output (`--health`).
+    pub health: Option<HealthSummary>,
+    /// Tail-sampling accounting (`--sample-one-in`).
+    pub sampling: Option<SamplingSummary>,
+}
+
+/// Folded health-monitoring output: the periodic digests plus the alert
+/// stream, rendered deterministically.
+#[derive(Debug, Clone)]
+pub struct HealthSummary {
+    /// One digest per `health_interval` boundary crossed.
+    pub digests: Vec<HealthDigest>,
+    /// Rendered alert fire/resolve events, in stamp order.
+    pub events: Vec<String>,
+    /// Alert fires, total.
+    pub fired: u64,
+    /// Alert resolves, total.
+    pub resolved: u64,
+    /// Fast-rule (page) fires.
+    pub fast_fired: u64,
+    /// Slow-rule (ticket) fires.
+    pub slow_fired: u64,
+}
+
+/// Tail-sampling accounting: how many query span trees survived
+/// settlement and how much of the trace was shed.
+#[derive(Debug, Clone)]
+pub struct SamplingSummary {
+    /// Span trees retained (SLO violators, OOM recoveries, alert
+    /// overlap, seeded baseline).
+    pub kept: u64,
+    /// Span trees dropped at settlement.
+    pub dropped: u64,
+    /// Weighted fraction of trace records removed (spans count double).
+    pub dropped_fraction: f64,
 }
 
 /// Calibrate each distinct `(query, mode)`'s solo latency on a fresh,
@@ -212,12 +260,38 @@ pub fn run_serve(
                 max_in_flight: opts.max_in_flight,
                 slot_secs: opts.quota_slot_secs,
             },
+            health: opts.health.then(SloPolicy::default),
+            sampling: (opts.sample_one_in > 0).then(|| SamplingPolicy {
+                one_in: opts.sample_one_in,
+                seed,
+            }),
         },
     );
 
+    // With `--health` the harness pauses at every `health_interval`
+    // boundary to snapshot the live windows. The boundary stops are
+    // observe-only: settlements still happen at the same cluster event
+    // times, so outcomes match the plain path exactly.
+    let mut digests: Vec<HealthDigest> = Vec::new();
+    let mut next_digest = opts.health_interval;
+    let advance_with_digests =
+        |service: &mut QueryService, t: f64, digests: &mut Vec<HealthDigest>, next: &mut f64| {
+            while *next <= t {
+                service.advance_until(*next);
+                digests.extend(service.health_digest());
+                *next += opts.health_interval;
+            }
+            service.advance_until(t);
+        };
+    let step_digests = opts.health && opts.health_interval > 0.0;
+
     let mut tickets = Vec::with_capacity(stream.len());
     for (&(q, mode), arrival) in stream.iter().zip(arrivals.iter()) {
-        service.advance_until(arrival.at);
+        if step_digests {
+            advance_with_digests(&mut service, arrival.at, &mut digests, &mut next_digest);
+        } else {
+            service.advance_until(arrival.at);
+        }
         let solo = base[&(q, mode.name())];
         let ticket = service.submit(
             arrival.tenant,
@@ -230,11 +304,18 @@ pub fn run_serve(
         );
         tickets.push((arrival.tenant, ticket.ok()));
     }
+    if step_digests {
+        while !service.idle() {
+            let next = next_digest;
+            advance_with_digests(&mut service, next, &mut digests, &mut next_digest);
+        }
+    }
     service.drain();
     service.finish();
 
     // Fold the outcomes.
     let mut latency = Histogram::default();
+    let mut last_answer = 0.0f64;
     let mut slo_met = 0u64;
     let mut slo_total = 0u64;
     let mut completed = 0u64;
@@ -252,6 +333,7 @@ pub fn run_serve(
             }
         };
         completed += 1;
+        last_answer = last_answer.max(outcome.finished_at);
         latency.observe(outcome.latency_secs);
         if let Some(met) = outcome.met_deadline {
             slo_total += 1;
@@ -299,18 +381,44 @@ pub fn run_serve(
     let rejected = service.obs().metrics.counter("service.rejected");
     let queued_at_admission = service.obs().metrics.counter("service.queued_at_admission");
     let active_tenants = service.tenants().count();
-    let makespan_secs = service.now();
+    // Digest stepping overshoots the clock to the boundary after the
+    // last answer, so in health mode the makespan comes from the
+    // outcomes themselves.
+    let makespan_secs = if step_digests { last_answer } else { service.now() };
+
+    let health = opts.health.then(|| {
+        let m = service.health_monitor().expect("health configured");
+        let metrics = &service.obs().metrics;
+        HealthSummary {
+            digests,
+            events: m.events().iter().map(|e| e.render()).collect(),
+            fired: metrics.counter("service.alerts.fired"),
+            resolved: metrics.counter("service.alerts.resolved"),
+            fast_fired: metrics.counter("service.alerts.fast.fired"),
+            slow_fired: metrics.counter("service.alerts.slow.fired"),
+        }
+    });
+    let sampling = (opts.sample_one_in > 0).then(|| {
+        let metrics = &service.obs().metrics;
+        SamplingSummary {
+            kept: metrics.counter("service.trace.kept"),
+            dropped: metrics.counter("service.trace.dropped"),
+            dropped_fraction: service.obs().tracer.totals().dropped_fraction(),
+        }
+    });
 
     // One validated Chrome trace for the whole population: every query
-    // became a root span (own pid lane), the service span is one more
-    // lane, and the shared cluster's telemetry merges in as counters.
+    // that KEPT its span tree is a pid lane (all of them unless tail
+    // sampling shed some), the service span is one more lane, and the
+    // shared cluster's telemetry merges in as counters.
     let obs = service.obs();
     let trace_json = obs.tracer.to_chrome_trace_with(&obs.timeline);
     let summary = validate_chrome_trace(&trace_json).map_err(BenchError::InvalidTrace)?;
-    let expected = completed as usize + 1 + usize::from(summary.counters > 0);
+    let kept_lanes = sampling.as_ref().map_or(completed, |s| s.kept) as usize;
+    let expected = kept_lanes + 1 + usize::from(summary.counters > 0);
     if summary.processes != expected {
         return Err(BenchError::InvalidTrace(format!(
-            "{completed} queries + service lane but {} named pid lanes",
+            "{kept_lanes} kept queries + service lane but {} named pid lanes",
             summary.processes
         )));
     }
@@ -333,8 +441,10 @@ pub fn run_serve(
         worst_tenant,
         top_tenants,
         trace_json,
-        trace_processes: completed as usize + 1,
+        trace_processes: kept_lanes + 1,
         trace_counters: summary.counters,
+        health,
+        sampling,
     })
 }
 
@@ -359,6 +469,17 @@ impl ServeReport {
         )
     }
 
+    /// The machine-parseable alert summary (`--health` only) — ci.sh's
+    /// health smoke diffs this exact line.
+    pub fn alerts_line(&self) -> Option<String> {
+        self.health.as_ref().map(|h| {
+            format!(
+                "alerts: fired={} resolved={} (fast {}, slow {})",
+                h.fired, h.resolved, h.fast_fired, h.slow_fired
+            )
+        })
+    }
+
     /// Render the full deterministic text report.
     pub fn render(&self) -> String {
         let secs = |x: f64| format!("{x:.1}s");
@@ -380,12 +501,9 @@ impl ServeReport {
             self.completed, self.queued_at_admission, self.rejected, self.active_tenants,
         ));
         out.push_str(&format!(
-            "latency (n={}): p50 {}  p95 {}  p99 {}  p999 {}  makespan {}\n",
+            "latency (n={}): {}  makespan {}\n",
             self.latency.count,
-            secs(self.latency.p50()),
-            secs(self.latency.p95()),
-            secs(self.latency.p99()),
-            secs(self.latency.p999()),
+            self.latency.percentile_cols(&[0.50, 0.95, 0.99, 0.999], 0, "  "),
             secs(self.makespan_secs),
         ));
         out.push_str(&format!(
@@ -399,14 +517,53 @@ impl ServeReport {
         for r in &self.top_tenants {
             out.push_str(&format!(
                 "  tenant {:>5}  completed {:>4}  queued {:>3}  rejected {:>3}  \
-                 mean {:>9}  p99 {:>9}  slot-secs {:>10}\n",
+                 mean {:>9}  {}  slot-secs {:>10}\n",
                 r.tenant,
                 r.completed,
                 r.queued,
                 r.rejected,
                 secs(r.mean_latency_secs),
-                secs(r.hist.p99()),
+                r.hist.percentile_cols(&[0.99], 9, ""),
                 secs(r.slot_secs),
+            ));
+        }
+        if let Some(h) = &self.health {
+            out.push_str(&format!(
+                "health: {} digests @ {}s, {} fired ({} fast, {} slow), {} resolved\n",
+                h.digests.len(),
+                self.opts.health_interval,
+                h.fired,
+                h.fast_fired,
+                h.slow_fired,
+                h.resolved,
+            ));
+            for d in &h.digests {
+                out.push_str(&format!(
+                    "  t={:>9}  n {:>4}  {}  fast-burn {:>5.1}x  slow-burn {:>5.1}x  \
+                     rej {:>3}  queue {:>6.1}  util {:>5.2}  alerts {}\n",
+                    secs(d.at),
+                    d.completions,
+                    d.latency.percentile_cols(&[0.50, 0.95], 0, "  "),
+                    d.fast_burn,
+                    d.slow_burn,
+                    d.rejections,
+                    d.queue_depth_mean,
+                    d.slot_util_mean,
+                    d.active_alerts,
+                ));
+            }
+            for e in &h.events {
+                out.push_str(&format!("  {e}\n"));
+            }
+            out.push_str(self.alerts_line().as_deref().unwrap_or_default());
+            out.push('\n');
+        }
+        if let Some(s) = &self.sampling {
+            out.push_str(&format!(
+                "sampled trace: kept {}/{} span trees ({} of records dropped)\n",
+                s.kept,
+                s.kept + s.dropped,
+                pct(s.dropped_fraction),
             ));
         }
         out.push_str(&format!(
@@ -509,6 +666,142 @@ mod tests {
         assert!(r.completed >= 1);
         let text = r.render();
         assert!(text.contains(&format!("{} rejected", r.rejected)));
+    }
+
+    /// Health monitoring is observe-only: the same run with `--health`
+    /// on reports the same outcomes, and the health digests/alert
+    /// stream render deterministically.
+    #[test]
+    fn health_run_matches_plain_outcomes_and_renders_digests() {
+        let plain = run_serve("q2x6,q10x4", 1, 7, coarse(), small_opts()).unwrap();
+        let health = run_serve(
+            "q2x6,q10x4",
+            1,
+            7,
+            coarse(),
+            ServeOptions {
+                health: true,
+                health_interval: 120.0,
+                ..small_opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.slo_line(), health.slo_line(), "observe-only");
+        assert_eq!(plain.completed, health.completed);
+        assert_eq!(plain.latency.buckets, health.latency.buckets);
+        assert_eq!(plain.makespan_secs, health.makespan_secs);
+        let h = health.health.as_ref().expect("health summary present");
+        assert!(!h.digests.is_empty(), "a digest per crossed boundary");
+        let text = health.render();
+        assert!(text.contains("health: "), "{text}");
+        assert!(text.contains("fast-burn "), "{text}");
+        assert!(
+            text.contains(&health.alerts_line().unwrap()),
+            "alerts line rendered: {text}"
+        );
+        assert!(
+            text.lines().last().unwrap().starts_with("slo attainment: "),
+            "slo line stays last"
+        );
+        assert!(plain.health.is_none() && plain.alerts_line().is_none());
+    }
+
+    /// Satellite prop (b): the alert stream — fire/resolve events with
+    /// burn rates — is byte-identical across identical seeds.
+    #[test]
+    fn alert_stream_is_byte_identical_across_identical_seeds() {
+        prop::check(
+            "alert determinism",
+            2,
+            |g| g.gen_range(0..1000u64),
+            |&seed| {
+                let run_once = || {
+                    run_serve(
+                        "q2x4,q10x2",
+                        1,
+                        seed,
+                        coarse(),
+                        ServeOptions {
+                            health: true,
+                            health_interval: 120.0,
+                            slo_mult: 1.0, // tight SLOs so alerts can fire
+                            ..small_opts()
+                        },
+                    )
+                    .map_err(|e| e.to_string())
+                };
+                let a = run_once()?;
+                let b = run_once()?;
+                let (ha, hb) = (a.health.as_ref().unwrap(), b.health.as_ref().unwrap());
+                if ha.events != hb.events {
+                    return Err("same seed produced different alert events".to_owned());
+                }
+                if (ha.fired, ha.resolved) != (hb.fired, hb.resolved) {
+                    return Err("same seed produced different alert counts".to_owned());
+                }
+                if a.render() != b.render() {
+                    return Err("same seed produced different reports".to_owned());
+                }
+                Ok(())
+            },
+        );
+    }
+
+    /// Satellite prop (c): the tail-sampled trace validates, is a strict
+    /// subset of the unsampled trace from an identical run, and retains
+    /// every SLO violator's span tree.
+    #[test]
+    fn sampled_trace_is_a_valid_subset_retaining_all_violators() {
+        prop::check(
+            "tail sampling subset",
+            2,
+            |g| g.gen_range(0..1000u64),
+            |&seed| {
+                let opts = ServeOptions {
+                    slo_mult: 1.2, // a mix of met and missed deadlines
+                    ..small_opts()
+                };
+                let full = run_serve("q2x6,q10x4", 1, seed, coarse(), opts)
+                    .map_err(|e| e.to_string())?;
+                let sampled = run_serve(
+                    "q2x6,q10x4",
+                    1,
+                    seed,
+                    coarse(),
+                    ServeOptions {
+                        sample_one_in: 1 << 40, // baseline keeps nothing
+                        ..opts
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                if sampled.slo_line() != full.slo_line() {
+                    return Err("sampling changed outcomes".to_owned());
+                }
+                let s = sampled.sampling.as_ref().expect("sampling summary");
+                if s.kept + s.dropped != sampled.completed {
+                    return Err(format!(
+                        "every settlement decides: {} + {} != {}",
+                        s.kept, s.dropped, sampled.completed
+                    ));
+                }
+                let violators = sampled.slo_total - sampled.slo_met;
+                if s.kept < violators {
+                    return Err(format!(
+                        "{} violators but only {} span trees kept",
+                        violators, s.kept
+                    ));
+                }
+                if s.dropped > 0 && !(s.dropped_fraction > 0.0 && s.dropped_fraction < 1.0) {
+                    return Err(format!(
+                        "implausible reduction {}",
+                        s.dropped_fraction
+                    ));
+                }
+                dyno_obs::validate_trace_subset(&sampled.trace_json, &full.trace_json)
+                    .map_err(|e| format!("subset validation failed: {e}"))?;
+                Ok(())
+            },
+        );
     }
 
     /// Tentpole acceptance: `repro serve` with a fixed seed is

@@ -14,7 +14,7 @@
 //! across identical `(spec, sf, seed, arrival-mean, sched)` runs
 //! (property-tested below).
 
-use dyno_obs::Sample;
+use dyno_obs::{Histogram, Sample};
 
 use crate::error::BenchError;
 use crate::experiments::ExpScale;
@@ -100,6 +100,15 @@ pub fn render_timeline(report: &ConcurrentReport) -> String {
             secs(window / SPARK_WIDTH as f64),
         ));
     }
+    let mut lat = Histogram::default();
+    for r in &report.runs {
+        lat.observe(r.latency_secs);
+    }
+    out.push_str(&format!(
+        "latency (n={}): {}\n",
+        lat.count,
+        lat.percentile_cols(&[0.50, 0.95, 0.99, 0.999], 0, "  "),
+    ));
     out.push_str(&format!(
         "peak resident memory: {} bytes\n",
         st.peak_resident_bytes
@@ -177,6 +186,7 @@ mod tests {
         assert!(out.contains("queue-depth trajectory"), "{out}");
         assert!(out.contains("depth "), "{out}");
         assert!(out.contains("map utilization (60 buckets of "), "{out}");
+        assert!(out.contains("latency (n=2): p50 "), "{out}");
         assert!(
             out.lines().last().unwrap().starts_with("peak map utilization: "),
             "last line is the ci.sh diff line: {out}"

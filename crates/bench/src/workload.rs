@@ -456,15 +456,13 @@ impl WorkloadReport {
         out.push_str("per-query latency:\n");
         for s in &self.queries {
             out.push_str(&format!(
-                "  {:<24} runs {:>3}  min {:>9}  max {:>9}  mean {:>9}  p50 {:>9}  p95 {:>9}  p99 {:>9}  opt {:>9}",
+                "  {:<24} runs {:>3}  min {:>9}  max {:>9}  mean {:>9}  {}  opt {:>9}",
                 s.label,
                 s.runs,
                 secs(s.min_secs),
                 secs(s.max_secs),
                 secs(s.total_secs / s.runs as f64),
-                secs(s.hist.quantile(0.50)),
-                secs(s.hist.quantile(0.95)),
-                secs(s.hist.quantile(0.99)),
+                s.hist.percentile_cols(&[0.50, 0.95, 0.99], 9, "  "),
                 secs(s.opt_secs),
             ));
             if s.cache_lookups > 0 {
@@ -474,12 +472,10 @@ impl WorkloadReport {
             render_hist(&mut out, "    ", &s.hist);
         }
         out.push_str(&format!(
-            "overall latency (n={}, total {}, p50 {}, p95 {}, p99 {}):\n",
+            "overall latency (n={}, total {}, {}):\n",
             self.overall.count,
             secs(self.overall.sum),
-            secs(self.overall.quantile(0.50)),
-            secs(self.overall.quantile(0.95)),
-            secs(self.overall.quantile(0.99)),
+            self.overall.percentile_cols(&[0.50, 0.95, 0.99], 0, ", "),
         ));
         render_hist(&mut out, "    ", &self.overall);
 

@@ -512,6 +512,21 @@ impl Cluster {
         });
     }
 
+    /// The cluster's current telemetry state as a [`Sample`] at `now()` —
+    /// the same series [`sample_timeline`](Cluster::set_obs) records, but
+    /// on demand and independent of whether the timeline handle is
+    /// enabled. The service pump feeds this into its sliding health
+    /// windows (queue depth, slot utilization) each time the clock moves.
+    pub fn telemetry_sample(&self) -> Sample {
+        Sample {
+            time: self.now(),
+            map_busy: (self.config.map_slots() - self.free_map) as u32,
+            reduce_busy: (self.config.reduce_slots() - self.free_reduce) as u32,
+            pending_jobs: self.states.len() as u32,
+            resident_bytes: self.states.values().map(|s| s.mem_in_use).sum(),
+        }
+    }
+
     /// Time of the earliest pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.events.peek().map(|e| e.time)

@@ -531,6 +531,74 @@ pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
     Ok(summary)
 }
 
+/// Check that `sampled` is a well-formed Chrome trace whose event set is
+/// a subset of `full`'s (both must independently pass
+/// [`validate_chrome_trace`] first). Tail sampling drops whole span
+/// trees and then *renumbers* process lanes, so records are compared by
+/// the pid-independent multiset key `(ph, name, ts)` over `B`/`E`/`i`/`C`
+/// records; `M` process-name metadata is lane bookkeeping and excluded.
+/// Returns the two summaries `(sampled, full)` on success.
+pub fn validate_trace_subset(
+    sampled: &str,
+    full: &str,
+) -> Result<(ChromeTraceSummary, ChromeTraceSummary), String> {
+    let sampled_summary =
+        validate_chrome_trace(sampled).map_err(|e| format!("sampled trace invalid: {e}"))?;
+    let full_summary =
+        validate_chrome_trace(full).map_err(|e| format!("full trace invalid: {e}"))?;
+    let mut pool = record_multiset(full)?;
+    for (key, n) in record_multiset(sampled)? {
+        let available = pool.get_mut(&key);
+        match available {
+            Some(have) if *have >= n => *have -= n,
+            _ => {
+                return Err(format!(
+                    "sampled trace has {n} record(s) {key:?} but the full trace has {}",
+                    pool.get(&key).copied().unwrap_or(0)
+                ))
+            }
+        }
+    }
+    Ok((sampled_summary, full_summary))
+}
+
+/// Multiset of pid-independent record keys `(ph, name, ts bits)` for
+/// every non-metadata record in a trace (assumed already validated).
+fn record_multiset(s: &str) -> Result<BTreeMap<(String, String, u64), usize>, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let top = p.value()?;
+    let Json::Obj(top) = top else {
+        return Err("top level is not an object".to_owned());
+    };
+    let Some(Json::Arr(records)) = get(&top, "traceEvents") else {
+        return Err("no traceEvents array".to_owned());
+    };
+    let mut out: BTreeMap<(String, String, u64), usize> = BTreeMap::new();
+    for rec in records {
+        let Json::Obj(o) = rec else { continue };
+        let ph = match get(o, "ph") {
+            Some(Json::Str(ph)) => ph.clone(),
+            _ => continue,
+        };
+        if ph == "M" {
+            continue;
+        }
+        let name = match get(o, "name") {
+            Some(Json::Str(n)) => n.clone(),
+            _ => String::new(),
+        };
+        let ts = match get(o, "ts") {
+            Some(Json::Num(ts)) => ts.to_bits(),
+            _ => 0,
+        };
+        *out.entry((ph, name, ts)).or_insert(0) += 1;
+    }
+    Ok(out)
+}
+
 /// Minimal JSON value for validation.
 #[derive(Debug, Clone, PartialEq)]
 enum Json {
@@ -1032,5 +1100,33 @@ mod tests {
              {\"name\":\"x\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":0}]}",
         );
         assert!(r.is_err(), "{r:?}");
+    }
+
+    /// A two-query trace with one tree dropped is a valid subset of the
+    /// full export; the full trace is *not* a subset of the sampled one.
+    #[test]
+    fn sampled_trace_is_a_validated_subset() {
+        let t = Tracer::enabled();
+        let mk_query = |name: &str, at: f64| {
+            let q = t.start_span(NO_SPAN, SpanKind::Query, name, at);
+            let j = t.start_span(q, SpanKind::Job, "job", at + 0.5);
+            t.event(j, at + 0.7, "stats", vec![]);
+            t.end_span(j, at + 1.0);
+            t.end_span(q, at + 2.0);
+            q
+        };
+        let q1 = mk_query("q1", 0.0);
+        let _q2 = mk_query("q2", 10.0);
+        let full = t.to_chrome_trace();
+        t.drop_span_tree(q1);
+        let sampled = t.to_chrome_trace();
+        let (s, f) = validate_trace_subset(&sampled, &full).expect("subset holds");
+        assert_eq!(s.begins, 2, "one query tree left");
+        assert_eq!(f.begins, 4);
+        // The reverse direction must fail: full has records sampled lacks.
+        assert!(validate_trace_subset(&full, &sampled).is_err());
+        // And a doctored "sampled" trace with a foreign record fails.
+        let forged = full.replace("\"name\":\"q2\"", "\"name\":\"zz\"");
+        assert!(validate_trace_subset(&forged, &full).is_err());
     }
 }

@@ -1,0 +1,553 @@
+//! SLO burn-rate alerting over sliding windows (DESIGN.md §16).
+//!
+//! The service front door promises a deadline-attainment SLO (e.g. "90 %
+//! of deadline-bearing queries finish by their deadline"). The *error
+//! budget* is the allowed miss fraction, `1 - target`; the *burn rate*
+//! of a window is how fast that budget is being consumed:
+//!
+//! ```text
+//! burn = (misses / total) / (1 - target)
+//! ```
+//!
+//! A burn of 1× means the service is missing exactly its budget; 5× means
+//! the budget for the whole period is being burned five times too fast.
+//! Following the classic SRE multi-window scheme, the monitor evaluates
+//! two rules per scope: a **fast** rule (short window, high threshold)
+//! that catches sudden cliffs within a minute, and a **slow** rule (long
+//! window, 1× threshold) that catches sustained slow burn without paging
+//! on blips. Scopes are the global population plus each tenant, so a
+//! single tenant driven over its deadline by a noisy neighbor fires its
+//! own alert even while the global rate looks healthy.
+//!
+//! Determinism: alerts are only (fired | resolved) at evaluation
+//! boundaries — multiples of [`SloPolicy::eval_interval_secs`] on the
+//! simulated clock — never at arbitrary pump times, so the alert stream
+//! is a pure function of the observation stream regardless of how often
+//! the service happens to call [`HealthMonitor::eval_until`]. Idle gaps
+//! fast-forward in O(1): once every window has drained and no alert is
+//! active, boundaries where nothing can change are skipped wholesale.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::window::{WindowSpec, WindowedCounter};
+
+/// One burn-rate rule: a window length and the burn multiple at which it
+/// fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRule {
+    /// Window length in simulated seconds.
+    pub window_secs: f64,
+    /// Fire when the windowed burn rate reaches this multiple of the
+    /// error budget.
+    pub threshold: f64,
+}
+
+/// The SLO and its alerting rules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Target fraction of deadline-bearing queries that must meet their
+    /// deadline (e.g. `0.9`). The error budget is `1 - target`.
+    pub target: f64,
+    /// Fast-burn rule: short window, high threshold.
+    pub fast: BurnRule,
+    /// Slow-burn rule: long window, 1×-style threshold.
+    pub slow: BurnRule,
+    /// Evaluation cadence: alerts change state only at multiples of this
+    /// interval on the simulated clock.
+    pub eval_interval_secs: f64,
+    /// Minimum windowed completions before a rule may fire — suppresses
+    /// one-query-missed noise right after startup.
+    pub min_count: u64,
+    /// Ring slots per window.
+    pub buckets: usize,
+}
+
+impl Default for SloPolicy {
+    /// 90 % attainment, fast 5× over 60 s, slow 1× over 300 s, evaluated
+    /// every 5 s, at least 4 windowed completions to fire.
+    fn default() -> Self {
+        SloPolicy {
+            target: 0.9,
+            fast: BurnRule { window_secs: 60.0, threshold: 5.0 },
+            slow: BurnRule { window_secs: 300.0, threshold: 1.0 },
+            eval_interval_secs: 5.0,
+            min_count: 4,
+            buckets: 12,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// The error budget, floored away from zero so a 100 % target still
+    /// yields finite burn rates.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.target).max(1e-9)
+    }
+}
+
+/// What population an alert is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertScope {
+    /// Every deadline-bearing query in the service.
+    Global,
+    /// One tenant's queries.
+    Tenant(u64),
+}
+
+impl fmt::Display for AlertScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlertScope::Global => write!(f, "global"),
+            AlertScope::Tenant(t) => write!(f, "tenant{t}"),
+        }
+    }
+}
+
+/// Which burn rule an alert belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertRuleKind {
+    /// The short-window high-threshold rule.
+    Fast,
+    /// The long-window 1×-style rule.
+    Slow,
+}
+
+impl AlertRuleKind {
+    /// Lowercase label used in reports and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertRuleKind::Fast => "fast",
+            AlertRuleKind::Slow => "slow",
+        }
+    }
+}
+
+/// Fired or resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Burn crossed the threshold.
+    Fire,
+    /// Burn dropped back below the threshold.
+    Resolve,
+}
+
+/// One clock-stamped alert state change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Evaluation boundary (simulated seconds) at which the change took
+    /// effect.
+    pub at: f64,
+    /// Fire or resolve.
+    pub kind: AlertKind,
+    /// Scope the rule evaluated.
+    pub scope: AlertScope,
+    /// Which rule.
+    pub rule: AlertRuleKind,
+    /// Window length of that rule.
+    pub window_secs: f64,
+    /// Observed burn rate at the boundary.
+    pub burn: f64,
+    /// The rule's firing threshold.
+    pub threshold: f64,
+    /// Windowed deadline misses at the boundary.
+    pub errors: u64,
+    /// Windowed deadline-bearing completions at the boundary.
+    pub total: u64,
+}
+
+impl AlertEvent {
+    /// Canonical one-line rendering (used by the serve report; floats use
+    /// shortest-roundtrip `Display`, so the line is byte-stable).
+    pub fn render(&self) -> String {
+        let verb = match self.kind {
+            AlertKind::Fire => "fire",
+            AlertKind::Resolve => "resolve",
+        };
+        format!(
+            "alert {verb} t={} scope={} rule={} burn={:.1}x (missed {}/{} in {}s, threshold {}x)",
+            self.at, self.scope, self.rule.label(), self.burn, self.errors, self.total,
+            self.window_secs, self.threshold
+        )
+    }
+}
+
+/// A fire..resolve span of one (scope, rule) alert; `resolved_at` is
+/// `None` while still active. Used for tail-sampling overlap checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlertInterval {
+    /// Scope the alert covered.
+    pub scope: AlertScope,
+    /// Rule that fired.
+    pub rule: AlertRuleKind,
+    /// Fire boundary.
+    pub fired_at: f64,
+    /// Resolve boundary, if resolved.
+    pub resolved_at: Option<f64>,
+}
+
+/// Windowed miss/total counters for one scope under both rules.
+#[derive(Debug, Clone)]
+struct ScopeSeries {
+    fast_err: WindowedCounter,
+    fast_tot: WindowedCounter,
+    slow_err: WindowedCounter,
+    slow_tot: WindowedCounter,
+}
+
+impl ScopeSeries {
+    fn new(policy: &SloPolicy) -> Self {
+        let fast = WindowSpec { secs: policy.fast.window_secs, buckets: policy.buckets };
+        let slow = WindowSpec { secs: policy.slow.window_secs, buckets: policy.buckets };
+        ScopeSeries {
+            fast_err: WindowedCounter::new(fast),
+            fast_tot: WindowedCounter::new(fast),
+            slow_err: WindowedCounter::new(slow),
+            slow_tot: WindowedCounter::new(slow),
+        }
+    }
+
+    fn record(&mut self, t: f64, ok: bool) {
+        self.fast_tot.incr(t, 1);
+        self.slow_tot.incr(t, 1);
+        if !ok {
+            self.fast_err.incr(t, 1);
+            self.slow_err.incr(t, 1);
+        }
+    }
+
+    /// `(errors, total)` for `rule` in the window ending at `t`.
+    fn window(&self, rule: AlertRuleKind, t: f64) -> (u64, u64) {
+        match rule {
+            AlertRuleKind::Fast => (self.fast_err.sum(t), self.fast_tot.sum(t)),
+            AlertRuleKind::Slow => (self.slow_err.sum(t), self.slow_tot.sum(t)),
+        }
+    }
+}
+
+/// The live SLO monitor: per-scope windowed miss counters, burn-rate
+/// evaluation at fixed boundaries, and the resulting alert stream.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    policy: SloPolicy,
+    scopes: BTreeMap<AlertScope, ScopeSeries>,
+    /// Index into `intervals` for each currently-firing (scope, rule).
+    active: BTreeMap<(AlertScope, AlertRuleKind), usize>,
+    intervals: Vec<AlertInterval>,
+    events: Vec<AlertEvent>,
+    /// Next evaluation boundary.
+    next_eval: f64,
+    /// Time of the most recent observation (for idle fast-forward).
+    last_obs: f64,
+}
+
+impl HealthMonitor {
+    /// A monitor with no observations yet; the first boundary is one
+    /// interval in.
+    pub fn new(policy: SloPolicy) -> Self {
+        HealthMonitor {
+            next_eval: policy.eval_interval_secs,
+            policy,
+            scopes: BTreeMap::new(),
+            active: BTreeMap::new(),
+            intervals: Vec::new(),
+            events: Vec::new(),
+            last_obs: 0.0,
+        }
+    }
+
+    /// The policy under evaluation.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Record one deadline-bearing completion at simulated time `t` for
+    /// `tenant`: `ok` is whether it met its deadline. Feeds both the
+    /// global scope and the tenant scope.
+    pub fn record(&mut self, t: f64, tenant: u64, ok: bool) {
+        self.last_obs = self.last_obs.max(t);
+        let policy = self.policy;
+        self.scopes
+            .entry(AlertScope::Global)
+            .or_insert_with(|| ScopeSeries::new(&policy))
+            .record(t, ok);
+        self.scopes
+            .entry(AlertScope::Tenant(tenant))
+            .or_insert_with(|| ScopeSeries::new(&policy))
+            .record(t, ok);
+    }
+
+    /// Evaluate every boundary up to and including `t`, appending any
+    /// fire/resolve events. Idle stretches (every window drained, no
+    /// active alert, no observation newer than the longest window) skip
+    /// ahead without per-boundary work.
+    pub fn eval_until(&mut self, t: f64) {
+        let dt = self.policy.eval_interval_secs;
+        let horizon = self.policy.fast.window_secs.max(self.policy.slow.window_secs) + dt;
+        while self.next_eval <= t {
+            if self.active.is_empty() && self.next_eval > self.last_obs + horizon {
+                // Nothing in any window and nothing to resolve: no
+                // boundary before the next observation can change state.
+                let k = ((t - self.next_eval) / dt).floor().max(0.0);
+                self.next_eval += (k + 1.0) * dt;
+                return;
+            }
+            let b = self.next_eval;
+            self.eval_at(b);
+            self.next_eval = b + dt;
+        }
+    }
+
+    /// Evaluate both rules for every scope at boundary `b`.
+    fn eval_at(&mut self, b: f64) {
+        // BTreeMap iteration is ordered, so the event stream is ordered
+        // (Global first, then tenants ascending) and deterministic.
+        let scopes: Vec<AlertScope> = self.scopes.keys().copied().collect();
+        for scope in scopes {
+            for rule in [AlertRuleKind::Fast, AlertRuleKind::Slow] {
+                self.eval_rule(b, scope, rule);
+            }
+        }
+    }
+
+    fn eval_rule(&mut self, b: f64, scope: AlertScope, rule: AlertRuleKind) {
+        let series = &self.scopes[&scope];
+        let (errors, total) = series.window(rule, b);
+        let burn = if total == 0 {
+            0.0
+        } else {
+            (errors as f64 / total as f64) / self.policy.budget()
+        };
+        let rule_spec = match rule {
+            AlertRuleKind::Fast => self.policy.fast,
+            AlertRuleKind::Slow => self.policy.slow,
+        };
+        let key = (scope, rule);
+        let was = self.active.contains_key(&key);
+        // Hysteresis: `min_count` gates only *firing* (too few samples
+        // is not evidence of burn). An active alert stays active while
+        // the burn holds, even as the window drains below `min_count` —
+        // otherwise quantization flaps fire/resolve every few slots.
+        let firing = if was {
+            burn >= rule_spec.threshold
+        } else {
+            total >= self.policy.min_count && burn >= rule_spec.threshold
+        };
+        if firing == was {
+            return;
+        }
+        let kind = if firing { AlertKind::Fire } else { AlertKind::Resolve };
+        if firing {
+            self.active.insert(key, self.intervals.len());
+            self.intervals.push(AlertInterval {
+                scope,
+                rule,
+                fired_at: b,
+                resolved_at: None,
+            });
+        } else if let Some(i) = self.active.remove(&key) {
+            self.intervals[i].resolved_at = Some(b);
+        }
+        self.events.push(AlertEvent {
+            at: b,
+            kind,
+            scope,
+            rule,
+            window_secs: rule_spec.window_secs,
+            burn,
+            threshold: rule_spec.threshold,
+            errors,
+            total,
+        });
+    }
+
+    /// Every fire/resolve event so far, in boundary order.
+    pub fn events(&self) -> &[AlertEvent] {
+        &self.events
+    }
+
+    /// Every alert interval so far (active ones have `resolved_at: None`).
+    pub fn intervals(&self) -> &[AlertInterval] {
+        &self.intervals
+    }
+
+    /// Number of currently-firing (scope, rule) alerts.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Current burn rate, windowed `(errors, total)` for `(scope, rule)`
+    /// at time `t` (used by the live digest).
+    pub fn burn(&self, scope: AlertScope, rule: AlertRuleKind, t: f64) -> (f64, u64, u64) {
+        let Some(series) = self.scopes.get(&scope) else {
+            return (0.0, 0, 0);
+        };
+        let (errors, total) = series.window(rule, t);
+        let burn = if total == 0 {
+            0.0
+        } else {
+            (errors as f64 / total as f64) / self.policy.budget()
+        };
+        (burn, errors, total)
+    }
+
+    /// True iff any alert interval for `Global` or `Tenant(tenant)`
+    /// overlaps `[start, end]` (an unresolved interval extends to ∞).
+    /// Tail sampling keeps the span trees of overlapping queries.
+    pub fn overlaps_alert(&self, tenant: u64, start: f64, end: f64) -> bool {
+        self.intervals.iter().any(|iv| {
+            let in_scope = matches!(iv.scope, AlertScope::Global)
+                || iv.scope == AlertScope::Tenant(tenant);
+            let still_open = iv.resolved_at.map_or(true, |r| r >= start);
+            in_scope && iv.fired_at <= end && still_open
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SloPolicy {
+        SloPolicy { min_count: 2, ..SloPolicy::default() }
+    }
+
+    #[test]
+    fn quiet_monitor_never_alerts() {
+        let mut m = HealthMonitor::new(policy());
+        for i in 0..50 {
+            m.record(i as f64 * 2.0, 1, true);
+        }
+        m.eval_until(1000.0);
+        assert!(m.events().is_empty());
+        assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn fast_burn_fires_and_resolves() {
+        let mut m = HealthMonitor::new(policy());
+        // 4 misses out of 4 inside a 60 s window: burn = 1.0/0.1 = 10x ≥ 5x.
+        for i in 0..4 {
+            m.record(10.0 + i as f64, 7, false);
+        }
+        m.eval_until(15.0);
+        let fires: Vec<_> = m
+            .events()
+            .iter()
+            .filter(|e| e.kind == AlertKind::Fire)
+            .collect();
+        // Global + tenant7, fast + slow all fire. Each rule fires at the
+        // first boundary whose slot quantization covers the misses
+        // (t = 10..13): the fast rule's 5 s slots at boundary 10, the
+        // slow rule's 25 s slots already at boundary 5.
+        assert_eq!(fires.len(), 4, "events: {:#?}", m.events());
+        assert!(fires
+            .iter()
+            .all(|e| e.at == if e.rule == AlertRuleKind::Fast { 10.0 } else { 5.0 }));
+        assert!(fires.iter().any(|e| e.scope == AlertScope::Tenant(7)
+            && e.rule == AlertRuleKind::Fast
+            && e.burn >= 5.0));
+        assert_eq!(m.active_count(), 4);
+        // Once the window drains the alerts resolve (at the boundary
+        // right after the misses slide out).
+        m.eval_until(1000.0);
+        assert_eq!(m.active_count(), 0);
+        let resolves = m
+            .events()
+            .iter()
+            .filter(|e| e.kind == AlertKind::Resolve)
+            .count();
+        assert_eq!(resolves, 4);
+        // Fast resolves before slow (60 s vs 300 s windows).
+        let fast_res = m
+            .events()
+            .iter()
+            .find(|e| e.kind == AlertKind::Resolve && e.rule == AlertRuleKind::Fast)
+            .expect("fast resolve");
+        let slow_res = m
+            .events()
+            .iter()
+            .find(|e| e.kind == AlertKind::Resolve && e.rule == AlertRuleKind::Slow)
+            .expect("slow resolve");
+        assert!(fast_res.at < slow_res.at, "{} < {}", fast_res.at, slow_res.at);
+    }
+
+    #[test]
+    fn min_count_suppresses_single_miss_noise() {
+        let mut m = HealthMonitor::new(policy());
+        m.record(10.0, 1, false);
+        m.eval_until(60.0);
+        assert!(m.events().is_empty(), "one miss must not page");
+    }
+
+    #[test]
+    fn alert_timing_is_independent_of_eval_cadence() {
+        // Evaluating in many small steps or one big jump must produce the
+        // identical event stream: boundaries, not call times, decide.
+        let drive = |steps: &[f64]| {
+            let mut m = HealthMonitor::new(policy());
+            for i in 0..4 {
+                m.record(10.0 + i as f64, 3, false);
+            }
+            for &t in steps {
+                m.eval_until(t);
+            }
+            m.eval_until(2000.0);
+            m.events().to_vec()
+        };
+        let fine: Vec<f64> = (1..=400).map(|i| i as f64 * 5.0).collect();
+        let coarse = vec![2000.0];
+        assert_eq!(drive(&fine), drive(&coarse));
+    }
+
+    #[test]
+    fn idle_fast_forward_skips_to_current_boundary_grid() {
+        let mut m = HealthMonitor::new(policy());
+        m.record(1.0, 1, true);
+        m.record(2.0, 1, true);
+        // Jump 10M seconds: must return quickly and keep the boundary
+        // grid aligned to multiples of eval_interval_secs.
+        m.eval_until(10_000_000.0);
+        m.record(10_000_001.0, 1, false);
+        m.record(10_000_002.0, 1, false);
+        m.eval_until(10_000_005.0);
+        assert_eq!(m.events().len(), 4, "{:#?}", m.events());
+        assert!(m.events().iter().all(|e| e.at == 10_000_005.0));
+        // Boundary is a multiple of 5 s.
+        assert_eq!(m.events()[0].at % policy().eval_interval_secs, 0.0);
+    }
+
+    #[test]
+    fn overlap_queries_cover_active_and_resolved_intervals() {
+        let mut m = HealthMonitor::new(policy());
+        for i in 0..4 {
+            m.record(10.0 + i as f64, 2, false);
+        }
+        m.eval_until(15.0);
+        assert!(m.overlaps_alert(2, 14.0, 16.0), "active interval");
+        assert!(m.overlaps_alert(9, 14.0, 16.0), "global scope covers all");
+        assert!(!m.overlaps_alert(2, 0.0, 2.0), "before the fire");
+        m.eval_until(2000.0);
+        assert!(m.overlaps_alert(2, 100.0, 120.0), "inside fired..resolved");
+        assert!(!m.overlaps_alert(2, 1900.0, 1950.0), "after resolve");
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let e = AlertEvent {
+            at: 15.0,
+            kind: AlertKind::Fire,
+            scope: AlertScope::Tenant(7),
+            rule: AlertRuleKind::Fast,
+            window_secs: 60.0,
+            burn: 10.0,
+            threshold: 5.0,
+            errors: 4,
+            total: 4,
+        };
+        assert_eq!(
+            e.render(),
+            "alert fire t=15 scope=tenant7 rule=fast burn=10.0x (missed 4/4 in 60s, threshold 5x)"
+        );
+    }
+}

@@ -27,17 +27,24 @@
 
 pub mod chrome;
 pub mod critical;
+pub mod health;
 pub mod metrics;
 pub mod profile;
 pub mod timeline;
 pub mod trace;
+pub mod window;
 
-pub use chrome::{json_escape, validate_chrome_trace, ChromeTraceSummary};
+pub use chrome::{json_escape, validate_chrome_trace, validate_trace_subset, ChromeTraceSummary};
 pub use critical::CriticalPath;
+pub use health::{
+    AlertEvent, AlertInterval, AlertKind, AlertRuleKind, AlertScope, BurnRule, HealthMonitor,
+    SloPolicy,
+};
 pub use metrics::{Histogram, Metrics};
 pub use profile::{descends_from, OomRecovery, QueryProfile};
 pub use timeline::{Sample, Timeline, TimelineStats};
-pub use trace::{Event, FieldValue, Span, SpanId, SpanKind, Tracer};
+pub use trace::{Event, FieldValue, SamplingPolicy, Span, SpanId, SpanKind, TraceTotals, Tracer};
+pub use window::{WindowSpec, WindowedCounter, WindowedGauge, WindowedHistogram};
 
 /// The handles a component needs to be observable. Cloning clones every
 /// handle (they share their underlying log/registry/series).

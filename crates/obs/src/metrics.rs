@@ -123,6 +123,31 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// The shared percentile-column formatting used by the serve,
+    /// workload, and timeline reports: one `p<label> <value>` column per
+    /// requested quantile, joined by `sep`. Labels derive from the
+    /// quantile (`0.5 → p50`, `0.95 → p95`, `0.999 → p999`); values
+    /// render as `{:.1}s` seconds, right-padded to `width` when `width`
+    /// is non-zero (the aligned-table style) and bare otherwise (the
+    /// inline-summary style). Pure function of the bucket counts, hence
+    /// byte-stable — the reports' golden lines depend on it.
+    pub fn percentile_cols(&self, quantiles: &[f64], width: usize, sep: &str) -> String {
+        quantiles
+            .iter()
+            .map(|&p| {
+                let mills = (p * 1000.0).round() as u64;
+                let label = if mills % 10 == 0 { mills / 10 } else { mills };
+                let value = format!("{:.1}s", self.quantile(p));
+                if width > 0 {
+                    format!("p{label} {value:>width$}")
+                } else {
+                    format!("p{label} {value}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(sep)
+    }
+
     /// 99.9th percentile — the service tail-latency column. With fewer
     /// than 1000 observations the rank lands in the bucket of the
     /// maximum observation, so p999 interpolates just below
@@ -491,6 +516,57 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.p50(), 0.0);
         assert_eq!(h.p999(), 0.0);
+    }
+
+    /// Satellite: the shared percentile-column helper reproduces each
+    /// report's legacy formatting byte-for-byte — inline (serve), aligned
+    /// (workload per-query), and comma-separated (workload overall).
+    #[test]
+    fn percentile_cols_matches_legacy_report_formats() {
+        let mut h = Histogram::default();
+        for v in [0.5, 2.0, 2.0, 30.0] {
+            h.observe(v);
+        }
+        let secs = |x: f64| format!("{x:.1}s");
+        // Inline, two-space separated (serve latency line).
+        assert_eq!(
+            h.percentile_cols(&[0.50, 0.95, 0.99, 0.999], 0, "  "),
+            format!(
+                "p50 {}  p95 {}  p99 {}  p999 {}",
+                secs(h.p50()),
+                secs(h.p95()),
+                secs(h.p99()),
+                secs(h.p999())
+            )
+        );
+        // Aligned width-9 columns (workload per-query table).
+        assert_eq!(
+            h.percentile_cols(&[0.50, 0.95, 0.99], 9, "  "),
+            format!(
+                "p50 {:>9}  p95 {:>9}  p99 {:>9}",
+                secs(h.quantile(0.50)),
+                secs(h.quantile(0.95)),
+                secs(h.quantile(0.99))
+            )
+        );
+        // Comma-separated inline (workload overall line).
+        assert_eq!(
+            h.percentile_cols(&[0.50, 0.95, 0.99], 0, ", "),
+            format!(
+                "p50 {}, p95 {}, p99 {}",
+                secs(h.quantile(0.50)),
+                secs(h.quantile(0.95)),
+                secs(h.quantile(0.99))
+            )
+        );
+        // Single aligned column (serve per-tenant rows).
+        assert_eq!(
+            h.percentile_cols(&[0.99], 9, ""),
+            format!("p99 {:>9}", secs(h.p99()))
+        );
+        // Empty histogram still renders (all zeros), no panic.
+        let empty = Histogram::default();
+        assert_eq!(empty.percentile_cols(&[0.5], 0, ""), "p50 0.0s");
     }
 
     #[test]

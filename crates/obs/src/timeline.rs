@@ -166,8 +166,24 @@ impl Timeline {
         out
     }
 
-    /// Fold the series into summary statistics (zeros when empty).
+    /// Fold the series into summary statistics (zeros when empty; use
+    /// [`Timeline::try_stats`] to distinguish "empty" from "all-zero").
     pub fn stats(&self) -> TimelineStats {
+        self.try_stats().unwrap_or_else(|| {
+            let (map_cap, reduce_cap) = self.capacity();
+            TimelineStats {
+                map_cap,
+                reduce_cap,
+                ..TimelineStats::default()
+            }
+        })
+    }
+
+    /// Fold the series into summary statistics, or `None` when no sample
+    /// was ever recorded (disabled handle, or a run that never touched
+    /// the cluster) — the typed empty-timeline result, so callers render
+    /// "no samples" instead of a fabricated all-zero summary.
+    pub fn try_stats(&self) -> Option<TimelineStats> {
         let samples = self.samples();
         let (map_cap, reduce_cap) = self.capacity();
         TimelineStats::from_samples(&samples, map_cap, reduce_cap)
@@ -208,19 +224,21 @@ pub struct TimelineStats {
 }
 
 impl TimelineStats {
-    fn from_samples(samples: &[Sample], map_cap: u32, reduce_cap: u32) -> TimelineStats {
+    /// `None` iff `samples` is empty — no `unwrap` anywhere on the path,
+    /// so an empty series can never panic (regression-tested below).
+    fn from_samples(samples: &[Sample], map_cap: u32, reduce_cap: u32) -> Option<TimelineStats> {
+        let (first, last) = match (samples.first(), samples.last()) {
+            (Some(first), Some(last)) => (first, last),
+            _ => return None,
+        };
         let mut st = TimelineStats {
             map_cap,
             reduce_cap,
             ..TimelineStats::default()
         };
-        let Some(first) = samples.first() else {
-            return st;
-        };
-        let last = samples.last().unwrap();
         st.start = first.time;
         st.end = last.time;
-        st.peak_pending = samples.iter().map(|s| s.pending_jobs).max().unwrap();
+        st.peak_pending = samples.iter().map(|s| s.pending_jobs).max().unwrap_or(0);
         st.pending_secs = vec![0.0; st.peak_pending as usize + 1];
         let span = st.end - st.start;
         let mut map_area = 0.0;
@@ -246,7 +264,7 @@ impl TimelineStats {
             st.avg_reduce_busy = reduce_area / span;
             st.avg_pending = pending_area / span;
         }
-        st
+        Some(st)
     }
 
     /// Peak map slot utilization in `[0, 1]`.
@@ -302,6 +320,27 @@ mod tests {
         assert_eq!(t.capacity(), (0, 0));
         assert_eq!(t.render(), "== timeline map_cap=0 reduce_cap=0 ==\n");
         assert_eq!(t.stats(), TimelineStats::default());
+        assert_eq!(t.try_stats(), None);
+    }
+
+    /// Satellite regression: an enabled timeline that never recorded a
+    /// sample must not panic — `stats()` reports zeros under the recorded
+    /// capacities and `try_stats()` is the typed empty result.
+    #[test]
+    fn empty_enabled_timeline_has_typed_empty_stats() {
+        let t = Timeline::enabled();
+        t.set_capacity(140, 84);
+        assert_eq!(t.try_stats(), None, "no samples => typed empty");
+        let st = t.stats();
+        assert_eq!((st.map_cap, st.reduce_cap), (140, 84));
+        assert_eq!(st.peak_pending, 0);
+        assert!(st.pending_secs.is_empty());
+        assert_eq!(st.peak_map_util(), 0.0);
+        // A reset back to empty restores the typed empty result.
+        t.record(s(1.0, 2, 1, 1, 64));
+        assert!(t.try_stats().is_some());
+        t.reset();
+        assert_eq!(t.try_stats(), None);
     }
 
     #[test]

@@ -14,10 +14,20 @@
 //! `(start, id)`, and floats are formatted with Rust's deterministic
 //! shortest-roundtrip `Display` — so identical executions produce
 //! byte-identical logs.
+//!
+//! Tail-based sampling (DESIGN.md §16): span ids are allocated from a
+//! counter that never reuses ids, so [`Tracer::drop_span_tree`] can
+//! remove a settled query's entire span subtree (and its events) without
+//! disturbing ids handed out earlier or later. [`SamplingPolicy`] holds
+//! the seeded 1-in-N baseline-keep decision; *which* trees to keep
+//! (SLO-violating, OOM-recovering, alert-overlapping) is the service's
+//! call at settlement — the tracer only supplies the mechanism and the
+//! dropped-record accounting for the trace-size-reduction report line.
 
 use std::fmt;
 use std::sync::Arc;
 
+use dyno_common::rng::splitmix64;
 use dyno_common::Mutex;
 
 /// Identifier of a recorded span. `0` ([`NO_SPAN`]) means "no span" —
@@ -129,11 +139,86 @@ pub struct Event {
     pub fields: Vec<Field>,
 }
 
+/// Record counts for the sampling report: everything ever recorded vs
+/// what tail sampling dropped. "Records" weight a span as 2 (its Chrome
+/// export is a B/E pair) and an event as 1, matching the exported JSON
+/// line count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceTotals {
+    /// Spans ever started (kept + dropped).
+    pub spans_recorded: u64,
+    /// Events ever recorded (kept + dropped).
+    pub events_recorded: u64,
+    /// Spans removed by [`Tracer::drop_span_tree`].
+    pub spans_dropped: u64,
+    /// Events removed by [`Tracer::drop_span_tree`].
+    pub events_dropped: u64,
+}
+
+impl TraceTotals {
+    /// Fraction of exported records removed by sampling, in `[0, 1]`.
+    pub fn dropped_fraction(&self) -> f64 {
+        let total = 2 * self.spans_recorded + self.events_recorded;
+        if total == 0 {
+            return 0.0;
+        }
+        (2 * self.spans_dropped + self.events_dropped) as f64 / total as f64
+    }
+}
+
+/// The seeded 1-in-N baseline of tail sampling: queries that trip none of
+/// the keep-always rules are still retained when their ticket hashes into
+/// the baseline, so healthy traffic stays visible in sampled traces. The
+/// decision is a pure function of `(seed, key)` — deterministic across
+/// runs and independent of arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingPolicy {
+    /// Keep roughly 1 in this many baseline trees (0 or 1 keeps all).
+    pub one_in: u64,
+    /// Seed mixed into the per-key hash.
+    pub seed: u64,
+}
+
+impl SamplingPolicy {
+    /// True iff the baseline keeps the tree identified by `key` (the
+    /// service uses the admission ticket).
+    pub fn baseline_keep(&self, key: u64) -> bool {
+        if self.one_in <= 1 {
+            return true;
+        }
+        splitmix64(self.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % self.one_in == 0
+    }
+}
+
 #[derive(Debug, Default)]
 struct TraceLog {
+    /// Kept spans, always sorted by id (append-only except for
+    /// `drop_span_tree`, which preserves relative order).
     spans: Vec<Span>,
     events: Vec<Event>,
     next_seq: u64,
+    /// Id allocator — decoupled from `spans.len()` so dropped trees never
+    /// cause id reuse.
+    next_span_id: u64,
+    spans_dropped: u64,
+    events_dropped: u64,
+}
+
+impl TraceLog {
+    /// Ids of `root` and every transitive child. Parents are always
+    /// created before children, so ids within a subtree ascend and one
+    /// forward pass over the id-sorted span vec collects the closure.
+    fn subtree_ids(&self, root: SpanId) -> Vec<SpanId> {
+        let mut ids = vec![root];
+        for s in &self.spans {
+            // `ids` ascends (children outrank parents), so membership is
+            // a binary search and the whole closure is O(n log m).
+            if s.id != root && ids.binary_search(&s.parent).is_ok() {
+                ids.push(s.id);
+            }
+        }
+        ids
+    }
 }
 
 /// Handle to a shared structured event log. `Default` is the disabled
@@ -183,7 +268,8 @@ impl Tracer {
             return NO_SPAN;
         };
         let mut log = inner.lock();
-        let id = log.spans.len() as u64 + 1;
+        log.next_span_id += 1;
+        let id = log.next_span_id;
         log.spans.push(Span {
             id,
             parent,
@@ -203,8 +289,10 @@ impl Tracer {
             return;
         }
         let mut log = inner.lock();
-        if let Some(span) = log.spans.get_mut(id as usize - 1) {
-            span.end = Some(at);
+        // The span vec stays sorted by id even after sampling drops
+        // trees, so the id → slot lookup is a binary search.
+        if let Ok(i) = log.spans.binary_search_by_key(&id, |s| s.id) {
+            log.spans[i].end = Some(at);
         }
     }
 
@@ -243,13 +331,70 @@ impl Tracer {
         }
     }
 
-    /// Drop all recorded spans and events (sequence numbers restart).
+    /// Drop all recorded spans and events (sequence numbers, span ids,
+    /// and sampling counters restart).
     pub fn clear(&self) {
         if let Some(inner) = &self.inner {
             let mut log = inner.lock();
             log.spans.clear();
             log.events.clear();
             log.next_seq = 0;
+            log.next_span_id = 0;
+            log.spans_dropped = 0;
+            log.events_dropped = 0;
+        }
+    }
+
+    /// Remove `root` and its whole subtree — spans and the events owned
+    /// by them — from the log, accounting the removal in
+    /// [`Tracer::totals`]. Ids of surviving spans are untouched (the
+    /// allocator never reuses ids), so handles held elsewhere stay
+    /// valid. No-op for [`NO_SPAN`], an unknown id, or when disabled.
+    pub fn drop_span_tree(&self, root: SpanId) {
+        let Some(inner) = &self.inner else { return };
+        if root == NO_SPAN {
+            return;
+        }
+        let mut log = inner.lock();
+        if log.spans.binary_search_by_key(&root, |s| s.id).is_err() {
+            return;
+        }
+        let ids = log.subtree_ids(root);
+        let before_spans = log.spans.len();
+        let before_events = log.events.len();
+        log.spans.retain(|s| ids.binary_search(&s.id).is_err());
+        log.events.retain(|e| ids.binary_search(&e.span).is_err());
+        log.spans_dropped += (before_spans - log.spans.len()) as u64;
+        log.events_dropped += (before_events - log.events.len()) as u64;
+    }
+
+    /// True iff any event named `name` is recorded on `root` or a span in
+    /// its subtree (e.g. `"oom_recovery"` — the tail-sampling keep rule).
+    pub fn subtree_contains_event(&self, root: SpanId, name: &str) -> bool {
+        let Some(inner) = &self.inner else { return false };
+        if root == NO_SPAN {
+            return false;
+        }
+        let log = inner.lock();
+        let ids = log.subtree_ids(root);
+        log.events
+            .iter()
+            .any(|e| e.name == name && ids.binary_search(&e.span).is_ok())
+    }
+
+    /// Recorded-vs-dropped record accounting (see [`TraceTotals`]).
+    pub fn totals(&self) -> TraceTotals {
+        match &self.inner {
+            Some(inner) => {
+                let log = inner.lock();
+                TraceTotals {
+                    spans_recorded: log.next_span_id,
+                    events_recorded: log.next_seq,
+                    spans_dropped: log.spans_dropped,
+                    events_dropped: log.events_dropped,
+                }
+            }
+            None => TraceTotals::default(),
         }
     }
 
@@ -366,5 +511,80 @@ mod tests {
         t.clear();
         t.event(NO_SPAN, 0.0, "b", vec![]);
         assert_eq!(t.events()[0].seq, 1);
+        // Span ids restart too.
+        let s = t.start_span(NO_SPAN, SpanKind::Query, "q", 0.0);
+        assert_eq!(s, 1);
+    }
+
+    #[test]
+    fn drop_span_tree_removes_subtree_and_keeps_ids_stable() {
+        let t = Tracer::enabled();
+        let q1 = t.start_span(NO_SPAN, SpanKind::Query, "q1", 0.0);
+        let j1 = t.start_span(q1, SpanKind::Job, "j1", 1.0);
+        let q2 = t.start_span(NO_SPAN, SpanKind::Query, "q2", 2.0);
+        let j2 = t.start_span(q2, SpanKind::Job, "j2", 3.0);
+        t.event(j1, 1.5, "inside_q1", vec![]);
+        t.event(j2, 3.5, "inside_q2", vec![]);
+        t.event(NO_SPAN, 4.0, "orphan", vec![]);
+        for s in [j1, j2, q1, q2] {
+            t.end_span(s, 5.0);
+        }
+        t.drop_span_tree(q1);
+        let spans = t.spans();
+        let ids: Vec<SpanId> = spans.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![q2, j2], "q1's subtree gone, survivors intact");
+        let events = t.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["inside_q2", "orphan"]);
+        // Surviving spans still addressable by id after the drop.
+        t.end_span(j2, 6.0);
+        assert_eq!(t.spans()[1].end, Some(6.0));
+        // New spans never reuse dropped ids.
+        let q3 = t.start_span(NO_SPAN, SpanKind::Query, "q3", 7.0);
+        assert!(q3 > j2);
+        // Accounting: 2 spans + 1 event dropped out of 5 spans + 3 events.
+        let tot = t.totals();
+        assert_eq!(tot.spans_dropped, 2);
+        assert_eq!(tot.events_dropped, 1);
+        assert_eq!(tot.spans_recorded, 5);
+        assert_eq!(tot.events_recorded, 3);
+        let expect = (2.0 * 2.0 + 1.0) / (2.0 * 5.0 + 3.0);
+        assert_eq!(tot.dropped_fraction(), expect);
+        // Dropping an unknown or null id is a no-op.
+        t.drop_span_tree(q1);
+        t.drop_span_tree(NO_SPAN);
+        assert_eq!(t.totals().spans_dropped, 2);
+    }
+
+    #[test]
+    fn subtree_contains_event_scans_descendants_only() {
+        let t = Tracer::enabled();
+        let q1 = t.start_span(NO_SPAN, SpanKind::Query, "q1", 0.0);
+        let w1 = t.start_span(q1, SpanKind::Wave, "w", 0.5);
+        let q2 = t.start_span(NO_SPAN, SpanKind::Query, "q2", 1.0);
+        t.event(w1, 0.7, "oom_recovery", vec![]);
+        assert!(t.subtree_contains_event(q1, "oom_recovery"));
+        assert!(!t.subtree_contains_event(q2, "oom_recovery"));
+        assert!(!t.subtree_contains_event(q1, "other"));
+        assert!(!t.subtree_contains_event(NO_SPAN, "oom_recovery"));
+        assert!(!Tracer::disabled().subtree_contains_event(1, "oom_recovery"));
+    }
+
+    #[test]
+    fn sampling_policy_baseline_is_deterministic_and_seeded() {
+        let p = SamplingPolicy { one_in: 4, seed: 42 };
+        let kept: Vec<u64> = (0..1000).filter(|&k| p.baseline_keep(k)).collect();
+        let again: Vec<u64> = (0..1000).filter(|&k| p.baseline_keep(k)).collect();
+        assert_eq!(kept, again, "pure function of (seed, key)");
+        // Roughly 1 in 4 — loose bounds, the point is it's neither all
+        // nor nothing.
+        assert!(kept.len() > 150 && kept.len() < 350, "kept {}", kept.len());
+        // A different seed keeps a different subset.
+        let p2 = SamplingPolicy { one_in: 4, seed: 43 };
+        let other: Vec<u64> = (0..1000).filter(|&k| p2.baseline_keep(k)).collect();
+        assert_ne!(kept, other);
+        // one_in <= 1 keeps everything.
+        let all = SamplingPolicy { one_in: 0, seed: 1 };
+        assert!((0..100).all(|k| all.baseline_keep(k)));
     }
 }

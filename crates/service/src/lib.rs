@@ -35,6 +35,6 @@ pub mod service;
 
 pub use arrivals::{generate_arrivals, Arrival, ArrivalSpec};
 pub use service::{
-    AdmitError, QueryOutcome, QueryService, QueryStatus, QueryTicket, ServiceConfig, SubmitOpts,
-    TenantId, TenantQuota, TenantStats,
+    AdmitError, HealthDigest, QueryOutcome, QueryService, QueryStatus, QueryTicket, ServiceConfig,
+    SubmitOpts, TenantId, TenantQuota, TenantStats,
 };

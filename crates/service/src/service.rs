@@ -33,7 +33,10 @@ use std::fmt;
 use dyno_cluster::{Cluster, JobHandle, SimTime, SubmitTag};
 use dyno_core::{DriverPoll, Dyno, Mode, QueryDriver};
 use dyno_obs::trace::NO_SPAN;
-use dyno_obs::{Obs, SpanId, SpanKind};
+use dyno_obs::{
+    AlertKind, AlertRuleKind, AlertScope, HealthMonitor, Histogram, Obs, SamplingPolicy,
+    SloPolicy, SpanId, SpanKind, WindowSpec, WindowedCounter, WindowedGauge, WindowedHistogram,
+};
 use dyno_tpch::queries::{self, QueryId};
 
 /// A tenant of the service. Plain integers: the population-scale harness
@@ -73,6 +76,16 @@ impl Default for TenantQuota {
 pub struct ServiceConfig {
     /// Admission limits, applied uniformly to every tenant.
     pub quota: TenantQuota,
+    /// Live SLO monitoring and burn-rate alerting (DESIGN.md §16).
+    /// Observe-only: enabling it never changes scheduling, admission, or
+    /// any outcome — only the alert stream, `service.alerts.*` metrics,
+    /// and the health digest.
+    pub health: Option<SloPolicy>,
+    /// Tail-based trace sampling at query settlement. `None` keeps every
+    /// span tree (the pre-sampling behavior); `Some` keeps SLO-violating,
+    /// OOM-recovering, and alert-overlapping queries plus the seeded
+    /// 1-in-N baseline, and drops the rest from the trace.
+    pub sampling: Option<SamplingPolicy>,
 }
 
 /// Per-submission options: how to run the query and how urgently.
@@ -227,6 +240,69 @@ struct Entry {
     state: EntryState,
 }
 
+/// The live-health machinery (DESIGN.md §16): sliding windows fed by the
+/// pump loop, the burn-rate monitor, and the bookkeeping for stamping
+/// alert events into the trace exactly once.
+struct HealthState {
+    monitor: HealthMonitor,
+    /// Global submit-to-answer latency over the fast (short) window.
+    latency_fast: WindowedHistogram,
+    /// Global latency over the slow (long) window.
+    latency_slow: WindowedHistogram,
+    /// Per-tenant latency over the slow window (created on first
+    /// completion; the digest and future per-tenant surfaces read it).
+    tenant_latency: BTreeMap<TenantId, WindowedHistogram>,
+    /// Admission rejections over the fast window.
+    rejections: WindowedCounter,
+    /// Queued work: admission-queued tickets + cluster pending jobs.
+    queue_depth: WindowedGauge,
+    /// Busy map slots as a fraction of capacity, time-weighted.
+    slot_util: WindowedGauge,
+    /// Alert events already stamped into the trace and metrics.
+    emitted: usize,
+}
+
+impl HealthState {
+    fn new(policy: SloPolicy) -> Self {
+        let fast = WindowSpec { secs: policy.fast.window_secs, buckets: policy.buckets };
+        let slow = WindowSpec { secs: policy.slow.window_secs, buckets: policy.buckets };
+        HealthState {
+            monitor: HealthMonitor::new(policy),
+            latency_fast: WindowedHistogram::new(fast),
+            latency_slow: WindowedHistogram::new(slow),
+            tenant_latency: BTreeMap::new(),
+            rejections: WindowedCounter::new(fast),
+            queue_depth: WindowedGauge::new(fast),
+            slot_util: WindowedGauge::new(fast),
+            emitted: 0,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the live health windows — what
+/// `repro serve --health` prints at each digest interval.
+#[derive(Debug, Clone)]
+pub struct HealthDigest {
+    /// Simulated time of the snapshot.
+    pub at: SimTime,
+    /// Completions inside the fast window.
+    pub completions: u64,
+    /// Global latency over the fast window.
+    pub latency: Histogram,
+    /// Global fast-rule burn rate (multiples of the error budget).
+    pub fast_burn: f64,
+    /// Global slow-rule burn rate.
+    pub slow_burn: f64,
+    /// Admission rejections inside the fast window.
+    pub rejections: u64,
+    /// Time-weighted mean queued work (admission queue + pending jobs).
+    pub queue_depth_mean: f64,
+    /// Time-weighted mean map-slot utilization in `[0, 1]`.
+    pub slot_util_mean: f64,
+    /// Currently-firing (scope, rule) alerts.
+    pub active_alerts: usize,
+}
+
 /// The front door. Owns the [`Dyno`] (shared metastore, plan cache, obs
 /// handles) and the one shared [`Cluster`] every tenant's jobs contend
 /// on. Single-threaded and deterministic by construction: the only clock
@@ -243,6 +319,8 @@ pub struct QueryService {
     /// lane ("service") in the Chrome export, alongside the query lanes.
     service_span: SpanId,
     finished: bool,
+    health: Option<HealthState>,
+    sampling: Option<SamplingPolicy>,
 }
 
 impl QueryService {
@@ -272,6 +350,8 @@ impl QueryService {
             tenants: BTreeMap::new(),
             service_span,
             finished: false,
+            health: cfg.health.map(HealthState::new),
+            sampling: cfg.sampling,
         }
     }
 
@@ -295,6 +375,97 @@ impl QueryService {
         self.tenants.iter().map(|(&t, s)| (t, s))
     }
 
+    /// The live SLO monitor, when health monitoring is configured —
+    /// alert events, intervals, and per-scope burn rates.
+    pub fn health_monitor(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref().map(|h| &h.monitor)
+    }
+
+    /// True iff no ticket is Queued or Running — the population harness
+    /// uses this to pump through digest boundaries until the stream
+    /// drains.
+    pub fn idle(&self) -> bool {
+        !self
+            .entries
+            .values()
+            .any(|e| matches!(e.state, EntryState::Queued | EntryState::Running { .. }))
+    }
+
+    /// Snapshot the live health windows at the current simulated time
+    /// (`None` when health monitoring is off). Takes `&mut self` because
+    /// the time-weighted gauges integrate their held value up to now.
+    pub fn health_digest(&mut self) -> Option<HealthDigest> {
+        let now = self.cluster.now();
+        let h = self.health.as_mut()?;
+        let (fast_burn, _, _) = h.monitor.burn(AlertScope::Global, AlertRuleKind::Fast, now);
+        let (slow_burn, _, _) = h.monitor.burn(AlertScope::Global, AlertRuleKind::Slow, now);
+        Some(HealthDigest {
+            at: now,
+            completions: h.latency_fast.count(now),
+            latency: h.latency_fast.snapshot(now),
+            fast_burn,
+            slow_burn,
+            rejections: h.rejections.sum(now),
+            queue_depth_mean: h.queue_depth.mean(now),
+            slot_util_mean: h.slot_util.mean(now),
+            active_alerts: h.monitor.active_count(),
+        })
+    }
+
+    /// One health-monitoring beat: feed the telemetry gauges from the
+    /// cluster's current state, evaluate any alert boundaries the clock
+    /// has passed, and stamp new fire/resolve events into the trace and
+    /// the `service.alerts.*` metrics family. Observe-only — called from
+    /// the pump after every clock movement; a no-op when health is off.
+    fn health_tick(&mut self) {
+        let Some(h) = &mut self.health else { return };
+        let now = self.cluster.now();
+        let sample = self.cluster.telemetry_sample();
+        let queued = self
+            .entries
+            .values()
+            .filter(|e| matches!(e.state, EntryState::Queued))
+            .count();
+        h.queue_depth
+            .record(now, queued as f64 + sample.pending_jobs as f64);
+        let map_cap = self.cluster.config().map_slots();
+        let util = if map_cap > 0 {
+            sample.map_busy as f64 / map_cap as f64
+        } else {
+            0.0
+        };
+        h.slot_util.record(now, util);
+        h.monitor.eval_until(now);
+        let events = h.monitor.events();
+        for ev in &events[h.emitted..] {
+            let (verb, counter) = match ev.kind {
+                AlertKind::Fire => ("alert_fire", "service.alerts.fired"),
+                AlertKind::Resolve => ("alert_resolve", "service.alerts.resolved"),
+            };
+            self.dyno.obs.tracer.event(
+                self.service_span,
+                ev.at,
+                verb,
+                vec![
+                    ("scope", format!("{}", ev.scope).into()),
+                    ("rule", ev.rule.label().into()),
+                    ("window_secs", ev.window_secs.into()),
+                    ("burn", ev.burn.into()),
+                    ("threshold", ev.threshold.into()),
+                    ("errors", ev.errors.into()),
+                    ("total", ev.total.into()),
+                ],
+            );
+            self.dyno.obs.metrics.incr(counter, 1);
+            let per_rule = match ev.kind {
+                AlertKind::Fire => format!("service.alerts.{}.fired", ev.rule.label()),
+                AlertKind::Resolve => format!("service.alerts.{}.resolved", ev.rule.label()),
+            };
+            self.dyno.obs.metrics.incr(&per_rule, 1);
+        }
+        h.emitted = events.len();
+    }
+
     /// Submit `query` for `tenant` at the current simulated time.
     ///
     /// Admission control runs immediately: a tenant over its
@@ -314,6 +485,9 @@ impl QueryService {
         if stats.slot_secs_used >= self.quota.slot_secs {
             stats.rejected += 1;
             self.dyno.obs.metrics.incr("service.rejected", 1);
+            if let Some(h) = &mut self.health {
+                h.rejections.incr(now, 1);
+            }
             tracer.event(
                 self.service_span,
                 now,
@@ -543,6 +717,7 @@ impl QueryService {
     /// The shared-clock pump. With `target = Some(t)` it stops once no
     /// progress is possible before `t`; with `None` it runs to quiescence.
     fn pump(&mut self, target: Option<SimTime>) {
+        self.health_tick();
         loop {
             let mut progressed = self.promote_queued();
             progressed |= self.settle_canceled();
@@ -594,6 +769,7 @@ impl QueryService {
             } else {
                 self.cluster.run_until_time(t_wake);
             }
+            self.health_tick();
         }
     }
 
@@ -662,6 +838,50 @@ impl QueryService {
                         1,
                     );
                 }
+                let qspan = driver.query_span();
+                if let Some(h) = &mut self.health {
+                    h.latency_fast.observe(now, outcome.latency_secs);
+                    h.latency_slow.observe(now, outcome.latency_secs);
+                    h.tenant_latency
+                        .entry(e.tenant)
+                        .or_insert_with(|| {
+                            WindowedHistogram::new(WindowSpec::of_secs(
+                                h.monitor.policy().slow.window_secs,
+                            ))
+                        })
+                        .observe(now, outcome.latency_secs);
+                    if let Some(met) = outcome.met_deadline {
+                        h.monitor.record(now, e.tenant as u64, met);
+                        h.monitor.eval_until(now);
+                    }
+                }
+                // Tail-based sampling: decide at settlement whether this
+                // query's span tree earns retention. Interesting tails
+                // (SLO misses, OOM recoveries, alert overlap) always stay;
+                // everything else survives only the seeded 1-in-N baseline.
+                if let Some(policy) = &self.sampling {
+                    let tracer = &self.dyno.obs.tracer;
+                    let keep = outcome.met_deadline == Some(false)
+                        || tracer.subtree_contains_event(qspan, "oom_recovery")
+                        || self
+                            .health
+                            .as_ref()
+                            .map(|h| {
+                                h.monitor.overlaps_alert(
+                                    e.tenant as u64,
+                                    outcome.submitted_at,
+                                    now,
+                                )
+                            })
+                            .unwrap_or(false)
+                        || policy.baseline_keep(id);
+                    if keep {
+                        self.dyno.obs.metrics.incr("service.trace.kept", 1);
+                    } else {
+                        tracer.drop_span_tree(qspan);
+                        self.dyno.obs.metrics.incr("service.trace.dropped", 1);
+                    }
+                }
                 e.state = EntryState::Done(Box::new(outcome));
             }
             Err(err) => {
@@ -679,11 +899,11 @@ mod tests {
     use super::*;
     use dyno_cluster::{ClusterConfig, SchedulerPolicy};
     use dyno_core::DynoOptions;
-    use dyno_obs::validate_chrome_trace;
+    use dyno_obs::{validate_chrome_trace, validate_trace_subset};
     use dyno_storage::SimScale;
     use dyno_tpch::TpchGenerator;
 
-    fn service_with(cluster: ClusterConfig, quota: TenantQuota) -> QueryService {
+    fn service_cfg(cluster: ClusterConfig, cfg: ServiceConfig) -> QueryService {
         let env = TpchGenerator::new(1, SimScale::divisor(200_000)).generate();
         let mut dyno = Dyno::new(
             env.dfs,
@@ -693,7 +913,11 @@ mod tests {
             },
         );
         dyno.obs = Obs::enabled();
-        QueryService::new(dyno, ServiceConfig { quota })
+        QueryService::new(dyno, cfg)
+    }
+
+    fn service_with(cluster: ClusterConfig, quota: TenantQuota) -> QueryService {
+        service_cfg(cluster, ServiceConfig { quota, ..ServiceConfig::default() })
     }
 
     fn service() -> QueryService {
@@ -931,5 +1155,118 @@ mod tests {
         assert_eq!(t1, t2, "traces must be byte-identical");
         assert_eq!(m1, m2, "metrics must be byte-identical");
         validate_chrome_trace(&t1).unwrap();
+    }
+
+    /// Four unmeetable deadlines out of four completions burn the error
+    /// budget at 10x: both burn-rate rules trip, the alert stream is
+    /// stamped into metrics, and the whole stream is byte-identical
+    /// across identical runs.
+    #[test]
+    fn health_alerts_fire_deterministically_on_missed_deadlines() {
+        let run = || {
+            let mut s = service_cfg(
+                ClusterConfig::paper(),
+                ServiceConfig {
+                    health: Some(SloPolicy::default()),
+                    ..ServiceConfig::default()
+                },
+            );
+            for _ in 0..4 {
+                // A deadline of t=0 is unmeetable: every completion is
+                // a miss.
+                s.submit(
+                    1,
+                    QueryId::Q2,
+                    SubmitOpts {
+                        deadline: Some(0.0),
+                        ..SubmitOpts::default()
+                    },
+                )
+                .unwrap();
+            }
+            s.drain();
+            // Push the clock through later evaluation boundaries so every
+            // rule sees the misses regardless of where the last completion
+            // fell on the 5s grid.
+            let end = s.now() + 120.0;
+            s.advance_until(end);
+            s.finish();
+            let digest = s.health_digest().expect("health configured");
+            assert_eq!(digest.at, end);
+            let m = s.health_monitor().expect("health configured");
+            assert!(
+                m.events().iter().any(|e| e.kind == AlertKind::Fire),
+                "4/4 missed deadlines must trip the burn-rate alert"
+            );
+            assert!(s.obs().metrics.counter("service.alerts.fired") > 0);
+            let events: Vec<String> = m.events().iter().map(|e| e.render()).collect();
+            (events.join("\n"), s.obs().metrics.render())
+        };
+        let (e1, m1) = run();
+        let (e2, m2) = run();
+        assert_eq!(e1, e2, "alert stream must be byte-identical");
+        assert_eq!(m1, m2, "metrics must be byte-identical");
+    }
+
+    /// Tail sampling at settlement: the SLO-violating query's span tree
+    /// survives, the on-time one is dropped (baseline disabled via a
+    /// huge `one_in`), and the sampled trace is a valid subset of the
+    /// unsampled trace from an otherwise identical run.
+    #[test]
+    fn tail_sampling_keeps_slo_violators_and_yields_a_valid_subset() {
+        let run = |sampling: Option<SamplingPolicy>| {
+            let mut s = service_cfg(
+                ClusterConfig::paper(),
+                ServiceConfig {
+                    sampling,
+                    ..ServiceConfig::default()
+                },
+            );
+            let miss = s
+                .submit(
+                    1,
+                    QueryId::Q2,
+                    SubmitOpts {
+                        deadline: Some(0.0),
+                        ..SubmitOpts::default()
+                    },
+                )
+                .unwrap();
+            let meet = s
+                .submit(
+                    2,
+                    QueryId::Q10,
+                    SubmitOpts {
+                        deadline: Some(1e9),
+                        ..SubmitOpts::default()
+                    },
+                )
+                .unwrap();
+            s.drain();
+            assert_eq!(outcome(&s, miss).met_deadline, Some(false));
+            assert_eq!(outcome(&s, meet).met_deadline, Some(true));
+            s.finish();
+            (
+                s.obs().tracer.to_chrome_trace(),
+                s.obs().metrics.counter("service.trace.kept"),
+                s.obs().metrics.counter("service.trace.dropped"),
+                s.obs().tracer.totals(),
+            )
+        };
+        let (full, k0, d0, tot0) = run(None);
+        assert_eq!((k0, d0), (0, 0), "no sampling, no keep/drop accounting");
+        assert_eq!(tot0.spans_dropped, 0);
+        let (sampled, kept, dropped, totals) = run(Some(SamplingPolicy {
+            one_in: 1 << 40,
+            seed: 7,
+        }));
+        assert_eq!((kept, dropped), (1, 1));
+        assert!(totals.spans_dropped > 0);
+        assert!(totals.dropped_fraction() > 0.0 && totals.dropped_fraction() < 1.0);
+        // The violator's tree survives; the on-time query's is gone.
+        assert!(sampled.contains("\"Q2\""), "SLO violator must be retained");
+        assert!(!sampled.contains("\"Q10\""), "on-time query must be dropped");
+        assert!(full.contains("\"Q10\""));
+        validate_trace_subset(&sampled, &full).unwrap();
     }
 }
