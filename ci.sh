@@ -43,6 +43,16 @@
 #      observe-only), and emit a tail-sampled trace that still
 #      validates (`balanced (validated)`, with a `sampled trace:`
 #      reduction line).
+#  11. front-door + event-core scale smoke check: a second fixed-seed
+#      `repro workload --concurrent` run (fair scheduler, tight
+#      arrivals) must reproduce its committed `concurrent makespan:`
+#      line — including the queue-delay-total column — *exactly*,
+#      pinning the QueryService submission path every harness now runs
+#      through; and a 100-query `repro serve --tenants 10000
+#      --nodes 1000` population run (10 000 slots) must finish inside a
+#      wall-clock budget and reproduce its committed `slo attainment:`
+#      line, guarding the indexed ready-queue scaling of the event core
+#      against regression.
 #
 # The build is hermetic: every dependency is a path crate inside this
 # repository, so everything below runs with --offline and no registry.
@@ -246,5 +256,49 @@ echo "$health_out" | grep -q '^sampled trace: kept ' ||
 echo "$health_out" | grep -q '^chrome trace: .*balanced (validated)' ||
     { echo "FAIL: tail-sampled trace no longer validates"; exit 1; }
 echo "ok: $got matches reference exactly; sampled trace validates"
+
+echo "== front-door smoke check (service-path queue delay vs repro_output.txt) =="
+front_out=$(cargo run --release --offline -p dyno-bench --bin repro -- \
+    workload q2x2,q7,q9x2 100 --seed 3 --divisor 200000 --concurrent \
+    --arrival-mean 5 --sched fair)
+got=$(echo "$front_out" | grep '^concurrent makespan: ') ||
+    { echo "FAIL: front-door workload report has no makespan line"; exit 1; }
+# The step-11 reference is the SECOND committed makespan line (the first
+# belongs to step 6).
+ref=$(grep '^concurrent makespan: ' repro_output.txt | sed -n 2p)
+[ -n "$ref" ] ||
+    { echo "FAIL: no step-11 concurrent makespan line in repro_output.txt"; exit 1; }
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: service-path concurrent workload drifted:"
+    echo "  got: $got"
+    echo "  ref: $ref"
+    exit 1
+fi
+echo "$front_out" | grep -q '^service admission: 5 admitted, 0 queued at admission, policy fair' ||
+    { echo "FAIL: no admission accounting line from the service front door"; exit 1; }
+echo "ok: $got matches reference exactly (via QueryService)"
+
+echo "== event-core scale smoke check (10k tenants, 1000 nodes / 10k slots) =="
+# Budget: generous for slow CI hosts; the indexed ready-queues complete
+# this run in ~2s on a laptop, and the pre-index scan core did not
+# complete it in reasonable time at all.
+scale_out=$(timeout 300 cargo run --release --offline -p dyno-bench --bin repro -- \
+    serve q2x40,q7x30,q9x30 100 --seed 11 --divisor 200000 \
+    --tenants 10000 --nodes 1000 --sched edf --arrival-mean 2 --slo-mult 2) ||
+    { echo "FAIL: 10k-tenant serve run exceeded the 300s smoke budget"; exit 1; }
+got=$(echo "$scale_out" | grep '^slo attainment: ') ||
+    { echo "FAIL: population serve report has no slo-attainment line"; exit 1; }
+ref=$(grep '^slo attainment: ' repro_output.txt | sed -n 3p)
+[ -n "$ref" ] ||
+    { echo "FAIL: no step-11 slo-attainment line in repro_output.txt"; exit 1; }
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: 10k-tenant population run drifted:"
+    echo "  got: $got"
+    echo "  ref: $ref"
+    exit 1
+fi
+echo "$scale_out" | grep -q '^chrome trace: 101 named pid lanes, .*balanced (validated)' ||
+    { echo "FAIL: population trace no longer validates"; exit 1; }
+echo "ok: $got on 1000 nodes / 10000 slots within budget"
 
 echo "CI OK"

@@ -8,30 +8,35 @@
 //! `main` prints the error plus [`USAGE`] and exits 2; the binary never
 //! panics on bad input.
 
+use dyno_cluster::SchedulerPolicy;
+
 use crate::error::BenchError;
 use crate::serve::ServeOptions;
-use crate::workload::{parse_sched, ConcurrentOptions};
+use crate::workload::ConcurrentOptions;
 
 /// The `repro` usage text (also printed on `--help`).
 pub const USAGE: &str = "usage: repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablations|reopt_ab] [--divisor N]
        repro profile <query> <sf> [--divisor N]
        repro trace <query> <sf> [--divisor N]
        repro workload <spec> <sf> [--seed N] [--divisor N] [--reuse]
-                      [--concurrent [--arrival-mean S] [--sched fifo|fair]]
+                      [--concurrent [--arrival-mean S] [--sched POLICY]]
        repro timeline <query|spec> <sf> [--seed N] [--divisor N]
-                      [--arrival-mean S] [--sched fifo|fair]
+                      [--arrival-mean S] [--sched POLICY]
        repro serve <spec> <sf> [--tenants N] [--seed N] [--divisor N]
-                   [--sched fifo|fair|priority|edf] [--arrival-mean S]
+                   [--sched POLICY] [--arrival-mean S] [--nodes N]
                    [--slo-mult X] [--max-in-flight N] [--quota-slot-secs S]
                    [--tenant-skew X] [--health] [--health-interval S]
-                   [--sample-one-in N]
+                   [--sample-one-in N] [--replan-after S]
 
 queries:  q2 q5 q7 q8_prime q9_prime q10 q1_restaurant
 workload: comma-separated entries of the form name[@mode][xN],
           e.g. 'q2x3,q8_prime@relopt,q10@simplex2'
 modes:    dynopt (default) | simple | relopt | beststatic | jaql
-concurrent: run the stream on ONE shared cluster with seeded arrival
-          offsets (--arrival-mean, default 30s) under --sched (fifo)
+sched:    POLICY is fifo | fair | priority | edf (aliases: deadline,
+          deadline_edf) — one parser shared by every harness
+concurrent: run the stream through the QueryService front door on ONE
+          shared cluster with seeded arrival offsets (--arrival-mean,
+          default 30s) under --sched (fifo)
 reuse:    keep the optimizer memo across re-optimization rounds and a
           plan cache across the stream (serial workload runner only)
 timeline: run the stream on the shared cluster and report the sampled
@@ -46,7 +51,12 @@ health:   --health turns on sliding-window SLO burn-rate alerting and a
           simulated seconds (default 300); observe-only and
           deterministic. --sample-one-in N keeps span trees only for
           SLO-violating / OOM-recovering / alert-overlapping queries
-          plus a seeded 1-in-N baseline (0 = keep everything)";
+          plus a seeded 1-in-N baseline (0 = keep everything)
+scale:    --nodes N overrides the worker-node count (default 14); the
+          indexed ready-queues keep ~1000 nodes / 10k slots tractable.
+          --replan-after S re-probes a queued ticket's stats basis when
+          it waited longer than S simulated seconds and re-optimizes iff
+          a stats version moved (queue-time re-planning)";
 
 /// Parsed command line: positional arguments plus the shared flags.
 #[derive(Debug)]
@@ -105,13 +115,33 @@ pub fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
                 serve_opts.arrival_mean = mean;
             }
             "--sched" => {
+                // ONE typed parser for every harness (workload,
+                // timeline, serve): dyno-cluster owns the spellings.
                 let raw = it.next().map(String::as_str).unwrap_or("");
-                let sched = parse_sched(raw).ok_or_else(|| BenchError::BadArg {
+                let sched = SchedulerPolicy::parse(raw).ok_or_else(|| BenchError::BadArg {
                     arg: "--sched".to_owned(),
-                    expected: "fifo, fair, priority, or edf".to_owned(),
+                    expected: "fifo, fair, priority, edf, deadline, or deadline_edf".to_owned(),
                 })?;
                 workload_opts.sched = sched;
                 serve_opts.sched = sched;
+            }
+            "--nodes" => {
+                let n = parse_flag_u64(it.next(), "--nodes", "a positive node count")?;
+                if n == 0 || n > 1_000_000 {
+                    return Err(BenchError::BadArg {
+                        arg: "--nodes".to_owned(),
+                        expected: "a positive node count".to_owned(),
+                    });
+                }
+                serve_opts.nodes = Some(n as usize);
+            }
+            "--replan-after" => {
+                serve_opts.replan_after = Some(parse_flag_f64(
+                    it.next(),
+                    "--replan-after",
+                    "a non-negative number of seconds",
+                    |s| s >= 0.0,
+                )?);
             }
             "--tenants" => {
                 let n = parse_flag_u64(it.next(), "--tenants", "a positive tenant count")?;
@@ -334,6 +364,14 @@ mod tests {
             (&["--seed"], "--seed"),
             (&["--sched", "lottery"], "--sched"),
             (&["--sched"], "--sched"),
+            (&["--sched", "fifo "], "--sched"),
+            (&["--sched", "edf,fair"], "--sched"),
+            (&["--nodes", "0"], "--nodes"),
+            (&["--nodes", "fourteen"], "--nodes"),
+            (&["--nodes"], "--nodes"),
+            (&["--replan-after", "-5"], "--replan-after"),
+            (&["--replan-after", "NaN"], "--replan-after"),
+            (&["--replan-after"], "--replan-after"),
             (&["--arrival-mean", "-3"], "--arrival-mean"),
             (&["--arrival-mean", "NaN"], "--arrival-mean"),
             (&["--tenants", "0"], "--tenants"),
@@ -356,6 +394,42 @@ mod tests {
                 other => panic!("{args:?} must be BadArg on {flag}, got {other:?}"),
             }
         }
+    }
+
+    /// Satellite: the union of `--sched` spellings the workload and
+    /// serve flags historically accepted all resolve through the ONE
+    /// shared [`SchedulerPolicy::parse`], into both option structs.
+    #[test]
+    fn sched_spellings_parse_uniformly_for_all_harnesses() {
+        let table: &[(&str, SchedulerPolicy)] = &[
+            ("fifo", SchedulerPolicy::Fifo),
+            ("fair", SchedulerPolicy::Fair),
+            ("priority", SchedulerPolicy::Priority),
+            ("edf", SchedulerPolicy::DeadlineEdf),
+            ("deadline", SchedulerPolicy::DeadlineEdf),
+            ("deadline_edf", SchedulerPolicy::DeadlineEdf),
+        ];
+        for &(spelling, want) in table {
+            let cli = parse(&["workload", "q2", "1", "--sched", spelling])
+                .unwrap()
+                .unwrap();
+            assert_eq!(cli.workload_opts.sched, want, "workload --sched {spelling}");
+            assert_eq!(cli.serve_opts.sched, want, "serve --sched {spelling}");
+        }
+    }
+
+    #[test]
+    fn nodes_and_replan_after_flags_reach_serve_opts() {
+        let cli = parse(&[
+            "serve", "q2", "1", "--nodes", "1000", "--replan-after", "30",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(cli.serve_opts.nodes, Some(1000));
+        assert_eq!(cli.serve_opts.replan_after, Some(30.0));
+        let plain = parse(&["serve", "q2", "1"]).unwrap().unwrap();
+        assert_eq!(plain.serve_opts.nodes, None, "default keeps the paper testbed");
+        assert_eq!(plain.serve_opts.replan_after, None, "re-planning is opt-in");
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub use serve::{run_serve, ServeOptions, ServeReport};
 pub use render::render_table;
 pub use timeline::{render_timeline, timeline_report};
 pub use workload::{
-    parse_sched, parse_spec, run_concurrent_workload, run_concurrent_workload_on, run_workload,
+    parse_spec, run_concurrent_workload, run_concurrent_workload_on, run_workload,
     run_workload_on, run_workload_reuse, ConcurrentOptions, ConcurrentReport, WorkloadReport,
 };

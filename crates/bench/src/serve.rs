@@ -34,7 +34,7 @@ use dyno_tpch::queries::{self, QueryId};
 use crate::error::BenchError;
 use crate::experiments::{make_dyno, ExpScale};
 use crate::render::pct;
-use crate::workload::{parse_spec, sched_name};
+use crate::workload::parse_spec;
 
 /// Knobs for the service harness.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +68,14 @@ pub struct ServeOptions {
     /// OOM-recovering, and alert-overlapping queries plus a seeded
     /// 1-in-N baseline. `0` disables sampling (keep everything).
     pub sample_one_in: u64,
+    /// Override the worker-node count (`--nodes`); `None` keeps the
+    /// paper testbed's 14. The event core's indexed ready-queues make
+    /// ~1000 nodes / 10k slots tractable.
+    pub nodes: Option<usize>,
+    /// Queue-time re-planning staleness bound (`--replan-after`), in
+    /// simulated seconds: tickets that waited at admission longer than
+    /// this re-probe their stats basis before running. `None` disables.
+    pub replan_after: Option<f64>,
 }
 
 impl Default for ServeOptions {
@@ -83,6 +91,8 @@ impl Default for ServeOptions {
             health: false,
             health_interval: 300.0,
             sample_one_in: 0,
+            nodes: None,
+            replan_after: None,
         }
     }
 }
@@ -156,6 +166,10 @@ pub struct ServeReport {
     pub health: Option<HealthSummary>,
     /// Tail-sampling accounting (`--sample-one-in`).
     pub sampling: Option<SamplingSummary>,
+    /// Queue-time re-planning accounting (`--replan-after`):
+    /// `(checked, triggered, skipped)` staleness probes on tickets that
+    /// out-waited the bound.
+    pub replan: Option<(u64, u64, u64)>,
 }
 
 /// Folded health-monitoring output: the periodic digests plus the alert
@@ -248,6 +262,7 @@ pub fn run_serve(
         scale,
         ClusterConfig {
             scheduler: opts.sched,
+            nodes: opts.nodes.unwrap_or(ClusterConfig::paper().nodes),
             ..ClusterConfig::paper()
         },
         Strategy::Unc(1),
@@ -265,6 +280,8 @@ pub fn run_serve(
                 one_in: opts.sample_one_in,
                 seed,
             }),
+            replan_after: opts.replan_after,
+            ..ServiceConfig::default()
         },
     );
 
@@ -406,6 +423,14 @@ pub fn run_serve(
             dropped_fraction: service.obs().tracer.totals().dropped_fraction(),
         }
     });
+    let replan = opts.replan_after.map(|_| {
+        let metrics = &service.obs().metrics;
+        (
+            metrics.counter("service.replan.checked"),
+            metrics.counter("service.replan.triggered"),
+            metrics.counter("service.replan.skipped"),
+        )
+    });
 
     // One validated Chrome trace for the whole population: every query
     // that KEPT its span tree is a pid lane (all of them unless tail
@@ -445,6 +470,7 @@ pub fn run_serve(
         trace_counters: summary.counters,
         health,
         sampling,
+        replan,
     })
 }
 
@@ -491,7 +517,7 @@ impl ServeReport {
             self.sf,
             self.seed,
             self.opts.tenants,
-            sched_name(self.opts.sched),
+            self.opts.sched.name(),
             self.opts.slo_mult,
             self.opts.max_in_flight,
         ));
@@ -564,6 +590,13 @@ impl ServeReport {
                 s.kept,
                 s.kept + s.dropped,
                 pct(s.dropped_fraction),
+            ));
+        }
+        if let Some((checked, triggered, skipped)) = self.replan {
+            out.push_str(&format!(
+                "replan: checked {checked}, triggered {triggered}, skipped {skipped} \
+                 (staleness bound {}s)\n",
+                self.opts.replan_after.unwrap_or_default(),
             ));
         }
         out.push_str(&format!(

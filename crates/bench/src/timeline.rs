@@ -19,7 +19,7 @@ use dyno_obs::{Histogram, Sample};
 use crate::error::BenchError;
 use crate::experiments::ExpScale;
 use crate::render::pct;
-use crate::workload::{run_concurrent_workload, sched_name, ConcurrentOptions, ConcurrentReport};
+use crate::workload::{run_concurrent_workload, ConcurrentOptions, ConcurrentReport};
 
 /// Width of the utilization sparkline, in buckets.
 const SPARK_WIDTH: usize = 60;
@@ -50,7 +50,7 @@ pub fn render_timeline(report: &ConcurrentReport) -> String {
         report.runs.len(),
         report.sf,
         report.seed,
-        sched_name(report.opts.sched),
+        report.opts.sched.name(),
         report.opts.arrival_mean,
     ));
     out.push_str(&format!(

@@ -27,15 +27,14 @@
 //! * per-OOM memory attributions: for every broadcast-OOM recovery,
 //!   which query, which job, which build side, and bytes over budget.
 
-use std::collections::BTreeSet;
-
-use dyno_cluster::{Cluster, ClusterConfig, JobHandle, SchedulerPolicy};
+use dyno_cluster::{ClusterConfig, SchedulerPolicy};
 use dyno_common::{Rng, SeedableRng, StdRng};
-use dyno_core::{DriverPoll, Mode, QueryDriver, Strategy};
+use dyno_core::{Mode, Strategy};
 use dyno_obs::{
     descends_from, validate_chrome_trace, CriticalPath, Histogram, Obs, OomRecovery, SpanKind,
     Timeline,
 };
+use dyno_service::{QueryService, QueryStatus, ServiceConfig, SubmitOpts};
 use dyno_tpch::queries::{self, QueryId};
 
 use crate::error::BenchError;
@@ -213,6 +212,10 @@ pub struct WorkloadReport {
     pub plan_cache_hits: u64,
     /// Stale entries evicted because a leaf's stats version moved.
     pub plan_cache_invalidations: u64,
+    /// The whole serial stream as ONE Chrome trace (one span tree per
+    /// query run). Pinned as a golden alongside [`WorkloadReport::render`]
+    /// — together they are the front-door refactor's correctness oracle.
+    pub trace_json: String,
 }
 
 /// Run the workload described by `spec` at scale factor `sf`, shuffling
@@ -282,12 +285,34 @@ fn run_workload_inner(
     let mut overall = Histogram::default();
     let mut trajectory = Vec::new();
     for &(q, mode) in &stream {
-        let prepared = queries::prepare(q);
         let name = label(q, mode);
-        let report = d.run(&prepared, mode).map_err(|e| BenchError::QueryFailed {
-            query: name.clone(),
-            message: e.to_string(),
-        })?;
+        // Through the front door: one short-lived QueryService per query
+        // over the long-lived Dyno — a fresh cluster at time zero, the
+        // timeline covering only the latest run, no service trace lane —
+        // which is `Dyno::run`'s contract exactly. The pinned goldens in
+        // tests/workload_golden.rs hold this path byte-identical to the
+        // pre-service solo loop.
+        d.obs.timeline.reset();
+        let mut svc = QueryService::new(
+            d,
+            ServiceConfig {
+                trace_service_lane: false,
+                ..ServiceConfig::default()
+            },
+        );
+        let ticket = svc
+            .submit(0, q, SubmitOpts { mode, ..SubmitOpts::default() })
+            .expect("default quota never rejects");
+        svc.drain();
+        let status = svc.poll(ticket);
+        d = svc.into_dyno();
+        let report = match status {
+            Some(QueryStatus::Done(o)) => o.report,
+            Some(QueryStatus::Failed(message)) => {
+                return Err(BenchError::QueryFailed { query: name.clone(), message })
+            }
+            other => unreachable!("drained ticket neither Done nor Failed: {other:?}"),
+        };
         let secs = report.total_secs;
         overall.observe(secs);
         match stats.iter_mut().find(|s| s.label == name) {
@@ -391,6 +416,7 @@ fn run_workload_inner(
             + d.obs.metrics.counter("plan_cache.invalidate"),
         plan_cache_hits: d.obs.metrics.counter("plan_cache.hit"),
         plan_cache_invalidations: d.obs.metrics.counter("plan_cache.invalidate"),
+        trace_json: d.obs.tracer.to_chrome_trace(),
     })
 }
 
@@ -598,66 +624,22 @@ pub struct ConcurrentReport {
     /// Final metastore miss counter.
     pub misses: u64,
     /// The whole stream as ONE Chrome trace: one named pid lane per
-    /// query, plus the shared cluster's telemetry counters on the
-    /// `cluster` lane. Validated before this report is returned.
+    /// query, one for the service front door's admission events, plus
+    /// the shared cluster's telemetry counters on the `cluster` lane.
+    /// Validated before this report is returned.
     pub trace_json: String,
-    /// Number of named *query* pid lanes in the trace (== number of
-    /// queries; the telemetry lane is not counted).
+    /// Number of named pid lanes in the trace: one per query plus the
+    /// `service` lane (the telemetry lane is not counted).
     pub trace_processes: usize,
     /// Number of `"C"` telemetry counter records merged into the trace.
     pub trace_counters: usize,
+    /// Submissions the service admitted straight to Running.
+    pub admitted: u64,
+    /// Submissions that waited in the service's admission queue.
+    pub queued_at_admission: u64,
     /// The shared cluster's telemetry timeline (handle into the sampled
     /// series) — the `repro timeline` report folds this further.
     pub timeline: Timeline,
-}
-
-pub(crate) fn sched_name(s: SchedulerPolicy) -> &'static str {
-    match s {
-        SchedulerPolicy::Fifo => "fifo",
-        SchedulerPolicy::Fair => "fair",
-        SchedulerPolicy::Priority => "priority",
-        SchedulerPolicy::DeadlineEdf => "edf",
-    }
-}
-
-/// Parse a `--sched` value.
-pub fn parse_sched(s: &str) -> Option<SchedulerPolicy> {
-    match s.to_ascii_lowercase().as_str() {
-        "fifo" => Some(SchedulerPolicy::Fifo),
-        "fair" => Some(SchedulerPolicy::Fair),
-        "priority" => Some(SchedulerPolicy::Priority),
-        "edf" | "deadline" | "deadline_edf" => Some(SchedulerPolicy::DeadlineEdf),
-        _ => None,
-    }
-}
-
-/// What one in-flight query is waiting for on the shared clock.
-enum Wait {
-    /// Ready to poll right away.
-    Poll,
-    /// Waiting on these cluster jobs.
-    Jobs(Vec<JobHandle>),
-    /// Client-side work (optimizer call, OOM penalty) until this time.
-    Time(f64),
-}
-
-/// One stream slot: a query that has not arrived, is running, or is done.
-enum Slot {
-    Pending {
-        arrival: f64,
-        query: QueryId,
-        mode: Mode,
-    },
-    Running {
-        arrival: f64,
-        label: String,
-        driver: Box<QueryDriver>,
-        wait: Wait,
-        jobs: BTreeSet<JobHandle>,
-    },
-    Finished {
-        row: ConcurrentQueryReport,
-    },
 }
 
 /// Run the workload concurrently: every query in the stream shares ONE
@@ -688,21 +670,13 @@ pub fn run_concurrent_workload_on(
         .iter()
         .flat_map(|e| std::iter::repeat((e.query, e.mode)).take(e.repeat as usize))
         .collect();
-    // Same shuffle as the serial runner, then arrival gaps from the same
-    // seeded generator: (spec, sf, seed, arrival_mean, sched) fully
-    // determines the stream.
+    // Same shuffle as the serial runner, then arrival gaps continuing
+    // the same seeded generator (the shared service-crate helper draws
+    // the identical sub-stream the inline loop used to): (spec, sf,
+    // seed, arrival_mean, sched) fully determines the stream.
     let mut rng = StdRng::seed_from_u64(seed);
     rng.shuffle(&mut stream);
-    let mut arrivals = Vec::with_capacity(stream.len());
-    let mut t = 0.0f64;
-    for i in 0..stream.len() {
-        if i > 0 && opts.arrival_mean > 0.0 {
-            // Exponential inter-arrival gaps: u ∈ [0, 1) keeps ln finite.
-            let u = rng.next_f64();
-            t += -opts.arrival_mean * (1.0 - u).ln();
-        }
-        arrivals.push(t);
-    }
+    let arrivals = dyno_service::exponential_offsets(&mut rng, stream.len(), opts.arrival_mean);
 
     let mut d = make_dyno(
         sf,
@@ -714,151 +688,67 @@ pub fn run_concurrent_workload_on(
         Strategy::Unc(1),
     );
     d.obs = Obs::enabled();
-    let mut cluster = Cluster::new(d.opts.cluster.clone());
-    cluster.set_obs(
-        d.obs.tracer.clone(),
-        d.obs.metrics.clone(),
-        d.obs.timeline.clone(),
-    );
-
-    let label = |q: QueryId, m: Mode| format!("{} ({})", queries::prepare(q).spec.name, m.name());
-    let mut slots: Vec<Slot> = stream
-        .iter()
-        .zip(arrivals.iter())
-        .map(|(&(q, m), &arrival)| Slot::Pending {
-            arrival,
-            query: q,
-            mode: m,
-        })
-        .collect();
-
-    loop {
-        let mut progressed = false;
-        for i in 0..slots.len() {
-            // Promote arrived queries to live drivers.
-            if let Slot::Pending { arrival, query, mode } = slots[i] {
-                if cluster.now() >= arrival {
-                    let prepared = queries::prepare(query);
-                    let name = label(query, mode);
-                    let driver = QueryDriver::new(&d, &prepared, mode, &mut cluster).map_err(
-                        |e| BenchError::QueryFailed {
-                            query: name.clone(),
-                            message: e.to_string(),
-                        },
-                    )?;
-                    slots[i] = Slot::Running {
-                        arrival,
-                        label: name,
-                        driver: Box::new(driver),
-                        wait: Wait::Poll,
-                        jobs: BTreeSet::new(),
-                    };
-                }
-            }
-            let Slot::Running { arrival, label, driver, wait, jobs } = &mut slots[i] else {
-                continue;
-            };
-            let ready = match wait {
-                Wait::Poll => true,
-                Wait::Jobs(handles) => handles.iter().all(|&h| cluster.is_done(h)),
-                Wait::Time(until) => cluster.now() >= *until,
-            };
-            if !ready {
-                continue;
-            }
-            progressed = true;
-            match driver.poll(&mut cluster) {
-                Ok(DriverPoll::NeedJobs(handles)) => {
-                    jobs.extend(handles.iter().copied());
-                    *wait = Wait::Jobs(handles);
-                }
-                Ok(DriverPoll::Reoptimizing { until }) => *wait = Wait::Time(until),
-                Ok(DriverPoll::Done(report)) => {
-                    let (queue_delay_secs, slot_wait_secs) = jobs
-                        .iter()
-                        .filter_map(|&h| cluster.timing(h))
-                        .fold((0.0, 0.0), |(q, s), t| {
-                            (q + t.queue_delay, s + t.slot_wait_secs)
-                        });
-                    // The query span just closed; decompose its subtree
-                    // into critical-path segments while the ids are at
-                    // hand. Segments reconcile bitwise with the latency.
-                    let critical = CriticalPath::build(&d.obs.tracer, driver.query_span());
-                    slots[i] = Slot::Finished {
-                        row: ConcurrentQueryReport {
-                            index: i + 1,
-                            label: std::mem::take(label),
-                            arrival_secs: *arrival,
-                            latency_secs: report.total_secs,
-                            queue_delay_secs,
-                            slot_wait_secs,
-                            jobs: jobs.len(),
-                            critical,
-                        },
-                    };
-                }
-                Err(e) => {
-                    return Err(BenchError::QueryFailed {
-                        query: label.clone(),
-                        message: e.to_string(),
-                    })
-                }
-            }
-        }
-        if slots.iter().all(|s| matches!(s, Slot::Finished { .. })) {
-            break;
-        }
-        if progressed {
-            continue;
-        }
-        // Nothing pollable: advance the shared clock to the next thing
-        // that can happen — a cluster event, an arrival, or a client-side
-        // wait expiring — whichever is earliest.
-        let t_wake = slots
-            .iter()
-            .filter_map(|s| match s {
-                Slot::Pending { arrival, .. } => Some(*arrival),
-                Slot::Running { wait: Wait::Time(until), .. } => Some(*until),
-                _ => None,
-            })
-            .fold(f64::INFINITY, f64::min);
-        match cluster.next_event_time() {
-            Some(te) if te <= t_wake => {
-                cluster.step();
-            }
-            _ => {
-                assert!(
-                    t_wake.is_finite(),
-                    "concurrent runner stalled: queries waiting on jobs but the \
-                     cluster has no events, arrivals, or timed waits"
-                );
-                cluster.run_until_time(t_wake);
-            }
-        }
+    // Through the front door: ONE QueryService over the shared cluster;
+    // each query arrives via `advance_until` + `submit` and the service
+    // pump interleaves the drivers exactly as the old inline loop did.
+    let mut svc = QueryService::new(d, ServiceConfig::default());
+    let mut tickets = Vec::with_capacity(stream.len());
+    for (&(q, m), &arrival) in stream.iter().zip(arrivals.iter()) {
+        svc.advance_until(arrival);
+        let ticket = svc
+            .submit(0, q, SubmitOpts { mode: m, ..SubmitOpts::default() })
+            .expect("default quota never rejects");
+        tickets.push((ticket, arrival));
     }
+    svc.drain();
+    svc.finish();
 
-    let mut runs = Vec::with_capacity(slots.len());
-    for s in slots {
-        let Slot::Finished { row } = s else {
-            unreachable!("loop exits only when every slot is finished")
+    let mut runs = Vec::with_capacity(tickets.len());
+    for (i, &(ticket, arrival)) in tickets.iter().enumerate() {
+        let outcome = match svc.poll(ticket) {
+            Some(QueryStatus::Done(o)) => o,
+            Some(QueryStatus::Failed(message)) => {
+                return Err(BenchError::QueryFailed {
+                    query: format!("stream#{}", i + 1),
+                    message,
+                })
+            }
+            other => unreachable!("drained ticket neither Done nor Failed: {other:?}"),
         };
-        runs.push(row);
+        // The query span closed at settlement; decompose its subtree
+        // into critical-path segments. Segments reconcile bitwise with
+        // the latency.
+        let critical = CriticalPath::build(&svc.obs().tracer, outcome.query_span);
+        runs.push(ConcurrentQueryReport {
+            index: i + 1,
+            label: outcome.label.clone(),
+            arrival_secs: arrival,
+            latency_secs: outcome.report.total_secs,
+            queue_delay_secs: outcome.queue_delay_secs,
+            slot_wait_secs: outcome.slot_wait_secs,
+            jobs: outcome.jobs,
+            critical,
+        });
     }
-    let makespan_secs = cluster.now();
+    let makespan_secs = svc.now();
     let serial_sum_secs = runs.iter().map(|r| r.latency_secs).sum();
+    let admitted = svc.obs().metrics.counter("service.admitted");
+    let queued_at_admission = svc.obs().metrics.counter("service.queued_at_admission");
+    let d = svc.into_dyno();
 
     // The whole stream is ONE trace: each query's root span became its
-    // own named pid lane, and the shared cluster's telemetry timeline
-    // merged in as counter records on the `cluster` lane. Validate
-    // before handing it out — per-pid B/E balance, one process_name per
-    // query, and per-counter time order are hard invariants.
+    // own named pid lane (plus the service's own admission lane), and
+    // the shared cluster's telemetry timeline merged in as counter
+    // records on the `cluster` lane. Validate before handing it out —
+    // per-pid B/E balance, one process_name per query, and per-counter
+    // time order are hard invariants.
     let trace_json = d.obs.tracer.to_chrome_trace_with(&d.obs.timeline);
     let summary =
         validate_chrome_trace(&trace_json).map_err(BenchError::InvalidTrace)?;
-    let expected = runs.len() + usize::from(summary.counters > 0);
+    let expected = runs.len() + 1 + usize::from(summary.counters > 0);
     if summary.processes != expected {
         return Err(BenchError::InvalidTrace(format!(
-            "{} queries but {} named pid lanes",
+            "{} queries + the service lane but {} named pid lanes",
             runs.len(),
             summary.processes
         )));
@@ -873,8 +763,10 @@ pub fn run_concurrent_workload_on(
         hits: d.obs.metrics.counter("metastore.hits"),
         misses: d.obs.metrics.counter("metastore.misses"),
         trace_json,
-        trace_processes: runs.len(),
+        trace_processes: runs.len() + 1,
         trace_counters: summary.counters,
+        admitted,
+        queued_at_admission,
         timeline: d.obs.timeline.clone(),
         runs,
     })
@@ -899,7 +791,7 @@ impl ConcurrentReport {
             self.runs.len(),
             self.sf,
             self.seed,
-            sched_name(self.opts.sched),
+            self.opts.sched.name(),
             self.opts.arrival_mean,
         ));
         out.push_str(&format!(
@@ -941,6 +833,12 @@ impl ConcurrentReport {
             self.hits,
             lookups,
             pct(rate)
+        ));
+        out.push_str(&format!(
+            "service admission: {} admitted, {} queued at admission, policy {}\n",
+            self.admitted,
+            self.queued_at_admission,
+            self.opts.sched.name(),
         ));
         out.push_str(&format!(
             "chrome trace: {} named pid lanes, {} telemetry counters, balanced (validated)\n",
@@ -1113,7 +1011,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.runs.len(), 3);
-        assert_eq!(r.trace_processes, 3, "one named pid lane per query");
+        assert_eq!(
+            r.trace_processes, 4,
+            "one named pid lane per query plus the service lane"
+        );
+        assert_eq!(r.admitted, 3, "default quota admits everything directly");
+        assert_eq!(r.queued_at_admission, 0);
         // With 5s mean gaps and multi-minute queries the stream overlaps:
         // the shared clock beats running the same latencies back to back.
         assert!(
@@ -1151,10 +1054,17 @@ mod tests {
             "last line is the ci.sh diff line"
         );
         assert!(text.contains("bottleneck"));
+        assert!(
+            text.contains("service admission: 3 admitted, 0 queued at admission, policy fifo"),
+            "admission columns must reach the report"
+        );
         // The single exported trace passes validation (checked inside the
         // runner too, but assert the report carries the real JSON).
         let summary = validate_chrome_trace(&r.trace_json).unwrap();
-        assert_eq!(summary.processes, 4, "3 query lanes + the cluster telemetry lane");
+        assert_eq!(
+            summary.processes, 5,
+            "3 query lanes + the service lane + the cluster telemetry lane"
+        );
         assert_eq!(summary.begins, summary.ends);
         assert!(summary.counters > 0, "shared-cluster telemetry merged in");
         assert_eq!(summary.counters, r.trace_counters);

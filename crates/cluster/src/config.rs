@@ -44,6 +44,33 @@ pub enum SchedulerPolicy {
     DeadlineEdf,
 }
 
+impl SchedulerPolicy {
+    /// Canonical lowercase name — the spelling reports render and the
+    /// one `parse` round-trips.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerPolicy::Fifo => "fifo",
+            SchedulerPolicy::Fair => "fair",
+            SchedulerPolicy::Priority => "priority",
+            SchedulerPolicy::DeadlineEdf => "edf",
+        }
+    }
+
+    /// The ONE `--sched` parser every harness shares. Accepts the union
+    /// of spellings the workload and serve flags have historically
+    /// taken, case-insensitively:
+    /// `fifo | fair | priority | edf | deadline | deadline_edf`.
+    pub fn parse(s: &str) -> Option<SchedulerPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" => Some(SchedulerPolicy::Fifo),
+            "fair" => Some(SchedulerPolicy::Fair),
+            "priority" => Some(SchedulerPolicy::Priority),
+            "edf" | "deadline" | "deadline_edf" => Some(SchedulerPolicy::DeadlineEdf),
+            _ => None,
+        }
+    }
+}
+
 /// Simulated cluster parameters. All rates are in bytes per simulated
 /// second; all durations in simulated seconds.
 #[derive(Debug, Clone)]
@@ -164,5 +191,18 @@ mod tests {
     #[test]
     fn hive_profile() {
         assert_eq!(ClusterConfig::paper_hive().profile, RuntimeProfile::Hive);
+    }
+
+    #[test]
+    fn scheduler_names_round_trip_and_aliases_resolve() {
+        use SchedulerPolicy::*;
+        for p in [Fifo, Fair, Priority, DeadlineEdf] {
+            assert_eq!(SchedulerPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(SchedulerPolicy::parse("deadline"), Some(DeadlineEdf));
+        assert_eq!(SchedulerPolicy::parse("deadline_edf"), Some(DeadlineEdf));
+        assert_eq!(SchedulerPolicy::parse("EDF"), Some(DeadlineEdf), "case-insensitive");
+        assert_eq!(SchedulerPolicy::parse("lottery"), None);
+        assert_eq!(SchedulerPolicy::parse(""), None);
     }
 }

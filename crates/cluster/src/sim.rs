@@ -25,7 +25,7 @@
 //!   network; broadcast joins don't (§2.2.1).
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use dyno_obs::trace::NO_SPAN;
 use dyno_obs::{Metrics, Sample, SpanId, SpanKind, Timeline, Tracer};
@@ -170,6 +170,11 @@ impl Ord for Event {
 /// DeadlineEdf the earliest submit-tag deadline. Every policy breaks
 /// ties on the (monotone) job id, so each is a pure function of the
 /// cluster state — determinism is load-bearing for the service harness.
+///
+/// This full scan over `states` is the *reference* scheduler. The hot
+/// path grants out of the indexed ready-queues ([`Cluster::grant_slots`])
+/// and cross-checks every grant against this function in debug builds,
+/// so the index is provably order-identical to the scan.
 fn pick_job(
     states: &BTreeMap<u64, JobState>,
     policy: SchedulerPolicy,
@@ -193,6 +198,33 @@ fn pick_job(
                 da.total_cmp(&db).then(ida.cmp(&idb))
             })
             .map(|(&id, _)| id),
+    }
+}
+
+/// Map an `f64` to a `u64` whose unsigned order equals the float's
+/// [`f64::total_cmp`] order (sign-flip trick): the EDF deadline becomes a
+/// plain integer key the ready-queue [`BTreeSet`] can sort on.
+fn f64_order_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// The scheduling key a job sorts under in the indexed ready-queues.
+/// Lower keys win slots first; ties always break on the (monotone) job
+/// id, so `(sched_key, id)` reproduces [`pick_job`]'s order exactly:
+/// FIFO is constant (pure id order), Fair counts running tasks, Priority
+/// inverts the submit-tag priority, and EDF uses the total-order bits of
+/// the deadline (`None` → +∞, sorting last).
+fn sched_key(policy: SchedulerPolicy, st: &JobState) -> u64 {
+    match policy {
+        SchedulerPolicy::Fifo => 0,
+        SchedulerPolicy::Fair => (st.maps_outstanding + st.reduces_outstanding) as u64,
+        SchedulerPolicy::Priority => u64::from(u32::MAX - st.tag.priority),
+        SchedulerPolicy::DeadlineEdf => f64_order_key(st.tag.deadline.unwrap_or(f64::INFINITY)),
     }
 }
 
@@ -249,6 +281,12 @@ struct JobState {
     /// Current open wave span per kind as (span, end time).
     map_wave: Option<(SpanId, f64)>,
     reduce_wave: Option<(SpanId, f64)>,
+    /// Key this job is currently indexed under in the map ready-queue
+    /// (`None` when not enqueued) — kept so the entry can be removed
+    /// without recomputing a stale key.
+    map_queue_key: Option<u64>,
+    /// Same for the reduce ready-queue.
+    reduce_queue_key: Option<u64>,
 }
 
 /// The simulated cluster: configuration + virtual clock + the persistent
@@ -266,6 +304,15 @@ pub struct Cluster {
     events: BinaryHeap<Event>,
     states: BTreeMap<u64, JobState>,
     finished: BTreeMap<u64, JobTiming>,
+    /// Indexed ready-queues, one per slot class: `(sched_key, job id)` for
+    /// every job currently eligible for a slot of that class. Slot grants
+    /// pop the minimum instead of scanning all in-flight jobs, which is
+    /// what lets `ClusterConfig` sweep to ~1000 nodes / 10k slots.
+    map_ready: BTreeSet<(u64, u64)>,
+    reduce_ready: BTreeSet<(u64, u64)>,
+    /// Running total of broadcast-build bytes resident across all
+    /// in-flight jobs (avoids an O(jobs) sum per telemetry sample).
+    resident_bytes: u64,
     next_job_id: u64,
     seq: u64,
     free_map: usize,
@@ -289,6 +336,9 @@ impl Cluster {
             events: BinaryHeap::new(),
             states: BTreeMap::new(),
             finished: BTreeMap::new(),
+            map_ready: BTreeSet::new(),
+            reduce_ready: BTreeSet::new(),
+            resident_bytes: 0,
             next_job_id: 0,
             seq: 0,
             free_map,
@@ -490,6 +540,8 @@ impl Cluster {
                 peak_mem: 0,
                 map_wave: None,
                 reduce_wave: None,
+                map_queue_key: None,
+                reduce_queue_key: None,
             },
         );
         self.sample_timeline(submitted);
@@ -508,7 +560,7 @@ impl Cluster {
             map_busy: (self.config.map_slots() - self.free_map) as u32,
             reduce_busy: (self.config.reduce_slots() - self.free_reduce) as u32,
             pending_jobs: self.states.len() as u32,
-            resident_bytes: self.states.values().map(|s| s.mem_in_use).sum(),
+            resident_bytes: self.resident_bytes,
         });
     }
 
@@ -523,7 +575,7 @@ impl Cluster {
             map_busy: (self.config.map_slots() - self.free_map) as u32,
             reduce_busy: (self.config.reduce_slots() - self.free_reduce) as u32,
             pending_jobs: self.states.len() as u32,
-            resident_bytes: self.states.values().map(|s| s.mem_in_use).sum(),
+            resident_bytes: self.resident_bytes,
         }
     }
 
@@ -600,10 +652,13 @@ impl Cluster {
                 // it completes at startup.
                 if finished_now {
                     self.finish_job(id, now);
+                } else {
+                    self.refresh_sched(id);
                 }
             }
             EventKind::MapDone(id) => {
                 self.metrics.observe("cluster.task_secs", ev.task_duration);
+                self.resident_bytes -= ev.task_mem;
                 let st = self.states.get_mut(&id).expect("map event for live job");
                 st.mem_in_use -= ev.task_mem;
                 let span = st.span;
@@ -650,10 +705,13 @@ impl Cluster {
                 self.free_map += 1;
                 if finished_now {
                     self.finish_job(id, now);
+                } else {
+                    self.refresh_sched(id);
                 }
             }
             EventKind::ReduceDone(id) => {
                 self.metrics.observe("cluster.task_secs", ev.task_duration);
+                self.resident_bytes -= ev.task_mem;
                 let st = self.states.get_mut(&id).expect("reduce event for live job");
                 st.mem_in_use -= ev.task_mem;
                 let span = st.span;
@@ -693,6 +751,8 @@ impl Cluster {
                 self.free_reduce += 1;
                 if finished_now {
                     self.finish_job(id, now);
+                } else {
+                    self.refresh_sched(id);
                 }
             }
         }
@@ -701,18 +761,63 @@ impl Cluster {
         true
     }
 
+    /// Re-index one in-flight job in the ready-queues after any state
+    /// transition that can change its eligibility or scheduling key
+    /// (readiness, a task grant or completion, a retry re-queue). No-op
+    /// for finished jobs — [`Cluster::finish_job`] drops their entries.
+    fn refresh_sched(&mut self, id: u64) {
+        let Some(st) = self.states.get(&id) else {
+            return;
+        };
+        let key = sched_key(self.config.scheduler, st);
+        let want_map = (st.maps_ready && !st.pending_maps.is_empty()).then_some(key);
+        let want_reduce = (st.maps_ready
+            && st.pending_maps.is_empty()
+            && st.maps_outstanding == 0
+            && !st.pending_reduces.is_empty())
+        .then_some(key);
+        let (old_map, old_reduce) = (st.map_queue_key, st.reduce_queue_key);
+        if old_map != want_map {
+            if let Some(old) = old_map {
+                self.map_ready.remove(&(old, id));
+            }
+            if let Some(new) = want_map {
+                self.map_ready.insert((new, id));
+            }
+        }
+        if old_reduce != want_reduce {
+            if let Some(old) = old_reduce {
+                self.reduce_ready.remove(&(old, id));
+            }
+            if let Some(new) = want_reduce {
+                self.reduce_ready.insert((new, id));
+            }
+        }
+        let st = self.states.get_mut(&id).expect("job checked live above");
+        st.map_queue_key = want_map;
+        st.reduce_queue_key = want_reduce;
+    }
+
     /// Grant every free slot to an eligible job per the scheduling policy:
     /// maps first, then reduces (reduces only once a job's map phase has
-    /// fully completed — the MapReduce barrier).
+    /// fully completed — the MapReduce barrier). Grants pop the minimum
+    /// `(sched_key, id)` entry of the slot class's indexed ready-queue;
+    /// debug builds cross-check each pick against the [`pick_job`]
+    /// reference scan over all in-flight jobs.
     fn grant_slots(&mut self, now: SimTime) {
-        let policy = self.config.scheduler;
         let traced = self.tracer.is_enabled();
         let tracer = self.tracer.clone();
         while self.free_map > 0 {
-            let pick = pick_job(&self.states, policy, |st| {
-                st.maps_ready && !st.pending_maps.is_empty()
-            });
-            let Some(id) = pick else { break };
+            let Some(&(_, id)) = self.map_ready.iter().next() else {
+                break;
+            };
+            debug_assert_eq!(
+                Some(id),
+                pick_job(&self.states, self.config.scheduler, |st| {
+                    st.maps_ready && !st.pending_maps.is_empty()
+                }),
+                "indexed map ready-queue diverged from the reference scan"
+            );
             let st = self.states.get_mut(&id).expect("picked job is live");
             let (dur, retries, mem) = st
                 .pending_maps
@@ -729,6 +834,7 @@ impl Cluster {
             if traced {
                 extend_wave(&tracer, &mut st.map_wave, st.span, "map", now, dur);
             }
+            self.resident_bytes += mem;
             self.free_map -= 1;
             self.seq += 1;
             self.events.push(Event {
@@ -739,15 +845,22 @@ impl Cluster {
                 retries_left: retries,
                 task_mem: mem,
             });
+            self.refresh_sched(id);
         }
         while self.free_reduce > 0 {
-            let pick = pick_job(&self.states, policy, |st| {
-                st.maps_ready
-                    && st.pending_maps.is_empty()
-                    && st.maps_outstanding == 0
-                    && !st.pending_reduces.is_empty()
-            });
-            let Some(id) = pick else { break };
+            let Some(&(_, id)) = self.reduce_ready.iter().next() else {
+                break;
+            };
+            debug_assert_eq!(
+                Some(id),
+                pick_job(&self.states, self.config.scheduler, |st| {
+                    st.maps_ready
+                        && st.pending_maps.is_empty()
+                        && st.maps_outstanding == 0
+                        && !st.pending_reduces.is_empty()
+                }),
+                "indexed reduce ready-queue diverged from the reference scan"
+            );
             let st = self.states.get_mut(&id).expect("picked job is live");
             let (dur, retries, mem) = st
                 .pending_reduces
@@ -764,6 +877,7 @@ impl Cluster {
             if traced {
                 extend_wave(&tracer, &mut st.reduce_wave, st.span, "reduce", now, dur);
             }
+            self.resident_bytes += mem;
             self.free_reduce -= 1;
             self.seq += 1;
             self.events.push(Event {
@@ -774,6 +888,7 @@ impl Cluster {
                 retries_left: retries,
                 task_mem: mem,
             });
+            self.refresh_sched(id);
         }
     }
 
@@ -781,6 +896,12 @@ impl Cluster {
     /// keep its [`JobTiming`] reachable through the handle.
     fn finish_job(&mut self, id: u64, finished: SimTime) {
         let st = self.states.remove(&id).expect("finishing a live job");
+        if let Some(k) = st.map_queue_key {
+            self.map_ready.remove(&(k, id));
+        }
+        if let Some(k) = st.reduce_queue_key {
+            self.reduce_ready.remove(&(k, id));
+        }
         if st.peak_mem > 0 {
             self.metrics
                 .observe("cluster.job_peak_mem_bytes", st.peak_mem as f64);
@@ -1380,6 +1501,109 @@ mod scheduler_tests {
         // tight (60 s deadline) < relaxed (10 000 s) < untagged (∞).
         assert!(f(tight) < f(relaxed), "tight deadline wins slots first");
         assert!(f(relaxed) < f(untagged), "no deadline sorts last");
+    }
+
+    /// The total-order key underlying the EDF ready-queue must agree
+    /// with `f64::total_cmp` on every deadline shape the tag admits.
+    #[test]
+    fn f64_order_key_matches_total_cmp() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            60.0,
+            10_000.0,
+            f64::INFINITY,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    f64_order_key(a).cmp(&f64_order_key(b)),
+                    a.total_cmp(&b),
+                    "key order diverged for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// Refactor oracle: the indexed ready-queue must produce the *same
+    /// slot-grant order* as the old per-step scan over all in-flight
+    /// jobs, at the default cluster size, under every policy. Each grant
+    /// inside `grant_slots` is cross-checked against the retained
+    /// [`pick_job`] reference via `debug_assert_eq!`, so this heavily
+    /// contended run (staggered arrivals, retries, reduces, mixed tags)
+    /// panics if the index ever picks a different job; the timings are
+    /// additionally pinned to replay bitwise.
+    #[test]
+    fn indexed_ready_queue_matches_reference_scan_grant_order() {
+        let run = |policy: SchedulerPolicy| -> Vec<u64> {
+            let mut cl = Cluster::new(ClusterConfig {
+                scheduler: policy,
+                ..ClusterConfig::paper()
+            });
+            let mut flaky = map_task(96);
+            flaky.retries = 2;
+            let mut handles = Vec::new();
+            for (i, arrival) in [0.0, 2.0, 2.0, 17.0, 40.0].iter().enumerate() {
+                cl.run_until_time(*arrival);
+                cl.set_submit_tag(SubmitTag {
+                    priority: (i % 3) as u32,
+                    deadline: (i % 2 == 0).then_some(100.0 + 50.0 * i as f64),
+                });
+                // One flaky straggler per job keeps the retry re-queue
+                // path inside the index's refresh cycle.
+                let mut map_tasks: Vec<TaskProfile> =
+                    (0..(60 + 70 * i)).map(|_| map_task(64)).collect();
+                map_tasks.push(flaky.clone());
+                handles.push(cl.submit_job(JobProfile {
+                    name: format!("j{i}"),
+                    map_tasks,
+                    reduce_tasks: (0..(5 * i)).map(|_| map_task(16)).collect(),
+                    shuffle_bytes: (i as u64) << 24,
+                    ..JobProfile::default()
+                }));
+            }
+            cl.run_until_done(&handles);
+            handles
+                .iter()
+                .map(|&h| cl.timing(h).unwrap().finished.to_bits())
+                .collect()
+        };
+        for policy in [
+            SchedulerPolicy::Fifo,
+            SchedulerPolicy::Fair,
+            SchedulerPolicy::Priority,
+            SchedulerPolicy::DeadlineEdf,
+        ] {
+            assert_eq!(run(policy), run(policy), "{policy:?} replay diverged");
+        }
+    }
+
+    /// Tentpole: the event core must handle a ~1000-node / 10k-slot
+    /// sweep — hundreds of staggered jobs on a 10_000-map-slot cluster —
+    /// without per-step scans blowing up the debug-build test budget.
+    #[test]
+    fn event_core_scales_to_thousand_node_cluster() {
+        let mut cl = Cluster::new(ClusterConfig {
+            nodes: 1000,
+            task_jitter: 0.0,
+            ..ClusterConfig::paper()
+        });
+        assert_eq!(cl.config().map_slots(), 10_000);
+        let mut handles = Vec::new();
+        for i in 0..400u64 {
+            cl.run_until_time(i as f64 * 0.5);
+            handles.push(cl.submit_job(JobProfile {
+                name: format!("sweep{i}"),
+                map_tasks: (0..40).map(|_| map_task(64)).collect(),
+                ..JobProfile::default()
+            }));
+        }
+        cl.run_until_done(&handles);
+        assert_eq!(cl.in_flight_jobs(), 0);
+        assert_eq!(cl.free_map_slots(), 10_000);
     }
 
     /// Satellite: with every deadline equal, EDF's id tie-break makes it

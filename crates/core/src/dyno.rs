@@ -8,8 +8,10 @@ use dyno_exec::ExecError;
 use dyno_obs::Obs;
 use dyno_optimizer::{OptError, Optimizer};
 use dyno_query::block::CompileError;
+use dyno_query::JoinBlock;
 use dyno_stats::Metastore;
 use dyno_storage::{Dfs, DfsError};
+use dyno_tpch::catalog_for;
 use dyno_tpch::queries::PreparedQuery;
 
 use crate::driver::{DriverPoll, QueryDriver};
@@ -223,6 +225,33 @@ impl Dyno {
     pub fn clear_stats(&self) {
         self.metastore.clear();
         self.plan_cache.clear();
+    }
+
+    /// The statistics basis a plan for `q` would be costed under right
+    /// now: the query's leaf expression signatures paired with their
+    /// current metastore statistics versions, sorted and deduplicated —
+    /// the same vector the cross-query plan cache validates entries with.
+    /// A service that parked the query in an admission queue re-probes
+    /// this at queue exit: any moved version means the statistics the
+    /// initial plan would have been costed under at submit time are
+    /// stale, so optimization should re-run before execution. Version
+    /// probes record no metrics, so capturing a basis never perturbs
+    /// hit-rate accounting.
+    pub fn stats_basis(&self, q: &PreparedQuery) -> Result<Vec<(String, u64)>, DynoError> {
+        let cat = catalog_for(&q.spec);
+        let block = JoinBlock::compile(&q.spec, &cat)?;
+        let mut basis: Vec<(String, u64)> = block
+            .leaves
+            .iter()
+            .map(|l| {
+                let sig = l.signature();
+                let v = self.metastore.version(&sig);
+                (sig, v)
+            })
+            .collect();
+        basis.sort();
+        basis.dedup();
+        Ok(basis)
     }
 
     /// Run a prepared query under the given mode, on a fresh simulated

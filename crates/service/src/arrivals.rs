@@ -69,6 +69,33 @@ pub struct Arrival {
     pub tenant: TenantId,
 }
 
+/// One exponential inter-arrival gap with mean `mean`, from a uniform
+/// draw `u ∈ [0, 1)` (which keeps the log finite) — the single primitive
+/// every seeded arrival process in the repo is built from.
+pub fn exponential_gap(mean: f64, u: f64) -> f64 {
+    -mean * (1.0 - u).ln()
+}
+
+/// Seeded exponential arrival offsets for a `count`-long stream: the
+/// first arrival at t=0, each later one an [`exponential_gap`] after the
+/// previous. Draws from the *caller's* `rng` in stream order — the
+/// concurrent workload runner continues the same rng that shuffled its
+/// stream, so one seed determines both the order and the arrivals (and
+/// this helper reproduces its historical draw stream bit for bit). A
+/// non-positive `mean` puts every arrival at t=0 without drawing.
+pub fn exponential_offsets(rng: &mut StdRng, count: usize, mean: f64) -> Vec<SimTime> {
+    let mut out = Vec::with_capacity(count);
+    let mut t: f64 = 0.0;
+    for i in 0..count {
+        if i > 0 && mean > 0.0 {
+            let u = rng.next_f64();
+            t += exponential_gap(mean, u);
+        }
+        out.push(t);
+    }
+    out
+}
+
 /// Generate the arrival stream for `spec` — deterministic in
 /// `(spec, seed)`, times non-decreasing, tenants in `[0, spec.tenants)`.
 pub fn generate_arrivals(spec: &ArrivalSpec, seed: u64) -> Vec<Arrival> {
@@ -82,7 +109,7 @@ pub fn generate_arrivals(spec: &ArrivalSpec, seed: u64) -> Vec<Arrival> {
             let u = rng.next_f64();
             if burst_left > 0 {
                 burst_left -= 1;
-                t += -spec.burst_gap_secs * (1.0 - u).ln();
+                t += exponential_gap(spec.burst_gap_secs, u);
             } else {
                 // Thin the baseline exponential by the diurnal rate at
                 // the *current* time (a piecewise approximation of an
@@ -92,7 +119,7 @@ pub fn generate_arrivals(spec: &ArrivalSpec, seed: u64) -> Vec<Arrival> {
                     + spec.diurnal_amplitude
                         * (2.0 * std::f64::consts::PI * t / spec.diurnal_period_secs).sin();
                 let mean = spec.mean_gap_secs / rate.max(0.05);
-                t += -mean * (1.0 - u).ln();
+                t += exponential_gap(mean, u);
                 if spec.burst_len > 0 && rng.gen_bool(spec.burst_prob) {
                     burst_left = spec.burst_len;
                 }
@@ -194,6 +221,34 @@ mod tests {
         assert!(span(&bursty) < span(&calm));
         let tight = bursty.windows(2).filter(|w| w[1].at - w[0].at < 1.0).count();
         assert!(tight > 400, "bursts must produce tight gaps: {tight}");
+    }
+
+    #[test]
+    fn exponential_offsets_reproduce_the_historical_workload_draws() {
+        // The concurrent workload runner used to draw its arrivals with
+        // an inline loop after shuffling; the shared helper must
+        // reproduce that sub-stream bit for bit from the same rng state,
+        // or every fixed-seed concurrent golden moves.
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mean = 30.0;
+        let offsets = exponential_offsets(&mut a, 64, mean);
+        assert_eq!(offsets.len(), 64);
+        let mut t = 0.0f64;
+        for (i, &off) in offsets.iter().enumerate() {
+            if i > 0 {
+                let u = b.next_f64();
+                t += -mean * (1.0 - u).ln();
+            }
+            assert_eq!(off.to_bits(), t.to_bits(), "offset {i} diverged");
+        }
+        // Both rngs must also end in the same state.
+        assert_eq!(a.next_f64().to_bits(), b.next_f64().to_bits());
+        // Zero mean draws nothing from the rng at all.
+        let mut d1 = StdRng::seed_from_u64(9);
+        let d2 = StdRng::seed_from_u64(9).next_f64();
+        assert!(exponential_offsets(&mut d1, 16, 0.0).iter().all(|&t| t == 0.0));
+        assert_eq!(d1.next_f64().to_bits(), d2.to_bits());
     }
 
     #[test]

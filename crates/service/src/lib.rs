@@ -33,7 +33,9 @@
 pub mod arrivals;
 pub mod service;
 
-pub use arrivals::{generate_arrivals, Arrival, ArrivalSpec};
+pub use arrivals::{
+    exponential_gap, exponential_offsets, generate_arrivals, Arrival, ArrivalSpec,
+};
 pub use service::{
     AdmitError, HealthDigest, QueryOutcome, QueryService, QueryStatus, QueryTicket, ServiceConfig,
     SubmitOpts, TenantId, TenantQuota, TenantStats,

@@ -31,7 +31,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use dyno_cluster::{Cluster, JobHandle, SimTime, SubmitTag};
-use dyno_core::{DriverPoll, Dyno, Mode, QueryDriver};
+use dyno_core::{DriverPoll, Dyno, Mode, QueryDriver, QueryReport};
 use dyno_obs::trace::NO_SPAN;
 use dyno_obs::{
     AlertKind, AlertRuleKind, AlertScope, HealthMonitor, Histogram, Obs, SamplingPolicy,
@@ -72,7 +72,7 @@ impl Default for TenantQuota {
 }
 
 /// Service-wide configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Admission limits, applied uniformly to every tenant.
     pub quota: TenantQuota,
@@ -86,6 +86,34 @@ pub struct ServiceConfig {
     /// OOM-recovering, and alert-overlapping queries plus the seeded
     /// 1-in-N baseline, and drops the rest from the trace.
     pub sampling: Option<SamplingPolicy>,
+    /// Queue-time re-planning staleness bound (DESIGN.md §17). When set,
+    /// `submit` captures the statistics basis the query's initial plan
+    /// would be costed under ([`Dyno::stats_basis`] — the plan cache's
+    /// validation vector), and a ticket leaving the admission queue after
+    /// waiting *longer* than this bound re-probes it: any moved version
+    /// counts `service.replan.triggered` and stamps a `replan` trace
+    /// event before optimization runs against the fresh statistics; an
+    /// unmoved basis counts `service.replan.skipped` (with `reuse_plans`
+    /// on, that is exactly the case the plan cache serves without a
+    /// search). `None` (default) skips basis capture entirely.
+    pub replan_after: Option<f64>,
+    /// Whether the service opens its own root span (the "service" pid
+    /// lane in the Chrome export) when tracing is enabled. The serial
+    /// workload runner turns this off: one service per query must leave
+    /// the trace byte-identical to the pre-service solo path.
+    pub trace_service_lane: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            quota: TenantQuota::default(),
+            health: None,
+            sampling: None,
+            replan_after: None,
+            trace_service_lane: true,
+        }
+    }
 }
 
 /// Per-submission options: how to run the query and how urgently.
@@ -165,6 +193,17 @@ pub struct QueryOutcome {
     pub jobs: usize,
     /// `Some(true)` iff a deadline was set and the answer beat it.
     pub met_deadline: Option<bool>,
+    /// Summed queue delay of this query's jobs: time each job's first
+    /// task waited behind *other* jobs for a free slot.
+    pub queue_delay_secs: f64,
+    /// Summed per-task slot wait across this query's jobs.
+    pub slot_wait_secs: f64,
+    /// The root Query span this query's work nested under — workload
+    /// folds build critical-path decompositions from it.
+    pub query_span: SpanId,
+    /// The driver's full [`QueryReport`] (result rows, per-phase timing,
+    /// plan history) — what `Dyno::run` would have returned.
+    pub report: QueryReport,
 }
 
 /// What [`QueryService::poll`] reports for a ticket.
@@ -237,6 +276,11 @@ struct Entry {
     label: String,
     opts: SubmitOpts,
     submitted_at: SimTime,
+    /// The statistics basis captured at submit time (leaf signature →
+    /// metastore stats version), present only when queue-time re-planning
+    /// is configured. Re-probed when the ticket leaves the admission
+    /// queue after waiting past the staleness bound.
+    basis: Option<Vec<(String, u64)>>,
     state: EntryState,
 }
 
@@ -317,10 +361,14 @@ pub struct QueryService {
     tenants: BTreeMap<TenantId, TenantStats>,
     /// Root span every admission-control event hangs off — its own pid
     /// lane ("service") in the Chrome export, alongside the query lanes.
+    /// `NO_SPAN` when tracing is off *or* the lane is suppressed
+    /// (`ServiceConfig::trace_service_lane = false`); service events are
+    /// skipped in that case so they never attach to a nonexistent span.
     service_span: SpanId,
     finished: bool,
     health: Option<HealthState>,
     sampling: Option<SamplingPolicy>,
+    replan_after: Option<f64>,
 }
 
 impl QueryService {
@@ -334,7 +382,7 @@ impl QueryService {
             dyno.obs.metrics.clone(),
             dyno.obs.timeline.clone(),
         );
-        let service_span = if dyno.obs.tracer.is_enabled() {
+        let service_span = if cfg.trace_service_lane && dyno.obs.tracer.is_enabled() {
             dyno.obs
                 .tracer
                 .start_span(NO_SPAN, SpanKind::Phase, "service", cluster.now())
@@ -352,7 +400,24 @@ impl QueryService {
             finished: false,
             health: cfg.health.map(HealthState::new),
             sampling: cfg.sampling,
+            replan_after: cfg.replan_after,
         }
+    }
+
+    /// The underlying [`Dyno`] — shared metastore, plan cache, data, and
+    /// observability handles.
+    pub fn dyno(&self) -> &Dyno {
+        &self.dyno
+    }
+
+    /// Tear the service down and hand back its [`Dyno`] (closing the
+    /// service span first, if one is open). The serial workload runner
+    /// stands up one short-lived service per query over the same
+    /// long-lived `Dyno`, exactly as `Dyno::run` builds one cluster per
+    /// query over the same metastore.
+    pub fn into_dyno(mut self) -> Dyno {
+        self.finish();
+        self.dyno
     }
 
     /// The shared simulated clock.
@@ -442,20 +507,22 @@ impl QueryService {
                 AlertKind::Fire => ("alert_fire", "service.alerts.fired"),
                 AlertKind::Resolve => ("alert_resolve", "service.alerts.resolved"),
             };
-            self.dyno.obs.tracer.event(
-                self.service_span,
-                ev.at,
-                verb,
-                vec![
-                    ("scope", format!("{}", ev.scope).into()),
-                    ("rule", ev.rule.label().into()),
-                    ("window_secs", ev.window_secs.into()),
-                    ("burn", ev.burn.into()),
-                    ("threshold", ev.threshold.into()),
-                    ("errors", ev.errors.into()),
-                    ("total", ev.total.into()),
-                ],
-            );
+            if self.service_span != NO_SPAN {
+                self.dyno.obs.tracer.event(
+                    self.service_span,
+                    ev.at,
+                    verb,
+                    vec![
+                        ("scope", format!("{}", ev.scope).into()),
+                        ("rule", ev.rule.label().into()),
+                        ("window_secs", ev.window_secs.into()),
+                        ("burn", ev.burn.into()),
+                        ("threshold", ev.threshold.into()),
+                        ("errors", ev.errors.into()),
+                        ("total", ev.total.into()),
+                    ],
+                );
+            }
             self.dyno.obs.metrics.incr(counter, 1);
             let per_rule = match ev.kind {
                 AlertKind::Fire => format!("service.alerts.{}.fired", ev.rule.label()),
@@ -488,15 +555,17 @@ impl QueryService {
             if let Some(h) = &mut self.health {
                 h.rejections.incr(now, 1);
             }
-            tracer.event(
-                self.service_span,
-                now,
-                "admission_reject",
-                vec![
-                    ("tenant", (tenant as u64).into()),
-                    ("slot_secs_used", stats.slot_secs_used.into()),
-                ],
-            );
+            if self.service_span != NO_SPAN {
+                tracer.event(
+                    self.service_span,
+                    now,
+                    "admission_reject",
+                    vec![
+                        ("tenant", (tenant as u64).into()),
+                        ("slot_secs_used", stats.slot_secs_used.into()),
+                    ],
+                );
+            }
             return Err(AdmitError::QuotaExhausted {
                 tenant,
                 used: stats.slot_secs_used,
@@ -506,24 +575,35 @@ impl QueryService {
 
         let ticket = QueryTicket(self.next_ticket);
         self.next_ticket += 1;
-        let label = format!("{} ({})", queries::prepare(query).spec.name, opts.mode.name());
+        let prepared = queries::prepare(query);
+        let label = format!("{} ({})", prepared.spec.name, opts.mode.name());
         let queue_at_admission = stats.in_flight >= self.quota.max_in_flight;
         if queue_at_admission {
             stats.queued += 1;
             self.dyno.obs.metrics.incr("service.queued_at_admission", 1);
-            tracer.event(
-                self.service_span,
-                now,
-                "admission_queue",
-                vec![
-                    ("tenant", (tenant as u64).into()),
-                    ("in_flight", (stats.in_flight as u64).into()),
-                ],
-            );
+            if self.service_span != NO_SPAN {
+                tracer.event(
+                    self.service_span,
+                    now,
+                    "admission_queue",
+                    vec![
+                        ("tenant", (tenant as u64).into()),
+                        ("in_flight", (stats.in_flight as u64).into()),
+                    ],
+                );
+            }
         } else {
             stats.admitted += 1;
             self.dyno.obs.metrics.incr("service.admitted", 1);
         }
+        // Queue-time re-planning: remember what the plan would be costed
+        // under *now*; queue exit compares against it. Version probes are
+        // metrics-free, so capture never perturbs hit-rate accounting.
+        let basis = if self.replan_after.is_some() {
+            self.dyno.stats_basis(&prepared).ok()
+        } else {
+            None
+        };
         self.entries.insert(
             ticket.0,
             Entry {
@@ -532,6 +612,7 @@ impl QueryService {
                 label,
                 opts,
                 submitted_at: now,
+                basis,
                 state: EntryState::Queued,
             },
         );
@@ -582,12 +663,14 @@ impl QueryService {
         }
         let tenant = e.tenant;
         self.dyno.obs.metrics.incr("service.canceled", 1);
-        self.dyno.obs.tracer.event(
-            self.service_span,
-            now,
-            "cancel",
-            vec![("tenant", (tenant as u64).into()), ("ticket", ticket.0.into())],
-        );
+        if self.service_span != NO_SPAN {
+            self.dyno.obs.tracer.event(
+                self.service_span,
+                now,
+                "cancel",
+                vec![("tenant", (tenant as u64).into()), ("ticket", ticket.0.into())],
+            );
+        }
         // If nothing was in flight the settlement is immediate.
         self.settle_canceled();
         true
@@ -617,15 +700,60 @@ impl QueryService {
     pub fn finish(&mut self) {
         if !self.finished {
             self.finished = true;
-            self.dyno
-                .obs
-                .tracer
-                .end_span(self.service_span, self.cluster.now());
+            if self.service_span != NO_SPAN {
+                self.dyno
+                    .obs
+                    .tracer
+                    .end_span(self.service_span, self.cluster.now());
+            }
+        }
+    }
+
+    /// Queue-time re-planning check (DESIGN.md §17), run as a ticket
+    /// leaves the admission queue. If the ticket waited longer than the
+    /// configured staleness bound, re-probe the statistics basis its
+    /// plan would have been costed under at submit time: any moved
+    /// version means optimization must re-run over fresh statistics —
+    /// which is exactly what the driver about to start does (and what
+    /// the plan cache's version validation refuses to serve a stale
+    /// entry for). Counts `service.replan.{checked,triggered,skipped}`
+    /// and stamps a `replan` trace event when triggered.
+    fn replan_check(&mut self, id: u64) {
+        let Some(bound) = self.replan_after else { return };
+        let e = &self.entries[&id];
+        let Some(basis) = &e.basis else { return };
+        let now = self.cluster.now();
+        let waited = now - e.submitted_at;
+        if waited <= bound {
+            return;
+        }
+        let stale: u64 = basis
+            .iter()
+            .filter(|(sig, v)| self.dyno.metastore.version(sig) != *v)
+            .count() as u64;
+        self.dyno.obs.metrics.incr("service.replan.checked", 1);
+        if stale > 0 {
+            self.dyno.obs.metrics.incr("service.replan.triggered", 1);
+            if self.service_span != NO_SPAN {
+                self.dyno.obs.tracer.event(
+                    self.service_span,
+                    now,
+                    "replan",
+                    vec![
+                        ("ticket", id.into()),
+                        ("waited_secs", waited.into()),
+                        ("stale_leaves", stale.into()),
+                    ],
+                );
+            }
+        } else {
+            self.dyno.obs.metrics.incr("service.replan.skipped", 1);
         }
     }
 
     /// Start the driver for an admission-complete ticket.
     fn start_ticket(&mut self, id: u64) {
+        self.replan_check(id);
         let e = self.entries.get_mut(&id).expect("ticket exists");
         debug_assert!(matches!(e.state, EntryState::Queued));
         let prepared = queries::prepare(e.query);
@@ -811,6 +939,12 @@ impl QueryService {
                     .filter_map(|&h| self.cluster.timing(h))
                     .map(|t| t.map_slot_secs + t.reduce_slot_secs)
                     .sum();
+                let (queue_delay_secs, slot_wait_secs) = jobs
+                    .iter()
+                    .filter_map(|&h| self.cluster.timing(h))
+                    .fold((0.0, 0.0), |(q, s), t| {
+                        (q + t.queue_delay, s + t.slot_wait_secs)
+                    });
                 let outcome = QueryOutcome {
                     tenant: e.tenant,
                     label: e.label.clone(),
@@ -822,6 +956,10 @@ impl QueryService {
                     rows: report.rows,
                     jobs: jobs.len(),
                     met_deadline: e.opts.deadline.map(|d| now <= d),
+                    queue_delay_secs,
+                    slot_wait_secs,
+                    query_span: driver.query_span(),
+                    report,
                 };
                 let stats = self.tenants.entry(e.tenant).or_default();
                 stats.in_flight -= 1;
@@ -1268,5 +1406,123 @@ mod tests {
         assert!(!sampled.contains("\"Q10\""), "on-time query must be dropped");
         assert!(full.contains("\"Q10\""));
         validate_trace_subset(&sampled, &full).unwrap();
+    }
+
+    /// Shared fixture for the queue-time re-planning tests: a ticket for
+    /// `target` queued behind a restaurant-dataset blocker (disjoint
+    /// statistics basis, so the blocker's own pilot-run `put`s never move
+    /// the target's versions), with an optional poison applied to one of
+    /// the target's basis signatures while it waits at admission.
+    fn replan_run(poison: bool) -> (u64, u64, u64, Vec<String>, String) {
+        use dyno_stats::TableStats;
+
+        let mut s = service_cfg(
+            ClusterConfig::paper(),
+            ServiceConfig {
+                quota: TenantQuota {
+                    max_in_flight: 1,
+                    ..TenantQuota::default()
+                },
+                replan_after: Some(0.0),
+                ..ServiceConfig::default()
+            },
+        );
+        let target_basis = s
+            .dyno
+            .stats_basis(&queries::prepare(QueryId::Q2))
+            .expect("Q2 compiles");
+        let blocker_basis = s
+            .dyno
+            .stats_basis(&queries::prepare(QueryId::Q1Restaurant))
+            .expect("Q1r compiles");
+        assert!(
+            target_basis.iter().all(|(sig, _)| {
+                blocker_basis.iter().all(|(b, _)| b != sig)
+            }),
+            "fixture requires disjoint bases: {target_basis:?} vs {blocker_basis:?}"
+        );
+
+        let blocker = s
+            .submit(1, QueryId::Q1Restaurant, SubmitOpts::default())
+            .unwrap();
+        let target = s.submit(1, QueryId::Q2, SubmitOpts::default()).unwrap();
+        assert!(matches!(s.poll(target), Some(QueryStatus::Queued)));
+        if poison {
+            // A stats refresh lands for one of the queued query's leaves
+            // while it waits: its version moves, and the fresh (absurdly
+            // large) cardinality must change what the optimizer picks.
+            let (sig, v) = target_basis.first().unwrap().clone();
+            assert_eq!(s.dyno.metastore.version(&sig), v, "captured at submit");
+            s.dyno.metastore.put(
+                sig,
+                TableStats {
+                    rows: 1e12,
+                    avg_record_size: 1e3,
+                    columns: std::collections::BTreeMap::new(),
+                },
+            );
+        }
+        s.drain();
+        assert!(outcome(&s, blocker).jobs > 0);
+        let o = outcome(&s, target);
+        let m = &s.obs().metrics;
+        (
+            m.counter("service.replan.checked"),
+            m.counter("service.replan.triggered"),
+            m.counter("service.replan.skipped"),
+            o.report.plans.clone(),
+            s.obs().tracer.to_chrome_trace(),
+        )
+    }
+
+    /// Satellite: a stats version bump while the ticket waits at
+    /// admission is detected when the ticket leaves the queue —
+    /// `service.replan.triggered` counts it, the `replan` trace event is
+    /// stamped, and the re-run optimization picks a different plan than
+    /// the unpoisoned control.
+    #[test]
+    fn replan_triggers_on_stats_bump_while_queued_and_flips_the_plan() {
+        let (checked, triggered, skipped, plans, trace) = replan_run(true);
+        assert_eq!(checked, 1, "exactly the out-waiting ticket is checked");
+        assert_eq!(triggered, 1, "the moved version must trigger a re-plan");
+        assert_eq!(skipped, 0);
+        assert!(trace.contains("\"replan\""), "trace must carry the replan event");
+
+        let (_, _, _, control_plans, _) = replan_run(false);
+        assert_ne!(
+            plans, control_plans,
+            "re-planning against the bumped statistics must choose differently"
+        );
+    }
+
+    /// Satellite: the no-bump control. The ticket out-waits the bound and
+    /// is checked, but its basis is unmoved — `service.replan.skipped`
+    /// increments and the chosen plans are bitwise-identical to a run
+    /// where the query never queued at all.
+    #[test]
+    fn replan_skips_on_unmoved_basis_and_plans_match_the_unqueued_run() {
+        let (checked, triggered, skipped, plans, trace) = replan_run(false);
+        assert_eq!(checked, 1);
+        assert_eq!(triggered, 0);
+        assert_eq!(skipped, 1, "unmoved basis must be counted as skipped");
+        assert!(!trace.contains("\"replan\""), "no event without a trigger");
+
+        // Unqueued control: same query, same service shape, no blocker —
+        // the ticket starts immediately (waited == 0, not even checked).
+        let mut solo = service_cfg(
+            ClusterConfig::paper(),
+            ServiceConfig {
+                replan_after: Some(0.0),
+                ..ServiceConfig::default()
+            },
+        );
+        let t = solo.submit(1, QueryId::Q2, SubmitOpts::default()).unwrap();
+        solo.drain();
+        let o = outcome(&solo, t);
+        assert_eq!(solo.obs().metrics.counter("service.replan.checked"), 0);
+        assert_eq!(
+            plans, o.report.plans,
+            "an unmoved basis must leave the plan bitwise-identical"
+        );
     }
 }
