@@ -53,6 +53,14 @@
 #      wall-clock budget and reproduce its committed `slo attainment:`
 #      line, guarding the indexed ready-queue scaling of the event core
 #      against regression.
+#  12. incident flight-recorder smoke check: the step-10 fixed-seed
+#      serve run with `--incidents` added must reproduce the committed
+#      `incidents:` summary line *exactly*, write one
+#      incident-NNNN.{txt,json} pair per opened incident (every JSON
+#      document re-validates via the in-repo validator before repro
+#      prints anything), and keep BOTH the `alerts:` line (step 10) and
+#      the `slo attainment:` line (step 9) byte-identical — the
+#      recorder is observe-only by construction.
 #
 # The build is hermetic: every dependency is a path crate inside this
 # repository, so everything below runs with --offline and no registry.
@@ -300,5 +308,59 @@ fi
 echo "$scale_out" | grep -q '^chrome trace: 101 named pid lanes, .*balanced (validated)' ||
     { echo "FAIL: population trace no longer validates"; exit 1; }
 echo "ok: $got on 1000 nodes / 10000 slots within budget"
+
+echo "== incident flight-recorder smoke check (frozen reports vs repro_output.txt) =="
+# Run in a scratch directory: repro writes incident-NNNN.{txt,json}
+# files next to wherever it runs, and those must not litter the repo.
+repro_bin="$PWD/target/release/repro"
+incident_dir=$(mktemp -d)
+# The subshell cd keeps this script's own cwd untouched.
+incident_out=$(cd "$incident_dir" && "$repro_bin" \
+    serve q2x6,q7x5,q9x5 100 --seed 11 --divisor 200000 \
+    --tenants 1000 --sched edf --arrival-mean 15 --slo-mult 2 \
+    --health --sample-one-in 4 --incidents)
+got=$(echo "$incident_out" | grep '^incidents: ') ||
+    { echo "FAIL: incident serve report has no incidents line"; exit 1; }
+ref=$(grep '^incidents: ' repro_output.txt | head -1) ||
+    { echo "FAIL: no incidents line in repro_output.txt"; exit 1; }
+if [ "$got" != "$ref" ]; then
+    echo "FAIL: incident summary drifted:"
+    echo "  got: $got"
+    echo "  ref: $ref"
+    exit 1
+fi
+# The recorder is observe-only: the alert stream and the SLO line must
+# be byte-identical to the recorder-off runs of steps 10 and 9.
+alerts_inc=$(echo "$incident_out" | grep '^alerts: ')
+alerts_ref=$(echo "$health_out" | grep '^alerts: ')
+if [ "$alerts_inc" != "$alerts_ref" ]; then
+    echo "FAIL: --incidents changed the alert stream (must be observe-only):"
+    echo "  incidents: $alerts_inc"
+    echo "  health:    $alerts_ref"
+    exit 1
+fi
+slo_inc=$(echo "$incident_out" | grep '^slo attainment: ')
+if [ "$slo_inc" != "$slo_plain" ]; then
+    echo "FAIL: --incidents changed outcomes (must be observe-only):"
+    echo "  incidents: $slo_inc"
+    echo "  plain:     $slo_plain"
+    exit 1
+fi
+# One .txt + .json pair per opened incident; every JSON document was
+# already re-validated inside run_serve (repro exits 2 otherwise), so
+# here we only check that the files landed and are non-empty.
+opened=$(echo "$got" | sed 's/.*opened=\([0-9]*\).*/\1/')
+[ "$opened" -ge 1 ] || { echo "FAIL: the flood froze no incidents"; exit 1; }
+n_json=$(ls "$incident_dir"/incident-*.json 2>/dev/null | wc -l)
+n_txt=$(ls "$incident_dir"/incident-*.txt 2>/dev/null | wc -l)
+if [ "$n_json" -ne "$opened" ] || [ "$n_txt" -ne "$opened" ]; then
+    echo "FAIL: expected $opened incident-NNNN.{txt,json} pairs, found $n_json json / $n_txt txt"
+    exit 1
+fi
+for f in "$incident_dir"/incident-*; do
+    [ -s "$f" ] || { echo "FAIL: empty incident file $f"; exit 1; }
+done
+rm -rf "$incident_dir"
+echo "ok: $got matches reference exactly; $opened validated report pairs written"
 
 echo "CI OK"

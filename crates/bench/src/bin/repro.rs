@@ -91,7 +91,22 @@ fn run(args: &[String]) -> Result<(), BenchError> {
         "serve" => {
             let spec = positional(&cli, 1, "<spec>")?;
             let sf = parse_sf(&cli, 2)?;
-            print!("{}", run_serve(spec, sf, cli.seed, scale, cli.serve_opts)?.render());
+            let report = run_serve(spec, sf, cli.seed, scale, cli.serve_opts)?;
+            print!("{}", report.render());
+            // With --incidents, each frozen report also lands on disk
+            // (already validated inside run_serve) as a text rendering
+            // plus machine-readable JSON, next to wherever repro ran.
+            if let Some(inc) = &report.incidents {
+                for (stem, text, json) in &inc.files {
+                    for (ext, body) in [("txt", text), ("json", json)] {
+                        let path = format!("{stem}.{ext}");
+                        std::fs::write(&path, body).map_err(|e| BenchError::Io {
+                            path: path.clone(),
+                            message: e.to_string(),
+                        })?;
+                    }
+                }
+            }
             return Ok(());
         }
         _ => {}

@@ -27,6 +27,7 @@ pub const USAGE: &str = "usage: repro [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|
                    [--slo-mult X] [--max-in-flight N] [--quota-slot-secs S]
                    [--tenant-skew X] [--health] [--health-interval S]
                    [--sample-one-in N] [--replan-after S]
+                   [--incidents] [--incident-top K]
 
 queries:  q2 q5 q7 q8_prime q9_prime q10 q1_restaurant
 workload: comma-separated entries of the form name[@mode][xN],
@@ -52,6 +53,12 @@ health:   --health turns on sliding-window SLO burn-rate alerting and a
           deterministic. --sample-one-in N keeps span trees only for
           SLO-violating / OOM-recovering / alert-overlapping queries
           plus a seeded 1-in-N baseline (0 = keep everything)
+incidents: --incidents arms the flight recorder: every burn-rate alert
+          freezes a deterministic incident report (pre-fire state
+          samples, top --incident-top SLO-violating queries with
+          critical-path blame, suspect tenants) written as
+          incident-NNNN.{txt,json} next to the report; implies the SLO
+          monitor but not the --health digests, and stays observe-only
 scale:    --nodes N overrides the worker-node count (default 14); the
           indexed ready-queues keep ~1000 nodes / 10k slots tractable.
           --replan-after S re-probes a queued ticket's stats basis when
@@ -207,6 +214,17 @@ pub fn parse_cli(args: &[String]) -> Result<Option<Cli>, BenchError> {
                 }
                 serve_opts.sample_one_in = n;
             }
+            "--incidents" => serve_opts.incidents = true,
+            "--incident-top" => {
+                let k = parse_flag_u64(it.next(), "--incident-top", "a positive query count")?;
+                if k == 0 {
+                    return Err(BenchError::BadArg {
+                        arg: "--incident-top".to_owned(),
+                        expected: "a positive query count".to_owned(),
+                    });
+                }
+                serve_opts.incident_top = k as usize;
+            }
             "--help" | "-h" => return Ok(None),
             other if other.starts_with('-') => {
                 return Err(BenchError::Usage(format!(
@@ -310,6 +328,9 @@ mod tests {
             "60",
             "--sample-one-in",
             "10",
+            "--incidents",
+            "--incident-top",
+            "5",
         ])
         .unwrap()
         .unwrap();
@@ -324,6 +345,8 @@ mod tests {
         assert!(cli.serve_opts.health);
         assert_eq!(cli.serve_opts.health_interval, 60.0);
         assert_eq!(cli.serve_opts.sample_one_in, 10);
+        assert!(cli.serve_opts.incidents);
+        assert_eq!(cli.serve_opts.incident_top, 5);
         assert_eq!(cli.workload_opts.arrival_mean, 12.5, "shared flag");
         assert_eq!(positional(&cli, 1, "<spec>").unwrap(), "q2x3");
         assert_eq!(parse_sf(&cli, 2).unwrap(), 100);
@@ -344,6 +367,7 @@ mod tests {
             &["--frobnicate"],
             &["workload", "q2", "1", "--sched-policy", "edf"],
             &["serve", "q2", "1", "--tenant", "5"],
+            &["serve", "q2", "1", "--incident"],
             &["--concurrency"],
             &["-x"],
         ];
@@ -387,6 +411,9 @@ mod tests {
             (&["--health-interval"], "--health-interval"),
             (&["--sample-one-in", "0"], "--sample-one-in"),
             (&["--sample-one-in", "half"], "--sample-one-in"),
+            (&["--incident-top"], "--incident-top"),
+            (&["--incident-top", "0"], "--incident-top"),
+            (&["--incident-top", "three"], "--incident-top"),
         ];
         for (args, flag) in bad_arg {
             match parse(args) {

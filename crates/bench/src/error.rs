@@ -28,6 +28,11 @@ pub enum BenchError {
     EmptyTrace,
     /// The exported Chrome trace failed validation — an exporter bug.
     InvalidTrace(String),
+    /// A frozen incident report failed its JSON validation — a recorder
+    /// bug (the same discipline as [`BenchError::InvalidTrace`]).
+    InvalidIncident(String),
+    /// An output file could not be written (per-incident reports).
+    Io { path: String, message: String },
 }
 
 impl fmt::Display for BenchError {
@@ -50,6 +55,12 @@ impl fmt::Display for BenchError {
             BenchError::EmptyTrace => write!(f, "tracer recorded no query span"),
             BenchError::InvalidTrace(why) => {
                 write!(f, "exported Chrome trace failed validation: {why}")
+            }
+            BenchError::InvalidIncident(why) => {
+                write!(f, "incident report failed validation: {why}")
+            }
+            BenchError::Io { path, message } => {
+                write!(f, "cannot write {path}: {message}")
             }
         }
     }

@@ -24,7 +24,10 @@ use std::collections::BTreeMap;
 use dyno_cluster::{ClusterConfig, SchedulerPolicy};
 use dyno_common::{Rng, SeedableRng, StdRng};
 use dyno_core::{Mode, Strategy};
-use dyno_obs::{validate_chrome_trace, Histogram, Obs, SamplingPolicy, SloPolicy};
+use dyno_obs::{
+    validate_chrome_trace, validate_incident_json, Histogram, Obs, RecorderPolicy,
+    SamplingPolicy, SloPolicy,
+};
 use dyno_service::{
     generate_arrivals, ArrivalSpec, HealthDigest, QueryService, QueryStatus, ServiceConfig,
     SubmitOpts, TenantId, TenantQuota,
@@ -76,6 +79,14 @@ pub struct ServeOptions {
     /// simulated seconds: tickets that waited at admission longer than
     /// this re-probe their stats basis before running. `None` disables.
     pub replan_after: Option<f64>,
+    /// Incident flight recorder (`--incidents`): freeze a diagnostic
+    /// snapshot per alert fire and emit it as a per-incident file.
+    /// Implies the live SLO monitor (alerts are what trigger freezes)
+    /// but not the `--health` digests. Observe-only.
+    pub incidents: bool,
+    /// Top-K blamed queries / suspect tenants per incident
+    /// (`--incident-top`, default 3).
+    pub incident_top: usize,
 }
 
 impl Default for ServeOptions {
@@ -93,6 +104,8 @@ impl Default for ServeOptions {
             sample_one_in: 0,
             nodes: None,
             replan_after: None,
+            incidents: false,
+            incident_top: 3,
         }
     }
 }
@@ -170,6 +183,22 @@ pub struct ServeReport {
     /// `(checked, triggered, skipped)` staleness probes on tickets that
     /// out-waited the bound.
     pub replan: Option<(u64, u64, u64)>,
+    /// Flight-recorder output (`--incidents`): the summary counts plus
+    /// the per-incident artifacts `repro serve` writes to disk.
+    pub incidents: Option<IncidentFiles>,
+}
+
+/// Frozen incident reports, pre-validated and ready to write: one
+/// `(file stem, text render, JSON document)` triple per incident, plus
+/// the machine-parseable summary line ci.sh diffs.
+#[derive(Debug, Clone)]
+pub struct IncidentFiles {
+    /// `incidents: opened=.. resolved=.. active=..`.
+    pub summary_line: String,
+    /// `(file stem, text render, JSON document)` per frozen incident,
+    /// in fire order. Every JSON document has already passed
+    /// [`validate_incident_json`].
+    pub files: Vec<(String, String, String)>,
 }
 
 /// Folded health-monitoring output: the periodic digests plus the alert
@@ -275,12 +304,19 @@ pub fn run_serve(
                 max_in_flight: opts.max_in_flight,
                 slot_secs: opts.quota_slot_secs,
             },
-            health: opts.health.then(SloPolicy::default),
+            // `--incidents` implies the SLO monitor (alert fires are
+            // what trigger freezes) but not the `--health` digests; the
+            // monitor is observe-only either way.
+            health: (opts.health || opts.incidents).then(SloPolicy::default),
             sampling: (opts.sample_one_in > 0).then(|| SamplingPolicy {
                 one_in: opts.sample_one_in,
                 seed,
             }),
             replan_after: opts.replan_after,
+            recorder: opts.incidents.then(|| RecorderPolicy {
+                top_k: opts.incident_top.max(1),
+                ..RecorderPolicy::default()
+            }),
             ..ServiceConfig::default()
         },
     );
@@ -432,6 +468,26 @@ pub fn run_serve(
         )
     });
 
+    // Every frozen incident renders to text and JSON here; the JSON is
+    // validated before it can ever reach disk — the same discipline as
+    // the Chrome-trace exporter below.
+    let incidents = if opts.incidents {
+        let rec = service.recorder().expect("recorder configured with --incidents");
+        let mut files = Vec::with_capacity(rec.incidents().len());
+        for inc in rec.incidents() {
+            let json = inc.to_json();
+            validate_incident_json(&json)
+                .map_err(|e| BenchError::InvalidIncident(format!("incident {}: {e}", inc.id)))?;
+            files.push((inc.file_stem(), inc.render(), json));
+        }
+        Some(IncidentFiles {
+            summary_line: rec.summary_line(),
+            files,
+        })
+    } else {
+        None
+    };
+
     // One validated Chrome trace for the whole population: every query
     // that KEPT its span tree is a pid lane (all of them unless tail
     // sampling shed some), the service span is one more lane, and the
@@ -471,6 +527,7 @@ pub fn run_serve(
         health,
         sampling,
         replan,
+        incidents,
     })
 }
 
@@ -504,6 +561,12 @@ impl ServeReport {
                 h.fired, h.resolved, h.fast_fired, h.slow_fired
             )
         })
+    }
+
+    /// The machine-parseable incident summary (`--incidents` only) —
+    /// ci.sh's incident smoke diffs this exact line.
+    pub fn incidents_line(&self) -> Option<String> {
+        self.incidents.as_ref().map(|i| i.summary_line.clone())
     }
 
     /// Render the full deterministic text report.
@@ -603,6 +666,17 @@ impl ServeReport {
             "chrome trace: {} named pid lanes, {} telemetry counters, balanced (validated)\n",
             self.trace_processes, self.trace_counters
         ));
+        if let Some(inc) = &self.incidents {
+            out.push_str(&inc.summary_line);
+            out.push('\n');
+            for (stem, text, _) in &inc.files {
+                let head = text.lines().next().unwrap_or_default();
+                out.push_str(&format!(
+                    "  {stem}: {}\n",
+                    head.trim_matches(|c: char| c == '=' || c == ' ')
+                ));
+            }
+        }
         // The SLO line stays LAST — ci.sh keys on it.
         out.push_str(&self.slo_line());
         out.push('\n');
@@ -835,6 +909,95 @@ mod tests {
                 Ok(())
             },
         );
+    }
+
+    /// Tentpole acceptance: a seeded flood run with `--incidents` emits
+    /// at least one incident whose JSON passes the in-repo validator,
+    /// leaves the `slo attainment:` and `alerts:` lines byte-identical
+    /// to the recorder-off run, and produces byte-identical per-incident
+    /// files across identical seeds.
+    #[test]
+    fn incident_run_is_observe_only_and_emits_validated_files() {
+        let flood = |incidents: bool| {
+            run_serve(
+                "q2x4,q10x2",
+                1,
+                11,
+                coarse(),
+                ServeOptions {
+                    health: true,
+                    health_interval: 120.0,
+                    slo_mult: 1.0, // tight SLOs so the burn rules trip
+                    incidents,
+                    ..small_opts()
+                },
+            )
+            .unwrap()
+        };
+        let off = flood(false);
+        let on = flood(true);
+        assert_eq!(off.slo_line(), on.slo_line(), "recorder is observe-only");
+        assert_eq!(off.alerts_line(), on.alerts_line(), "alert stream untouched");
+        assert!(off.incidents.is_none() && off.incidents_line().is_none());
+        let inc = on.incidents.as_ref().expect("incident summary present");
+        let fired = on.health.as_ref().unwrap().fired;
+        assert!(fired > 0, "the flood must trip the burn-rate alerts");
+        assert!(!inc.files.is_empty(), "every fire freezes an incident");
+        assert!(inc.summary_line.starts_with("incidents: opened="));
+        for (i, (stem, text, json)) in inc.files.iter().enumerate() {
+            assert_eq!(stem, &format!("incident-{:04}", i + 1));
+            assert!(text.starts_with(&format!("== incident {}", i + 1)));
+            let summary = validate_incident_json(json).unwrap();
+            assert!(summary.samples >= 1);
+        }
+        let text = on.render();
+        assert!(text.contains(&inc.summary_line), "summary line rendered");
+        assert!(text.contains("  incident-0001: "), "per-incident lines rendered");
+        assert!(
+            text.lines().last().unwrap().starts_with("slo attainment: "),
+            "slo line stays last"
+        );
+        // Identical seeds produce byte-identical incident files.
+        let again = flood(true);
+        let flat = |r: &ServeReport| {
+            r.incidents
+                .as_ref()
+                .unwrap()
+                .files
+                .iter()
+                .map(|(s, t, j)| format!("{s}\n{t}\n{j}"))
+                .collect::<Vec<_>>()
+                .join("\n---\n")
+        };
+        assert_eq!(flat(&on), flat(&again), "incident files must be byte-identical");
+        assert_eq!(on.render(), again.render());
+    }
+
+    /// `--incidents` without `--health` still works: the implied SLO
+    /// monitor drives the freezes, the digests stay off, and outcomes
+    /// match the plain run exactly.
+    #[test]
+    fn incidents_flag_implies_the_monitor_but_not_the_digests() {
+        let opts = ServeOptions {
+            slo_mult: 1.0,
+            incidents: true,
+            ..small_opts()
+        };
+        let r = run_serve("q2x4,q10x2", 1, 11, coarse(), opts).unwrap();
+        assert!(r.health.is_none(), "no --health, no digest block");
+        assert!(r.incidents.is_some(), "the recorder still ran");
+        let plain = run_serve(
+            "q2x4,q10x2",
+            1,
+            11,
+            coarse(),
+            ServeOptions {
+                slo_mult: 1.0,
+                ..small_opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.slo_line(), r.slo_line(), "observe-only");
     }
 
     /// Tentpole acceptance: `repro serve` with a fixed seed is

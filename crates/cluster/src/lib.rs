@@ -23,4 +23,6 @@ pub mod sim;
 
 pub use config::{ClusterConfig, RuntimeProfile, SchedulerPolicy};
 pub use coord::Coord;
-pub use sim::{Cluster, JobHandle, JobProfile, JobTiming, SimTime, SubmitTag, TaskProfile};
+pub use sim::{
+    Cluster, JobHandle, JobProfile, JobTiming, SchedSnapshot, SimTime, SubmitTag, TaskProfile,
+};

@@ -289,6 +289,32 @@ struct JobState {
     reduce_queue_key: Option<u64>,
 }
 
+/// Instantaneous scheduler state for the incident flight recorder
+/// (DESIGN.md §18): per-slot-class ready-queue occupancy, running task
+/// counts, free slots, and in-flight jobs, all read in O(1) off the
+/// indexed ready-queues. Returned by [`Cluster::sched_snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SchedSnapshot {
+    /// Simulated time the snapshot was taken.
+    pub time: SimTime,
+    /// Jobs eligible for a map slot but not currently holding one.
+    pub map_ready: usize,
+    /// Jobs eligible for a reduce slot but not currently holding one.
+    pub reduce_ready: usize,
+    /// Map tasks currently occupying slots.
+    pub running_map: usize,
+    /// Reduce tasks currently occupying slots.
+    pub running_reduce: usize,
+    /// Free map slots.
+    pub free_map: usize,
+    /// Free reduce slots.
+    pub free_reduce: usize,
+    /// Jobs submitted but not yet finished.
+    pub in_flight_jobs: usize,
+    /// Broadcast-build bytes resident across all in-flight jobs.
+    pub resident_bytes: u64,
+}
+
 /// The simulated cluster: configuration + virtual clock + the persistent
 /// event heap shared by every in-flight job.
 #[derive(Debug)]
@@ -607,6 +633,26 @@ impl Cluster {
     /// Jobs submitted but not yet finished.
     pub fn in_flight_jobs(&self) -> usize {
         self.states.len()
+    }
+
+    /// Instantaneous scheduler state, one struct per call — what the
+    /// flight recorder samples each time the service pump moves the
+    /// clock. Unlike [`Cluster::telemetry_sample`] this exposes the
+    /// per-slot-class *ready-queue* occupancy (jobs eligible for a slot
+    /// of that class but not holding one), which is where floods show up
+    /// first. Pure read: calling it never perturbs scheduling.
+    pub fn sched_snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            time: self.clock,
+            map_ready: self.map_ready.len(),
+            reduce_ready: self.reduce_ready.len(),
+            running_map: self.running_map_tasks(),
+            running_reduce: self.running_reduce_tasks(),
+            free_map: self.free_map,
+            free_reduce: self.free_reduce,
+            in_flight_jobs: self.states.len(),
+            resident_bytes: self.resident_bytes,
+        }
     }
 
     /// Has this job finished?
@@ -1166,6 +1212,61 @@ mod tests {
         assert!(tb.queue_delay > 0.0);
         assert_eq!(cl.in_flight_jobs(), 0);
         assert_eq!(cl.now(), ta.finished.max(tb.finished));
+    }
+
+    #[test]
+    fn sched_snapshot_reads_ready_queues_without_perturbing() {
+        let mut cl = Cluster::new(cfg());
+        assert_eq!(cl.sched_snapshot(), SchedSnapshot {
+            free_map: 140,
+            free_reduce: 84,
+            ..SchedSnapshot::default()
+        });
+        // Fill the cluster with a two-wave job, then submit a second job:
+        // once both are past startup, the second sits in the map
+        // ready-queue with work pending but no slot.
+        let a = cl.submit_job(JobProfile {
+            name: "first".into(),
+            map_tasks: (0..280).map(|_| map_task(1280)).collect(),
+            ..JobProfile::default()
+        });
+        cl.run_until_time(16.0);
+        let b = cl.submit_job(JobProfile {
+            name: "second".into(),
+            map_tasks: vec![map_task(128)],
+            ..JobProfile::default()
+        });
+        cl.run_until_time(32.0); // b past startup, a's first wave still out
+        let snap = cl.sched_snapshot();
+        assert_eq!(snap.time, cl.now());
+        assert_eq!(snap.in_flight_jobs, 2);
+        assert_eq!(snap.running_map, 140);
+        assert_eq!(snap.free_map, 0);
+        assert!(snap.map_ready >= 1, "starved job visible: {snap:?}");
+        // Pure read: snapshotting twice in a row is identical, and the
+        // run plays out exactly as if never observed.
+        assert_eq!(cl.sched_snapshot(), snap);
+        cl.run_until_done(&[a, b]);
+        let ta = cl.timing(a).unwrap().finished;
+        let mut quiet = Cluster::new(cfg());
+        let qa = quiet.submit_job(JobProfile {
+            name: "first".into(),
+            map_tasks: (0..280).map(|_| map_task(1280)).collect(),
+            ..JobProfile::default()
+        });
+        quiet.run_until_time(16.0);
+        let qb = quiet.submit_job(JobProfile {
+            name: "second".into(),
+            map_tasks: vec![map_task(128)],
+            ..JobProfile::default()
+        });
+        quiet.run_until_done(&[qa, qb]);
+        assert_eq!(quiet.timing(qa).unwrap().finished.to_bits(), ta.to_bits());
+        // Drained cluster: everything back to idle.
+        let end = cl.sched_snapshot();
+        assert_eq!(end.in_flight_jobs, 0);
+        assert_eq!((end.map_ready, end.reduce_ready), (0, 0));
+        assert_eq!((end.free_map, end.free_reduce), (140, 84));
     }
 
     #[test]

@@ -382,16 +382,7 @@ pub struct ChromeTraceSummary {
 /// tests and CI; the parser is a self-contained recursive-descent JSON
 /// reader (hermetic build, no serde).
 pub fn validate_chrome_trace(s: &str) -> Result<ChromeTraceSummary, String> {
-    let mut p = Parser {
-        bytes: s.as_bytes(),
-        pos: 0,
-    };
-    let top = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing bytes at offset {}", p.pos));
-    }
-    let Json::Obj(top) = top else {
+    let Json::Obj(top) = parse_json(s)? else {
         return Err("top level is not an object".to_owned());
     };
     let Some(Json::Arr(records)) = get(&top, "traceEvents") else {
@@ -565,12 +556,7 @@ pub fn validate_trace_subset(
 /// Multiset of pid-independent record keys `(ph, name, ts bits)` for
 /// every non-metadata record in a trace (assumed already validated).
 fn record_multiset(s: &str) -> Result<BTreeMap<(String, String, u64), usize>, String> {
-    let mut p = Parser {
-        bytes: s.as_bytes(),
-        pos: 0,
-    };
-    let top = p.value()?;
-    let Json::Obj(top) = top else {
+    let Json::Obj(top) = parse_json(s)? else {
         return Err("top level is not an object".to_owned());
     };
     let Some(Json::Arr(records)) = get(&top, "traceEvents") else {
@@ -599,9 +585,11 @@ fn record_multiset(s: &str) -> Result<BTreeMap<(String, String, u64), usize>, St
     Ok(out)
 }
 
-/// Minimal JSON value for validation.
+/// Minimal JSON value for validation. Shared with the incident-report
+/// validator in [`crate::recorder`] — one recursive-descent reader for
+/// every hand-rolled exporter in the crate.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -610,8 +598,22 @@ enum Json {
     Obj(Vec<(String, Json)>),
 }
 
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+pub(crate) fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Parse one complete JSON document (rejecting trailing bytes).
+pub(crate) fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let top = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(top)
 }
 
 struct Parser<'a> {

@@ -33,7 +33,7 @@
 //! exact lattice, mirroring the Figure 4 overhead reconciliation).
 
 use crate::profile::{descends_from, field_f64};
-use crate::trace::{SpanId, SpanKind, Tracer};
+use crate::trace::{Event, Span, SpanId, SpanKind, Tracer};
 
 /// Exclusive time segments one query's latency decomposes into.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -66,7 +66,16 @@ impl CriticalPath {
     /// Decompose the query span `query` recorded in `tracer`. Returns
     /// `None` when the span is unknown or still open.
     pub fn build(tracer: &Tracer, query: SpanId) -> Option<CriticalPath> {
-        let spans = tracer.spans();
+        // Borrow the log under the lock instead of cloning it: the
+        // recorder decomposes every SLO violator at settlement, and a
+        // per-call clone+sort of the whole trace made that quadratic.
+        tracer.with_log(|spans, events| Self::build_from(spans, events, query))
+    }
+
+    /// [`build`](Self::build) over an already-borrowed span/event log.
+    /// The only events consulted ("job_shape", "job_ready") are stamped
+    /// once per job, so the log's ordering does not matter.
+    fn build_from(spans: &[Span], events: &[Event], query: SpanId) -> Option<CriticalPath> {
         let qspan = spans.iter().find(|s| s.id == query)?;
         let qstart = qspan.start;
         let qend = qspan.end?;
@@ -77,9 +86,8 @@ impl CriticalPath {
         // the interval lists (and the later accumulation) are
         // deterministic.
         let mut intervals: [Vec<(f64, f64)>; 6] = Default::default();
-        let in_scope = |id: SpanId| descends_from(&spans, id, query);
+        let in_scope = |id: SpanId| descends_from(spans, id, query);
 
-        let events = tracer.events();
         for job in spans
             .iter()
             .filter(|s| s.kind == SpanKind::Job && in_scope(s.id))

@@ -533,6 +533,51 @@ mod tests {
     }
 
     #[test]
+    fn overlap_boundaries_are_closed_on_both_endpoints() {
+        // Drive the interval list directly so the endpoints are exact:
+        // one resolved interval [100, 200] for tenant 5 and one
+        // still-active interval [300, ∞) for Global.
+        let mut m = HealthMonitor::new(policy());
+        m.intervals.push(AlertInterval {
+            scope: AlertScope::Tenant(5),
+            rule: AlertRuleKind::Fast,
+            fired_at: 100.0,
+            resolved_at: Some(200.0),
+        });
+
+        // Query span ending exactly at the fire instant: overlaps (the
+        // interval is closed at fired_at).
+        assert!(m.overlaps_alert(5, 90.0, 100.0), "end == fired_at");
+        assert!(!m.overlaps_alert(5, 90.0, 99.999), "ends just before fire");
+        // Query span starting exactly at the resolve instant: overlaps
+        // (closed at resolved_at too).
+        assert!(m.overlaps_alert(5, 200.0, 210.0), "start == resolved_at");
+        assert!(!m.overlaps_alert(5, 200.001, 210.0), "starts just after");
+        // Zero-length query spans at each boundary and inside.
+        assert!(m.overlaps_alert(5, 100.0, 100.0), "zero-length at fire");
+        assert!(m.overlaps_alert(5, 200.0, 200.0), "zero-length at resolve");
+        assert!(m.overlaps_alert(5, 150.0, 150.0), "zero-length inside");
+        assert!(!m.overlaps_alert(5, 99.0, 99.0), "zero-length before");
+        assert!(!m.overlaps_alert(5, 201.0, 201.0), "zero-length after");
+        // Tenant scoping: another tenant never matches a tenant-scoped
+        // interval, even exactly on the boundary.
+        assert!(!m.overlaps_alert(6, 100.0, 200.0), "wrong tenant");
+
+        // A still-active interval extends to infinity on the right.
+        m.intervals.push(AlertInterval {
+            scope: AlertScope::Global,
+            rule: AlertRuleKind::Slow,
+            fired_at: 300.0,
+            resolved_at: None,
+        });
+        assert!(m.overlaps_alert(6, 300.0, 300.0), "zero-length at open fire");
+        assert!(m.overlaps_alert(6, 1e12, 1e12 + 1.0), "arbitrarily late");
+        assert!(!m.overlaps_alert(6, 250.0, 299.0), "still before open fire");
+        // Global scope covers every tenant.
+        assert!(m.overlaps_alert(u64::MAX, 400.0, 400.0), "global any tenant");
+    }
+
+    #[test]
     fn render_is_stable() {
         let e = AlertEvent {
             at: 15.0,

@@ -30,6 +30,7 @@ pub mod critical;
 pub mod health;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 pub mod timeline;
 pub mod trace;
 pub mod window;
@@ -42,6 +43,10 @@ pub use health::{
 };
 pub use metrics::{Histogram, Metrics};
 pub use profile::{descends_from, OomRecovery, QueryProfile};
+pub use recorder::{
+    validate_incident_json, BlamedQuery, FlightRecorder, IncidentReport, IncidentSummary,
+    QueryRecord, RecorderPolicy, RejectRecord, StateSample, TenantLoad, TenantSuspect,
+};
 pub use timeline::{Sample, Timeline, TimelineStats};
 pub use trace::{Event, FieldValue, SamplingPolicy, Span, SpanId, SpanKind, TraceTotals, Tracer};
 pub use window::{WindowSpec, WindowedCounter, WindowedGauge, WindowedHistogram};

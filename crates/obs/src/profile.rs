@@ -151,15 +151,19 @@ fn field_str<'a>(e: &'a Event, key: &str) -> Option<&'a str> {
     })
 }
 
-/// True iff `id`'s ancestor chain reaches `root`.
+/// True iff `id`'s ancestor chain reaches `root`. `spans` must be in
+/// ascending id order (the tracer's storage order) — each parent hop is
+/// a binary search, so whole-trace walks stay cheap even when the log
+/// holds many queries.
 pub fn descends_from(spans: &[Span], mut id: SpanId, root: SpanId) -> bool {
+    debug_assert!(spans.windows(2).all(|w| w[0].id < w[1].id));
     while id != 0 {
         if id == root {
             return true;
         }
-        id = match spans.iter().find(|s| s.id == id) {
-            Some(s) => s.parent,
-            None => return false,
+        id = match spans.binary_search_by(|s| s.id.cmp(&id)) {
+            Ok(i) => spans[i].parent,
+            Err(_) => return false,
         };
     }
     false
@@ -290,16 +294,33 @@ impl QueryProfile {
     }
 
     /// The machine-parseable summary line checked by `ci.sh` against the
-    /// Figure 4 row: same `{:.1}s` / `{:.1}%` formatting as the table in
-    /// `repro_output.txt`.
+    /// Figure 4 row (zero shares for a zero-length query; use
+    /// [`QueryProfile::try_overhead_line`] to distinguish "no runtime"
+    /// from genuinely free overhead).
     pub fn overhead_line(&self) -> String {
+        self.try_overhead_line().unwrap_or_else(|| {
+            format!(
+                "overhead-total: total={:.1}s pilot=0.0% reopt=0.0%",
+                self.total_secs
+            )
+        })
+    }
+
+    /// The overhead line, or `None` when the query recorded no positive
+    /// runtime (an open span, or a degenerate zero-length window) — the
+    /// typed empty result, mirroring `Timeline::try_stats`, so render
+    /// paths never divide by zero into `NaN%`.
+    pub fn try_overhead_line(&self) -> Option<String> {
+        if !(self.total_secs > 0.0) || !self.total_secs.is_finite() {
+            return None;
+        }
         let pct = |x: f64| format!("{:.1}%", x * 100.0);
-        format!(
+        Some(format!(
             "overhead-total: total={:.1}s pilot={} reopt={}",
             self.total_secs,
             pct(self.pilot_secs / self.total_secs),
             pct(self.optimize_secs / self.total_secs),
-        )
+        ))
     }
 
     /// Render the full text report.
@@ -501,6 +522,26 @@ mod tests {
         let rendered = p.render();
         assert!(rendered.ends_with("overhead-total: total=50.0s pilot=16.0% reopt=1.0%\n"));
         assert!(rendered.contains("join1"));
+        assert_eq!(p.try_overhead_line().as_deref(), Some(p.overhead_line().as_str()));
+    }
+
+    #[test]
+    fn zero_length_query_renders_without_nan_shares() {
+        // A query span that opens and closes at the same instant: the
+        // old render path divided by total_secs and printed `NaN%`.
+        let t = Tracer::enabled();
+        let q = t.start_span(NO_SPAN, SpanKind::Query, "q0", 3.0);
+        t.end_span(q, 3.0);
+        let p = QueryProfile::build(&t).unwrap();
+        assert_eq!(p.total_secs, 0.0);
+        assert_eq!(p.try_overhead_line(), None, "typed empty result");
+        assert_eq!(
+            p.overhead_line(),
+            "overhead-total: total=0.0s pilot=0.0% reopt=0.0%"
+        );
+        let rendered = p.render();
+        assert!(!rendered.contains("NaN"), "no NaN anywhere:\n{rendered}");
+        assert!(!rendered.contains("inf"), "no inf anywhere:\n{rendered}");
     }
 
     #[test]

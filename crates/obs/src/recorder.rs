@@ -1,0 +1,1369 @@
+//! Incident flight recorder: always-on bounded diagnostic capture on the
+//! simulated clock (DESIGN.md §18).
+//!
+//! Production query platforms pair burn-rate alerting with flight
+//! recording because an alert alone says *that* the SLO burned, not
+//! *why*. The [`FlightRecorder`] keeps fixed-capacity rings of recent
+//! evidence — per-query settlement records (with their
+//! [`CriticalPath`] decomposition captured *before* tail sampling can
+//! drop the span tree), admission rejections, and periodic
+//! [`StateSample`]s of cross-layer system state — and, when a
+//! [`HealthMonitor`](crate::HealthMonitor) alert fires, freezes them
+//! into a deterministic [`IncidentReport`]: the triggering alert and
+//! its burn trajectory, the pre-fire samples, the top-K SLO-violating
+//! queries in the alert window each with critical-path blame, and a
+//! per-tenant suspect ranking. On resolve the incident closes with a
+//! duration and a recovery sample.
+//!
+//! Determinism contract: all times come from the simulated clock, every
+//! ring is bounded with deterministic eviction (oldest first), ordering
+//! ties break on ticket/tenant ids, and floats render with Rust's
+//! shortest-roundtrip `Display` — identical executions produce
+//! byte-identical text and JSON reports. The recorder is *observe-only*:
+//! it is fed at existing pump beats and settlement points, never
+//! advances the clock, and never influences admission or scheduling.
+//!
+//! The JSON export is hand-rolled (hermetic build, no serde) and ships
+//! with an in-repo validator, [`validate_incident_json`], reusing the
+//! Chrome-trace exporter's recursive-descent parser — the same
+//! exporter-plus-validator discipline as [`crate::to_chrome_trace`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::chrome::{get, json_escape, parse_json, Json};
+use crate::critical::CriticalPath;
+use crate::health::{AlertEvent, AlertKind, AlertRuleKind, AlertScope};
+
+/// Capacity and reporting knobs of the flight recorder. Everything is
+/// bounded so an always-on recorder cannot grow with run length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecorderPolicy {
+    /// Settlement-record ring capacity (most recent queries kept).
+    pub event_capacity: usize,
+    /// Admission-rejection ring capacity.
+    pub reject_capacity: usize,
+    /// State-sample ring capacity.
+    pub sample_capacity: usize,
+    /// Minimum simulated seconds between retained state samples.
+    pub sample_interval_secs: f64,
+    /// Queries blamed per incident (and suspects ranked per incident).
+    pub top_k: usize,
+    /// Incidents retained per run; fires past the cap are counted in
+    /// [`FlightRecorder::skipped`] instead of growing memory.
+    pub max_incidents: usize,
+}
+
+impl Default for RecorderPolicy {
+    fn default() -> Self {
+        RecorderPolicy {
+            event_capacity: 512,
+            reject_capacity: 512,
+            sample_capacity: 64,
+            sample_interval_secs: 5.0,
+            top_k: 3,
+            max_incidents: 64,
+        }
+    }
+}
+
+/// In-flight load of one tenant at sample time (the busiest few are
+/// embedded in each [`StateSample`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantLoad {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Queries currently in flight for this tenant.
+    pub in_flight: u64,
+    /// Slot-seconds this tenant has consumed against its quota.
+    pub slot_secs_used: f64,
+}
+
+/// One periodic cross-layer snapshot: the service's admission state, the
+/// cluster scheduler's ready-queue/slot occupancy, per-tenant load,
+/// plan-cache/memo counters, and windowed latency/rejection/burn
+/// statistics — everything an on-call engineer would pull up first,
+/// captured *before* the incident so the lead-up is visible.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateSample {
+    /// Simulated time of the sample.
+    pub time: f64,
+    /// Tickets waiting in the service admission queue.
+    pub admission_queued: u64,
+    /// Jobs eligible for a map slot but not holding one.
+    pub map_ready: u64,
+    /// Jobs eligible for a reduce slot but not holding one.
+    pub reduce_ready: u64,
+    /// Map tasks currently occupying slots.
+    pub running_map: u64,
+    /// Reduce tasks currently occupying slots.
+    pub running_reduce: u64,
+    /// Free map slots.
+    pub free_map: u64,
+    /// Free reduce slots.
+    pub free_reduce: u64,
+    /// Jobs submitted to the cluster but not finished.
+    pub in_flight_jobs: u64,
+    /// Queries in flight across all tenants.
+    pub queries_in_flight: u64,
+    /// Tenants with at least one query in flight.
+    pub active_tenants: u64,
+    /// The busiest tenants by in-flight count (bounded, ties broken by
+    /// ascending tenant id).
+    pub busiest_tenants: Vec<TenantLoad>,
+    /// Cross-query plan-cache hits so far.
+    pub plan_cache_hits: u64,
+    /// Cross-query plan-cache misses so far.
+    pub plan_cache_misses: u64,
+    /// Optimizer memo groups reused so far.
+    pub memo_reuse: u64,
+    /// Windowed completed-query latency median, seconds.
+    pub latency_p50: f64,
+    /// Windowed completed-query latency 95th percentile, seconds.
+    pub latency_p95: f64,
+    /// Completed queries in the latency window.
+    pub latency_count: u64,
+    /// Admission rejections in the rejection window.
+    pub rejections: f64,
+    /// Global fast-rule burn multiple at sample time.
+    pub burn_fast: f64,
+    /// Global slow-rule burn multiple at sample time.
+    pub burn_slow: f64,
+}
+
+/// One settled query as the recorder saw it — including the
+/// [`CriticalPath`] decomposition built at settlement time, before tail
+/// sampling may drop the underlying span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRecord {
+    /// Admission ticket id.
+    pub ticket: u64,
+    /// Owning tenant.
+    pub tenant: u64,
+    /// Query label (e.g. `q2`).
+    pub label: String,
+    /// Simulated submission time.
+    pub submitted_at: f64,
+    /// When the query left admission and began executing.
+    pub started_at: f64,
+    /// Simulated completion time.
+    pub finished_at: f64,
+    /// End-to-end latency, seconds.
+    pub latency_secs: f64,
+    /// Job-level queue delay (ready → first slot), seconds.
+    pub queue_delay_secs: f64,
+    /// Per-task slot-wait total, seconds.
+    pub slot_wait_secs: f64,
+    /// Whether the query met its deadline (`None` when it had none).
+    pub met_deadline: Option<bool>,
+    /// Critical-path decomposition (`None` when tracing was disabled).
+    pub critical: Option<CriticalPath>,
+}
+
+impl QueryRecord {
+    /// Time spent waiting in the service admission queue, seconds.
+    pub fn admission_wait_secs(&self) -> f64 {
+        self.started_at - self.submitted_at
+    }
+}
+
+/// An admission rejection the recorder witnessed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RejectRecord {
+    /// Simulated time of the rejection.
+    pub time: f64,
+    /// Tenant whose submission was rejected.
+    pub tenant: u64,
+}
+
+/// One SLO-violating query in an incident's alert window, with the
+/// layer its latency is blamed on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlamedQuery {
+    /// The settled query.
+    pub query: QueryRecord,
+    /// Dominant latency component: `admission` (service queue) or one of
+    /// the critical-path segments (`queue-delay`, `startup`, `map`,
+    /// `shuffle`, `reduce`, `reopt`); falls back to `slot-wait` /
+    /// `execution` when no critical path was captured.
+    pub blame: String,
+    /// Seconds attributed to the blamed component.
+    pub blame_secs: f64,
+}
+
+impl BlamedQuery {
+    fn attribute(query: QueryRecord) -> BlamedQuery {
+        let admission = query.admission_wait_secs();
+        let mut candidates: Vec<(&'static str, f64)> = vec![("admission", admission)];
+        match &query.critical {
+            Some(cp) => candidates.extend(cp.named()),
+            None => {
+                // Without a trace, fall back to the scheduler accounting
+                // the outcome carries; the remainder is execution time.
+                let exec = query.latency_secs
+                    - admission
+                    - query.queue_delay_secs
+                    - query.slot_wait_secs;
+                candidates.push(("queue-delay", query.queue_delay_secs));
+                candidates.push(("slot-wait", query.slot_wait_secs));
+                candidates.push(("execution", exec));
+            }
+        }
+        // Largest component wins; ties go to the earlier (more
+        // actionable) candidate, deterministically.
+        let mut best = ("admission", f64::NEG_INFINITY);
+        for (name, secs) in candidates {
+            if secs > best.1 {
+                best = (name, secs);
+            }
+        }
+        BlamedQuery {
+            query,
+            blame: best.0.to_owned(),
+            blame_secs: best.1,
+        }
+    }
+}
+
+/// One tenant in an incident's suspect ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSuspect {
+    /// Tenant id.
+    pub tenant: u64,
+    /// SLO-violating completions in the alert window.
+    pub violations: u64,
+    /// Admission rejections in the alert window.
+    pub rejections: u64,
+    /// Worst violating latency in the window, seconds.
+    pub worst_latency_secs: f64,
+}
+
+/// A frozen incident: everything the recorder knew when the alert
+/// fired, plus the close-out once it resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentReport {
+    /// 1-based incident number within the run.
+    pub id: u64,
+    /// The triggering fire event.
+    pub alert: AlertEvent,
+    /// Pre-fire state samples, oldest first (the burn trajectory is the
+    /// `burn_fast`/`burn_slow` series of these samples).
+    pub samples: Vec<StateSample>,
+    /// Top-K SLO-violating queries in the alert window, worst first.
+    pub top_queries: Vec<BlamedQuery>,
+    /// Per-tenant suspect ranking over the alert window.
+    pub suspects: Vec<TenantSuspect>,
+    /// Resolve time (`None` while the alert is still active).
+    pub resolved_at: Option<f64>,
+    /// `resolved_at - alert.at` once resolved.
+    pub duration_secs: Option<f64>,
+    /// State sample taken at resolve time.
+    pub recovery: Option<StateSample>,
+}
+
+/// Render a float as a JSON number, quoting non-finite values (the same
+/// convention as the Chrome-trace exporter).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+fn sample_json(s: &StateSample) -> String {
+    let tenants = s
+        .busiest_tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\":{},\"in_flight\":{},\"slot_secs_used\":{}}}",
+                t.tenant,
+                t.in_flight,
+                num(t.slot_secs_used)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"time\":{},\"admission_queued\":{},\"map_ready\":{},\"reduce_ready\":{},",
+            "\"running_map\":{},\"running_reduce\":{},\"free_map\":{},\"free_reduce\":{},",
+            "\"in_flight_jobs\":{},\"queries_in_flight\":{},\"active_tenants\":{},",
+            "\"busiest_tenants\":[{}],\"plan_cache_hits\":{},\"plan_cache_misses\":{},",
+            "\"memo_reuse\":{},\"latency_p50\":{},\"latency_p95\":{},\"latency_count\":{},",
+            "\"rejections\":{},\"burn_fast\":{},\"burn_slow\":{}}}"
+        ),
+        num(s.time),
+        s.admission_queued,
+        s.map_ready,
+        s.reduce_ready,
+        s.running_map,
+        s.running_reduce,
+        s.free_map,
+        s.free_reduce,
+        s.in_flight_jobs,
+        s.queries_in_flight,
+        s.active_tenants,
+        tenants,
+        s.plan_cache_hits,
+        s.plan_cache_misses,
+        s.memo_reuse,
+        num(s.latency_p50),
+        num(s.latency_p95),
+        s.latency_count,
+        num(s.rejections),
+        num(s.burn_fast),
+        num(s.burn_slow),
+    )
+}
+
+fn critical_json(cp: &CriticalPath) -> String {
+    format!(
+        concat!(
+            "{{\"latency_secs\":{},\"queue_secs\":{},\"startup_secs\":{},\"map_secs\":{},",
+            "\"shuffle_secs\":{},\"reduce_secs\":{},\"reopt_secs\":{},\"other_secs\":{}}}"
+        ),
+        num(cp.latency_secs),
+        num(cp.queue_secs),
+        num(cp.startup_secs),
+        num(cp.map_secs),
+        num(cp.shuffle_secs),
+        num(cp.reduce_secs),
+        num(cp.reopt_secs),
+        num(cp.other_secs),
+    )
+}
+
+impl IncidentReport {
+    /// Stable per-incident file stem (`incident-0001`, …).
+    pub fn file_stem(&self) -> String {
+        format!("incident-{:04}", self.id)
+    }
+
+    /// The incident as one hand-rolled JSON document; validated by
+    /// [`validate_incident_json`] and byte-identical across identical
+    /// executions.
+    pub fn to_json(&self) -> String {
+        let a = &self.alert;
+        let alert = format!(
+            concat!(
+                "{{\"at\":{},\"scope\":\"{}\",\"rule\":\"{}\",\"window_secs\":{},",
+                "\"burn\":{},\"threshold\":{},\"errors\":{},\"total\":{}}}"
+            ),
+            num(a.at),
+            json_escape(&a.scope.to_string()),
+            a.rule.label(),
+            num(a.window_secs),
+            num(a.burn),
+            num(a.threshold),
+            a.errors,
+            a.total,
+        );
+        let trajectory = self
+            .samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"t\":{},\"fast\":{},\"slow\":{}}}",
+                    num(s.time),
+                    num(s.burn_fast),
+                    num(s.burn_slow)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let samples = self
+            .samples
+            .iter()
+            .map(sample_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        let queries = self
+            .top_queries
+            .iter()
+            .map(|b| {
+                let q = &b.query;
+                format!(
+                    concat!(
+                        "{{\"ticket\":{},\"tenant\":{},\"label\":\"{}\",\"submitted_at\":{},",
+                        "\"started_at\":{},\"finished_at\":{},\"latency_secs\":{},",
+                        "\"admission_wait_secs\":{},\"queue_delay_secs\":{},",
+                        "\"slot_wait_secs\":{},\"blame\":\"{}\",\"blame_secs\":{},",
+                        "\"critical\":{}}}"
+                    ),
+                    q.ticket,
+                    q.tenant,
+                    json_escape(&q.label),
+                    num(q.submitted_at),
+                    num(q.started_at),
+                    num(q.finished_at),
+                    num(q.latency_secs),
+                    num(q.admission_wait_secs()),
+                    num(q.queue_delay_secs),
+                    num(q.slot_wait_secs),
+                    json_escape(&b.blame),
+                    num(b.blame_secs),
+                    match &q.critical {
+                        Some(cp) => critical_json(cp),
+                        None => "null".to_owned(),
+                    },
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let suspects = self
+            .suspects
+            .iter()
+            .map(|s| {
+                format!(
+                    concat!(
+                        "{{\"tenant\":{},\"violations\":{},\"rejections\":{},",
+                        "\"worst_latency_secs\":{}}}"
+                    ),
+                    s.tenant,
+                    s.violations,
+                    s.rejections,
+                    num(s.worst_latency_secs)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"incident\":{},\"alert\":{},\"trajectory\":[{}],\"samples\":[{}],",
+                "\"top_queries\":[{}],\"suspects\":[{}],\"resolved_at\":{},",
+                "\"duration_secs\":{},\"recovery\":{}}}"
+            ),
+            self.id,
+            alert,
+            trajectory,
+            samples,
+            queries,
+            suspects,
+            match self.resolved_at {
+                Some(t) => num(t),
+                None => "null".to_owned(),
+            },
+            match self.duration_secs {
+                Some(d) => num(d),
+                None => "null".to_owned(),
+            },
+            match &self.recovery {
+                Some(s) => sample_json(s),
+                None => "null".to_owned(),
+            },
+        )
+    }
+
+    /// Human-readable incident report (byte-identical across identical
+    /// executions).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== incident {}: scope={} rule={} fired t={} ==\n",
+            self.id,
+            self.alert.scope,
+            self.alert.rule.label(),
+            self.alert.at
+        ));
+        out.push_str(&format!("alert: {}\n", self.alert.render()));
+        match (self.resolved_at, self.duration_secs) {
+            (Some(t), Some(d)) => {
+                out.push_str(&format!("status: resolved t={t} (duration {d}s)\n"))
+            }
+            _ => out.push_str("status: active\n"),
+        }
+        if self.samples.is_empty() {
+            out.push_str("pre-fire samples: none\n");
+        } else {
+            let first = self.samples.first().map(|s| s.time).unwrap_or(0.0);
+            let last = self.samples.last().map(|s| s.time).unwrap_or(0.0);
+            out.push_str(&format!(
+                "pre-fire samples: {} (t={first}..{last})\n",
+                self.samples.len()
+            ));
+            let trajectory = self
+                .samples
+                .iter()
+                .map(|s| format!("t={} fast={}x slow={}x", s.time, s.burn_fast, s.burn_slow))
+                .collect::<Vec<_>>()
+                .join("; ");
+            out.push_str(&format!("burn trajectory: {trajectory}\n"));
+            let s = self.samples.last().expect("non-empty");
+            out.push_str(&format!(
+                concat!(
+                    "state at fire: admission={} ready m/r={}/{} running m/r={}/{} ",
+                    "jobs={} queries={} tenants={} cache h/m={}/{} p50={}s p95={}s rej={}\n"
+                ),
+                s.admission_queued,
+                s.map_ready,
+                s.reduce_ready,
+                s.running_map,
+                s.running_reduce,
+                s.in_flight_jobs,
+                s.queries_in_flight,
+                s.active_tenants,
+                s.plan_cache_hits,
+                s.plan_cache_misses,
+                s.latency_p50,
+                s.latency_p95,
+                s.rejections,
+            ));
+        }
+        if self.top_queries.is_empty() {
+            out.push_str("top queries: none in window\n");
+        } else {
+            out.push_str("top queries:\n");
+            for (i, b) in self.top_queries.iter().enumerate() {
+                let q = &b.query;
+                out.push_str(&format!(
+                    "  {}. ticket={} tenant={} {} latency={}s blame={} ({}s)",
+                    i + 1,
+                    q.ticket,
+                    q.tenant,
+                    q.label,
+                    q.latency_secs,
+                    b.blame,
+                    b.blame_secs
+                ));
+                if let Some(cp) = &q.critical {
+                    let parts = cp
+                        .named()
+                        .iter()
+                        .map(|(n, s)| format!("{n}={s}"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    out.push_str(&format!(" critical[{} other={}]", parts, cp.other_secs));
+                }
+                out.push('\n');
+            }
+        }
+        if self.suspects.is_empty() {
+            out.push_str("suspects: none\n");
+        } else {
+            out.push_str("suspects:\n");
+            for s in &self.suspects {
+                out.push_str(&format!(
+                    "  tenant {}: violations={} rejections={} worst={}s\n",
+                    s.tenant, s.violations, s.rejections, s.worst_latency_secs
+                ));
+            }
+        }
+        if let Some(r) = &self.recovery {
+            out.push_str(&format!(
+                "recovery: t={} admission={} jobs={} queries={} p95={}s\n",
+                r.time, r.admission_queued, r.in_flight_jobs, r.queries_in_flight, r.latency_p95
+            ));
+        }
+        out
+    }
+}
+
+/// The always-on bounded flight recorder. Fed by the service at its
+/// existing pump beats and settlement points; freezes an
+/// [`IncidentReport`] per alert fire and closes it on resolve.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    policy: RecorderPolicy,
+    settles: VecDeque<QueryRecord>,
+    rejects: VecDeque<RejectRecord>,
+    samples: VecDeque<StateSample>,
+    /// Open incident index by alert identity.
+    open: BTreeMap<(AlertScope, AlertRuleKind), usize>,
+    incidents: Vec<IncidentReport>,
+    skipped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder with the given bounds.
+    pub fn new(policy: RecorderPolicy) -> Self {
+        FlightRecorder {
+            policy,
+            settles: VecDeque::new(),
+            rejects: VecDeque::new(),
+            samples: VecDeque::new(),
+            open: BTreeMap::new(),
+            incidents: Vec::new(),
+            skipped: 0,
+        }
+    }
+
+    /// The recorder's policy.
+    pub fn policy(&self) -> &RecorderPolicy {
+        &self.policy
+    }
+
+    /// Record one settled query (ring-bounded, oldest evicted).
+    pub fn record_settle(&mut self, rec: QueryRecord) {
+        if self.settles.len() == self.policy.event_capacity.max(1) {
+            self.settles.pop_front();
+        }
+        self.settles.push_back(rec);
+    }
+
+    /// Record one admission rejection (ring-bounded, oldest evicted).
+    pub fn record_reject(&mut self, time: f64, tenant: u64) {
+        if self.rejects.len() == self.policy.reject_capacity.max(1) {
+            self.rejects.pop_front();
+        }
+        self.rejects.push_back(RejectRecord { time, tenant });
+    }
+
+    /// Would a state sample stamped `now` be retained by [`beat`]?
+    /// A beat with no pending alerts and an unwanted sample is a no-op,
+    /// so callers can skip building the (expensive, cross-layer) sample
+    /// entirely between retention points.
+    pub fn wants_sample(&self, now: f64) -> bool {
+        match self.samples.back() {
+            Some(last) => now >= last.time + self.policy.sample_interval_secs,
+            None => true,
+        }
+    }
+
+    /// One recorder beat: offer the current state sample (retained only
+    /// when `sample_interval_secs` has elapsed since the last retained
+    /// sample) and process the alert events stamped since the previous
+    /// beat — each fire freezes an incident, each resolve closes one.
+    pub fn beat(&mut self, sample: StateSample, alerts: &[AlertEvent]) {
+        if self.wants_sample(sample.time) {
+            if self.samples.len() == self.policy.sample_capacity.max(1) {
+                self.samples.pop_front();
+            }
+            self.samples.push_back(sample.clone());
+        }
+        for ev in alerts {
+            match ev.kind {
+                AlertKind::Fire => self.freeze(ev, &sample),
+                AlertKind::Resolve => self.close(ev, &sample),
+            }
+        }
+    }
+
+    fn freeze(&mut self, ev: &AlertEvent, at_fire: &StateSample) {
+        if self.incidents.len() >= self.policy.max_incidents {
+            self.skipped += 1;
+            return;
+        }
+        // Pre-fire history (samples at or before the alert boundary),
+        // closed with the state observed at the beat that processed the
+        // fire. The clock can jump past an evaluation boundary in one
+        // step, so that observation beat may trail `ev.at` — it is the
+        // only sample allowed to.
+        let mut samples: Vec<StateSample> = self
+            .samples
+            .iter()
+            .filter(|s| s.time <= ev.at)
+            .cloned()
+            .collect();
+        match samples.last() {
+            Some(last) if last.time >= at_fire.time => {}
+            _ => samples.push(at_fire.clone()),
+        }
+        let window_start = ev.at - ev.window_secs;
+        let in_window = |t: f64| t >= window_start && t <= ev.at;
+        let in_scope = |tenant: u64| match ev.scope {
+            AlertScope::Global => true,
+            AlertScope::Tenant(t) => tenant == t,
+        };
+
+        // Top-K SLO violators in the alert window, worst latency first
+        // (ties by ascending ticket), restricted to the alert's scope.
+        let mut violators: Vec<&QueryRecord> = self
+            .settles
+            .iter()
+            .filter(|q| {
+                q.met_deadline == Some(false) && in_window(q.finished_at) && in_scope(q.tenant)
+            })
+            .collect();
+        violators.sort_by(|a, b| {
+            b.latency_secs
+                .total_cmp(&a.latency_secs)
+                .then(a.ticket.cmp(&b.ticket))
+        });
+        let top_queries: Vec<BlamedQuery> = violators
+            .into_iter()
+            .take(self.policy.top_k.max(1))
+            .map(|q| BlamedQuery::attribute(q.clone()))
+            .collect();
+
+        // Suspect ranking is *not* scope-restricted: a global alert is
+        // usually one tenant's flood, which is exactly what this ranks.
+        let mut per_tenant: BTreeMap<u64, TenantSuspect> = BTreeMap::new();
+        for q in self
+            .settles
+            .iter()
+            .filter(|q| q.met_deadline == Some(false) && in_window(q.finished_at))
+        {
+            let e = per_tenant.entry(q.tenant).or_insert(TenantSuspect {
+                tenant: q.tenant,
+                violations: 0,
+                rejections: 0,
+                worst_latency_secs: 0.0,
+            });
+            e.violations += 1;
+            if q.latency_secs > e.worst_latency_secs {
+                e.worst_latency_secs = q.latency_secs;
+            }
+        }
+        for r in self.rejects.iter().filter(|r| in_window(r.time)) {
+            let e = per_tenant.entry(r.tenant).or_insert(TenantSuspect {
+                tenant: r.tenant,
+                violations: 0,
+                rejections: 0,
+                worst_latency_secs: 0.0,
+            });
+            e.rejections += 1;
+        }
+        let mut suspects: Vec<TenantSuspect> = per_tenant.into_values().collect();
+        suspects.sort_by(|a, b| {
+            b.violations
+                .cmp(&a.violations)
+                .then(b.rejections.cmp(&a.rejections))
+                .then(a.tenant.cmp(&b.tenant))
+        });
+        suspects.truncate(self.policy.top_k.max(1));
+
+        let id = self.incidents.len() as u64 + 1;
+        self.open.insert((ev.scope, ev.rule), self.incidents.len());
+        self.incidents.push(IncidentReport {
+            id,
+            alert: ev.clone(),
+            samples,
+            top_queries,
+            suspects,
+            resolved_at: None,
+            duration_secs: None,
+            recovery: None,
+        });
+    }
+
+    fn close(&mut self, ev: &AlertEvent, recovery: &StateSample) {
+        let Some(i) = self.open.remove(&(ev.scope, ev.rule)) else {
+            return; // the matching fire was skipped past max_incidents
+        };
+        let inc = &mut self.incidents[i];
+        inc.resolved_at = Some(ev.at);
+        inc.duration_secs = Some(ev.at - inc.alert.at);
+        inc.recovery = Some(recovery.clone());
+    }
+
+    /// All incidents frozen so far, in fire order.
+    pub fn incidents(&self) -> &[IncidentReport] {
+        &self.incidents
+    }
+
+    /// Incidents still open (fired, not yet resolved).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Alert fires dropped because `max_incidents` was reached.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The machine-parseable one-line summary for the serve report.
+    pub fn summary_line(&self) -> String {
+        let resolved = self
+            .incidents
+            .iter()
+            .filter(|i| i.resolved_at.is_some())
+            .count();
+        format!(
+            "incidents: opened={} resolved={} active={}",
+            self.incidents.len(),
+            resolved,
+            self.open.len()
+        )
+    }
+}
+
+/// Validation summary returned by [`validate_incident_json`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncidentSummary {
+    /// Pre-fire state samples in the report.
+    pub samples: usize,
+    /// Blamed queries in the report.
+    pub top_queries: usize,
+    /// Ranked suspect tenants in the report.
+    pub suspects: usize,
+    /// Whether the incident was closed.
+    pub resolved: bool,
+}
+
+fn req_num(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match get(obj, key) {
+        Some(Json::Num(v)) => Ok(*v),
+        other => Err(format!("{key}: expected number, found {other:?}")),
+    }
+}
+
+fn req_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+    match get(obj, key) {
+        Some(Json::Str(s)) => Ok(s),
+        other => Err(format!("{key}: expected string, found {other:?}")),
+    }
+}
+
+fn req_arr<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a [Json], String> {
+    match get(obj, key) {
+        Some(Json::Arr(a)) => Ok(a),
+        other => Err(format!("{key}: expected array, found {other:?}")),
+    }
+}
+
+fn as_obj<'a>(v: &'a Json, what: &str) -> Result<&'a [(String, Json)], String> {
+    match v {
+        Json::Obj(o) => Ok(o),
+        other => Err(format!("{what}: expected object, found {other:?}")),
+    }
+}
+
+/// Every numeric field a serialized [`StateSample`] must carry.
+const SAMPLE_FIELDS: [&str; 20] = [
+    "time",
+    "admission_queued",
+    "map_ready",
+    "reduce_ready",
+    "running_map",
+    "running_reduce",
+    "free_map",
+    "free_reduce",
+    "in_flight_jobs",
+    "queries_in_flight",
+    "active_tenants",
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "memo_reuse",
+    "latency_p50",
+    "latency_p95",
+    "latency_count",
+    "rejections",
+    "burn_fast",
+    "burn_slow",
+];
+
+fn check_sample(v: &Json, what: &str) -> Result<f64, String> {
+    let o = as_obj(v, what)?;
+    for key in SAMPLE_FIELDS {
+        req_num(o, key).map_err(|e| format!("{what}: {e}"))?;
+    }
+    for t in req_arr(o, "busiest_tenants").map_err(|e| format!("{what}: {e}"))? {
+        let to = as_obj(t, "busiest_tenants entry")?;
+        for key in ["tenant", "in_flight", "slot_secs_used"] {
+            req_num(to, key).map_err(|e| format!("{what}: busiest_tenants: {e}"))?;
+        }
+    }
+    req_num(o, "time")
+}
+
+/// Validate one incident JSON document against the recorder's schema
+/// and internal invariants: required fields and types, strictly
+/// increasing sample times (pre-fire history at or before the fire,
+/// closed by the fire-observation beat, which alone may trail it), a
+/// trajectory congruent with the samples, windowed violators whose
+/// critical paths reconcile *bitwise* with their reported latency
+/// (the same lattice check [`CriticalPath::total`] guarantees), ordered
+/// blame/suspect rankings, and a consistent resolve triple. Used by
+/// tests and CI; shares the hermetic recursive-descent JSON reader with
+/// the Chrome-trace validator.
+pub fn validate_incident_json(s: &str) -> Result<IncidentSummary, String> {
+    let Json::Obj(top) = parse_json(s)? else {
+        return Err("top level is not an object".to_owned());
+    };
+    let id = req_num(&top, "incident")?;
+    if id < 1.0 {
+        return Err(format!("incident id {id} < 1"));
+    }
+
+    let alert = as_obj(
+        get(&top, "alert").ok_or_else(|| "missing alert".to_owned())?,
+        "alert",
+    )?;
+    let fired_at = req_num(alert, "at")?;
+    let window_secs = req_num(alert, "window_secs")?;
+    if !(window_secs > 0.0) {
+        return Err(format!("alert.window_secs {window_secs} not positive"));
+    }
+    let rule = req_str(alert, "rule")?;
+    if rule != "fast" && rule != "slow" {
+        return Err(format!("alert.rule {rule:?} not fast|slow"));
+    }
+    req_str(alert, "scope")?;
+    let errors = req_num(alert, "errors")?;
+    let total = req_num(alert, "total")?;
+    if errors > total {
+        return Err(format!("alert errors {errors} > total {total}"));
+    }
+    if req_num(alert, "burn")? < 0.0 {
+        return Err("alert.burn negative".to_owned());
+    }
+    if !(req_num(alert, "threshold")? > 0.0) {
+        return Err("alert.threshold not positive".to_owned());
+    }
+
+    let samples = req_arr(&top, "samples")?;
+    if samples.is_empty() {
+        return Err("samples array is empty".to_owned());
+    }
+    let mut prev = f64::NEG_INFINITY;
+    let mut times = Vec::with_capacity(samples.len());
+    for (i, v) in samples.iter().enumerate() {
+        let t = check_sample(v, &format!("samples[{i}]"))?;
+        if t <= prev {
+            return Err(format!("samples[{i}] time {t} not increasing past {prev}"));
+        }
+        prev = t;
+        times.push(t);
+    }
+    // Every sample but the last is pre-fire history; the last is the
+    // state observed at the beat that processed the fire, which may
+    // trail the alert boundary when the clock jumped past it.
+    if times.len() >= 2 && times[times.len() - 2] > fired_at {
+        return Err(format!(
+            "pre-fire sample t={} after fire t={fired_at}",
+            times[times.len() - 2]
+        ));
+    }
+
+    let trajectory = req_arr(&top, "trajectory")?;
+    if trajectory.len() != samples.len() {
+        return Err(format!(
+            "trajectory has {} points for {} samples",
+            trajectory.len(),
+            samples.len()
+        ));
+    }
+    for (i, v) in trajectory.iter().enumerate() {
+        let o = as_obj(v, &format!("trajectory[{i}]"))?;
+        let t = req_num(o, "t")?;
+        if t.to_bits() != times[i].to_bits() {
+            return Err(format!("trajectory[{i}] t={t} != samples[{i}] time"));
+        }
+        req_num(o, "fast")?;
+        req_num(o, "slow")?;
+    }
+
+    let queries = req_arr(&top, "top_queries")?;
+    let mut prev_latency = f64::INFINITY;
+    for (i, v) in queries.iter().enumerate() {
+        let what = format!("top_queries[{i}]");
+        let o = as_obj(v, &what)?;
+        for key in [
+            "ticket",
+            "tenant",
+            "submitted_at",
+            "started_at",
+            "finished_at",
+            "latency_secs",
+            "admission_wait_secs",
+            "queue_delay_secs",
+            "slot_wait_secs",
+            "blame_secs",
+        ] {
+            req_num(o, key).map_err(|e| format!("{what}: {e}"))?;
+        }
+        req_str(o, "label").map_err(|e| format!("{what}: {e}"))?;
+        if req_str(o, "blame").map_err(|e| format!("{what}: {e}"))?.is_empty() {
+            return Err(format!("{what}: empty blame"));
+        }
+        let latency = req_num(o, "latency_secs")?;
+        if latency > prev_latency {
+            return Err(format!("{what}: latencies not sorted worst-first"));
+        }
+        prev_latency = latency;
+        let finished = req_num(o, "finished_at")?;
+        if finished < fired_at - window_secs || finished > fired_at {
+            return Err(format!(
+                "{what}: finished_at {finished} outside alert window"
+            ));
+        }
+        // Submit-to-answer latency reconciles bitwise with the endpoint
+        // timestamps (both sides are the same f64 subtraction).
+        let submitted = req_num(o, "submitted_at")?;
+        let started = req_num(o, "started_at")?;
+        if latency.to_bits() != (finished - submitted).to_bits() {
+            return Err(format!(
+                "{what}: latency {latency} != finished - submitted ({})",
+                finished - submitted
+            ));
+        }
+        match get(o, "critical") {
+            Some(Json::Null) => {}
+            Some(cp) => {
+                let c = as_obj(cp, &format!("{what}.critical"))?;
+                // Replicate CriticalPath::total()'s exact fold order —
+                // named segments in report order, then the residual —
+                // so the bitwise reconciliation survives the JSON
+                // round-trip.
+                let mut sum = 0.0f64;
+                for key in [
+                    "queue_secs",
+                    "startup_secs",
+                    "map_secs",
+                    "shuffle_secs",
+                    "reduce_secs",
+                    "reopt_secs",
+                ] {
+                    sum += req_num(c, key).map_err(|e| format!("{what}: {e}"))?;
+                }
+                sum += req_num(c, "other_secs").map_err(|e| format!("{what}: {e}"))?;
+                let cp_latency = req_num(c, "latency_secs")?;
+                if sum.to_bits() != cp_latency.to_bits() {
+                    return Err(format!(
+                        "{what}: critical path sums to {sum}, latency {cp_latency}"
+                    ));
+                }
+                // The span-rooted critical path covers driver start to
+                // finish — the query's latency minus its admission wait.
+                if cp_latency.to_bits() != (finished - started).to_bits() {
+                    return Err(format!(
+                        "{what}: critical latency {cp_latency} != finished - started ({})",
+                        finished - started
+                    ));
+                }
+            }
+            None => return Err(format!("{what}: missing critical")),
+        }
+    }
+
+    let suspects = req_arr(&top, "suspects")?;
+    let mut prev_rank = (u64::MAX, u64::MAX);
+    for (i, v) in suspects.iter().enumerate() {
+        let what = format!("suspects[{i}]");
+        let o = as_obj(v, &what)?;
+        let violations = req_num(o, "violations")? as u64;
+        let rejections = req_num(o, "rejections")? as u64;
+        req_num(o, "tenant").map_err(|e| format!("{what}: {e}"))?;
+        req_num(o, "worst_latency_secs").map_err(|e| format!("{what}: {e}"))?;
+        if violations == 0 && rejections == 0 {
+            return Err(format!("{what}: neither violations nor rejections"));
+        }
+        if (violations, rejections) > prev_rank {
+            return Err(format!("{what}: ranking not descending"));
+        }
+        prev_rank = (violations, rejections);
+    }
+
+    let resolved = match (get(&top, "resolved_at"), get(&top, "duration_secs")) {
+        (Some(Json::Null), Some(Json::Null)) => {
+            if !matches!(get(&top, "recovery"), Some(Json::Null)) {
+                return Err("recovery present on an unresolved incident".to_owned());
+            }
+            false
+        }
+        (Some(Json::Num(at)), Some(Json::Num(d))) => {
+            if *at < fired_at {
+                return Err(format!("resolved_at {at} before fire {fired_at}"));
+            }
+            if (at - fired_at).to_bits() != d.to_bits() {
+                return Err(format!(
+                    "duration_secs {d} != resolved_at - fired ({})",
+                    at - fired_at
+                ));
+            }
+            check_sample(
+                get(&top, "recovery").ok_or_else(|| "missing recovery".to_owned())?,
+                "recovery",
+            )?;
+            true
+        }
+        other => return Err(format!("inconsistent resolve fields: {other:?}")),
+    };
+
+    Ok(IncidentSummary {
+        samples: samples.len(),
+        top_queries: queries.len(),
+        suspects: suspects.len(),
+        resolved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::BurnRule;
+
+    fn sample(t: f64) -> StateSample {
+        StateSample {
+            time: t,
+            admission_queued: 2,
+            map_ready: 3,
+            running_map: 140,
+            in_flight_jobs: 9,
+            queries_in_flight: 7,
+            active_tenants: 4,
+            busiest_tenants: vec![TenantLoad {
+                tenant: 7,
+                in_flight: 4,
+                slot_secs_used: 12.5,
+            }],
+            plan_cache_hits: 3,
+            plan_cache_misses: 5,
+            latency_p50: 20.0,
+            latency_p95: 40.0,
+            latency_count: 11,
+            burn_fast: t / 10.0,
+            burn_slow: t / 30.0,
+            ..StateSample::default()
+        }
+    }
+
+    fn fire(at: f64, scope: AlertScope) -> AlertEvent {
+        AlertEvent {
+            at,
+            kind: AlertKind::Fire,
+            scope,
+            rule: AlertRuleKind::Fast,
+            window_secs: 60.0,
+            burn: 10.0,
+            threshold: 5.0,
+            errors: 4,
+            total: 4,
+        }
+    }
+
+    fn resolve(at: f64, scope: AlertScope) -> AlertEvent {
+        AlertEvent {
+            kind: AlertKind::Resolve,
+            burn: 0.0,
+            errors: 0,
+            total: 3,
+            ..fire(at, scope)
+        }
+    }
+
+    fn violator(ticket: u64, tenant: u64, finished: f64, latency: f64) -> QueryRecord {
+        QueryRecord {
+            ticket,
+            tenant,
+            label: format!("q{ticket}"),
+            submitted_at: finished - latency,
+            started_at: finished - latency + 1.0,
+            finished_at: finished,
+            latency_secs: latency,
+            queue_delay_secs: 2.0,
+            slot_wait_secs: 3.0,
+            met_deadline: Some(false),
+            // The span opened at `started_at`, one second after submit,
+            // so the critical path covers one second less than the
+            // submit-to-answer latency.
+            critical: Some(CriticalPath {
+                latency_secs: latency - 1.0,
+                map_secs: latency - 1.0,
+                ..CriticalPath::default()
+            }),
+        }
+    }
+
+    /// A recorder with a flood already recorded and one incident frozen.
+    fn frozen() -> FlightRecorder {
+        let mut r = FlightRecorder::new(RecorderPolicy {
+            top_k: 2,
+            ..RecorderPolicy::default()
+        });
+        r.beat(sample(5.0), &[]);
+        r.beat(sample(10.0), &[]);
+        r.record_settle(violator(1, 7, 12.0, 30.0));
+        r.record_settle(violator(2, 7, 13.0, 45.0));
+        r.record_settle(violator(3, 9, 14.0, 20.0));
+        r.record_reject(14.5, 7);
+        // A violation outside the 60 s alert window must not be blamed.
+        r.record_settle(violator(4, 9, -100.0, 99.0));
+        r.beat(sample(15.0), &[fire(15.0, AlertScope::Global)]);
+        r
+    }
+
+    #[test]
+    fn freeze_captures_window_blame_and_suspects() {
+        let r = frozen();
+        assert_eq!(r.incidents().len(), 1);
+        assert_eq!(r.open_count(), 1);
+        let inc = &r.incidents()[0];
+        assert_eq!(inc.id, 1);
+        // Samples: 5, 10, and the fire-time 15 appended by the beat.
+        let times: Vec<f64> = inc.samples.iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![5.0, 10.0, 15.0]);
+        // Top-2 by latency: ticket 2 (45 s) then ticket 1 (30 s); the
+        // out-of-window 99 s violation is excluded.
+        let tickets: Vec<u64> = inc.top_queries.iter().map(|b| b.query.ticket).collect();
+        assert_eq!(tickets, vec![2, 1]);
+        assert_eq!(inc.top_queries[0].blame, "map");
+        assert_eq!(inc.top_queries[0].blame_secs, 44.0);
+        // Suspects: tenant 7 (2 violations + 1 rejection) over tenant 9.
+        assert_eq!(inc.suspects.len(), 2);
+        assert_eq!(
+            (inc.suspects[0].tenant, inc.suspects[0].violations, inc.suspects[0].rejections),
+            (7, 2, 1)
+        );
+        assert_eq!(inc.suspects[0].worst_latency_secs, 45.0);
+        assert_eq!(inc.suspects[1].tenant, 9);
+        assert!(inc.resolved_at.is_none());
+        assert_eq!(r.summary_line(), "incidents: opened=1 resolved=0 active=1");
+    }
+
+    #[test]
+    fn resolve_closes_with_duration_and_recovery() {
+        let mut r = frozen();
+        r.beat(sample(75.0), &[resolve(75.0, AlertScope::Global)]);
+        let inc = &r.incidents()[0];
+        assert_eq!(inc.resolved_at, Some(75.0));
+        assert_eq!(inc.duration_secs, Some(60.0));
+        assert_eq!(inc.recovery.as_ref().map(|s| s.time), Some(75.0));
+        assert_eq!(r.open_count(), 0);
+        assert_eq!(r.summary_line(), "incidents: opened=1 resolved=1 active=0");
+        // A resolve with no matching open incident is ignored.
+        r.beat(sample(80.0), &[resolve(80.0, AlertScope::Tenant(3))]);
+        assert_eq!(r.incidents().len(), 1);
+    }
+
+    #[test]
+    fn tenant_scope_restricts_blame_but_not_suspects() {
+        let mut r = FlightRecorder::new(RecorderPolicy::default());
+        r.record_settle(violator(1, 7, 12.0, 30.0));
+        r.record_settle(violator(2, 9, 13.0, 45.0));
+        r.beat(sample(15.0), &[fire(15.0, AlertScope::Tenant(7))]);
+        let inc = &r.incidents()[0];
+        let tickets: Vec<u64> = inc.top_queries.iter().map(|b| b.query.ticket).collect();
+        assert_eq!(tickets, vec![1], "only tenant 7's violation is blamed");
+        let suspects: Vec<u64> = inc.suspects.iter().map(|s| s.tenant).collect();
+        assert_eq!(suspects, vec![7, 9], "ranking still sees every tenant");
+    }
+
+    #[test]
+    fn rings_are_bounded_and_evict_oldest() {
+        let mut r = FlightRecorder::new(RecorderPolicy {
+            event_capacity: 2,
+            reject_capacity: 2,
+            sample_capacity: 2,
+            sample_interval_secs: 1.0,
+            top_k: 8,
+            max_incidents: 1,
+        });
+        for i in 0..5u64 {
+            r.record_settle(violator(i, i, 10.0 + i as f64, 10.0));
+            r.record_reject(10.0 + i as f64, i);
+            r.beat(sample(i as f64), &[]);
+        }
+        r.beat(sample(20.0), &[fire(20.0, AlertScope::Global)]);
+        let inc = &r.incidents()[0];
+        // Only the two newest settles survived the ring.
+        let tickets: Vec<u64> = inc.top_queries.iter().map(|b| b.query.ticket).collect();
+        assert_eq!(tickets, vec![3, 4]);
+        // Sample ring capacity 2: the fire-time beat itself was retained
+        // (evicting the oldest), so exactly the ring survives.
+        let times: Vec<f64> = inc.samples.iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![4.0, 20.0]);
+        // max_incidents: the second fire is skipped, its resolve ignored.
+        r.beat(sample(25.0), &[fire(25.0, AlertScope::Tenant(1))]);
+        assert_eq!(r.incidents().len(), 1);
+        assert_eq!(r.skipped(), 1);
+        r.beat(sample(26.0), &[resolve(26.0, AlertScope::Tenant(1))]);
+        assert_eq!(r.incidents().len(), 1);
+    }
+
+    #[test]
+    fn sample_cadence_is_enforced() {
+        let mut r = FlightRecorder::new(RecorderPolicy {
+            sample_interval_secs: 5.0,
+            ..RecorderPolicy::default()
+        });
+        for t in [0.0, 1.0, 4.9, 5.0, 7.0, 10.0] {
+            r.beat(sample(t), &[]);
+        }
+        r.beat(sample(10.5), &[fire(10.5, AlertScope::Global)]);
+        let times: Vec<f64> = r.incidents()[0].samples.iter().map(|s| s.time).collect();
+        // Retained at 0, 5, 10; fire-time 10.5 appended to the report.
+        assert_eq!(times, vec![0.0, 5.0, 10.0, 10.5]);
+    }
+
+    #[test]
+    fn json_roundtrips_the_validator_resolved_and_active() {
+        let mut r = frozen();
+        let active = r.incidents()[0].to_json();
+        let s = validate_incident_json(&active).expect("active incident validates");
+        assert_eq!(
+            (s.samples, s.top_queries, s.suspects, s.resolved),
+            (3, 2, 2, false)
+        );
+        r.beat(sample(75.0), &[resolve(75.0, AlertScope::Global)]);
+        let resolved = r.incidents()[0].to_json();
+        let s = validate_incident_json(&resolved).expect("resolved incident validates");
+        assert!(s.resolved);
+        assert_eq!(r.incidents()[0].file_stem(), "incident-0001");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        let good = frozen().incidents()[0].to_json();
+        assert!(validate_incident_json("{").is_err(), "truncated");
+        assert!(validate_incident_json("[]").is_err(), "not an object");
+        assert!(
+            validate_incident_json(&good.replace("\"rule\":\"fast\"", "\"rule\":\"warp\""))
+                .is_err(),
+            "unknown rule"
+        );
+        assert!(
+            validate_incident_json(&good.replace("\"latency_secs\":45,", "\"latency_secs\":46,"))
+                .is_err(),
+            "latency no longer reconciles bitwise with its endpoints"
+        );
+        assert!(
+            validate_incident_json(&good.replace("\"map_secs\":44", "\"map_secs\":43"))
+                .is_err(),
+            "critical path no longer sums bitwise to its latency"
+        );
+        assert!(
+            validate_incident_json(&good.replace("\"resolved_at\":null", "\"resolved_at\":99"))
+                .is_err(),
+            "resolved_at without duration"
+        );
+        assert!(
+            validate_incident_json(&good.replace("\"errors\":4", "\"errors\":9"))
+                .is_err(),
+            "errors > total"
+        );
+    }
+
+    #[test]
+    fn renders_are_byte_identical_across_identical_feeds() {
+        let mk = || {
+            let mut r = frozen();
+            r.beat(
+                sample(75.0),
+                &[resolve(75.0, AlertScope::Global), fire(80.0, AlertScope::Tenant(7))],
+            );
+            r.incidents()
+                .iter()
+                .map(|i| format!("{}\n{}", i.render(), i.to_json()))
+                .collect::<Vec<_>>()
+                .join("\n---\n")
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn blame_falls_back_without_a_critical_path() {
+        let mut q = violator(1, 7, 12.0, 30.0);
+        q.critical = None;
+        q.queue_delay_secs = 1.0;
+        q.slot_wait_secs = 2.0;
+        let b = BlamedQuery::attribute(q);
+        // latency 30 - admission 1 - queue 1 - slot 2 = 26 of execution.
+        assert_eq!(b.blame, "execution");
+        assert_eq!(b.blame_secs, 26.0);
+    }
+
+    #[test]
+    fn default_policy_is_bounded() {
+        let p = RecorderPolicy::default();
+        assert!(p.event_capacity > 0 && p.sample_capacity > 0 && p.max_incidents > 0);
+        assert!(p.sample_interval_secs > 0.0);
+        // BurnRule windows fit comfortably inside the sample ring span.
+        let rule = BurnRule {
+            window_secs: 300.0,
+            threshold: 1.0,
+        };
+        assert!(p.sample_capacity as f64 * p.sample_interval_secs >= rule.window_secs);
+    }
+}

@@ -319,6 +319,20 @@ impl Tracer {
         }
     }
 
+    /// Run `f` over the raw span/event log under the tracer lock,
+    /// without cloning either vector. Events are in insertion (`seq`)
+    /// order, not the `(time, seq)` order of [`events`](Self::events);
+    /// `f` must not call back into this tracer.
+    pub fn with_log<R>(&self, f: impl FnOnce(&[Span], &[Event]) -> R) -> R {
+        match &self.inner {
+            Some(inner) => {
+                let log = inner.lock();
+                f(&log.spans, &log.events)
+            }
+            None => f(&[], &[]),
+        }
+    }
+
     /// Copy of all recorded events, sorted by `(time, seq)`.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {

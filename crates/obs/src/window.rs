@@ -408,6 +408,71 @@ mod tests {
         );
     }
 
+    /// Satellite (PR 10): wraparound correctness. Feed a histogram far
+    /// past its ring capacity — epochs wrapping the bucket array dozens
+    /// of times — and the snapshot must agree exactly with a whole-run
+    /// histogram restricted to the observations whose epoch lies inside
+    /// the quantized window, across seeds.
+    #[test]
+    fn prop_wraparound_window_matches_epoch_restricted_whole_run() {
+        prop::check(
+            "ring wraparound == epoch-restricted whole run",
+            64,
+            |g| {
+                let n = g.len_in(1, 300);
+                let mut obs: Vec<(f64, f64)> = (0..n)
+                    .map(|_| {
+                        // Times span [0, 3000): a 60 s / 6-bucket ring
+                        // (10 s slots) wraps its 6 slots ~50 times.
+                        let t = g.gen_range(0..30_000u64) as f64 * 0.1;
+                        let v = g.gen_range(0..100_000u64) as f64 * 1e-3;
+                        (t, v)
+                    })
+                    .collect();
+                obs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                obs
+            },
+            |obs| {
+                let spec = WindowSpec { secs: 60.0, buckets: 6 };
+                let mut windowed = WindowedHistogram::new(spec);
+                for &(t, v) in obs {
+                    windowed.observe(t, v);
+                }
+                let t_end = obs.last().expect("non-empty").0;
+                // The quantized window at t_end covers exactly the
+                // epochs the ring retains: the newest `buckets` slots.
+                let hi = spec.epoch(t_end);
+                let lo = hi.saturating_sub(spec.buckets as u64 - 1);
+                let mut expect = Histogram::default();
+                for &(t, v) in obs.iter().filter(|(t, _)| {
+                    let e = spec.epoch(*t);
+                    e >= lo && e <= hi
+                }) {
+                    let _ = t;
+                    expect.observe(v);
+                }
+                let snap = windowed.snapshot(t_end);
+                // Buckets and count must match exactly; the sum only to
+                // rounding (slot-merge regroups the additions).
+                if snap.buckets != expect.buckets || snap.count != expect.count {
+                    return Err(format!(
+                        "wraparound diverged: count {} vs {}",
+                        snap.count, expect.count
+                    ));
+                }
+                if (snap.sum - expect.sum).abs() > 1e-6 * expect.sum.abs().max(1.0) {
+                    return Err(format!("sum diverged: {} vs {}", snap.sum, expect.sum));
+                }
+                for &p in &[0.0, 0.5, 0.95, 0.99, 1.0] {
+                    if snap.quantile(p) != expect.quantile(p) {
+                        return Err(format!("quantile({p}) diverged after wrap"));
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
     /// The ring never over-reports: a snapshot at any time holds a subset
     /// of all observations, and sliding forward is monotone non-increasing
     /// once writes stop.

@@ -34,8 +34,9 @@ use dyno_cluster::{Cluster, JobHandle, SimTime, SubmitTag};
 use dyno_core::{DriverPoll, Dyno, Mode, QueryDriver, QueryReport};
 use dyno_obs::trace::NO_SPAN;
 use dyno_obs::{
-    AlertKind, AlertRuleKind, AlertScope, HealthMonitor, Histogram, Obs, SamplingPolicy,
-    SloPolicy, SpanId, SpanKind, WindowSpec, WindowedCounter, WindowedGauge, WindowedHistogram,
+    AlertEvent, AlertKind, AlertRuleKind, AlertScope, CriticalPath, FlightRecorder, HealthMonitor,
+    Histogram, Obs, QueryRecord, RecorderPolicy, SamplingPolicy, SloPolicy, SpanId, SpanKind,
+    StateSample, TenantLoad, WindowSpec, WindowedCounter, WindowedGauge, WindowedHistogram,
 };
 use dyno_tpch::queries::{self, QueryId};
 
@@ -97,6 +98,15 @@ pub struct ServiceConfig {
     /// on, that is exactly the case the plan cache serves without a
     /// search). `None` (default) skips basis capture entirely.
     pub replan_after: Option<f64>,
+    /// Incident flight recorder (DESIGN.md §18): a bounded ring of recent
+    /// settlements, rejections, and periodic state samples that freezes a
+    /// deterministic [`IncidentReport`](dyno_obs::IncidentReport) when a
+    /// `HealthMonitor` alert fires and closes it on resolve. Observe-only:
+    /// the recorder reads at the existing pump beats and settlement
+    /// points, never advances the clock, and never influences admission
+    /// or scheduling. Pairs with `health` — without an [`SloPolicy`] no
+    /// alert can fire, so it only accumulates state samples.
+    pub recorder: Option<RecorderPolicy>,
     /// Whether the service opens its own root span (the "service" pid
     /// lane in the Chrome export) when tracing is enabled. The serial
     /// workload runner turns this off: one service per query must leave
@@ -111,6 +121,7 @@ impl Default for ServiceConfig {
             health: None,
             sampling: None,
             replan_after: None,
+            recorder: None,
             trace_service_lane: true,
         }
     }
@@ -323,6 +334,16 @@ impl HealthState {
     }
 }
 
+/// The incident flight recorder plus its own cursor over the alert
+/// stream. The cursor is independent of [`HealthState::emitted`] (which
+/// tracks trace/metrics stamping): both consume the same
+/// `HealthMonitor::events()` slice, each exactly once.
+struct RecorderState {
+    recorder: FlightRecorder,
+    /// Alert events already delivered to [`FlightRecorder::beat`].
+    consumed: usize,
+}
+
 /// A point-in-time snapshot of the live health windows — what
 /// `repro serve --health` prints at each digest interval.
 #[derive(Debug, Clone)]
@@ -369,6 +390,7 @@ pub struct QueryService {
     health: Option<HealthState>,
     sampling: Option<SamplingPolicy>,
     replan_after: Option<f64>,
+    recorder: Option<RecorderState>,
 }
 
 impl QueryService {
@@ -401,6 +423,10 @@ impl QueryService {
             health: cfg.health.map(HealthState::new),
             sampling: cfg.sampling,
             replan_after: cfg.replan_after,
+            recorder: cfg.recorder.map(|policy| RecorderState {
+                recorder: FlightRecorder::new(policy),
+                consumed: 0,
+            }),
         }
     }
 
@@ -444,6 +470,12 @@ impl QueryService {
     /// alert events, intervals, and per-scope burn rates.
     pub fn health_monitor(&self) -> Option<&HealthMonitor> {
         self.health.as_ref().map(|h| &h.monitor)
+    }
+
+    /// The incident flight recorder, when configured — frozen incident
+    /// reports, ring occupancy, and the `incidents:` summary line.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref().map(|r| &r.recorder)
     }
 
     /// True iff no ticket is Queued or Running — the population harness
@@ -533,6 +565,110 @@ impl QueryService {
         h.emitted = events.len();
     }
 
+    /// Assemble the recorder's cross-layer [`StateSample`] at `now`:
+    /// admission-queue depth, the cluster's O(1) scheduler snapshot,
+    /// per-tenant in-flight load, plan-cache and memo counters, and the
+    /// health windows' latency/rejection/burn view. Pure read.
+    fn state_sample(&self, now: SimTime) -> StateSample {
+        let snap = self.cluster.sched_snapshot();
+        let admission_queued = self
+            .entries
+            .values()
+            .filter(|e| matches!(e.state, EntryState::Queued))
+            .count() as u64;
+        let queries_in_flight: u64 =
+            self.tenants.values().map(|s| s.in_flight as u64).sum();
+        let active_tenants =
+            self.tenants.values().filter(|s| s.in_flight > 0).count() as u64;
+        let top = self
+            .recorder
+            .as_ref()
+            .map(|r| r.recorder.policy().top_k.max(1))
+            .unwrap_or(1);
+        let mut busiest: Vec<TenantLoad> = self
+            .tenants
+            .iter()
+            .filter(|(_, s)| s.in_flight > 0)
+            .map(|(&t, s)| TenantLoad {
+                tenant: t as u64,
+                in_flight: s.in_flight as u64,
+                slot_secs_used: s.slot_secs_used,
+            })
+            .collect();
+        busiest.sort_by(|a, b| b.in_flight.cmp(&a.in_flight).then(a.tenant.cmp(&b.tenant)));
+        busiest.truncate(top);
+        let m = &self.dyno.obs.metrics;
+        let (latency_p50, latency_p95, latency_count, rejections, burn_fast, burn_slow) =
+            match &self.health {
+                Some(h) => {
+                    let hist = h.latency_fast.snapshot(now);
+                    let (fast, _, _) =
+                        h.monitor.burn(AlertScope::Global, AlertRuleKind::Fast, now);
+                    let (slow, _, _) =
+                        h.monitor.burn(AlertScope::Global, AlertRuleKind::Slow, now);
+                    (
+                        hist.p50(),
+                        hist.p95(),
+                        hist.count,
+                        h.rejections.sum(now) as f64,
+                        fast,
+                        slow,
+                    )
+                }
+                None => (0.0, 0.0, 0, 0.0, 0.0, 0.0),
+            };
+        StateSample {
+            time: now,
+            admission_queued,
+            map_ready: snap.map_ready as u64,
+            reduce_ready: snap.reduce_ready as u64,
+            running_map: snap.running_map as u64,
+            running_reduce: snap.running_reduce as u64,
+            free_map: snap.free_map as u64,
+            free_reduce: snap.free_reduce as u64,
+            in_flight_jobs: snap.in_flight_jobs as u64,
+            queries_in_flight,
+            active_tenants,
+            busiest_tenants: busiest,
+            plan_cache_hits: m.counter("plan_cache.hit"),
+            plan_cache_misses: m.counter("plan_cache.miss"),
+            memo_reuse: m.counter("optimizer.memo_reuse"),
+            latency_p50,
+            latency_p95,
+            latency_count,
+            rejections,
+            burn_fast,
+            burn_slow,
+        }
+    }
+
+    /// One recorder beat, run right after [`QueryService::health_tick`]
+    /// at the same pump sites: offer the current state sample and hand
+    /// over the alert events stamped since the recorder's last beat.
+    /// Observe-only — a no-op when no recorder is configured.
+    fn recorder_tick(&mut self) {
+        let Some(r) = &self.recorder else { return };
+        let consumed = r.consumed;
+        let now = self.cluster.now();
+        let pending_alerts = match &self.health {
+            Some(h) => h.monitor.events().len() > consumed,
+            None => false,
+        };
+        // A beat with no pending alerts and no sample due is a no-op
+        // inside the recorder; skip the cross-layer state scan entirely.
+        if !pending_alerts && !r.recorder.wants_sample(now) {
+            return;
+        }
+        let sample = self.state_sample(now);
+        let alerts: Vec<AlertEvent> = match &self.health {
+            Some(h) => h.monitor.events()[consumed..].to_vec(),
+            None => Vec::new(),
+        };
+        let r = self.recorder.as_mut().expect("checked above");
+        r.consumed += alerts.len();
+        r.recorder.beat(sample, &alerts);
+    }
+
     /// Submit `query` for `tenant` at the current simulated time.
     ///
     /// Admission control runs immediately: a tenant over its
@@ -554,6 +690,9 @@ impl QueryService {
             self.dyno.obs.metrics.incr("service.rejected", 1);
             if let Some(h) = &mut self.health {
                 h.rejections.incr(now, 1);
+            }
+            if let Some(r) = &mut self.recorder {
+                r.recorder.record_reject(now, tenant as u64);
             }
             if self.service_span != NO_SPAN {
                 tracer.event(
@@ -846,6 +985,7 @@ impl QueryService {
     /// progress is possible before `t`; with `None` it runs to quiescence.
     fn pump(&mut self, target: Option<SimTime>) {
         self.health_tick();
+        self.recorder_tick();
         loop {
             let mut progressed = self.promote_queued();
             progressed |= self.settle_canceled();
@@ -898,6 +1038,7 @@ impl QueryService {
                 self.cluster.run_until_time(t_wake);
             }
             self.health_tick();
+            self.recorder_tick();
         }
     }
 
@@ -993,6 +1134,37 @@ impl QueryService {
                         h.monitor.eval_until(now);
                     }
                 }
+                // Flight-recorder capture happens at settlement, before
+                // tail sampling can drop the span tree: the incident's
+                // blame must reconcile bitwise with the critical path a
+                // QueryProfile would report for this query.
+                if self.recorder.is_some() {
+                    // Only SLO violators can ever be blamed by an
+                    // incident, so only they pay for the span-tree walk.
+                    let critical = if outcome.met_deadline == Some(false) {
+                        CriticalPath::build(&self.dyno.obs.tracer, qspan)
+                    } else {
+                        None
+                    };
+                    let rec = QueryRecord {
+                        ticket: id,
+                        tenant: outcome.tenant as u64,
+                        label: outcome.label.clone(),
+                        submitted_at: outcome.submitted_at,
+                        started_at: outcome.started_at,
+                        finished_at: outcome.finished_at,
+                        latency_secs: outcome.latency_secs,
+                        queue_delay_secs: outcome.queue_delay_secs,
+                        slot_wait_secs: outcome.slot_wait_secs,
+                        met_deadline: outcome.met_deadline,
+                        critical,
+                    };
+                    self.recorder
+                        .as_mut()
+                        .expect("checked above")
+                        .recorder
+                        .record_settle(rec);
+                }
                 // Tail-based sampling: decide at settlement whether this
                 // query's span tree earns retention. Interesting tails
                 // (SLO misses, OOM recoveries, alert overlap) always stay;
@@ -1037,7 +1209,7 @@ mod tests {
     use super::*;
     use dyno_cluster::{ClusterConfig, SchedulerPolicy};
     use dyno_core::DynoOptions;
-    use dyno_obs::{validate_chrome_trace, validate_trace_subset};
+    use dyno_obs::{validate_chrome_trace, validate_incident_json, validate_trace_subset};
     use dyno_storage::SimScale;
     use dyno_tpch::TpchGenerator;
 
@@ -1344,6 +1516,157 @@ mod tests {
         let (e2, m2) = run();
         assert_eq!(e1, e2, "alert stream must be byte-identical");
         assert_eq!(m1, m2, "metrics must be byte-identical");
+    }
+
+    /// Tentpole: with health and the flight recorder on, a flood of
+    /// unmeetable deadlines freezes at least one incident whose JSON
+    /// passes the in-repo validator, whose blamed queries reconcile
+    /// *bitwise* with the critical paths of their retained span trees,
+    /// and whose renders are byte-identical across identical runs.
+    #[test]
+    fn recorder_freezes_validated_incidents_that_reconcile_bitwise() {
+        let run = || {
+            let mut s = service_cfg(
+                ClusterConfig::paper(),
+                ServiceConfig {
+                    health: Some(SloPolicy::default()),
+                    recorder: Some(RecorderPolicy::default()),
+                    ..ServiceConfig::default()
+                },
+            );
+            for _ in 0..4 {
+                s.submit(
+                    1,
+                    QueryId::Q2,
+                    SubmitOpts {
+                        deadline: Some(0.0),
+                        ..SubmitOpts::default()
+                    },
+                )
+                .unwrap();
+            }
+            s.drain();
+            // Push the clock far enough that the windows drain and the
+            // alerts resolve: the incidents close with recovery samples.
+            let end = s.now() + 1200.0;
+            s.advance_until(end);
+            s.finish();
+            let r = s.recorder().expect("recorder configured");
+            assert!(!r.incidents().is_empty(), "4/4 misses must freeze an incident");
+            assert_eq!(r.open_count(), 0, "alerts resolve once the windows drain");
+            for inc in r.incidents() {
+                let summary = validate_incident_json(&inc.to_json())
+                    .unwrap_or_else(|e| panic!("incident {}: {e}", inc.id));
+                assert!(summary.resolved);
+                assert!(summary.top_queries >= 1, "the misses are in the alert window");
+                assert!(summary.suspects >= 1);
+                for bq in &inc.top_queries {
+                    assert_eq!(bq.query.tenant, 1);
+                    let o = outcome(&s, QueryTicket(bq.query.ticket));
+                    let cp = CriticalPath::build(&s.obs().tracer, o.query_span)
+                        .expect("blamed span tree retained");
+                    let frozen = bq.query.critical.expect("critical captured at settlement");
+                    assert_eq!(cp, frozen);
+                    assert_eq!(
+                        cp.total().to_bits(),
+                        frozen.total().to_bits(),
+                        "blame must reconcile bitwise with the profile's critical path"
+                    );
+                    assert_eq!(
+                        frozen.latency_secs.to_bits(),
+                        (o.finished_at - o.started_at).to_bits()
+                    );
+                }
+            }
+            let docs: Vec<String> = r
+                .incidents()
+                .iter()
+                .map(|i| format!("{}\n{}\n{}", i.file_stem(), i.render(), i.to_json()))
+                .collect();
+            (r.summary_line(), docs.join("\n---\n"))
+        };
+        let (s1, d1) = run();
+        let (s2, d2) = run();
+        assert_eq!(s1, s2, "summary line must be byte-identical");
+        assert_eq!(d1, d2, "incident files must be byte-identical");
+    }
+
+    /// Observe-only contract: enabling the recorder changes no outcome,
+    /// no trace byte, and no metric — it only reads at the existing
+    /// beats (even with tail sampling dropping span trees at settlement,
+    /// after the recorder's capture).
+    #[test]
+    fn recorder_is_observe_only() {
+        let run = |recorder: Option<RecorderPolicy>| {
+            let mut s = service_cfg(
+                ClusterConfig::paper(),
+                ServiceConfig {
+                    health: Some(SloPolicy::default()),
+                    sampling: Some(SamplingPolicy {
+                        one_in: 1 << 40,
+                        seed: 7,
+                    }),
+                    recorder,
+                    ..ServiceConfig::default()
+                },
+            );
+            let mut tickets = Vec::new();
+            for _ in 0..4 {
+                tickets.push(
+                    s.submit(
+                        1,
+                        QueryId::Q2,
+                        SubmitOpts {
+                            deadline: Some(0.0),
+                            ..SubmitOpts::default()
+                        },
+                    )
+                    .unwrap(),
+                );
+            }
+            tickets.push(
+                s.submit(
+                    2,
+                    QueryId::Q10,
+                    SubmitOpts {
+                        deadline: Some(1e9),
+                        ..SubmitOpts::default()
+                    },
+                )
+                .unwrap(),
+            );
+            s.drain();
+            let end = s.now() + 120.0;
+            s.advance_until(end);
+            s.finish();
+            let outcomes: Vec<String> = tickets
+                .iter()
+                .map(|&t| {
+                    let o = outcome(&s, t);
+                    format!(
+                        "{} t{} {:?}/{:?} met={:?}",
+                        o.label,
+                        o.tenant,
+                        o.finished_at.to_bits(),
+                        o.slot_secs.to_bits(),
+                        o.met_deadline
+                    )
+                })
+                .collect();
+            (
+                outcomes.join("\n"),
+                s.obs().tracer.to_chrome_trace(),
+                s.obs().metrics.render(),
+                s.recorder().map(|r| r.incidents().len()).unwrap_or(0),
+            )
+        };
+        let (o_off, t_off, m_off, n_off) = run(None);
+        let (o_on, t_on, m_on, n_on) = run(Some(RecorderPolicy::default()));
+        assert_eq!(n_off, 0, "no recorder, no incidents");
+        assert!(n_on >= 1, "the recorder still captured the incident");
+        assert_eq!(o_off, o_on, "outcomes must not move");
+        assert_eq!(t_off, t_on, "trace must be byte-identical");
+        assert_eq!(m_off, m_on, "metrics must be byte-identical");
     }
 
     /// Tail sampling at settlement: the SLO-violating query's span tree
